@@ -1,0 +1,53 @@
+// Ablation A5 (extension): mixed-axis X-Y Reduce. The paper's "X-Y <Algo>"
+// runs the same pattern on both axes; on strongly rectangular grids the two
+// axes sit in different regimes of Fig. 1, so choosing per-axis patterns
+// (our planner extension) wins. This quantifies the gain over the best
+// same-axis choice.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace wsr;
+
+int main() {
+  const MachineParams mp;
+  const runtime::Planner planner(512, mp);
+  std::printf("=== Ablation: mixed per-axis X-Y Reduce vs same-axis ===\n");
+  std::printf("%-10s %-8s %-22s %12s %12s %8s\n", "grid", "B", "mixed choice",
+              "mixed(cyc)", "fixed(cyc)", "gain");
+  for (GridShape g : {GridShape{512, 8}, GridShape{512, 32}, GridShape{256, 16},
+                      GridShape{64, 64}, GridShape{8, 512}}) {
+    for (u32 b : {16u, 256u, 2048u}) {
+      const runtime::Plan mixed = planner.plan_reduce_2d_mixed(g, b);
+      // Best same-axis *fixed* pattern (the paper's X-Y family; Auto-Gen
+      // already adapts its tree to each axis length, which is why the
+      // planner's mixed and plain choices coincide when Auto-Gen wins).
+      ReduceAlgo best_fixed = ReduceAlgo::Chain;
+      i64 best_cycles = INT64_MAX;
+      for (ReduceAlgo a : kFixedReduceAlgos) {
+        const i64 c =
+            planner.predict_reduce_2d(Reduce2DAlgo::XY, a, g, b).cycles;
+        if (c < best_cycles) {
+          best_cycles = c;
+          best_fixed = a;
+        }
+      }
+      const runtime::Plan same =
+          planner.plan_reduce_2d(g, b, Reduce2DAlgo::XY, best_fixed);
+      const i64 mixed_meas = bench::flow_cycles(mixed.schedule);
+      const i64 same_meas = bench::flow_cycles(same.schedule);
+      std::printf("%4ux%-5u %-8s %-22s %12lld %12lld %7.2fx\n", g.width,
+                  g.height, bench::bytes_label(b).c_str(),
+                  mixed.algorithm.c_str(), static_cast<long long>(mixed_meas),
+                  static_cast<long long>(same_meas),
+                  static_cast<double>(same_meas) /
+                      static_cast<double>(mixed_meas));
+    }
+  }
+  std::printf(
+      "\nExpected: gains up to tens of percent over the best same-axis fixed\n"
+      "pattern on rectangular grids (each axis picks its own Fig. 1\n"
+      "regime). Auto-Gen's per-axis trees achieve this adaptivity\n"
+      "automatically, which is the paper's code-generation thesis.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 8: which fixed 1D AllReduce algorithm the model predicts to be best
+// for each (vector length, PE count), and its speedup over the vendor
+// baseline (Chain + Broadcast). Purely analytic.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "model/selector.hpp"
+
+using namespace wsr;
+
+int main() {
+  const MachineParams mp;
+  bench::print_regions(
+      "Fig 8: best fixed 1D AllReduce + speedup over Chain+Bcast (vendor)",
+      bench::pe_sweep(), bench::vec_len_sweep_wavelets(8192),
+      [&](u32 p, u32 b) -> std::pair<std::string, double> {
+        const auto cands = allreduce_1d_candidates(p, b, mp);
+        const std::size_t best = best_candidate(cands);
+        i64 vendor = 0;
+        for (const Candidate& c : cands) {
+          if (c.label == "Chain+Bcast") vendor = c.prediction.cycles;
+        }
+        return {cands[best].label,
+                static_cast<double>(vendor) /
+                    static_cast<double>(cands[best].prediction.cycles)};
+      });
+
+  std::printf(
+      "\nExpected region structure (paper): Star for scalars, Tree+Bcast for\n"
+      "small vectors, Two-Phase+Bcast in the middle, Chain+Bcast for long\n"
+      "vectors, Ring only in the large-B / small-P contention band.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 10: best fixed 2D AllReduce per (vector length, grid size) and its
+// speedup over the vendor baseline (X-Y Chain). Square grids up to 512x512.
+// Purely analytic.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "model/selector.hpp"
+
+using namespace wsr;
+
+int main() {
+  const MachineParams mp;
+  bench::print_regions(
+      "Fig 10: best fixed 2D AllReduce + speedup over X-Y Chain (vendor); "
+      "rows are NxN grids",
+      bench::pe_sweep(), bench::vec_len_sweep_wavelets(8192),
+      [&](u32 n, u32 b) -> std::pair<std::string, double> {
+        const GridShape g{n, n};
+        const auto cands = allreduce_2d_candidates(g, b, mp);
+        const std::size_t best = best_candidate(cands);
+        i64 vendor = 0;
+        for (const Candidate& c : cands) {
+          if (c.label == "X-Y Chain") vendor = c.prediction.cycles;
+        }
+        return {cands[best].label,
+                static_cast<double>(vendor) /
+                    static_cast<double>(cands[best].prediction.cycles)};
+      });
+
+  std::printf(
+      "\nExpected region structure (paper Fig. 10): X-Y Star for scalars,\n"
+      "X-Y Tree for small vectors, X-Y Two-Phase in the middle, X-Y Chain\n"
+      "for long vectors, and the Snake(+2D broadcast) in the\n"
+      "bandwidth-bound small-grid / huge-vector corner.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 12a: 1D Broadcast with a fixed 1 KB vector (256 wavelets) and
+// increasing PE count. The paper reports 8%-21% relative error with the
+// curve reaching ~1.3 us at 512 PEs.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace wsr;
+
+int main() {
+  const MachineParams mp;
+  const u32 B = 256;  // 1 KB
+
+  bench::Series s{"Broadcast (flooding)", {}};
+  std::vector<std::string> labels;
+  for (u32 p : bench::pe_sweep()) {
+    labels.push_back(std::to_string(p) + "x1");
+    const i64 pred = predict_broadcast_1d(p, B, mp).cycles;
+    const i64 meas =
+        bench::measured_cycles(collectives::make_broadcast_1d(p, B), pred,
+                               300'000, /*is_broadcast=*/true);
+    s.points.push_back({meas, pred});
+  }
+  bench::print_figure("Fig 12a: 1D Broadcast, 1KB vector, PE count sweep",
+                      "PEs", labels, {s}, mp);
+  std::printf("\npaper: 8%%-21%% relative error; curve reaches ~1.3 us at 512 PEs\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 12b: 1D Reduce with a fixed 1 KB vector and increasing PE count.
+// Chain wins for few PEs (contention-dominated), Two-Phase takes over as
+// depth grows, Auto-Gen is fastest throughout (~2.25x over Chain at 512).
+#include <algorithm>
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace wsr;
+
+int main() {
+  const MachineParams mp;
+  const u32 B = 256;  // 1 KB
+  const runtime::Planner planner(512, mp);
+
+  const ReduceAlgo algos[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
+                              ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
+                              ReduceAlgo::AutoGen};
+  std::vector<bench::Series> series;
+  std::vector<std::string> labels;
+  for (u32 p : bench::pe_sweep()) labels.push_back(std::to_string(p) + "x1");
+
+  for (ReduceAlgo a : algos) {
+    bench::Series s{a == ReduceAlgo::Chain ? "Chain (vendor)" : name(a), {}};
+    for (u32 p : bench::pe_sweep()) {
+      const i64 pred = planner.predict_reduce_1d(a, p, B).cycles;
+      const i64 meas = bench::measured_cycles(
+          collectives::make_reduce_1d(a, p, B, &planner.autogen_model()), pred);
+      s.points.push_back({meas, pred});
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_figure("Fig 12b: 1D Reduce, 1KB vector, PE count sweep", "PEs",
+                      labels, series, mp);
+
+  const double speedup_512 =
+      static_cast<double>(series[1].points.back().measured) /
+      static_cast<double>(series[4].points.back().measured);
+  bench::print_headline("Auto-Gen over vendor Chain at 512 PEs (measured)",
+                        speedup_512, 2.25);
+  std::printf("paper: mean relative error 13%%-28%%\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 13c: 2D Reduce with a fixed 1 KB vector over growing square grids
+// (4x4 .. 512x512). The Snake wins on small bandwidth-bound grids, then
+// X-Y Chain, then X-Y Two-Phase; X-Y Auto-Gen is near-best throughout
+// except on 4x4 where the Snake stays ahead.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace wsr;
+
+int main() {
+  const MachineParams mp;
+  const u32 B = 256;  // 1 KB
+  const runtime::Planner planner(512, mp);
+
+  const ReduceAlgo algos[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
+                              ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
+                              ReduceAlgo::AutoGen};
+  std::vector<bench::Series> series;
+  std::vector<std::string> labels;
+  for (u32 n : bench::pe_sweep()) {
+    labels.push_back(std::to_string(n) + "x" + std::to_string(n));
+  }
+
+  for (ReduceAlgo a : algos) {
+    bench::Series s{a == ReduceAlgo::Chain
+                        ? "X-Y Chain (vendor)"
+                        : std::string("X-Y ") + name(a),
+                    {}};
+    for (u32 n : bench::pe_sweep()) {
+      const GridShape grid{n, n};
+      const i64 pred =
+          planner.predict_reduce_2d(Reduce2DAlgo::XY, a, grid, B).cycles;
+      const i64 meas = bench::xy_composed_cycles(
+          [&](u32 len) {
+            return collectives::make_reduce_1d(a, len, B,
+                                               &planner.autogen_model());
+          },
+          grid);
+      s.points.push_back({meas, pred});
+    }
+    series.push_back(std::move(s));
+  }
+  bench::Series snake{"Snake", {}};
+  for (u32 n : bench::pe_sweep()) {
+    const GridShape grid{n, n};
+    const i64 pred = planner
+                         .predict_reduce_2d(Reduce2DAlgo::Snake,
+                                            ReduceAlgo::Chain, grid, B)
+                         .cycles;
+    snake.points.push_back(
+        {bench::flow_cycles(collectives::make_reduce_2d_snake(grid, B)), pred});
+  }
+  series.push_back(std::move(snake));
+
+  bench::print_figure("Fig 13c: 2D Reduce, 1KB vector, grid size sweep",
+                      "grid", labels, series, mp);
+
+  // Report the winner per grid size (the paper's crossover story).
+  std::printf("\nBest measured algorithm per grid:\n");
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < series.size(); ++s) {
+      if (series[s].points[i].measured < series[best].points[i].measured)
+        best = s;
+    }
+    std::printf("  %-8s -> %s\n", labels[i].c_str(),
+                series[best].label.c_str());
+  }
+  std::printf(
+      "paper: Snake best on small grids, then X-Y Chain, then X-Y Two-Phase;\n"
+      "X-Y Auto-Gen near-best everywhere except 4x4.\n");
+  return 0;
+}

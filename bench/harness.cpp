@@ -1,0 +1,146 @@
+#include "harness.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wsr::bench {
+
+std::vector<u32> vec_len_sweep_wavelets(u32 max_wavelets) {
+  std::vector<u32> out;
+  for (u32 b = 1; b <= max_wavelets; b *= 2) out.push_back(b);
+  return out;
+}
+
+std::vector<u32> pe_sweep() { return {4, 8, 16, 32, 64, 128, 256, 512}; }
+
+std::string bytes_label(u32 wavelets) {
+  const u64 bytes = u64{wavelets} * 4;
+  char buf[32];
+  if (bytes >= 1024) {
+    std::snprintf(buf, sizeof buf, "%lluKB", static_cast<unsigned long long>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+double Measurement::err() const {
+  if (measured <= 0) return 0.0;
+  return std::abs(static_cast<double>(measured - predicted)) /
+         static_cast<double>(measured);
+}
+
+i64 fabric_cycles(const wse::Schedule& s, bool is_broadcast) {
+  const runtime::VerifyResult r = runtime::verify_on_fabric(s, is_broadcast);
+  WSR_ASSERT(r.ok, "benchmark schedule produced wrong results");
+  return r.cycles;
+}
+
+i64 flow_cycles(const wse::Schedule& s) { return flowsim::run_flow(s).cycles; }
+
+i64 measured_cycles(const wse::Schedule& s, i64 predicted,
+                    i64 fabric_budget_cycles, bool is_broadcast) {
+  const i64 pe_cycles = predicted * static_cast<i64>(s.grid.num_pes());
+  if (predicted <= fabric_budget_cycles && pe_cycles <= 200'000'000) {
+    return fabric_cycles(s, is_broadcast);
+  }
+  return flow_cycles(s);
+}
+
+i64 xy_composed_cycles(const std::function<wse::Schedule(u32)>& lane_schedule,
+                       GridShape grid) {
+  const i64 row = flow_cycles(lane_schedule(grid.width));
+  const i64 col = flow_cycles(lane_schedule(grid.height));
+  return row + col;
+}
+
+void print_figure(const std::string& title, const std::string& axis_name,
+                  const std::vector<std::string>& axis_labels,
+                  const std::vector<Series>& series, const MachineParams& mp) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-10s", axis_name.c_str());
+  for (const Series& s : series) std::printf(" | %-24s", s.label.c_str());
+  std::printf("\n%-10s", "");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::printf(" | %10s %12s", "meas(cyc)", "pred(cyc)");
+  }
+  std::printf("\n");
+  for (std::size_t row = 0; row < axis_labels.size(); ++row) {
+    std::printf("%-10s", axis_labels[row].c_str());
+    for (const Series& s : series) {
+      const Measurement& m = s.points[row];
+      if (m.measured >= 0) {
+        std::printf(" | %10lld %12lld", static_cast<long long>(m.measured),
+                    static_cast<long long>(m.predicted));
+      } else {
+        std::printf(" | %10s %12lld", "-", static_cast<long long>(m.predicted));
+      }
+    }
+    std::printf("\n");
+  }
+  // Per-series summary: microseconds at the largest point + mean error.
+  std::printf("%-10s", "us@max");
+  for (const Series& s : series) {
+    const Measurement& m = s.points.back();
+    const double us = mp.cycles_to_us(m.measured >= 0 ? m.measured : m.predicted);
+    std::printf(" | %10.2f %12s", us, "");
+  }
+  std::printf("\n%-10s", "mean err");
+  for (const Series& s : series) {
+    double sum = 0;
+    u32 n = 0;
+    for (const Measurement& m : s.points) {
+      if (m.measured >= 0) {
+        sum += m.err();
+        ++n;
+      }
+    }
+    if (n > 0) {
+      std::printf(" | %9.1f%% %12s", 100.0 * sum / n, "");
+    } else {
+      std::printf(" | %10s %12s", "pred-only", "");
+    }
+  }
+  std::printf("\n");
+}
+
+void print_heatmap(const std::string& title, const std::vector<u32>& pe_rows,
+                   const std::vector<u32>& b_cols,
+                   const std::function<double(u32, u32)>& value) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%8s", "PEs\\B");
+  for (u32 b : b_cols) std::printf(" %6s", bytes_label(b).c_str());
+  std::printf("\n");
+  for (auto it = pe_rows.rbegin(); it != pe_rows.rend(); ++it) {
+    std::printf("%7ux1", *it);
+    for (u32 b : b_cols) std::printf(" %6.1f", value(*it, b));
+    std::printf("\n");
+  }
+}
+
+void print_regions(const std::string& title, const std::vector<u32>& pe_rows,
+                   const std::vector<u32>& b_cols,
+                   const std::function<std::pair<std::string, double>(
+                       u32, u32)>& best_and_speedup) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%10s", "PEs\\B");
+  for (u32 b : b_cols) std::printf(" %15s", bytes_label(b).c_str());
+  std::printf("\n");
+  for (auto it = pe_rows.rbegin(); it != pe_rows.rend(); ++it) {
+    std::printf("%10u", *it);
+    for (u32 b : b_cols) {
+      const auto [label, speedup] = best_and_speedup(*it, b);
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%s %.2fx", label.c_str(), speedup);
+      std::printf(" %15s", cell);
+    }
+    std::printf("\n");
+  }
+}
+
+void print_headline(const std::string& what, double ours, double paper) {
+  std::printf("\n>>> %s: %.2fx (paper reports %.2fx)\n", what.c_str(), ours,
+              paper);
+}
+
+}  // namespace wsr::bench

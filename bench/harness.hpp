@@ -1,0 +1,93 @@
+// Shared benchmark harness: sweeps, table/heatmap printers and the
+// measured-vs-predicted plumbing used by every per-figure binary.
+//
+// "measured" = simulator cycles: FabricSim (cycle-level) for 1D rows and
+// small grids, FlowSim (flow-level, cross-validated in tests/test_flowsim)
+// for wafer-scale grids. "predicted" = the performance model. Each binary
+// prints the same rows/series as the corresponding paper figure.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "flowsim/flowsim.hpp"
+#include "model/selector.hpp"
+#include "runtime/planner.hpp"
+#include "runtime/verify.hpp"
+
+namespace wsr::bench {
+
+/// The paper's vector-length axis: 2^2 .. 2^15 bytes = 1 .. 8192 wavelets.
+/// The hardware sweeps stop at 1/3 of PE memory (4096 wavelets = 16 KB);
+/// Figures 11/13 annotate that point.
+std::vector<u32> vec_len_sweep_wavelets(u32 max_wavelets = 8192);
+
+/// The paper's PE-count axis: 4, 8, ..., 512.
+std::vector<u32> pe_sweep();
+
+std::string bytes_label(u32 wavelets);
+
+// --- measurement ------------------------------------------------------------
+
+struct Measurement {
+  i64 measured = -1;   ///< simulator cycles (-1: not simulated)
+  i64 predicted = 0;   ///< model cycles
+  double err() const;  ///< |measured - predicted| / measured
+};
+
+/// Runs the schedule on FabricSim (canonical inputs, results verified;
+/// broadcasts verify against the root's vector instead of the sum).
+i64 fabric_cycles(const wse::Schedule& s, bool is_broadcast = false);
+
+/// Runs the schedule on FlowSim.
+i64 flow_cycles(const wse::Schedule& s);
+
+/// Cycle-level simulation where tractable, flow-level beyond: FabricSim cost
+/// grows with (cycles x PEs), so points whose predicted runtime exceeds
+/// `fabric_budget_cycles` fall back to FlowSim (the two agree within 2%,
+/// validated in tests/test_flowsim.cpp).
+i64 measured_cycles(const wse::Schedule& s, i64 predicted,
+                    i64 fabric_budget_cycles = 300'000,
+                    bool is_broadcast = false);
+
+/// X-Y composition at wafer scale: rows are identical and synchronized, so
+/// T = T_row(N) + T_col(M) exactly (tests/test_flowsim.cpp validates this
+/// identity). Simulates one row and one column instead of the full grid.
+i64 xy_composed_cycles(const std::function<wse::Schedule(u32)>& lane_schedule,
+                       GridShape grid);
+
+// --- printing ---------------------------------------------------------------
+
+/// One plotted series of a figure: label + per-sweep-point values.
+struct Series {
+  std::string label;
+  std::vector<Measurement> points;
+};
+
+/// Prints a figure as a table: one column block per series with measured /
+/// predicted cycles (and us at 850 MHz) per sweep point, followed by the
+/// per-series mean relative error, exactly the quantities the paper reports.
+void print_figure(const std::string& title, const std::string& axis_name,
+                  const std::vector<std::string>& axis_labels,
+                  const std::vector<Series>& series, const MachineParams& mp);
+
+/// Prints a Fig. 1-style heatmap (rows = PE counts, cols = vector lengths).
+void print_heatmap(const std::string& title,
+                   const std::vector<u32>& pe_rows,
+                   const std::vector<u32>& b_cols,
+                   const std::function<double(u32 p, u32 b)>& value);
+
+/// Prints a Fig. 8/10-style region map: best algorithm label per cell plus
+/// its speedup over the vendor baseline.
+void print_regions(const std::string& title, const std::vector<u32>& pe_rows,
+                   const std::vector<u32>& b_cols,
+                   const std::function<std::pair<std::string, double>(
+                       u32 p, u32 b)>& best_and_speedup);
+
+/// Headline line: "<what>: max speedup <x> (paper reports <paper>)".
+void print_headline(const std::string& what, double ours, double paper);
+
+}  // namespace wsr::bench

@@ -1,0 +1,85 @@
+// Google-benchmark microbenchmarks of the library machinery itself: the
+// Auto-Gen DP table fill (the paper's O(P^4)-with-pruning claim), the
+// lower-bound DP (O(P^3)), schedule compilation, and the throughput of both
+// simulators.
+#include <benchmark/benchmark.h>
+
+#include "autogen/dp.hpp"
+#include "autogen/lower_bound.hpp"
+#include "collectives/collectives.hpp"
+#include "flowsim/flowsim.hpp"
+#include "runtime/verify.hpp"
+#include "wse/fabric.hpp"
+
+using namespace wsr;
+
+static void BM_AutoGenTableFill(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    autogen::AutoGenModel model(p);
+    benchmark::DoNotOptimize(model.energy(p, 1, p - 1));
+  }
+  state.SetLabel("pruned DP table, all P' <= P");
+}
+BENCHMARK(BM_AutoGenTableFill)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_LowerBoundTableFill(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    autogen::LowerBound lb(p);
+    benchmark::DoNotOptimize(lb.energy(p, 1));
+  }
+}
+BENCHMARK(BM_LowerBoundTableFill)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_AutoGenTreeReconstruction(benchmark::State& state) {
+  static const autogen::AutoGenModel model(512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.build_tree(512, static_cast<u32>(state.range(0))));
+  }
+}
+BENCHMARK(BM_AutoGenTreeReconstruction)->Arg(1)->Arg(256)->Arg(8192);
+
+static void BM_ScheduleCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        collectives::make_reduce_1d(ReduceAlgo::TwoPhase, 512, 256));
+  }
+}
+BENCHMARK(BM_ScheduleCompile);
+
+static void BM_FabricSimChain(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const wse::Schedule s = collectives::make_reduce_1d(ReduceAlgo::Chain, p, 256);
+  const auto inputs = wse::make_inputs(s, runtime::canonical_input);
+  i64 hops = 0;
+  for (auto _ : state) {
+    const auto r = wse::run_fabric(s, inputs);
+    hops = r.wavelet_hops;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["wavelet_hops"] = static_cast<double>(hops);
+}
+BENCHMARK(BM_FabricSimChain)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+static void BM_FlowSimChain(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const wse::Schedule s = collectives::make_reduce_1d(ReduceAlgo::Chain, p, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowsim::run_flow(s).cycles);
+  }
+}
+BENCHMARK(BM_FlowSimChain)->Arg(64)->Arg(256)->Arg(512);
+
+static void BM_FlowSimWaferScaleSnake(benchmark::State& state) {
+  const wse::Schedule s = collectives::make_reduce_2d_snake({512, 512}, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowsim::run_flow(s).cycles);
+  }
+  state.SetLabel("262,144 PEs");
+}
+BENCHMARK(BM_FlowSimWaferScaleSnake)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

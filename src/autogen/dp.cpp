@@ -1,0 +1,222 @@
+#include "autogen/dp.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+
+namespace wsr::autogen {
+
+AutoGenModel::AutoGenModel(u32 max_pes, wsr::MachineParams mp, DpLimits limits)
+    : max_pes_(max_pes), mp_(mp), limits_(limits) {
+  WSR_ASSERT(max_pes_ >= 1 && max_pes_ <= 65534, "max_pes out of range");
+  d_small_max_ = std::max<u32>(1, max_pes_ - 1);
+  limits_.c_small = std::max<u32>(1, std::min(limits_.c_small, max_pes_));
+  limits_.c_cap = std::max(limits_.c_small, std::min(limits_.c_cap, max_pes_));
+  limits_.d_cap = std::max<u32>(1, std::min(limits_.d_cap, d_small_max_));
+
+  const std::size_t row = max_pes_ + 1;
+  small_energy_.assign(std::size_t{limits_.c_small} * d_small_max_ * row, kInfEnergy);
+  small_split_.assign(small_energy_.size(), 0);
+  const u32 cap_c = limits_.c_cap - limits_.c_small;  // block for c in (c_small, c_cap]
+  cap_energy_.assign(std::size_t{cap_c} * limits_.d_cap * row, kInfEnergy);
+  cap_split_.assign(cap_energy_.size(), 0);
+  fill_tables();
+}
+
+i32& AutoGenModel::small_at(u32 c, u32 d, u32 p) {
+  const std::size_t row = max_pes_ + 1;
+  return small_energy_[((std::size_t{c - 1} * d_small_max_) + (d - 1)) * row + p];
+}
+i32 AutoGenModel::small_at(u32 c, u32 d, u32 p) const {
+  const std::size_t row = max_pes_ + 1;
+  return small_energy_[((std::size_t{c - 1} * d_small_max_) + (d - 1)) * row + p];
+}
+i32& AutoGenModel::cap_at(u32 c, u32 d, u32 p) {
+  const std::size_t row = max_pes_ + 1;
+  const u32 ci = c - limits_.c_small - 1;
+  return cap_energy_[((std::size_t{ci} * limits_.d_cap) + (d - 1)) * row + p];
+}
+i32 AutoGenModel::cap_at(u32 c, u32 d, u32 p) const {
+  const std::size_t row = max_pes_ + 1;
+  const u32 ci = c - limits_.c_small - 1;
+  return cap_energy_[((std::size_t{ci} * limits_.d_cap) + (d - 1)) * row + p];
+}
+u16 AutoGenModel::argmin_small(u32 c, u32 d, u32 p) const {
+  const std::size_t row = max_pes_ + 1;
+  return small_split_[((std::size_t{c - 1} * d_small_max_) + (d - 1)) * row + p];
+}
+u16 AutoGenModel::argmin_cap(u32 c, u32 d, u32 p) const {
+  const std::size_t row = max_pes_ + 1;
+  const u32 ci = c - limits_.c_small - 1;
+  return cap_split_[((std::size_t{ci} * limits_.d_cap) + (d - 1)) * row + p];
+}
+
+void AutoGenModel::fill_tables() {
+  const u32 P = max_pes_;
+  // E(i, d, c-1) row accessor with the base cases folded in:
+  //   E(1, *, *) = 0;  E(p >= 2, *, 0) = INF.
+  auto left_val = [&](u32 i, u32 d, u32 cm1) -> i32 {
+    if (i == 1) return 0;
+    if (cm1 == 0) return kInfEnergy;
+    if (cm1 <= limits_.c_small) return small_at(cm1, d, i);
+    return cap_at(cm1, d, i);
+  };
+  // E(j, d-1, c) accessor:  E(1, *, *) = 0;  E(p >= 2, 0, *) = INF.
+  auto right_val = [&](u32 j, u32 dm1, u32 c) -> i32 {
+    if (j == 1) return 0;
+    if (dm1 == 0) return kInfEnergy;
+    if (c <= limits_.c_small) return small_at(c, dm1, j);
+    return cap_at(c, dm1, j);
+  };
+
+  auto fill_state = [&](u32 c, u32 d, i32* erow, u16* srow) {
+    const u32 dm1 = d - 1;
+    const u32 cm1 = c - 1;
+    for (u32 p = 2; p <= P; ++p) {
+      i32 best = kInfEnergy;
+      u16 best_i = 0;
+      for (u32 i = 1; i < p; ++i) {
+        const i32 a = left_val(i, d, cm1);
+        if (a >= kInfEnergy) continue;
+        const i32 b = right_val(p - i, dm1, c);
+        if (b >= kInfEnergy) continue;
+        const i32 cand = a + b + static_cast<i32>(i);
+        if (cand < best) {
+          best = cand;
+          best_i = static_cast<u16>(i);
+        }
+      }
+      erow[p] = best;
+      srow[p] = best_i;
+    }
+  };
+
+  const std::size_t row = P + 1;
+  for (u32 c = 1; c <= limits_.c_small; ++c) {
+    for (u32 d = 1; d <= d_small_max_; ++d) {
+      const std::size_t base = ((std::size_t{c - 1} * d_small_max_) + (d - 1)) * row;
+      fill_state(c, d, small_energy_.data() + base, small_split_.data() + base);
+    }
+  }
+  for (u32 c = limits_.c_small + 1; c <= limits_.c_cap; ++c) {
+    for (u32 d = 1; d <= limits_.d_cap; ++d) {
+      const u32 ci = c - limits_.c_small - 1;
+      const std::size_t base = ((std::size_t{ci} * limits_.d_cap) + (d - 1)) * row;
+      fill_state(c, d, cap_energy_.data() + base, cap_split_.data() + base);
+    }
+  }
+}
+
+i32 AutoGenModel::energy(u32 p, u32 d, u32 c) const {
+  WSR_ASSERT(p >= 1 && p <= max_pes_, "p out of range");
+  if (p == 1) return 0;
+  if (d == 0 || c == 0) return kInfEnergy;
+  d = std::min(d, p - 1);
+  c = std::min(c, p - 1);
+  if (c <= limits_.c_small) return small_at(c, d, p);
+  const u32 cc = std::min(c, limits_.c_cap);
+  if (d <= limits_.d_cap) return cap_at(cc, d, p);
+  // Clamped corner: both projections are feasible trees, take the better.
+  return std::min(cap_at(cc, limits_.d_cap, p), small_at(limits_.c_small, d, p));
+}
+
+AutoGenModel::Choice AutoGenModel::best_choice(u32 num_pes, u32 vec_len) const {
+  WSR_ASSERT(num_pes >= 1 && num_pes <= max_pes_, "num_pes out of range");
+  WSR_ASSERT(vec_len >= 1, "vec_len must be >= 1");
+  Choice best;
+  best.cycles = INT64_MAX;
+  if (num_pes == 1) return {0, 0, 0, 0};
+  const i64 P = num_pes, B = vec_len;
+  const i64 per_depth = mp_.per_depth_cycles();
+  auto consider = [&](u32 d, u32 c) {
+    const i32 e = energy(num_pes, d, c);
+    if (e >= kInfEnergy) return;
+    const i64 bw = ceil_div(B * e, P - 1) + (P - 1);
+    const i64 cyc = std::max(B * c, bw) + per_depth * d;
+    if (cyc < best.cycles) best = {d, c, e, cyc};
+  };
+  const u32 c_max = std::min<u32>(limits_.c_cap, num_pes - 1);
+  for (u32 c = 1; c <= c_max; ++c) {
+    const u32 d_max = c <= limits_.c_small
+                          ? num_pes - 1
+                          : std::min<u32>(limits_.d_cap, num_pes - 1);
+    for (u32 d = 1; d <= d_max; ++d) consider(d, c);
+  }
+  WSR_ASSERT(best.cycles != INT64_MAX, "no feasible Auto-Gen state");
+  return best;
+}
+
+wsr::Prediction AutoGenModel::predict(u32 num_pes, u32 vec_len) const {
+  const Choice ch = best_choice(num_pes, vec_len);
+  wsr::CostTerms t;
+  t.energy = i64{vec_len} * ch.energy;
+  t.distance = num_pes >= 1 ? num_pes - 1 : 0;
+  t.depth = ch.depth;
+  t.contention = i64{vec_len} * ch.fanout;
+  t.links = std::max<i64>(1, i64{num_pes} - 1);
+  return wsr::Prediction(t, ch.cycles);
+}
+
+u32 AutoGenModel::split_for(u32 p, u32 d, u32 c) const {
+  WSR_ASSERT(p >= 2, "split_for needs p >= 2");
+  d = std::min(d, p - 1);
+  c = std::min(c, p - 1);
+  WSR_ASSERT(d >= 1 && c >= 1, "infeasible budget");
+  if (c <= limits_.c_small) return argmin_small(c, d, p);
+  const u32 cc = std::min(c, limits_.c_cap);
+  if (d <= limits_.d_cap) return argmin_cap(cc, d, p);
+  if (cap_at(cc, limits_.d_cap, p) <= small_at(limits_.c_small, d, p)) {
+    return argmin_cap(cc, limits_.d_cap, p);
+  }
+  return argmin_small(limits_.c_small, d, p);
+}
+
+void AutoGenModel::build_rec(u32 p, u32 d, u32 c, u32 base,
+                             ReduceTree& tree) const {
+  if (p == 1) return;
+  // Mirror the clamping used by energy() so the stored split matches.
+  d = std::min(d, p - 1);
+  c = std::min(c, p - 1);
+  u32 de = d, ce = c;
+  if (c > limits_.c_small) {
+    ce = std::min(c, limits_.c_cap);
+    if (d > limits_.d_cap) {
+      if (cap_at(ce, limits_.d_cap, p) <= small_at(limits_.c_small, d, p)) {
+        de = limits_.d_cap;
+      } else {
+        ce = limits_.c_small;
+      }
+    }
+  }
+  const u32 i = split_for(p, de, ce);
+  WSR_ASSERT(i >= 1 && i < p, "corrupt split table");
+  // First i vertices (root included) with fanout budget ce - 1 ...
+  build_rec(i, de, ce - 1, base, tree);
+  // ... then the last child subtree of p - i vertices at offset i.
+  tree.children[base].push_back(base + i);
+  build_rec(p - i, de - 1, ce, base + i, tree);
+}
+
+ReduceTree AutoGenModel::build_tree_for_budget(u32 num_pes, u32 depth,
+                                               u32 fanout) const {
+  WSR_ASSERT(num_pes >= 1 && num_pes <= max_pes_, "num_pes out of range");
+  ReduceTree tree;
+  tree.children.resize(num_pes);
+  if (num_pes >= 2) {
+    WSR_ASSERT(energy(num_pes, depth, fanout) < kInfEnergy, "infeasible budget");
+    build_rec(num_pes, depth, fanout, 0, tree);
+  }
+  return tree;
+}
+
+ReduceTree AutoGenModel::build_tree(u32 num_pes, u32 vec_len) const {
+  if (num_pes <= 1) {
+    ReduceTree t;
+    t.children.resize(num_pes);
+    return t;
+  }
+  const Choice ch = best_choice(num_pes, vec_len);
+  return build_tree_for_budget(num_pes, ch.depth, ch.fanout);
+}
+
+}  // namespace wsr::autogen

@@ -1,0 +1,87 @@
+#include "autogen/tree.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace wsr::autogen {
+
+u32 ReduceTree::depth() const {
+  std::vector<u32> d(children.size(), 0);
+  u32 max_d = 0;
+  // Labels are pre-order, so parents have smaller labels than children;
+  // a reverse sweep is not needed — a forward sweep over parents works.
+  for (u32 v = 0; v < children.size(); ++v) {
+    for (u32 c : children[v]) {
+      d[c] = d[v] + 1;
+      max_d = std::max(max_d, d[c]);
+    }
+  }
+  return max_d;
+}
+
+u32 ReduceTree::max_fanout() const {
+  u32 f = 0;
+  for (const auto& cs : children) f = std::max<u32>(f, static_cast<u32>(cs.size()));
+  return f;
+}
+
+i64 ReduceTree::energy() const {
+  i64 e = 0;
+  for (u32 v = 0; v < children.size(); ++v) {
+    for (u32 c : children[v]) e += c > v ? c - v : v - c;
+  }
+  return e;
+}
+
+std::vector<u32> ReduceTree::parents() const {
+  std::vector<u32> p(children.size());
+  for (u32 v = 0; v < children.size(); ++v) p[v] = v;
+  for (u32 v = 0; v < children.size(); ++v) {
+    for (u32 c : children[v]) p[c] = v;
+  }
+  return p;
+}
+
+bool ReduceTree::is_valid_preorder() const {
+  const u32 n = size();
+  if (n == 0) return false;
+  // subtree_size via pre-order DFS; also checks reachability and label order.
+  std::vector<u32> seen(n, 0);
+  u32 visited = 0;
+  bool ok = true;
+  // Returns one past the largest label in the subtree of v; pre-order
+  // requires the subtree of v to be exactly [v, end).
+  std::function<u32(u32)> walk = [&](u32 v) -> u32 {
+    if (v >= n || seen[v]) {
+      ok = false;
+      return v;
+    }
+    seen[v] = 1;
+    ++visited;
+    u32 next = v + 1;  // first child of a pre-order subtree is v + 1.
+    for (u32 c : children[v]) {
+      if (c != next) ok = false;  // children blocks must tile [v+1, end).
+      next = walk(c);
+      if (!ok) return next;
+    }
+    return next;
+  };
+  const u32 end = walk(0);
+  return ok && end == n && visited == n;
+}
+
+ReduceTree ReduceTree::star(u32 num_pes) {
+  ReduceTree t;
+  t.children.resize(num_pes);
+  for (u32 v = 1; v < num_pes; ++v) t.children[0].push_back(v);
+  return t;
+}
+
+ReduceTree ReduceTree::chain(u32 num_pes) {
+  ReduceTree t;
+  t.children.resize(num_pes);
+  for (u32 v = 0; v + 1 < num_pes; ++v) t.children[v].push_back(v + 1);
+  return t;
+}
+
+}  // namespace wsr::autogen

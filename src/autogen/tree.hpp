@@ -1,0 +1,53 @@
+// Pre-order reduction trees (paper Section 5.5).
+//
+// A reduction over P consecutive PEs is described by a rooted tree whose
+// vertices are labelled 0..P-1 in *pre-order*, with vertex 0 (the leftmost
+// PE) as the root. Each vertex receives one full partial-sum vector from each
+// of its children, in child order, and afterwards (root excepted) sends its
+// own partial sum to its parent. The pre-order labelling guarantees that the
+// communication edges never overlap on the row (each subtree occupies a
+// contiguous block of PEs), which is what makes the routing realizable with
+// the router's "accept from one direction at a time" discipline.
+//
+// Special cases: a star graph is the Star Reduce; a path is the Chain Reduce.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wsr::autogen {
+
+struct ReduceTree {
+  /// children[v] lists v's children in the order their messages are received
+  /// (chronological). Every child label is > v (pre-order property).
+  std::vector<std::vector<u32>> children;
+
+  u32 size() const { return static_cast<u32>(children.size()); }
+
+  /// Longest root-to-leaf path, in edges.
+  u32 depth() const;
+
+  /// Largest number of children of any vertex (= messages received = the
+  /// model's per-message contention of that PE).
+  u32 max_fanout() const;
+
+  /// Sum over edges of the hop distance |child - parent| in the row layout.
+  /// This is the model's energy for B = 1.
+  i64 energy() const;
+
+  /// Checks the pre-order invariants: vertex v's subtree occupies the
+  /// contiguous label range [v, v + subtree_size), children appear in
+  /// increasing label order, and every vertex is reachable from the root.
+  bool is_valid_preorder() const;
+
+  /// Parent of each vertex (root's parent is itself). Derived from children.
+  std::vector<u32> parents() const;
+
+  /// Canonical fixed shapes, used for testing and as documentation that the
+  /// framework generalizes the fixed patterns.
+  static ReduceTree star(u32 num_pes);
+  static ReduceTree chain(u32 num_pes);
+};
+
+}  // namespace wsr::autogen

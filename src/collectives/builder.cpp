@@ -1,0 +1,363 @@
+#include "collectives/builder.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "model/costs1d.hpp"
+
+namespace wsr::collectives {
+
+Deps no_deps(const Schedule& s) {
+  return Deps(s.grid.num_pes(), -1);
+}
+
+Lane Lane::row(GridShape grid, u32 y) {
+  WSR_ASSERT(y < grid.height, "row out of range");
+  Lane lane;
+  lane.pes.reserve(grid.width);
+  for (u32 x = 0; x < grid.width; ++x) lane.pes.push_back(grid.pe_id(x, y));
+  return lane;
+}
+
+Lane Lane::column(GridShape grid, u32 x) {
+  WSR_ASSERT(x < grid.width, "column out of range");
+  Lane lane;
+  lane.pes.reserve(grid.height);
+  for (u32 y = 0; y < grid.height; ++y) lane.pes.push_back(grid.pe_id(x, y));
+  return lane;
+}
+
+Lane Lane::snake(GridShape grid) {
+  Lane lane;
+  lane.pes.reserve(grid.num_pes());
+  for (u32 y = 0; y < grid.height; ++y) {
+    if (y % 2 == 0) {
+      for (u32 x = 0; x < grid.width; ++x) lane.pes.push_back(grid.pe_id(x, y));
+    } else {
+      for (u32 x = grid.width; x-- > 0;) lane.pes.push_back(grid.pe_id(x, y));
+    }
+  }
+  return lane;
+}
+
+Dir step_dir(GridShape grid, u32 from, u32 to) {
+  const Coord a = grid.coord(from), b = grid.coord(to);
+  if (b.x == a.x + 1 && b.y == a.y) return Dir::East;
+  if (a.x == b.x + 1 && b.y == a.y) return Dir::West;
+  if (b.y == a.y + 1 && b.x == a.x) return Dir::South;
+  if (a.y == b.y + 1 && b.x == a.x) return Dir::North;
+  WSR_ASSERT(false, "step_dir on non-adjacent PEs");
+  return Dir::Ramp;
+}
+
+bool lane_is_adjacent_path(GridShape grid, const Lane& lane) {
+  for (u32 k = 0; k + 1 < lane.size(); ++k) {
+    const Coord a = grid.coord(lane.pes[k]), b = grid.coord(lane.pes[k + 1]);
+    if (manhattan(a, b) != 1) return false;
+  }
+  return true;
+}
+
+bool lane_is_straight(GridShape grid, const Lane& lane) {
+  if (lane.size() < 2) return true;
+  if (!lane_is_adjacent_path(grid, lane)) return false;
+  const Dir d = step_dir(grid, lane.pes[0], lane.pes[1]);
+  for (u32 k = 1; k + 1 < lane.size(); ++k) {
+    if (step_dir(grid, lane.pes[k], lane.pes[k + 1]) != d) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Appends `op` to pe's program, wiring `after[pe]` as extra dependency.
+u32 add_op(Schedule& s, u32 pe, Op op, const Deps& after) {
+  if (after[pe] >= 0) op.after(static_cast<u32>(after[pe]));
+  return s.program(pe).add(std::move(op));
+}
+
+}  // namespace
+
+Deps build_broadcast(Schedule& s, const Lane& lane, Color c, const Deps& after) {
+  WSR_ASSERT(lane.size() >= 2, "broadcast lane too short");
+  WSR_ASSERT(lane_is_straight(s.grid, lane), "broadcast needs a straight lane");
+  const u32 n = lane.size();
+  const u32 B = s.vec_len;
+  Deps out = no_deps(s);
+  for (u32 k = 0; k < n; ++k) {
+    const u32 pe = lane.pes[k];
+    const Dir to_root = k > 0 ? step_dir(s.grid, pe, lane.pes[k - 1]) : Dir::Ramp;
+    const Dir away = k + 1 < n ? step_dir(s.grid, pe, lane.pes[k + 1]) : Dir::Ramp;
+    if (k == 0) {
+      out[pe] = add_op(s, pe, Op::send(c, B), after);
+      s.add_rule(pe, {c, Dir::Ramp, dir_bit(away), B});
+    } else {
+      out[pe] = add_op(s, pe, Op::recv(c, B, RecvMode::Store), after);
+      DirMask fwd = dir_bit(Dir::Ramp);
+      if (k + 1 < n) fwd |= dir_bit(away);
+      s.add_rule(pe, {c, to_root, fwd, B});
+    }
+  }
+  return out;
+}
+
+Deps build_star_reduce(Schedule& s, const Lane& lane, Color c, const Deps& after) {
+  WSR_ASSERT(lane.size() >= 2, "star lane too short");
+  WSR_ASSERT(lane_is_straight(s.grid, lane), "star needs a straight lane");
+  const u32 n = lane.size();
+  const u32 B = s.vec_len;
+  Deps out = no_deps(s);
+  for (u32 k = 0; k < n; ++k) {
+    const u32 pe = lane.pes[k];
+    if (k == 0) {
+      const Dir from_away = step_dir(s.grid, pe, lane.pes[1]);
+      out[pe] = add_op(
+          s, pe, Op::recv(c, B * (n - 1), RecvMode::AddModulo, 0, B), after);
+      s.add_rule(pe, {c, from_away, dir_bit(Dir::Ramp), B * (n - 1)});
+    } else {
+      const Dir to_root = step_dir(s.grid, pe, lane.pes[k - 1]);
+      out[pe] = add_op(s, pe, Op::send(c, B), after);
+      // Forward own vector first, then everything arriving from farther out;
+      // this serializes the streams nearest-first with no color races.
+      s.add_rule(pe, {c, Dir::Ramp, dir_bit(to_root), B});
+      if (k + 1 < n) {
+        const Dir from_away = step_dir(s.grid, pe, lane.pes[k + 1]);
+        s.add_rule(pe, {c, from_away, dir_bit(to_root), B * (n - 1 - k)});
+      }
+    }
+  }
+  return out;
+}
+
+Deps build_chain_reduce(Schedule& s, const Lane& lane, Color c0, Color c1,
+                        const Deps& after) {
+  WSR_ASSERT(lane.size() >= 2, "chain lane too short");
+  WSR_ASSERT(lane_is_adjacent_path(s.grid, lane), "chain needs an adjacent path");
+  const u32 n = lane.size();
+  const u32 B = s.vec_len;
+  const Color col[2] = {c0, c1};
+  Deps out = no_deps(s);
+  for (u32 k = 0; k < n; ++k) {
+    const u32 pe = lane.pes[k];
+    const Color send_c = col[k % 2];
+    const Color recv_c = col[(k + 1) % 2];
+    if (k == n - 1) {
+      out[pe] = add_op(s, pe, Op::send(send_c, B), after);
+      s.add_rule(pe, {send_c, Dir::Ramp,
+                      dir_bit(step_dir(s.grid, pe, lane.pes[k - 1])), B});
+    } else if (k > 0) {
+      const Dir from_away = step_dir(s.grid, pe, lane.pes[k + 1]);
+      const Dir to_root = step_dir(s.grid, pe, lane.pes[k - 1]);
+      out[pe] = add_op(s, pe, Op::recv_reduce_send(recv_c, send_c, B), after);
+      s.add_rule(pe, {recv_c, from_away, dir_bit(Dir::Ramp), B});
+      s.add_rule(pe, {send_c, Dir::Ramp, dir_bit(to_root), B});
+    } else {
+      const Dir from_away = step_dir(s.grid, pe, lane.pes[1]);
+      out[pe] = add_op(s, pe, Op::recv(recv_c, B, RecvMode::Add), after);
+      s.add_rule(pe, {recv_c, from_away, dir_bit(Dir::Ramp), B});
+    }
+  }
+  return out;
+}
+
+Deps build_tree_reduce(Schedule& s, const Lane& lane, Color c, const Deps& after) {
+  WSR_ASSERT(lane.size() >= 2, "tree lane too short");
+  WSR_ASSERT(lane_is_straight(s.grid, lane), "tree needs a straight lane");
+  const u32 n = lane.size();
+  const u32 B = s.vec_len;
+  Deps out = no_deps(s);
+  // Per-PE op chaining: the last op id added this phase (or after[pe]).
+  Deps last = after;
+
+  for (u32 half = 1; half < n; half *= 2) {
+    const u32 stride = half * 2;
+    for (u32 t = 0; t + half < n; t += stride) {
+      const u32 sidx = t + half;  // message lane[sidx] -> lane[t]
+      // Sender op + rule.
+      {
+        const u32 pe = lane.pes[sidx];
+        const u32 op = add_op(s, pe, Op::send(c, B), last);
+        last[pe] = static_cast<i32>(op);
+        out[pe] = static_cast<i32>(op);
+        s.add_rule(pe, {c, Dir::Ramp,
+                        dir_bit(step_dir(s.grid, pe, lane.pes[sidx - 1])), B});
+      }
+      // Pass-through rules.
+      for (u32 k = t + 1; k < sidx; ++k) {
+        const u32 pe = lane.pes[k];
+        s.add_rule(pe, {c, step_dir(s.grid, pe, lane.pes[k + 1]),
+                        dir_bit(step_dir(s.grid, pe, lane.pes[k - 1])), B});
+      }
+      // Receiver op + rule.
+      {
+        const u32 pe = lane.pes[t];
+        const u32 op = add_op(s, pe, Op::recv(c, B, RecvMode::Add), last);
+        last[pe] = static_cast<i32>(op);
+        out[pe] = static_cast<i32>(op);
+        s.add_rule(pe, {c, step_dir(s.grid, pe, lane.pes[t + 1]),
+                        dir_bit(Dir::Ramp), B});
+      }
+    }
+  }
+  return out;
+}
+
+Deps build_two_phase_reduce(Schedule& s, const Lane& lane,
+                            std::array<Color, 4> colors, u32 group_size,
+                            const Deps& after) {
+  WSR_ASSERT(lane.size() >= 2, "two-phase lane too short");
+  WSR_ASSERT(lane_is_straight(s.grid, lane), "two-phase needs a straight lane");
+  const u32 n = lane.size();
+  const u32 B = s.vec_len;
+  u32 S = group_size;
+  if (S == 0) {
+    // Paper default: S = sqrt(P), groups assigned from the far end.
+    S = static_cast<u32>(std::max<u64>(2, isqrt_ceil(n)));
+  }
+  if (S >= n) {
+    return build_chain_reduce(s, lane, colors[0], colors[1], after);
+  }
+
+  // Group leaders, assigned from the far end (paper Section 5.4): the
+  // rightmost group is [n-S, n-1], then [n-2S, n-S-1], ...; the root's group
+  // may be smaller. Shared with the model so predictions match exactly.
+  const std::vector<u32> leaders = two_phase_leaders(n, S);
+
+  Deps out = no_deps(s);
+  Deps phase1 = after;
+
+  // Phase 1: chain within each group towards its leader.
+  for (std::size_t g = 0; g < leaders.size(); ++g) {
+    const u32 lo = leaders[g];
+    const u32 hi = (g + 1 < leaders.size() ? leaders[g + 1] : n) - 1;
+    if (hi == lo) continue;  // singleton group (can happen for the root)
+    Lane sub;
+    sub.pes.assign(lane.pes.begin() + lo, lane.pes.begin() + hi + 1);
+    const Deps fin = build_chain_reduce(s, sub, colors[0], colors[1], phase1);
+    for (u32 k = lo; k <= hi; ++k) {
+      const u32 pe = lane.pes[k];
+      phase1[pe] = fin[pe];
+      out[pe] = fin[pe];
+    }
+  }
+
+  // Phase 2: chain over the leaders (colors alternate by leader order).
+  const u32 G = static_cast<u32>(leaders.size());
+  for (u32 j = 0; j < G; ++j) {
+    const u32 idx = leaders[j];
+    const u32 pe = lane.pes[idx];
+    const Color send_c = colors[2 + j % 2];
+    const Color recv_c = colors[2 + (j + 1) % 2];
+    if (j == G - 1) {
+      const u32 op = add_op(s, pe, Op::send(send_c, B), phase1);
+      out[pe] = static_cast<i32>(op);
+      s.add_rule(pe, {send_c, Dir::Ramp,
+                      dir_bit(step_dir(s.grid, pe, lane.pes[idx - 1])), B});
+    } else if (j > 0) {
+      const u32 op =
+          add_op(s, pe, Op::recv_reduce_send(recv_c, send_c, B), phase1);
+      out[pe] = static_cast<i32>(op);
+      s.add_rule(pe, {recv_c, step_dir(s.grid, pe, lane.pes[idx + 1]),
+                      dir_bit(Dir::Ramp), B});
+      s.add_rule(pe, {send_c, Dir::Ramp,
+                      dir_bit(step_dir(s.grid, pe, lane.pes[idx - 1])), B});
+    } else {
+      const u32 op = add_op(s, pe, Op::recv(recv_c, B, RecvMode::Add), phase1);
+      out[pe] = static_cast<i32>(op);
+      s.add_rule(pe, {recv_c, step_dir(s.grid, pe, lane.pes[1]),
+                      dir_bit(Dir::Ramp), B});
+    }
+    // Pass-through rules between this leader and the next.
+    if (j + 1 < G) {
+      const Color pass_c = colors[2 + (j + 1) % 2];
+      for (u32 k = idx + 1; k < leaders[j + 1]; ++k) {
+        const u32 pe2 = lane.pes[k];
+        s.add_rule(pe2, {pass_c, step_dir(s.grid, pe2, lane.pes[k + 1]),
+                         dir_bit(step_dir(s.grid, pe2, lane.pes[k - 1])), B});
+      }
+    }
+  }
+  return out;
+}
+
+Deps build_autogen_reduce(Schedule& s, const Lane& lane, Color c0, Color c1,
+                          const autogen::ReduceTree& tree, const Deps& after) {
+  WSR_ASSERT(lane.size() >= 2, "auto-gen lane too short");
+  WSR_ASSERT(lane_is_straight(s.grid, lane), "auto-gen needs a straight lane");
+  WSR_ASSERT(tree.size() == lane.size(), "tree does not match lane");
+  WSR_ASSERT(tree.is_valid_preorder(), "invalid pre-order tree");
+  const u32 n = lane.size();
+  const u32 B = s.vec_len;
+  Deps out = no_deps(s);
+  Deps last = after;
+
+  // The DP's depth term charges (2*T_R + 1) per tree level, which is only
+  // achievable if partial sums *stream* through each vertex: a vertex adds
+  // its accumulated local vector to its last child's incoming stream and
+  // forwards element-by-element (a fused recv_reduce_send), instead of
+  // storing the full vector and re-sending it. Earlier children are
+  // accumulated with plain receives. Edges alternate two colors by the
+  // child's tree depth so a vertex's fused in/out rules stay concurrently
+  // active (same trick as the Chain's red/blue colors).
+  const std::vector<u32> parents = tree.parents();
+  std::vector<u32> depth(n, 0);
+  for (u32 v = 1; v < n; ++v) depth[v] = depth[parents[v]] + 1;
+  const Color colors[2] = {c0, c1};
+  auto edge_color = [&](u32 v) { return colors[depth[v] % 2]; };
+
+  // Messages in execution order: a vertex's subtree completes before its own
+  // message to the parent (DFS, children in receive order). Rules appended
+  // in this order are chronologically correct at every router because
+  // pre-order edges over any router are nested.
+  struct Frame {
+    u32 v;
+    u32 next_child;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < tree.children[f.v].size()) {
+      const u32 child = tree.children[f.v][f.next_child++];
+      stack.push_back({child, 0});
+      continue;
+    }
+    const u32 v = f.v;
+    stack.pop_back();
+    if (v == 0) break;
+    const u32 parent = parents[v];
+    const Color ec = edge_color(v);
+    // Message lane[v] -> lane[parent].
+    if (tree.children[v].empty()) {
+      // Leaves send their input vector; internal vertices already emitted
+      // this stream through their fused op below.
+      const u32 pe = lane.pes[v];
+      const u32 op = add_op(s, pe, Op::send(ec, B), last);
+      last[pe] = static_cast<i32>(op);
+      out[pe] = static_cast<i32>(op);
+    }
+    s.add_rule(lane.pes[v], {ec, Dir::Ramp,
+                             dir_bit(step_dir(s.grid, lane.pes[v],
+                                              lane.pes[v - 1])),
+                             B});
+    for (u32 k = parent + 1; k < v; ++k) {
+      const u32 pe = lane.pes[k];
+      s.add_rule(pe, {ec, step_dir(s.grid, pe, lane.pes[k + 1]),
+                      dir_bit(step_dir(s.grid, pe, lane.pes[k - 1])), B});
+    }
+    {
+      const u32 pe = lane.pes[parent];
+      const bool is_last_child = tree.children[parent].back() == v;
+      Op op = (is_last_child && parent != 0)
+                  ? Op::recv_reduce_send(ec, edge_color(parent), B)
+                  : Op::recv(ec, B, RecvMode::Add);
+      const u32 id = add_op(s, pe, std::move(op), last);
+      last[pe] = static_cast<i32>(id);
+      out[pe] = static_cast<i32>(id);
+      s.add_rule(pe, {ec, step_dir(s.grid, pe, lane.pes[parent + 1]),
+                      dir_bit(Dir::Ramp), B});
+    }
+  }
+  return out;
+}
+
+}  // namespace wsr::collectives

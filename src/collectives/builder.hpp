@@ -1,0 +1,100 @@
+// Shared machinery for compiling collectives into Schedules.
+//
+// All 1D patterns are expressed over a `Lane`: an ordered list of PE ids
+// whose first element is the root. A lane must be a path of grid-adjacent
+// PEs; patterns that send over intermediate routers (Star, Tree, Two-Phase,
+// Auto-Gen, Broadcast) additionally require the lane to be a straight row or
+// column segment, while Chain works on any adjacent path (which is exactly
+// what the 2D Snake uses).
+//
+// Builders append to an existing Schedule so that 2D collectives can be
+// composed from 1D phases (X-Y Reduce = one row lane per row + one column
+// lane). Per-PE sequencing across phases is threaded through `Deps`: the op
+// ids that the next phase's first op at each PE must wait for.
+#pragma once
+
+#include <array>
+
+#include "autogen/tree.hpp"
+#include "common/grid.hpp"
+#include "wse/schedule.hpp"
+
+namespace wsr::collectives {
+
+using wse::Color;
+using wse::Op;
+using wse::RecvMode;
+using wse::RouteRule;
+using wse::Schedule;
+
+/// Per-PE op anchor: ops appended by a phase depend on `deps[pe]` if >= 0.
+/// Builders return the phase-final op per participating PE (-1 elsewhere).
+using Deps = std::vector<i32>;
+
+Deps no_deps(const Schedule& s);
+
+struct Lane {
+  std::vector<u32> pes;  ///< pes[0] is the root end.
+
+  u32 size() const { return static_cast<u32>(pes.size()); }
+
+  /// Row y, root at x=0 (matches the paper's reduce-to-leftmost convention).
+  static Lane row(GridShape grid, u32 y);
+  /// Column x, root at y=0.
+  static Lane column(GridShape grid, u32 x);
+  /// Boustrophedon over the whole grid, root at (0,0): row 0 left-to-right,
+  /// row 1 right-to-left, ... (paper Fig. 9b).
+  static Lane snake(GridShape grid);
+};
+
+/// Direction of the single-hop step from `from` to `to` (must be adjacent).
+Dir step_dir(GridShape grid, u32 from, u32 to);
+
+/// True if all lane steps are grid-adjacent.
+bool lane_is_adjacent_path(GridShape grid, const Lane& lane);
+
+/// True if the lane is a straight, contiguous row or column segment.
+bool lane_is_straight(GridShape grid, const Lane& lane);
+
+// ---------------------------------------------------------------------------
+// Phase builders. Colors are caller-assigned so composed schedules can keep
+// phases on disjoint colors. Each builder:
+//   * appends PE ops, wiring `after[pe]` as dependency of its first op,
+//   * appends router rules in activation order,
+//   * returns the phase-final op id per PE.
+// ---------------------------------------------------------------------------
+
+/// Flooding broadcast from lane root outwards (Section 4.2). Straight lane.
+/// The root sends its local vector; every other lane PE stores it.
+Deps build_broadcast(Schedule& s, const Lane& lane, Color c, const Deps& after);
+
+/// Star Reduce (Section 5.1): every PE sends directly to the root, routers
+/// serialize nearest-first. Straight lane.
+Deps build_star_reduce(Schedule& s, const Lane& lane, Color c, const Deps& after);
+
+/// Chain Reduce (Section 5.2): pipelined fused receive-add-forward steps.
+/// Works on any adjacent path; uses two alternating colors (paper: receive
+/// on red, send on blue, since routing cannot depend on the source port).
+Deps build_chain_reduce(Schedule& s, const Lane& lane, Color c0, Color c1,
+                        const Deps& after);
+
+/// Binary Tree Reduce (Section 5.3), ceil(log2 P) rounds, arbitrary lane
+/// length. Straight lane; single color (rule order serializes the rounds).
+Deps build_tree_reduce(Schedule& s, const Lane& lane, Color c, const Deps& after);
+
+/// Two-Phase Reduce (Section 5.4): chain within groups of `group_size`
+/// (assigned from the far end, per the paper), then chain over the group
+/// leaders. group_size = 0 picks round(sqrt(P)). Straight lane; uses four
+/// colors (two per chain phase).
+Deps build_two_phase_reduce(Schedule& s, const Lane& lane,
+                            std::array<Color, 4> colors, u32 group_size,
+                            const Deps& after);
+
+/// Auto-Gen Reduce (Section 5.5): executes an arbitrary pre-order reduction
+/// tree over the lane, streaming partial sums through each vertex (fused
+/// last-child receive). Straight lane; two colors alternating by tree depth
+/// (pre-order non-overlap makes the per-router rule order well-defined).
+Deps build_autogen_reduce(Schedule& s, const Lane& lane, Color c0, Color c1,
+                          const autogen::ReduceTree& tree, const Deps& after);
+
+}  // namespace wsr::collectives

@@ -1,0 +1,65 @@
+// Top-level constructors: one call per paper algorithm, returning a complete
+// validated Schedule ready for simulation.
+//
+// Color budget (out of the 24 the hardware provides):
+//   * 1D Reduce: <= 4 colors (Chain 2, Two-Phase 4, Star/Tree/Auto-Gen 1),
+//   * 1D AllReduce: reduce colors + 1 broadcast color,
+//   * Ring: <= 6 (edge conflict classes),
+//   * 2D X-Y compositions: row colors 0-4, column colors 5-9, broadcast 10.
+#pragma once
+
+#include "autogen/dp.hpp"
+#include "collectives/builder.hpp"
+#include "collectives/ring.hpp"
+#include "model/algorithms.hpp"
+
+namespace wsr::collectives {
+
+// --- 1D (grid = {P, 1}, root = leftmost PE) --------------------------------
+
+Schedule make_broadcast_1d(u32 num_pes, u32 vec_len);
+
+/// `model` is required for ReduceAlgo::AutoGen (it owns the DP tables); a
+/// temporary model is built if omitted. `two_phase_group` = 0 uses sqrt(P).
+Schedule make_reduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len,
+                        const autogen::AutoGenModel* model = nullptr,
+                        u32 two_phase_group = 0);
+
+/// Reduce-then-Broadcast AllReduce.
+Schedule make_allreduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len,
+                           const autogen::AutoGenModel* model = nullptr);
+
+Schedule make_ring_allreduce_1d(u32 num_pes, u32 vec_len, RingMapping mapping);
+
+// --- 2D (root = PE (0,0), the top-left corner) ------------------------------
+
+Schedule make_broadcast_2d(GridShape grid, u32 vec_len);
+
+/// X-Y Reduce: `algo` along every row towards column 0, then along column 0.
+Schedule make_reduce_2d_xy(ReduceAlgo algo, GridShape grid, u32 vec_len,
+                           const autogen::AutoGenModel* model = nullptr);
+
+/// X-Y Reduce with independent per-axis patterns (our extension of the
+/// paper's "X-Y <Algo>", which uses the same pattern on both axes; strongly
+/// rectangular grids profit from mixing - see bench/abl_mixed_xy).
+Schedule make_reduce_2d_xy_mixed(ReduceAlgo algo_x, ReduceAlgo algo_y,
+                                 GridShape grid, u32 vec_len,
+                                 const autogen::AutoGenModel* model = nullptr);
+
+/// Snake Reduce: chain over the boustrophedon path.
+Schedule make_reduce_2d_snake(GridShape grid, u32 vec_len);
+
+Schedule make_reduce_2d(Reduce2DAlgo algo2d, ReduceAlgo xy_algo, GridShape grid,
+                        u32 vec_len, const autogen::AutoGenModel* model = nullptr);
+
+/// X-Y AllReduce: (reduce+bcast) along every row, then along every column.
+Schedule make_allreduce_2d_xy(ReduceAlgo algo, GridShape grid, u32 vec_len,
+                              const autogen::AutoGenModel* model = nullptr);
+
+/// X-Y Ring AllReduce: ring along every row, then along every column.
+Schedule make_allreduce_2d_xy_ring(GridShape grid, u32 vec_len);
+
+/// Snake Reduce to (0,0) followed by the 2D flooding broadcast.
+Schedule make_allreduce_2d_snake_bcast(GridShape grid, u32 vec_len);
+
+}  // namespace wsr::collectives

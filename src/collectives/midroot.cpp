@@ -1,0 +1,137 @@
+#include "collectives/midroot.hpp"
+
+#include <algorithm>
+
+#include "wse/checks.hpp"
+
+namespace wsr::collectives {
+
+Deps build_broadcast_from(Schedule& s, const Lane& lane, u32 root_idx, Color c,
+                          const Deps& after) {
+  const u32 n = lane.size();
+  WSR_ASSERT(n >= 2 && root_idx < n, "bad broadcast root");
+  WSR_ASSERT(lane_is_straight(s.grid, lane), "broadcast needs a straight lane");
+  const u32 B = s.vec_len;
+  Deps out = no_deps(s);
+
+  // Root: one send, multicast into both directions at once (one router rule,
+  // so the stream is duplicated for free - Lemma 4.1 applies per side).
+  {
+    const u32 pe = lane.pes[root_idx];
+    out[pe] = [&] {
+      Op op = Op::send(c, B);
+      if (after[pe] >= 0) op.after(static_cast<u32>(after[pe]));
+      return s.program(pe).add(std::move(op));
+    }();
+    DirMask fwd = 0;
+    if (root_idx > 0) fwd |= dir_bit(step_dir(s.grid, pe, lane.pes[root_idx - 1]));
+    if (root_idx + 1 < n)
+      fwd |= dir_bit(step_dir(s.grid, pe, lane.pes[root_idx + 1]));
+    WSR_ASSERT(fwd != 0, "broadcast root with no receivers");
+    s.add_rule(pe, {c, Dir::Ramp, fwd, B});
+  }
+  // Both arms: forward away from the root + deliver locally.
+  auto arm = [&](bool leftwards) {
+    const i64 step = leftwards ? -1 : 1;
+    const i64 end = leftwards ? i64{-1} : i64{n};
+    for (i64 k = static_cast<i64>(root_idx) + step; k != end; k += step) {
+      const u32 pe = lane.pes[static_cast<u32>(k)];
+      const Dir from_root =
+          step_dir(s.grid, pe, lane.pes[static_cast<u32>(k - step)]);
+      out[pe] = [&] {
+        Op op = Op::recv(c, B, RecvMode::Store);
+        if (after[pe] >= 0) op.after(static_cast<u32>(after[pe]));
+        return s.program(pe).add(std::move(op));
+      }();
+      DirMask fwd = dir_bit(Dir::Ramp);
+      if (k + step != end)
+        fwd |= dir_bit(step_dir(s.grid, pe, lane.pes[static_cast<u32>(k + step)]));
+      s.add_rule(pe, {c, from_root, fwd, B});
+    }
+  };
+  arm(/*leftwards=*/true);
+  arm(/*leftwards=*/false);
+  return out;
+}
+
+Deps build_chain_reduce_to(Schedule& s, const Lane& lane, u32 root_idx,
+                           std::array<Color, 4> colors, const Deps& after) {
+  const u32 n = lane.size();
+  WSR_ASSERT(n >= 2 && root_idx < n, "bad reduce root");
+  WSR_ASSERT(lane_is_adjacent_path(s.grid, lane), "chain needs an adjacent path");
+  Deps out = no_deps(s);
+  const u32 B = s.vec_len;
+
+  // Left arm: lane [0 .. root] reversed is a chain rooted at root_idx.
+  // Right arm: lane [root .. n-1] likewise. The root accumulates each arm
+  // with a plain receive (serialized through its single ramp: 2B contention).
+  Deps root_after = after;
+  auto arm = [&](bool left, Color ca, Color cb) {
+    Lane sub;
+    if (left) {
+      if (root_idx == 0) return;
+      for (u32 k = root_idx + 1; k-- > 0;) sub.pes.push_back(lane.pes[k]);
+    } else {
+      if (root_idx + 1 == n) return;
+      for (u32 k = root_idx; k < n; ++k) sub.pes.push_back(lane.pes[k]);
+    }
+    const Deps fin = build_chain_reduce(s, sub, ca, cb, root_after);
+    for (u32 pe : sub.pes) {
+      if (fin[pe] >= 0) out[pe] = fin[pe];
+    }
+    // The root's accumulating op for this arm must precede the next arm's.
+    root_after[lane.pes[root_idx]] = fin[lane.pes[root_idx]];
+  };
+  arm(/*left=*/true, colors[0], colors[1]);
+  arm(/*left=*/false, colors[2], colors[3]);
+  return out;
+}
+
+Schedule make_allreduce_1d_midroot(u32 num_pes, u32 vec_len) {
+  Schedule s({num_pes, 1}, vec_len, "allreduce-1d-midroot-chain");
+  const Lane lane = Lane::row(s.grid, 0);
+  const u32 mid = num_pes / 2;
+  const Deps reduced = build_chain_reduce_to(s, lane, mid, {0, 1, 2, 3},
+                                             no_deps(s));
+  build_broadcast_from(s, lane, mid, 4, reduced);
+  for (u32 pe = 0; pe < num_pes; ++pe) s.result_pes.push_back(pe);
+  wse::check_valid(s);
+  return s;
+}
+
+Prediction predict_midroot_chain_reduce(u32 num_pes, u32 vec_len,
+                                        const MachineParams& mp) {
+  WSR_ASSERT(num_pes >= 2 && vec_len >= 1, "bad midroot reduce");
+  const i64 P = num_pes, B = vec_len;
+  const i64 mid = P / 2;
+  const i64 arm = std::max(mid, P - 1 - mid);
+  CostTerms t;
+  t.depth = arm;          // the two arm chains run concurrently
+  t.distance = arm;
+  t.energy = B * (P - 1); // one hop per non-root PE, as for the end chain
+  t.contention = P >= 3 ? 2 * B : B;  // the root drains both arms
+  t.links = P - 1;
+  return Prediction(t, mp);
+}
+
+Prediction predict_midroot_broadcast(u32 num_pes, u32 vec_len,
+                                     const MachineParams& mp) {
+  WSR_ASSERT(num_pes >= 2 && vec_len >= 1, "bad midroot broadcast");
+  const i64 P = num_pes, B = vec_len;
+  const i64 mid = P / 2;
+  CostTerms t;
+  t.depth = 1;
+  t.distance = std::max(mid, P - 1 - mid);
+  t.energy = B * (P - 1);
+  t.contention = B;
+  t.links = P - 1;
+  return Prediction(t, mp);
+}
+
+Prediction predict_midroot_allreduce(u32 num_pes, u32 vec_len,
+                                     const MachineParams& mp) {
+  return sequential(predict_midroot_chain_reduce(num_pes, vec_len, mp),
+                    predict_midroot_broadcast(num_pes, vec_len, mp));
+}
+
+}  // namespace wsr::collectives

@@ -1,0 +1,52 @@
+// Optimal-root Reduce-then-Broadcast (paper Section 6.1's remark).
+//
+// A Reduce-then-Broadcast AllReduce need not root at the end of the row:
+// "this naive implementation could be further optimized by choosing an
+// optimal root ... optimized stencil implementations first reduce to the
+// middle PE and broadcast from there" [Jacquelin et al.]. Rooting in the
+// middle halves the distance and - for chain-style patterns - the depth of
+// both phases: two half-row chains run towards the middle concurrently, and
+// the broadcast floods outward in both directions at once.
+//
+//   T_mid-chain-allreduce ~ max(2B, ...) + (2*T_R + 2) * ceil((P-1)/2) * 2
+//
+// versus (2*T_R + 2)(P - 1) * 2 for the end-rooted variant: a ~2x depth
+// saving in the latency-bound regime, at the cost of 2B contention at the
+// root (it receives both half-row partials).
+#pragma once
+
+#include "collectives/builder.hpp"
+#include "model/costs1d.hpp"
+
+namespace wsr::collectives {
+
+/// Flooding broadcast from an arbitrary lane position outwards in both
+/// directions (still Lemma 4.1-optimal: multicast duplicates for free, the
+/// distance term shrinks to max(root, P-1-root)).
+Deps build_broadcast_from(Schedule& s, const Lane& lane, u32 root_idx, Color c,
+                          const Deps& after);
+
+/// Chain Reduce into an arbitrary lane position: the PEs left of the root
+/// chain rightwards, the PEs right of it chain leftwards, and the root
+/// accumulates both partials. Uses four colors (two per direction).
+Deps build_chain_reduce_to(Schedule& s, const Lane& lane, u32 root_idx,
+                           std::array<Color, 4> colors, const Deps& after);
+
+/// Mid-rooted Chain AllReduce: chain both half-rows into the middle, then
+/// flood outward. 5 colors.
+Schedule make_allreduce_1d_midroot(u32 num_pes, u32 vec_len);
+
+/// Model prediction for the mid-rooted chain Reduce (both halves pipelined
+/// concurrently, root contention 2B).
+Prediction predict_midroot_chain_reduce(u32 num_pes, u32 vec_len,
+                                        const MachineParams& mp);
+
+/// Model prediction for the broadcast from the middle of a row.
+Prediction predict_midroot_broadcast(u32 num_pes, u32 vec_len,
+                                     const MachineParams& mp);
+
+/// Mid-rooted AllReduce = midroot reduce + midroot broadcast.
+Prediction predict_midroot_allreduce(u32 num_pes, u32 vec_len,
+                                     const MachineParams& mp);
+
+}  // namespace wsr::collectives

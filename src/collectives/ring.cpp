@@ -1,0 +1,129 @@
+#include "collectives/ring.hpp"
+
+#include <algorithm>
+
+namespace wsr::collectives {
+
+const char* name(RingMapping m) {
+  switch (m) {
+    case RingMapping::Simple: return "simple";
+    case RingMapping::DistancePreserving: return "distance-preserving";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Ring order as lane indices: position k in the ring is lane index perm[k].
+std::vector<u32> ring_permutation(u32 n, RingMapping mapping) {
+  std::vector<u32> perm;
+  perm.reserve(n);
+  if (mapping == RingMapping::Simple) {
+    for (u32 i = 0; i < n; ++i) perm.push_back(i);
+  } else {
+    for (u32 i = 0; i < n; i += 2) perm.push_back(i);        // evens ascending
+    const u32 start = (n % 2 == 0) ? n - 1 : n - 2;
+    for (u32 i = start + 2; i-- > 1;) {
+      if (i % 2 == 1) perm.push_back(i);                     // odds descending
+    }
+  }
+  return perm;
+}
+
+}  // namespace
+
+Deps build_ring_allreduce(Schedule& s, const Lane& lane, RingMapping mapping,
+                          Color color_base, const Deps& after) {
+  const u32 n = lane.size();
+  WSR_ASSERT(n >= 2, "ring lane too short");
+  WSR_ASSERT(lane_is_straight(s.grid, lane), "ring needs a straight lane");
+  const u32 B = s.vec_len;
+  WSR_ASSERT(B % n == 0, "ring requires vec_len divisible by the PE count");
+  const u32 chunk = B / n;
+  const u32 rounds = 2 * (n - 1);
+
+  const std::vector<u32> perm = ring_permutation(n, mapping);
+
+  // Ring edges in lane-index space: edge k goes perm[k] -> perm[(k+1) % n].
+  struct Edge {
+    u32 from, to;  // lane indices
+    Color color = 0;
+    u32 lo() const { return std::min(from, to); }
+    u32 hi() const { return std::max(from, to); }
+  };
+  std::vector<Edge> edges(n);
+  for (u32 k = 0; k < n; ++k) {
+    edges[k] = {perm[k], perm[(k + 1) % n]};
+  }
+
+  // Greedy color assignment: two edges sharing any router need different
+  // colors (each router keeps exactly one concurrent rule per color).
+  constexpr u32 kPool = 8;
+  for (u32 k = 0; k < n; ++k) {
+    bool used[kPool] = {};
+    for (u32 j = 0; j < k; ++j) {
+      const bool overlap =
+          edges[k].lo() <= edges[j].hi() && edges[j].lo() <= edges[k].hi();
+      if (overlap) used[edges[j].color - color_base] = true;
+    }
+    u32 c = 0;
+    while (c < kPool && used[c]) ++c;
+    WSR_ASSERT(c < kPool, "ring edge coloring exceeded the color pool");
+    edges[k].color = static_cast<Color>(color_base + c);
+  }
+
+  // Routing: every edge keeps one rule per router for the whole run (the
+  // per-round traffic shares the same configuration).
+  const u32 total = rounds * chunk;
+  for (const Edge& e : edges) {
+    const bool east = e.to > e.from;  // direction of travel along the lane
+    const u32 pe_from = lane.pes[e.from];
+    const u32 step_from =
+        east ? e.from + 1 : e.from - 1;  // first lane hop of the path
+    s.add_rule(pe_from, {e.color, Dir::Ramp,
+                         dir_bit(step_dir(s.grid, pe_from, lane.pes[step_from])),
+                         total});
+    for (u32 k = e.lo() + 1; k < e.hi(); ++k) {
+      const u32 pe = lane.pes[k];
+      const Dir in = step_dir(s.grid, pe, lane.pes[east ? k - 1 : k + 1]);
+      const Dir out = step_dir(s.grid, pe, lane.pes[east ? k + 1 : k - 1]);
+      s.add_rule(pe, {e.color, in, dir_bit(out), total});
+    }
+    const u32 pe_to = lane.pes[e.to];
+    const u32 before_to = east ? e.to - 1 : e.to + 1;
+    s.add_rule(pe_to, {e.color, step_dir(s.grid, pe_to, lane.pes[before_to]),
+                       dir_bit(Dir::Ramp), total});
+  }
+
+  // PE programs: ring position k sends on its outgoing edge's color and
+  // receives on its incoming edge's color.
+  Deps out = no_deps(s);
+  for (u32 k = 0; k < n; ++k) {
+    const u32 lidx = perm[k];
+    const u32 pe = lane.pes[lidx];
+    const Color cout = edges[k].color;
+    const Color cin = edges[(k + n - 1) % n].color;
+    i32 prev_send = after[pe], prev_recv = after[pe];
+    for (u32 r = 0; r < rounds; ++r) {
+      const bool scatter = r < n - 1;
+      const u32 send_chunk =
+          scatter ? (k + n - r % n) % n : (k + 1 + n - (r - (n - 1))) % n;
+      const u32 recv_chunk =
+          scatter ? (k + n - r - 1) % n : (k + n - (r - (n - 1))) % n;
+      Op send = Op::send(cout, chunk, send_chunk * chunk);
+      if (prev_send >= 0) send.after(static_cast<u32>(prev_send));
+      if (prev_recv >= 0) send.after(static_cast<u32>(prev_recv));
+      const u32 sid = s.program(pe).add(std::move(send));
+      Op recv = Op::recv(cin, chunk, scatter ? RecvMode::Add : RecvMode::Store,
+                         recv_chunk * chunk);
+      if (prev_recv >= 0) recv.after(static_cast<u32>(prev_recv));
+      const u32 rid = s.program(pe).add(std::move(recv));
+      prev_send = static_cast<i32>(sid);
+      prev_recv = static_cast<i32>(rid);
+    }
+    out[pe] = prev_recv;
+  }
+  return out;
+}
+
+}  // namespace wsr::collectives

@@ -1,0 +1,30 @@
+// Ring AllReduce on a row of PEs (paper Section 6.2, Fig. 7).
+//
+// The classic reduce-scatter + allgather ring: 2(P-1) rounds, each PE sends
+// and receives one B/P-wavelet chunk per round. Because the fabric is a mesh
+// and not a torus, the ring must be mapped onto the row; the paper proposes
+// two mappings with identical predicted cost:
+//   * Simple: ring position k = PE k; the wrap edge P-1 -> 0 spans the row.
+//   * DistancePreserving: even PEs ascending, then odd PEs descending, so
+//     every ring neighbour is at most 2 hops away.
+//
+// The paper evaluates Ring analytically only ("we refrain from providing an
+// implementation"); we implement it anyway to validate that conclusion in
+// simulation (ablation bench `abl_ring_mapping`).
+#pragma once
+
+#include "collectives/builder.hpp"
+
+namespace wsr::collectives {
+
+enum class RingMapping : u8 { Simple, DistancePreserving };
+
+const char* name(RingMapping m);
+
+/// Appends a ring AllReduce over a straight lane. vec_len must be divisible
+/// by the lane length. Uses a handful of colors starting at `color_base`
+/// (one per conflict class of ring edges; at most 6).
+Deps build_ring_allreduce(Schedule& s, const Lane& lane, RingMapping mapping,
+                          Color color_base, const Deps& after);
+
+}  // namespace wsr::collectives

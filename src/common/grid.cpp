@@ -1,0 +1,28 @@
+#include "common/grid.hpp"
+
+namespace wsr {
+
+const char* dir_name(Dir d) {
+  switch (d) {
+    case Dir::West: return "W";
+    case Dir::East: return "E";
+    case Dir::North: return "N";
+    case Dir::South: return "S";
+    case Dir::Ramp: return "R";
+  }
+  return "?";
+}
+
+std::string mask_to_string(DirMask m) {
+  std::string s;
+  for (u8 i = 0; i < kNumDirs; ++i) {
+    if (mask_has(m, static_cast<Dir>(i))) {
+      if (!s.empty()) s += '+';
+      s += dir_name(static_cast<Dir>(i));
+    }
+  }
+  if (s.empty()) s = "-";
+  return s;
+}
+
+}  // namespace wsr

@@ -1,0 +1,104 @@
+// Grid geometry: PE coordinates, mesh directions, and the row-major mapping
+// between (x, y) coordinates and flat PE identifiers.
+//
+// Conventions (match the paper's figures):
+//   * `x` grows to the EAST (to the right), `y` grows to the SOUTH (down).
+//   * A 1D "row of PEs" is a grid of shape {width = P, height = 1}; PE 0 is
+//     the leftmost PE and is the default reduction root.
+//   * The flat PE id is `y * width + x` (row-major).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace wsr {
+
+/// Mesh direction as seen from a router. `Ramp` is the link between a router
+/// and its own processor (the fifth link of the CS-2 router).
+enum class Dir : u8 { West = 0, East = 1, North = 2, South = 3, Ramp = 4 };
+
+inline constexpr u32 kNumDirs = 5;
+
+/// The opposite mesh direction (a wavelet leaving EAST arrives from WEST).
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::West: return Dir::East;
+    case Dir::East: return Dir::West;
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::Ramp: return Dir::Ramp;
+  }
+  return Dir::Ramp;
+}
+
+const char* dir_name(Dir d);
+
+/// Bitmask over directions; used for multicast forward sets.
+using DirMask = u8;
+
+constexpr DirMask dir_bit(Dir d) { return static_cast<DirMask>(1u << static_cast<u8>(d)); }
+constexpr bool mask_has(DirMask m, Dir d) { return (m & dir_bit(d)) != 0; }
+constexpr DirMask dir_mask() { return 0; }
+template <typename... Ds>
+constexpr DirMask dir_mask(Dir first, Ds... rest) {
+  return dir_bit(first) | dir_mask(rest...);
+}
+
+std::string mask_to_string(DirMask m);
+
+struct Coord {
+  u32 x = 0;
+  u32 y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Rectangular PE grid. `width` PEs per row, `height` rows.
+struct GridShape {
+  u32 width = 1;
+  u32 height = 1;
+
+  constexpr u64 num_pes() const { return u64{width} * height; }
+  constexpr bool is_row() const { return height == 1; }
+
+  constexpr u32 pe_id(Coord c) const { return c.y * width + c.x; }
+  constexpr u32 pe_id(u32 x, u32 y) const { return y * width + x; }
+  constexpr Coord coord(u32 id) const { return {id % width, id / width}; }
+
+  constexpr bool contains(Coord c) const { return c.x < width && c.y < height; }
+
+  /// The neighbouring coordinate in mesh direction `d`; valid() must be
+  /// checked by the caller via `has_neighbor`.
+  constexpr Coord neighbor(Coord c, Dir d) const {
+    switch (d) {
+      case Dir::West: return {c.x - 1, c.y};
+      case Dir::East: return {c.x + 1, c.y};
+      case Dir::North: return {c.x, c.y - 1};
+      case Dir::South: return {c.x, c.y + 1};
+      case Dir::Ramp: return c;
+    }
+    return c;
+  }
+
+  constexpr bool has_neighbor(Coord c, Dir d) const {
+    switch (d) {
+      case Dir::West: return c.x > 0;
+      case Dir::East: return c.x + 1 < width;
+      case Dir::North: return c.y > 0;
+      case Dir::South: return c.y + 1 < height;
+      case Dir::Ramp: return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const GridShape&, const GridShape&) = default;
+};
+
+/// Manhattan distance in hops between two PEs.
+constexpr u32 manhattan(Coord a, Coord b) {
+  u32 dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  u32 dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+}  // namespace wsr

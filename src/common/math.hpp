@@ -1,0 +1,49 @@
+// Small integer math helpers used throughout the model and the simulators.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace wsr {
+
+/// ceil(a / b) for non-negative integers, b > 0.
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr u32 ilog2_floor(u64 x) {
+  u32 r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr u32 ilog2_ceil(u64 x) {
+  u32 f = ilog2_floor(x);
+  return (u64{1} << f) == x ? f : f + 1;
+}
+
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(sqrt(x)).
+constexpr u64 isqrt_floor(u64 x) {
+  u64 r = 0;
+  u64 bit = u64{1} << 62;
+  while (bit > x) bit >>= 2;
+  while (bit != 0) {
+    if (x >= r + bit) {
+      x -= r + bit;
+      r = (r >> 1) + bit;
+    } else {
+      r >>= 1;
+    }
+    bit >>= 2;
+  }
+  return r;
+}
+
+/// ceil(sqrt(x)).
+constexpr u64 isqrt_ceil(u64 x) {
+  u64 f = isqrt_floor(x);
+  return f * f == x ? f : f + 1;
+}
+
+}  // namespace wsr

@@ -1,0 +1,33 @@
+// Basic fixed-width types and the library-wide assertion macro.
+//
+// Everything in this library lives in namespace `wsr` (wafer-scale reduce).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wsr {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Library-internal invariant check. Active in all build types: simulator
+/// correctness depends on these and their cost is negligible relative to the
+/// simulation itself.
+#define WSR_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "WSR_ASSERT failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+}  // namespace wsr

@@ -1,0 +1,278 @@
+#include "flowsim/flowsim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/grid.hpp"
+
+namespace wsr::flowsim {
+
+using wse::Color;
+using wse::Op;
+using wse::OpKind;
+using wse::RouteRule;
+using wse::Schedule;
+
+namespace {
+
+constexpr u32 kMaxColorId = 32;
+
+struct Segment {
+  i64 head = 0;  ///< cycle the first wavelet is available at its location.
+  u32 len = 0;
+};
+
+class Engine {
+ public:
+  Engine(const Schedule& s, FlowOptions opt) : s_(s), opt_(opt) {
+    const u64 n = s.grid.num_pes();
+    pes_.resize(n);
+    for (u32 pe = 0; pe < n; ++pe) {
+      PE& p = pes_[pe];
+      p.color_index.assign(kMaxColorId, -1);
+      auto intern = [&](Color c) {
+        WSR_ASSERT(c < kMaxColorId, "color id too large");
+        if (p.color_index[c] < 0) {
+          p.color_index[c] = static_cast<i8>(p.ports.size());
+          p.ports.emplace_back();
+          p.ingress.emplace_back();
+        }
+        return static_cast<u32>(p.color_index[c]);
+      };
+      for (const RouteRule& r : s.rules[pe]) {
+        const u32 ci = intern(r.color);
+        p.ports[ci].rules.push_back(r);
+      }
+      for (const Op& op : s.programs[pe].ops) {
+        if (op.kind != OpKind::Send) intern(op.in_color);
+        if (op.kind != OpKind::Recv) intern(op.out_color);
+      }
+      for (Port& port : p.ports) {
+        port.remaining = port.rules.empty() ? 0 : port.rules[0].count;
+      }
+      p.ops.assign(s.programs[pe].ops.size(), OpState{});
+    }
+  }
+
+  FlowResult run() {
+    const u64 n = s_.grid.num_pes();
+    for (u32 pe = 0; pe < n; ++pe) progress_pe(pe);
+    drain_worklists();
+
+    FlowResult res;
+    res.op_done_cycle.resize(n);
+    for (u32 pe = 0; pe < n; ++pe) {
+      res.op_done_cycle[pe].resize(pes_[pe].ops.size());
+      for (u32 oi = 0; oi < pes_[pe].ops.size(); ++oi) {
+        const OpState& st = pes_[pe].ops[oi];
+        if (!st.done) {
+          std::fprintf(stderr,
+                       "FlowSim: schedule '%s' op %u at PE %u never completed "
+                       "(consumed %u/%u)\n",
+                       s_.name.c_str(), oi, pe, st.consumed,
+                       s_.programs[pe].ops[oi].len);
+          WSR_ASSERT(false, "flow-level deadlock / unmatched traffic");
+        }
+        res.op_done_cycle[pe][oi] = st.done_time;
+        res.cycles = std::max(res.cycles, st.done_time + 1);
+      }
+    }
+    return res;
+  }
+
+ private:
+  struct Port {  // one (router, color) rule chain
+    std::vector<RouteRule> rules;
+    u32 active = 0;
+    u32 remaining = 0;
+    i64 avail = 0;  ///< cycle from which the active rule can pass a head
+    std::deque<Segment> parked[kNumDirs];
+  };
+
+  struct OpState {
+    bool scheduled = false;  ///< start time fixed (deps + channel known)
+    bool done = false;
+    i64 start = 0;
+    i64 cursor = 0;  ///< last consumption / emission cycle so far
+    u32 consumed = 0;
+    i64 done_time = -1;
+  };
+
+  struct PE {
+    std::vector<i8> color_index;
+    std::vector<Port> ports;
+    std::vector<std::deque<Segment>> ingress;  // per compact color
+    std::vector<OpState> ops;
+    i64 chan_in_free = 0;
+    i64 chan_out_free = 0;
+  };
+
+  // Worklist entries.
+  struct RouterWork {
+    u32 pe;
+    u32 ci;
+  };
+
+  void deliver_to_router(u32 pe, Color color, Dir dir, Segment seg) {
+    PE& p = pes_[pe];
+    const i8 ci = p.color_index[color];
+    if (ci < 0) {
+      std::fprintf(stderr,
+                   "FlowSim: wavelets of color %u reached PE %u which has no "
+                   "rules for it (schedule '%s')\n",
+                   static_cast<u32>(color), pe, s_.name.c_str());
+      WSR_ASSERT(false, "stray traffic");
+    }
+    p.ports[static_cast<u32>(ci)].parked[static_cast<u32>(dir)].push_back(seg);
+    router_work_.push_back({pe, static_cast<u32>(ci)});
+  }
+
+  void drain_router(u32 pe, u32 ci) {
+    PE& p = pes_[pe];
+    Port& port = p.ports[ci];
+    const Coord here = s_.grid.coord(pe);
+    while (port.active < port.rules.size()) {
+      const RouteRule& rule = port.rules[port.active];
+      auto& queue = port.parked[static_cast<u32>(rule.accept)];
+      if (queue.empty()) return;
+      Segment seg = queue.front();
+      queue.pop_front();
+      WSR_ASSERT(seg.len <= port.remaining,
+                 "segment crosses a routing-rule boundary");
+      const i64 h = std::max(seg.head, port.avail);
+      for (u8 d = 0; d < kNumDirs; ++d) {
+        const Dir dd = static_cast<Dir>(d);
+        if (!mask_has(rule.forward, dd)) continue;
+        if (dd == Dir::Ramp) {
+          const Segment delivered{h + opt_.ramp_latency, seg.len};
+          p.ingress[ci].push_back(delivered);
+          pe_work_.push_back(pe);
+        } else {
+          const u32 npe = s_.grid.pe_id(s_.grid.neighbor(here, dd));
+          deliver_to_router(npe, rule.color, opposite(dd), {h + 1, seg.len});
+        }
+      }
+      port.avail = h + seg.len;
+      port.remaining -= seg.len;
+      if (port.remaining == 0) {
+        ++port.active;
+        port.remaining =
+            port.active < port.rules.size() ? port.rules[port.active].count : 0;
+      }
+    }
+    // All rules retired; leftover parked segments are a schedule bug.
+    for (const auto& q : port.parked) {
+      WSR_ASSERT(q.empty(), "traffic after the last routing rule retired");
+    }
+  }
+
+  /// Advances every op of `pe` as far as possible (program order = channel
+  /// claim order, matching FabricSim).
+  void progress_pe(u32 pe) {
+    PE& p = pes_[pe];
+    const auto& ops = s_.programs[pe].ops;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (u32 oi = 0; oi < ops.size(); ++oi) {
+        OpState& st = p.ops[oi];
+        if (st.done) continue;
+        const Op& op = ops[oi];
+        if (!st.scheduled) {
+          i64 dep_time = -1;
+          bool ready = true;
+          for (u32 d : op.deps) {
+            if (!p.ops[d].done) {
+              ready = false;
+              break;
+            }
+            dep_time = std::max(dep_time, p.ops[d].done_time);
+          }
+          if (!ready) continue;
+          // Same-cycle chaining: FabricSim scans ops in program order within
+          // a cycle, so an op whose dependency completed earlier in the same
+          // cycle can already issue (deps always point at lower op indices).
+          i64 start = dep_time;
+          if (op.kind != OpKind::Send) start = std::max(start, p.chan_in_free);
+          if (op.kind != OpKind::Recv) start = std::max(start, p.chan_out_free);
+          st.scheduled = true;
+          st.start = start;
+          st.cursor = start - 1;
+          // Claim the channels immediately so later ops queue behind; the
+          // claim end is extended as the op progresses and finalized on
+          // completion.
+          moved = true;
+        }
+        if (op.kind == OpKind::Send) {
+          // Emission is analytic: len wavelets at 1/cycle from start.
+          const Segment seg{st.start + opt_.ramp_latency, op.len};
+          deliver_to_router(pe, op.out_color, Dir::Ramp, seg);
+          st.done = true;
+          st.done_time = st.start + op.len - 1;
+          p.chan_out_free = st.done_time + 1;
+          moved = true;
+          continue;
+        }
+        // Recv / RecvReduceSend: consume available ingress segments.
+        const i8 ci = p.color_index[op.in_color];
+        WSR_ASSERT(ci >= 0, "recv on unknown color");
+        auto& queue = p.ingress[static_cast<u32>(ci)];
+        while (!queue.empty() && st.consumed < op.len) {
+          const Segment seg = queue.front();
+          WSR_ASSERT(st.consumed + seg.len <= op.len,
+                     "segment crosses an op boundary");
+          queue.pop_front();
+          const i64 first = std::max(st.cursor + 1, seg.head);
+          st.cursor = first + seg.len - 1;
+          st.consumed += seg.len;
+          if (op.kind == OpKind::RecvReduceSend) {
+            // Each consumed wavelet re-emits one cycle later (combine) plus
+            // the up-ramp latency.
+            deliver_to_router(pe, op.out_color, Dir::Ramp,
+                              {first + 1 + opt_.ramp_latency, seg.len});
+          }
+          moved = true;
+        }
+        if (st.consumed == op.len) {
+          st.done = true;
+          st.done_time = st.cursor;
+          p.chan_in_free = st.done_time + 1;
+          if (op.kind == OpKind::RecvReduceSend) {
+            p.chan_out_free = st.done_time + 1;
+          }
+          moved = true;
+        }
+      }
+    }
+  }
+
+  void drain_worklists() {
+    while (!router_work_.empty() || !pe_work_.empty()) {
+      while (!router_work_.empty()) {
+        const RouterWork w = router_work_.back();
+        router_work_.pop_back();
+        drain_router(w.pe, w.ci);
+      }
+      while (!pe_work_.empty()) {
+        const u32 pe = pe_work_.back();
+        pe_work_.pop_back();
+        progress_pe(pe);
+      }
+    }
+  }
+
+  const Schedule& s_;
+  FlowOptions opt_;
+  std::vector<PE> pes_;
+  std::vector<RouterWork> router_work_;
+  std::vector<u32> pe_work_;
+};
+
+}  // namespace
+
+FlowResult run_flow(const Schedule& schedule, FlowOptions options) {
+  Engine engine(schedule, options);
+  return engine.run();
+}
+
+}  // namespace wsr::flowsim

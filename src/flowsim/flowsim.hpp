@@ -1,0 +1,49 @@
+// FlowSim: a flow-level simulator over the same Schedule IR as FabricSim.
+//
+// Instead of stepping cycles, FlowSim propagates *stream segments* (the
+// contiguous wavelet runs emitted by each PE op) through the routing rules as
+// a deterministic dataflow:
+//
+//   * every link moves 1 wavelet/cycle, so a segment is fully described by
+//     its head-arrival time and length;
+//   * only segment heads can stall: router rules serialize traffic, and the
+//     per-(router, color) rule sequence defines a total order, so a segment's
+//     constrained head time is max(arrival, rule availability) and the rule
+//     becomes available again `len` cycles later;
+//   * once a head is unblocked, the pipeline behind it drains at full rate
+//     (link registers hold exactly one wavelet: there is no slack to absorb
+//     a stall), so tails are head + len - 1 throughout.
+//
+// This makes the cost of simulating a collective proportional to
+// (#segments x path length) ~= energy / B instead of (#PEs x #cycles),
+// which is what lets us run the paper's 512x512 experiments (Fig. 13).
+//
+// Known approximation (documented in DESIGN.md): a Send op's completion time
+// ignores back-pressure onto the sender. Completion of receives — which is
+// what gates every dependency in the generated schedules — is exact. FlowSim
+// is cross-validated against FabricSim cycle counts in tests/test_flowsim.cpp
+// across all patterns.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "wse/schedule.hpp"
+
+namespace wsr::flowsim {
+
+struct FlowOptions {
+  u32 ramp_latency = 2;  ///< T_R, must match the FabricSim options.
+};
+
+struct FlowResult {
+  i64 cycles = 0;
+  /// Per-op completion cycles, [pe][op]; -1 means the op never completed
+  /// (which run() treats as a fatal schedule error).
+  std::vector<std::vector<i64>> op_done_cycle;
+};
+
+/// Runs the schedule at flow level and returns the completion time.
+FlowResult run_flow(const wse::Schedule& schedule, FlowOptions options = {});
+
+}  // namespace wsr::flowsim

@@ -1,0 +1,41 @@
+// Algorithm identifiers used across the model, the schedule builders and the
+// benchmark harness.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace wsr {
+
+/// 1D Reduce patterns (paper Section 5).
+enum class ReduceAlgo : u8 {
+  Star,      ///< every PE sends directly to the root (depth 1).
+  Chain,     ///< pipelined nearest-neighbour chain (vendor baseline).
+  Tree,      ///< binary-tree halving, log P rounds.
+  TwoPhase,  ///< chain within groups of S, then chain over group leaders.
+  AutoGen,   ///< DP-generated pre-order reduction tree (paper Section 5.5).
+};
+inline constexpr ReduceAlgo kFixedReduceAlgos[] = {
+    ReduceAlgo::Star, ReduceAlgo::Chain, ReduceAlgo::Tree, ReduceAlgo::TwoPhase};
+inline constexpr ReduceAlgo kAllReduceAlgosBase[] = {
+    ReduceAlgo::Star, ReduceAlgo::Chain, ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
+    ReduceAlgo::AutoGen};
+
+/// 1D AllReduce patterns (paper Section 6). Reduce-then-Broadcast variants
+/// are parameterized by the underlying ReduceAlgo.
+enum class AllReduceAlgo : u8 {
+  ReduceThenBroadcast,  ///< any ReduceAlgo followed by flooding broadcast.
+  Ring,                 ///< reduce-scatter + allgather ring (classic).
+  Butterfly,            ///< recursive halving + doubling (predicted only).
+};
+
+/// 2D Reduce patterns (paper Section 7).
+enum class Reduce2DAlgo : u8 {
+  XY,     ///< 1D reduce along every row, then along the root column.
+  Snake,  ///< chain mapped onto a boustrophedon path over the whole grid.
+};
+
+const char* name(ReduceAlgo a);
+const char* name(AllReduceAlgo a);
+const char* name(Reduce2DAlgo a);
+
+}  // namespace wsr

@@ -1,0 +1,31 @@
+#include "model/cost.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+
+namespace wsr {
+
+i64 estimate_cycles(const CostTerms& t, const MachineParams& mp) {
+  WSR_ASSERT(t.links > 0, "links term must be positive");
+  const i64 bandwidth = ceil_div(t.energy, t.links) + t.distance;
+  return std::max(t.contention, bandwidth) + mp.per_depth_cycles() * t.depth;
+}
+
+Prediction sequential(const Prediction& a, const Prediction& b) {
+  CostTerms t;
+  t.energy = a.terms.energy + b.terms.energy;
+  t.distance = std::max(a.terms.distance, b.terms.distance);
+  t.depth = a.terms.depth + b.terms.depth;
+  t.contention = a.terms.contention + b.terms.contention;
+  t.links = std::max(a.terms.links, b.terms.links);
+  return Prediction(t, a.cycles + b.cycles);
+}
+
+std::string to_string(const CostTerms& t) {
+  return "E=" + std::to_string(t.energy) + " L=" + std::to_string(t.distance) +
+         " D=" + std::to_string(t.depth) + " C=" + std::to_string(t.contention) +
+         " N=" + std::to_string(t.links);
+}
+
+}  // namespace wsr

@@ -1,0 +1,55 @@
+// The spatial performance model of the paper (Table 1 + Eq. 1).
+//
+// An algorithm is summarized by five cost terms:
+//   E (energy)     - total wavelet-hops routed,
+//   L (distance)   - largest number of hops any single wavelet travels,
+//   D (depth)      - longest chain of dependent PE operations,
+//   C (contention) - largest number of wavelets a single PE sends/receives,
+//   N (links)      - number of links the algorithm uses.
+//
+// These synthesize into a cycle estimate (paper Eq. 1):
+//   T = max(C, ceil(E / N) + L) + (2*T_R + 1) * D
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "model/params.hpp"
+
+namespace wsr {
+
+struct CostTerms {
+  i64 energy = 0;      ///< E: total wavelet-hops.
+  i64 distance = 0;    ///< L: max hops of a single wavelet.
+  i64 depth = 0;       ///< D: longest dependent-PE chain.
+  i64 contention = 0;  ///< C: max wavelets sent/received by one PE.
+  i64 links = 1;       ///< N: links used (divisor of the energy term).
+
+  friend bool operator==(const CostTerms&, const CostTerms&) = default;
+};
+
+/// Eq. (1): synthesize cost terms into a cycle estimate.
+i64 estimate_cycles(const CostTerms& t, const MachineParams& mp);
+
+/// A model prediction: the raw terms plus the synthesized cycle count.
+/// `cycles` is usually estimate_cycles(terms) but a handful of patterns
+/// override it where the paper derives a sharper bound (e.g. Star, whose
+/// B = 1 communication forms a perfect pipeline).
+struct Prediction {
+  CostTerms terms;
+  i64 cycles = 0;
+
+  Prediction() = default;
+  Prediction(const CostTerms& t, const MachineParams& mp)
+      : terms(t), cycles(estimate_cycles(t, mp)) {}
+  Prediction(const CostTerms& t, i64 override_cycles)
+      : terms(t), cycles(override_cycles) {}
+};
+
+/// Sequential composition (e.g. Reduce followed by Broadcast): cycles add,
+/// depth/energy/contention add, distance and links take the max.
+Prediction sequential(const Prediction& a, const Prediction& b);
+
+std::string to_string(const CostTerms& t);
+
+}  // namespace wsr

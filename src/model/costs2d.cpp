@@ -1,0 +1,77 @@
+#include "model/costs2d.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+
+namespace wsr {
+
+Prediction predict_broadcast_2d(GridShape grid, u32 vec_len,
+                                const MachineParams& mp) {
+  WSR_ASSERT(grid.num_pes() >= 2 && vec_len >= 1, "bcast2d needs P >= 2");
+  const i64 M = grid.height, N = grid.width, B = vec_len;
+  const i64 P = M * N;
+  CostTerms t;
+  t.depth = 1;
+  t.distance = M + N - 2;
+  t.energy = B * (P - 1);
+  t.contention = B;
+  t.links = P - 1;
+  // Eq. (1) gives the lemma's T = B + M + N - 2 + 2*T_R + 1.
+  return Prediction(t, mp);
+}
+
+Prediction predict_xy_reduce(ReduceAlgo algo_x, ReduceAlgo algo_y, GridShape grid,
+                             u32 vec_len, const MachineParams& mp) {
+  WSR_ASSERT(grid.width >= 2 && grid.height >= 2,
+             "xy reduce needs a 2D grid; use the 1D predictions for rows");
+  const Prediction row = predict_reduce_1d(algo_x, grid.width, vec_len, mp);
+  const Prediction col = predict_reduce_1d(algo_y, grid.height, vec_len, mp);
+  return sequential(row, col);
+}
+
+Prediction predict_snake_reduce(GridShape grid, u32 vec_len,
+                                const MachineParams& mp) {
+  const u64 pes = grid.num_pes();
+  WSR_ASSERT(pes >= 2, "snake needs >= 2 PEs");
+  return predict_chain_reduce(static_cast<u32>(pes), vec_len, mp);
+}
+
+Prediction predict_xy_allreduce(ReduceAlgo algo, GridShape grid, u32 vec_len,
+                                const MachineParams& mp) {
+  WSR_ASSERT(grid.width >= 2 && grid.height >= 2, "xy allreduce needs a 2D grid");
+  const Prediction row =
+      predict_reduce_then_broadcast(algo, grid.width, vec_len, mp);
+  const Prediction col =
+      predict_reduce_then_broadcast(algo, grid.height, vec_len, mp);
+  return sequential(row, col);
+}
+
+Prediction predict_xy_ring_allreduce(GridShape grid, u32 vec_len,
+                                     const MachineParams& mp) {
+  WSR_ASSERT(grid.width >= 2 && grid.height >= 2, "xy ring needs a 2D grid");
+  const Prediction row = predict_ring_allreduce(grid.width, vec_len, mp);
+  const Prediction col = predict_ring_allreduce(grid.height, vec_len, mp);
+  return sequential(row, col);
+}
+
+Prediction predict_reduce2d_then_broadcast(Reduce2DAlgo reduce_algo,
+                                           ReduceAlgo xy_pattern, GridShape grid,
+                                           u32 vec_len, const MachineParams& mp) {
+  const Prediction reduce =
+      reduce_algo == Reduce2DAlgo::Snake
+          ? predict_snake_reduce(grid, vec_len, mp)
+          : predict_xy_reduce(xy_pattern, xy_pattern, grid, vec_len, mp);
+  return sequential(reduce, predict_broadcast_2d(grid, vec_len, mp));
+}
+
+i64 lower_bound_2d_reduce_cycles(GridShape grid, u32 vec_len,
+                                 const MachineParams& mp) {
+  const i64 M = grid.height, N = grid.width, B = vec_len;
+  // Lemma 7.2: contention >= B at the root; energy >= P*B over at most 8P
+  // directed link-ends; distance >= M + N - 1 corner-to-corner (the paper
+  // counts the root's own hop); depth >= 1.
+  return std::max<i64>(B, B / 8 + M + N - 1) + mp.per_depth_cycles();
+}
+
+}  // namespace wsr

@@ -1,0 +1,47 @@
+// Closed-form model predictions for the 2D collectives (paper Section 7).
+//
+// Grid convention: `M` rows by `N` columns (paper: M x N = P). The reduction
+// root is PE (0, 0), the top-left corner. X-Y patterns reduce along every
+// row towards column 0, then along column 0 towards the root.
+#pragma once
+
+#include "common/grid.hpp"
+#include "model/algorithms.hpp"
+#include "model/costs1d.hpp"
+
+namespace wsr {
+
+/// Lemma 7.1: 2D flooding broadcast from (0,0):
+/// T = B + M + N - 2 + 2*T_R + 1.
+Prediction predict_broadcast_2d(GridShape grid, u32 vec_len, const MachineParams& mp);
+
+/// Section 7.2: X-Y Reduce = 1D reduce over each row (length N) followed by a
+/// 1D reduce over the root column (length M). Separate per-axis patterns are
+/// allowed; the paper's "X-Y <Algo>" uses the same pattern on both axes.
+Prediction predict_xy_reduce(ReduceAlgo algo_x, ReduceAlgo algo_y, GridShape grid,
+                             u32 vec_len, const MachineParams& mp);
+
+/// Section 7.3: Snake Reduce = chain over a boustrophedon traversal of the
+/// whole grid; cost equals the 1D chain on M*N PEs.
+Prediction predict_snake_reduce(GridShape grid, u32 vec_len, const MachineParams& mp);
+
+/// Section 7.4, first variant: AllReduce per row then per column.
+/// Each axis uses Reduce-then-Broadcast with the given pattern.
+Prediction predict_xy_allreduce(ReduceAlgo algo, GridShape grid, u32 vec_len,
+                                const MachineParams& mp);
+
+/// X-Y AllReduce built from the Ring AllReduce per axis (Fig. 13b's
+/// "X-Y Ring" series).
+Prediction predict_xy_ring_allreduce(GridShape grid, u32 vec_len,
+                                     const MachineParams& mp);
+
+/// Section 7.4, second variant: 2D Reduce followed by 2D Broadcast.
+Prediction predict_reduce2d_then_broadcast(Reduce2DAlgo reduce_algo,
+                                           ReduceAlgo xy_pattern, GridShape grid,
+                                           u32 vec_len, const MachineParams& mp);
+
+/// Lemma 7.2: lower bound for any 2D Reduce:
+/// T* >= max(B, B/8 + M + N - 1) + 2*T_R + 1.
+i64 lower_bound_2d_reduce_cycles(GridShape grid, u32 vec_len, const MachineParams& mp);
+
+}  // namespace wsr

@@ -1,0 +1,44 @@
+// Machine parameters of the modelled wafer-scale engine (Cerebras CS-2).
+//
+// The defaults reproduce the paper's parameterization (Section 2.2 / 3):
+//   * ramp latency T_R = 2 cycles (found "by inspection of the cycle-accurate
+//     simulator"; prior work reported ~7),
+//   * 850 MHz clock (used only to convert cycles to microseconds),
+//   * 48 KB of PE-local SRAM,
+//   * 24 router colors.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace wsr {
+
+struct MachineParams {
+  /// Cycles for a wavelet to travel between a processor and its router
+  /// (one way). The model charges 2*T_R + 1 per depth unit: down-ramp,
+  /// up-ramp, plus one cycle to store/combine the received element.
+  u32 ramp_latency = 2;
+
+  /// Clock frequency, used only for cycle -> microsecond conversion.
+  double clock_mhz = 850.0;
+
+  /// PE-local SRAM in bytes. The paper marks "1/3 max PE memory" on its
+  /// vector-length axes; we expose the same annotation in the benches.
+  u32 sram_bytes = 48 * 1024;
+
+  /// Number of router colors available on the device.
+  u32 num_colors = 24;
+
+  /// Cost in cycles of one send+receive hop through a PE (down-ramp,
+  /// combine/store, up-ramp). This is the per-depth-unit charge in Eq. (1).
+  constexpr i64 per_depth_cycles() const { return 2 * i64{ramp_latency} + 1; }
+
+  constexpr double cycles_to_us(i64 cycles) const {
+    return static_cast<double>(cycles) / clock_mhz;
+  }
+
+  /// Largest vector length (in 4-byte wavelets) that fits in 1/3 of PE
+  /// memory (the upper end of the paper's sweeps).
+  constexpr u32 max_swept_vector_wavelets() const { return sram_bytes / 3 / 4; }
+};
+
+}  // namespace wsr

@@ -1,0 +1,65 @@
+#include "model/selector.hpp"
+
+#include <cstddef>
+
+namespace wsr {
+
+std::vector<Candidate> reduce_1d_candidates(u32 num_pes, u32 vec_len,
+                                            const MachineParams& mp) {
+  std::vector<Candidate> out;
+  for (ReduceAlgo a : kFixedReduceAlgos) {
+    out.push_back({name(a), predict_reduce_1d(a, num_pes, vec_len, mp)});
+  }
+  return out;
+}
+
+std::vector<Candidate> allreduce_1d_candidates(u32 num_pes, u32 vec_len,
+                                               const MachineParams& mp) {
+  std::vector<Candidate> out;
+  for (ReduceAlgo a : kFixedReduceAlgos) {
+    out.push_back({std::string(name(a)) + "+Bcast",
+                   predict_reduce_then_broadcast(a, num_pes, vec_len, mp)});
+  }
+  out.push_back({"Ring", predict_ring_allreduce(num_pes, vec_len, mp)});
+  return out;
+}
+
+std::vector<Candidate> reduce_2d_candidates(GridShape grid, u32 vec_len,
+                                            const MachineParams& mp) {
+  std::vector<Candidate> out;
+  for (ReduceAlgo a : kFixedReduceAlgos) {
+    out.push_back({std::string("X-Y ") + name(a),
+                   predict_xy_reduce(a, a, grid, vec_len, mp)});
+  }
+  out.push_back({"Snake", predict_snake_reduce(grid, vec_len, mp)});
+  return out;
+}
+
+std::vector<Candidate> allreduce_2d_candidates(GridShape grid, u32 vec_len,
+                                               const MachineParams& mp) {
+  std::vector<Candidate> out;
+  for (ReduceAlgo a : kFixedReduceAlgos) {
+    out.push_back({std::string("X-Y ") + name(a),
+                   predict_xy_allreduce(a, grid, vec_len, mp)});
+  }
+  // 2D Reduce (snake) followed by the very efficient 2D broadcast
+  // (Section 7.4's improved variant; occupies Fig. 10's bandwidth-bound area).
+  out.push_back({"Snake+Bcast",
+                 predict_reduce2d_then_broadcast(Reduce2DAlgo::Snake,
+                                                 ReduceAlgo::Chain, grid,
+                                                 vec_len, mp)});
+  return out;
+}
+
+std::size_t best_candidate(const std::vector<Candidate>& candidates) {
+  WSR_ASSERT(!candidates.empty(), "no candidates");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].prediction.cycles < candidates[best].prediction.cycles) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace wsr

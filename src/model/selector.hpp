@@ -1,0 +1,45 @@
+// Model-driven selection among the *fixed* (non-generated) algorithms.
+//
+// This is what the paper's Figures 8 and 10 visualize: for every (vector
+// length, PE count) combination, which fixed algorithm does the model predict
+// to be fastest, and what speedup does it achieve over the vendor baseline
+// (Chain+Bcast in 1D, X-Y Chain in 2D).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "model/algorithms.hpp"
+#include "model/costs1d.hpp"
+#include "model/costs2d.hpp"
+
+namespace wsr {
+
+struct Candidate {
+  std::string label;
+  Prediction prediction;
+};
+
+/// All fixed 1D Reduce candidates (Star/Chain/Tree/TwoPhase).
+std::vector<Candidate> reduce_1d_candidates(u32 num_pes, u32 vec_len,
+                                            const MachineParams& mp);
+
+/// All fixed 1D AllReduce candidates: the four Reduce-then-Broadcast variants
+/// plus Ring (the set in Fig. 8).
+std::vector<Candidate> allreduce_1d_candidates(u32 num_pes, u32 vec_len,
+                                               const MachineParams& mp);
+
+/// All fixed 2D AllReduce candidates: X-Y {Star,Chain,Tree,TwoPhase} plus the
+/// Snake-reduce-then-2D-broadcast (the set in Fig. 10).
+std::vector<Candidate> allreduce_2d_candidates(GridShape grid, u32 vec_len,
+                                               const MachineParams& mp);
+
+/// All fixed 2D Reduce candidates: X-Y {Star,Chain,Tree,TwoPhase} plus Snake.
+std::vector<Candidate> reduce_2d_candidates(GridShape grid, u32 vec_len,
+                                            const MachineParams& mp);
+
+/// Index of the fastest candidate (ties broken towards the earlier entry).
+std::size_t best_candidate(const std::vector<Candidate>& candidates);
+
+}  // namespace wsr

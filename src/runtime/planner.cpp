@@ -1,0 +1,224 @@
+#include "runtime/planner.hpp"
+
+#include <algorithm>
+
+namespace wsr::runtime {
+
+const char* name(Collective c) {
+  switch (c) {
+    case Collective::Broadcast: return "Broadcast";
+    case Collective::Reduce: return "Reduce";
+    case Collective::AllReduce: return "AllReduce";
+  }
+  return "?";
+}
+
+Planner::Planner(u32 max_pes, MachineParams mp) : max_pes_(max_pes), mp_(mp) {
+  WSR_ASSERT(max_pes_ >= 2, "planner needs max_pes >= 2");
+}
+
+const autogen::AutoGenModel& Planner::autogen_model() const {
+  if (!autogen_) {
+    autogen_ = std::make_unique<autogen::AutoGenModel>(max_pes_, mp_);
+  }
+  return *autogen_;
+}
+
+const autogen::LowerBound& Planner::lower_bound() const {
+  if (!lb_) lb_ = std::make_unique<autogen::LowerBound>(max_pes_, mp_);
+  return *lb_;
+}
+
+Prediction Planner::predict_reduce_1d(ReduceAlgo algo, u32 num_pes,
+                                      u32 vec_len) const {
+  if (algo == ReduceAlgo::AutoGen) {
+    return autogen_model().predict(num_pes, vec_len);
+  }
+  return wsr::predict_reduce_1d(algo, num_pes, vec_len, mp_);
+}
+
+Prediction Planner::predict_allreduce_1d(ReduceAlgo algo, u32 num_pes,
+                                         u32 vec_len) const {
+  return sequential(predict_reduce_1d(algo, num_pes, vec_len),
+                    predict_broadcast_1d(num_pes, vec_len, mp_));
+}
+
+Prediction Planner::predict_reduce_2d(Reduce2DAlgo algo2d, ReduceAlgo xy_algo,
+                                      GridShape grid, u32 vec_len) const {
+  if (algo2d == Reduce2DAlgo::Snake) {
+    return predict_snake_reduce(grid, vec_len, mp_);
+  }
+  return sequential(predict_reduce_1d(xy_algo, grid.width, vec_len),
+                    predict_reduce_1d(xy_algo, grid.height, vec_len));
+}
+
+Prediction Planner::predict_allreduce_2d_xy(ReduceAlgo algo, GridShape grid,
+                                            u32 vec_len) const {
+  return sequential(predict_allreduce_1d(algo, grid.width, vec_len),
+                    predict_allreduce_1d(algo, grid.height, vec_len));
+}
+
+double Planner::reduce_1d_lower_bound(u32 num_pes, u32 vec_len) const {
+  return lower_bound().cycles(num_pes, vec_len);
+}
+
+Plan Planner::plan_reduce_1d(u32 num_pes, u32 vec_len,
+                             std::optional<ReduceAlgo> algo) const {
+  ReduceAlgo chosen;
+  if (algo.has_value()) {
+    chosen = *algo;
+  } else {
+    chosen = ReduceAlgo::AutoGen;
+    i64 best = autogen_model().predict(num_pes, vec_len).cycles;
+    for (ReduceAlgo a : kFixedReduceAlgos) {
+      const i64 c = wsr::predict_reduce_1d(a, num_pes, vec_len, mp_).cycles;
+      if (c < best) {
+        best = c;
+        chosen = a;
+      }
+    }
+  }
+  Plan plan{collectives::make_reduce_1d(
+                chosen, num_pes, vec_len,
+                chosen == ReduceAlgo::AutoGen ? &autogen_model() : nullptr),
+            predict_reduce_1d(chosen, num_pes, vec_len), wsr::name(chosen)};
+  return plan;
+}
+
+Plan Planner::plan_allreduce_1d(u32 num_pes, u32 vec_len,
+                                std::optional<ReduceAlgo> algo) const {
+  ReduceAlgo chosen;
+  if (algo.has_value()) {
+    chosen = *algo;
+  } else {
+    chosen = ReduceAlgo::AutoGen;
+    i64 best = predict_allreduce_1d(chosen, num_pes, vec_len).cycles;
+    for (ReduceAlgo a : kFixedReduceAlgos) {
+      const i64 c = predict_allreduce_1d(a, num_pes, vec_len).cycles;
+      if (c < best) {
+        best = c;
+        chosen = a;
+      }
+    }
+    // The model also rules Ring in/out (Fig. 8); Ring wins only in the
+    // large-B band where contention dominates.
+    // (Ring requires B % P == 0 to be constructible.)
+    if (vec_len % num_pes == 0 &&
+        predict_ring_allreduce(num_pes, vec_len, mp_).cycles <
+            predict_allreduce_1d(chosen, num_pes, vec_len).cycles) {
+      Plan plan{collectives::make_ring_allreduce_1d(
+                    num_pes, vec_len, collectives::RingMapping::Simple),
+                predict_ring_allreduce(num_pes, vec_len, mp_), "Ring"};
+      return plan;
+    }
+  }
+  Plan plan{collectives::make_allreduce_1d(
+                chosen, num_pes, vec_len,
+                chosen == ReduceAlgo::AutoGen ? &autogen_model() : nullptr),
+            predict_allreduce_1d(chosen, num_pes, vec_len),
+            std::string(wsr::name(chosen)) + "+Bcast"};
+  return plan;
+}
+
+Plan Planner::plan_broadcast_1d(u32 num_pes, u32 vec_len) const {
+  return {collectives::make_broadcast_1d(num_pes, vec_len),
+          predict_broadcast_1d(num_pes, vec_len, mp_), "Flood"};
+}
+
+Plan Planner::plan_reduce_2d(GridShape grid, u32 vec_len,
+                             std::optional<Reduce2DAlgo> algo2d,
+                             std::optional<ReduceAlgo> xy_algo) const {
+  Reduce2DAlgo a2 = algo2d.value_or(Reduce2DAlgo::XY);
+  ReduceAlgo ax = xy_algo.value_or(ReduceAlgo::AutoGen);
+  if (!algo2d.has_value() && !xy_algo.has_value()) {
+    // Model-driven selection among Snake and X-Y {fixed, AutoGen}.
+    i64 best = predict_reduce_2d(Reduce2DAlgo::Snake, ax, grid, vec_len).cycles;
+    a2 = Reduce2DAlgo::Snake;
+    auto consider = [&](ReduceAlgo a) {
+      const i64 c = predict_reduce_2d(Reduce2DAlgo::XY, a, grid, vec_len).cycles;
+      if (c < best) {
+        best = c;
+        a2 = Reduce2DAlgo::XY;
+        ax = a;
+      }
+    };
+    consider(ReduceAlgo::AutoGen);
+    for (ReduceAlgo a : kFixedReduceAlgos) consider(a);
+  }
+  const autogen::AutoGenModel* model =
+      (a2 == Reduce2DAlgo::XY && ax == ReduceAlgo::AutoGen) ? &autogen_model()
+                                                            : nullptr;
+  std::string label = a2 == Reduce2DAlgo::Snake
+                          ? "Snake"
+                          : std::string("X-Y ") + wsr::name(ax);
+  return {collectives::make_reduce_2d(a2, ax, grid, vec_len, model),
+          predict_reduce_2d(a2, ax, grid, vec_len), std::move(label)};
+}
+
+Plan Planner::plan_reduce_2d_mixed(GridShape grid, u32 vec_len) const {
+  const ReduceAlgo all[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
+                            ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
+                            ReduceAlgo::AutoGen};
+  ReduceAlgo bx = ReduceAlgo::AutoGen, by = ReduceAlgo::AutoGen;
+  i64 best = INT64_MAX;
+  for (ReduceAlgo ax : all) {
+    const i64 cx = predict_reduce_1d(ax, grid.width, vec_len).cycles;
+    for (ReduceAlgo ay : all) {
+      const i64 c = cx + predict_reduce_1d(ay, grid.height, vec_len).cycles;
+      if (c < best) {
+        best = c;
+        bx = ax;
+        by = ay;
+      }
+    }
+  }
+  // The snake still owns the bandwidth-bound corner.
+  if (predict_snake_reduce(grid, vec_len, mp_).cycles < best) {
+    return {collectives::make_reduce_2d_snake(grid, vec_len),
+            predict_snake_reduce(grid, vec_len, mp_), "Snake"};
+  }
+  const bool needs_model = bx == ReduceAlgo::AutoGen || by == ReduceAlgo::AutoGen;
+  return {collectives::make_reduce_2d_xy_mixed(
+              bx, by, grid, vec_len, needs_model ? &autogen_model() : nullptr),
+          sequential(predict_reduce_1d(bx, grid.width, vec_len),
+                     predict_reduce_1d(by, grid.height, vec_len)),
+          std::string("X-Y ") + wsr::name(bx) + "/" + wsr::name(by)};
+}
+
+Plan Planner::plan_allreduce_2d(GridShape grid, u32 vec_len,
+                                std::optional<ReduceAlgo> xy_algo) const {
+  ReduceAlgo ax = xy_algo.value_or(ReduceAlgo::AutoGen);
+  if (!xy_algo.has_value()) {
+    i64 best = predict_allreduce_2d_xy(ax, grid, vec_len).cycles;
+    for (ReduceAlgo a : kFixedReduceAlgos) {
+      const i64 c = predict_allreduce_2d_xy(a, grid, vec_len).cycles;
+      if (c < best) {
+        best = c;
+        ax = a;
+      }
+    }
+    // Snake-reduce + 2D broadcast occupies the bandwidth-bound region.
+    const i64 snake =
+        sequential(predict_snake_reduce(grid, vec_len, mp_),
+                   predict_broadcast_2d(grid, vec_len, mp_))
+            .cycles;
+    if (snake < predict_allreduce_2d_xy(ax, grid, vec_len).cycles) {
+      return {collectives::make_allreduce_2d_snake_bcast(grid, vec_len),
+              sequential(predict_snake_reduce(grid, vec_len, mp_),
+                         predict_broadcast_2d(grid, vec_len, mp_)),
+              "Snake+Bcast"};
+    }
+  }
+  const autogen::AutoGenModel* model =
+      ax == ReduceAlgo::AutoGen ? &autogen_model() : nullptr;
+  return {collectives::make_allreduce_2d_xy(ax, grid, vec_len, model),
+          predict_allreduce_2d_xy(ax, grid, vec_len),
+          std::string("X-Y ") + wsr::name(ax)};
+}
+
+Plan Planner::plan_broadcast_2d(GridShape grid, u32 vec_len) const {
+  return {collectives::make_broadcast_2d(grid, vec_len),
+          predict_broadcast_2d(grid, vec_len, mp_), "Flood-2D"};
+}
+
+}  // namespace wsr::runtime

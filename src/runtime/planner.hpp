@@ -1,0 +1,79 @@
+// Runtime facade: unified prediction, algorithm selection and schedule
+// construction for all collectives, including the DP-backed Auto-Gen.
+//
+// This is the "model-driven methodology" layer of the paper: given (grid, B),
+// the planner predicts every candidate's runtime with the performance model,
+// picks the best, and emits the corresponding Schedule.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autogen/dp.hpp"
+#include "autogen/lower_bound.hpp"
+#include "collectives/collectives.hpp"
+#include "model/selector.hpp"
+
+namespace wsr::runtime {
+
+/// Which collective operation a plan implements.
+enum class Collective : u8 { Broadcast, Reduce, AllReduce };
+
+const char* name(Collective c);
+
+struct Plan {
+  wse::Schedule schedule;
+  Prediction prediction;
+  std::string algorithm;
+};
+
+class Planner {
+ public:
+  /// `max_pes` bounds the Auto-Gen DP table (use the largest row/column
+  /// length you will plan for). Tables build lazily on first Auto-Gen use.
+  explicit Planner(u32 max_pes, MachineParams mp = {});
+
+  const MachineParams& machine() const { return mp_; }
+  const autogen::AutoGenModel& autogen_model() const;
+  const autogen::LowerBound& lower_bound() const;
+
+  // --- predictions (cycles) -------------------------------------------------
+  Prediction predict_reduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len) const;
+  Prediction predict_allreduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len) const;
+  Prediction predict_reduce_2d(Reduce2DAlgo algo2d, ReduceAlgo xy_algo,
+                               GridShape grid, u32 vec_len) const;
+  Prediction predict_allreduce_2d_xy(ReduceAlgo algo, GridShape grid,
+                                     u32 vec_len) const;
+
+  /// T*(P, B): the paper's 1D Reduce lower bound, in cycles.
+  double reduce_1d_lower_bound(u32 num_pes, u32 vec_len) const;
+
+  // --- plans (model-selected algorithm when `algo` is omitted) --------------
+  Plan plan_reduce_1d(u32 num_pes, u32 vec_len,
+                      std::optional<ReduceAlgo> algo = {}) const;
+  Plan plan_allreduce_1d(u32 num_pes, u32 vec_len,
+                         std::optional<ReduceAlgo> algo = {}) const;
+  Plan plan_broadcast_1d(u32 num_pes, u32 vec_len) const;
+  Plan plan_reduce_2d(GridShape grid, u32 vec_len,
+                      std::optional<Reduce2DAlgo> algo2d = {},
+                      std::optional<ReduceAlgo> xy_algo = {}) const;
+
+  /// X-Y Reduce with independently chosen per-axis patterns (our extension:
+  /// the paper always uses the same pattern on both axes). On strongly
+  /// rectangular grids the two axes sit in different regimes of Fig. 1 and
+  /// mixing wins; on square grids this degenerates to plan_reduce_2d.
+  Plan plan_reduce_2d_mixed(GridShape grid, u32 vec_len) const;
+  Plan plan_allreduce_2d(GridShape grid, u32 vec_len,
+                         std::optional<ReduceAlgo> xy_algo = {}) const;
+  Plan plan_broadcast_2d(GridShape grid, u32 vec_len) const;
+
+ private:
+  u32 max_pes_;
+  MachineParams mp_;
+  mutable std::unique_ptr<autogen::AutoGenModel> autogen_;
+  mutable std::unique_ptr<autogen::LowerBound> lb_;
+};
+
+}  // namespace wsr::runtime

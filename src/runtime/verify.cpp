@@ -1,0 +1,47 @@
+#include "runtime/verify.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace wsr::runtime {
+
+float canonical_input(u32 pe, u32 j) {
+  // Small exact integers: |value| <= 20, so even 512x512 PEs sum to < 2^24
+  // and f32 addition is exact in any association order. (The subtraction is
+  // signed: u32 underflow here would silently produce 2^32-scale floats.)
+  return static_cast<float>(static_cast<i32>((pe * 7 + j * 13) % 41) - 20);
+}
+
+VerifyResult verify_on_fabric(const wse::Schedule& s, bool is_broadcast,
+                              wse::FabricOptions options) {
+  VerifyResult out;
+  const auto inputs = wse::make_inputs(s, canonical_input);
+  std::vector<float> expected;
+  if (is_broadcast) {
+    expected.assign(inputs[0].begin(), inputs[0].begin() + s.vec_len);
+  } else {
+    expected = wse::expected_sum(inputs, s.vec_len);
+  }
+
+  const wse::FabricResult res = wse::run_fabric(s, inputs, options);
+  out.cycles = res.cycles;
+  out.wavelet_hops = res.wavelet_hops;
+  out.max_ramp_wavelets = res.max_pe_ramp_wavelets;
+  for (u32 pe : s.result_pes) {
+    for (u32 j = 0; j < s.vec_len; ++j) {
+      if (res.memory[pe][j] != expected[j]) {
+        std::ostringstream os;
+        const Coord c = s.grid.coord(pe);
+        os << "schedule '" << s.name << "': PE(" << c.x << "," << c.y
+           << ") element " << j << " = " << res.memory[pe][j] << ", expected "
+           << expected[j];
+        out.error = os.str();
+        return out;
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace wsr::runtime

@@ -1,0 +1,33 @@
+// End-to-end verification helpers: run a schedule on the cycle-accurate
+// FabricSim with known inputs and check that every result PE holds the exact
+// elementwise sum (inputs are integer-valued so float summation is exact
+// regardless of association order).
+#pragma once
+
+#include <string>
+
+#include "wse/fabric.hpp"
+#include "wse/schedule.hpp"
+
+namespace wsr::runtime {
+
+struct VerifyResult {
+  bool ok = false;
+  i64 cycles = 0;
+  i64 wavelet_hops = 0;     ///< measured energy
+  i64 max_ramp_wavelets = 0;  ///< measured contention
+  std::string error;        ///< first mismatch, if any
+};
+
+/// Canonical deterministic test input: PE p's element j is a small exact
+/// integer derived from (p, j) so that sums stay below 2^24.
+float canonical_input(u32 pe, u32 j);
+
+/// For Broadcast schedules the expected "sum" is just the root's vector;
+/// `is_broadcast` switches the expectation accordingly (root = result_pes[0]
+/// semantics do not apply; PE 0 / (0,0) is the source).
+VerifyResult verify_on_fabric(const wse::Schedule& s,
+                              bool is_broadcast = false,
+                              wse::FabricOptions options = {});
+
+}  // namespace wsr::runtime

@@ -1,0 +1,169 @@
+#include "wse/checks.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace wsr::wse {
+
+namespace {
+
+/// Kahn's algorithm over the op dependency edges of one PE program.
+bool deps_acyclic(const PEProgram& prog) {
+  const u32 n = static_cast<u32>(prog.ops.size());
+  std::vector<u32> indeg(n, 0);
+  for (const Op& op : prog.ops) {
+    for (u32 d : op.deps) {
+      if (d >= n) return false;
+    }
+  }
+  std::vector<std::vector<u32>> out(n);
+  for (u32 i = 0; i < n; ++i) {
+    for (u32 d : prog.ops[i].deps) {
+      out[d].push_back(i);
+      ++indeg[i];
+    }
+  }
+  std::vector<u32> stack;
+  for (u32 i = 0; i < n; ++i) {
+    if (indeg[i] == 0) stack.push_back(i);
+  }
+  u32 seen = 0;
+  while (!stack.empty()) {
+    const u32 v = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (u32 w : out[v]) {
+      if (--indeg[w] == 0) stack.push_back(w);
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Schedule& s) {
+  std::vector<std::string> problems;
+  auto problem = [&](u32 pe, const std::string& what) {
+    const Coord c = s.grid.coord(pe);
+    std::ostringstream os;
+    os << "PE(" << c.x << "," << c.y << "): " << what;
+    problems.push_back(os.str());
+  };
+
+  const u64 n = s.grid.num_pes();
+  if (s.programs.size() != n || s.rules.size() != n) {
+    problems.push_back("program/rule arrays do not match the grid size");
+    return problems;
+  }
+  if (s.colors_used() > 24) {
+    problems.push_back("schedule uses more than 24 colors");
+  }
+
+  for (u32 pe = 0; pe < n; ++pe) {
+    const Coord c = s.grid.coord(pe);
+    // --- routing rules ---
+    std::map<Color, u64> ramp_in_total;   // rules accepting from the ramp
+    std::map<Color, u64> ramp_out_total;  // rules forwarding to the ramp
+    for (const RouteRule& r : s.rules[pe]) {
+      if (r.count == 0) problem(pe, "rule with count == 0");
+      if (r.forward == 0) problem(pe, "rule with empty forward set");
+      if (mask_has(r.forward, r.accept) && r.accept != Dir::Ramp)
+        problem(pe, "rule forwards back into its accept direction");
+      if (r.accept != Dir::Ramp && !s.grid.has_neighbor(c, r.accept))
+        problem(pe, "rule accepts from beyond the grid boundary");
+      for (u8 d = 0; d < kNumDirs; ++d) {
+        const Dir dir = static_cast<Dir>(d);
+        if (dir != Dir::Ramp && mask_has(r.forward, dir) &&
+            !s.grid.has_neighbor(c, dir))
+          problem(pe, "rule forwards beyond the grid boundary");
+      }
+      if (r.accept == Dir::Ramp) ramp_in_total[r.color] += r.count;
+      if (mask_has(r.forward, Dir::Ramp)) ramp_out_total[r.color] += r.count;
+    }
+
+    // --- PE program ---
+    const PEProgram& prog = s.programs[pe];
+    if (!deps_acyclic(prog)) problem(pe, "op dependency cycle or bad index");
+    std::map<Color, u64> sent, received;
+    for (const Op& op : prog.ops) {
+      if (op.len == 0) problem(pe, "op with len == 0");
+      if (op.kind == OpKind::Recv && op.mode == RecvMode::AddModulo &&
+          op.modulo == 0)
+        problem(pe, "AddModulo recv with modulo == 0");
+      if (op.kind != OpKind::Recv) sent[op.out_color] += op.len;
+      if (op.kind != OpKind::Send) received[op.in_color] += op.len;
+    }
+
+    // The router must accept from the ramp exactly what the program sends,
+    // and deliver to the ramp exactly what the program receives.
+    for (const auto& [color, cnt] : sent) {
+      if (ramp_in_total[color] != cnt) {
+        std::ostringstream os;
+        os << "color " << static_cast<u32>(color) << ": program sends " << cnt
+           << " wavelets but rules accept " << ramp_in_total[color]
+           << " from the ramp";
+        problem(pe, os.str());
+      }
+    }
+    for (const auto& [color, cnt] : received) {
+      if (ramp_out_total[color] != cnt) {
+        std::ostringstream os;
+        os << "color " << static_cast<u32>(color) << ": program receives "
+           << cnt << " wavelets but rules forward " << ramp_out_total[color]
+           << " to the ramp";
+        problem(pe, os.str());
+      }
+    }
+    for (const auto& [color, cnt] : ramp_in_total) {
+      if (cnt > 0 && sent.find(color) == sent.end())
+        problem(pe, "rules accept from the ramp on a color the program never sends");
+    }
+    for (const auto& [color, cnt] : ramp_out_total) {
+      if (cnt > 0 && received.find(color) == received.end())
+        problem(pe, "rules forward to the ramp on a color the program never receives");
+    }
+  }
+
+  // Global per-link flow conservation: for every directed mesh link and
+  // color, the wavelets forwarded into the link by the sender's rules must
+  // equal the wavelets the receiver's rules accept from it. This catches
+  // count bugs on pass-through routers, which the per-PE ramp checks cannot.
+  for (u32 pe = 0; pe < n; ++pe) {
+    const Coord c = s.grid.coord(pe);
+    for (u8 d = 0; d < kNumDirs; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      if (dir == Dir::Ramp || !s.grid.has_neighbor(c, dir)) continue;
+      const u32 npe = s.grid.pe_id(s.grid.neighbor(c, dir));
+      std::map<Color, i64> net;  // sent minus accepted, per color
+      for (const RouteRule& r : s.rules[pe]) {
+        if (mask_has(r.forward, dir)) net[r.color] += r.count;
+      }
+      for (const RouteRule& r : s.rules[npe]) {
+        if (r.accept == opposite(dir)) net[r.color] -= r.count;
+      }
+      for (const auto& [color, delta] : net) {
+        if (delta != 0) {
+          std::ostringstream os;
+          os << "link towards " << dir_name(dir) << ", color "
+             << static_cast<u32>(color) << ": sender forwards "
+             << (delta > 0 ? "more" : "fewer")
+             << " wavelets than the receiver accepts (delta " << delta << ")";
+          problem(pe, os.str());
+        }
+      }
+    }
+  }
+  return problems;
+}
+
+void check_valid(const Schedule& s) {
+  const auto problems = validate(s);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "schedule '%s' failed validation:\n", s.name.c_str());
+    for (const auto& p : problems) std::fprintf(stderr, "  %s\n", p.c_str());
+    std::fprintf(stderr, "%s\n", s.dump().c_str());
+  }
+  WSR_ASSERT(problems.empty(), "invalid schedule");
+}
+
+}  // namespace wsr::wse

@@ -1,0 +1,32 @@
+// Static validation of Schedules before simulation.
+//
+// The CS-2 routing fabric has sharp edges ("two wavelets on the same color in
+// the same cycle is undefined behaviour", only 24 colors, ...). We cannot
+// statically prove race freedom in general, but we can catch the common
+// compilation bugs cheaply; the simulators catch the rest dynamically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wse/schedule.hpp"
+
+namespace wsr::wse {
+
+/// Returns a list of human-readable problems; empty means the schedule passed
+/// all static checks:
+///   * grid/program/rule array sizes agree,
+///   * every rule has count > 0 and a non-empty forward set,
+///   * no rule forwards back into its accept direction,
+///   * no rule accepts from or forwards beyond the grid boundary,
+///   * op dependencies are in-range and acyclic,
+///   * per-PE, the total wavelets each color's rules accept from the ramp
+///     matches what the PE program sends on that color (and the mirror
+///     condition for ramp-bound forwards vs receives),
+///   * the number of distinct colors fits the machine (24).
+std::vector<std::string> validate(const Schedule& s);
+
+/// Asserts that validate() found no problems (test/bench convenience).
+void check_valid(const Schedule& s);
+
+}  // namespace wsr::wse

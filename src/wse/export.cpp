@@ -1,0 +1,108 @@
+#include "wse/export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wsr::wse {
+
+namespace {
+
+const char* kind_str(OpKind k) {
+  switch (k) {
+    case OpKind::Send: return "send";
+    case OpKind::Recv: return "recv";
+    case OpKind::RecvReduceSend: return "recv_reduce_send";
+  }
+  return "?";
+}
+
+const char* mode_str(RecvMode m) {
+  switch (m) {
+    case RecvMode::Store: return "store";
+    case RecvMode::Add: return "add";
+    case RecvMode::AddModulo: return "add_modulo";
+  }
+  return "?";
+}
+
+void append_op(std::ostringstream& os, const Op& op) {
+  os << "{\"kind\":\"" << kind_str(op.kind) << "\",\"len\":" << op.len;
+  if (op.kind != OpKind::Send) {
+    os << ",\"in_color\":" << static_cast<u32>(op.in_color) << ",\"mode\":\""
+       << mode_str(op.mode) << "\",\"dst_offset\":" << op.dst_offset;
+    if (op.mode == RecvMode::AddModulo) os << ",\"modulo\":" << op.modulo;
+  }
+  if (op.kind != OpKind::Recv) {
+    os << ",\"out_color\":" << static_cast<u32>(op.out_color)
+       << ",\"src_offset\":" << op.src_offset;
+  }
+  os << ",\"deps\":[";
+  for (std::size_t i = 0; i < op.deps.size(); ++i) {
+    os << (i ? "," : "") << op.deps[i];
+  }
+  os << "]}";
+}
+
+void append_rule(std::ostringstream& os, const RouteRule& r) {
+  os << "{\"color\":" << static_cast<u32>(r.color) << ",\"accept\":\""
+     << dir_name(r.accept) << "\",\"forward\":\"" << mask_to_string(r.forward)
+     << "\",\"count\":" << r.count << "}";
+}
+
+}  // namespace
+
+std::string to_json(const Schedule& s) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << s.name << "\",\"grid\":{\"width\":" << s.grid.width
+     << ",\"height\":" << s.grid.height << "},\"vec_len\":" << s.vec_len
+     << ",\"result_pes\":[";
+  for (std::size_t i = 0; i < s.result_pes.size(); ++i) {
+    os << (i ? "," : "") << s.result_pes[i];
+  }
+  os << "],\"pes\":[";
+  for (u32 pe = 0; pe < s.grid.num_pes(); ++pe) {
+    if (pe) os << ",";
+    os << "{\"id\":" << pe << ",\"ops\":[";
+    for (std::size_t i = 0; i < s.programs[pe].ops.size(); ++i) {
+      if (i) os << ",";
+      append_op(os, s.programs[pe].ops[i]);
+    }
+    os << "],\"rules\":[";
+    for (std::size_t i = 0; i < s.rules[pe].size(); ++i) {
+      if (i) os << ",";
+      append_rule(os, s.rules[pe][i]);
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string format_timeline(const Schedule& s, const FabricResult& result,
+                            u32 max_pes) {
+  std::ostringstream os;
+  os << "timeline '" << s.name << "' (" << result.cycles << " cycles)\n";
+  const u32 n = static_cast<u32>(std::min<u64>(s.grid.num_pes(), max_pes));
+  for (u32 pe = 0; pe < n; ++pe) {
+    const Coord c = s.grid.coord(pe);
+    os << "PE(" << c.x << "," << c.y << "):";
+    // Ops sorted by completion time.
+    std::vector<u32> order(s.programs[pe].ops.size());
+    for (u32 i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+      return result.op_done_cycle[pe][a] < result.op_done_cycle[pe][b];
+    });
+    for (u32 i : order) {
+      const Op& op = s.programs[pe].ops[i];
+      os << "  " << kind_str(op.kind) << "#" << i << "@"
+         << result.op_done_cycle[pe][i];
+    }
+    os << "\n";
+  }
+  if (s.grid.num_pes() > n) {
+    os << "... (" << s.grid.num_pes() - n << " more PEs)\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsr::wse

@@ -1,0 +1,441 @@
+#include "wse/fabric.hpp"
+
+#include <algorithm>
+
+namespace wsr::wse {
+
+namespace {
+constexpr u32 kMaxColorId = 32;
+}
+
+FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
+    : grid_(schedule.grid), opt_(options), sched_(&schedule) {
+  const u64 n = grid_.num_pes();
+  WSR_ASSERT(schedule.programs.size() == n && schedule.rules.size() == n,
+             "schedule arrays do not match grid");
+  pes_.resize(n);
+  std::size_t reg_base = 0;
+  for (u32 pe = 0; pe < n; ++pe) {
+    PEState& p = pes_[pe];
+    p.color_index.assign(kMaxColorId, -1);
+    auto intern = [&](Color c) {
+      WSR_ASSERT(c < kMaxColorId, "color id too large");
+      if (p.color_index[c] < 0) {
+        p.color_index[c] = static_cast<i8>(p.colors.size());
+        p.colors.emplace_back();
+        p.down.emplace_back();
+      }
+      return static_cast<u32>(p.color_index[c]);
+    };
+    for (const RouteRule& r : schedule.rules[pe]) {
+      const u32 ci = intern(r.color);
+      p.colors[ci].rules.push_back(r);
+    }
+    for (const Op& op : schedule.programs[pe].ops) {
+      if (op.kind != OpKind::Send) intern(op.in_color);
+      if (op.kind != OpKind::Recv) intern(op.out_color);
+    }
+    for (ColorRules& cr : p.colors) {
+      cr.active = 0;
+      cr.remaining = cr.rules.empty() ? 0 : cr.rules[0].count;
+    }
+    p.num_colors = static_cast<u32>(p.colors.size());
+    p.reg_value.assign(std::size_t{kNumDirs} * p.num_colors, 0.0f);
+    p.reg_set.assign(std::size_t{kNumDirs} * p.num_colors, 0);
+    p.reg_base = reg_base;
+    reg_base += std::size_t{kNumDirs} * p.num_colors;
+    p.ops.resize(schedule.programs[pe].ops.size());
+    p.mem.assign(std::max<u32>(schedule.vec_len, 1), 0.0f);
+    p.done = schedule.programs[pe].ops.empty();
+  }
+  total_regs_ = reg_base;
+  move_state_.assign(total_regs_, MoveState::Unknown);
+  move_epoch_.assign(total_regs_, -1);
+  reg_claim_epoch_.assign(total_regs_, -1);
+  link_claim_epoch_.assign(n * kNumDirs, -1);
+  ramp_claim_epoch_.assign(n, -1);
+}
+
+void FabricSim::set_memory(u32 pe, std::vector<float> data) {
+  WSR_ASSERT(pe < pes_.size(), "pe out of range");
+  pes_[pe].mem = std::move(data);
+}
+
+bool FabricSim::processors_step() {
+  bool changed = false;
+  const u32 n = static_cast<u32>(pes_.size());
+  const u32 up_cap = opt_.ramp_latency + 2;
+  for (u32 pe = 0; pe < n; ++pe) {
+    PEState& p = pes_[pe];
+    if (p.done) continue;
+    const PEProgram& prog = sched_->programs[pe];
+    bool ingress_claimed = false, egress_claimed = false;
+    bool all_done = true;
+    for (u32 oi = 0; oi < prog.ops.size(); ++oi) {
+      OpState& st = p.ops[oi];
+      if (st.complete) continue;
+      all_done = false;
+      const Op& op = prog.ops[oi];
+      bool runnable = true;
+      for (u32 d : op.deps) {
+        if (!p.ops[d].complete) {
+          runnable = false;
+          break;
+        }
+      }
+      if (!runnable) continue;
+
+      const bool needs_in = op.kind != OpKind::Send;
+      const bool needs_out = op.kind != OpKind::Recv;
+      if (needs_in && ingress_claimed) continue;
+      if (needs_out && egress_claimed) continue;
+      if (needs_in) ingress_claimed = true;
+      if (needs_out) egress_claimed = true;
+
+      switch (op.kind) {
+        case OpKind::Send: {
+          if (p.up.size() >= up_cap) break;
+          const u32 idx = op.src_offset + st.progress;
+          WSR_ASSERT(idx < p.mem.size(), "send reads past PE memory");
+          p.up.push_back({{p.mem[idx], op.out_color},
+                          cycle_ + opt_.ramp_latency});
+          p.ramp_traffic++;
+          changed = true;
+          if (++st.progress == op.len) {
+            st.complete = true;
+            st.done_cycle = cycle_;
+          }
+          break;
+        }
+        case OpKind::Recv: {
+          const i8 ci = p.color_index[op.in_color];
+          WSR_ASSERT(ci >= 0, "recv on unknown color");
+          auto& q = p.down[static_cast<u32>(ci)];
+          if (q.empty() || q.front().ready > cycle_) break;
+          const float v = q.front().w.value;
+          q.erase(q.begin());
+          u32 idx = op.dst_offset;
+          idx += op.mode == RecvMode::AddModulo ? st.progress % op.modulo
+                                                : st.progress;
+          WSR_ASSERT(idx < p.mem.size(), "recv writes past PE memory");
+          if (op.mode == RecvMode::Store) {
+            p.mem[idx] = v;
+          } else {
+            p.mem[idx] += v;
+          }
+          p.ramp_traffic++;
+          changed = true;
+          if (++st.progress == op.len) {
+            st.complete = true;
+            st.done_cycle = cycle_;
+          }
+          break;
+        }
+        case OpKind::RecvReduceSend: {
+          const i8 ci = p.color_index[op.in_color];
+          WSR_ASSERT(ci >= 0, "recv_reduce_send on unknown color");
+          auto& q = p.down[static_cast<u32>(ci)];
+          if (q.empty() || q.front().ready > cycle_) break;
+          if (p.up.size() >= up_cap) break;
+          const float v = q.front().w.value;
+          q.erase(q.begin());
+          const u32 idx = op.src_offset + st.progress;
+          WSR_ASSERT(idx < p.mem.size(), "fused op reads past PE memory");
+          // +1 cycle of latency for the combine, per the model's
+          // (2*T_R + 1) depth charge.
+          p.up.push_back({{v + p.mem[idx], op.out_color},
+                          cycle_ + opt_.ramp_latency + 1});
+          p.ramp_traffic += 2;
+          changed = true;
+          if (++st.progress == op.len) {
+            st.complete = true;
+            st.done_cycle = cycle_;
+          }
+          break;
+        }
+      }
+    }
+    if (all_done) p.done = true;
+  }
+  return changed;
+}
+
+bool FabricSim::up_ramp_step() {
+  bool changed = false;
+  for (PEState& p : pes_) {
+    if (p.up.empty()) continue;
+    if (p.up.front().ready > cycle_) continue;
+    const Wavelet& w = p.up.front().w;
+    const i8 ci = p.color_index[w.color];
+    WSR_ASSERT(ci >= 0, "up-ramp wavelet on unknown color");
+    const std::size_t idx = std::size_t{static_cast<u32>(Dir::Ramp)} *
+                                p.num_colors +
+                            static_cast<u32>(ci);
+    if (p.reg_set[idx]) continue;  // previous wavelet of this color in place
+    p.reg_value[idx] = w.value;
+    p.reg_set[idx] = 1;
+    p.up.erase(p.up.begin());
+    changed = true;
+  }
+  return changed;
+}
+
+bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
+  PEState& p = pes_[pe];
+  const std::size_t key = reg_key(p, dir, ci);
+  if (move_epoch_[key] == cycle_) {
+    switch (move_state_[key]) {
+      case MoveState::Yes: return true;
+      case MoveState::No: return false;
+      case MoveState::InProgress: return false;  // cycle: conservative stall
+      case MoveState::Unknown: break;
+    }
+  }
+  move_epoch_[key] = cycle_;
+  move_state_[key] = MoveState::InProgress;
+
+  WSR_ASSERT(p.reg_set[std::size_t{dir} * p.num_colors + ci],
+             "resolve on empty register");
+  ColorRules& cr = p.colors[ci];
+  if (cr.active >= cr.rules.size() ||
+      cr.rules[cr.active].accept != static_cast<Dir>(dir)) {
+    move_state_[key] = MoveState::No;
+    return false;
+  }
+  const RouteRule& rule = cr.rules[cr.active];
+  const Coord here = grid_.coord(pe);
+
+  // Tentatively claim destinations and output links; roll back on failure.
+  std::vector<std::size_t> claimed_regs;
+  std::vector<std::size_t> claimed_links;
+  bool claimed_ramp = false;
+  bool ok = true;
+  for (u8 d = 0; d < kNumDirs && ok; ++d) {
+    const Dir dd = static_cast<Dir>(d);
+    if (!mask_has(rule.forward, dd)) continue;
+    if (dd == Dir::Ramp) {
+      auto& q = p.down[ci];
+      const u32 cap = opt_.ramp_latency + opt_.color_queue_capacity;
+      if (q.size() >= cap || ramp_claim_epoch_[pe] == cycle_) {
+        ok = false;
+        break;
+      }
+      ramp_claim_epoch_[pe] = cycle_;
+      claimed_ramp = true;
+    } else {
+      WSR_ASSERT(grid_.has_neighbor(here, dd), "forward off grid");
+      // Physical link: one wavelet per direction per cycle across colors.
+      const std::size_t lkey = std::size_t{pe} * kNumDirs + d;
+      if (link_claim_epoch_[lkey] == cycle_) {
+        ok = false;
+        break;
+      }
+      const u32 npe = grid_.pe_id(grid_.neighbor(here, dd));
+      PEState& np = pes_[npe];
+      const i8 nci = np.color_index[rule.color];
+      if (nci < 0) {
+        // Traffic heading into a PE with no rules for its color: schedule
+        // bug; stall it so the deadlock detector reports context.
+        ok = false;
+        break;
+      }
+      const u32 nreg = static_cast<u32>(opposite(dd));
+      const std::size_t nkey = reg_key(np, nreg, static_cast<u32>(nci));
+      const bool occupied =
+          np.reg_set[std::size_t{nreg} * np.num_colors + static_cast<u32>(nci)];
+      if (occupied && !resolve_move(npe, nreg, static_cast<u32>(nci))) {
+        ok = false;
+        break;
+      }
+      if (reg_claim_epoch_[nkey] == cycle_) {
+        ok = false;
+        break;
+      }
+      reg_claim_epoch_[nkey] = cycle_;
+      claimed_regs.push_back(nkey);
+      link_claim_epoch_[lkey] = cycle_;
+      claimed_links.push_back(lkey);
+    }
+  }
+  if (!ok) {
+    for (std::size_t k : claimed_regs) reg_claim_epoch_[k] = -1;
+    for (std::size_t k : claimed_links) link_claim_epoch_[k] = -1;
+    if (claimed_ramp) ramp_claim_epoch_[pe] = -1;
+    move_state_[key] = MoveState::No;
+    return false;
+  }
+  move_state_[key] = MoveState::Yes;
+  return true;
+}
+
+bool FabricSim::router_step() {
+  const u32 n = static_cast<u32>(pes_.size());
+  for (u32 pe = 0; pe < n; ++pe) {
+    PEState& p = pes_[pe];
+    for (u32 d = 0; d < kNumDirs; ++d) {
+      for (u32 ci = 0; ci < p.num_colors; ++ci) {
+        if (p.reg_set[std::size_t{d} * p.num_colors + ci] &&
+            move_epoch_[reg_key(p, d, ci)] != cycle_) {
+          resolve_move(pe, d, ci);
+        }
+      }
+    }
+  }
+
+  // Gather all moves, clear sources and account rules, then place copies.
+  struct Move {
+    Wavelet w;
+    u32 pe;
+    DirMask forward;
+  };
+  std::vector<Move> moves;
+  bool changed = false;
+  for (u32 pe = 0; pe < n; ++pe) {
+    PEState& p = pes_[pe];
+    for (u32 d = 0; d < kNumDirs; ++d) {
+      for (u32 ci = 0; ci < p.num_colors; ++ci) {
+        const std::size_t key = reg_key(p, d, ci);
+        if (move_epoch_[key] != cycle_ || move_state_[key] != MoveState::Yes)
+          continue;
+        const std::size_t ridx = std::size_t{d} * p.num_colors + ci;
+        ColorRules& cr = p.colors[ci];
+        const RouteRule& rule = cr.rules[cr.active];
+        moves.push_back({{p.reg_value[ridx], rule.color}, pe, rule.forward});
+        p.reg_set[ridx] = 0;
+        WSR_ASSERT(cr.remaining > 0, "rule accounting underflow");
+        if (--cr.remaining == 0) {
+          ++cr.active;
+          cr.remaining =
+              cr.active < cr.rules.size() ? cr.rules[cr.active].count : 0;
+        }
+        changed = true;
+      }
+    }
+  }
+  for (const Move& m : moves) {
+    const Coord here = grid_.coord(m.pe);
+    for (u8 d = 0; d < kNumDirs; ++d) {
+      const Dir dd = static_cast<Dir>(d);
+      if (!mask_has(m.forward, dd)) continue;
+      if (dd == Dir::Ramp) {
+        PEState& p = pes_[m.pe];
+        const i8 ci = p.color_index[m.w.color];
+        p.down[static_cast<u32>(ci)].push_back(
+            {m.w, cycle_ + opt_.ramp_latency});
+      } else {
+        const u32 npe = grid_.pe_id(grid_.neighbor(here, dd));
+        PEState& np = pes_[npe];
+        const i8 nci = np.color_index[m.w.color];
+        const std::size_t idx = std::size_t{static_cast<u32>(opposite(dd))} *
+                                    np.num_colors +
+                                static_cast<u32>(nci);
+        WSR_ASSERT(!np.reg_set[idx], "register collision");
+        np.reg_value[idx] = m.w.value;
+        np.reg_set[idx] = 1;
+        ++hops_;
+      }
+    }
+  }
+  return changed;
+}
+
+FabricResult FabricSim::run() {
+  const u32 n = static_cast<u32>(pes_.size());
+  i64 idle_cycles = 0;
+  for (cycle_ = 0; cycle_ < opt_.max_cycles; ++cycle_) {
+    bool changed = processors_step();
+    changed |= up_ramp_step();
+    changed |= router_step();
+
+    bool all_done = true;
+    for (const PEState& p : pes_) {
+      if (!p.done) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+
+    if (changed) {
+      idle_cycles = 0;
+      continue;
+    }
+    // Nothing moved: either a timed event is pending (fast-forward to it) or
+    // the fabric is deadlocked.
+    i64 next_ready = INT64_MAX;
+    for (const PEState& p : pes_) {
+      for (const auto& q : p.down) {
+        if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
+      }
+      if (!p.up.empty()) next_ready = std::min(next_ready, p.up.front().ready);
+    }
+    if (next_ready != INT64_MAX && next_ready > cycle_) {
+      cycle_ = next_ready - 1;  // loop increment lands on next_ready
+      idle_cycles = 0;
+      continue;
+    }
+    if (++idle_cycles > 8) {
+      std::fprintf(stderr,
+                   "FabricSim deadlock in schedule '%s' at cycle %lld\n",
+                   sched_->name.c_str(), static_cast<long long>(cycle_));
+      for (u32 pe = 0; pe < n; ++pe) {
+        const PEState& p = pes_[pe];
+        for (u32 oi = 0; oi < p.ops.size(); ++oi) {
+          if (!p.ops[oi].complete) {
+            const Coord c = grid_.coord(pe);
+            std::fprintf(stderr, "  PE(%u,%u) op%u progress=%u/%u\n", c.x, c.y,
+                         oi, p.ops[oi].progress,
+                         sched_->programs[pe].ops[oi].len);
+          }
+        }
+      }
+      WSR_ASSERT(false, "fabric deadlock");
+    }
+  }
+  WSR_ASSERT(cycle_ < opt_.max_cycles, "fabric exceeded max_cycles");
+
+  FabricResult res;
+  res.wavelet_hops = hops_;
+  res.memory.resize(n);
+  res.op_done_cycle.resize(n);
+  for (u32 pe = 0; pe < n; ++pe) {
+    res.memory[pe] = pes_[pe].mem;
+    res.max_pe_ramp_wavelets =
+        std::max(res.max_pe_ramp_wavelets, pes_[pe].ramp_traffic);
+    res.op_done_cycle[pe].resize(pes_[pe].ops.size());
+    for (u32 oi = 0; oi < pes_[pe].ops.size(); ++oi) {
+      res.op_done_cycle[pe][oi] = pes_[pe].ops[oi].done_cycle;
+      res.cycles = std::max(res.cycles, pes_[pe].ops[oi].done_cycle + 1);
+    }
+  }
+  return res;
+}
+
+std::vector<std::vector<float>> make_inputs(const Schedule& s,
+                                            float (*value_of)(u32 pe, u32 j)) {
+  std::vector<std::vector<float>> data(s.grid.num_pes());
+  for (u32 pe = 0; pe < data.size(); ++pe) {
+    data[pe].resize(std::max<u32>(s.vec_len, 1));
+    for (u32 j = 0; j < s.vec_len; ++j) data[pe][j] = value_of(pe, j);
+  }
+  return data;
+}
+
+std::vector<float> expected_sum(const std::vector<std::vector<float>>& inputs,
+                                u32 vec_len) {
+  std::vector<float> sum(vec_len, 0.0f);
+  for (const auto& v : inputs) {
+    for (u32 j = 0; j < vec_len; ++j) sum[j] += v[j];
+  }
+  return sum;
+}
+
+FabricResult run_fabric(const Schedule& s,
+                        const std::vector<std::vector<float>>& inputs,
+                        FabricOptions options) {
+  FabricSim sim(s, options);
+  for (u32 pe = 0; pe < inputs.size(); ++pe) sim.set_memory(pe, inputs[pe]);
+  return sim.run();
+}
+
+}  // namespace wsr::wse

@@ -1,0 +1,153 @@
+// FabricSim: a cycle-level simulator of the CS-2 communication fabric.
+//
+// Modelled hardware behaviour (paper Section 2.2):
+//   * 2D mesh of PEs; each router has 5 bidirectional links
+//     (W/E/N/S + ramp to its processor), 32-bit wavelets, 1 wavelet per link
+//     per direction per cycle, 1 cycle per hop.
+//   * Colors are virtual channels: each router input direction holds one
+//     in-flight wavelet *per color* (a wavelet stalled on one color never
+//     blocks another color), while the physical link still carries at most
+//     one wavelet per direction per cycle (round-robin arbitration).
+//   * Per-color routing rules with free multicast duplication; a wavelet
+//     arriving from a direction the active rule does not accept stalls and
+//     back-pressures its upstream link.
+//   * Rules retire after a compile-time-known wavelet count (standing in for
+//     control-wavelet reconfiguration, see DESIGN.md §2).
+//   * Ramp latency T_R cycles each way between router and processor; the
+//     processor consumes at most one wavelet per cycle and emits at most one
+//     wavelet per cycle; a fused receive-add-forward costs one extra cycle of
+//     latency (the model's "+1 to store the received element").
+//   * Per-color ingress queues at the processor (dataflow tasks are activated
+//     per color), with at most one ramp-down delivery per cycle in total, so
+//     the physical ramp bandwidth of 1 wavelet/cycle is respected without
+//     head-of-line blocking across colors.
+//
+// The simulator is fully deterministic. It carries real f32 payloads so that
+// tests can verify numerical correctness of the collectives, and it measures
+// the model's cost terms (wavelet hops = energy, per-PE ramp traffic =
+// contention) alongside the cycle count.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "common/types.hpp"
+#include "wse/schedule.hpp"
+
+namespace wsr::wse {
+
+struct FabricOptions {
+  u32 ramp_latency = 2;         ///< T_R.
+  i64 max_cycles = 500'000'000; ///< hard abort threshold.
+  u32 color_queue_capacity = 2; ///< per-color processor ingress queue depth.
+};
+
+struct FabricResult {
+  /// Cycle at which the last PE operation completed (all PEs start at 0, so
+  /// this matches the paper's max end - min start measurement).
+  i64 cycles = 0;
+  /// Final PE memories.
+  std::vector<std::vector<float>> memory;
+  /// Measured energy: total mesh-link traversals (multicast copies count).
+  i64 wavelet_hops = 0;
+  /// Measured contention: max per-PE ramp traffic (up + down wavelets).
+  i64 max_pe_ramp_wavelets = 0;
+  /// Per-op completion cycles, [pe][op]; -1 for ops that never ran.
+  std::vector<std::vector<i64>> op_done_cycle;
+};
+
+class FabricSim {
+ public:
+  FabricSim(const Schedule& schedule, FabricOptions options = {});
+
+  /// Replaces PE-local memory (default: vec_len zeros per PE).
+  void set_memory(u32 pe, std::vector<float> data);
+
+  /// Runs to completion and returns the result. Single-shot.
+  FabricResult run();
+
+ private:
+  struct Wavelet {
+    float value = 0;
+    Color color = 0;
+  };
+
+  struct ColorRules {
+    std::vector<RouteRule> rules;
+    u32 active = 0;
+    u32 remaining = 0;  // of rules[active]
+  };
+
+  struct TimedWavelet {
+    Wavelet w;
+    i64 ready = 0;
+  };
+
+  struct OpState {
+    u32 progress = 0;
+    bool complete = false;
+    i64 done_cycle = -1;
+  };
+
+  struct PEState {
+    std::vector<ColorRules> colors;  // index by compact color id
+    std::vector<i8> color_index;     // color -> compact index or -1
+    u32 num_colors = 0;
+    // Router input registers: one per (direction, compact color).
+    // Index: dir * num_colors + ci. `reg_set` marks occupancy.
+    std::vector<float> reg_value;
+    std::vector<u8> reg_set;
+    std::vector<std::vector<TimedWavelet>> down;  // per compact color FIFO
+    std::vector<TimedWavelet> up;                 // up-ramp pipeline FIFO
+    std::vector<OpState> ops;
+    std::vector<float> mem;
+    i64 ramp_traffic = 0;
+    bool done = false;
+    std::size_t reg_base = 0;  // offset into the global per-register arrays
+  };
+
+  // -- cycle phases --
+  bool processors_step();        // PE ops consume/emit; returns "changed".
+  bool up_ramp_step();           // up FIFO head -> ramp register.
+  bool router_step();            // movement resolution + execution.
+
+  // movement resolution (memoized per cycle via epoch tags)
+  enum class MoveState : u8 { Unknown, InProgress, Yes, No };
+  bool resolve_move(u32 pe, u32 dir, u32 ci);
+
+  std::size_t reg_key(const PEState& p, u32 dir, u32 ci) const {
+    return p.reg_base + std::size_t{dir} * p.num_colors + ci;
+  }
+
+  GridShape grid_;
+  FabricOptions opt_;
+  const Schedule* sched_;
+  std::vector<PEState> pes_;
+  i64 cycle_ = 0;
+  i64 hops_ = 0;
+
+  // Per-cycle movement state, epoch-tagged so nothing is cleared per cycle.
+  std::vector<MoveState> move_state_;  // [global register key]
+  std::vector<i64> move_epoch_;
+  std::vector<i64> reg_claim_epoch_;   // [global register key]
+  std::vector<i64> link_claim_epoch_;  // [pe * 5 + dir]: output link used
+  std::vector<i64> ramp_claim_epoch_;  // [pe]: ramp-down delivery used
+  std::size_t total_regs_ = 0;
+};
+
+/// Convenience: build default input data where PE p's element j is
+/// `value_of(p, j)`; the canonical test input uses small exact integers.
+std::vector<std::vector<float>> make_inputs(const Schedule& s,
+                                            float (*value_of)(u32 pe, u32 j));
+
+/// Elementwise sum over all PEs of `inputs` (the expected Reduce result).
+std::vector<float> expected_sum(const std::vector<std::vector<float>>& inputs,
+                                u32 vec_len);
+
+/// Runs the schedule on FabricSim with the given inputs.
+FabricResult run_fabric(const Schedule& s,
+                        const std::vector<std::vector<float>>& inputs,
+                        FabricOptions options = {});
+
+}  // namespace wsr::wse

@@ -1,0 +1,124 @@
+#include "wse/schedule.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace wsr::wse {
+
+Op Op::send(Color color, u32 len, u32 src_offset) {
+  Op op;
+  op.kind = OpKind::Send;
+  op.out_color = color;
+  op.len = len;
+  op.src_offset = src_offset;
+  return op;
+}
+
+Op Op::recv(Color color, u32 len, RecvMode mode, u32 dst_offset, u32 modulo) {
+  Op op;
+  op.kind = OpKind::Recv;
+  op.in_color = color;
+  op.len = len;
+  op.mode = mode;
+  op.dst_offset = dst_offset;
+  op.modulo = modulo;
+  return op;
+}
+
+Op Op::recv_reduce_send(Color in, Color out, u32 len, u32 src_offset) {
+  Op op;
+  op.kind = OpKind::RecvReduceSend;
+  op.in_color = in;
+  op.out_color = out;
+  op.len = len;
+  op.src_offset = src_offset;
+  return op;
+}
+
+Op& Op::after(std::initializer_list<u32> dep_ids) {
+  deps.insert(deps.end(), dep_ids.begin(), dep_ids.end());
+  return *this;
+}
+
+Op& Op::after(u32 dep_id) {
+  deps.push_back(dep_id);
+  return *this;
+}
+
+u32 PEProgram::add(Op op) {
+  ops.push_back(std::move(op));
+  return static_cast<u32>(ops.size() - 1);
+}
+
+Schedule::Schedule(GridShape g, u32 b, std::string n)
+    : grid(g), vec_len(b), name(std::move(n)) {
+  programs.resize(grid.num_pes());
+  rules.resize(grid.num_pes());
+}
+
+u32 Schedule::colors_used() const {
+  std::set<Color> colors;
+  for (const auto& rs : rules) {
+    for (const auto& r : rs) colors.insert(r.color);
+  }
+  for (const auto& prog : programs) {
+    for (const auto& op : prog.ops) {
+      if (op.kind != OpKind::Send) colors.insert(op.in_color);
+      if (op.kind != OpKind::Recv) colors.insert(op.out_color);
+    }
+  }
+  return static_cast<u32>(colors.size());
+}
+
+namespace {
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Send: return "send";
+    case OpKind::Recv: return "recv";
+    case OpKind::RecvReduceSend: return "recv_reduce_send";
+  }
+  return "?";
+}
+const char* mode_name(RecvMode m) {
+  switch (m) {
+    case RecvMode::Store: return "store";
+    case RecvMode::Add: return "add";
+    case RecvMode::AddModulo: return "add_mod";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Schedule::dump(u32 max_pes) const {
+  std::ostringstream os;
+  os << "schedule '" << name << "' grid=" << grid.width << "x" << grid.height
+     << " B=" << vec_len << " colors=" << colors_used() << "\n";
+  const u32 n = static_cast<u32>(std::min<u64>(grid.num_pes(), max_pes));
+  for (u32 pe = 0; pe < n; ++pe) {
+    const Coord c = grid.coord(pe);
+    os << "PE(" << c.x << "," << c.y << "):\n";
+    for (u32 i = 0; i < programs[pe].ops.size(); ++i) {
+      const Op& op = programs[pe].ops[i];
+      os << "  op" << i << ": " << kind_name(op.kind) << " len=" << op.len;
+      if (op.kind != OpKind::Send) {
+        os << " in=c" << static_cast<u32>(op.in_color) << "/" << mode_name(op.mode);
+      }
+      if (op.kind != OpKind::Recv) os << " out=c" << static_cast<u32>(op.out_color);
+      if (!op.deps.empty()) {
+        os << " after{";
+        for (std::size_t d = 0; d < op.deps.size(); ++d)
+          os << (d ? "," : "") << "op" << op.deps[d];
+        os << "}";
+      }
+      os << "\n";
+    }
+    for (const RouteRule& r : rules[pe]) {
+      os << "  route c" << static_cast<u32>(r.color) << ": " << dir_name(r.accept)
+         << " -> " << mask_to_string(r.forward) << " x" << r.count << "\n";
+    }
+  }
+  if (grid.num_pes() > n) os << "... (" << grid.num_pes() - n << " more PEs)\n";
+  return os.str();
+}
+
+}  // namespace wsr::wse

@@ -1,0 +1,29 @@
+// Shared helpers for simulator tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "runtime/verify.hpp"
+#include "wse/fabric.hpp"
+
+namespace wsr::testing {
+
+/// Asserts |actual - expected| <= abs_tol + rel_tol * expected.
+inline void expect_close(i64 actual, i64 expected, double rel_tol, i64 abs_tol,
+                         const std::string& what) {
+  const double tol = abs_tol + rel_tol * static_cast<double>(expected);
+  EXPECT_LE(std::abs(static_cast<double>(actual - expected)), tol)
+      << what << ": actual=" << actual << " expected=" << expected
+      << " (rel_tol=" << rel_tol << ", abs_tol=" << abs_tol << ")";
+}
+
+/// Runs the schedule on FabricSim with canonical inputs and asserts the
+/// result is the exact elementwise sum at every result PE. Returns cycles.
+inline runtime::VerifyResult verify_ok(const wse::Schedule& s,
+                                       bool is_broadcast = false) {
+  const runtime::VerifyResult r = runtime::verify_on_fabric(s, is_broadcast);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r;
+}
+
+}  // namespace wsr::testing

@@ -1,0 +1,160 @@
+// Correctness + timing for the 2D collectives (paper Section 7).
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.hpp"
+#include "model/costs2d.hpp"
+#include "runtime/planner.hpp"
+#include "sim_test_utils.hpp"
+
+namespace wsr {
+namespace {
+
+const MachineParams kMp{};
+
+TEST(Broadcast2D, DeliversEverywhereAndMatchesLemma71) {
+  for (GridShape g : {GridShape{4, 4}, GridShape{8, 3}, GridShape{3, 8},
+                      GridShape{16, 16}}) {
+    for (u32 b : {1u, 64u, 512u}) {
+      const wse::Schedule s = collectives::make_broadcast_2d(g, b);
+      const auto r = testing::verify_ok(s, /*is_broadcast=*/true);
+      testing::expect_close(r.cycles, predict_broadcast_2d(g, b, kMp).cycles,
+                            0.0, 4, "bcast2d cycles");
+      EXPECT_EQ(r.wavelet_hops, i64{b} * (g.num_pes() - 1));
+    }
+  }
+}
+
+struct XYCase {
+  ReduceAlgo algo;
+  u32 w, h, b;
+};
+
+std::string xy_name(const ::testing::TestParamInfo<XYCase>& info) {
+  return std::string(name(info.param.algo)) + "_" + std::to_string(info.param.w) +
+         "x" + std::to_string(info.param.h) + "_B" + std::to_string(info.param.b);
+}
+
+class XYReduce : public ::testing::TestWithParam<XYCase> {
+ protected:
+  static const autogen::AutoGenModel& model() {
+    static autogen::AutoGenModel m(16, kMp);
+    return m;
+  }
+};
+
+TEST_P(XYReduce, RootGetsTheExactSum) {
+  const auto [algo, w, h, b] = GetParam();
+  const wse::Schedule s =
+      collectives::make_reduce_2d_xy(algo, {w, h}, b, &model());
+  testing::verify_ok(s);
+}
+
+TEST_P(XYReduce, SimulatorTracksModel) {
+  const auto [algo, w, h, b] = GetParam();
+  const wse::Schedule s =
+      collectives::make_reduce_2d_xy(algo, {w, h}, b, &model());
+  const auto r = runtime::verify_on_fabric(s);
+  ASSERT_TRUE(r.ok) << r.error;
+  const runtime::Planner planner(16, kMp);
+  testing::expect_close(
+      r.cycles,
+      planner.predict_reduce_2d(Reduce2DAlgo::XY, algo, {w, h}, b).cycles, 0.25,
+      48, "xy reduce cycles");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, XYReduce,
+    ::testing::ValuesIn([] {
+      std::vector<XYCase> cases;
+      for (ReduceAlgo a : {ReduceAlgo::Star, ReduceAlgo::Chain, ReduceAlgo::Tree,
+                           ReduceAlgo::TwoPhase, ReduceAlgo::AutoGen}) {
+        for (auto [w, h] : std::vector<std::pair<u32, u32>>{
+                 {2, 2}, {4, 4}, {8, 3}, {5, 7}, {16, 16}}) {
+          for (u32 b : {1u, 16u, 128u}) {
+            cases.push_back({a, w, h, b});
+          }
+        }
+      }
+      return cases;
+    }()),
+    xy_name);
+
+TEST(SnakeReduce, RootGetsTheExactSum) {
+  for (GridShape g : {GridShape{2, 2}, GridShape{4, 3}, GridShape{8, 8}}) {
+    for (u32 b : {1u, 32u, 256u}) {
+      testing::verify_ok(collectives::make_reduce_2d_snake(g, b));
+    }
+  }
+}
+
+TEST(SnakeReduce, TracksChainModel) {
+  const GridShape g{8, 8};
+  const u32 b = 512;
+  const auto r = testing::verify_ok(collectives::make_reduce_2d_snake(g, b));
+  testing::expect_close(r.cycles, predict_snake_reduce(g, b, kMp).cycles, 0.05,
+                        16, "snake cycles");
+}
+
+TEST(AllReduce2D, XYVariantsDeliverEverywhere) {
+  static autogen::AutoGenModel model(8, kMp);
+  for (ReduceAlgo a : {ReduceAlgo::Star, ReduceAlgo::Chain, ReduceAlgo::Tree,
+                       ReduceAlgo::TwoPhase, ReduceAlgo::AutoGen}) {
+    for (GridShape g : {GridShape{4, 4}, GridShape{8, 5}}) {
+      for (u32 b : {1u, 64u}) {
+        const wse::Schedule s =
+            collectives::make_allreduce_2d_xy(a, g, b, &model);
+        testing::verify_ok(s);
+      }
+    }
+  }
+}
+
+TEST(AllReduce2D, XYTimingTracksModel) {
+  const GridShape g{8, 8};
+  const u32 b = 128;
+  const runtime::Planner planner(8, kMp);
+  for (ReduceAlgo a : {ReduceAlgo::Chain, ReduceAlgo::TwoPhase}) {
+    const auto r =
+        testing::verify_ok(collectives::make_allreduce_2d_xy(a, g, b));
+    testing::expect_close(r.cycles,
+                          planner.predict_allreduce_2d_xy(a, g, b).cycles, 0.25,
+                          64, "xy allreduce cycles");
+  }
+}
+
+TEST(AllReduce2D, SnakeBcastDeliversEverywhere) {
+  for (GridShape g : {GridShape{2, 2}, GridShape{4, 6}, GridShape{8, 8}}) {
+    for (u32 b : {1u, 128u}) {
+      testing::verify_ok(collectives::make_allreduce_2d_snake_bcast(g, b));
+    }
+  }
+}
+
+TEST(AllReduce2D, XYRingDeliversEverywhere) {
+  for (GridShape g : {GridShape{4, 4}, GridShape{8, 8}}) {
+    const u32 b = g.width * g.height;  // divisible by both axes
+    testing::verify_ok(collectives::make_allreduce_2d_xy_ring(g, b));
+  }
+}
+
+TEST(Reduce2D, SnakeBeatsXYForSmallGridHugeVectors) {
+  // Fig. 13c: bandwidth-bound regime.
+  const GridShape g{4, 4};
+  const u32 b = 4096;
+  const auto snake = testing::verify_ok(collectives::make_reduce_2d_snake(g, b));
+  const auto xy = testing::verify_ok(
+      collectives::make_reduce_2d_xy(ReduceAlgo::Chain, g, b));
+  EXPECT_LT(snake.cycles, xy.cycles);
+}
+
+TEST(Reduce2D, XYBeatsSnakeForLargeGrids) {
+  const GridShape g{16, 16};
+  const u32 b = 64;
+  const auto snake = testing::verify_ok(collectives::make_reduce_2d_snake(g, b));
+  const auto xy = testing::verify_ok(
+      collectives::make_reduce_2d_xy(ReduceAlgo::TwoPhase, g, b));
+  EXPECT_LT(xy.cycles, snake.cycles);
+}
+
+}  // namespace
+}  // namespace wsr

@@ -1,0 +1,59 @@
+#include "common/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsr {
+namespace {
+
+TEST(Grid, RowMajorIds) {
+  const GridShape g{4, 3};
+  EXPECT_EQ(g.num_pes(), 12u);
+  EXPECT_EQ(g.pe_id(0, 0), 0u);
+  EXPECT_EQ(g.pe_id(3, 0), 3u);
+  EXPECT_EQ(g.pe_id(0, 1), 4u);
+  EXPECT_EQ(g.pe_id(3, 2), 11u);
+  for (u32 id = 0; id < g.num_pes(); ++id) {
+    EXPECT_EQ(g.pe_id(g.coord(id)), id);
+  }
+}
+
+TEST(Grid, Neighbors) {
+  const GridShape g{4, 3};
+  const Coord c{1, 1};
+  EXPECT_EQ(g.neighbor(c, Dir::West), (Coord{0, 1}));
+  EXPECT_EQ(g.neighbor(c, Dir::East), (Coord{2, 1}));
+  EXPECT_EQ(g.neighbor(c, Dir::North), (Coord{1, 0}));
+  EXPECT_EQ(g.neighbor(c, Dir::South), (Coord{1, 2}));
+  EXPECT_TRUE(g.has_neighbor({0, 0}, Dir::East));
+  EXPECT_FALSE(g.has_neighbor({0, 0}, Dir::West));
+  EXPECT_FALSE(g.has_neighbor({0, 0}, Dir::North));
+  EXPECT_FALSE(g.has_neighbor({3, 2}, Dir::East));
+  EXPECT_FALSE(g.has_neighbor({3, 2}, Dir::South));
+}
+
+TEST(Grid, OppositeIsInvolution) {
+  for (u8 d = 0; d < kNumDirs; ++d) {
+    const Dir dir = static_cast<Dir>(d);
+    EXPECT_EQ(opposite(opposite(dir)), dir);
+  }
+  EXPECT_EQ(opposite(Dir::West), Dir::East);
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+}
+
+TEST(Grid, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0u);
+  EXPECT_EQ(manhattan({0, 0}, {3, 2}), 5u);
+  EXPECT_EQ(manhattan({3, 2}, {0, 0}), 5u);
+}
+
+TEST(Grid, DirMask) {
+  const DirMask m = dir_mask(Dir::West, Dir::Ramp);
+  EXPECT_TRUE(mask_has(m, Dir::West));
+  EXPECT_TRUE(mask_has(m, Dir::Ramp));
+  EXPECT_FALSE(mask_has(m, Dir::East));
+  EXPECT_EQ(mask_to_string(m), "W+R");
+  EXPECT_EQ(mask_to_string(0), "-");
+}
+
+}  // namespace
+}  // namespace wsr

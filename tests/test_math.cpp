@@ -1,0 +1,61 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsr {
+namespace {
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8191, 4096), 2);
+}
+
+TEST(Math, Ilog2Floor) {
+  EXPECT_EQ(ilog2_floor(1), 0u);
+  EXPECT_EQ(ilog2_floor(2), 1u);
+  EXPECT_EQ(ilog2_floor(3), 1u);
+  EXPECT_EQ(ilog2_floor(4), 2u);
+  EXPECT_EQ(ilog2_floor(1023), 9u);
+  EXPECT_EQ(ilog2_floor(1024), 10u);
+}
+
+TEST(Math, Ilog2Ceil) {
+  EXPECT_EQ(ilog2_ceil(1), 0u);
+  EXPECT_EQ(ilog2_ceil(2), 1u);
+  EXPECT_EQ(ilog2_ceil(3), 2u);
+  EXPECT_EQ(ilog2_ceil(4), 2u);
+  EXPECT_EQ(ilog2_ceil(5), 3u);
+  EXPECT_EQ(ilog2_ceil(512), 9u);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1u << 20));
+  EXPECT_FALSE(is_pow2((1u << 20) + 1));
+}
+
+class IsqrtTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(IsqrtTest, FloorAndCeilBracketTheRoot) {
+  const u64 x = GetParam();
+  const u64 f = isqrt_floor(x);
+  const u64 c = isqrt_ceil(x);
+  EXPECT_LE(f * f, x);
+  EXPECT_GT((f + 1) * (f + 1), x);
+  EXPECT_GE(c * c, x);
+  if (c > 0) EXPECT_LT((c - 1) * (c - 1), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IsqrtTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 15, 16, 17, 24, 25,
+                                           255, 256, 257, 511, 512, 1u << 20,
+                                           (1u << 20) + 1, 999983));
+
+}  // namespace
+}  // namespace wsr

@@ -1,0 +1,109 @@
+// Tests of the runtime planner: model-driven selection and plan execution.
+#include "runtime/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_test_utils.hpp"
+
+namespace wsr::runtime {
+namespace {
+
+class PlannerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { planner_ = new Planner(128); }
+  static void TearDownTestSuite() {
+    delete planner_;
+    planner_ = nullptr;
+  }
+  static Planner* planner_;
+};
+Planner* PlannerFixture::planner_ = nullptr;
+
+TEST_F(PlannerFixture, AutoSelectionNeverWorseThanAnyFixedAlgo) {
+  for (u32 p : {4u, 16u, 64u, 128u}) {
+    for (u32 b : {1u, 16u, 256u, 4096u}) {
+      const Plan plan = planner_->plan_reduce_1d(p, b);
+      for (ReduceAlgo a : kFixedReduceAlgos) {
+        EXPECT_LE(plan.prediction.cycles,
+                  planner_->predict_reduce_1d(a, p, b).cycles)
+            << "P=" << p << " B=" << b << " vs " << name(a);
+      }
+    }
+  }
+}
+
+TEST_F(PlannerFixture, AutoPlansExecuteCorrectly) {
+  for (u32 p : {4u, 16u, 64u}) {
+    for (u32 b : {1u, 64u, 1024u}) {
+      testing::verify_ok(planner_->plan_reduce_1d(p, b).schedule);
+      testing::verify_ok(planner_->plan_allreduce_1d(p, b).schedule);
+    }
+  }
+}
+
+TEST_F(PlannerFixture, ExplicitAlgorithmIsHonored) {
+  const Plan plan = planner_->plan_reduce_1d(32, 64, ReduceAlgo::Star);
+  EXPECT_EQ(plan.algorithm, "Star");
+  EXPECT_EQ(plan.schedule.name, "reduce-1d-Star");
+}
+
+TEST_F(PlannerFixture, SelectionFollowsTheRegimes) {
+  // Scalars -> Star; huge vectors -> Chain (Fig. 1 / Section 5.7). For huge
+  // B the Auto-Gen tree degenerates to the chain, so either label is valid.
+  EXPECT_EQ(planner_->plan_reduce_1d(128, 1).algorithm, "Star");
+  const std::string huge = planner_->plan_reduce_1d(4, 1u << 15).algorithm;
+  EXPECT_TRUE(huge == "Chain" || huge == "AutoGen") << huge;
+}
+
+TEST_F(PlannerFixture, RingSelectedOnlyInItsBand) {
+  // Fig. 8: ring wins for few PEs and very long vectors.
+  const Plan big = planner_->plan_allreduce_1d(4, 1u << 15);
+  EXPECT_EQ(big.algorithm, "Ring");
+  const Plan small = planner_->plan_allreduce_1d(64, 64);
+  EXPECT_NE(small.algorithm, "Ring");
+}
+
+TEST_F(PlannerFixture, LowerBoundIsBelowEveryModelCost) {
+  // The bound holds within the cost model; the Star's sharper pipeline
+  // refinement (used for runtime prediction) can dip a few cycles below it
+  // at tiny B, exactly as in the paper's Fig. 1 construction.
+  for (u32 p : {8u, 64u}) {
+    for (u32 b : {1u, 256u}) {
+      const double lb = planner_->reduce_1d_lower_bound(p, b);
+      for (ReduceAlgo a :
+           {ReduceAlgo::Chain, ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
+            ReduceAlgo::AutoGen}) {
+        EXPECT_LE(lb, static_cast<double>(
+                          planner_->predict_reduce_1d(a, p, b).cycles))
+            << name(a) << " p=" << p << " B=" << b;
+      }
+      EXPECT_LE(lb, static_cast<double>(
+                        predict_star_reduce_eq1(p, b, planner_->machine())
+                            .cycles));
+    }
+  }
+}
+
+TEST_F(PlannerFixture, Plans2D) {
+  const GridShape g{16, 16};
+  const Plan r = planner_->plan_reduce_2d(g, 64);
+  testing::verify_ok(r.schedule);
+  const Plan a = planner_->plan_allreduce_2d(g, 64);
+  testing::verify_ok(a.schedule);
+  const Plan b = planner_->plan_broadcast_2d(g, 64);
+  testing::verify_ok(b.schedule, /*is_broadcast=*/true);
+}
+
+TEST_F(PlannerFixture, SnakeSelectedForSmallGridHugeVector) {
+  const Plan plan = planner_->plan_reduce_2d({4, 4}, 1u << 14);
+  EXPECT_EQ(plan.algorithm, "Snake");
+}
+
+TEST_F(PlannerFixture, PredictionsConsistentWithPlans) {
+  const Plan plan = planner_->plan_allreduce_1d(64, 256, ReduceAlgo::TwoPhase);
+  EXPECT_EQ(plan.prediction.cycles,
+            planner_->predict_allreduce_1d(ReduceAlgo::TwoPhase, 64, 256).cycles);
+}
+
+}  // namespace
+}  // namespace wsr::runtime

@@ -1,0 +1,144 @@
+// wsr_plan: command-line front end to the planner.
+//
+//   wsr_plan <collective> <grid> <bytes> [--algo=NAME] [--simulate]
+//            [--json] [--dump] [--tr=N]
+//
+//   collective: reduce | allreduce | broadcast
+//   grid:       P (a 1D row) or WxH (a 2D grid)
+//   bytes:      per-PE vector size in bytes (4 bytes per f32 wavelet)
+//
+// Examples:
+//   wsr_plan reduce 512 1024                # model-selected 1D reduce
+//   wsr_plan allreduce 64x64 4096 --simulate
+//   wsr_plan reduce 512 64 --algo=TwoPhase --dump
+//   wsr_plan reduce 16 256 --algo=AutoGen --json > schedule.json
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "flowsim/flowsim.hpp"
+#include "runtime/planner.hpp"
+#include "runtime/verify.hpp"
+#include "wse/export.hpp"
+
+namespace {
+
+using namespace wsr;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wsr_plan <reduce|allreduce|broadcast> <P|WxH> <bytes>\n"
+               "                [--algo=Star|Chain|Tree|TwoPhase|AutoGen]\n"
+               "                [--simulate] [--json] [--dump] [--tr=N]\n");
+  return 2;
+}
+
+std::optional<ReduceAlgo> parse_algo(const std::string& s) {
+  if (s == "Star") return ReduceAlgo::Star;
+  if (s == "Chain") return ReduceAlgo::Chain;
+  if (s == "Tree") return ReduceAlgo::Tree;
+  if (s == "TwoPhase") return ReduceAlgo::TwoPhase;
+  if (s == "AutoGen") return ReduceAlgo::AutoGen;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string collective = argv[1];
+  const std::string grid_arg = argv[2];
+  const u64 bytes = std::strtoull(argv[3], nullptr, 10);
+  if (bytes == 0 || bytes % 4 != 0) {
+    std::fprintf(stderr, "bytes must be a positive multiple of 4\n");
+    return 2;
+  }
+  const u32 vec_len = static_cast<u32>(bytes / 4);
+
+  std::optional<ReduceAlgo> algo;
+  bool simulate = false, json = false, dump = false;
+  MachineParams mp;
+  for (int i = 4; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--algo=", 0) == 0) {
+      algo = parse_algo(a.substr(7));
+      if (!algo) return usage();
+    } else if (a == "--simulate") {
+      simulate = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--dump") {
+      dump = true;
+    } else if (a.rfind("--tr=", 0) == 0) {
+      mp.ramp_latency = static_cast<u32>(std::strtoul(a.c_str() + 5, nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+
+  GridShape grid;
+  const auto x = grid_arg.find('x');
+  if (x == std::string::npos) {
+    grid = {static_cast<u32>(std::strtoul(grid_arg.c_str(), nullptr, 10)), 1};
+  } else {
+    grid = {static_cast<u32>(std::strtoul(grid_arg.substr(0, x).c_str(), nullptr, 10)),
+            static_cast<u32>(std::strtoul(grid_arg.substr(x + 1).c_str(), nullptr, 10))};
+  }
+  if (grid.num_pes() < 2) {
+    std::fprintf(stderr, "need at least 2 PEs\n");
+    return 2;
+  }
+
+  const runtime::Planner planner(std::max(grid.width, grid.height), mp);
+  runtime::Plan plan = [&] {
+    if (grid.is_row()) {
+      if (collective == "reduce") return planner.plan_reduce_1d(grid.width, vec_len, algo);
+      if (collective == "allreduce") return planner.plan_allreduce_1d(grid.width, vec_len, algo);
+      if (collective == "broadcast") return planner.plan_broadcast_1d(grid.width, vec_len);
+    } else {
+      if (collective == "reduce") return planner.plan_reduce_2d(grid, vec_len, {}, algo);
+      if (collective == "allreduce") return planner.plan_allreduce_2d(grid, vec_len, algo);
+      if (collective == "broadcast") return planner.plan_broadcast_2d(grid, vec_len);
+    }
+    std::exit(usage());
+  }();
+
+  if (json) {
+    std::printf("%s\n", wse::to_json(plan.schedule).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "collective : %s on %ux%u PEs, %llu bytes/PE\n",
+               collective.c_str(), grid.width, grid.height,
+               static_cast<unsigned long long>(bytes));
+  std::fprintf(stderr, "algorithm  : %s\n", plan.algorithm.c_str());
+  std::fprintf(stderr, "predicted  : %lld cycles (%.3f us at %.0f MHz)\n",
+               static_cast<long long>(plan.prediction.cycles),
+               mp.cycles_to_us(plan.prediction.cycles), mp.clock_mhz);
+  std::fprintf(stderr, "model terms: %s\n",
+               to_string(plan.prediction.terms).c_str());
+  if (collective == "reduce" && grid.is_row()) {
+    std::fprintf(stderr, "lower bound: %.0f cycles\n",
+                 planner.reduce_1d_lower_bound(grid.width, vec_len));
+  }
+  if (dump) std::printf("%s", plan.schedule.dump().c_str());
+  if (simulate) {
+    if (grid.num_pes() <= 4096 && plan.prediction.cycles <= 200000) {
+      const auto r = runtime::verify_on_fabric(plan.schedule,
+                                               collective == "broadcast");
+      std::fprintf(stderr, "fabric sim : %lld cycles, results %s\n",
+                   static_cast<long long>(r.cycles),
+                   r.ok ? "verified" : "WRONG");
+      if (!r.ok) {
+        std::fprintf(stderr, "  %s\n", r.error.c_str());
+        return 1;
+      }
+    } else {
+      const auto r = flowsim::run_flow(plan.schedule);
+      std::fprintf(stderr, "flow sim   : %lld cycles (grid too large for "
+                   "cycle-level simulation)\n",
+                   static_cast<long long>(r.cycles));
+    }
+  }
+  return 0;
+}
