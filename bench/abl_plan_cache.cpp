@@ -1,0 +1,103 @@
+// Ablation A6 (extension): the PlanCache hit path vs cold planning.
+//
+// The serving story (ROADMAP: heavy traffic, millions of users) repeats the
+// same (collective, grid, B) shapes constantly; a cold plan evaluates every
+// registered candidate's cost model and compiles + validates the winning
+// schedule, while a cache hit is one sharded hash lookup returning a shared
+// immutable plan. This bench measures both paths over a realistic request
+// mix and checks the acceptance bar: hit path >= 10x faster than cold.
+#include <chrono>
+#include <cstdio>
+
+#include "harness.hpp"
+#include "runtime/plan_cache.hpp"
+
+using namespace wsr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start, u64 ops) {
+  const auto dt = Clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+         static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main() {
+  const runtime::Planner planner(128);
+  planner.autogen_model();  // steady state: exclude the one-time DP fill
+
+  // A realistic serving mix: 1D and 2D reduce/allreduce/broadcast shapes.
+  std::vector<runtime::PlanRequest> requests;
+  for (u32 p : {16u, 32u, 64u, 128u}) {
+    for (u32 b : {16u, 256u, 1024u, 4096u}) {
+      requests.push_back({runtime::Collective::Reduce, {p, 1}, b, ""});
+      requests.push_back({runtime::Collective::AllReduce, {p, 1}, b, ""});
+      requests.push_back({runtime::Collective::AllReduce, {p / 2, p / 2}, b, ""});
+      requests.push_back({runtime::Collective::Broadcast, {p, 1}, b, ""});
+    }
+  }
+
+  // Cold path: full model-driven planning per request.
+  constexpr u32 kColdRounds = 5;
+  const auto cold_start = Clock::now();
+  u64 cold_ops = 0;
+  for (u32 r = 0; r < kColdRounds; ++r) {
+    for (const auto& req : requests) {
+      const runtime::Plan plan = planner.plan(req);
+      cold_ops += static_cast<u64>(plan.prediction.cycles != 0);
+    }
+  }
+  const double cold_ns = ns_since(cold_start, cold_ops);
+
+  // Warm path: the same requests served out of the cache.
+  runtime::PlanCache cache;
+  for (const auto& req : requests) cache.get_or_plan(planner, req);
+
+  constexpr u32 kHitRounds = 200;
+  const auto hit_start = Clock::now();
+  u64 hit_ops = 0;
+  i64 sink = 0;
+  for (u32 r = 0; r < kHitRounds; ++r) {
+    for (const auto& req : requests) {
+      sink += cache.get_or_plan(planner, req)->prediction.cycles;
+      ++hit_ops;
+    }
+  }
+  const double hit_ns = ns_since(hit_start, hit_ops);
+
+  const double speedup = cold_ns / hit_ns;
+  std::printf("=== Ablation: PlanCache hit path vs cold planning ===\n");
+  std::printf("distinct shapes        : %zu\n", requests.size());
+  std::printf("cold plan              : %12.0f ns/request  (%llu plans)\n",
+              cold_ns, static_cast<unsigned long long>(cold_ops));
+  std::printf("cache hit              : %12.0f ns/request  (%llu lookups, "
+              "%llu hits)\n",
+              hit_ns, static_cast<unsigned long long>(hit_ops),
+              static_cast<unsigned long long>(cache.hits()));
+  std::printf("hit-path speedup       : %12.1fx  (acceptance bar: >= 10x)\n",
+              speedup);
+  std::printf("checksum               : %lld\n", static_cast<long long>(sink));
+
+  // Batch serving: plan_many over a step's worth of repeated shapes.
+  std::vector<runtime::PlanRequest> batch;
+  for (u32 r = 0; r < 8; ++r) {
+    batch.insert(batch.end(), requests.begin(), requests.end());
+  }
+  const auto batch_start = Clock::now();
+  const auto plans = planner.plan_many(batch, &cache);
+  const double batch_ns = ns_since(batch_start, batch.size());
+  std::printf("plan_many (cached)     : %12.0f ns/request over %zu requests\n",
+              batch_ns, plans.size());
+
+  if (speedup < 10.0) {
+    std::printf("FAILED: hit path must be >= 10x faster than cold planning\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

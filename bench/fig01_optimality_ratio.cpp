@@ -1,69 +1,62 @@
 // Figure 1: optimality ratios of 1D Reduce algorithms against the lower
-// bound of Section 5.6 (1.0 = optimal). Five heatmaps over PE count x vector
-// length, exactly as the paper's Fig. 1a-e. Purely analytic.
+// bound of Section 5.6 (1.0 = optimal). One heatmap per registered 1D Reduce
+// algorithm over PE count x vector length, as the paper's Fig. 1a-e. Purely
+// analytic.
+//
+// The algorithm list is a registry enumeration: registering a new 1D Reduce
+// descriptor adds its heatmap here automatically. Each descriptor's
+// lower-bound-comparable cost is used (Star overrides its sharper runtime
+// prediction with the pure Eq. (1) synthesis, exactly as the paper's figure).
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
-#include "autogen/dp.hpp"
 #include "autogen/lower_bound.hpp"
 #include "harness.hpp"
-#include "model/costs1d.hpp"
+#include "registry/algorithm_registry.hpp"
 
 using namespace wsr;
 
 int main() {
   const MachineParams mp;
   const autogen::LowerBound lb(512, mp);
-  const autogen::AutoGenModel ag(512, mp);
+  const registry::PlanContext ctx = registry::make_context(512, mp);
   const auto pes = bench::pe_sweep();
   const auto lens = bench::vec_len_sweep_wavelets(8192);
 
-  // Fig. 1 compares model costs against the model-level lower bound, so the
-  // Star column uses its Eq. (1) synthesis (see model/costs1d.hpp).
-  struct Pattern {
-    const char* title;
-    std::function<double(u32, u32)> cycles;
-  };
-  const Pattern patterns[] = {
-      {"Fig 1a: Star",
-       [&](u32 p, u32 b) {
-         return static_cast<double>(predict_star_reduce_eq1(p, b, mp).cycles);
-       }},
-      {"Fig 1b: Chain (vendor)",
-       [&](u32 p, u32 b) {
-         return static_cast<double>(predict_chain_reduce(p, b, mp).cycles);
-       }},
-      {"Fig 1c: Tree",
-       [&](u32 p, u32 b) {
-         return static_cast<double>(predict_tree_reduce(p, b, mp).cycles);
-       }},
-      {"Fig 1d: Two-Phase (ours)",
-       [&](u32 p, u32 b) {
-         return static_cast<double>(predict_two_phase_reduce(p, b, mp).cycles);
-       }},
-      {"Fig 1e: Auto-Gen (ours)",
-       [&](u32 p, u32 b) {
-         return static_cast<double>(ag.predict(p, b).cycles);
-       }},
-  };
+  // The paper's reported worst-case ratios (Fig. 1a-e) for the headline.
+  const std::map<std::string, double> paper = {{"Star", 371.8},
+                                               {"Chain", 5.9},
+                                               {"Tree", 6.7},
+                                               {"TwoPhase", 2.4},
+                                               {"AutoGen", 1.4}};
 
-  double worst[5] = {0, 0, 0, 0, 0};
-  for (int i = 0; i < 5; ++i) {
+  const auto algos = registry::AlgorithmRegistry::instance().query(
+      registry::Collective::Reduce, registry::Dims::OneD);
+
+  std::vector<double> worst(algos.size(), 0.0);
+  for (std::size_t i = 0; i < algos.size(); ++i) {
+    const registry::AlgorithmDescriptor& d = *algos[i];
     bench::print_heatmap(
-        std::string(patterns[i].title) + " optimality ratio (1.0 = optimal)",
-        pes, lens, [&](u32 p, u32 b) {
-          const double r = patterns[i].cycles(p, b) / lb.cycles(p, b);
+        "Fig 1: " + d.name + " optimality ratio (1.0 = optimal)", pes, lens,
+        [&](u32 p, u32 b) {
+          const double cycles = static_cast<double>(
+              d.lower_bound_comparable_cost({p, 1}, b, ctx).cycles);
+          const double r = cycles / lb.cycles(p, b);
           worst[i] = std::max(worst[i], r);
           return r;
         });
   }
 
   std::printf("\nWorst-case ratio over the sweep:\n");
-  const double paper[5] = {371.8, 5.9, 6.7, 2.4, 1.4};
-  const char* names[5] = {"Star", "Chain", "Tree", "Two-Phase", "Auto-Gen"};
-  for (int i = 0; i < 5; ++i) {
-    std::printf("  %-10s %7.1fx   (paper: <= %.1fx)\n", names[i], worst[i],
-                paper[i]);
+  for (std::size_t i = 0; i < algos.size(); ++i) {
+    const auto it = paper.find(algos[i]->name);
+    if (it != paper.end()) {
+      std::printf("  %-10s %7.1fx   (paper: <= %.1fx)\n",
+                  algos[i]->name.c_str(), worst[i], it->second);
+    } else {
+      std::printf("  %-10s %7.1fx\n", algos[i]->name.c_str(), worst[i]);
+    }
   }
   return 0;
 }

@@ -1,6 +1,10 @@
 // Figure 8: which fixed 1D AllReduce algorithm the model predicts to be best
 // for each (vector length, PE count), and its speedup over the vendor
 // baseline (Chain + Broadcast). Purely analytic.
+//
+// The candidate table is a registry enumeration (selector.cpp queries the
+// AlgorithmRegistry's fixed 1D AllReduce family), so a newly registered
+// fixed algorithm appears in this region map automatically.
 #include <cstdio>
 
 #include "harness.hpp"

@@ -1,6 +1,10 @@
 // Figure 10: best fixed 2D AllReduce per (vector length, grid size) and its
 // speedup over the vendor baseline (X-Y Chain). Square grids up to 512x512.
 // Purely analytic.
+//
+// The candidate table is a registry enumeration (selector.cpp queries the
+// AlgorithmRegistry's fixed 2D AllReduce family), so a newly registered
+// fixed algorithm appears in this region map automatically.
 #include <cstdio>
 
 #include "harness.hpp"

@@ -4,66 +4,63 @@
 // tests/test_flowsim.cpp), the Snake on the full 262,144-PE grid.
 // Headline: X-Y Auto-Gen beats the vendor X-Y Chain by up to 3.27x; the
 // Snake sits near 2000 us with ~4% error.
+//
+// The X-Y series enumerate the registry's 1D Reduce descriptors, so a newly
+// registered reduce pattern appears as an "X-Y <name>" series automatically.
 #include <algorithm>
 #include <cstdio>
 
 #include "harness.hpp"
+#include "registry/algorithm_registry.hpp"
 
 using namespace wsr;
 
 int main() {
   const MachineParams mp;
   const GridShape grid{512, 512};
-  const runtime::Planner planner(512, mp);
+  const registry::PlanContext ctx = registry::make_context(512, mp);
   const auto lens = bench::vec_len_sweep_wavelets(4096);
 
-  const ReduceAlgo algos[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
-                              ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
-                              ReduceAlgo::AutoGen};
   std::vector<bench::Series> series;
   std::vector<std::string> labels;
   for (u32 b : lens) labels.push_back(bench::bytes_label(b));
 
-  for (ReduceAlgo a : algos) {
-    bench::Series s{a == ReduceAlgo::Chain
-                        ? "X-Y Chain (vendor)"
-                        : std::string("X-Y ") + name(a),
+  for (const registry::AlgorithmDescriptor* d :
+       registry::AlgorithmRegistry::instance().query(
+           registry::Collective::Reduce, registry::Dims::OneD)) {
+    bench::Series s{d->name == "Chain" ? "X-Y Chain (vendor)"
+                                       : std::string("X-Y ") + d->name,
                     {}};
     for (u32 b : lens) {
-      const i64 pred =
-          planner.predict_reduce_2d(Reduce2DAlgo::XY, a, grid, b).cycles;
+      const i64 pred = sequential(d->cost({grid.width, 1}, b, ctx),
+                                  d->cost({grid.height, 1}, b, ctx))
+                           .cycles;
       const i64 meas = bench::xy_composed_cycles(
-          [&](u32 n) {
-            return collectives::make_reduce_1d(a, n, b,
-                                               &planner.autogen_model());
-          },
-          grid);
+          [&](u32 n) { return d->build({n, 1}, b, ctx); }, grid);
       s.points.push_back({meas, pred});
     }
     series.push_back(std::move(s));
   }
-  bench::Series snake{"Snake", {}};
-  for (u32 b : lens) {
-    snake.points.push_back(
-        {bench::flow_cycles(collectives::make_reduce_2d_snake(grid, b)),
-         planner.predict_reduce_2d(Reduce2DAlgo::Snake, ReduceAlgo::Chain, grid,
-                                   b)
-             .cycles});
-  }
-  series.push_back(std::move(snake));
+
+  std::vector<std::pair<GridShape, u32>> snake_points;
+  for (u32 b : lens) snake_points.emplace_back(grid, b);
+  series.push_back(bench::flow_series(
+      "Snake",
+      registry::AlgorithmRegistry::instance().at(registry::Collective::Reduce,
+                                                 registry::Dims::TwoD, "Snake"),
+      snake_points, ctx));
 
   bench::print_figure("Fig 13a: 2D Reduce, 512x512 PEs, vector length sweep",
                       "bytes", labels, series, mp);
 
-  double best_speedup = 0;
-  for (std::size_t i = 0; i < lens.size(); ++i) {
-    best_speedup = std::max(
-        best_speedup, static_cast<double>(series[1].points[i].measured) /
-                          static_cast<double>(series[4].points[i].measured));
-  }
-  bench::print_headline("X-Y Auto-Gen over vendor X-Y Chain (max over B)",
-                        best_speedup, 3.27);
+  bench::print_headline(
+      "X-Y Auto-Gen over vendor X-Y Chain (max over B)",
+      bench::max_measured_speedup(
+          bench::series_by_label(series, "X-Y Chain (vendor)"),
+          bench::series_by_label(series, "X-Y AutoGen")),
+      3.27);
   std::printf("Snake at 16KB: %.0f us (paper: ~2000 us, predictions <= 10%% off)\n",
-              mp.cycles_to_us(series[5].points.back().measured));
+              mp.cycles_to_us(
+                  bench::series_by_label(series, "Snake").points.back().measured));
   return 0;
 }

@@ -2,56 +2,52 @@
 // (4x4 .. 512x512). The Snake wins on small bandwidth-bound grids, then
 // X-Y Chain, then X-Y Two-Phase; X-Y Auto-Gen is near-best throughout
 // except on 4x4 where the Snake stays ahead.
+//
+// The X-Y series enumerate the registry's 1D Reduce descriptors, so a newly
+// registered reduce pattern appears as an "X-Y <name>" series automatically.
 #include <cstdio>
 
 #include "harness.hpp"
+#include "registry/algorithm_registry.hpp"
 
 using namespace wsr;
 
 int main() {
   const MachineParams mp;
   const u32 B = 256;  // 1 KB
-  const runtime::Planner planner(512, mp);
+  const registry::PlanContext ctx = registry::make_context(512, mp);
 
-  const ReduceAlgo algos[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
-                              ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
-                              ReduceAlgo::AutoGen};
   std::vector<bench::Series> series;
   std::vector<std::string> labels;
   for (u32 n : bench::pe_sweep()) {
     labels.push_back(std::to_string(n) + "x" + std::to_string(n));
   }
 
-  for (ReduceAlgo a : algos) {
-    bench::Series s{a == ReduceAlgo::Chain
-                        ? "X-Y Chain (vendor)"
-                        : std::string("X-Y ") + name(a),
+  for (const registry::AlgorithmDescriptor* d :
+       registry::AlgorithmRegistry::instance().query(
+           registry::Collective::Reduce, registry::Dims::OneD)) {
+    bench::Series s{d->name == "Chain" ? "X-Y Chain (vendor)"
+                                       : std::string("X-Y ") + d->name,
                     {}};
     for (u32 n : bench::pe_sweep()) {
       const GridShape grid{n, n};
-      const i64 pred =
-          planner.predict_reduce_2d(Reduce2DAlgo::XY, a, grid, B).cycles;
+      const i64 pred = sequential(d->cost({grid.width, 1}, B, ctx),
+                                  d->cost({grid.height, 1}, B, ctx))
+                           .cycles;
       const i64 meas = bench::xy_composed_cycles(
-          [&](u32 len) {
-            return collectives::make_reduce_1d(a, len, B,
-                                               &planner.autogen_model());
-          },
-          grid);
+          [&](u32 len) { return d->build({len, 1}, B, ctx); }, grid);
       s.points.push_back({meas, pred});
     }
     series.push_back(std::move(s));
   }
-  bench::Series snake{"Snake", {}};
-  for (u32 n : bench::pe_sweep()) {
-    const GridShape grid{n, n};
-    const i64 pred = planner
-                         .predict_reduce_2d(Reduce2DAlgo::Snake,
-                                            ReduceAlgo::Chain, grid, B)
-                         .cycles;
-    snake.points.push_back(
-        {bench::flow_cycles(collectives::make_reduce_2d_snake(grid, B)), pred});
-  }
-  series.push_back(std::move(snake));
+
+  std::vector<std::pair<GridShape, u32>> snake_points;
+  for (u32 n : bench::pe_sweep()) snake_points.emplace_back(GridShape{n, n}, B);
+  series.push_back(bench::flow_series(
+      "Snake",
+      registry::AlgorithmRegistry::instance().at(registry::Collective::Reduce,
+                                                 registry::Dims::TwoD, "Snake"),
+      snake_points, ctx));
 
   bench::print_figure("Fig 13c: 2D Reduce, 1KB vector, grid size sweep",
                       "grid", labels, series, mp);

@@ -1,5 +1,6 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -37,6 +38,39 @@ i64 fabric_cycles(const wse::Schedule& s, bool is_broadcast) {
 }
 
 i64 flow_cycles(const wse::Schedule& s) { return flowsim::run_flow(s).cycles; }
+
+const Series& series_by_label(const std::vector<Series>& series,
+                              const std::string& label) {
+  for (const Series& s : series) {
+    if (s.label == label) return s;
+  }
+  WSR_ASSERT(false, "missing series");
+  return series.front();
+}
+
+double max_measured_speedup(const Series& vendor, const Series& challenger) {
+  WSR_ASSERT(vendor.points.size() == challenger.points.size(),
+             "series sweeps differ");
+  double best = 0;
+  for (std::size_t i = 0; i < vendor.points.size(); ++i) {
+    const i64 v = vendor.points[i].measured;
+    const i64 c = challenger.points[i].measured;
+    if (v <= 0 || c <= 0) continue;
+    best = std::max(best, static_cast<double>(v) / static_cast<double>(c));
+  }
+  return best;
+}
+
+Series flow_series(std::string label, const registry::AlgorithmDescriptor& desc,
+                   const std::vector<std::pair<GridShape, u32>>& points,
+                   const registry::PlanContext& ctx) {
+  Series s{std::move(label), {}};
+  for (const auto& [grid, b] : points) {
+    s.points.push_back({flow_cycles(desc.build(grid, b, ctx)),
+                        desc.cost(grid, b, ctx).cycles});
+  }
+  return s;
+}
 
 i64 measured_cycles(const wse::Schedule& s, i64 predicted,
                     i64 fabric_budget_cycles, bool is_broadcast) {

@@ -10,11 +10,13 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collectives/collectives.hpp"
 #include "flowsim/flowsim.hpp"
 #include "model/selector.hpp"
+#include "registry/algorithm_registry.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/verify.hpp"
 
@@ -66,6 +68,20 @@ struct Series {
   std::string label;
   std::vector<Measurement> points;
 };
+
+/// The series with the given label (asserts it exists).
+const Series& series_by_label(const std::vector<Series>& series,
+                              const std::string& label);
+
+/// Max measured-cycles speedup of `challenger` over `vendor` across the
+/// sweep (points either series did not measure are skipped).
+double max_measured_speedup(const Series& vendor, const Series& challenger);
+
+/// FlowSim-measured series of one 2D registry descriptor over (grid, B)
+/// sweep points (predicted = the descriptor's cost model).
+Series flow_series(std::string label, const registry::AlgorithmDescriptor& desc,
+                   const std::vector<std::pair<GridShape, u32>>& points,
+                   const registry::PlanContext& ctx);
 
 /// Prints a figure as a table: one column block per series with measured /
 /// predicted cycles (and us at 850 MHz) per sweep point, followed by the

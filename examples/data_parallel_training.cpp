@@ -3,12 +3,15 @@
 // The motivating ML workload (paper Section 1): every PE holds a gradient
 // shard after its local backward pass and all PEs need the summed gradients
 // before the optimizer step. This example sizes the AllReduce per layer of a
-// small MLP, lets the planner pick the 2D algorithm per layer, simulates the
-// wafer-scale timing with FlowSim, and verifies numerics on a small grid
-// with the cycle-level simulator.
+// small MLP, plans the whole step as one batch (plan_many + PlanCache: the
+// serving path, since a training run re-requests identical shapes every
+// step), simulates the wafer-scale timing with FlowSim, and verifies
+// numerics on a small grid with the cycle-level simulator.
 #include <cstdio>
+#include <vector>
 
 #include "flowsim/flowsim.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/verify.hpp"
 
@@ -26,14 +29,24 @@ int main() {
   };
 
   // --- wafer-scale timing (512x512 PEs, flow-level simulator) --------------
+  // One PlanRequest per layer, planned in parallel through a shared cache.
   const GridShape wafer{512, 512};
+  std::vector<runtime::PlanRequest> requests;
+  for (const Layer& l : layers) {
+    requests.push_back(
+        {runtime::Collective::AllReduce, wafer, l.grad_wavelets, ""});
+  }
+  runtime::PlanCache cache;
+  const auto plans = planner.plan_many(requests, &cache);
+
   std::printf("Gradient AllReduce on %ux%u PEs (per training step):\n\n",
               wafer.width, wafer.height);
   std::printf("%-10s %-10s %-16s %12s %10s\n", "layer", "grad", "algorithm",
               "cycles", "us");
   double total_us = 0;
-  for (const Layer& l : layers) {
-    const runtime::Plan plan = planner.plan_allreduce_2d(wafer, l.grad_wavelets);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const Layer& l = layers[i];
+    const runtime::Plan& plan = *plans[i];
     const i64 cycles = flowsim::run_flow(plan.schedule).cycles;
     const double us = planner.machine().cycles_to_us(cycles);
     total_us += us;
@@ -42,6 +55,13 @@ int main() {
                 plan.algorithm.c_str(), static_cast<long long>(cycles), us);
   }
   std::printf("%-10s %-10s %-16s %12s %10.1f\n\n", "total", "", "", "", total_us);
+
+  // Step 2 of training re-requests the same shapes: all cache hits, the
+  // schedules are shared, planning cost drops to hash lookups.
+  planner.plan_many(requests, &cache);
+  std::printf("plan cache after 2 steps: %llu hits, %llu misses, %zu plans\n\n",
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()), cache.size());
 
   // --- numerics check on a small grid (cycle-level simulator) --------------
   const GridShape small{8, 8};

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "flowsim/flowsim.hpp"
+#include "registry/algorithm_registry.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/verify.hpp"
 
@@ -14,8 +15,16 @@ int main() {
   using namespace wsr;
 
   // 1. A planner for rows/columns of up to 512 PEs on default CS-2
-  //    parameters (T_R = 2, 850 MHz, 48 KB SRAM, 24 colors).
+  //    parameters (T_R = 2, 850 MHz, 24 colors). Every algorithm the
+  //    planner can pick lives in the AlgorithmRegistry:
   const runtime::Planner planner(512);
+  std::printf("registered 1D AllReduce algorithms:");
+  for (const registry::AlgorithmDescriptor* d :
+       registry::AlgorithmRegistry::instance().query(
+           registry::Collective::AllReduce, registry::Dims::OneD)) {
+    std::printf(" %s%s", d->name.c_str(), d->auto_selectable ? "" : "*");
+  }
+  std::printf("   (* = on request only)\n\n");
 
   // 2. Ask the model which AllReduce to run for 64 PEs and a 1 KB vector.
   const u32 num_pes = 64;

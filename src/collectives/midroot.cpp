@@ -60,7 +60,6 @@ Deps build_chain_reduce_to(Schedule& s, const Lane& lane, u32 root_idx,
   WSR_ASSERT(n >= 2 && root_idx < n, "bad reduce root");
   WSR_ASSERT(lane_is_adjacent_path(s.grid, lane), "chain needs an adjacent path");
   Deps out = no_deps(s);
-  const u32 B = s.vec_len;
 
   // Left arm: lane [0 .. root] reversed is a chain rooted at root_idx.
   // Right arm: lane [root .. n-1] likewise. The root accumulates each arm

@@ -1,5 +1,13 @@
 // 1D top-level constructors.
+//
+// Per-algorithm lane construction is NOT dispatched here: each 1D Reduce
+// pattern registers a `build_lane` hook in its AlgorithmRegistry descriptor
+// (src/registry/builtin_algorithms.cpp), and the generic drivers below look
+// the hook up by name. Adding a reduce pattern therefore requires no change
+// to this file — register a descriptor and every composition (plain Reduce,
+// Reduce+Bcast AllReduce, 2D X-Y) picks it up.
 #include "collectives/collectives.hpp"
+#include "registry/algorithm_registry.hpp"
 #include "wse/checks.hpp"
 
 namespace wsr::collectives {
@@ -11,34 +19,12 @@ GridShape row_grid(u32 num_pes) { return {num_pes, 1}; }
 Deps build_reduce_on_lane(Schedule& s, const Lane& lane, ReduceAlgo algo,
                           const autogen::AutoGenModel* model,
                           u32 two_phase_group, Color base, const Deps& after) {
-  switch (algo) {
-    case ReduceAlgo::Star:
-      return build_star_reduce(s, lane, base, after);
-    case ReduceAlgo::Chain:
-      return build_chain_reduce(s, lane, base, base + 1, after);
-    case ReduceAlgo::Tree:
-      return build_tree_reduce(s, lane, base, after);
-    case ReduceAlgo::TwoPhase:
-      return build_two_phase_reduce(
-          s, lane,
-          {base, static_cast<Color>(base + 1), static_cast<Color>(base + 2),
-           static_cast<Color>(base + 3)},
-          two_phase_group, after);
-    case ReduceAlgo::AutoGen: {
-      autogen::ReduceTree tree;
-      if (model != nullptr) {
-        WSR_ASSERT(lane.size() <= model->max_pes(),
-                   "AutoGenModel too small for this lane");
-        tree = model->build_tree(lane.size(), s.vec_len);
-      } else {
-        const autogen::AutoGenModel local(lane.size());
-        tree = local.build_tree(lane.size(), s.vec_len);
-      }
-      return build_autogen_reduce(s, lane, base, base + 1, tree, after);
-    }
-  }
-  WSR_ASSERT(false, "unknown reduce algorithm");
-  return {};
+  const registry::AlgorithmDescriptor* desc =
+      registry::AlgorithmRegistry::instance().find(
+          registry::Collective::Reduce, registry::Dims::OneD, name(algo));
+  WSR_ASSERT(desc != nullptr && desc->build_lane,
+             "no lane builder registered for this reduce algorithm");
+  return desc->build_lane(s, lane, model, two_phase_group, base, after);
 }
 
 }  // namespace

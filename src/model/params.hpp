@@ -39,6 +39,8 @@ struct MachineParams {
   /// Largest vector length (in 4-byte wavelets) that fits in 1/3 of PE
   /// memory (the upper end of the paper's sweeps).
   constexpr u32 max_swept_vector_wavelets() const { return sram_bytes / 3 / 4; }
+
+  friend bool operator==(const MachineParams&, const MachineParams&) = default;
 };
 
 }  // namespace wsr

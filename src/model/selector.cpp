@@ -1,61 +1,68 @@
 #include "model/selector.hpp"
 
+#include <algorithm>
 #include <cstddef>
+
+#include "registry/algorithm_registry.hpp"
 
 namespace wsr {
 
-std::vector<Candidate> reduce_1d_candidates(u32 num_pes, u32 vec_len,
-                                            const MachineParams& mp) {
+namespace {
+
+/// The fixed candidate table of one collective family, as a registry query:
+/// every auto-selectable, non-generated descriptor's prediction. Predictions
+/// are evaluated regardless of constructibility (the figures plot e.g. Ring
+/// outside its B % P == 0 region); the planner applies the applicability
+/// gate when actually selecting a plan.
+std::vector<Candidate> fixed_candidates(registry::Collective collective,
+                                        GridShape grid, u32 vec_len,
+                                        const MachineParams& mp) {
+  const registry::PlanContext ctx =
+      registry::make_context(std::max(grid.width, grid.height), mp);
   std::vector<Candidate> out;
-  for (ReduceAlgo a : kFixedReduceAlgos) {
-    out.push_back({name(a), predict_reduce_1d(a, num_pes, vec_len, mp)});
+  for (const registry::AlgorithmDescriptor* d :
+       registry::AlgorithmRegistry::instance().query(
+           collective, registry::dims_for(grid), /*selectable_only=*/true)) {
+    if (d->model_generated) continue;
+    out.push_back({d->name, d->cost(grid, vec_len, ctx)});
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<Candidate> reduce_1d_candidates(u32 num_pes, u32 vec_len,
+                                            const MachineParams& mp) {
+  return fixed_candidates(registry::Collective::Reduce, {num_pes, 1}, vec_len,
+                          mp);
 }
 
 std::vector<Candidate> allreduce_1d_candidates(u32 num_pes, u32 vec_len,
                                                const MachineParams& mp) {
-  std::vector<Candidate> out;
-  for (ReduceAlgo a : kFixedReduceAlgos) {
-    out.push_back({std::string(name(a)) + "+Bcast",
-                   predict_reduce_then_broadcast(a, num_pes, vec_len, mp)});
-  }
-  out.push_back({"Ring", predict_ring_allreduce(num_pes, vec_len, mp)});
-  return out;
+  return fixed_candidates(registry::Collective::AllReduce, {num_pes, 1},
+                          vec_len, mp);
 }
 
 std::vector<Candidate> reduce_2d_candidates(GridShape grid, u32 vec_len,
                                             const MachineParams& mp) {
-  std::vector<Candidate> out;
-  for (ReduceAlgo a : kFixedReduceAlgos) {
-    out.push_back({std::string("X-Y ") + name(a),
-                   predict_xy_reduce(a, a, grid, vec_len, mp)});
-  }
-  out.push_back({"Snake", predict_snake_reduce(grid, vec_len, mp)});
-  return out;
+  return fixed_candidates(registry::Collective::Reduce, grid, vec_len, mp);
 }
 
 std::vector<Candidate> allreduce_2d_candidates(GridShape grid, u32 vec_len,
                                                const MachineParams& mp) {
-  std::vector<Candidate> out;
-  for (ReduceAlgo a : kFixedReduceAlgos) {
-    out.push_back({std::string("X-Y ") + name(a),
-                   predict_xy_allreduce(a, grid, vec_len, mp)});
-  }
-  // 2D Reduce (snake) followed by the very efficient 2D broadcast
-  // (Section 7.4's improved variant; occupies Fig. 10's bandwidth-bound area).
-  out.push_back({"Snake+Bcast",
-                 predict_reduce2d_then_broadcast(Reduce2DAlgo::Snake,
-                                                 ReduceAlgo::Chain, grid,
-                                                 vec_len, mp)});
-  return out;
+  return fixed_candidates(registry::Collective::AllReduce, grid, vec_len, mp);
 }
 
 std::size_t best_candidate(const std::vector<Candidate>& candidates) {
   WSR_ASSERT(!candidates.empty(), "no candidates");
   std::size_t best = 0;
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    if (candidates[i].prediction.cycles < candidates[best].prediction.cycles) {
+    const auto& c = candidates[i];
+    const auto& b = candidates[best];
+    // Deterministic: fewest cycles, ties broken by label (registration
+    // name), never by vector insertion order.
+    if (c.prediction.cycles < b.prediction.cycles ||
+        (c.prediction.cycles == b.prediction.cycles && c.label < b.label)) {
       best = i;
     }
   }

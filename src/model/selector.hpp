@@ -4,6 +4,11 @@
 // length, PE count) combination, which fixed algorithm does the model predict
 // to be fastest, and what speedup does it achieve over the vendor baseline
 // (Chain+Bcast in 1D, X-Y Chain in 2D).
+//
+// Since the AlgorithmRegistry refactor this header is a thin compatibility
+// facade: every *_candidates() table is a registry query (auto-selectable,
+// non-generated descriptors of the family), so newly registered fixed
+// algorithms appear here — and in every figure built on top — automatically.
 #pragma once
 
 #include <string>
@@ -39,7 +44,8 @@ std::vector<Candidate> allreduce_2d_candidates(GridShape grid, u32 vec_len,
 std::vector<Candidate> reduce_2d_candidates(GridShape grid, u32 vec_len,
                                             const MachineParams& mp);
 
-/// Index of the fastest candidate (ties broken towards the earlier entry).
+/// Index of the fastest candidate. Deterministic: ties are broken by label
+/// (the registry registration name), not by insertion order.
 std::size_t best_candidate(const std::vector<Candidate>& candidates);
 
 }  // namespace wsr

@@ -1,0 +1,181 @@
+// The unified algorithm registry: the single extension point for collective
+// algorithms across the model, the schedule builders and the runtime.
+//
+// Before this registry existed, the library's algorithm knowledge was
+// duplicated three times: model/selector.cpp enumerated fixed candidate
+// tables, runtime/planner.cpp re-implemented per-algorithm predict_*/plan_*
+// switch logic, and collectives/ exposed a parallel family of make_*
+// constructors dispatched by enum switches. Following the pluggable
+// cost-model idiom of the Halide autoscheduler, every algorithm now
+// registers ONE descriptor carrying its name, applicability predicate, cost
+// model hook and schedule builder; selection, prediction and construction
+// are registry queries. Adding an algorithm means registering one descriptor
+// and it automatically appears in the planner, the selector tables, every
+// figure bench and the wsr_plan CLI.
+//
+// Layering (see DESIGN.md §1/§6): the registry sits above model/, autogen/
+// and collectives/ (its builtin descriptors call into all three) and below
+// runtime/. model/selector.hpp remains as a thin compatibility facade whose
+// candidate tables are registry queries. One deliberate back-edge exists:
+// collectives' generic drivers (make_reduce_1d and the X-Y compositions)
+// resolve per-pattern lane construction through `build_lane` lookups here,
+// so the enum-addressed public constructors keep working while the
+// per-algorithm knowledge lives in exactly one place. That forms a cycle
+// *within* the single library, which is fine at link time; header-wise the
+// graph stays acyclic (collectives headers never include this one).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collectives/builder.hpp"
+#include "common/grid.hpp"
+#include "model/cost.hpp"
+#include "model/params.hpp"
+
+namespace wsr::autogen {
+class AutoGenModel;
+}
+
+namespace wsr::registry {
+
+/// Which collective operation a descriptor implements. (Previously
+/// runtime::Collective; moved here so every layer can key on it.)
+enum class Collective : u8 { Broadcast, Reduce, AllReduce };
+
+const char* name(Collective c);
+
+/// Grid dimensionality a descriptor serves. 1D algorithms run on a row
+/// {P, 1}; 2D algorithms need a proper grid.
+enum class Dims : u8 { OneD = 1, TwoD = 2 };
+
+const char* name(Dims d);
+
+constexpr Dims dims_for(GridShape grid) {
+  return grid.is_row() ? Dims::OneD : Dims::TwoD;
+}
+
+/// Shared state handed to every descriptor hook: the machine parameters and
+/// a lazy accessor for the Auto-Gen DP model (only built when a generated
+/// algorithm's cost/build hook actually needs it; the table fill is the one
+/// expensive planning step).
+struct PlanContext {
+  MachineParams mp;
+  std::function<const autogen::AutoGenModel&()> autogen;
+};
+
+/// A self-contained context that lazily builds (and owns, shared across
+/// copies) an AutoGenModel sized for lanes up to `max_pes`. Thread-safe.
+PlanContext make_context(u32 max_pes, MachineParams mp = {});
+
+/// Lane-level reduce builder: appends the pattern onto an existing lane of a
+/// (possibly larger) schedule. This is what the 2D X-Y compositions and the
+/// Reduce+Broadcast fusions compose; only 1D Reduce descriptors provide it.
+/// `model` may be null (builders fall back to a temporary DP model),
+/// `two_phase_group` is 0 except for explicit Two-Phase group-size overrides.
+using LaneReduceBuilder = std::function<collectives::Deps(
+    wse::Schedule& s, const collectives::Lane& lane,
+    const autogen::AutoGenModel* model, u32 two_phase_group, wse::Color base,
+    const collectives::Deps& after)>;
+
+/// One registered algorithm. `name` is the stable identity within a
+/// (collective, dims) family and doubles as the label shown in figures,
+/// plans and the CLI (e.g. "Tree+Bcast", "X-Y TwoPhase", "Snake").
+struct AlgorithmDescriptor {
+  std::string name;
+  Collective collective = Collective::Reduce;
+  Dims dims = Dims::OneD;
+
+  /// Worst-case number of distinct router colors the built schedule uses
+  /// (the hardware provides 24; compositions must budget within that).
+  u32 color_budget = 1;
+
+  /// Participates in model-driven selection. Extensions kept out of the
+  /// paper's selection story (MidRoot, X-Y Mixed, X-Y Ring) register with
+  /// false: they are buildable on request and listed by introspection, but
+  /// the default planner path ignores them so selection semantics stay
+  /// pinned to the paper's candidate sets.
+  bool auto_selectable = true;
+
+  /// True for DP-generated entries (Auto-Gen based). The selector's fixed
+  /// candidate tables (paper Figures 8/10) filter these out.
+  bool model_generated = false;
+
+  /// Whether the algorithm can be *constructed* for (grid, vec_len) —
+  /// e.g. Ring needs vec_len % P == 0. cost() stays callable regardless
+  /// (the figures plot predictions outside the constructible region).
+  std::function<bool(GridShape, u32)> applicable;
+
+  /// Model prediction for (grid, vec_len).
+  std::function<Prediction(GridShape, u32, const PlanContext&)> cost;
+
+  /// Optional pure-Eq.(1) synthesis used for lower-bound comparisons
+  /// (Fig. 1); defaults to `cost`. Only Star overrides it: its runtime
+  /// prediction uses the sharper pipeline argument that dips below the
+  /// model-level bound at tiny B.
+  std::function<Prediction(GridShape, u32, const PlanContext&)> model_cost;
+
+  /// Compiles the algorithm into a validated Schedule.
+  std::function<wse::Schedule(GridShape, u32, const PlanContext&)> build;
+
+  /// Optional human-facing label override for plans whose concrete shape is
+  /// input-dependent (X-Y Mixed reports the chosen per-axis pair, e.g.
+  /// "X-Y TwoPhase/Star"). Defaults to `name`.
+  std::function<std::string(GridShape, u32, const PlanContext&)> display_label;
+
+  /// Lane-level builder (1D Reduce descriptors only); see LaneReduceBuilder.
+  LaneReduceBuilder build_lane;
+
+  /// Label for the plan this descriptor produces on (grid, vec_len).
+  std::string label(GridShape grid, u32 vec_len, const PlanContext& ctx) const {
+    return display_label ? display_label(grid, vec_len, ctx) : name;
+  }
+
+  /// cost() falling back through model_cost for Fig. 1-style comparisons.
+  Prediction lower_bound_comparable_cost(GridShape grid, u32 vec_len,
+                                         const PlanContext& ctx) const {
+    return model_cost ? model_cost(grid, vec_len, ctx)
+                      : cost(grid, vec_len, ctx);
+  }
+};
+
+/// Process-wide registry. Built-in algorithms register on first access;
+/// queries are read-only and thread-safe afterwards. Within a family,
+/// descriptors are kept sorted by name, which fixes both enumeration order
+/// and the deterministic tie-break of model-driven selection.
+class AlgorithmRegistry {
+ public:
+  static AlgorithmRegistry& instance();
+
+  /// Registers a descriptor. The (collective, dims, name) triple must be
+  /// unique; cost/build/applicable must be set.
+  void register_algorithm(AlgorithmDescriptor desc);
+
+  /// Descriptors of one family, sorted by name. With
+  /// `selectable_only`, restricted to auto-selectable entries.
+  std::vector<const AlgorithmDescriptor*> query(Collective c, Dims d,
+                                                bool selectable_only = false) const;
+
+  /// Looks up one descriptor by name; nullptr if absent.
+  const AlgorithmDescriptor* find(Collective c, Dims d,
+                                  std::string_view name) const;
+
+  /// Checked lookup: asserts the descriptor exists (use when the name is a
+  /// compile-time constant the caller relies on).
+  const AlgorithmDescriptor& at(Collective c, Dims d,
+                                std::string_view name) const;
+
+  /// Every registered descriptor (sorted by collective, dims, name).
+  std::vector<const AlgorithmDescriptor*> all() const;
+
+ private:
+  AlgorithmRegistry();
+
+  // Descriptors never move after registration (stable addresses).
+  std::vector<std::unique_ptr<AlgorithmDescriptor>> entries_;
+};
+
+}  // namespace wsr::registry

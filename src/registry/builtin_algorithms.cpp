@@ -1,0 +1,433 @@
+// Registers every built-in algorithm with the AlgorithmRegistry: the paper's
+// fixed 1D patterns (Star/Chain/Tree/TwoPhase), the DP-generated Auto-Gen,
+// Ring, the 2D X-Y compositions (including the mixed-axis extension), Snake,
+// the flooding broadcasts, and the MidRoot / X-Y Ring ablation extensions.
+//
+// This file is the ONLY place that knows the full algorithm list. The
+// per-algorithm `if` below (fixed predict vs. DP model) is the registry's
+// internal plumbing; everything above it — selector tables, planner
+// enumeration, collectives dispatch, figures, CLI — is a registry query.
+#include <mutex>
+#include <utility>
+
+#include "collectives/collectives.hpp"
+#include "collectives/midroot.hpp"
+#include "model/costs1d.hpp"
+#include "model/costs2d.hpp"
+#include "registry/algorithm_registry.hpp"
+
+namespace wsr::registry {
+
+namespace {
+
+using collectives::Deps;
+using collectives::Lane;
+
+/// 1D Reduce prediction with unified fixed/Auto-Gen dispatch.
+Prediction reduce_1d_cost(ReduceAlgo algo, u32 num_pes, u32 vec_len,
+                          const PlanContext& ctx) {
+  if (algo == ReduceAlgo::AutoGen) {
+    return ctx.autogen().predict(num_pes, vec_len);
+  }
+  return predict_reduce_1d(algo, num_pes, vec_len, ctx.mp);
+}
+
+/// 1D Reduce-then-Broadcast prediction (the planner's AllReduce composition).
+Prediction allreduce_1d_cost(ReduceAlgo algo, u32 num_pes, u32 vec_len,
+                             const PlanContext& ctx) {
+  return sequential(reduce_1d_cost(algo, num_pes, vec_len, ctx),
+                    predict_broadcast_1d(num_pes, vec_len, ctx.mp));
+}
+
+/// The DP model pointer to hand to a builder (null for fixed patterns).
+const autogen::AutoGenModel* model_for(ReduceAlgo algo, const PlanContext& ctx) {
+  return algo == ReduceAlgo::AutoGen ? &ctx.autogen() : nullptr;
+}
+
+bool is_row_of(GridShape g, u32 min_pes) {
+  return g.is_row() && g.width >= min_pes;
+}
+
+bool is_2d(GridShape g) { return g.width >= 2 && g.height >= 2; }
+
+/// Worst-case distinct colors of each 1D reduce pattern (collectives.hpp's
+/// documented budget).
+u32 reduce_1d_colors(ReduceAlgo algo) {
+  switch (algo) {
+    case ReduceAlgo::Star: return 1;
+    case ReduceAlgo::Chain: return 2;
+    case ReduceAlgo::Tree: return 1;
+    case ReduceAlgo::TwoPhase: return 4;
+    case ReduceAlgo::AutoGen: return 2;
+  }
+  return 4;
+}
+
+/// The lane-level builder for one reduce pattern: the per-algorithm phase
+/// construction that 2D X-Y compositions and AllReduce fusions compose.
+LaneReduceBuilder lane_builder(ReduceAlgo algo) {
+  switch (algo) {
+    case ReduceAlgo::Star:
+      return [](wse::Schedule& s, const Lane& lane, const autogen::AutoGenModel*,
+                u32, wse::Color base, const Deps& after) {
+        return collectives::build_star_reduce(s, lane, base, after);
+      };
+    case ReduceAlgo::Chain:
+      return [](wse::Schedule& s, const Lane& lane, const autogen::AutoGenModel*,
+                u32, wse::Color base, const Deps& after) {
+        return collectives::build_chain_reduce(s, lane, base, base + 1, after);
+      };
+    case ReduceAlgo::Tree:
+      return [](wse::Schedule& s, const Lane& lane, const autogen::AutoGenModel*,
+                u32, wse::Color base, const Deps& after) {
+        return collectives::build_tree_reduce(s, lane, base, after);
+      };
+    case ReduceAlgo::TwoPhase:
+      return [](wse::Schedule& s, const Lane& lane, const autogen::AutoGenModel*,
+                u32 two_phase_group, wse::Color base, const Deps& after) {
+        return collectives::build_two_phase_reduce(
+            s, lane,
+            {base, static_cast<wse::Color>(base + 1),
+             static_cast<wse::Color>(base + 2),
+             static_cast<wse::Color>(base + 3)},
+            two_phase_group, after);
+      };
+    case ReduceAlgo::AutoGen:
+      return [](wse::Schedule& s, const Lane& lane,
+                const autogen::AutoGenModel* model, u32, wse::Color base,
+                const Deps& after) {
+        autogen::ReduceTree tree;
+        if (model != nullptr) {
+          WSR_ASSERT(lane.size() <= model->max_pes(),
+                     "AutoGenModel too small for this lane");
+          tree = model->build_tree(lane.size(), s.vec_len);
+        } else {
+          const autogen::AutoGenModel local(lane.size());
+          tree = local.build_tree(lane.size(), s.vec_len);
+        }
+        return collectives::build_autogen_reduce(s, lane, base, base + 1, tree,
+                                                 after);
+      };
+  }
+  WSR_ASSERT(false, "unknown reduce algorithm");
+  return {};
+}
+
+/// The best per-axis pattern pair for the mixed-axis X-Y Reduce extension.
+/// Iteration order (Star, Chain, Tree, TwoPhase, AutoGen; x-major) with a
+/// strict comparison pins the historical first-minimum tie-break.
+std::pair<ReduceAlgo, ReduceAlgo> best_mixed_pair(GridShape grid, u32 vec_len,
+                                                  const PlanContext& ctx) {
+  ReduceAlgo bx = ReduceAlgo::Star, by = ReduceAlgo::Star;
+  i64 best = INT64_MAX;
+  for (ReduceAlgo ax : kAllReduceAlgosBase) {
+    const i64 cx = reduce_1d_cost(ax, grid.width, vec_len, ctx).cycles;
+    for (ReduceAlgo ay : kAllReduceAlgosBase) {
+      const i64 c =
+          cx + reduce_1d_cost(ay, grid.height, vec_len, ctx).cycles;
+      if (c < best) {
+        best = c;
+        bx = ax;
+        by = ay;
+      }
+    }
+  }
+  return {bx, by};
+}
+
+/// One planned request calls the mixed descriptor's cost, build and
+/// display_label hooks in turn; memoize the pair sweep so it runs once per
+/// (grid, vec_len, machine) instead of once per hook. Thread-safe.
+struct MixedPairMemo {
+  std::mutex mu;
+  bool valid = false;
+  GridShape grid;
+  u32 vec_len = 0;
+  MachineParams mp;
+  std::pair<ReduceAlgo, ReduceAlgo> pair;
+};
+
+std::pair<ReduceAlgo, ReduceAlgo> best_mixed_pair_cached(
+    const std::shared_ptr<MixedPairMemo>& memo, GridShape grid, u32 vec_len,
+    const PlanContext& ctx) {
+  {
+    std::lock_guard<std::mutex> lock(memo->mu);
+    if (memo->valid && memo->grid == grid && memo->vec_len == vec_len &&
+        memo->mp == ctx.mp) {
+      return memo->pair;
+    }
+  }
+  const auto pair = best_mixed_pair(grid, vec_len, ctx);
+  std::lock_guard<std::mutex> lock(memo->mu);
+  memo->valid = true;
+  memo->grid = grid;
+  memo->vec_len = vec_len;
+  memo->mp = ctx.mp;
+  memo->pair = pair;
+  return pair;
+}
+
+void register_1d(AlgorithmRegistry& reg) {
+  // --- Broadcast -----------------------------------------------------------
+  reg.register_algorithm({
+      .name = "Flood",
+      .collective = Collective::Broadcast,
+      .dims = Dims::OneD,
+      .color_budget = 1,
+      .applicable = [](GridShape g, u32) { return is_row_of(g, 2); },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_broadcast_1d(g.width, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_broadcast_1d(g.width, b);
+          },
+  });
+
+  // --- Reduce + Reduce-then-Broadcast AllReduce, one pair per pattern ------
+  for (ReduceAlgo algo : kAllReduceAlgosBase) {
+    const bool generated = algo == ReduceAlgo::AutoGen;
+    AlgorithmDescriptor reduce{
+        .name = wsr::name(algo),
+        .collective = Collective::Reduce,
+        .dims = Dims::OneD,
+        .color_budget = reduce_1d_colors(algo),
+        .model_generated = generated,
+        .applicable = [](GridShape g, u32) { return is_row_of(g, 2); },
+        .cost =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return reduce_1d_cost(algo, g.width, b, ctx);
+            },
+        .build =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return collectives::make_reduce_1d(algo, g.width, b,
+                                                 model_for(algo, ctx));
+            },
+        .build_lane = lane_builder(algo),
+    };
+    if (algo == ReduceAlgo::Star) {
+      // Fig. 1 compares against the model-level lower bound, where Star's
+      // Eq. (1) synthesis (not the sharper pipeline argument) applies.
+      reduce.model_cost = [](GridShape g, u32 b, const PlanContext& ctx) {
+        return predict_star_reduce_eq1(g.width, b, ctx.mp);
+      };
+    }
+    reg.register_algorithm(std::move(reduce));
+
+    reg.register_algorithm({
+        .name = std::string(wsr::name(algo)) + "+Bcast",
+        .collective = Collective::AllReduce,
+        .dims = Dims::OneD,
+        .color_budget = reduce_1d_colors(algo) + 1,
+        .model_generated = generated,
+        .applicable = [](GridShape g, u32) { return is_row_of(g, 2); },
+        .cost =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return allreduce_1d_cost(algo, g.width, b, ctx);
+            },
+        .build =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return collectives::make_allreduce_1d(algo, g.width, b,
+                                                    model_for(algo, ctx));
+            },
+    });
+  }
+
+  // --- Ring AllReduce (constructible only when B divides evenly) -----------
+  reg.register_algorithm({
+      .name = "Ring",
+      .collective = Collective::AllReduce,
+      .dims = Dims::OneD,
+      .color_budget = 6,
+      .applicable =
+          [](GridShape g, u32 b) { return is_row_of(g, 2) && b % g.width == 0; },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_ring_allreduce(g.width, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_ring_allreduce_1d(
+                g.width, b, collectives::RingMapping::Simple);
+          },
+  });
+
+  // --- MidRoot Chain AllReduce (extension, ablation-only: kept out of
+  // model-driven selection so the paper's candidate set stays pinned) -------
+  reg.register_algorithm({
+      .name = "MidRoot",
+      .collective = Collective::AllReduce,
+      .dims = Dims::OneD,
+      .color_budget = 5,
+      .auto_selectable = false,
+      .applicable = [](GridShape g, u32) { return is_row_of(g, 2); },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return collectives::predict_midroot_allreduce(g.width, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_allreduce_1d_midroot(g.width, b);
+          },
+  });
+}
+
+void register_2d(AlgorithmRegistry& reg) {
+  // --- Broadcast -----------------------------------------------------------
+  reg.register_algorithm({
+      .name = "Flood-2D",
+      .collective = Collective::Broadcast,
+      .dims = Dims::TwoD,
+      .color_budget = 1,
+      .applicable = [](GridShape g, u32) { return g.num_pes() >= 2; },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_broadcast_2d(g, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_broadcast_2d(g, b);
+          },
+  });
+
+  // --- X-Y compositions, one Reduce/AllReduce pair per pattern -------------
+  for (ReduceAlgo algo : kAllReduceAlgosBase) {
+    const bool generated = algo == ReduceAlgo::AutoGen;
+    reg.register_algorithm({
+        .name = std::string("X-Y ") + wsr::name(algo),
+        .collective = Collective::Reduce,
+        .dims = Dims::TwoD,
+        .color_budget = 2 * reduce_1d_colors(algo),
+        .model_generated = generated,
+        .applicable = [](GridShape g, u32) { return is_2d(g); },
+        .cost =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return sequential(reduce_1d_cost(algo, g.width, b, ctx),
+                                reduce_1d_cost(algo, g.height, b, ctx));
+            },
+        .build =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return collectives::make_reduce_2d_xy(algo, g, b,
+                                                    model_for(algo, ctx));
+            },
+    });
+
+    reg.register_algorithm({
+        .name = std::string("X-Y ") + wsr::name(algo),
+        .collective = Collective::AllReduce,
+        .dims = Dims::TwoD,
+        .color_budget = 2 * (reduce_1d_colors(algo) + 1),
+        .model_generated = generated,
+        .applicable = [](GridShape g, u32) { return is_2d(g); },
+        .cost =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return sequential(allreduce_1d_cost(algo, g.width, b, ctx),
+                                allreduce_1d_cost(algo, g.height, b, ctx));
+            },
+        .build =
+            [algo](GridShape g, u32 b, const PlanContext& ctx) {
+              return collectives::make_allreduce_2d_xy(algo, g, b,
+                                                       model_for(algo, ctx));
+            },
+    });
+  }
+
+  // --- Snake Reduce and its AllReduce composition --------------------------
+  reg.register_algorithm({
+      .name = "Snake",
+      .collective = Collective::Reduce,
+      .dims = Dims::TwoD,
+      .color_budget = 2,
+      .applicable = [](GridShape g, u32) { return g.num_pes() >= 2; },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_snake_reduce(g, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_reduce_2d_snake(g, b);
+          },
+  });
+
+  reg.register_algorithm({
+      .name = "Snake+Bcast",
+      .collective = Collective::AllReduce,
+      .dims = Dims::TwoD,
+      .color_budget = 3,
+      .applicable = [](GridShape g, u32) { return is_2d(g); },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return sequential(predict_snake_reduce(g, b, ctx.mp),
+                              predict_broadcast_2d(g, b, ctx.mp));
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_allreduce_2d_snake_bcast(g, b);
+          },
+  });
+
+  // --- Mixed-axis X-Y Reduce (extension): cost/build internally optimize
+  // over per-axis pattern pairs, so one descriptor covers the whole family.
+  // The three hooks share a memo: planning one request evaluates the pair
+  // sweep once, not once per hook.
+  const auto mixed_memo = std::make_shared<MixedPairMemo>();
+  reg.register_algorithm({
+      .name = "X-Y Mixed",
+      .collective = Collective::Reduce,
+      .dims = Dims::TwoD,
+      .color_budget = 8,
+      .auto_selectable = false,
+      .applicable = [](GridShape g, u32) { return is_2d(g); },
+      .cost =
+          [mixed_memo](GridShape g, u32 b, const PlanContext& ctx) {
+            const auto [ax, ay] = best_mixed_pair_cached(mixed_memo, g, b, ctx);
+            return sequential(reduce_1d_cost(ax, g.width, b, ctx),
+                              reduce_1d_cost(ay, g.height, b, ctx));
+          },
+      .build =
+          [mixed_memo](GridShape g, u32 b, const PlanContext& ctx) {
+            const auto [ax, ay] = best_mixed_pair_cached(mixed_memo, g, b, ctx);
+            const autogen::AutoGenModel* model =
+                (ax == ReduceAlgo::AutoGen || ay == ReduceAlgo::AutoGen)
+                    ? &ctx.autogen()
+                    : nullptr;
+            return collectives::make_reduce_2d_xy_mixed(ax, ay, g, b, model);
+          },
+      .display_label =
+          [mixed_memo](GridShape g, u32 b, const PlanContext& ctx) {
+            const auto [ax, ay] = best_mixed_pair_cached(mixed_memo, g, b, ctx);
+            return std::string("X-Y ") + wsr::name(ax) + "/" + wsr::name(ay);
+          },
+  });
+
+  // --- X-Y Ring AllReduce (extension, Fig. 13b's analytic series) ----------
+  reg.register_algorithm({
+      .name = "X-Y Ring",
+      .collective = Collective::AllReduce,
+      .dims = Dims::TwoD,
+      .color_budget = 16,
+      .auto_selectable = false,
+      .applicable =
+          [](GridShape g, u32 b) {
+            return is_2d(g) && b % g.width == 0 && b % g.height == 0;
+          },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_xy_ring_allreduce(g, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_allreduce_2d_xy_ring(g, b);
+          },
+  });
+}
+
+}  // namespace
+
+void register_builtin_algorithms(AlgorithmRegistry& reg) {
+  register_1d(reg);
+  register_2d(reg);
+}
+
+}  // namespace wsr::registry

@@ -1,0 +1,101 @@
+#include "runtime/plan_cache.hpp"
+
+#include <cstring>
+
+namespace wsr::runtime {
+
+namespace {
+
+constexpr u64 kFnvOffset = 1469598103934665603ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+u64 fnv_mix(u64 h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+u64 machine_params_hash(const MachineParams& mp) {
+  u64 clock_bits = 0;
+  static_assert(sizeof clock_bits == sizeof mp.clock_mhz);
+  std::memcpy(&clock_bits, &mp.clock_mhz, sizeof clock_bits);
+  u64 h = kFnvOffset;
+  h = fnv_mix(h, mp.ramp_latency);
+  h = fnv_mix(h, clock_bits);
+  h = fnv_mix(h, mp.sram_bytes);
+  h = fnv_mix(h, mp.num_colors);
+  return h;
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  u64 h = kFnvOffset;
+  h = fnv_mix(h, static_cast<u64>(k.collective));
+  h = fnv_mix(h, (u64{k.grid.width} << 32) | k.grid.height);
+  h = fnv_mix(h, k.vec_len);
+  h = fnv_mix(h, machine_params_hash(k.machine));
+  for (char c : k.algorithm) h = fnv_mix(h, static_cast<unsigned char>(c));
+  return static_cast<std::size_t>(h);
+}
+
+PlanCache::PlanCache(u32 num_shards)
+    : num_shards_(std::max<u32>(1, num_shards)),
+      shards_(std::make_unique<Shard[]>(num_shards_)) {}
+
+PlanKey PlanCache::key_for(const Planner& planner, const PlanRequest& req) {
+  return {req.collective, req.grid, req.vec_len, planner.machine(),
+          req.algorithm};
+}
+
+PlanCache::Shard& PlanCache::shard_for(const PlanKey& key) const {
+  return shards_[PlanKeyHash{}(key) % num_shards_];
+}
+
+std::shared_ptr<const Plan> PlanCache::find(const PlanKey& key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const Plan> PlanCache::insert(
+    const PlanKey& key, std::shared_ptr<const Plan> plan) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, _] = shard.map.try_emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const Plan> PlanCache::get_or_plan(const Planner& planner,
+                                                   const PlanRequest& req) {
+  const PlanKey key = key_for(planner, req);
+  if (std::shared_ptr<const Plan> cached = find(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return cached;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return insert(key, std::make_shared<const Plan>(planner.plan(req)));
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t n = 0;
+  for (u32 i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    n += shards_[i].map.size();
+  }
+  return n;
+}
+
+void PlanCache::clear() {
+  for (u32 i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace wsr::runtime

@@ -1,0 +1,91 @@
+// PlanCache: a thread-safe, mutex-sharded cache of finished plans.
+//
+// Planning is expensive relative to serving: a cold plan evaluates every
+// registered candidate's cost model and compiles + validates the winning
+// Schedule (and the first Auto-Gen plan fills a DP table). Under the
+// ROADMAP's heavy-traffic serving story the same (collective, grid, B)
+// shapes repeat constantly — a data-parallel training job asks for the
+// identical gradient AllReduce every step — so plans are cached behind a
+// key of (collective, grid, vec_len, MachineParams, forced algorithm)
+// and shared as shared_ptr<const Plan> (plans are immutable once built).
+//
+// Sharding: the map is split over `num_shards` independently locked shards
+// (key-hash modulo), so concurrent planners hitting different shapes do not
+// serialize on one mutex. bench/abl_plan_cache.cpp measures the hit path at
+// >= 10x over cold planning; tests/test_plan_cache.cpp hammers one cache
+// from 8 threads.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "runtime/planner.hpp"
+
+namespace wsr::runtime {
+
+/// Stable hash of the machine parameterization (used for shard/bucket
+/// placement; key equality compares the full struct, so hash collisions
+/// between machine configurations can never serve a wrong plan).
+u64 machine_params_hash(const MachineParams& mp);
+
+struct PlanKey {
+  Collective collective = Collective::Reduce;
+  GridShape grid;
+  u32 vec_len = 0;
+  /// Planners with different MachineParams produce different plans for the
+  /// same request, so the machine is part of the key (one cache can serve
+  /// many machines).
+  MachineParams machine;
+  std::string algorithm;  ///< forced algorithm; empty = model-driven
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(u32 num_shards = 16);
+
+  /// The cache key of a request as planned by `planner`.
+  static PlanKey key_for(const Planner& planner, const PlanRequest& req);
+
+  /// nullptr on miss. Does not update hit/miss counters (those describe the
+  /// get_or_plan serving path).
+  std::shared_ptr<const Plan> find(const PlanKey& key) const;
+
+  /// Inserts if absent; returns the cached entry (first writer wins, so
+  /// concurrent planners of the same shape converge on one plan).
+  std::shared_ptr<const Plan> insert(const PlanKey& key,
+                                     std::shared_ptr<const Plan> plan);
+
+  /// The serving path: returns the cached plan or plans-and-caches. Safe to
+  /// call from many threads; a racing miss may plan redundantly, but all
+  /// callers receive the single first-inserted plan.
+  std::shared_ptr<const Plan> get_or_plan(const Planner& planner,
+                                          const PlanRequest& req);
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash> map;
+  };
+
+  Shard& shard_for(const PlanKey& key) const;
+
+  u32 num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+};
+
+}  // namespace wsr::runtime

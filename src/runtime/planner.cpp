@@ -1,23 +1,57 @@
 #include "runtime/planner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "runtime/plan_cache.hpp"
 
 namespace wsr::runtime {
 
-const char* name(Collective c) {
-  switch (c) {
-    case Collective::Broadcast: return "Broadcast";
-    case Collective::Reduce: return "Reduce";
-    case Collective::AllReduce: return "AllReduce";
-  }
-  return "?";
+namespace {
+
+/// Registry name of a legacy (Reduce2DAlgo, ReduceAlgo) pair:
+/// "Snake", or "X-Y <pattern>" for the per-axis compositions.
+std::string reduce_2d_descriptor_name(Reduce2DAlgo algo2d, ReduceAlgo xy_algo) {
+  std::string n = wsr::name(algo2d);
+  if (algo2d == Reduce2DAlgo::XY) n += std::string(" ") + wsr::name(xy_algo);
+  return n;
 }
+
+const registry::AlgorithmDescriptor& find_or_die(Collective c,
+                                                 registry::Dims dims,
+                                                 const std::string& name) {
+  return registry::AlgorithmRegistry::instance().at(c, dims, name);
+}
+
+struct Selected {
+  const registry::AlgorithmDescriptor* desc = nullptr;
+  Prediction pred;
+};
+
+/// The one selection policy: applicability-gated strict-min scan over
+/// name-sorted candidates, so ties break towards the lexicographically
+/// smallest registration name.
+Selected select_best(
+    const std::vector<const registry::AlgorithmDescriptor*>& candidates,
+    GridShape grid, u32 vec_len, const registry::PlanContext& ctx) {
+  Selected best;
+  for (const registry::AlgorithmDescriptor* d : candidates) {
+    if (!d->applicable(grid, vec_len)) continue;
+    const Prediction p = d->cost(grid, vec_len, ctx);
+    if (best.desc == nullptr || p.cycles < best.pred.cycles) best = {d, p};
+  }
+  return best;
+}
+
+}  // namespace
 
 Planner::Planner(u32 max_pes, MachineParams mp) : max_pes_(max_pes), mp_(mp) {
   WSR_ASSERT(max_pes_ >= 2, "planner needs max_pes >= 2");
 }
 
 const autogen::AutoGenModel& Planner::autogen_model() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   if (!autogen_) {
     autogen_ = std::make_unique<autogen::AutoGenModel>(max_pes_, mp_);
   }
@@ -25,37 +59,98 @@ const autogen::AutoGenModel& Planner::autogen_model() const {
 }
 
 const autogen::LowerBound& Planner::lower_bound() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   if (!lb_) lb_ = std::make_unique<autogen::LowerBound>(max_pes_, mp_);
   return *lb_;
 }
 
+registry::PlanContext Planner::context() const {
+  return {mp_, [this]() -> const autogen::AutoGenModel& {
+            return autogen_model();
+          }};
+}
+
+Plan Planner::plan(const PlanRequest& req) const {
+  const registry::PlanContext ctx = context();
+  const registry::Dims dims = registry::dims_for(req.grid);
+  const registry::AlgorithmRegistry& reg = registry::AlgorithmRegistry::instance();
+
+  Selected chosen;
+  if (!req.algorithm.empty()) {
+    chosen.desc = reg.find(req.collective, dims, req.algorithm);
+    WSR_ASSERT(chosen.desc != nullptr,
+               "unknown algorithm for this collective/dimensionality");
+    WSR_ASSERT(chosen.desc->applicable(req.grid, req.vec_len),
+               "algorithm not applicable to this (grid, vec_len)");
+    chosen.pred = chosen.desc->cost(req.grid, req.vec_len, ctx);
+  } else {
+    chosen = select_best(reg.query(req.collective, dims,
+                                   /*selectable_only=*/true),
+                         req.grid, req.vec_len, ctx);
+    WSR_ASSERT(chosen.desc != nullptr, "no applicable algorithm registered");
+  }
+  return {chosen.desc->build(req.grid, req.vec_len, ctx), chosen.pred,
+          chosen.desc->label(req.grid, req.vec_len, ctx)};
+}
+
+std::vector<std::shared_ptr<const Plan>> Planner::plan_many(
+    std::span<const PlanRequest> requests, PlanCache* cache,
+    u32 num_threads) const {
+  std::vector<std::shared_ptr<const Plan>> out(requests.size());
+  if (requests.empty()) return out;
+
+  const auto plan_one = [&](std::size_t i) {
+    out[i] = cache != nullptr
+                 ? cache->get_or_plan(*this, requests[i])
+                 : std::make_shared<const Plan>(plan(requests[i]));
+  };
+
+  u32 n = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  n = std::clamp<u32>(n, 1, static_cast<u32>(requests.size()));
+  if (n == 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) plan_one(i);
+    return out;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (u32 t = 0; t < n; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t i; (i = next.fetch_add(1)) < requests.size();) {
+        plan_one(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return out;
+}
+
 Prediction Planner::predict_reduce_1d(ReduceAlgo algo, u32 num_pes,
                                       u32 vec_len) const {
-  if (algo == ReduceAlgo::AutoGen) {
-    return autogen_model().predict(num_pes, vec_len);
-  }
-  return wsr::predict_reduce_1d(algo, num_pes, vec_len, mp_);
+  return find_or_die(Collective::Reduce, registry::Dims::OneD, wsr::name(algo))
+      .cost({num_pes, 1}, vec_len, context());
 }
 
 Prediction Planner::predict_allreduce_1d(ReduceAlgo algo, u32 num_pes,
                                          u32 vec_len) const {
-  return sequential(predict_reduce_1d(algo, num_pes, vec_len),
-                    predict_broadcast_1d(num_pes, vec_len, mp_));
+  return find_or_die(Collective::AllReduce, registry::Dims::OneD,
+                     std::string(wsr::name(algo)) + "+Bcast")
+      .cost({num_pes, 1}, vec_len, context());
 }
 
 Prediction Planner::predict_reduce_2d(Reduce2DAlgo algo2d, ReduceAlgo xy_algo,
                                       GridShape grid, u32 vec_len) const {
-  if (algo2d == Reduce2DAlgo::Snake) {
-    return predict_snake_reduce(grid, vec_len, mp_);
-  }
-  return sequential(predict_reduce_1d(xy_algo, grid.width, vec_len),
-                    predict_reduce_1d(xy_algo, grid.height, vec_len));
+  return find_or_die(Collective::Reduce, registry::Dims::TwoD,
+                     reduce_2d_descriptor_name(algo2d, xy_algo))
+      .cost(grid, vec_len, context());
 }
 
 Prediction Planner::predict_allreduce_2d_xy(ReduceAlgo algo, GridShape grid,
                                             u32 vec_len) const {
-  return sequential(predict_allreduce_1d(algo, grid.width, vec_len),
-                    predict_allreduce_1d(algo, grid.height, vec_len));
+  return find_or_die(Collective::AllReduce, registry::Dims::TwoD,
+                     std::string("X-Y ") + wsr::name(algo))
+      .cost(grid, vec_len, context());
 }
 
 double Planner::reduce_1d_lower_bound(u32 num_pes, u32 vec_len) const {
@@ -64,161 +159,62 @@ double Planner::reduce_1d_lower_bound(u32 num_pes, u32 vec_len) const {
 
 Plan Planner::plan_reduce_1d(u32 num_pes, u32 vec_len,
                              std::optional<ReduceAlgo> algo) const {
-  ReduceAlgo chosen;
-  if (algo.has_value()) {
-    chosen = *algo;
-  } else {
-    chosen = ReduceAlgo::AutoGen;
-    i64 best = autogen_model().predict(num_pes, vec_len).cycles;
-    for (ReduceAlgo a : kFixedReduceAlgos) {
-      const i64 c = wsr::predict_reduce_1d(a, num_pes, vec_len, mp_).cycles;
-      if (c < best) {
-        best = c;
-        chosen = a;
-      }
-    }
-  }
-  Plan plan{collectives::make_reduce_1d(
-                chosen, num_pes, vec_len,
-                chosen == ReduceAlgo::AutoGen ? &autogen_model() : nullptr),
-            predict_reduce_1d(chosen, num_pes, vec_len), wsr::name(chosen)};
-  return plan;
+  return plan({Collective::Reduce,
+               {num_pes, 1},
+               vec_len,
+               algo.has_value() ? wsr::name(*algo) : ""});
 }
 
 Plan Planner::plan_allreduce_1d(u32 num_pes, u32 vec_len,
                                 std::optional<ReduceAlgo> algo) const {
-  ReduceAlgo chosen;
-  if (algo.has_value()) {
-    chosen = *algo;
-  } else {
-    chosen = ReduceAlgo::AutoGen;
-    i64 best = predict_allreduce_1d(chosen, num_pes, vec_len).cycles;
-    for (ReduceAlgo a : kFixedReduceAlgos) {
-      const i64 c = predict_allreduce_1d(a, num_pes, vec_len).cycles;
-      if (c < best) {
-        best = c;
-        chosen = a;
-      }
-    }
-    // The model also rules Ring in/out (Fig. 8); Ring wins only in the
-    // large-B band where contention dominates.
-    // (Ring requires B % P == 0 to be constructible.)
-    if (vec_len % num_pes == 0 &&
-        predict_ring_allreduce(num_pes, vec_len, mp_).cycles <
-            predict_allreduce_1d(chosen, num_pes, vec_len).cycles) {
-      Plan plan{collectives::make_ring_allreduce_1d(
-                    num_pes, vec_len, collectives::RingMapping::Simple),
-                predict_ring_allreduce(num_pes, vec_len, mp_), "Ring"};
-      return plan;
-    }
-  }
-  Plan plan{collectives::make_allreduce_1d(
-                chosen, num_pes, vec_len,
-                chosen == ReduceAlgo::AutoGen ? &autogen_model() : nullptr),
-            predict_allreduce_1d(chosen, num_pes, vec_len),
-            std::string(wsr::name(chosen)) + "+Bcast"};
-  return plan;
+  return plan({Collective::AllReduce,
+               {num_pes, 1},
+               vec_len,
+               algo.has_value() ? std::string(wsr::name(*algo)) + "+Bcast"
+                                : ""});
 }
 
 Plan Planner::plan_broadcast_1d(u32 num_pes, u32 vec_len) const {
-  return {collectives::make_broadcast_1d(num_pes, vec_len),
-          predict_broadcast_1d(num_pes, vec_len, mp_), "Flood"};
+  return plan({Collective::Broadcast, {num_pes, 1}, vec_len, ""});
 }
 
 Plan Planner::plan_reduce_2d(GridShape grid, u32 vec_len,
                              std::optional<Reduce2DAlgo> algo2d,
                              std::optional<ReduceAlgo> xy_algo) const {
-  Reduce2DAlgo a2 = algo2d.value_or(Reduce2DAlgo::XY);
-  ReduceAlgo ax = xy_algo.value_or(ReduceAlgo::AutoGen);
-  if (!algo2d.has_value() && !xy_algo.has_value()) {
-    // Model-driven selection among Snake and X-Y {fixed, AutoGen}.
-    i64 best = predict_reduce_2d(Reduce2DAlgo::Snake, ax, grid, vec_len).cycles;
-    a2 = Reduce2DAlgo::Snake;
-    auto consider = [&](ReduceAlgo a) {
-      const i64 c = predict_reduce_2d(Reduce2DAlgo::XY, a, grid, vec_len).cycles;
-      if (c < best) {
-        best = c;
-        a2 = Reduce2DAlgo::XY;
-        ax = a;
-      }
-    };
-    consider(ReduceAlgo::AutoGen);
-    for (ReduceAlgo a : kFixedReduceAlgos) consider(a);
+  std::string algorithm;
+  if (algo2d.has_value() || xy_algo.has_value()) {
+    algorithm =
+        reduce_2d_descriptor_name(algo2d.value_or(Reduce2DAlgo::XY),
+                                  xy_algo.value_or(ReduceAlgo::AutoGen));
   }
-  const autogen::AutoGenModel* model =
-      (a2 == Reduce2DAlgo::XY && ax == ReduceAlgo::AutoGen) ? &autogen_model()
-                                                            : nullptr;
-  std::string label = a2 == Reduce2DAlgo::Snake
-                          ? "Snake"
-                          : std::string("X-Y ") + wsr::name(ax);
-  return {collectives::make_reduce_2d(a2, ax, grid, vec_len, model),
-          predict_reduce_2d(a2, ax, grid, vec_len), std::move(label)};
+  return plan({Collective::Reduce, grid, vec_len, std::move(algorithm)});
 }
 
 Plan Planner::plan_reduce_2d_mixed(GridShape grid, u32 vec_len) const {
-  const ReduceAlgo all[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
-                            ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
-                            ReduceAlgo::AutoGen};
-  ReduceAlgo bx = ReduceAlgo::AutoGen, by = ReduceAlgo::AutoGen;
-  i64 best = INT64_MAX;
-  for (ReduceAlgo ax : all) {
-    const i64 cx = predict_reduce_1d(ax, grid.width, vec_len).cycles;
-    for (ReduceAlgo ay : all) {
-      const i64 c = cx + predict_reduce_1d(ay, grid.height, vec_len).cycles;
-      if (c < best) {
-        best = c;
-        bx = ax;
-        by = ay;
-      }
-    }
-  }
-  // The snake still owns the bandwidth-bound corner.
-  if (predict_snake_reduce(grid, vec_len, mp_).cycles < best) {
-    return {collectives::make_reduce_2d_snake(grid, vec_len),
-            predict_snake_reduce(grid, vec_len, mp_), "Snake"};
-  }
-  const bool needs_model = bx == ReduceAlgo::AutoGen || by == ReduceAlgo::AutoGen;
-  return {collectives::make_reduce_2d_xy_mixed(
-              bx, by, grid, vec_len, needs_model ? &autogen_model() : nullptr),
-          sequential(predict_reduce_1d(bx, grid.width, vec_len),
-                     predict_reduce_1d(by, grid.height, vec_len)),
-          std::string("X-Y ") + wsr::name(bx) + "/" + wsr::name(by)};
+  // The mixed-axis entry point considers the self-optimizing "X-Y Mixed"
+  // descriptor (which subsumes every same-axis X-Y assignment) against the
+  // Snake, which still owns the bandwidth-bound corner. Name order, as in
+  // every registry query.
+  const registry::PlanContext ctx = context();
+  const Selected chosen = select_best(
+      {&find_or_die(Collective::Reduce, registry::Dims::TwoD, "Snake"),
+       &find_or_die(Collective::Reduce, registry::Dims::TwoD, "X-Y Mixed")},
+      grid, vec_len, ctx);
+  WSR_ASSERT(chosen.desc != nullptr, "no applicable mixed 2D reduce candidate");
+  return {chosen.desc->build(grid, vec_len, ctx), chosen.pred,
+          chosen.desc->label(grid, vec_len, ctx)};
 }
 
 Plan Planner::plan_allreduce_2d(GridShape grid, u32 vec_len,
                                 std::optional<ReduceAlgo> xy_algo) const {
-  ReduceAlgo ax = xy_algo.value_or(ReduceAlgo::AutoGen);
-  if (!xy_algo.has_value()) {
-    i64 best = predict_allreduce_2d_xy(ax, grid, vec_len).cycles;
-    for (ReduceAlgo a : kFixedReduceAlgos) {
-      const i64 c = predict_allreduce_2d_xy(a, grid, vec_len).cycles;
-      if (c < best) {
-        best = c;
-        ax = a;
-      }
-    }
-    // Snake-reduce + 2D broadcast occupies the bandwidth-bound region.
-    const i64 snake =
-        sequential(predict_snake_reduce(grid, vec_len, mp_),
-                   predict_broadcast_2d(grid, vec_len, mp_))
-            .cycles;
-    if (snake < predict_allreduce_2d_xy(ax, grid, vec_len).cycles) {
-      return {collectives::make_allreduce_2d_snake_bcast(grid, vec_len),
-              sequential(predict_snake_reduce(grid, vec_len, mp_),
-                         predict_broadcast_2d(grid, vec_len, mp_)),
-              "Snake+Bcast"};
-    }
-  }
-  const autogen::AutoGenModel* model =
-      ax == ReduceAlgo::AutoGen ? &autogen_model() : nullptr;
-  return {collectives::make_allreduce_2d_xy(ax, grid, vec_len, model),
-          predict_allreduce_2d_xy(ax, grid, vec_len),
-          std::string("X-Y ") + wsr::name(ax)};
+  return plan({Collective::AllReduce, grid, vec_len,
+               xy_algo.has_value()
+                   ? std::string("X-Y ") + wsr::name(*xy_algo)
+                   : ""});
 }
 
 Plan Planner::plan_broadcast_2d(GridShape grid, u32 vec_len) const {
-  return {collectives::make_broadcast_2d(grid, vec_len),
-          predict_broadcast_2d(grid, vec_len, mp_), "Flood-2D"};
+  return plan({Collective::Broadcast, grid, vec_len, ""});
 }
 
 }  // namespace wsr::runtime

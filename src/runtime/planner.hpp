@@ -2,12 +2,20 @@
 // construction for all collectives, including the DP-backed Auto-Gen.
 //
 // This is the "model-driven methodology" layer of the paper: given (grid, B),
-// the planner predicts every candidate's runtime with the performance model,
-// picks the best, and emits the corresponding Schedule.
+// the planner predicts every registered candidate's runtime with the
+// performance model, picks the best, and emits the corresponding Schedule.
+//
+// Enumeration and dispatch flow through the AlgorithmRegistry: `plan()` is
+// the single registry-driven entry point and the legacy predict_*/plan_*
+// methods are thin compatibility wrappers over it. `plan_many()` plans a
+// batch of independent requests on worker threads, optionally backed by a
+// shared PlanCache (runtime/plan_cache.hpp) — the serving-path API.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,19 +23,34 @@
 #include "autogen/lower_bound.hpp"
 #include "collectives/collectives.hpp"
 #include "model/selector.hpp"
+#include "registry/algorithm_registry.hpp"
 
 namespace wsr::runtime {
 
-/// Which collective operation a plan implements.
-enum class Collective : u8 { Broadcast, Reduce, AllReduce };
-
-const char* name(Collective c);
+/// Which collective operation a plan implements. (The enum itself now lives
+/// with the registry; this alias keeps the historical spelling working.)
+using Collective = registry::Collective;
+using registry::name;
 
 struct Plan {
   wse::Schedule schedule;
   Prediction prediction;
   std::string algorithm;
 };
+
+/// One planning request, the unit of plan() / plan_many() / PlanCache.
+struct PlanRequest {
+  Collective collective = Collective::Reduce;
+  GridShape grid;
+  u32 vec_len = 0;
+  /// Registry algorithm name ("Tree+Bcast", "Snake", ...); empty selects
+  /// the model-predicted best among the applicable candidates.
+  std::string algorithm;
+
+  friend bool operator==(const PlanRequest&, const PlanRequest&) = default;
+};
+
+class PlanCache;
 
 class Planner {
  public:
@@ -36,10 +59,31 @@ class Planner {
   explicit Planner(u32 max_pes, MachineParams mp = {});
 
   const MachineParams& machine() const { return mp_; }
+  u32 max_pes() const { return max_pes_; }
   const autogen::AutoGenModel& autogen_model() const;
   const autogen::LowerBound& lower_bound() const;
 
-  // --- predictions (cycles) -------------------------------------------------
+  /// The registry context for this planner: its machine parameters plus the
+  /// shared lazily-built Auto-Gen model.
+  registry::PlanContext context() const;
+
+  // --- the registry-driven core --------------------------------------------
+
+  /// Plans one request: explicit algorithm lookup when `req.algorithm` is
+  /// set, model-driven selection over the registry's applicable candidates
+  /// otherwise (fewest predicted cycles, ties broken by registration name).
+  Plan plan(const PlanRequest& req) const;
+
+  /// Plans a batch of independent requests in parallel with std::thread
+  /// workers. With a `cache`, each request goes through
+  /// PlanCache::get_or_plan, so repeated shapes are planned once and shared.
+  /// `num_threads` = 0 uses the hardware concurrency (capped by the batch
+  /// size). The planner is safe to share across the workers.
+  std::vector<std::shared_ptr<const Plan>> plan_many(
+      std::span<const PlanRequest> requests, PlanCache* cache = nullptr,
+      u32 num_threads = 0) const;
+
+  // --- predictions (cycles), compatibility wrappers ------------------------
   Prediction predict_reduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len) const;
   Prediction predict_allreduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len) const;
   Prediction predict_reduce_2d(Reduce2DAlgo algo2d, ReduceAlgo xy_algo,
@@ -72,6 +116,8 @@ class Planner {
  private:
   u32 max_pes_;
   MachineParams mp_;
+  /// Guards the lazy singletons below; plan_many workers share the planner.
+  mutable std::mutex lazy_mu_;
   mutable std::unique_ptr<autogen::AutoGenModel> autogen_;
   mutable std::unique_ptr<autogen::LowerBound> lb_;
 };

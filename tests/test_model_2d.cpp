@@ -83,9 +83,14 @@ TEST(Model2D, RegimesMatchFig10) {
 }
 
 TEST(Model2D, Reduce2DCandidatesCoverFiveAlgorithms) {
+  // Registry-enumerated candidates arrive sorted by registration name.
   const auto c = reduce_2d_candidates({16, 16}, 64, kMp);
   ASSERT_EQ(c.size(), 5u);
-  EXPECT_EQ(c.back().label, "Snake");
+  EXPECT_EQ(c[0].label, "Snake");
+  EXPECT_EQ(c[1].label, "X-Y Chain");
+  EXPECT_EQ(c[2].label, "X-Y Star");
+  EXPECT_EQ(c[3].label, "X-Y Tree");
+  EXPECT_EQ(c[4].label, "X-Y TwoPhase");
 }
 
 TEST(Model2D, XYRingIsSumOfAxisRings) {

@@ -1,0 +1,162 @@
+// Tests of the PlanCache and the Planner::plan_many batch API: keying,
+// hit/miss accounting, cross-thread consistency under contention.
+#include "runtime/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim_test_utils.hpp"
+
+namespace wsr::runtime {
+namespace {
+
+PlanRequest reduce_req(u32 p, u32 b) {
+  return {Collective::Reduce, {p, 1}, b, ""};
+}
+
+TEST(PlanCache, HitReturnsTheIdenticalPlan) {
+  const Planner planner(32);
+  PlanCache cache;
+  const PlanRequest req = reduce_req(16, 64);
+  const auto first = cache.get_or_plan(planner, req);
+  const auto second = cache.get_or_plan(planner, req);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // shared, not re-planned
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, KeyCoversShapeCollectiveAlgorithmAndMachine) {
+  const Planner a(32);
+  const Planner b(32, MachineParams{.ramp_latency = 7});
+  const PlanRequest req = reduce_req(16, 64);
+  EXPECT_EQ(PlanCache::key_for(a, req), PlanCache::key_for(a, req));
+  EXPECT_NE(PlanCache::key_for(a, req), PlanCache::key_for(b, req));
+  EXPECT_NE(PlanCache::key_for(a, reduce_req(16, 64)),
+            PlanCache::key_for(a, reduce_req(16, 128)));
+  EXPECT_NE(PlanCache::key_for(a, reduce_req(16, 64)),
+            PlanCache::key_for(a, reduce_req(8, 64)));
+  PlanRequest forced = reduce_req(16, 64);
+  forced.algorithm = "Chain";
+  EXPECT_NE(PlanCache::key_for(a, req), PlanCache::key_for(a, forced));
+  PlanRequest allreduce = reduce_req(16, 64);
+  allreduce.collective = Collective::AllReduce;
+  EXPECT_NE(PlanCache::key_for(a, req), PlanCache::key_for(a, allreduce));
+}
+
+TEST(PlanCache, CachedPlansMatchDirectPlanning) {
+  const Planner planner(32);
+  PlanCache cache;
+  for (const PlanRequest& req :
+       {reduce_req(8, 16), reduce_req(32, 1024),
+        PlanRequest{Collective::AllReduce, {16, 1}, 64, ""},
+        PlanRequest{Collective::AllReduce, {8, 8}, 64, ""},
+        PlanRequest{Collective::Broadcast, {8, 1}, 32, ""}}) {
+    const Plan direct = planner.plan(req);
+    const auto cached = cache.get_or_plan(planner, req);
+    EXPECT_EQ(cached->algorithm, direct.algorithm);
+    EXPECT_EQ(cached->prediction.cycles, direct.prediction.cycles);
+    EXPECT_EQ(cached->schedule.name, direct.schedule.name);
+  }
+}
+
+TEST(PlanCache, EightThreadsHammeringOneCacheStayConsistent) {
+  const Planner planner(32);
+  PlanCache cache(4);  // few shards => real lock contention
+  const std::vector<PlanRequest> shapes = {
+      reduce_req(8, 16),
+      reduce_req(16, 64),
+      reduce_req(32, 1024),
+      PlanRequest{Collective::AllReduce, {16, 1}, 64, ""},
+      PlanRequest{Collective::AllReduce, {16, 1}, 4096, ""},
+      PlanRequest{Collective::Reduce, {8, 8}, 256, ""},
+      PlanRequest{Collective::AllReduce, {8, 8}, 64, ""},
+      PlanRequest{Collective::Broadcast, {16, 1}, 128, ""},
+  };
+  constexpr u32 kThreads = 8;
+  constexpr u32 kIters = 64;
+
+  std::vector<std::vector<std::shared_ptr<const Plan>>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (u32 t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (u32 i = 0; i < kIters; ++i) {
+        // Each thread walks the shapes in a different rotation so lookups
+        // and inserts interleave across shards.
+        const PlanRequest& req = shapes[(i + t) % shapes.size()];
+        seen[t].push_back(cache.get_or_plan(planner, req));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(cache.size(), shapes.size());
+  EXPECT_EQ(cache.hits() + cache.misses(), u64{kThreads} * kIters);
+  EXPECT_GE(cache.misses(), shapes.size());
+
+  // Every thread must have observed the same canonical plan per shape.
+  for (u32 t = 0; t < kThreads; ++t) {
+    for (u32 i = 0; i < kIters; ++i) {
+      const PlanRequest& req = shapes[(i + t) % shapes.size()];
+      const auto canonical = cache.find(PlanCache::key_for(planner, req));
+      ASSERT_NE(canonical, nullptr);
+      EXPECT_EQ(seen[t][i]->algorithm, canonical->algorithm);
+      EXPECT_EQ(seen[t][i]->prediction.cycles, canonical->prediction.cycles);
+    }
+  }
+}
+
+TEST(PlanMany, MatchesSequentialPlanningAndSharesCacheEntries) {
+  const Planner planner(32);
+  std::vector<PlanRequest> reqs;
+  for (u32 i = 0; i < 24; ++i) {
+    // 6 distinct shapes, each repeated 4 times.
+    reqs.push_back(reduce_req(8 + 4 * (i % 6), 32u << (i % 3)));
+  }
+
+  PlanCache cache;
+  const auto with_cache = planner.plan_many(reqs, &cache, 8);
+  const auto without_cache = planner.plan_many(reqs, nullptr, 4);
+  ASSERT_EQ(with_cache.size(), reqs.size());
+  ASSERT_EQ(without_cache.size(), reqs.size());
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Plan direct = planner.plan(reqs[i]);
+    ASSERT_NE(with_cache[i], nullptr);
+    ASSERT_NE(without_cache[i], nullptr);
+    EXPECT_EQ(with_cache[i]->algorithm, direct.algorithm);
+    EXPECT_EQ(with_cache[i]->prediction.cycles, direct.prediction.cycles);
+    EXPECT_EQ(without_cache[i]->algorithm, direct.algorithm);
+    EXPECT_EQ(without_cache[i]->prediction.cycles, direct.prediction.cycles);
+  }
+
+  // Identical requests resolve to the same cached object.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    for (std::size_t j = i + 1; j < reqs.size(); ++j) {
+      if (reqs[i] == reqs[j]) {
+        EXPECT_EQ(with_cache[i].get(), with_cache[j].get());
+      }
+    }
+  }
+}
+
+TEST(PlanMany, PlannedSchedulesExecuteCorrectly) {
+  const Planner planner(16);
+  const std::vector<PlanRequest> reqs = {
+      reduce_req(8, 32),
+      PlanRequest{Collective::AllReduce, {16, 1}, 64, ""},
+      PlanRequest{Collective::AllReduce, {4, 4}, 16, ""},
+      PlanRequest{Collective::Broadcast, {8, 1}, 16, ""},
+  };
+  PlanCache cache;
+  const auto plans = planner.plan_many(reqs, &cache, 4);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    testing::verify_ok(plans[i]->schedule,
+                       reqs[i].collective == Collective::Broadcast);
+  }
+}
+
+}  // namespace
+}  // namespace wsr::runtime

@@ -1,0 +1,311 @@
+// Tests of the AlgorithmRegistry: introspection invariants, the determinism
+// of best_candidate tie-breaking, schedule construction through descriptors,
+// and — the load-bearing one — parity of the registry-driven planner against
+// the pre-refactor hand-rolled selection tables.
+#include "registry/algorithm_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "collectives/midroot.hpp"
+#include "model/costs1d.hpp"
+#include "model/costs2d.hpp"
+#include "runtime/planner.hpp"
+#include "sim_test_utils.hpp"
+
+namespace wsr {
+namespace {
+
+using registry::AlgorithmDescriptor;
+using registry::AlgorithmRegistry;
+using registry::Collective;
+using registry::Dims;
+
+std::vector<std::string> names(const std::vector<const AlgorithmDescriptor*>& ds) {
+  std::vector<std::string> out;
+  for (const auto* d : ds) out.push_back(d->name);
+  return out;
+}
+
+TEST(Registry, FamiliesAreCompleteAndNameSorted) {
+  const AlgorithmRegistry& reg = AlgorithmRegistry::instance();
+  EXPECT_EQ(names(reg.query(Collective::Reduce, Dims::OneD)),
+            (std::vector<std::string>{"AutoGen", "Chain", "Star", "Tree",
+                                      "TwoPhase"}));
+  EXPECT_EQ(names(reg.query(Collective::AllReduce, Dims::OneD)),
+            (std::vector<std::string>{"AutoGen+Bcast", "Chain+Bcast", "MidRoot",
+                                      "Ring", "Star+Bcast", "Tree+Bcast",
+                                      "TwoPhase+Bcast"}));
+  EXPECT_EQ(names(reg.query(Collective::Broadcast, Dims::OneD)),
+            (std::vector<std::string>{"Flood"}));
+  EXPECT_EQ(names(reg.query(Collective::Reduce, Dims::TwoD)),
+            (std::vector<std::string>{"Snake", "X-Y AutoGen", "X-Y Chain",
+                                      "X-Y Mixed", "X-Y Star", "X-Y Tree",
+                                      "X-Y TwoPhase"}));
+  EXPECT_EQ(names(reg.query(Collective::AllReduce, Dims::TwoD)),
+            (std::vector<std::string>{"Snake+Bcast", "X-Y AutoGen", "X-Y Chain",
+                                      "X-Y Ring", "X-Y Star", "X-Y Tree",
+                                      "X-Y TwoPhase"}));
+  EXPECT_EQ(names(reg.query(Collective::Broadcast, Dims::TwoD)),
+            (std::vector<std::string>{"Flood-2D"}));
+}
+
+TEST(Registry, ExtensionsAreNotAutoSelectable) {
+  const AlgorithmRegistry& reg = AlgorithmRegistry::instance();
+  const auto selectable =
+      names(reg.query(Collective::AllReduce, Dims::OneD, true));
+  EXPECT_EQ(std::count(selectable.begin(), selectable.end(), "MidRoot"), 0);
+  EXPECT_EQ(std::count(selectable.begin(), selectable.end(), "Ring"), 1);
+  EXPECT_EQ(names(reg.query(Collective::Reduce, Dims::TwoD, true)),
+            (std::vector<std::string>{"Snake", "X-Y AutoGen", "X-Y Chain",
+                                      "X-Y Star", "X-Y Tree", "X-Y TwoPhase"}));
+}
+
+TEST(Registry, DescriptorsAreWellFormed) {
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    EXPECT_FALSE(d->name.empty());
+    EXPECT_TRUE(d->applicable && d->cost && d->build) << d->name;
+    EXPECT_GE(d->color_budget, 1u) << d->name;
+    EXPECT_LE(d->color_budget, 24u) << d->name;  // the hardware's budget
+    EXPECT_EQ(AlgorithmRegistry::instance().find(d->collective, d->dims, d->name),
+              d);
+  }
+  EXPECT_EQ(AlgorithmRegistry::instance().find(Collective::Reduce, Dims::OneD,
+                                               "NoSuchAlgorithm"),
+            nullptr);
+}
+
+TEST(Registry, EveryApplicableDescriptorBuildsACorrectSchedule) {
+  // The all-in-one structural check: every registered algorithm, built
+  // through its descriptor on a small shape, must produce a schedule whose
+  // simulated results are exact. Color budgets must hold too.
+  const registry::PlanContext ctx = registry::make_context(16);
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    const GridShape grid = d->dims == Dims::OneD ? GridShape{8, 1}
+                                                 : GridShape{4, 4};
+    const u32 vec_len = 16;  // divisible by 8 and 4 => Ring variants apply
+    ASSERT_TRUE(d->applicable(grid, vec_len)) << d->name;
+    const wse::Schedule s = d->build(grid, vec_len, ctx);
+    EXPECT_LE(s.colors_used(), d->color_budget) << d->name;
+    testing::verify_ok(s, /*is_broadcast=*/d->collective == Collective::Broadcast);
+  }
+}
+
+TEST(Registry, RingApplicabilityRequiresDivisibility) {
+  const auto* ring = AlgorithmRegistry::instance().find(Collective::AllReduce,
+                                                        Dims::OneD, "Ring");
+  ASSERT_NE(ring, nullptr);
+  EXPECT_TRUE(ring->applicable({8, 1}, 64));
+  EXPECT_FALSE(ring->applicable({8, 1}, 63));
+}
+
+// --- deterministic tie-breaking ---------------------------------------------
+
+Candidate make_candidate(std::string label, i64 cycles) {
+  return {std::move(label), Prediction(CostTerms{}, cycles)};
+}
+
+TEST(BestCandidate, PicksFewestCycles) {
+  const std::vector<Candidate> c = {make_candidate("A", 20),
+                                    make_candidate("B", 10),
+                                    make_candidate("C", 30)};
+  EXPECT_EQ(best_candidate(c), 1u);
+}
+
+TEST(BestCandidate, BreaksTiesByLabelNotInsertionOrder) {
+  // Two pairs tie; within the winning cycle count the lexicographically
+  // smallest label must win regardless of vector order.
+  const std::vector<Candidate> c = {make_candidate("Zeta", 5),
+                                    make_candidate("Beta", 7),
+                                    make_candidate("Alpha", 5)};
+  EXPECT_EQ(best_candidate(c), 2u);
+  const std::vector<Candidate> reversed = {make_candidate("Alpha", 5),
+                                           make_candidate("Beta", 7),
+                                           make_candidate("Zeta", 5)};
+  EXPECT_EQ(best_candidate(reversed), 0u);
+}
+
+// --- parity with the pre-refactor selection tables --------------------------
+//
+// The reference implementations below are verbatim transcriptions of the
+// selection loops that lived in runtime/planner.cpp before the registry
+// refactor (hand-rolled enumeration over kFixedReduceAlgos + Auto-Gen +
+// special-cased Ring/Snake). The registry-driven planner must pick plans
+// with identical predicted cycles; when the reference minimizer is unique it
+// must also pick the identical algorithm.
+
+struct OldChoice {
+  std::string algorithm;
+  i64 cycles = 0;
+  bool unique = true;  ///< no other candidate ties the winning cycle count
+};
+
+void note_tie(OldChoice& c, i64 candidate_cycles) {
+  if (candidate_cycles == c.cycles) c.unique = false;
+}
+
+OldChoice old_plan_reduce_1d(const runtime::Planner& p, u32 P, u32 B) {
+  const MachineParams& mp = p.machine();
+  OldChoice c{"AutoGen", p.autogen_model().predict(P, B).cycles};
+  for (ReduceAlgo a : kFixedReduceAlgos) {
+    const i64 cyc = predict_reduce_1d(a, P, B, mp).cycles;
+    note_tie(c, cyc);
+    if (cyc < c.cycles) c = {wsr::name(a), cyc};
+  }
+  return c;
+}
+
+OldChoice old_plan_allreduce_1d(const runtime::Planner& p, u32 P, u32 B) {
+  const MachineParams& mp = p.machine();
+  const auto rb = [&](ReduceAlgo a) {
+    const Prediction r = a == ReduceAlgo::AutoGen
+                             ? p.autogen_model().predict(P, B)
+                             : predict_reduce_1d(a, P, B, mp);
+    return sequential(r, predict_broadcast_1d(P, B, mp)).cycles;
+  };
+  OldChoice c{"AutoGen+Bcast", rb(ReduceAlgo::AutoGen)};
+  for (ReduceAlgo a : kFixedReduceAlgos) {
+    const i64 cyc = rb(a);
+    note_tie(c, cyc);
+    if (cyc < c.cycles) c = {std::string(wsr::name(a)) + "+Bcast", cyc};
+  }
+  if (B % P == 0) {
+    const i64 ring = predict_ring_allreduce(P, B, mp).cycles;
+    note_tie(c, ring);
+    if (ring < c.cycles) c = {"Ring", ring};
+  }
+  return c;
+}
+
+OldChoice old_plan_reduce_2d(const runtime::Planner& p, GridShape g, u32 B) {
+  const MachineParams& mp = p.machine();
+  const auto r1 = [&](ReduceAlgo a, u32 n) {
+    return a == ReduceAlgo::AutoGen ? p.autogen_model().predict(n, B)
+                                    : predict_reduce_1d(a, n, B, mp);
+  };
+  OldChoice c{"Snake", predict_snake_reduce(g, B, mp).cycles};
+  for (ReduceAlgo a : kAllReduceAlgosBase) {
+    const i64 cyc = sequential(r1(a, g.width), r1(a, g.height)).cycles;
+    note_tie(c, cyc);
+    if (cyc < c.cycles) c = {std::string("X-Y ") + wsr::name(a), cyc};
+  }
+  return c;
+}
+
+OldChoice old_plan_allreduce_2d(const runtime::Planner& p, GridShape g, u32 B) {
+  const MachineParams& mp = p.machine();
+  const auto arb1 = [&](ReduceAlgo a, u32 n) {
+    const Prediction r = a == ReduceAlgo::AutoGen
+                             ? p.autogen_model().predict(n, B)
+                             : predict_reduce_1d(a, n, B, mp);
+    return sequential(r, predict_broadcast_1d(n, B, mp));
+  };
+  OldChoice c{"X-Y AutoGen",
+              sequential(arb1(ReduceAlgo::AutoGen, g.width),
+                         arb1(ReduceAlgo::AutoGen, g.height))
+                  .cycles};
+  for (ReduceAlgo a : kFixedReduceAlgos) {
+    const i64 cyc =
+        sequential(arb1(a, g.width), arb1(a, g.height)).cycles;
+    note_tie(c, cyc);
+    if (cyc < c.cycles) c = {std::string("X-Y ") + wsr::name(a), cyc};
+  }
+  const i64 snake = sequential(predict_snake_reduce(g, B, mp),
+                               predict_broadcast_2d(g, B, mp))
+                        .cycles;
+  note_tie(c, snake);
+  if (snake < c.cycles) c = {"Snake+Bcast", snake};
+  return c;
+}
+
+void expect_parity(const runtime::Plan& plan, const OldChoice& old,
+                   const std::string& what) {
+  EXPECT_EQ(plan.prediction.cycles, old.cycles) << what;
+  if (old.unique) EXPECT_EQ(plan.algorithm, old.algorithm) << what;
+}
+
+class RegistryParity : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { planner_ = new runtime::Planner(128); }
+  static void TearDownTestSuite() {
+    delete planner_;
+    planner_ = nullptr;
+  }
+  static runtime::Planner* planner_;
+};
+runtime::Planner* RegistryParity::planner_ = nullptr;
+
+TEST_F(RegistryParity, Plan1DMatchesPreRefactorSelection) {
+  for (u32 p : {2u, 3u, 4u, 8u, 16u, 31u, 64u, 128u}) {
+    for (u32 b : {1u, 4u, 16u, 100u, 256u, 1024u, 4096u, 32768u}) {
+      const std::string what =
+          "P=" + std::to_string(p) + " B=" + std::to_string(b);
+      expect_parity(planner_->plan_reduce_1d(p, b),
+                    old_plan_reduce_1d(*planner_, p, b), "reduce " + what);
+      expect_parity(planner_->plan_allreduce_1d(p, b),
+                    old_plan_allreduce_1d(*planner_, p, b),
+                    "allreduce " + what);
+    }
+  }
+}
+
+TEST_F(RegistryParity, Plan2DMatchesPreRefactorSelection) {
+  for (GridShape g : {GridShape{4, 4}, GridShape{8, 8}, GridShape{8, 32},
+                      GridShape{32, 8}, GridShape{64, 64}, GridShape{128, 16}}) {
+    for (u32 b : {1u, 64u, 1024u, 16384u}) {
+      const std::string what = std::to_string(g.width) + "x" +
+                               std::to_string(g.height) + " B=" +
+                               std::to_string(b);
+      expect_parity(planner_->plan_reduce_2d(g, b),
+                    old_plan_reduce_2d(*planner_, g, b), "reduce2d " + what);
+      expect_parity(planner_->plan_allreduce_2d(g, b),
+                    old_plan_allreduce_2d(*planner_, g, b),
+                    "allreduce2d " + what);
+    }
+  }
+}
+
+TEST_F(RegistryParity, SelectorTablesMatchDirectPredictions) {
+  // The selector's registry-backed candidate tables must reproduce the
+  // hand-rolled fixed-candidate enumerations they replaced.
+  const MachineParams mp = planner_->machine();
+  for (u32 p : {4u, 16u, 64u}) {
+    for (u32 b : {1u, 256u, 8192u}) {
+      std::map<std::string, i64> expected;
+      for (ReduceAlgo a : kFixedReduceAlgos) {
+        expected[wsr::name(a)] = predict_reduce_1d(a, p, b, mp).cycles;
+      }
+      const auto got = reduce_1d_candidates(p, b, mp);
+      ASSERT_EQ(got.size(), expected.size());
+      for (const Candidate& c : got) {
+        ASSERT_TRUE(expected.count(c.label)) << c.label;
+        EXPECT_EQ(c.prediction.cycles, expected[c.label]) << c.label;
+      }
+
+      std::map<std::string, i64> expected_ar;
+      for (ReduceAlgo a : kFixedReduceAlgos) {
+        expected_ar[std::string(wsr::name(a)) + "+Bcast"] =
+            predict_reduce_then_broadcast(a, p, b, mp).cycles;
+      }
+      expected_ar["Ring"] = predict_ring_allreduce(p, b, mp).cycles;
+      const auto got_ar = allreduce_1d_candidates(p, b, mp);
+      ASSERT_EQ(got_ar.size(), expected_ar.size());
+      for (const Candidate& c : got_ar) {
+        ASSERT_TRUE(expected_ar.count(c.label)) << c.label;
+        EXPECT_EQ(c.prediction.cycles, expected_ar[c.label]) << c.label;
+      }
+    }
+  }
+}
+
+TEST_F(RegistryParity, MixedAxisPlanStillReportsPerAxisPair) {
+  const runtime::Plan mixed = planner_->plan_reduce_2d_mixed({128, 8}, 512);
+  // Label format "X-Y <x>/<y>" is part of the descriptor's display contract.
+  EXPECT_EQ(mixed.algorithm.rfind("X-Y ", 0), 0u) << mixed.algorithm;
+  EXPECT_NE(mixed.algorithm.find('/'), std::string::npos) << mixed.algorithm;
+}
+
+}  // namespace
+}  // namespace wsr

@@ -2,22 +2,30 @@
 //
 //   wsr_plan <collective> <grid> <bytes> [--algo=NAME] [--simulate]
 //            [--json] [--dump] [--tr=N]
+//   wsr_plan --list-algorithms [--json]
 //
 //   collective: reduce | allreduce | broadcast
 //   grid:       P (a 1D row) or WxH (a 2D grid)
 //   bytes:      per-PE vector size in bytes (4 bytes per f32 wavelet)
 //
+// Algorithm names come from the registry (see --list-algorithms); short
+// forms are accepted where unambiguous ("Chain" resolves to "Chain+Bcast"
+// for an AllReduce and to "X-Y Chain" on a 2D grid).
+//
 // Examples:
 //   wsr_plan reduce 512 1024                # model-selected 1D reduce
 //   wsr_plan allreduce 64x64 4096 --simulate
 //   wsr_plan reduce 512 64 --algo=TwoPhase --dump
-//   wsr_plan reduce 16 256 --algo=AutoGen --json > schedule.json
+//   wsr_plan allreduce 64 4096 --algo=MidRoot
+//   wsr_plan reduce 16 256 --algo=AutoGen --json > plan.json
+//   wsr_plan --list-algorithms --json
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <optional>
 #include <string>
 
 #include "flowsim/flowsim.hpp"
+#include "registry/algorithm_registry.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/verify.hpp"
 #include "wse/export.hpp"
@@ -29,25 +37,62 @@ using namespace wsr;
 int usage() {
   std::fprintf(stderr,
                "usage: wsr_plan <reduce|allreduce|broadcast> <P|WxH> <bytes>\n"
-               "                [--algo=Star|Chain|Tree|TwoPhase|AutoGen]\n"
-               "                [--simulate] [--json] [--dump] [--tr=N]\n");
+               "                [--algo=NAME] [--simulate] [--json] [--dump]\n"
+               "                [--tr=N]\n"
+               "       wsr_plan --list-algorithms [--json]\n"
+               "NAME is a registry algorithm name (see --list-algorithms).\n");
   return 2;
 }
 
-std::optional<ReduceAlgo> parse_algo(const std::string& s) {
-  if (s == "Star") return ReduceAlgo::Star;
-  if (s == "Chain") return ReduceAlgo::Chain;
-  if (s == "Tree") return ReduceAlgo::Tree;
-  if (s == "TwoPhase") return ReduceAlgo::TwoPhase;
-  if (s == "AutoGen") return ReduceAlgo::AutoGen;
-  return std::nullopt;
+int list_algorithms(bool json) {
+  const auto all = registry::AlgorithmRegistry::instance().all();
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const auto& d = *all[i];
+      std::printf(
+          "%s\n  {\"name\":\"%s\",\"collective\":\"%s\",\"dims\":\"%s\","
+          "\"color_budget\":%u,\"auto_selectable\":%s,\"model_generated\":%s}",
+          i == 0 ? "" : ",", d.name.c_str(), registry::name(d.collective),
+          registry::name(d.dims), d.color_budget,
+          d.auto_selectable ? "true" : "false",
+          d.model_generated ? "true" : "false");
+    }
+    std::printf("\n]\n");
+    return 0;
+  }
+  std::printf("%-16s %-10s %-4s %-7s %-11s %s\n", "name", "collective", "dims",
+              "colors", "selectable", "generated");
+  for (const auto* d : all) {
+    std::printf("%-16s %-10s %-4s %-7u %-11s %s\n", d->name.c_str(),
+                registry::name(d->collective), registry::name(d->dims),
+                d->color_budget, d->auto_selectable ? "yes" : "no",
+                d->model_generated ? "yes" : "no");
+  }
+  return 0;
+}
+
+/// Resolves a user-supplied algorithm name against the registry, accepting
+/// the short forms of the underlying 1D pattern names.
+std::string resolve_algorithm(registry::Collective c, registry::Dims dims,
+                              const std::string& s) {
+  const auto& reg = registry::AlgorithmRegistry::instance();
+  for (const std::string candidate :
+       {s, "X-Y " + s, s + "+Bcast", "X-Y " + s + "+Bcast"}) {
+    if (reg.find(c, dims, candidate) != nullptr) return candidate;
+  }
+  return "";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--list-algorithms") == 0) {
+    const bool json = argc >= 3 && std::strcmp(argv[2], "--json") == 0;
+    return list_algorithms(json);
+  }
   if (argc < 4) return usage();
-  const std::string collective = argv[1];
+  const std::string collective_arg = argv[1];
   const std::string grid_arg = argv[2];
   const u64 bytes = std::strtoull(argv[3], nullptr, 10);
   if (bytes == 0 || bytes % 4 != 0) {
@@ -56,14 +101,14 @@ int main(int argc, char** argv) {
   }
   const u32 vec_len = static_cast<u32>(bytes / 4);
 
-  std::optional<ReduceAlgo> algo;
+  std::string algo;
   bool simulate = false, json = false, dump = false;
   MachineParams mp;
   for (int i = 4; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--algo=", 0) == 0) {
-      algo = parse_algo(a.substr(7));
-      if (!algo) return usage();
+      algo = a.substr(7);
+      if (algo.empty()) return usage();
     } else if (a == "--simulate") {
       simulate = true;
     } else if (a == "--json") {
@@ -90,26 +135,80 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const runtime::Planner planner(std::max(grid.width, grid.height), mp);
-  runtime::Plan plan = [&] {
-    if (grid.is_row()) {
-      if (collective == "reduce") return planner.plan_reduce_1d(grid.width, vec_len, algo);
-      if (collective == "allreduce") return planner.plan_allreduce_1d(grid.width, vec_len, algo);
-      if (collective == "broadcast") return planner.plan_broadcast_1d(grid.width, vec_len);
-    } else {
-      if (collective == "reduce") return planner.plan_reduce_2d(grid, vec_len, {}, algo);
-      if (collective == "allreduce") return planner.plan_allreduce_2d(grid, vec_len, algo);
-      if (collective == "broadcast") return planner.plan_broadcast_2d(grid, vec_len);
+  runtime::PlanRequest request;
+  request.grid = grid;
+  request.vec_len = vec_len;
+  if (collective_arg == "reduce") {
+    request.collective = runtime::Collective::Reduce;
+  } else if (collective_arg == "allreduce") {
+    request.collective = runtime::Collective::AllReduce;
+  } else if (collective_arg == "broadcast") {
+    request.collective = runtime::Collective::Broadcast;
+  } else {
+    return usage();
+  }
+  if (!algo.empty()) {
+    request.algorithm = resolve_algorithm(request.collective,
+                                          registry::dims_for(grid), algo);
+    if (request.algorithm.empty()) {
+      std::fprintf(stderr,
+                   "unknown algorithm '%s' for this collective/grid; see "
+                   "--list-algorithms\n",
+                   algo.c_str());
+      return 2;
     }
-    std::exit(usage());
-  }();
+    const registry::AlgorithmDescriptor* desc =
+        registry::AlgorithmRegistry::instance().find(
+            request.collective, registry::dims_for(grid), request.algorithm);
+    if (!desc->applicable(grid, vec_len)) {
+      std::fprintf(stderr,
+                   "algorithm '%s' is not applicable to %ux%u PEs with %llu "
+                   "bytes/PE (e.g. Ring needs bytes divisible by 4*P)\n",
+                   request.algorithm.c_str(), grid.width, grid.height,
+                   static_cast<unsigned long long>(bytes));
+      return 2;
+    }
+  }
+
+  const runtime::Planner planner(std::max(grid.width, grid.height), mp);
+  const runtime::Plan plan = planner.plan(request);
 
   if (json) {
-    std::printf("%s\n", wse::to_json(plan.schedule).c_str());
+    // Registry-introspected plan JSON: selection metadata + the schedule.
+    const registry::AlgorithmDescriptor* desc =
+        registry::AlgorithmRegistry::instance().find(
+            request.collective, registry::dims_for(grid),
+            request.algorithm.empty() ? plan.algorithm : request.algorithm);
+    std::printf("{\"collective\":\"%s\","
+                "\"grid\":{\"width\":%u,\"height\":%u},"
+                "\"vec_len\":%u,\"bytes_per_pe\":%llu,"
+                "\"algorithm\":\"%s\",",
+                registry::name(request.collective), grid.width, grid.height,
+                vec_len, static_cast<unsigned long long>(bytes),
+                plan.algorithm.c_str());
+    if (desc != nullptr) {
+      std::printf("\"color_budget\":%u,\"auto_selectable\":%s,"
+                  "\"model_generated\":%s,",
+                  desc->color_budget, desc->auto_selectable ? "true" : "false",
+                  desc->model_generated ? "true" : "false");
+    }
+    const CostTerms& t = plan.prediction.terms;
+    std::printf("\"predicted_cycles\":%lld,\"predicted_us\":%.3f,"
+                "\"terms\":{\"energy\":%lld,\"distance\":%lld,\"depth\":%lld,"
+                "\"contention\":%lld,\"links\":%lld},"
+                "\"schedule\":%s}\n",
+                static_cast<long long>(plan.prediction.cycles),
+                mp.cycles_to_us(plan.prediction.cycles),
+                static_cast<long long>(t.energy),
+                static_cast<long long>(t.distance),
+                static_cast<long long>(t.depth),
+                static_cast<long long>(t.contention),
+                static_cast<long long>(t.links),
+                wse::to_json(plan.schedule).c_str());
     return 0;
   }
   std::fprintf(stderr, "collective : %s on %ux%u PEs, %llu bytes/PE\n",
-               collective.c_str(), grid.width, grid.height,
+               collective_arg.c_str(), grid.width, grid.height,
                static_cast<unsigned long long>(bytes));
   std::fprintf(stderr, "algorithm  : %s\n", plan.algorithm.c_str());
   std::fprintf(stderr, "predicted  : %lld cycles (%.3f us at %.0f MHz)\n",
@@ -117,15 +216,15 @@ int main(int argc, char** argv) {
                mp.cycles_to_us(plan.prediction.cycles), mp.clock_mhz);
   std::fprintf(stderr, "model terms: %s\n",
                to_string(plan.prediction.terms).c_str());
-  if (collective == "reduce" && grid.is_row()) {
+  if (request.collective == runtime::Collective::Reduce && grid.is_row()) {
     std::fprintf(stderr, "lower bound: %.0f cycles\n",
                  planner.reduce_1d_lower_bound(grid.width, vec_len));
   }
   if (dump) std::printf("%s", plan.schedule.dump().c_str());
   if (simulate) {
     if (grid.num_pes() <= 4096 && plan.prediction.cycles <= 200000) {
-      const auto r = runtime::verify_on_fabric(plan.schedule,
-                                               collective == "broadcast");
+      const auto r = runtime::verify_on_fabric(
+          plan.schedule, request.collective == runtime::Collective::Broadcast);
       std::fprintf(stderr, "fabric sim : %lld cycles, results %s\n",
                    static_cast<long long>(r.cycles),
                    r.ok ? "verified" : "WRONG");
