@@ -7,6 +7,7 @@
 // large errors the paper warns about.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "harness.hpp"
 
@@ -23,37 +24,62 @@ i64 simulate(const wse::Schedule& s, u32 ramp) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "abl_ramp_latency");
   const u32 P = 256, B = 256;
+  const std::vector<u32> trs = {1, 2, 3, 5, 7};
+
+  struct Row {
+    u32 tr;
+    bench::Measurement chain, tree;
+  };
+  std::vector<Row> rows;
+  for (u32 tr : trs) rows.push_back({tr, {}, {}});
+  for (Row& row : rows) {
+    const u32 tr = row.tr;
+    bench.runner().cell(&row.chain, [tr] {
+      MachineParams mp;
+      mp.ramp_latency = tr;
+      return bench::Measurement{
+          simulate(collectives::make_reduce_1d(ReduceAlgo::Chain, P, B), tr),
+          predict_chain_reduce(P, B, mp).cycles};
+    });
+    bench.runner().cell(&row.tree, [tr] {
+      MachineParams mp;
+      mp.ramp_latency = tr;
+      return bench::Measurement{
+          simulate(collectives::make_reduce_1d(ReduceAlgo::Tree, P, B), tr),
+          predict_tree_reduce(P, B, mp).cycles};
+    });
+  }
+  // The paper's point: assuming T_R = 7 (prior work) on a T_R = 2 machine.
+  bench::Measurement wrong;
+  bench.runner().cell(&wrong, [] {
+    MachineParams mp;
+    mp.ramp_latency = 7;
+    return bench::Measurement{
+        simulate(collectives::make_reduce_1d(ReduceAlgo::Chain, P, B), 2),
+        predict_chain_reduce(P, B, mp).cycles};
+  });
+  bench.runner().run();
+
   std::printf("=== Ablation: ramp latency T_R (chain & tree reduce, %ux1, 1KB) ===\n", P);
   std::printf("%-5s %12s %12s %8s %12s %12s %8s\n", "T_R", "chain(sim)",
               "chain(model)", "err", "tree(sim)", "tree(model)", "err");
-  for (u32 tr : {1u, 2u, 3u, 5u, 7u}) {
-    MachineParams mp;
-    mp.ramp_latency = tr;
-    const wse::Schedule chain = collectives::make_reduce_1d(ReduceAlgo::Chain, P, B);
-    const wse::Schedule tree = collectives::make_reduce_1d(ReduceAlgo::Tree, P, B);
-    const i64 cs = simulate(chain, tr), ts = simulate(tree, tr);
-    const i64 cm = predict_chain_reduce(P, B, mp).cycles;
-    const i64 tm = predict_tree_reduce(P, B, mp).cycles;
-    std::printf("%-5u %12lld %12lld %7.1f%% %12lld %12lld %7.1f%%\n", tr,
-                static_cast<long long>(cs), static_cast<long long>(cm),
-                100.0 * std::abs(double(cs - cm)) / double(cs),
-                static_cast<long long>(ts), static_cast<long long>(tm),
-                100.0 * std::abs(double(ts - tm)) / double(ts));
+  for (const Row& row : rows) {
+    std::printf("%-5u %12lld %12lld %7.1f%% %12lld %12lld %7.1f%%\n", row.tr,
+                static_cast<long long>(row.chain.measured),
+                static_cast<long long>(row.chain.predicted),
+                100.0 * row.chain.err(),
+                static_cast<long long>(row.tree.measured),
+                static_cast<long long>(row.tree.predicted),
+                100.0 * row.tree.err());
   }
-
-  // The paper's point: assuming T_R = 7 (prior work) on a T_R = 2 machine.
-  MachineParams wrong;
-  wrong.ramp_latency = 7;
-  const wse::Schedule chain = collectives::make_reduce_1d(ReduceAlgo::Chain, P, B);
-  const i64 sim2 = simulate(chain, 2);
-  const i64 model7 = predict_chain_reduce(P, B, wrong).cycles;
   std::printf(
       "\nMis-parameterized model (T_R=7 vs machine T_R=2): chain predicted "
       "%lld vs simulated %lld (%.0f%% off) - the paper's argument for "
       "T_R = 2.\n",
-      static_cast<long long>(model7), static_cast<long long>(sim2),
-      100.0 * std::abs(double(sim2 - model7)) / double(sim2));
-  return 0;
+      static_cast<long long>(wrong.predicted),
+      static_cast<long long>(wrong.measured), 100.0 * wrong.err());
+  return bench.finish();
 }

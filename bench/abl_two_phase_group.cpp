@@ -4,40 +4,64 @@
 // vector lengths.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "harness.hpp"
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "abl_two_phase_group");
   const MachineParams mp;
   const u32 P = 256;
-  const u32 groups[] = {2, 4, 8, 12, 16, 24, 32, 64, 128};
+  const std::vector<u32> groups = {2, 4, 8, 12, 16, 24, 32, 64, 128};
+  const std::vector<u32> bs = {16, 64, 256, 1024, 4096};
+
+  // cells[bi][si]: S = groups[si]; the last column is the sqrt(P) default.
+  std::vector<std::vector<bench::Measurement>> cells(
+      bs.size(), std::vector<bench::Measurement>(groups.size() + 1));
+  for (std::size_t bi = 0; bi < bs.size(); ++bi) {
+    const u32 b = bs[bi];
+    for (std::size_t si = 0; si < groups.size(); ++si) {
+      const u32 s = groups[si];
+      bench.runner().cell(&cells[bi][si], [b, s, &mp] {
+        const i64 pred = predict_two_phase_reduce(P, b, mp, s).cycles;
+        return bench::Measurement{
+            bench::measured_cycles(
+                collectives::make_reduce_1d(ReduceAlgo::TwoPhase, P, b,
+                                            nullptr, s),
+                pred),
+            pred};
+      });
+    }
+    bench.runner().cell(&cells[bi].back(), [b, &mp] {
+      const i64 pred = predict_two_phase_reduce(P, b, mp).cycles;
+      return bench::Measurement{
+          bench::measured_cycles(
+              collectives::make_reduce_1d(ReduceAlgo::TwoPhase, P, b), pred),
+          pred};
+    });
+  }
+  bench.runner().run();
 
   std::printf("=== Ablation: Two-Phase group size S on %ux1 PEs ===\n", P);
   std::printf("%-8s", "B\\S");
   for (u32 s : groups) std::printf(" %8u", s);
   std::printf(" | %8s %8s\n", "sqrt(P)", "best S");
 
-  for (u32 b : {16u, 64u, 256u, 1024u, 4096u}) {
-    std::printf("%-8s", bench::bytes_label(b).c_str());
+  for (std::size_t bi = 0; bi < bs.size(); ++bi) {
+    std::printf("%-8s", bench::bytes_label(bs[bi]).c_str());
     i64 best = INT64_MAX;
     u32 best_s = 0;
-    std::vector<i64> cycles;
-    for (u32 s : groups) {
-      const i64 meas = bench::measured_cycles(
-          collectives::make_reduce_1d(ReduceAlgo::TwoPhase, P, b, nullptr, s),
-          predict_two_phase_reduce(P, b, mp, s).cycles);
-      cycles.push_back(meas);
+    for (std::size_t si = 0; si < groups.size(); ++si) {
+      const i64 meas = cells[bi][si].measured;
       if (meas < best) {
         best = meas;
-        best_s = s;
+        best_s = groups[si];
       }
       std::printf(" %8lld", static_cast<long long>(meas));
     }
-    const i64 def = bench::measured_cycles(
-        collectives::make_reduce_1d(ReduceAlgo::TwoPhase, P, b),
-        predict_two_phase_reduce(P, b, mp).cycles);
+    const i64 def = cells[bi].back().measured;
     std::printf(" | %8lld %8u  (default within %.1f%% of best)\n",
                 static_cast<long long>(def), best_s,
                 100.0 * (static_cast<double>(def) / best - 1.0));
@@ -46,5 +70,5 @@ int main() {
       "\nExpected: the best S tracks sqrt(P)=16 for mid-size vectors, drifts\n"
       "larger for huge vectors (phase-2 contention matters less) - the\n"
       "default stays within a few percent everywhere.\n");
-  return 0;
+  return bench.finish();
 }

@@ -17,10 +17,12 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig01_optimality_ratio");
   const MachineParams mp;
   const autogen::LowerBound lb(512, mp);
   const registry::PlanContext ctx = registry::make_context(512, mp);
+  ctx.autogen();  // build the DP table once, outside the cells
   const auto pes = bench::pe_sweep();
   const auto lens = bench::vec_len_sweep_wavelets(8192);
 
@@ -34,18 +36,32 @@ int main() {
   const auto algos = registry::AlgorithmRegistry::instance().query(
       registry::Collective::Reduce, registry::Dims::OneD);
 
-  std::vector<double> worst(algos.size(), 0.0);
-  for (std::size_t i = 0; i < algos.size(); ++i) {
-    const registry::AlgorithmDescriptor& d = *algos[i];
-    bench::print_heatmap(
-        "Fig 1: " + d.name + " optimality ratio (1.0 = optimal)", pes, lens,
-        [&](u32 p, u32 b) {
+  // One ratio matrix per algorithm, every cell an independent sweep task.
+  std::vector<std::vector<std::vector<double>>> ratios(
+      algos.size(), std::vector<std::vector<double>>(
+                        pes.size(), std::vector<double>(lens.size())));
+  for (std::size_t ai = 0; ai < algos.size(); ++ai) {
+    for (std::size_t r = 0; r < pes.size(); ++r) {
+      for (std::size_t c = 0; c < lens.size(); ++c) {
+        bench.runner().task([&, ai, r, c] {
+          const registry::AlgorithmDescriptor& d = *algos[ai];
           const double cycles = static_cast<double>(
-              d.lower_bound_comparable_cost({p, 1}, b, ctx).cycles);
-          const double r = cycles / lb.cycles(p, b);
-          worst[i] = std::max(worst[i], r);
-          return r;
+              d.lower_bound_comparable_cost({pes[r], 1}, lens[c], ctx).cycles);
+          ratios[ai][r][c] = cycles / lb.cycles(pes[r], lens[c]);
         });
+      }
+    }
+  }
+  bench.runner().run();
+
+  std::vector<double> worst(algos.size(), 0.0);
+  for (std::size_t ai = 0; ai < algos.size(); ++ai) {
+    for (const auto& row : ratios[ai]) {
+      for (double v : row) worst[ai] = std::max(worst[ai], v);
+    }
+    bench.heatmap("Fig 1: " + algos[ai]->name +
+                      " optimality ratio (1.0 = optimal)",
+                  pes, lens, ratios[ai]);
   }
 
   std::printf("\nWorst-case ratio over the sweep:\n");
@@ -58,5 +74,5 @@ int main() {
       std::printf("  %-10s %7.1fx\n", algos[i]->name.c_str(), worst[i]);
     }
   }
-  return 0;
+  return bench.finish();
 }

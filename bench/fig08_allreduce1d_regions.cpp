@@ -12,26 +12,38 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig08_allreduce1d_regions");
   const MachineParams mp;
-  bench::print_regions(
-      "Fig 8: best fixed 1D AllReduce + speedup over Chain+Bcast (vendor)",
-      bench::pe_sweep(), bench::vec_len_sweep_wavelets(8192),
-      [&](u32 p, u32 b) -> std::pair<std::string, double> {
-        const auto cands = allreduce_1d_candidates(p, b, mp);
+  const auto pes = bench::pe_sweep();
+  const auto lens = bench::vec_len_sweep_wavelets(8192);
+
+  std::vector<std::vector<std::pair<std::string, double>>> cells(
+      pes.size(), std::vector<std::pair<std::string, double>>(lens.size()));
+  for (std::size_t r = 0; r < pes.size(); ++r) {
+    for (std::size_t c = 0; c < lens.size(); ++c) {
+      bench.runner().task([&, r, c] {
+        const auto cands = allreduce_1d_candidates(pes[r], lens[c], mp);
         const std::size_t best = best_candidate(cands);
         i64 vendor = 0;
-        for (const Candidate& c : cands) {
-          if (c.label == "Chain+Bcast") vendor = c.prediction.cycles;
+        for (const Candidate& cand : cands) {
+          if (cand.label == "Chain+Bcast") vendor = cand.prediction.cycles;
         }
-        return {cands[best].label,
-                static_cast<double>(vendor) /
-                    static_cast<double>(cands[best].prediction.cycles)};
+        cells[r][c] = {cands[best].label,
+                       static_cast<double>(vendor) /
+                           static_cast<double>(cands[best].prediction.cycles)};
       });
+    }
+  }
+  bench.runner().run();
+
+  bench.regions(
+      "Fig 8: best fixed 1D AllReduce + speedup over Chain+Bcast (vendor)",
+      pes, lens, cells);
 
   std::printf(
       "\nExpected region structure (paper): Star for scalars, Tree+Bcast for\n"
       "small vectors, Two-Phase+Bcast in the middle, Chain+Bcast for long\n"
       "vectors, Ring only in the large-B / small-P contention band.\n");
-  return 0;
+  return bench.finish();
 }

@@ -12,29 +12,41 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig10_allreduce2d_regions");
   const MachineParams mp;
-  bench::print_regions(
-      "Fig 10: best fixed 2D AllReduce + speedup over X-Y Chain (vendor); "
-      "rows are NxN grids",
-      bench::pe_sweep(), bench::vec_len_sweep_wavelets(8192),
-      [&](u32 n, u32 b) -> std::pair<std::string, double> {
-        const GridShape g{n, n};
-        const auto cands = allreduce_2d_candidates(g, b, mp);
+  const auto pes = bench::pe_sweep();
+  const auto lens = bench::vec_len_sweep_wavelets(8192);
+
+  std::vector<std::vector<std::pair<std::string, double>>> cells(
+      pes.size(), std::vector<std::pair<std::string, double>>(lens.size()));
+  for (std::size_t r = 0; r < pes.size(); ++r) {
+    for (std::size_t c = 0; c < lens.size(); ++c) {
+      bench.runner().task([&, r, c] {
+        const GridShape g{pes[r], pes[r]};
+        const auto cands = allreduce_2d_candidates(g, lens[c], mp);
         const std::size_t best = best_candidate(cands);
         i64 vendor = 0;
-        for (const Candidate& c : cands) {
-          if (c.label == "X-Y Chain") vendor = c.prediction.cycles;
+        for (const Candidate& cand : cands) {
+          if (cand.label == "X-Y Chain") vendor = cand.prediction.cycles;
         }
-        return {cands[best].label,
-                static_cast<double>(vendor) /
-                    static_cast<double>(cands[best].prediction.cycles)};
+        cells[r][c] = {cands[best].label,
+                       static_cast<double>(vendor) /
+                           static_cast<double>(cands[best].prediction.cycles)};
       });
+    }
+  }
+  bench.runner().run();
+
+  bench.regions(
+      "Fig 10: best fixed 2D AllReduce + speedup over X-Y Chain (vendor); "
+      "rows are NxN grids",
+      pes, lens, cells);
 
   std::printf(
       "\nExpected region structure (paper Fig. 10): X-Y Star for scalars,\n"
       "X-Y Tree for small vectors, X-Y Two-Phase in the middle, X-Y Chain\n"
       "for long vectors, and the Snake(+2D broadcast) in the\n"
       "bandwidth-bound small-grid / huge-vector corner.\n");
-  return 0;
+  return bench.finish();
 }

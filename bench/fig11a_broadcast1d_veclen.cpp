@@ -7,23 +7,30 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig11a_broadcast1d_veclen");
   const MachineParams mp;
   const u32 P = 512;
   const auto lens = bench::vec_len_sweep_wavelets(4096);  // 1/3 PE memory
 
   bench::Series s{"Broadcast (flooding)", {}};
+  s.points.resize(lens.size());
   std::vector<std::string> labels;
-  for (u32 b : lens) {
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    const u32 b = lens[i];
     labels.push_back(bench::bytes_label(b));
-    const i64 pred = predict_broadcast_1d(P, b, mp).cycles;
-    const i64 meas =
-        bench::measured_cycles(collectives::make_broadcast_1d(P, b), pred,
-                               300'000, /*is_broadcast=*/true);
-    s.points.push_back({meas, pred});
+    bench.runner().cell(&s.points[i], [=, &mp] {
+      const i64 pred = predict_broadcast_1d(P, b, mp).cycles;
+      const i64 meas =
+          bench::measured_cycles(collectives::make_broadcast_1d(P, b), pred,
+                                 300'000, /*is_broadcast=*/true);
+      return bench::Measurement{meas, pred};
+    });
   }
-  bench::print_figure("Fig 11a: 1D Broadcast, 512x1 PEs, vector length sweep",
-                      "bytes", labels, {s}, mp);
+  bench.runner().run();
+
+  bench.figure("Fig 11a: 1D Broadcast, 512x1 PEs, vector length sweep",
+               "bytes", labels, {s}, mp);
   std::printf("\npaper: measured reaches ~6 us at the 16KB end; model within 21%%\n");
-  return 0;
+  return bench.finish();
 }

@@ -8,10 +8,12 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig11b_reduce1d_veclen");
   const MachineParams mp;
   const u32 P = 512;
   const runtime::Planner planner(P, mp);
+  planner.autogen_model();  // build the DP table once, outside the cells
   const auto lens = bench::vec_len_sweep_wavelets(4096);  // 1/3 PE memory
 
   const ReduceAlgo algos[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
@@ -21,18 +23,29 @@ int main() {
   std::vector<std::string> labels;
   for (u32 b : lens) labels.push_back(bench::bytes_label(b));
 
+  // Size every series before enqueuing: cells write into stable slots.
   for (ReduceAlgo a : algos) {
-    bench::Series s{a == ReduceAlgo::Chain ? "Chain (vendor)" : name(a), {}};
-    for (u32 b : lens) {
-      const i64 pred = planner.predict_reduce_1d(a, P, b).cycles;
-      const i64 meas = bench::measured_cycles(
-          collectives::make_reduce_1d(a, P, b, &planner.autogen_model()), pred);
-      s.points.push_back({meas, pred});
-    }
-    series.push_back(std::move(s));
+    series.push_back(
+        {a == ReduceAlgo::Chain ? "Chain (vendor)" : name(a),
+         std::vector<bench::Measurement>(lens.size())});
   }
-  bench::print_figure("Fig 11b: 1D Reduce, 512x1 PEs, vector length sweep",
-                      "bytes", labels, series, mp);
+  for (std::size_t ai = 0; ai < std::size(algos); ++ai) {
+    const ReduceAlgo a = algos[ai];
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      const u32 b = lens[i];
+      bench.runner().cell(&series[ai].points[i], [=, &planner] {
+        const i64 pred = planner.predict_reduce_1d(a, P, b).cycles;
+        const i64 meas = bench::measured_cycles(
+            collectives::make_reduce_1d(a, P, b, &planner.autogen_model()),
+            pred);
+        return bench::Measurement{meas, pred};
+      });
+    }
+  }
+  bench.runner().run();
+
+  bench.figure("Fig 11b: 1D Reduce, 512x1 PEs, vector length sweep", "bytes",
+               labels, series, mp);
 
   double best_speedup = 0;
   for (std::size_t i = 0; i < lens.size(); ++i) {
@@ -40,8 +53,8 @@ int main() {
         best_speedup, static_cast<double>(series[1].points[i].measured) /
                           static_cast<double>(series[4].points[i].measured));
   }
-  bench::print_headline("Auto-Gen over vendor Chain (measured, max over B)",
-                        best_speedup, 3.16);
+  bench.headline("Auto-Gen over vendor Chain (measured, max over B)",
+                 best_speedup, 3.16);
   std::printf("paper: model mean relative error 12%%-35%% per pattern\n");
-  return 0;
+  return bench.finish();
 }

@@ -11,10 +11,12 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig11c_allreduce1d_veclen");
   const MachineParams mp;
   const u32 P = 512;
   const runtime::Planner planner(P, mp);
+  planner.autogen_model();  // build the DP table once, outside the cells
   const auto lens = bench::vec_len_sweep_wavelets(4096);
 
   const ReduceAlgo algos[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
@@ -25,19 +27,26 @@ int main() {
   for (u32 b : lens) labels.push_back(bench::bytes_label(b));
 
   for (ReduceAlgo a : algos) {
-    bench::Series s{
-        a == ReduceAlgo::Chain ? "Chain+Bcast (vendor)"
-                               : std::string(name(a)) + "+Bcast",
-        {}};
-    for (u32 b : lens) {
-      const i64 pred = planner.predict_allreduce_1d(a, P, b).cycles;
-      const i64 meas = bench::measured_cycles(
-          collectives::make_allreduce_1d(a, P, b, &planner.autogen_model()),
-          pred);
-      s.points.push_back({meas, pred});
-    }
-    series.push_back(std::move(s));
+    series.push_back({a == ReduceAlgo::Chain
+                          ? "Chain+Bcast (vendor)"
+                          : std::string(name(a)) + "+Bcast",
+                      std::vector<bench::Measurement>(lens.size())});
   }
+  for (std::size_t ai = 0; ai < std::size(algos); ++ai) {
+    const ReduceAlgo a = algos[ai];
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      const u32 b = lens[i];
+      bench.runner().cell(&series[ai].points[i], [=, &planner] {
+        const i64 pred = planner.predict_allreduce_1d(a, P, b).cycles;
+        const i64 meas = bench::measured_cycles(
+            collectives::make_allreduce_1d(a, P, b, &planner.autogen_model()),
+            pred);
+        return bench::Measurement{meas, pred};
+      });
+    }
+  }
+  bench.runner().run();
+
   // Predicted-only series, as in the paper's figure.
   bench::Series ring{"Ring (predicted)", {}};
   bench::Series butterfly{"Butterfly (predicted)", {}};
@@ -49,8 +58,8 @@ int main() {
   series.push_back(std::move(ring));
   series.push_back(std::move(butterfly));
 
-  bench::print_figure("Fig 11c: 1D AllReduce, 512x1 PEs, vector length sweep",
-                      "bytes", labels, series, mp);
+  bench.figure("Fig 11c: 1D AllReduce, 512x1 PEs, vector length sweep",
+               "bytes", labels, series, mp);
 
   double best_speedup = 0;
   for (std::size_t i = 0; i < lens.size(); ++i) {
@@ -58,10 +67,9 @@ int main() {
         best_speedup, static_cast<double>(series[1].points[i].measured) /
                           static_cast<double>(series[4].points[i].measured));
   }
-  bench::print_headline(
-      "Auto-Gen+Bcast over vendor Chain+Bcast (measured, max over B)",
-      best_speedup, 2.47);
+  bench.headline("Auto-Gen+Bcast over vendor Chain+Bcast (measured, max over B)",
+                 best_speedup, 2.47);
   std::printf(
       "paper: even with 15%% model error, Ring is never the best choice\n");
-  return 0;
+  return bench.finish();
 }

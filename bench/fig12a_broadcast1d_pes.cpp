@@ -7,22 +7,30 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig12a_broadcast1d_pes");
   const MachineParams mp;
   const u32 B = 256;  // 1 KB
+  const auto pes = bench::pe_sweep();
 
   bench::Series s{"Broadcast (flooding)", {}};
+  s.points.resize(pes.size());
   std::vector<std::string> labels;
-  for (u32 p : bench::pe_sweep()) {
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    const u32 p = pes[i];
     labels.push_back(std::to_string(p) + "x1");
-    const i64 pred = predict_broadcast_1d(p, B, mp).cycles;
-    const i64 meas =
-        bench::measured_cycles(collectives::make_broadcast_1d(p, B), pred,
-                               300'000, /*is_broadcast=*/true);
-    s.points.push_back({meas, pred});
+    bench.runner().cell(&s.points[i], [=, &mp] {
+      const i64 pred = predict_broadcast_1d(p, B, mp).cycles;
+      const i64 meas =
+          bench::measured_cycles(collectives::make_broadcast_1d(p, B), pred,
+                                 300'000, /*is_broadcast=*/true);
+      return bench::Measurement{meas, pred};
+    });
   }
-  bench::print_figure("Fig 12a: 1D Broadcast, 1KB vector, PE count sweep",
-                      "PEs", labels, {s}, mp);
+  bench.runner().run();
+
+  bench.figure("Fig 12a: 1D Broadcast, 1KB vector, PE count sweep", "PEs",
+               labels, {s}, mp);
   std::printf("\npaper: 8%%-21%% relative error; curve reaches ~1.3 us at 512 PEs\n");
-  return 0;
+  return bench.finish();
 }

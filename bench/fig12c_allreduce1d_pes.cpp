@@ -7,44 +7,54 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig12c_allreduce1d_pes");
   const MachineParams mp;
   const u32 B = 256;  // 1 KB
   const runtime::Planner planner(512, mp);
+  planner.autogen_model();  // build the DP table once, outside the cells
+  const auto pes = bench::pe_sweep();
 
   const ReduceAlgo algos[] = {ReduceAlgo::Star, ReduceAlgo::Chain,
                               ReduceAlgo::Tree, ReduceAlgo::TwoPhase,
                               ReduceAlgo::AutoGen};
   std::vector<bench::Series> series;
   std::vector<std::string> labels;
-  for (u32 p : bench::pe_sweep()) labels.push_back(std::to_string(p) + "x1");
+  for (u32 p : pes) labels.push_back(std::to_string(p) + "x1");
 
   for (ReduceAlgo a : algos) {
-    bench::Series s{
-        a == ReduceAlgo::Chain ? "Chain+Bcast (vendor)"
-                               : std::string(name(a)) + "+Bcast",
-        {}};
-    for (u32 p : bench::pe_sweep()) {
-      const i64 pred = planner.predict_allreduce_1d(a, p, B).cycles;
-      const i64 meas = bench::measured_cycles(
-          collectives::make_allreduce_1d(a, p, B, &planner.autogen_model()),
-          pred);
-      s.points.push_back({meas, pred});
-    }
-    series.push_back(std::move(s));
+    series.push_back({a == ReduceAlgo::Chain
+                          ? "Chain+Bcast (vendor)"
+                          : std::string(name(a)) + "+Bcast",
+                      std::vector<bench::Measurement>(pes.size())});
   }
+  for (std::size_t ai = 0; ai < std::size(algos); ++ai) {
+    const ReduceAlgo a = algos[ai];
+    for (std::size_t i = 0; i < pes.size(); ++i) {
+      const u32 p = pes[i];
+      bench.runner().cell(&series[ai].points[i], [=, &planner] {
+        const i64 pred = planner.predict_allreduce_1d(a, p, B).cycles;
+        const i64 meas = bench::measured_cycles(
+            collectives::make_allreduce_1d(a, p, B, &planner.autogen_model()),
+            pred);
+        return bench::Measurement{meas, pred};
+      });
+    }
+  }
+  bench.runner().run();
+
   bench::Series ring{"Ring (predicted)", {}};
-  for (u32 p : bench::pe_sweep()) {
+  for (u32 p : pes) {
     ring.points.push_back({-1, predict_ring_allreduce(p, B, mp).cycles});
   }
   series.push_back(std::move(ring));
 
-  bench::print_figure("Fig 12c: 1D AllReduce, 1KB vector, PE count sweep",
-                      "PEs", labels, series, mp);
+  bench.figure("Fig 12c: 1D AllReduce, 1KB vector, PE count sweep", "PEs",
+               labels, series, mp);
 
   // The ring-vs-best gap at larger P (paper: up to ~1.4x).
   double worst_gap = 0;
-  for (std::size_t i = 2; i < bench::pe_sweep().size(); ++i) {
+  for (std::size_t i = 2; i < pes.size(); ++i) {
     i64 best = INT64_MAX;
     for (std::size_t a = 0; a < 5; ++a) {
       best = std::min(best, series[a].points[i].predicted);
@@ -53,7 +63,7 @@ int main() {
                          static_cast<double>(series[5].points[i].predicted) /
                              static_cast<double>(best));
   }
-  bench::print_headline("Reduce+Bcast over Ring for P >= 16 (predicted, max)",
-                        worst_gap, 1.4);
-  return 0;
+  bench.headline("Reduce+Bcast over Ring for P >= 16 (predicted, max)",
+                 worst_gap, 1.4);
+  return bench.finish();
 }

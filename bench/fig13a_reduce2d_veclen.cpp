@@ -15,45 +15,58 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig13a_reduce2d_veclen");
   const MachineParams mp;
   const GridShape grid{512, 512};
   const registry::PlanContext ctx = registry::make_context(512, mp);
+  ctx.autogen();  // build the DP table once, outside the cells
   const auto lens = bench::vec_len_sweep_wavelets(4096);
+
+  const auto descs = registry::AlgorithmRegistry::instance().query(
+      registry::Collective::Reduce, registry::Dims::OneD);
 
   std::vector<bench::Series> series;
   std::vector<std::string> labels;
   for (u32 b : lens) labels.push_back(bench::bytes_label(b));
 
-  for (const registry::AlgorithmDescriptor* d :
-       registry::AlgorithmRegistry::instance().query(
-           registry::Collective::Reduce, registry::Dims::OneD)) {
-    bench::Series s{d->name == "Chain" ? "X-Y Chain (vendor)"
-                                       : std::string("X-Y ") + d->name,
-                    {}};
-    for (u32 b : lens) {
-      const i64 pred = sequential(d->cost({grid.width, 1}, b, ctx),
-                                  d->cost({grid.height, 1}, b, ctx))
-                           .cycles;
-      const i64 meas = bench::xy_composed_cycles(
-          [&](u32 n) { return d->build({n, 1}, b, ctx); }, grid);
-      s.points.push_back({meas, pred});
+  // Size every series (X-Y per 1D descriptor + Snake) before enqueuing:
+  // cells write into stable slots.
+  for (const registry::AlgorithmDescriptor* d : descs) {
+    series.push_back({d->name == "Chain" ? "X-Y Chain (vendor)"
+                                         : std::string("X-Y ") + d->name,
+                      std::vector<bench::Measurement>(lens.size())});
+  }
+  series.push_back({"Snake", {}});
+
+  for (std::size_t di = 0; di < descs.size(); ++di) {
+    const registry::AlgorithmDescriptor* d = descs[di];
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      const u32 b = lens[i];
+      bench.runner().cell(&series[di].points[i], [=, &ctx] {
+        const i64 pred = sequential(d->cost({grid.width, 1}, b, ctx),
+                                    d->cost({grid.height, 1}, b, ctx))
+                             .cycles;
+        const i64 meas = bench::xy_composed_cycles(
+            [&](u32 n) { return d->build({n, 1}, b, ctx); }, grid);
+        return bench::Measurement{meas, pred};
+      });
     }
-    series.push_back(std::move(s));
   }
 
   std::vector<std::pair<GridShape, u32>> snake_points;
   for (u32 b : lens) snake_points.emplace_back(grid, b);
-  series.push_back(bench::flow_series(
-      "Snake",
+  bench::flow_series_cells(
+      bench.runner(), series.back(),
       registry::AlgorithmRegistry::instance().at(registry::Collective::Reduce,
                                                  registry::Dims::TwoD, "Snake"),
-      snake_points, ctx));
+      snake_points, ctx);
+  bench.runner().run();
 
-  bench::print_figure("Fig 13a: 2D Reduce, 512x512 PEs, vector length sweep",
-                      "bytes", labels, series, mp);
+  bench.figure("Fig 13a: 2D Reduce, 512x512 PEs, vector length sweep",
+               "bytes", labels, series, mp);
 
-  bench::print_headline(
+  bench.headline(
       "X-Y Auto-Gen over vendor X-Y Chain (max over B)",
       bench::max_measured_speedup(
           bench::series_by_label(series, "X-Y Chain (vendor)"),
@@ -62,5 +75,5 @@ int main() {
   std::printf("Snake at 16KB: %.0f us (paper: ~2000 us, predictions <= 10%% off)\n",
               mp.cycles_to_us(
                   bench::series_by_label(series, "Snake").points.back().measured));
-  return 0;
+  return bench.finish();
 }

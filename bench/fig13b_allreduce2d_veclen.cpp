@@ -15,59 +15,71 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig13b_allreduce2d_veclen");
   const MachineParams mp;
   const GridShape grid{512, 512};
   const registry::PlanContext ctx = registry::make_context(512, mp);
+  ctx.autogen();  // build the DP table once, outside the cells
   const auto lens = bench::vec_len_sweep_wavelets(4096);
+
+  const auto descs = registry::AlgorithmRegistry::instance().query(
+      registry::Collective::AllReduce, registry::Dims::OneD);
 
   std::vector<bench::Series> series;
   std::vector<std::string> labels;
   for (u32 b : lens) labels.push_back(bench::bytes_label(b));
 
-  for (const registry::AlgorithmDescriptor* d :
-       registry::AlgorithmRegistry::instance().query(
-           registry::Collective::AllReduce, registry::Dims::OneD)) {
+  for (const registry::AlgorithmDescriptor* d : descs) {
     // "Chain+Bcast" composes into the paper's "X-Y Chain" series, "Ring"
     // into "X-Y Ring"; strip the redundant +Bcast suffix for the labels.
     std::string base = d->name;
     if (const auto pos = base.rfind("+Bcast"); pos != std::string::npos) {
       base.erase(pos);
     }
-    bench::Series s{base == "Chain" ? "X-Y Chain (vendor)" : "X-Y " + base, {}};
-    for (u32 b : lens) {
-      const i64 pred = sequential(d->cost({grid.width, 1}, b, ctx),
-                                  d->cost({grid.height, 1}, b, ctx))
-                           .cycles;
-      i64 meas = -1;
-      // Both axis lanes must be constructible (they differ on non-square grids).
-      if (d->applicable({grid.width, 1}, b) &&
-          d->applicable({grid.height, 1}, b)) {
-        meas = bench::xy_composed_cycles(
-            [&](u32 n) { return d->build({n, 1}, b, ctx); }, grid);
-      }
-      s.points.push_back({meas, pred});
+    series.push_back({base == "Chain" ? "X-Y Chain (vendor)" : "X-Y " + base,
+                      std::vector<bench::Measurement>(lens.size())});
+  }
+  series.push_back({"Snake+2D-Bcast", {}});
+
+  for (std::size_t di = 0; di < descs.size(); ++di) {
+    const registry::AlgorithmDescriptor* d = descs[di];
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+      const u32 b = lens[i];
+      bench.runner().cell(&series[di].points[i], [=, &ctx] {
+        const i64 pred = sequential(d->cost({grid.width, 1}, b, ctx),
+                                    d->cost({grid.height, 1}, b, ctx))
+                             .cycles;
+        i64 meas = -1;
+        // Both axis lanes must be constructible (they differ on non-square
+        // grids).
+        if (d->applicable({grid.width, 1}, b) &&
+            d->applicable({grid.height, 1}, b)) {
+          meas = bench::xy_composed_cycles(
+              [&](u32 n) { return d->build({n, 1}, b, ctx); }, grid);
+        }
+        return bench::Measurement{meas, pred};
+      });
     }
-    series.push_back(std::move(s));
   }
 
   std::vector<std::pair<GridShape, u32>> snake_points;
   for (u32 b : lens) snake_points.emplace_back(grid, b);
-  series.push_back(bench::flow_series(
-      "Snake+2D-Bcast",
+  bench::flow_series_cells(
+      bench.runner(), series.back(),
       registry::AlgorithmRegistry::instance().at(
           registry::Collective::AllReduce, registry::Dims::TwoD, "Snake+Bcast"),
-      snake_points, ctx));
+      snake_points, ctx);
+  bench.runner().run();
 
-  bench::print_figure(
-      "Fig 13b: 2D AllReduce, 512x512 PEs, vector length sweep", "bytes",
-      labels, series, mp);
+  bench.figure("Fig 13b: 2D AllReduce, 512x512 PEs, vector length sweep",
+               "bytes", labels, series, mp);
 
-  bench::print_headline(
+  bench.headline(
       "X-Y Auto-Gen over vendor X-Y Chain (max over B)",
       bench::max_measured_speedup(
           bench::series_by_label(series, "X-Y Chain (vendor)"),
           bench::series_by_label(series, "X-Y AutoGen")),
       2.54);
-  return 0;
+  return bench.finish();
 }

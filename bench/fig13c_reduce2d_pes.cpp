@@ -12,45 +12,56 @@
 
 using namespace wsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench bench(argc, argv, "fig13c_reduce2d_pes");
   const MachineParams mp;
   const u32 B = 256;  // 1 KB
   const registry::PlanContext ctx = registry::make_context(512, mp);
+  ctx.autogen();  // build the DP table once, outside the cells
+  const auto pes = bench::pe_sweep();
+
+  const auto descs = registry::AlgorithmRegistry::instance().query(
+      registry::Collective::Reduce, registry::Dims::OneD);
 
   std::vector<bench::Series> series;
   std::vector<std::string> labels;
-  for (u32 n : bench::pe_sweep()) {
+  for (u32 n : pes) {
     labels.push_back(std::to_string(n) + "x" + std::to_string(n));
   }
 
-  for (const registry::AlgorithmDescriptor* d :
-       registry::AlgorithmRegistry::instance().query(
-           registry::Collective::Reduce, registry::Dims::OneD)) {
-    bench::Series s{d->name == "Chain" ? "X-Y Chain (vendor)"
-                                       : std::string("X-Y ") + d->name,
-                    {}};
-    for (u32 n : bench::pe_sweep()) {
-      const GridShape grid{n, n};
-      const i64 pred = sequential(d->cost({grid.width, 1}, B, ctx),
-                                  d->cost({grid.height, 1}, B, ctx))
-                           .cycles;
-      const i64 meas = bench::xy_composed_cycles(
-          [&](u32 len) { return d->build({len, 1}, B, ctx); }, grid);
-      s.points.push_back({meas, pred});
+  for (const registry::AlgorithmDescriptor* d : descs) {
+    series.push_back({d->name == "Chain" ? "X-Y Chain (vendor)"
+                                         : std::string("X-Y ") + d->name,
+                      std::vector<bench::Measurement>(pes.size())});
+  }
+  series.push_back({"Snake", {}});
+
+  for (std::size_t di = 0; di < descs.size(); ++di) {
+    const registry::AlgorithmDescriptor* d = descs[di];
+    for (std::size_t i = 0; i < pes.size(); ++i) {
+      const GridShape grid{pes[i], pes[i]};
+      bench.runner().cell(&series[di].points[i], [=, &ctx] {
+        const i64 pred = sequential(d->cost({grid.width, 1}, B, ctx),
+                                    d->cost({grid.height, 1}, B, ctx))
+                             .cycles;
+        const i64 meas = bench::xy_composed_cycles(
+            [&](u32 len) { return d->build({len, 1}, B, ctx); }, grid);
+        return bench::Measurement{meas, pred};
+      });
     }
-    series.push_back(std::move(s));
   }
 
   std::vector<std::pair<GridShape, u32>> snake_points;
-  for (u32 n : bench::pe_sweep()) snake_points.emplace_back(GridShape{n, n}, B);
-  series.push_back(bench::flow_series(
-      "Snake",
+  for (u32 n : pes) snake_points.emplace_back(GridShape{n, n}, B);
+  bench::flow_series_cells(
+      bench.runner(), series.back(),
       registry::AlgorithmRegistry::instance().at(registry::Collective::Reduce,
                                                  registry::Dims::TwoD, "Snake"),
-      snake_points, ctx));
+      snake_points, ctx);
+  bench.runner().run();
 
-  bench::print_figure("Fig 13c: 2D Reduce, 1KB vector, grid size sweep",
-                      "grid", labels, series, mp);
+  bench.figure("Fig 13c: 2D Reduce, 1KB vector, grid size sweep", "grid",
+               labels, series, mp);
 
   // Report the winner per grid size (the paper's crossover story).
   std::printf("\nBest measured algorithm per grid:\n");
@@ -66,5 +77,5 @@ int main() {
   std::printf(
       "paper: Snake best on small grids, then X-Y Chain, then X-Y Two-Phase;\n"
       "X-Y Auto-Gen near-best everywhere except 4x4.\n");
-  return 0;
+  return bench.finish();
 }

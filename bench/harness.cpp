@@ -1,10 +1,69 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/parallel.hpp"
 
 namespace wsr::bench {
+
+namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- minimal JSON emission ---------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+template <typename T, typename Fn>
+std::string json_array(const std::vector<T>& v, Fn&& one) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += one(v[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
 
 std::vector<u32> vec_len_sweep_wavelets(u32 max_wavelets) {
   std::vector<u32> out;
@@ -26,9 +85,23 @@ std::string bytes_label(u32 wavelets) {
 }
 
 double Measurement::err() const {
-  if (measured <= 0) return 0.0;
+  WSR_ASSERT(simulated(), "err() on an unsimulated point");
+  WSR_ASSERT(predicted > 0, "err() with a non-positive prediction");
   return std::abs(static_cast<double>(measured - predicted)) /
          static_cast<double>(measured);
+}
+
+std::optional<double> mean_err(const std::vector<Measurement>& points) {
+  double sum = 0;
+  u32 n = 0;
+  for (const Measurement& m : points) {
+    if (m.simulated()) {
+      sum += m.err();
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / n;
 }
 
 i64 fabric_cycles(const wse::Schedule& s, bool is_broadcast) {
@@ -61,15 +134,18 @@ double max_measured_speedup(const Series& vendor, const Series& challenger) {
   return best;
 }
 
-Series flow_series(std::string label, const registry::AlgorithmDescriptor& desc,
-                   const std::vector<std::pair<GridShape, u32>>& points,
-                   const registry::PlanContext& ctx) {
-  Series s{std::move(label), {}};
-  for (const auto& [grid, b] : points) {
-    s.points.push_back({flow_cycles(desc.build(grid, b, ctx)),
-                        desc.cost(grid, b, ctx).cycles});
+void flow_series_cells(SweepRunner& runner, Series& s,
+                       const registry::AlgorithmDescriptor& desc,
+                       const std::vector<std::pair<GridShape, u32>>& points,
+                       const registry::PlanContext& ctx) {
+  s.points.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [grid, b] = points[i];
+    runner.cell(&s.points[i], [&desc, &ctx, grid, b] {
+      return Measurement{flow_cycles(desc.build(grid, b, ctx)),
+                         desc.cost(grid, b, ctx).cycles};
+    });
   }
-  return s;
 }
 
 i64 measured_cycles(const wse::Schedule& s, i64 predicted,
@@ -84,13 +160,75 @@ i64 measured_cycles(const wse::Schedule& s, i64 predicted,
 i64 xy_composed_cycles(const std::function<wse::Schedule(u32)>& lane_schedule,
                        GridShape grid) {
   const i64 row = flow_cycles(lane_schedule(grid.width));
-  const i64 col = flow_cycles(lane_schedule(grid.height));
+  // Square grids: the column lane is the identical schedule (the simulator
+  // is deterministic), so build + simulate it once.
+  const i64 col =
+      grid.height == grid.width ? row : flow_cycles(lane_schedule(grid.height));
   return row + col;
 }
 
-void print_figure(const std::string& title, const std::string& axis_name,
-                  const std::vector<std::string>& axis_labels,
-                  const std::vector<Series>& series, const MachineParams& mp) {
+// --- the sweep engine -------------------------------------------------------
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  const auto usage = [&](const char* complaint, const char* what) {
+    std::fprintf(stderr, "%s '%s'\nusage: %s [--jobs N] [--json PATH]\n",
+                 complaint, what, argv[0]);
+    std::exit(2);
+  };
+  const auto parse_jobs = [&](const char* text) -> u32 {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0') usage("--jobs needs a number, got", text);
+    return static_cast<u32>(v);
+  };
+
+  BenchOptions opt;
+  if (const char* env = std::getenv("WSR_BENCH_JOBS")) {
+    opt.jobs = parse_jobs(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing value for", a);
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--jobs") == 0) {
+      opt.jobs = parse_jobs(value());
+    } else if (std::strcmp(a, "--json") == 0) {
+      opt.json_path = value();
+    } else {
+      usage("unknown flag", a);
+    }
+  }
+  return opt;
+}
+
+void SweepRunner::cell(Measurement* slot, std::function<Measurement()> fn) {
+  tasks_.push_back([slot, fn = std::move(fn)] { *slot = fn(); });
+}
+
+void SweepRunner::task(std::function<void()> fn) {
+  tasks_.push_back(std::move(fn));
+}
+
+void SweepRunner::run() {
+  std::vector<std::function<void()>> tasks;
+  tasks.swap(tasks_);
+  parallel_for_index(tasks.size(), jobs_,
+                     [&](std::size_t i) { tasks[i](); });
+}
+
+// --- reporting --------------------------------------------------------------
+
+Bench::Bench(int argc, char** argv, std::string name)
+    : name_(std::move(name)),
+      options_(BenchOptions::parse(argc, argv)),
+      runner_(options_.jobs),
+      start_ns_(now_ns()) {}
+
+void Bench::figure(const std::string& title, const std::string& axis_name,
+                   const std::vector<std::string>& axis_labels,
+                   const std::vector<Series>& series, const MachineParams& mp) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("%-10s", axis_name.c_str());
   for (const Series& s : series) std::printf(" | %-24s", s.label.c_str());
@@ -112,7 +250,9 @@ void print_figure(const std::string& title, const std::string& axis_name,
     }
     std::printf("\n");
   }
-  // Per-series summary: microseconds at the largest point + mean error.
+  // Per-series summary: microseconds at the largest point + mean error over
+  // the simulated points (never-simulated points are excluded, not counted
+  // as perfect).
   std::printf("%-10s", "us@max");
   for (const Series& s : series) {
     const Measurement& m = s.points.back();
@@ -121,60 +261,134 @@ void print_figure(const std::string& title, const std::string& axis_name,
   }
   std::printf("\n%-10s", "mean err");
   for (const Series& s : series) {
-    double sum = 0;
-    u32 n = 0;
-    for (const Measurement& m : s.points) {
-      if (m.measured >= 0) {
-        sum += m.err();
-        ++n;
-      }
-    }
-    if (n > 0) {
-      std::printf(" | %9.1f%% %12s", 100.0 * sum / n, "");
+    if (const auto err = mean_err(s.points)) {
+      std::printf(" | %9.1f%% %12s", 100.0 * *err, "");
     } else {
       std::printf(" | %10s %12s", "pred-only", "");
     }
   }
   std::printf("\n");
+
+  if (!figures_json_.empty()) figures_json_ += ",";
+  figures_json_ +=
+      "{\"title\":" + json_str(title) + ",\"axis\":" + json_str(axis_name) +
+      ",\"labels\":" + json_array(axis_labels, json_str) + ",\"series\":" +
+      json_array(series, [](const Series& s) {
+        return "{\"label\":" + json_str(s.label) + ",\"measured\":" +
+               json_array(s.points,
+                          [](const Measurement& m) {
+                            return std::to_string(m.measured);
+                          }) +
+               ",\"predicted\":" +
+               json_array(s.points,
+                          [](const Measurement& m) {
+                            return std::to_string(m.predicted);
+                          }) +
+               "}";
+      }) +
+      "}";
 }
 
-void print_heatmap(const std::string& title, const std::vector<u32>& pe_rows,
-                   const std::vector<u32>& b_cols,
-                   const std::function<double(u32, u32)>& value) {
+void Bench::heatmap(const std::string& title, const std::vector<u32>& pe_rows,
+                    const std::vector<u32>& b_cols,
+                    const std::vector<std::vector<double>>& values) {
+  WSR_ASSERT(values.size() == pe_rows.size(), "heatmap row count mismatch");
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("%8s", "PEs\\B");
   for (u32 b : b_cols) std::printf(" %6s", bytes_label(b).c_str());
   std::printf("\n");
-  for (auto it = pe_rows.rbegin(); it != pe_rows.rend(); ++it) {
-    std::printf("%7ux1", *it);
-    for (u32 b : b_cols) std::printf(" %6.1f", value(*it, b));
+  for (std::size_t r = pe_rows.size(); r-- > 0;) {
+    std::printf("%7ux1", pe_rows[r]);
+    for (std::size_t c = 0; c < b_cols.size(); ++c) {
+      std::printf(" %6.1f", values[r][c]);
+    }
     std::printf("\n");
   }
+
+  if (!heatmaps_json_.empty()) heatmaps_json_ += ",";
+  const auto u32s = [](u32 v) { return std::to_string(v); };
+  heatmaps_json_ +=
+      "{\"title\":" + json_str(title) + ",\"rows\":" +
+      json_array(pe_rows, u32s) + ",\"cols\":" + json_array(b_cols, u32s) +
+      ",\"values\":" + json_array(values, [](const std::vector<double>& row) {
+        return json_array(row, json_num);
+      }) +
+      "}";
 }
 
-void print_regions(const std::string& title, const std::vector<u32>& pe_rows,
-                   const std::vector<u32>& b_cols,
-                   const std::function<std::pair<std::string, double>(
-                       u32, u32)>& best_and_speedup) {
+void Bench::regions(
+    const std::string& title, const std::vector<u32>& pe_rows,
+    const std::vector<u32>& b_cols,
+    const std::vector<std::vector<std::pair<std::string, double>>>& cells) {
+  WSR_ASSERT(cells.size() == pe_rows.size(), "region row count mismatch");
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("%10s", "PEs\\B");
   for (u32 b : b_cols) std::printf(" %15s", bytes_label(b).c_str());
   std::printf("\n");
-  for (auto it = pe_rows.rbegin(); it != pe_rows.rend(); ++it) {
-    std::printf("%10u", *it);
-    for (u32 b : b_cols) {
-      const auto [label, speedup] = best_and_speedup(*it, b);
+  for (std::size_t r = pe_rows.size(); r-- > 0;) {
+    std::printf("%10u", pe_rows[r]);
+    for (std::size_t c = 0; c < b_cols.size(); ++c) {
+      const auto& [label, speedup] = cells[r][c];
       char cell[32];
       std::snprintf(cell, sizeof cell, "%s %.2fx", label.c_str(), speedup);
       std::printf(" %15s", cell);
     }
     std::printf("\n");
   }
+
+  if (!regions_json_.empty()) regions_json_ += ",";
+  const auto u32s = [](u32 v) { return std::to_string(v); };
+  regions_json_ +=
+      "{\"title\":" + json_str(title) + ",\"rows\":" +
+      json_array(pe_rows, u32s) + ",\"cols\":" + json_array(b_cols, u32s) +
+      ",\"cells\":" +
+      json_array(cells,
+                 [](const std::vector<std::pair<std::string, double>>& row) {
+                   return json_array(
+                       row, [](const std::pair<std::string, double>& cell) {
+                         return "{\"algo\":" + json_str(cell.first) +
+                                ",\"speedup\":" + json_num(cell.second) + "}";
+                       });
+                 }) +
+      "}";
 }
 
-void print_headline(const std::string& what, double ours, double paper) {
+void Bench::headline(const std::string& what, double ours, double paper) {
   std::printf("\n>>> %s: %.2fx (paper reports %.2fx)\n", what.c_str(), ours,
               paper);
+  if (!headlines_json_.empty()) headlines_json_ += ",";
+  headlines_json_ += "{\"what\":" + json_str(what) + ",\"value\":" +
+                     json_num(ours) + ",\"paper\":" + json_num(paper) + "}";
+}
+
+void Bench::metric(const std::string& what, double value) {
+  std::printf("\n>>> %s: %.2fx\n", what.c_str(), value);
+  if (!headlines_json_.empty()) headlines_json_ += ",";
+  headlines_json_ +=
+      "{\"what\":" + json_str(what) + ",\"value\":" + json_num(value) + "}";
+}
+
+int Bench::finish() {
+  const double wall_s = static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  std::printf("\n[%s] wall time %.2f s (jobs=%u)\n", name_.c_str(), wall_s,
+              options_.jobs);
+  if (options_.json_path.empty()) return 0;
+
+  std::string out = "{\"bench\":" + json_str(name_) +
+                    ",\"jobs\":" + std::to_string(options_.jobs) +
+                    ",\"wall_seconds\":" + json_num(wall_s) +
+                    ",\"figures\":[" + figures_json_ + "]" +
+                    ",\"heatmaps\":[" + heatmaps_json_ + "]" +
+                    ",\"regions\":[" + regions_json_ + "]" +
+                    ",\"headlines\":[" + headlines_json_ + "]}\n";
+  std::FILE* f = std::fopen(options_.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", options_.json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return 0;
 }
 
 }  // namespace wsr::bench

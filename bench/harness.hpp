@@ -5,6 +5,14 @@
 // small grids, FlowSim (flow-level, cross-validated in tests/test_flowsim)
 // for wafer-scale grids. "predicted" = the performance model. Each binary
 // prints the same rows/series as the corresponding paper figure.
+//
+// Every figure binary runs on the sweep engine: cells (one schedule build +
+// simulation each) are enqueued on a SweepRunner and evaluated concurrently
+// on `--jobs`/WSR_BENCH_JOBS worker threads. Each cell writes only its own
+// pre-allocated slot, so the numeric output is identical at any thread
+// count (pinned by tests/test_sweep_determinism.cpp). `--json out.json`
+// additionally emits the figure data + wall time machine-readably, which is
+// what CI tracks per PR.
 #pragma once
 
 #include <functional>
@@ -37,8 +45,20 @@ std::string bytes_label(u32 wavelets);
 struct Measurement {
   i64 measured = -1;   ///< simulator cycles (-1: not simulated)
   i64 predicted = 0;   ///< model cycles
-  double err() const;  ///< |measured - predicted| / measured
+
+  /// Whether this point was actually simulated. Unsimulated points must be
+  /// *excluded* from error statistics, not counted as perfect.
+  bool simulated() const { return measured > 0; }
+
+  /// |measured - predicted| / measured. Asserts the point was simulated and
+  /// the model produced a positive prediction — callers filter with
+  /// simulated() first (print_figure and mean_err do).
+  double err() const;
 };
+
+/// Mean relative error over the simulated points of a series; nullopt when
+/// nothing was simulated (prediction-only series).
+std::optional<double> mean_err(const std::vector<Measurement>& points);
 
 /// Runs the schedule on FabricSim (canonical inputs, results verified;
 /// broadcasts verify against the root's vector instead of the sum).
@@ -61,12 +81,51 @@ i64 measured_cycles(const wse::Schedule& s, i64 predicted,
 i64 xy_composed_cycles(const std::function<wse::Schedule(u32)>& lane_schedule,
                        GridShape grid);
 
-// --- printing ---------------------------------------------------------------
+// --- the sweep engine -------------------------------------------------------
+
+/// Options every figure binary accepts:
+///   --jobs N      worker threads for sweep cells (0 = hardware concurrency;
+///                 default: WSR_BENCH_JOBS env var, else 1)
+///   --json PATH   write figure data + wall time as JSON to PATH
+struct BenchOptions {
+  u32 jobs = 1;
+  std::string json_path;
+
+  /// Parses argv (exits with a message on unknown flags) and applies the
+  /// WSR_BENCH_JOBS default.
+  static BenchOptions parse(int argc, char** argv);
+};
 
 /// One plotted series of a figure: label + per-sweep-point values.
 struct Series {
   std::string label;
   std::vector<Measurement> points;
+};
+
+/// Deterministic parallel cell evaluator. Enqueue cells (each computing one
+/// Measurement into a caller-owned slot), then run() evaluates them across
+/// the worker threads. Slots must stay valid across run(): size all series
+/// *before* enqueuing (a growing std::vector<Series> would move them).
+class SweepRunner {
+ public:
+  explicit SweepRunner(u32 jobs = 1) : jobs_(jobs) {}
+
+  u32 jobs() const { return jobs_; }
+
+  /// Enqueues a measurement cell writing `*slot`.
+  void cell(Measurement* slot, std::function<Measurement()> fn);
+
+  /// Enqueues an arbitrary cell (region maps / heatmaps); the callable must
+  /// write only its own output slot.
+  void task(std::function<void()> fn);
+
+  /// Evaluates every queued cell (dynamic scheduling over `jobs` threads),
+  /// then clears the queue. Results are independent of the thread count.
+  void run();
+
+ private:
+  u32 jobs_;
+  std::vector<std::function<void()>> tasks_;
 };
 
 /// The series with the given label (asserts it exists).
@@ -77,33 +136,64 @@ const Series& series_by_label(const std::vector<Series>& series,
 /// sweep (points either series did not measure are skipped).
 double max_measured_speedup(const Series& vendor, const Series& challenger);
 
-/// FlowSim-measured series of one 2D registry descriptor over (grid, B)
-/// sweep points (predicted = the descriptor's cost model).
-Series flow_series(std::string label, const registry::AlgorithmDescriptor& desc,
-                   const std::vector<std::pair<GridShape, u32>>& points,
-                   const registry::PlanContext& ctx);
+/// Presizes `s.points` and enqueues one FlowSim cell per (grid, B) sweep
+/// point of the 2D descriptor (predicted = the descriptor's cost model).
+void flow_series_cells(SweepRunner& runner, Series& s,
+                       const registry::AlgorithmDescriptor& desc,
+                       const std::vector<std::pair<GridShape, u32>>& points,
+                       const registry::PlanContext& ctx);
 
-/// Prints a figure as a table: one column block per series with measured /
-/// predicted cycles (and us at 850 MHz) per sweep point, followed by the
-/// per-series mean relative error, exactly the quantities the paper reports.
-void print_figure(const std::string& title, const std::string& axis_name,
-                  const std::vector<std::string>& axis_labels,
-                  const std::vector<Series>& series, const MachineParams& mp);
+// --- reporting --------------------------------------------------------------
 
-/// Prints a Fig. 1-style heatmap (rows = PE counts, cols = vector lengths).
-void print_heatmap(const std::string& title,
-                   const std::vector<u32>& pe_rows,
-                   const std::vector<u32>& b_cols,
-                   const std::function<double(u32 p, u32 b)>& value);
+/// Per-binary facade: parses options, owns the SweepRunner, prints figures
+/// exactly as before *and* records them for --json. Call finish() last; it
+/// prints the wall time and writes the JSON report.
+class Bench {
+ public:
+  Bench(int argc, char** argv, std::string name);
 
-/// Prints a Fig. 8/10-style region map: best algorithm label per cell plus
-/// its speedup over the vendor baseline.
-void print_regions(const std::string& title, const std::vector<u32>& pe_rows,
-                   const std::vector<u32>& b_cols,
-                   const std::function<std::pair<std::string, double>(
-                       u32 p, u32 b)>& best_and_speedup);
+  SweepRunner& runner() { return runner_; }
+  u32 jobs() const { return options_.jobs; }
 
-/// Headline line: "<what>: max speedup <x> (paper reports <paper>)".
-void print_headline(const std::string& what, double ours, double paper);
+  /// Prints a figure as a table: one column block per series with measured /
+  /// predicted cycles (and us at 850 MHz) per sweep point, followed by the
+  /// per-series mean relative error, exactly the quantities the paper
+  /// reports. Records the figure for --json.
+  void figure(const std::string& title, const std::string& axis_name,
+              const std::vector<std::string>& axis_labels,
+              const std::vector<Series>& series, const MachineParams& mp);
+
+  /// Prints a Fig. 1-style heatmap (rows = PE counts, cols = vector
+  /// lengths); `values[r][c]` corresponds to (pe_rows[r], b_cols[c]).
+  void heatmap(const std::string& title, const std::vector<u32>& pe_rows,
+               const std::vector<u32>& b_cols,
+               const std::vector<std::vector<double>>& values);
+
+  /// Prints a Fig. 8/10-style region map: best algorithm label per cell
+  /// plus its speedup over the vendor baseline.
+  void regions(const std::string& title, const std::vector<u32>& pe_rows,
+               const std::vector<u32>& b_cols,
+               const std::vector<std::vector<std::pair<std::string, double>>>&
+                   cells);
+
+  /// Headline line: "<what>: max speedup <x> (paper reports <paper>)".
+  void headline(const std::string& what, double ours, double paper);
+
+  /// Recorded scalar with no paper counterpart (acceptance bars, derived
+  /// ratios): prints ">>> <what>: <value>x" and lands in the JSON headlines
+  /// without a "paper" field.
+  void metric(const std::string& what, double value);
+
+  /// Prints wall time, writes the --json report if requested; the binary's
+  /// exit code.
+  int finish();
+
+ private:
+  std::string name_;
+  BenchOptions options_;
+  SweepRunner runner_;
+  i64 start_ns_ = 0;
+  std::string figures_json_, heatmaps_json_, regions_json_, headlines_json_;
+};
 
 }  // namespace wsr::bench

@@ -64,6 +64,45 @@ static void BM_FabricSimChain(benchmark::State& state) {
 }
 BENCHMARK(BM_FabricSimChain)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// Active-set worklist vs the reference scan-every-PE stepping (results are
+// bit-identical; tests/test_fabric_worklist_parity.cpp pins that). Arg pair:
+// (PEs, vec_len). Small B is latency-bound — most PEs idle most cycles —
+// which is where the worklist wins an order of magnitude.
+static void BM_FabricSimStepping(benchmark::State& state, bool reference,
+                                 ReduceAlgo algo) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u32 b = static_cast<u32>(state.range(1));
+  const wse::Schedule s = collectives::make_reduce_1d(algo, p, b);
+  const auto inputs = wse::make_inputs(s, runtime::canonical_input);
+  wse::FabricOptions opt;
+  opt.reference_stepping = reference;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wse::run_fabric(s, inputs, opt).cycles);
+  }
+}
+static void BM_FabricWorklistChain(benchmark::State& state) {
+  BM_FabricSimStepping(state, /*reference=*/false, ReduceAlgo::Chain);
+}
+static void BM_FabricReferenceChain(benchmark::State& state) {
+  BM_FabricSimStepping(state, /*reference=*/true, ReduceAlgo::Chain);
+}
+static void BM_FabricWorklistTree(benchmark::State& state) {
+  BM_FabricSimStepping(state, /*reference=*/false, ReduceAlgo::Tree);
+}
+static void BM_FabricReferenceTree(benchmark::State& state) {
+  BM_FabricSimStepping(state, /*reference=*/true, ReduceAlgo::Tree);
+}
+BENCHMARK(BM_FabricWorklistChain)
+    ->Args({512, 1})->Args({512, 64})->Args({512, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricReferenceChain)
+    ->Args({512, 1})->Args({512, 64})->Args({512, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricWorklistTree)
+    ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricReferenceTree)
+    ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
+
 static void BM_FlowSimChain(benchmark::State& state) {
   const u32 p = static_cast<u32>(state.range(0));
   const wse::Schedule s = collectives::make_reduce_1d(ReduceAlgo::Chain, p, 256);
@@ -81,5 +120,19 @@ static void BM_FlowSimWaferScaleSnake(benchmark::State& state) {
   state.SetLabel("262,144 PEs");
 }
 BENCHMARK(BM_FlowSimWaferScaleSnake)->Unit(benchmark::kMillisecond);
+
+// The fig13b hot cell: snake reduce + full-grid broadcast at wafer scale.
+// Dominated by segment propagation through 262,144 routers; the lazy
+// vector-FIFO rewrite of FlowSim cut it ~10x.
+static void BM_FlowSimWaferScaleSnakeBcast(benchmark::State& state) {
+  const wse::Schedule s = collectives::make_allreduce_2d_snake_bcast(
+      {512, 512}, static_cast<u32>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowsim::run_flow(s).cycles);
+  }
+  state.SetLabel("262,144 PEs");
+}
+BENCHMARK(BM_FlowSimWaferScaleSnakeBcast)
+    ->Arg(64)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -53,56 +53,103 @@ u16 AutoGenModel::argmin_cap(u32 c, u32 d, u32 p) const {
 
 void AutoGenModel::fill_tables() {
   const u32 P = max_pes_;
-  // E(i, d, c-1) row accessor with the base cases folded in:
-  //   E(1, *, *) = 0;  E(p >= 2, *, 0) = INF.
-  auto left_val = [&](u32 i, u32 d, u32 cm1) -> i32 {
-    if (i == 1) return 0;
-    if (cm1 == 0) return kInfEnergy;
-    if (cm1 <= limits_.c_small) return small_at(cm1, d, i);
-    return cap_at(cm1, d, i);
+  const std::size_t row = P + 1;
+
+  // Finite frontier per filled state: largest p with E(p, d, c) < INF (1 if
+  // none). Rows are finite on a prefix of p — more PEs need at least as much
+  // budget — which bounds the split scan below to feasible candidates only.
+  std::vector<u32> small_fin(std::size_t{limits_.c_small} * d_small_max_, 1);
+  const u32 cap_c = limits_.c_cap - limits_.c_small;
+  std::vector<u32> cap_fin(std::size_t{cap_c} * limits_.d_cap, 1);
+
+  // Row of E(*, d, c) plus its finite frontier; {nullptr, 1} encodes the
+  // base-case-only row (E(1) = 0, everything else INF) used for c == 0 or
+  // d == 0.
+  struct RowRef {
+    const i32* e = nullptr;
+    u32 fin = 1;
   };
-  // E(j, d-1, c) accessor:  E(1, *, *) = 0;  E(p >= 2, 0, *) = INF.
-  auto right_val = [&](u32 j, u32 dm1, u32 c) -> i32 {
-    if (j == 1) return 0;
-    if (dm1 == 0) return kInfEnergy;
-    if (c <= limits_.c_small) return small_at(c, dm1, j);
-    return cap_at(c, dm1, j);
+  auto row_of = [&](u32 c, u32 d) -> RowRef {
+    if (c == 0 || d == 0) return {};
+    if (c <= limits_.c_small) {
+      const std::size_t st = std::size_t{c - 1} * d_small_max_ + (d - 1);
+      return {small_energy_.data() + st * row, small_fin[st]};
+    }
+    const std::size_t st =
+        std::size_t{c - limits_.c_small - 1} * limits_.d_cap + (d - 1);
+    return {cap_energy_.data() + st * row, cap_fin[st]};
   };
 
-  auto fill_state = [&](u32 c, u32 d, i32* erow, u16* srow) {
-    const u32 dm1 = d - 1;
-    const u32 cm1 = c - 1;
+  // One state: E(p, d, c) = min_i E(i, d, c-1) + E(p-i, d-1, c) + i over the
+  // feasible split range only. Candidate order is ascending i (i = 1, the
+  // interior, i = p-1), preserving the original first-strict-min tie-break,
+  // so the split table — and every reconstructed tree — is unchanged.
+  auto fill_state = [&](u32 c, u32 d, i32* erow, u16* srow) -> u32 {
+    const RowRef lrow = row_of(c - 1, d);   // E(i, d, c-1)
+    const RowRef rrow = row_of(c, d - 1);   // E(j, d-1, c)
+    u32 fin = 1;
     for (u32 p = 2; p <= P; ++p) {
       i32 best = kInfEnergy;
       u16 best_i = 0;
-      for (u32 i = 1; i < p; ++i) {
-        const i32 a = left_val(i, d, cm1);
-        if (a >= kInfEnergy) continue;
-        const i32 b = right_val(p - i, dm1, c);
-        if (b >= kInfEnergy) continue;
-        const i32 cand = a + b + static_cast<i32>(i);
-        if (cand < best) {
-          best = cand;
-          best_i = static_cast<u16>(i);
+      // i = 1 (left side is the bare root): right side must be feasible.
+      if (p - 1 == 1) {
+        best = 0 + 0 + 1;
+        best_i = 1;
+      } else if (rrow.e != nullptr && p - 1 <= rrow.fin) {
+        const i32 b = rrow.e[p - 1];
+        if (b < kInfEnergy) {
+          best = b + 1;
+          best_i = 1;
+        }
+      }
+      // Interior splits: both sides >= 2 PEs, both within their frontiers.
+      if (lrow.e != nullptr && rrow.e != nullptr) {
+        const u32 lo = p > rrow.fin ? p - rrow.fin : 2;
+        const u32 hi = std::min(lrow.fin, p - 2);
+        const i32* le = lrow.e;
+        const i32* re = rrow.e;
+        for (u32 i = std::max<u32>(lo, 2); i <= hi; ++i) {
+          const i32 a = le[i];
+          const i32 b = re[p - i];
+          if (a >= kInfEnergy || b >= kInfEnergy) continue;
+          const i32 cand = a + b + static_cast<i32>(i);
+          if (cand < best) {
+            best = cand;
+            best_i = static_cast<u16>(i);
+          }
+        }
+      }
+      // i = p - 1 (right side is a single leaf; only relevant for p >= 3).
+      if (p >= 3 && lrow.e != nullptr && p - 1 <= lrow.fin) {
+        const i32 a = lrow.e[p - 1];
+        if (a < kInfEnergy) {
+          const i32 cand = a + static_cast<i32>(p - 1);
+          if (cand < best) {
+            best = cand;
+            best_i = static_cast<u16>(p - 1);
+          }
         }
       }
       erow[p] = best;
       srow[p] = best_i;
+      if (best < kInfEnergy) fin = p;
     }
+    return fin;
   };
 
-  const std::size_t row = P + 1;
   for (u32 c = 1; c <= limits_.c_small; ++c) {
     for (u32 d = 1; d <= d_small_max_; ++d) {
-      const std::size_t base = ((std::size_t{c - 1} * d_small_max_) + (d - 1)) * row;
-      fill_state(c, d, small_energy_.data() + base, small_split_.data() + base);
+      const std::size_t st = std::size_t{c - 1} * d_small_max_ + (d - 1);
+      small_fin[st] = fill_state(c, d, small_energy_.data() + st * row,
+                                 small_split_.data() + st * row);
     }
   }
   for (u32 c = limits_.c_small + 1; c <= limits_.c_cap; ++c) {
     for (u32 d = 1; d <= limits_.d_cap; ++d) {
-      const u32 ci = c - limits_.c_small - 1;
-      const std::size_t base = ((std::size_t{ci} * limits_.d_cap) + (d - 1)) * row;
-      fill_state(c, d, cap_energy_.data() + base, cap_split_.data() + base);
+      const std::size_t st =
+          std::size_t{c - limits_.c_small - 1} * limits_.d_cap + (d - 1);
+      cap_fin[st] = fill_state(c, d, cap_energy_.data() + st * row,
+                               cap_split_.data() + st * row);
     }
   }
 }

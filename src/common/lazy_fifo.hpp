@@ -1,0 +1,38 @@
+// LazyFifo: a FIFO over a flat vector with a head index — amortized-O(1)
+// pop without std::deque's eager chunk allocation. Both simulators construct
+// these by the million at wafer scale (one per router direction/color and
+// per processor ingress queue) and most never see traffic, so "allocate
+// nothing until the first push" is the property that matters; eagerly
+// allocating deques used to be the single hottest line of the fig13 suite.
+//
+// Compaction: once the dead prefix reaches 32 elements and at least half
+// the buffer, it is erased in one move so the buffer cannot grow without
+// bound under steady streaming.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wsr {
+
+template <typename T>
+struct LazyFifo {
+  std::vector<T> buf;
+  std::size_t head = 0;
+
+  bool empty() const { return head == buf.size(); }
+  std::size_t size() const { return buf.size() - head; }
+  const T& front() const { return buf[head]; }
+  void push(const T& v) { buf.push_back(v); }
+  void pop() {
+    if (++head == buf.size()) {
+      buf.clear();
+      head = 0;
+    } else if (head >= 32 && head * 2 >= buf.size()) {
+      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+  }
+};
+
+}  // namespace wsr

@@ -1,9 +1,9 @@
 #include "flowsim/flowsim.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/grid.hpp"
+#include "common/lazy_fifo.hpp"
 
 namespace wsr::flowsim {
 
@@ -22,41 +22,96 @@ struct Segment {
   u32 len = 0;
 };
 
+using SegmentFifo = LazyFifo<Segment>;
+
+// The engine advances PE programs *event-driven*: instead of re-sweeping
+// every op of a program on each delivery (quadratic for the 1D Ring, whose
+// programs hold ~2P ops), it keeps per-call candidate heaps of op indices
+// that may progress — seeded by deliveries (the active consumer of the
+// delivered color) and dep-completion cascades (a reverse-dependency list).
+//
+// Equivalence with the original fixpoint sweep (ascending op scan repeated
+// until nothing moves) is preserved by the two-heap discipline below: a
+// candidate enabled at an index *above* the op being processed joins the
+// current pass (the ascending scan would still reach it); one at or below
+// waits for the next pass (the scan would only reach it on the next
+// iteration). Channel-claim order — ops claim the PE's in/out channel in
+// processing order — is therefore identical, and so are all timings.
 class Engine {
  public:
   Engine(const Schedule& s, FlowOptions opt) : s_(s), opt_(opt) {
     const u64 n = s.grid.num_pes();
     pes_.resize(n);
+    color_index_.assign(n * kMaxColorId, -1);
+    op_base_.resize(n + 1);
+    std::size_t total_ops = 0, total_deps = 0;
+    for (u32 pe = 0; pe < n; ++pe) {
+      op_base_[pe] = total_ops;
+      total_ops += s.programs[pe].ops.size();
+      for (const Op& op : s.programs[pe].ops) total_deps += op.deps.size();
+    }
+    op_base_[n] = total_ops;
+    // Reverse-dependency adjacency in two flat arrays (counting sort).
+    rdep_off_.assign(total_ops + 1, 0);
+    for (u32 pe = 0; pe < n; ++pe) {
+      for (const Op& op : s.programs[pe].ops) {
+        for (u32 d : op.deps) ++rdep_off_[op_base_[pe] + d + 1];
+      }
+    }
+    for (std::size_t i = 1; i <= total_ops; ++i) rdep_off_[i] += rdep_off_[i - 1];
+    rdep_lst_.resize(total_deps);
+    {
+      std::vector<u32> fill(rdep_off_.begin(), rdep_off_.end() - 1);
+      for (u32 pe = 0; pe < n; ++pe) {
+        const auto& ops = s.programs[pe].ops;
+        for (u32 oi = 0; oi < ops.size(); ++oi) {
+          for (u32 d : ops[oi].deps) {
+            rdep_lst_[fill[op_base_[pe] + d]++] = oi;
+          }
+        }
+      }
+    }
+
     for (u32 pe = 0; pe < n; ++pe) {
       PE& p = pes_[pe];
-      p.color_index.assign(kMaxColorId, -1);
+      i8* color_index = &color_index_[std::size_t{pe} * kMaxColorId];
       auto intern = [&](Color c) {
         WSR_ASSERT(c < kMaxColorId, "color id too large");
-        if (p.color_index[c] < 0) {
-          p.color_index[c] = static_cast<i8>(p.ports.size());
+        if (color_index[c] < 0) {
+          color_index[c] = static_cast<i8>(p.ports.size());
           p.ports.emplace_back();
           p.ingress.emplace_back();
         }
-        return static_cast<u32>(p.color_index[c]);
+        return static_cast<u32>(color_index[c]);
       };
       for (const RouteRule& r : s.rules[pe]) {
         const u32 ci = intern(r.color);
         p.ports[ci].rules.push_back(r);
       }
-      for (const Op& op : s.programs[pe].ops) {
-        if (op.kind != OpKind::Send) intern(op.in_color);
+      const auto& ops = s.programs[pe].ops;
+      for (u32 oi = 0; oi < ops.size(); ++oi) {
+        const Op& op = ops[oi];
+        if (op.kind != OpKind::Send) {
+          const u32 ci = intern(op.in_color);
+          p.ports[ci].consumer_ops.push_back(oi);
+        }
         if (op.kind != OpKind::Recv) intern(op.out_color);
       }
       for (Port& port : p.ports) {
         port.remaining = port.rules.empty() ? 0 : port.rules[0].count;
       }
-      p.ops.assign(s.programs[pe].ops.size(), OpState{});
+      p.ops.assign(ops.size(), OpState{});
     }
   }
 
   FlowResult run() {
     const u64 n = s_.grid.num_pes();
-    for (u32 pe = 0; pe < n; ++pe) progress_pe(pe);
+    // Initial pass: every op is a candidate (empty-dep ops schedule here).
+    for (u32 pe = 0; pe < n; ++pe) {
+      PE& p = pes_[pe];
+      for (u32 oi = 0; oi < p.ops.size(); ++oi) queue_op(p, oi);
+      sweep(pe);
+    }
     drain_worklists();
 
     FlowResult res;
@@ -86,12 +141,24 @@ class Engine {
     u32 active = 0;
     u32 remaining = 0;
     i64 avail = 0;  ///< cycle from which the active rule can pass a head
-    std::deque<Segment> parked[kNumDirs];
+    SegmentFifo parked[kNumDirs];
+    /// Program-ordered ops consuming this color; `consumer_cursor` points at
+    /// the first not-yet-done one (the delivery-seeded candidate).
+    std::vector<u32> consumer_ops;
+    u32 consumer_cursor = 0;
+    /// Consumers currently scheduled but not done (done entries are dropped
+    /// lazily). A delivery must wake every one of them, not just the cursor
+    /// op: an earlier consumer can be dep-blocked while a later independent
+    /// one is mid-stream. Kept separate from consumer_ops so ring-style
+    /// programs (hundreds of consumers on one color, at most one open) stay
+    /// O(1) per delivery.
+    std::vector<u32> open_consumers;
   };
 
   struct OpState {
     bool scheduled = false;  ///< start time fixed (deps + channel known)
     bool done = false;
+    bool queued = false;  ///< pending in the candidate heaps of this call
     i64 start = 0;
     i64 cursor = 0;  ///< last consumption / emission cycle so far
     u32 consumed = 0;
@@ -99,9 +166,8 @@ class Engine {
   };
 
   struct PE {
-    std::vector<i8> color_index;
     std::vector<Port> ports;
-    std::vector<std::deque<Segment>> ingress;  // per compact color
+    std::vector<SegmentFifo> ingress;  // per compact color
     std::vector<OpState> ops;
     i64 chan_in_free = 0;
     i64 chan_out_free = 0;
@@ -112,10 +178,18 @@ class Engine {
     u32 pe;
     u32 ci;
   };
+  struct PeWork {
+    u32 pe;
+    u32 ci;  ///< compact color that received ingress segments
+  };
+
+  i8 compact_color(u32 pe, Color color) const {
+    return color_index_[std::size_t{pe} * kMaxColorId + color];
+  }
 
   void deliver_to_router(u32 pe, Color color, Dir dir, Segment seg) {
     PE& p = pes_[pe];
-    const i8 ci = p.color_index[color];
+    const i8 ci = compact_color(pe, color);
     if (ci < 0) {
       std::fprintf(stderr,
                    "FlowSim: wavelets of color %u reached PE %u which has no "
@@ -123,7 +197,7 @@ class Engine {
                    static_cast<u32>(color), pe, s_.name.c_str());
       WSR_ASSERT(false, "stray traffic");
     }
-    p.ports[static_cast<u32>(ci)].parked[static_cast<u32>(dir)].push_back(seg);
+    p.ports[static_cast<u32>(ci)].parked[static_cast<u32>(dir)].push(seg);
     router_work_.push_back({pe, static_cast<u32>(ci)});
   }
 
@@ -136,7 +210,7 @@ class Engine {
       auto& queue = port.parked[static_cast<u32>(rule.accept)];
       if (queue.empty()) return;
       Segment seg = queue.front();
-      queue.pop_front();
+      queue.pop();
       WSR_ASSERT(seg.len <= port.remaining,
                  "segment crosses a routing-rule boundary");
       const i64 h = std::max(seg.head, port.avail);
@@ -145,8 +219,8 @@ class Engine {
         if (!mask_has(rule.forward, dd)) continue;
         if (dd == Dir::Ramp) {
           const Segment delivered{h + opt_.ramp_latency, seg.len};
-          p.ingress[ci].push_back(delivered);
-          pe_work_.push_back(pe);
+          p.ingress[ci].push(delivered);
+          pe_work_.push_back({pe, ci});
         } else {
           const u32 npe = s_.grid.pe_id(s_.grid.neighbor(here, dd));
           deliver_to_router(npe, rule.color, opposite(dd), {h + 1, seg.len});
@@ -166,84 +240,156 @@ class Engine {
     }
   }
 
-  /// Advances every op of `pe` as far as possible (program order = channel
-  /// claim order, matching FabricSim).
-  void progress_pe(u32 pe) {
+  // --- event-driven PE progress ---------------------------------------------
+
+  void queue_op(PE& p, u32 oi) {
+    OpState& st = p.ops[oi];
+    if (st.queued || st.done) return;
+    st.queued = true;
+    // Two-heap discipline (see the class comment): indices above the op
+    // currently being processed join this pass, others wait for the next.
+    if (sweeping_ && oi <= sweep_pos_) {
+      next_.push_back(oi);
+      std::push_heap(next_.begin(), next_.end(), std::greater<>());
+    } else {
+      cur_.push_back(oi);
+      std::push_heap(cur_.begin(), cur_.end(), std::greater<>());
+    }
+  }
+
+  /// Seeds every not-done consumer of (pe, ci) — called for deliveries and
+  /// leftover-queue handoff. Seeding all of them (not just the first) keeps
+  /// equivalence with the original full sweep even if an earlier consumer
+  /// is dep-blocked while a later independent one is ready; extra
+  /// candidates are no-ops in run_op.
+  void queue_consumer(u32 pe, u32 ci) {
     PE& p = pes_[pe];
-    const auto& ops = s_.programs[pe].ops;
-    bool moved = true;
-    while (moved) {
-      moved = false;
-      for (u32 oi = 0; oi < ops.size(); ++oi) {
-        OpState& st = p.ops[oi];
-        if (st.done) continue;
-        const Op& op = ops[oi];
-        if (!st.scheduled) {
-          i64 dep_time = -1;
-          bool ready = true;
-          for (u32 d : op.deps) {
-            if (!p.ops[d].done) {
-              ready = false;
-              break;
-            }
-            dep_time = std::max(dep_time, p.ops[d].done_time);
-          }
-          if (!ready) continue;
-          // Same-cycle chaining: FabricSim scans ops in program order within
-          // a cycle, so an op whose dependency completed earlier in the same
-          // cycle can already issue (deps always point at lower op indices).
-          i64 start = dep_time;
-          if (op.kind != OpKind::Send) start = std::max(start, p.chan_in_free);
-          if (op.kind != OpKind::Recv) start = std::max(start, p.chan_out_free);
-          st.scheduled = true;
-          st.start = start;
-          st.cursor = start - 1;
-          // Claim the channels immediately so later ops queue behind; the
-          // claim end is extended as the op progresses and finalized on
-          // completion.
-          moved = true;
-        }
-        if (op.kind == OpKind::Send) {
-          // Emission is analytic: len wavelets at 1/cycle from start.
-          const Segment seg{st.start + opt_.ramp_latency, op.len};
-          deliver_to_router(pe, op.out_color, Dir::Ramp, seg);
-          st.done = true;
-          st.done_time = st.start + op.len - 1;
-          p.chan_out_free = st.done_time + 1;
-          moved = true;
-          continue;
-        }
-        // Recv / RecvReduceSend: consume available ingress segments.
-        const i8 ci = p.color_index[op.in_color];
-        WSR_ASSERT(ci >= 0, "recv on unknown color");
-        auto& queue = p.ingress[static_cast<u32>(ci)];
-        while (!queue.empty() && st.consumed < op.len) {
-          const Segment seg = queue.front();
-          WSR_ASSERT(st.consumed + seg.len <= op.len,
-                     "segment crosses an op boundary");
-          queue.pop_front();
-          const i64 first = std::max(st.cursor + 1, seg.head);
-          st.cursor = first + seg.len - 1;
-          st.consumed += seg.len;
-          if (op.kind == OpKind::RecvReduceSend) {
-            // Each consumed wavelet re-emits one cycle later (combine) plus
-            // the up-ramp latency.
-            deliver_to_router(pe, op.out_color, Dir::Ramp,
-                              {first + 1 + opt_.ramp_latency, seg.len});
-          }
-          moved = true;
-        }
-        if (st.consumed == op.len) {
-          st.done = true;
-          st.done_time = st.cursor;
-          p.chan_in_free = st.done_time + 1;
-          if (op.kind == OpKind::RecvReduceSend) {
-            p.chan_out_free = st.done_time + 1;
-          }
-          moved = true;
-        }
+    Port& port = p.ports[ci];
+    while (port.consumer_cursor < port.consumer_ops.size() &&
+           p.ops[port.consumer_ops[port.consumer_cursor]].done) {
+      ++port.consumer_cursor;
+    }
+    if (port.consumer_cursor < port.consumer_ops.size()) {
+      queue_op(p, port.consumer_ops[port.consumer_cursor]);
+    }
+    // Wake every in-flight consumer, dropping finished ones as we go.
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < port.open_consumers.size(); ++k) {
+      const u32 oi = port.open_consumers[k];
+      if (p.ops[oi].done) continue;
+      port.open_consumers[keep++] = oi;
+      queue_op(p, oi);
+    }
+    port.open_consumers.resize(keep);
+  }
+
+  void on_op_done(u32 pe, u32 oi) {
+    PE& p = pes_[pe];
+    // Dep cascade: every dependent becomes a candidate (its body re-checks
+    // readiness).
+    const std::size_t base = op_base_[pe];
+    for (u32 e = rdep_off_[base + oi]; e < rdep_off_[base + oi + 1]; ++e) {
+      queue_op(p, rdep_lst_[e]);
+    }
+    // A later op consuming the same color continues on the leftover queue.
+    const Op& op = s_.programs[pe].ops[oi];
+    if (op.kind != OpKind::Send) {
+      const u32 ci = static_cast<u32>(compact_color(pe, op.in_color));
+      if (!p.ingress[ci].empty()) queue_consumer(pe, ci);
+    }
+  }
+
+  /// The per-op step: schedule when deps allow, then emit / consume. This is
+  /// the original sweep body verbatim; only the surrounding iteration
+  /// changed.
+  void run_op(u32 pe, u32 oi) {
+    PE& p = pes_[pe];
+    OpState& st = p.ops[oi];
+    if (st.done) return;
+    const Op& op = s_.programs[pe].ops[oi];
+    if (!st.scheduled) {
+      i64 dep_time = -1;
+      for (u32 d : op.deps) {
+        if (!p.ops[d].done) return;  // not ready yet
+        dep_time = std::max(dep_time, p.ops[d].done_time);
+      }
+      // Same-cycle chaining: FabricSim scans ops in program order within a
+      // cycle, so an op whose dependency completed earlier in the same cycle
+      // can already issue (deps always point at lower op indices).
+      i64 start = dep_time;
+      if (op.kind != OpKind::Send) start = std::max(start, p.chan_in_free);
+      if (op.kind != OpKind::Recv) start = std::max(start, p.chan_out_free);
+      st.scheduled = true;
+      st.start = start;
+      st.cursor = start - 1;
+      // Claim the channels immediately so later ops queue behind; the claim
+      // end is extended as the op progresses and finalized on completion.
+      if (op.kind != OpKind::Send) {
+        // Now an in-flight consumer: deliveries must wake it (see
+        // Port::open_consumers). If it completes below, queue_consumer
+        // drops it lazily.
+        p.ports[static_cast<u32>(compact_color(pe, op.in_color))]
+            .open_consumers.push_back(oi);
       }
     }
+    if (op.kind == OpKind::Send) {
+      // Emission is analytic: len wavelets at 1/cycle from start.
+      const Segment seg{st.start + opt_.ramp_latency, op.len};
+      deliver_to_router(pe, op.out_color, Dir::Ramp, seg);
+      st.done = true;
+      st.done_time = st.start + op.len - 1;
+      p.chan_out_free = st.done_time + 1;
+      on_op_done(pe, oi);
+      return;
+    }
+    // Recv / RecvReduceSend: consume available ingress segments.
+    const i8 ci = compact_color(pe, op.in_color);
+    WSR_ASSERT(ci >= 0, "recv on unknown color");
+    auto& queue = p.ingress[static_cast<u32>(ci)];
+    while (!queue.empty() && st.consumed < op.len) {
+      const Segment seg = queue.front();
+      WSR_ASSERT(st.consumed + seg.len <= op.len,
+                 "segment crosses an op boundary");
+      queue.pop();
+      const i64 first = std::max(st.cursor + 1, seg.head);
+      st.cursor = first + seg.len - 1;
+      st.consumed += seg.len;
+      if (op.kind == OpKind::RecvReduceSend) {
+        // Each consumed wavelet re-emits one cycle later (combine) plus the
+        // up-ramp latency.
+        deliver_to_router(pe, op.out_color, Dir::Ramp,
+                          {first + 1 + opt_.ramp_latency, seg.len});
+      }
+    }
+    if (st.consumed == op.len) {
+      st.done = true;
+      st.done_time = st.cursor;
+      p.chan_in_free = st.done_time + 1;
+      if (op.kind == OpKind::RecvReduceSend) {
+        p.chan_out_free = st.done_time + 1;
+      }
+      on_op_done(pe, oi);
+    }
+  }
+
+  /// Runs queued candidates of `pe` to fixpoint (ascending within a pass).
+  void sweep(u32 pe) {
+    PE& p = pes_[pe];
+    sweeping_ = true;
+    while (!cur_.empty() || !next_.empty()) {
+      if (cur_.empty()) cur_.swap(next_);
+      while (!cur_.empty()) {
+        std::pop_heap(cur_.begin(), cur_.end(), std::greater<>());
+        const u32 oi = cur_.back();
+        cur_.pop_back();
+        sweep_pos_ = oi;
+        p.ops[oi].queued = false;
+        run_op(pe, oi);
+      }
+      sweep_pos_ = UINT32_MAX;  // next pass starts fresh
+    }
+    sweeping_ = false;
+    sweep_pos_ = UINT32_MAX;
   }
 
   void drain_worklists() {
@@ -254,9 +400,10 @@ class Engine {
         drain_router(w.pe, w.ci);
       }
       while (!pe_work_.empty()) {
-        const u32 pe = pe_work_.back();
+        const PeWork w = pe_work_.back();
         pe_work_.pop_back();
-        progress_pe(pe);
+        queue_consumer(w.pe, w.ci);
+        sweep(w.pe);
       }
     }
   }
@@ -264,8 +411,16 @@ class Engine {
   const Schedule& s_;
   FlowOptions opt_;
   std::vector<PE> pes_;
+  std::vector<i8> color_index_;  // [pe * kMaxColorId + color], flat
+  std::vector<std::size_t> op_base_;  // per-PE offset into the flat op space
+  std::vector<u32> rdep_off_, rdep_lst_;  // reverse deps over flat op ids
   std::vector<RouterWork> router_work_;
-  std::vector<u32> pe_work_;
+  std::vector<PeWork> pe_work_;
+  // Candidate heaps for the PE sweep in flight (reused across calls; both
+  // drain to empty before sweep() returns).
+  std::vector<u32> cur_, next_;
+  bool sweeping_ = false;
+  u32 sweep_pos_ = UINT32_MAX;
 };
 
 }  // namespace

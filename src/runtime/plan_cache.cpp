@@ -41,8 +41,16 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
-PlanCache::PlanCache(u32 num_shards)
+PlanCache::PlanCache(u32 num_shards, std::size_t max_entries)
     : num_shards_(std::max<u32>(1, num_shards)),
+      max_entries_(max_entries),
+      // ceil-divide so the total stays >= max_entries; each shard holds at
+      // least one entry so a tiny bound cannot wedge a shard at zero.
+      shard_capacity_(max_entries == 0
+                          ? 0
+                          : std::max<std::size_t>(
+                                1, (max_entries + num_shards_ - 1) /
+                                       num_shards_)),
       shards_(std::make_unique<Shard[]>(num_shards_)) {}
 
 PlanKey PlanCache::key_for(const Planner& planner, const PlanRequest& req) {
@@ -54,19 +62,37 @@ PlanCache::Shard& PlanCache::shard_for(const PlanKey& key) const {
   return shards_[PlanKeyHash{}(key) % num_shards_];
 }
 
+std::shared_ptr<const Plan> PlanCache::touch(
+    Shard& shard,
+    std::unordered_map<PlanKey, Entry, PlanKeyHash>::iterator it) const {
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.plan;
+}
+
 std::shared_ptr<const Plan> PlanCache::find(const PlanKey& key) const {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
-  return it == shard.map.end() ? nullptr : it->second;
+  return it == shard.map.end() ? nullptr : touch(shard, it);
 }
 
 std::shared_ptr<const Plan> PlanCache::insert(
     const PlanKey& key, std::shared_ptr<const Plan> plan) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto [it, _] = shard.map.try_emplace(key, std::move(plan));
-  return it->second;
+  const auto [it, inserted] = shard.map.try_emplace(key, Entry{std::move(plan), {}});
+  if (!inserted) return touch(shard, it);  // first writer wins
+
+  shard.lru.push_front(&it->first);
+  it->second.lru_pos = shard.lru.begin();
+  if (shard_capacity_ != 0 && shard.map.size() > shard_capacity_) {
+    const PlanKey* victim = shard.lru.back();
+    shard.lru.pop_back();
+    // Erase via iterator: the key reference lives inside the node.
+    shard.map.erase(shard.map.find(*victim));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second.plan;
 }
 
 std::shared_ptr<const Plan> PlanCache::get_or_plan(const Planner& planner,
@@ -93,7 +119,9 @@ void PlanCache::clear() {
   for (u32 i = 0; i < num_shards_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
     shards_[i].map.clear();
+    shards_[i].lru.clear();
   }
+  evictions_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }

@@ -14,9 +14,17 @@
 // serialize on one mutex. bench/abl_plan_cache.cpp measures the hit path at
 // >= 10x over cold planning; tests/test_plan_cache.cpp hammers one cache
 // from 8 threads.
+//
+// Eviction: `max_entries` bounds the cache (0 = unbounded). The bound is
+// split evenly across shards and each shard runs an intrusive LRU list
+// under its own mutex: find/get refresh recency, insert evicts the shard's
+// least-recently-used entry once the shard is full. Evicted plans stay
+// alive for holders of the shared_ptr — eviction only drops the cache's
+// reference.
 #pragma once
 
 #include <atomic>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -49,7 +57,11 @@ struct PlanKeyHash {
 
 class PlanCache {
  public:
-  explicit PlanCache(u32 num_shards = 16);
+  /// `max_entries` == 0 means unbounded; otherwise the bound is rounded up
+  /// to whole shards: each shard holds at most
+  /// max(1, ceil(max_entries / num_shards)) plans, so the cache holds at
+  /// most num_shards * that (e.g. (16, 24) -> 2 per shard, 32 total).
+  explicit PlanCache(u32 num_shards = 16, std::size_t max_entries = 0);
 
   /// The cache key of a request as planned by `planner`.
   static PlanKey key_for(const Planner& planner, const PlanRequest& req);
@@ -71,21 +83,40 @@ class PlanCache {
 
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  std::size_t max_entries() const { return max_entries_; }
   std::size_t size() const;
   void clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    /// Position in the shard's LRU list (most-recent at front).
+    std::list<const PlanKey*>::iterator lru_pos;
+  };
+
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash> map;
+    std::unordered_map<PlanKey, Entry, PlanKeyHash> map;
+    /// Recency order over the map's keys (pointers into the map's nodes,
+    /// which are stable under unordered_map insert/erase).
+    std::list<const PlanKey*> lru;
   };
 
   Shard& shard_for(const PlanKey& key) const;
 
+  /// Marks `it` most recently used; returns its plan. Caller holds the lock.
+  std::shared_ptr<const Plan> touch(
+      Shard& shard,
+      std::unordered_map<PlanKey, Entry, PlanKeyHash>::iterator it) const;
+
   u32 num_shards_;
+  std::size_t max_entries_;
+  std::size_t shard_capacity_;  ///< 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
+  std::atomic<u64> evictions_{0};
 };
 
 }  // namespace wsr::runtime

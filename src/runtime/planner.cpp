@@ -1,9 +1,8 @@
 #include "runtime/planner.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
+#include "common/parallel.hpp"
 #include "runtime/plan_cache.hpp"
 
 namespace wsr::runtime {
@@ -99,30 +98,13 @@ std::vector<std::shared_ptr<const Plan>> Planner::plan_many(
   std::vector<std::shared_ptr<const Plan>> out(requests.size());
   if (requests.empty()) return out;
 
-  const auto plan_one = [&](std::size_t i) {
+  // Slot-per-index writes keep the result deterministic at any thread count
+  // (the shared pool contract, common/parallel.hpp).
+  parallel_for_index(requests.size(), num_threads, [&](std::size_t i) {
     out[i] = cache != nullptr
                  ? cache->get_or_plan(*this, requests[i])
                  : std::make_shared<const Plan>(plan(requests[i]));
-  };
-
-  u32 n = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
-  n = std::clamp<u32>(n, 1, static_cast<u32>(requests.size()));
-  if (n == 1) {
-    for (std::size_t i = 0; i < requests.size(); ++i) plan_one(i);
-    return out;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(n);
-  for (u32 t = 0; t < n; ++t) {
-    workers.emplace_back([&] {
-      for (std::size_t i; (i = next.fetch_add(1)) < requests.size();) {
-        plan_one(i);
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
+  });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "wse/fabric.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace wsr::wse {
 
@@ -40,6 +41,7 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
       cr.remaining = cr.rules.empty() ? 0 : cr.rules[0].count;
     }
     p.num_colors = static_cast<u32>(p.colors.size());
+    p.use_occ_mask = std::size_t{kNumDirs} * p.num_colors <= 64;
     p.reg_value.assign(std::size_t{kNumDirs} * p.num_colors, 0.0f);
     p.reg_set.assign(std::size_t{kNumDirs} * p.num_colors, 0);
     p.reg_base = reg_base;
@@ -47,6 +49,7 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
     p.ops.resize(schedule.programs[pe].ops.size());
     p.mem.assign(std::max<u32>(schedule.vec_len, 1), 0.0f);
     p.done = schedule.programs[pe].ops.empty();
+    if (p.done) ++done_count_;
   }
   total_regs_ = reg_base;
   move_state_.assign(total_regs_, MoveState::Unknown);
@@ -54,6 +57,10 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
   reg_claim_epoch_.assign(total_regs_, -1);
   link_claim_epoch_.assign(n * kNumDirs, -1);
   ramp_claim_epoch_.assign(n, -1);
+  in_proc_list_.assign(n, 0);
+  in_up_list_.assign(n, 0);
+  in_router_list_.assign(n, 0);
+  in_queue_list_.assign(n, 0);
 }
 
 void FabricSim::set_memory(u32 pe, std::vector<float> data) {
@@ -61,122 +68,199 @@ void FabricSim::set_memory(u32 pe, std::vector<float> data) {
   pes_[pe].mem = std::move(data);
 }
 
-bool FabricSim::processors_step() {
-  bool changed = false;
-  const u32 n = static_cast<u32>(pes_.size());
+// --- worklist bookkeeping ----------------------------------------------------
+// None of these touch simulation state: they only decide which PEs the
+// worklist mode steps. Reference mode steps everything, so they are no-ops
+// there (guarded by the callers or the mode check below).
+
+void FabricSim::wake_processor(u32 pe) {
+  if (opt_.reference_stepping) return;
+  if (!in_proc_list_[pe]) {
+    in_proc_list_[pe] = 1;
+    proc_list_.push_back(pe);
+  }
+}
+
+void FabricSim::note_up_pending(u32 pe) {
+  if (opt_.reference_stepping) return;
+  if (!in_up_list_[pe]) {
+    in_up_list_[pe] = 1;
+    up_list_.push_back(pe);
+  }
+}
+
+void FabricSim::note_queue_pending(u32 pe) {
+  if (opt_.reference_stepping) return;
+  if (!in_queue_list_[pe]) {
+    in_queue_list_[pe] = 1;
+    queue_list_.push_back(pe);
+  }
+}
+
+void FabricSim::set_register(PEState& p, std::size_t ridx, u32 pe,
+                             float value) {
+  p.reg_value[ridx] = value;
+  p.reg_set[ridx] = 1;
+  ++p.occupied_regs;
+  if (p.use_occ_mask) p.occ_mask |= u64{1} << ridx;
+  if (!opt_.reference_stepping && !in_router_list_[pe]) {
+    in_router_list_[pe] = 1;
+    router_list_.push_back(pe);
+  }
+}
+
+void FabricSim::clear_register(PEState& p, std::size_t ridx, u32 /*pe*/) {
+  p.reg_set[ridx] = 0;
+  WSR_ASSERT(p.occupied_regs > 0, "register occupancy underflow");
+  --p.occupied_regs;
+  if (p.use_occ_mask) p.occ_mask &= ~(u64{1} << ridx);
+}
+
+// --- per-PE step bodies ------------------------------------------------------
+
+bool FabricSim::step_processor(u32 pe) {
+  PEState& p = pes_[pe];
+  if (p.done) return false;
   const u32 up_cap = opt_.ramp_latency + 2;
-  for (u32 pe = 0; pe < n; ++pe) {
-    PEState& p = pes_[pe];
-    if (p.done) continue;
-    const PEProgram& prog = sched_->programs[pe];
-    bool ingress_claimed = false, egress_claimed = false;
-    bool all_done = true;
-    for (u32 oi = 0; oi < prog.ops.size(); ++oi) {
-      OpState& st = p.ops[oi];
-      if (st.complete) continue;
-      all_done = false;
-      const Op& op = prog.ops[oi];
-      bool runnable = true;
-      for (u32 d : op.deps) {
-        if (!p.ops[d].complete) {
-          runnable = false;
-          break;
-        }
-      }
-      if (!runnable) continue;
-
-      const bool needs_in = op.kind != OpKind::Send;
-      const bool needs_out = op.kind != OpKind::Recv;
-      if (needs_in && ingress_claimed) continue;
-      if (needs_out && egress_claimed) continue;
-      if (needs_in) ingress_claimed = true;
-      if (needs_out) egress_claimed = true;
-
-      switch (op.kind) {
-        case OpKind::Send: {
-          if (p.up.size() >= up_cap) break;
-          const u32 idx = op.src_offset + st.progress;
-          WSR_ASSERT(idx < p.mem.size(), "send reads past PE memory");
-          p.up.push_back({{p.mem[idx], op.out_color},
-                          cycle_ + opt_.ramp_latency});
-          p.ramp_traffic++;
-          changed = true;
-          if (++st.progress == op.len) {
-            st.complete = true;
-            st.done_cycle = cycle_;
-          }
-          break;
-        }
-        case OpKind::Recv: {
-          const i8 ci = p.color_index[op.in_color];
-          WSR_ASSERT(ci >= 0, "recv on unknown color");
-          auto& q = p.down[static_cast<u32>(ci)];
-          if (q.empty() || q.front().ready > cycle_) break;
-          const float v = q.front().w.value;
-          q.erase(q.begin());
-          u32 idx = op.dst_offset;
-          idx += op.mode == RecvMode::AddModulo ? st.progress % op.modulo
-                                                : st.progress;
-          WSR_ASSERT(idx < p.mem.size(), "recv writes past PE memory");
-          if (op.mode == RecvMode::Store) {
-            p.mem[idx] = v;
-          } else {
-            p.mem[idx] += v;
-          }
-          p.ramp_traffic++;
-          changed = true;
-          if (++st.progress == op.len) {
-            st.complete = true;
-            st.done_cycle = cycle_;
-          }
-          break;
-        }
-        case OpKind::RecvReduceSend: {
-          const i8 ci = p.color_index[op.in_color];
-          WSR_ASSERT(ci >= 0, "recv_reduce_send on unknown color");
-          auto& q = p.down[static_cast<u32>(ci)];
-          if (q.empty() || q.front().ready > cycle_) break;
-          if (p.up.size() >= up_cap) break;
-          const float v = q.front().w.value;
-          q.erase(q.begin());
-          const u32 idx = op.src_offset + st.progress;
-          WSR_ASSERT(idx < p.mem.size(), "fused op reads past PE memory");
-          // +1 cycle of latency for the combine, per the model's
-          // (2*T_R + 1) depth charge.
-          p.up.push_back({{v + p.mem[idx], op.out_color},
-                          cycle_ + opt_.ramp_latency + 1});
-          p.ramp_traffic += 2;
-          changed = true;
-          if (++st.progress == op.len) {
-            st.complete = true;
-            st.done_cycle = cycle_;
-          }
-          break;
-        }
+  const PEProgram& prog = sched_->programs[pe];
+  bool ingress_claimed = false, egress_claimed = false;
+  bool changed = false;
+  i64 min_future = INT64_MAX;  // earliest in-flight queue head we stalled on
+  // Skip the retired prefix (deps point backwards, so ops finish roughly
+  // front-to-back; the 1D Ring emits ~2P ops per PE and would otherwise
+  // make this scan quadratic).
+  while (p.first_incomplete < prog.ops.size() &&
+         p.ops[p.first_incomplete].complete) {
+    ++p.first_incomplete;
+  }
+  bool all_done = p.first_incomplete == prog.ops.size();
+  for (u32 oi = p.first_incomplete; oi < prog.ops.size(); ++oi) {
+    OpState& st = p.ops[oi];
+    if (st.complete) continue;
+    all_done = false;
+    const Op& op = prog.ops[oi];
+    bool runnable = true;
+    for (u32 d : op.deps) {
+      if (!p.ops[d].complete) {
+        runnable = false;
+        break;
       }
     }
-    if (all_done) p.done = true;
+    if (!runnable) continue;
+
+    const bool needs_in = op.kind != OpKind::Send;
+    const bool needs_out = op.kind != OpKind::Recv;
+    if (needs_in && ingress_claimed) continue;
+    if (needs_out && egress_claimed) continue;
+    if (needs_in) ingress_claimed = true;
+    if (needs_out) egress_claimed = true;
+
+    switch (op.kind) {
+      case OpKind::Send: {
+        if (p.up.size() >= up_cap) break;
+        const u32 idx = op.src_offset + st.progress;
+        WSR_ASSERT(idx < p.mem.size(), "send reads past PE memory");
+        p.up.push({{p.mem[idx], op.out_color}, cycle_ + opt_.ramp_latency});
+        note_up_pending(pe);
+        note_queue_pending(pe);
+        p.ramp_traffic++;
+        changed = true;
+        if (++st.progress == op.len) {
+          st.complete = true;
+          st.done_cycle = cycle_;
+        }
+        break;
+      }
+      case OpKind::Recv: {
+        const i8 ci = p.color_index[op.in_color];
+        WSR_ASSERT(ci >= 0, "recv on unknown color");
+        auto& q = p.down[static_cast<u32>(ci)];
+        if (q.empty() || q.front().ready > cycle_) {
+          if (!q.empty()) min_future = std::min(min_future, q.front().ready);
+          break;
+        }
+        const float v = q.front().w.value;
+        q.pop();
+        u32 idx = op.dst_offset;
+        idx += op.mode == RecvMode::AddModulo ? st.progress % op.modulo
+                                              : st.progress;
+        WSR_ASSERT(idx < p.mem.size(), "recv writes past PE memory");
+        if (op.mode == RecvMode::Store) {
+          p.mem[idx] = v;
+        } else {
+          p.mem[idx] += v;
+        }
+        p.ramp_traffic++;
+        changed = true;
+        if (++st.progress == op.len) {
+          st.complete = true;
+          st.done_cycle = cycle_;
+        }
+        break;
+      }
+      case OpKind::RecvReduceSend: {
+        const i8 ci = p.color_index[op.in_color];
+        WSR_ASSERT(ci >= 0, "recv_reduce_send on unknown color");
+        auto& q = p.down[static_cast<u32>(ci)];
+        if (q.empty() || q.front().ready > cycle_) {
+          if (!q.empty()) min_future = std::min(min_future, q.front().ready);
+          break;
+        }
+        if (p.up.size() >= up_cap) break;
+        const float v = q.front().w.value;
+        q.pop();
+        const u32 idx = op.src_offset + st.progress;
+        WSR_ASSERT(idx < p.mem.size(), "fused op reads past PE memory");
+        // +1 cycle of latency for the combine, per the model's
+        // (2*T_R + 1) depth charge.
+        p.up.push({{v + p.mem[idx], op.out_color},
+                   cycle_ + opt_.ramp_latency + 1});
+        note_up_pending(pe);
+        note_queue_pending(pe);
+        p.ramp_traffic += 2;
+        changed = true;
+        if (++st.progress == op.len) {
+          st.complete = true;
+          st.done_cycle = cycle_;
+        }
+        break;
+      }
+    }
+  }
+  if (all_done) {
+    p.done = true;
+    ++done_count_;
+  }
+  if (!opt_.reference_stepping) {
+    if (changed && !p.done) {
+      wake_processor(pe);  // streaming continues next cycle
+    } else if (!changed && min_future != INT64_MAX) {
+      wake_heap_.emplace_back(min_future, pe);
+      std::push_heap(wake_heap_.begin(), wake_heap_.end(),
+                     std::greater<>());
+    }
   }
   return changed;
 }
 
-bool FabricSim::up_ramp_step() {
+bool FabricSim::step_up_ramp(u32 pe) {
+  PEState& p = pes_[pe];
   bool changed = false;
-  for (PEState& p : pes_) {
-    if (p.up.empty()) continue;
-    if (p.up.front().ready > cycle_) continue;
+  if (!p.up.empty() && p.up.front().ready <= cycle_) {
     const Wavelet& w = p.up.front().w;
     const i8 ci = p.color_index[w.color];
     WSR_ASSERT(ci >= 0, "up-ramp wavelet on unknown color");
     const std::size_t idx = std::size_t{static_cast<u32>(Dir::Ramp)} *
                                 p.num_colors +
                             static_cast<u32>(ci);
-    if (p.reg_set[idx]) continue;  // previous wavelet of this color in place
-    p.reg_value[idx] = w.value;
-    p.reg_set[idx] = 1;
-    p.up.erase(p.up.begin());
-    changed = true;
+    if (!p.reg_set[idx]) {  // else: previous wavelet of this color in place
+      set_register(p, idx, pe, w.value);
+      p.up.pop();
+      wake_processor(pe);  // egress capacity freed
+      changed = true;
+    }
   }
+  if (!p.up.empty()) note_up_pending(pe);
   return changed;
 }
 
@@ -206,8 +290,11 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
   const Coord here = grid_.coord(pe);
 
   // Tentatively claim destinations and output links; roll back on failure.
-  std::vector<std::size_t> claimed_regs;
-  std::vector<std::size_t> claimed_links;
+  // A rule forwards into at most the 4 mesh directions, so fixed-size claim
+  // scratch avoids a heap allocation per resolution.
+  std::size_t claimed_regs[kNumDirs - 1];
+  std::size_t claimed_links[kNumDirs - 1];
+  u32 num_claimed_regs = 0, num_claimed_links = 0;
   bool claimed_ramp = false;
   bool ok = true;
   for (u8 d = 0; d < kNumDirs && ok; ++d) {
@@ -252,14 +339,16 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
         break;
       }
       reg_claim_epoch_[nkey] = cycle_;
-      claimed_regs.push_back(nkey);
+      claimed_regs[num_claimed_regs++] = nkey;
       link_claim_epoch_[lkey] = cycle_;
-      claimed_links.push_back(lkey);
+      claimed_links[num_claimed_links++] = lkey;
     }
   }
   if (!ok) {
-    for (std::size_t k : claimed_regs) reg_claim_epoch_[k] = -1;
-    for (std::size_t k : claimed_links) link_claim_epoch_[k] = -1;
+    for (u32 k = 0; k < num_claimed_regs; ++k)
+      reg_claim_epoch_[claimed_regs[k]] = -1;
+    for (u32 k = 0; k < num_claimed_links; ++k)
+      link_claim_epoch_[claimed_links[k]] = -1;
     if (claimed_ramp) ramp_claim_epoch_[pe] = -1;
     move_state_[key] = MoveState::No;
     return false;
@@ -268,51 +357,69 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
   return true;
 }
 
-bool FabricSim::router_step() {
-  const u32 n = static_cast<u32>(pes_.size());
-  for (u32 pe = 0; pe < n; ++pe) {
+bool FabricSim::router_step(const std::vector<u32>& pes) {
+  // Resolution order is claim-arbitration order, so iteration must always be
+  // ascending PE id (the caller sorts the worklist snapshot), and ascending
+  // register index within a PE (== the (dir, color) scan order; the
+  // occupancy-bitmask iteration preserves it).
+  for (u32 pe : pes) {
     PEState& p = pes_[pe];
-    for (u32 d = 0; d < kNumDirs; ++d) {
-      for (u32 ci = 0; ci < p.num_colors; ++ci) {
-        if (p.reg_set[std::size_t{d} * p.num_colors + ci] &&
-            move_epoch_[reg_key(p, d, ci)] != cycle_) {
-          resolve_move(pe, d, ci);
+    if (p.occupied_regs == 0) continue;
+    if (p.use_occ_mask) {
+      for (u64 m = p.occ_mask; m != 0; m &= m - 1) {
+        const u32 ridx = static_cast<u32>(std::countr_zero(m));
+        if (move_epoch_[p.reg_base + ridx] != cycle_) {
+          resolve_move(pe, ridx / p.num_colors, ridx % p.num_colors);
+        }
+      }
+    } else {
+      for (u32 d = 0; d < kNumDirs; ++d) {
+        for (u32 ci = 0; ci < p.num_colors; ++ci) {
+          if (p.reg_set[std::size_t{d} * p.num_colors + ci] &&
+              move_epoch_[reg_key(p, d, ci)] != cycle_) {
+            resolve_move(pe, d, ci);
+          }
         }
       }
     }
   }
 
   // Gather all moves, clear sources and account rules, then place copies.
-  struct Move {
-    Wavelet w;
-    u32 pe;
-    DirMask forward;
-  };
-  std::vector<Move> moves;
+  moves_.clear();
   bool changed = false;
-  for (u32 pe = 0; pe < n; ++pe) {
+  const auto gather = [&](PEState& p, u32 pe, std::size_t ridx) {
+    const std::size_t key = p.reg_base + ridx;
+    if (move_epoch_[key] != cycle_ || move_state_[key] != MoveState::Yes)
+      return;
+    const u32 ci = static_cast<u32>(ridx) % p.num_colors;
+    ColorRules& cr = p.colors[ci];
+    const RouteRule& rule = cr.rules[cr.active];
+    moves_.push_back({{p.reg_value[ridx], rule.color}, pe, rule.forward});
+    clear_register(p, ridx, pe);
+    WSR_ASSERT(cr.remaining > 0, "rule accounting underflow");
+    if (--cr.remaining == 0) {
+      ++cr.active;
+      cr.remaining =
+          cr.active < cr.rules.size() ? cr.rules[cr.active].count : 0;
+    }
+    changed = true;
+  };
+  for (u32 pe : pes) {
     PEState& p = pes_[pe];
-    for (u32 d = 0; d < kNumDirs; ++d) {
-      for (u32 ci = 0; ci < p.num_colors; ++ci) {
-        const std::size_t key = reg_key(p, d, ci);
-        if (move_epoch_[key] != cycle_ || move_state_[key] != MoveState::Yes)
-          continue;
-        const std::size_t ridx = std::size_t{d} * p.num_colors + ci;
-        ColorRules& cr = p.colors[ci];
-        const RouteRule& rule = cr.rules[cr.active];
-        moves.push_back({{p.reg_value[ridx], rule.color}, pe, rule.forward});
-        p.reg_set[ridx] = 0;
-        WSR_ASSERT(cr.remaining > 0, "rule accounting underflow");
-        if (--cr.remaining == 0) {
-          ++cr.active;
-          cr.remaining =
-              cr.active < cr.rules.size() ? cr.rules[cr.active].count : 0;
-        }
-        changed = true;
+    if (p.occupied_regs == 0) continue;
+    if (p.use_occ_mask) {
+      // Snapshot: gather clears bits as it consumes registers.
+      for (u64 m = p.occ_mask; m != 0; m &= m - 1) {
+        gather(p, pe, static_cast<u32>(std::countr_zero(m)));
+      }
+    } else {
+      const std::size_t num_regs = std::size_t{kNumDirs} * p.num_colors;
+      for (std::size_t ridx = 0; ridx < num_regs; ++ridx) {
+        if (p.reg_set[ridx]) gather(p, pe, ridx);
       }
     }
   }
-  for (const Move& m : moves) {
+  for (const Move& m : moves_) {
     const Coord here = grid_.coord(m.pe);
     for (u8 d = 0; d < kNumDirs; ++d) {
       const Dir dd = static_cast<Dir>(d);
@@ -320,8 +427,9 @@ bool FabricSim::router_step() {
       if (dd == Dir::Ramp) {
         PEState& p = pes_[m.pe];
         const i8 ci = p.color_index[m.w.color];
-        p.down[static_cast<u32>(ci)].push_back(
-            {m.w, cycle_ + opt_.ramp_latency});
+        p.down[static_cast<u32>(ci)].push({m.w, cycle_ + opt_.ramp_latency});
+        wake_processor(m.pe);
+        note_queue_pending(m.pe);
       } else {
         const u32 npe = grid_.pe_id(grid_.neighbor(here, dd));
         PEState& np = pes_[npe];
@@ -330,8 +438,7 @@ bool FabricSim::router_step() {
                                     np.num_colors +
                                 static_cast<u32>(nci);
         WSR_ASSERT(!np.reg_set[idx], "register collision");
-        np.reg_value[idx] = m.w.value;
-        np.reg_set[idx] = 1;
+        set_register(np, idx, npe, m.w.value);
         ++hops_;
       }
     }
@@ -339,22 +446,99 @@ bool FabricSim::router_step() {
   return changed;
 }
 
-FabricResult FabricSim::run() {
-  const u32 n = static_cast<u32>(pes_.size());
-  i64 idle_cycles = 0;
-  for (cycle_ = 0; cycle_ < opt_.max_cycles; ++cycle_) {
-    bool changed = processors_step();
-    changed |= up_ramp_step();
-    changed |= router_step();
-
-    bool all_done = true;
+i64 FabricSim::scan_next_ready() {
+  i64 next_ready = INT64_MAX;
+  if (opt_.reference_stepping) {
     for (const PEState& p : pes_) {
-      if (!p.done) {
-        all_done = false;
-        break;
+      for (const auto& q : p.down) {
+        if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
+      }
+      if (!p.up.empty()) next_ready = std::min(next_ready, p.up.front().ready);
+    }
+    return next_ready;
+  }
+  // Worklist mode: only PEs with in-flight ramp traffic can own a timed
+  // event; compact the conservative membership list as queues drain.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < queue_list_.size(); ++i) {
+    const u32 pe = queue_list_[i];
+    const PEState& p = pes_[pe];
+    bool any = !p.up.empty();
+    if (!p.up.empty()) next_ready = std::min(next_ready, p.up.front().ready);
+    for (const auto& q : p.down) {
+      if (!q.empty()) {
+        any = true;
+        next_ready = std::min(next_ready, q.front().ready);
       }
     }
-    if (all_done) break;
+    if (any) {
+      queue_list_[keep++] = pe;
+    } else {
+      in_queue_list_[pe] = 0;
+    }
+  }
+  queue_list_.resize(keep);
+  return next_ready;
+}
+
+FabricResult FabricSim::run() {
+  const u32 n = static_cast<u32>(pes_.size());
+  const bool reference = opt_.reference_stepping;
+  std::vector<u32> all_pes;
+  if (reference) {
+    all_pes.resize(n);
+    for (u32 pe = 0; pe < n; ++pe) all_pes[pe] = pe;
+  } else {
+    // Everything with a program is initially runnable.
+    for (u32 pe = 0; pe < n; ++pe) {
+      if (!pes_[pe].done) wake_processor(pe);
+    }
+  }
+
+  i64 idle_cycles = 0;
+  for (cycle_ = 0; cycle_ < opt_.max_cycles; ++cycle_) {
+    bool changed = false;
+    if (reference) {
+      for (u32 pe = 0; pe < n; ++pe) changed |= step_processor(pe);
+      for (u32 pe = 0; pe < n; ++pe) changed |= step_up_ramp(pe);
+      changed |= router_step(all_pes);
+    } else {
+      // Timed wake-ups whose cycle has arrived re-enter the processor list.
+      while (!wake_heap_.empty() && wake_heap_.front().first <= cycle_) {
+        std::pop_heap(wake_heap_.begin(), wake_heap_.end(), std::greater<>());
+        wake_processor(wake_heap_.back().second);
+        wake_heap_.pop_back();
+      }
+
+      // Processors: visit order is irrelevant (each PE touches only its own
+      // state); consume the list, step bodies re-add still-active PEs.
+      scratch_.clear();
+      scratch_.swap(proc_list_);
+      for (u32 pe : scratch_) in_proc_list_[pe] = 0;
+      for (u32 pe : scratch_) changed |= step_processor(pe);
+
+      // Up-ramps: same consume-and-re-add scheme.
+      scratch_.clear();
+      scratch_.swap(up_list_);
+      for (u32 pe : scratch_) in_up_list_[pe] = 0;
+      for (u32 pe : scratch_) changed |= step_up_ramp(pe);
+
+      // Routers: snapshot must be sorted (claim arbitration is
+      // order-sensitive); re-add PEs whose registers stay occupied.
+      router_scratch_.clear();
+      router_scratch_.swap(router_list_);
+      for (u32 pe : router_scratch_) in_router_list_[pe] = 0;
+      std::sort(router_scratch_.begin(), router_scratch_.end());
+      changed |= router_step(router_scratch_);
+      for (u32 pe : router_scratch_) {
+        if (pes_[pe].occupied_regs != 0 && !in_router_list_[pe]) {
+          in_router_list_[pe] = 1;
+          router_list_.push_back(pe);
+        }
+      }
+    }
+
+    if (done_count_ == n) break;
 
     if (changed) {
       idle_cycles = 0;
@@ -362,13 +546,7 @@ FabricResult FabricSim::run() {
     }
     // Nothing moved: either a timed event is pending (fast-forward to it) or
     // the fabric is deadlocked.
-    i64 next_ready = INT64_MAX;
-    for (const PEState& p : pes_) {
-      for (const auto& q : p.down) {
-        if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
-      }
-      if (!p.up.empty()) next_ready = std::min(next_ready, p.up.front().ready);
-    }
+    const i64 next_ready = scan_next_ready();
     if (next_ready != INT64_MAX && next_ready > cycle_) {
       cycle_ = next_ready - 1;  // loop increment lands on next_ready
       idle_cycles = 0;

@@ -26,12 +26,20 @@
 // tests can verify numerical correctness of the collectives, and it measures
 // the model's cost terms (wavelet hops = energy, per-PE ramp traffic =
 // contention) alongside the cycle count.
+//
+// Stepping modes (DESIGN.md §"Active-set FabricSim"): by default each cycle
+// only steps PEs on event-driven worklists (pending ops, occupied router
+// registers, in-flight ramp traffic); `reference_stepping` retains the
+// original scan-every-PE-every-cycle mode. Both modes execute the same
+// per-PE step bodies in the same order, so results are bit-identical —
+// pinned by tests/test_fabric_worklist_parity.cpp.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "common/grid.hpp"
+#include "common/lazy_fifo.hpp"
 #include "common/types.hpp"
 #include "wse/schedule.hpp"
 
@@ -41,6 +49,9 @@ struct FabricOptions {
   u32 ramp_latency = 2;         ///< T_R.
   i64 max_cycles = 500'000'000; ///< hard abort threshold.
   u32 color_queue_capacity = 2; ///< per-color processor ingress queue depth.
+  /// Step every PE every cycle (the pre-worklist behaviour). Kept for parity
+  /// testing; cycle counts and memories are identical in both modes.
+  bool reference_stepping = false;
 };
 
 struct FabricResult {
@@ -84,6 +95,8 @@ class FabricSim {
     i64 ready = 0;
   };
 
+  using WaveletFifo = LazyFifo<TimedWavelet>;
+
   struct OpState {
     u32 progress = 0;
     bool complete = false;
@@ -98,19 +111,27 @@ class FabricSim {
     // Index: dir * num_colors + ci. `reg_set` marks occupancy.
     std::vector<float> reg_value;
     std::vector<u8> reg_set;
-    std::vector<std::vector<TimedWavelet>> down;  // per compact color FIFO
-    std::vector<TimedWavelet> up;                 // up-ramp pipeline FIFO
+    std::vector<WaveletFifo> down;  // per compact color FIFO
+    WaveletFifo up;                 // up-ramp pipeline FIFO
     std::vector<OpState> ops;
+    u32 first_incomplete = 0;  ///< every op below this index is complete
     std::vector<float> mem;
     i64 ramp_traffic = 0;
     bool done = false;
-    std::size_t reg_base = 0;  // offset into the global per-register arrays
+    std::size_t reg_base = 0;   // offset into the global per-register arrays
+    u32 occupied_regs = 0;      // #set router registers (router worklist key)
+    /// Bitmask over register indices (dir * num_colors + ci) when they fit
+    /// in 64 bits (they do for every generated schedule: <= 12 colors per
+    /// PE); iterating set bits ascending is exactly the (dir, color) scan
+    /// order, so arbitration is unchanged. 0-wide fallback scans all.
+    u64 occ_mask = 0;
+    bool use_occ_mask = true;
   };
 
-  // -- cycle phases --
-  bool processors_step();        // PE ops consume/emit; returns "changed".
-  bool up_ramp_step();           // up FIFO head -> ramp register.
-  bool router_step();            // movement resolution + execution.
+  // -- per-PE cycle-step bodies (identical in both stepping modes) --
+  bool step_processor(u32 pe);   // PE ops consume/emit; returns "changed".
+  bool step_up_ramp(u32 pe);     // up FIFO head -> ramp register.
+  bool router_step(const std::vector<u32>& pes);  // resolution + execution.
 
   // movement resolution (memoized per cycle via epoch tags)
   enum class MoveState : u8 { Unknown, InProgress, Yes, No };
@@ -120,12 +141,21 @@ class FabricSim {
     return p.reg_base + std::size_t{dir} * p.num_colors + ci;
   }
 
+  // -- worklist bookkeeping (no-ops for simulation state; see DESIGN.md) --
+  void set_register(PEState& p, std::size_t ridx, u32 pe, float value);
+  void clear_register(PEState& p, std::size_t ridx, u32 pe);
+  void wake_processor(u32 pe);
+  void note_up_pending(u32 pe);
+  void note_queue_pending(u32 pe);
+  i64 scan_next_ready();
+
   GridShape grid_;
   FabricOptions opt_;
   const Schedule* sched_;
   std::vector<PEState> pes_;
   i64 cycle_ = 0;
   i64 hops_ = 0;
+  u64 done_count_ = 0;
 
   // Per-cycle movement state, epoch-tagged so nothing is cleared per cycle.
   std::vector<MoveState> move_state_;  // [global register key]
@@ -134,6 +164,27 @@ class FabricSim {
   std::vector<i64> link_claim_epoch_;  // [pe * 5 + dir]: output link used
   std::vector<i64> ramp_claim_epoch_;  // [pe]: ramp-down delivery used
   std::size_t total_regs_ = 0;
+
+  // Active sets. Membership flags guard against duplicates; the router list
+  // is sorted ascending before use because inter-PE claim arbitration is
+  // order-sensitive (processor and up-ramp steps touch only their own PE, so
+  // their visit order is free).
+  std::vector<u8> in_proc_list_, in_up_list_, in_router_list_, in_queue_list_;
+  std::vector<u32> proc_list_, up_list_, router_list_, queue_list_;
+  std::vector<u32> scratch_;          // reused per-cycle snapshot buffer
+  std::vector<u32> router_scratch_;
+
+  /// Timed wake-ups: (ready cycle, pe) min-heap for processors blocked on a
+  /// queue head that is still in flight down the ramp.
+  std::vector<std::pair<i64, u32>> wake_heap_;
+
+  /// Scratch for router move execution (hoisted out of the per-cycle path).
+  struct Move {
+    Wavelet w;
+    u32 pe;
+    DirMask forward;
+  };
+  std::vector<Move> moves_;
 };
 
 /// Convenience: build default input data where PE p's element j is

@@ -1,0 +1,119 @@
+// Active-set FabricSim parity: the event-driven worklist stepping mode must
+// be *bit-identical* to the retained reference (scan every PE every cycle)
+// mode — same cycle counts, same per-op completion cycles, same memories,
+// same energy/contention counters — across every schedule pattern the
+// library generates. Any divergence means a missed wake-up or a changed
+// arbitration order; this suite is the contract that lets every other test
+// and bench run in worklist mode.
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.hpp"
+#include "collectives/midroot.hpp"
+#include "runtime/verify.hpp"
+#include "sim_test_utils.hpp"
+#include "wse/fabric.hpp"
+
+namespace wsr {
+namespace {
+
+const MachineParams kMp{};
+
+void expect_bit_identical(const wse::Schedule& s) {
+  const auto inputs = wse::make_inputs(s, runtime::canonical_input);
+  wse::FabricOptions worklist;
+  wse::FabricOptions reference;
+  reference.reference_stepping = true;
+
+  const wse::FabricResult a = wse::run_fabric(s, inputs, worklist);
+  const wse::FabricResult b = wse::run_fabric(s, inputs, reference);
+
+  EXPECT_EQ(a.cycles, b.cycles) << s.name;
+  EXPECT_EQ(a.wavelet_hops, b.wavelet_hops) << s.name;
+  EXPECT_EQ(a.max_pe_ramp_wavelets, b.max_pe_ramp_wavelets) << s.name;
+  ASSERT_EQ(a.op_done_cycle, b.op_done_cycle) << s.name;
+  ASSERT_EQ(a.memory, b.memory) << s.name;
+}
+
+TEST(WorklistParity, Broadcast1D) {
+  for (u32 p : {2u, 16u, 128u}) {
+    for (u32 b : {1u, 64u, 1024u}) {
+      expect_bit_identical(collectives::make_broadcast_1d(p, b));
+    }
+  }
+}
+
+TEST(WorklistParity, ReduceAndAllReduce1D) {
+  static autogen::AutoGenModel model(96, kMp);
+  for (ReduceAlgo a : {ReduceAlgo::Star, ReduceAlgo::Chain, ReduceAlgo::Tree,
+                       ReduceAlgo::TwoPhase, ReduceAlgo::AutoGen}) {
+    for (u32 p : {2u, 5u, 16u, 48u, 96u}) {
+      for (u32 b : {1u, 16u, 256u}) {
+        expect_bit_identical(collectives::make_reduce_1d(a, p, b, &model));
+        expect_bit_identical(collectives::make_allreduce_1d(a, p, b, &model));
+      }
+    }
+  }
+}
+
+TEST(WorklistParity, Ring) {
+  for (auto m : {collectives::RingMapping::Simple,
+                 collectives::RingMapping::DistancePreserving}) {
+    for (u32 p : {4u, 8u, 16u}) {
+      for (u32 mult : {1u, 8u}) {
+        expect_bit_identical(collectives::make_ring_allreduce_1d(p, p * mult, m));
+      }
+    }
+  }
+}
+
+TEST(WorklistParity, MidRoot) {
+  for (u32 p : {4u, 16u, 33u, 64u}) {
+    for (u32 b : {1u, 64u, 512u}) {
+      expect_bit_identical(collectives::make_allreduce_1d_midroot(p, b));
+    }
+  }
+}
+
+TEST(WorklistParity, TwoD) {
+  static autogen::AutoGenModel model(16, kMp);
+  for (GridShape g : {GridShape{4, 4}, GridShape{8, 5}, GridShape{16, 16}}) {
+    for (u32 b : {1u, 64u}) {
+      expect_bit_identical(collectives::make_broadcast_2d(g, b));
+      expect_bit_identical(collectives::make_reduce_2d_snake(g, b));
+      expect_bit_identical(collectives::make_allreduce_2d_snake_bcast(g, b));
+      for (ReduceAlgo a :
+           {ReduceAlgo::Star, ReduceAlgo::Chain, ReduceAlgo::Tree,
+            ReduceAlgo::TwoPhase, ReduceAlgo::AutoGen}) {
+        expect_bit_identical(collectives::make_reduce_2d_xy(a, g, b, &model));
+        expect_bit_identical(collectives::make_allreduce_2d_xy(a, g, b, &model));
+      }
+    }
+  }
+}
+
+TEST(WorklistParity, XYRing2D) {
+  for (GridShape g : {GridShape{4, 4}, GridShape{8, 8}}) {
+    expect_bit_identical(
+        collectives::make_allreduce_2d_xy_ring(g, g.width * g.height));
+  }
+}
+
+TEST(WorklistParity, NonDefaultRampLatency) {
+  // The fast-forward and wake-up machinery depends on T_R; sweep it.
+  for (u32 tr : {1u, 3u, 7u}) {
+    const wse::Schedule s =
+        collectives::make_reduce_1d(ReduceAlgo::TwoPhase, 32, 64);
+    const auto inputs = wse::make_inputs(s, runtime::canonical_input);
+    wse::FabricOptions worklist, reference;
+    worklist.ramp_latency = reference.ramp_latency = tr;
+    reference.reference_stepping = true;
+    const auto a = wse::run_fabric(s, inputs, worklist);
+    const auto b = wse::run_fabric(s, inputs, reference);
+    EXPECT_EQ(a.cycles, b.cycles) << "T_R=" << tr;
+    ASSERT_EQ(a.op_done_cycle, b.op_done_cycle) << "T_R=" << tr;
+    ASSERT_EQ(a.memory, b.memory) << "T_R=" << tr;
+  }
+}
+
+}  // namespace
+}  // namespace wsr

@@ -108,6 +108,83 @@ TEST(PlanCache, EightThreadsHammeringOneCacheStayConsistent) {
   }
 }
 
+TEST(PlanCacheEviction, BoundedCacheNeverExceedsCapacity) {
+  const Planner planner(32);
+  // 4 shards, capacity 8 => per-shard capacity 2.
+  PlanCache cache(4, 8);
+  EXPECT_EQ(cache.max_entries(), 8u);
+
+  // Fill far past the bound: 24 distinct shapes, 3 passes.
+  std::vector<PlanRequest> shapes;
+  for (u32 p : {4u, 8u, 16u, 24u, 32u, 12u}) {
+    for (u32 b : {16u, 64u, 256u, 1024u}) shapes.push_back(reduce_req(p, b));
+  }
+  for (u32 round = 0; round < 3; ++round) {
+    for (const auto& req : shapes) cache.get_or_plan(planner, req);
+  }
+
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.evictions(), 0u);
+  // Accounting: every lookup was either a hit or a miss, and every eviction
+  // was preceded by the insert of a miss.
+  EXPECT_EQ(cache.hits() + cache.misses(), u64{3} * shapes.size());
+  EXPECT_LE(cache.evictions(), cache.misses());
+  // Evicted shapes re-plan on the next round: with 24 shapes cycling
+  // through capacity 8, later rounds keep missing (LRU churn), so misses
+  // exceed the distinct-shape count.
+  EXPECT_GT(cache.misses(), shapes.size());
+
+  // The cache still serves correct plans after heavy eviction churn.
+  const Plan direct = planner.plan(shapes[0]);
+  const auto cached = cache.get_or_plan(planner, shapes[0]);
+  EXPECT_EQ(cached->algorithm, direct.algorithm);
+  EXPECT_EQ(cached->prediction.cycles, direct.prediction.cycles);
+}
+
+TEST(PlanCacheEviction, LruKeepsTheHotEntry) {
+  const Planner planner(32);
+  // One shard so the recency order is global and deterministic.
+  PlanCache cache(1, 2);
+  const PlanRequest hot = reduce_req(8, 16);
+  const PlanRequest warm = reduce_req(16, 64);
+  const PlanRequest cold = reduce_req(32, 256);
+
+  const auto hot_plan = cache.get_or_plan(planner, hot);
+  cache.get_or_plan(planner, warm);
+  cache.get_or_plan(planner, hot);   // refresh: hot is now most recent
+  cache.get_or_plan(planner, cold);  // evicts warm, not hot
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // hot must still be served from cache (same object), warm re-plans.
+  EXPECT_EQ(cache.get_or_plan(planner, hot).get(), hot_plan.get());
+  const u64 misses_before = cache.misses();
+  cache.get_or_plan(planner, warm);
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(PlanCacheEviction, BoundedCacheSurvivesThreadChurn) {
+  const Planner planner(32);
+  PlanCache cache(2, 4);
+  std::vector<PlanRequest> shapes;
+  for (u32 p : {4u, 8u, 16u, 24u, 32u}) {
+    for (u32 b : {16u, 64u, 256u}) shapes.push_back(reduce_req(p, b));
+  }
+  std::vector<std::thread> threads;
+  for (u32 t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (u32 i = 0; i < 32; ++i) {
+        const auto plan =
+            cache.get_or_plan(planner, shapes[(i + t) % shapes.size()]);
+        ASSERT_NE(plan, nullptr);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_EQ(cache.hits() + cache.misses(), u64{4} * 32);
+}
+
 TEST(PlanMany, MatchesSequentialPlanningAndSharesCacheEntries) {
   const Planner planner(32);
   std::vector<PlanRequest> reqs;
