@@ -81,14 +81,39 @@ i64 measured_cycles(const wse::Schedule& s, i64 predicted,
 i64 xy_composed_cycles(const std::function<wse::Schedule(u32)>& lane_schedule,
                        GridShape grid);
 
+// --- synthetic bench schedules ----------------------------------------------
+
+/// Star Reduce whose root is still streaming a previous result out: the
+/// root's egress op (busy_sends * vec_len wavelets to PE 1 on a color of
+/// its own) must complete before the incast recv may start, so the entire
+/// incast line backs up into occupied-but-immovable router registers — the
+/// back-to-back serving shape (plan N's broadcast egress overlapping plan
+/// N+1's inbound reduce) and the stall-subscription engine's acceptance
+/// cell. Callers must grow the root's input vector to busy_sends * vec_len
+/// elements (the outbound stream reads past B); `busy_root_star_inputs`
+/// does both steps. Parity across stepping modes is pinned by
+/// tests/test_fabric_worklist_parity.cpp, speed by bench/micro_machinery.
+wse::Schedule make_busy_root_star(u32 num_pes, u32 vec_len, u32 busy_sends);
+
+/// Canonical inputs for make_busy_root_star with the root's vector grown to
+/// cover the busy stream.
+std::vector<std::vector<float>> busy_root_star_inputs(const wse::Schedule& s,
+                                                      u32 vec_len,
+                                                      u32 busy_sends);
+
 // --- the sweep engine -------------------------------------------------------
 
 /// Options every figure binary accepts:
 ///   --jobs N      worker threads for sweep cells (0 = hardware concurrency;
 ///                 default: WSR_BENCH_JOBS env var, else 1)
 ///   --json PATH   write figure data + wall time as JSON to PATH
+///   --repeat N    evaluate every sweep N times and report the *minimum*
+///                 sweep time (cells are deterministic, so repeats are
+///                 byte-identical); the reported wall time is then stable
+///                 enough for CI to gate on (tools/bench_trend.py)
 struct BenchOptions {
   u32 jobs = 1;
+  u32 repeat = 1;
   std::string json_path;
 
   /// Parses argv (exits with a message on unknown flags) and applies the
@@ -108,9 +133,11 @@ struct Series {
 /// *before* enqueuing (a growing std::vector<Series> would move them).
 class SweepRunner {
  public:
-  explicit SweepRunner(u32 jobs = 1) : jobs_(jobs) {}
+  explicit SweepRunner(u32 jobs = 1, u32 repeat = 1)
+      : jobs_(jobs), repeat_(repeat == 0 ? 1 : repeat) {}
 
   u32 jobs() const { return jobs_; }
+  u32 repeat() const { return repeat_; }
 
   /// Enqueues a measurement cell writing `*slot`.
   void cell(Measurement* slot, std::function<Measurement()> fn);
@@ -121,10 +148,19 @@ class SweepRunner {
 
   /// Evaluates every queued cell (dynamic scheduling over `jobs` threads),
   /// then clears the queue. Results are independent of the thread count.
+  /// With repeat > 1 the whole queue is evaluated `repeat` times (cells are
+  /// deterministic, so the outputs are identical) and the minimum pass time
+  /// is accumulated into sweep_seconds().
   void run();
+
+  /// Sum over run() calls of the minimum pass time — the de-noised sweep
+  /// cost this binary reports as its wall time when --repeat N is given.
+  double sweep_seconds() const { return sweep_seconds_; }
 
  private:
   u32 jobs_;
+  u32 repeat_;
+  double sweep_seconds_ = 0;
   std::vector<std::function<void()>> tasks_;
 };
 

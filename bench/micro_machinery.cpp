@@ -1,17 +1,57 @@
 // Google-benchmark microbenchmarks of the library machinery itself: the
 // Auto-Gen DP table fill (the paper's O(P^4)-with-pruning claim), the
 // lower-bound DP (O(P^3)), schedule compilation, and the throughput of both
-// simulators.
+// simulators — including the per-stepping-mode FabricSim cells and an
+// allocation-counting harness over the simulator hot loops.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "autogen/dp.hpp"
 #include "autogen/lower_bound.hpp"
 #include "collectives/collectives.hpp"
 #include "flowsim/flowsim.hpp"
+#include "harness.hpp"
 #include "runtime/verify.hpp"
 #include "wse/fabric.hpp"
 
 using namespace wsr;
+
+// --- allocation-counting harness ---------------------------------------------
+// Global operator new/delete overrides counting every heap allocation in the
+// process. The simulator benches snapshot the counter around run() so the
+// reported counters separate one-time construction cost from the per-step
+// hot loops (which are required to allocate nothing beyond amortized vector
+// growth — see DESIGN.md §3).
+namespace {
+std::atomic<unsigned long long> g_allocs{0};
+std::atomic<unsigned long long> g_alloc_bytes{0};
+
+unsigned long long alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+// GCC pairs new-expressions against the replaced global delete below and
+// flags the malloc/free crossing; the pairing is in fact consistent (both
+// sides are replaced here).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 static void BM_AutoGenTableFill(benchmark::State& state) {
   const u32 p = static_cast<u32>(state.range(0));
@@ -64,35 +104,69 @@ static void BM_FabricSimChain(benchmark::State& state) {
 }
 BENCHMARK(BM_FabricSimChain)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
-// Active-set worklist vs the reference scan-every-PE stepping (results are
-// bit-identical; tests/test_fabric_worklist_parity.cpp pins that). Arg pair:
-// (PEs, vec_len). Small B is latency-bound — most PEs idle most cycles —
-// which is where the worklist wins an order of magnitude.
-static void BM_FabricSimStepping(benchmark::State& state, bool reference,
-                                 ReduceAlgo algo) {
-  const u32 p = static_cast<u32>(state.range(0));
-  const u32 b = static_cast<u32>(state.range(1));
-  const wse::Schedule s = collectives::make_reduce_1d(algo, p, b);
+// The three stepping modes on the same schedules (results are bit-identical;
+// tests/test_fabric_worklist_parity.cpp pins that). Arg pair: (PEs, vec_len).
+// Small B is latency-bound — most PEs idle most cycles — which is where the
+// worklist wins an order of magnitude over the full scan. Runs additionally
+// report run-phase heap allocations per simulated cycle: the hot loops are
+// required to stay allocation-free in steady state (amortized vector growth
+// only), and this counter is how a regression shows up.
+static void BM_FabricSteppingCell(benchmark::State& state,
+                                  wse::SteppingMode mode,
+                                  const wse::Schedule& s) {
   const auto inputs = wse::make_inputs(s, runtime::canonical_input);
   wse::FabricOptions opt;
-  opt.reference_stepping = reference;
+  opt.stepping = mode;
+  i64 cycles = 1;
+  unsigned long long run_allocs = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(wse::run_fabric(s, inputs, opt).cycles);
+    wse::FabricSim sim(s, opt);
+    for (u32 pe = 0; pe < inputs.size(); ++pe) {
+      sim.set_memory(pe, inputs[pe]);
+    }
+    const unsigned long long before = alloc_count();
+    const auto r = sim.run();
+    run_allocs = alloc_count() - before;
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
   }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+  state.counters["run_allocs"] = static_cast<double>(run_allocs);
+  state.counters["allocs_per_kcycle"] =
+      1000.0 * static_cast<double>(run_allocs) / static_cast<double>(cycles);
+}
+
+static void BM_FabricSimStepping(benchmark::State& state,
+                                 wse::SteppingMode mode, ReduceAlgo algo) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u32 b = static_cast<u32>(state.range(1));
+  BM_FabricSteppingCell(state, mode,
+                        collectives::make_reduce_1d(algo, p, b));
 }
 static void BM_FabricWorklistChain(benchmark::State& state) {
-  BM_FabricSimStepping(state, /*reference=*/false, ReduceAlgo::Chain);
+  BM_FabricSimStepping(state, wse::SteppingMode::Worklist, ReduceAlgo::Chain);
+}
+static void BM_FabricSubscriptionChain(benchmark::State& state) {
+  BM_FabricSimStepping(state, wse::SteppingMode::Subscription,
+                       ReduceAlgo::Chain);
 }
 static void BM_FabricReferenceChain(benchmark::State& state) {
-  BM_FabricSimStepping(state, /*reference=*/true, ReduceAlgo::Chain);
+  BM_FabricSimStepping(state, wse::SteppingMode::FullScan, ReduceAlgo::Chain);
 }
 static void BM_FabricWorklistTree(benchmark::State& state) {
-  BM_FabricSimStepping(state, /*reference=*/false, ReduceAlgo::Tree);
+  BM_FabricSimStepping(state, wse::SteppingMode::Worklist, ReduceAlgo::Tree);
+}
+static void BM_FabricSubscriptionTree(benchmark::State& state) {
+  BM_FabricSimStepping(state, wse::SteppingMode::Subscription,
+                       ReduceAlgo::Tree);
 }
 static void BM_FabricReferenceTree(benchmark::State& state) {
-  BM_FabricSimStepping(state, /*reference=*/true, ReduceAlgo::Tree);
+  BM_FabricSimStepping(state, wse::SteppingMode::FullScan, ReduceAlgo::Tree);
 }
 BENCHMARK(BM_FabricWorklistChain)
+    ->Args({512, 1})->Args({512, 64})->Args({512, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSubscriptionChain)
     ->Args({512, 1})->Args({512, 64})->Args({512, 256})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricReferenceChain)
@@ -100,8 +174,91 @@ BENCHMARK(BM_FabricReferenceChain)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricWorklistTree)
     ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSubscriptionTree)
+    ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricReferenceTree)
     ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
+
+// Contention-bound cells: a 512-PE Star is a deep incast whose occupied
+// registers are mostly *stalled* (waiting for a downstream PE to finish its
+// own send phase), which the worklist mode re-resolves every cycle and the
+// subscription mode parks until the blocking resource changes.
+static void BM_FabricIncastStar(benchmark::State& state,
+                                wse::SteppingMode mode) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u32 b = static_cast<u32>(state.range(1));
+  BM_FabricSteppingCell(state, mode,
+                        collectives::make_reduce_1d(ReduceAlgo::Star, p, b));
+}
+static void BM_FabricWorklistStar(benchmark::State& state) {
+  BM_FabricIncastStar(state, wse::SteppingMode::Worklist);
+}
+static void BM_FabricSubscriptionStar(benchmark::State& state) {
+  BM_FabricIncastStar(state, wse::SteppingMode::Subscription);
+}
+BENCHMARK(BM_FabricWorklistStar)
+    ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSubscriptionStar)
+    ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
+
+// The ISSUE 3 acceptance cell: a 512-PE Star incast whose root is still
+// streaming a previous result out (bench::make_busy_root_star — the
+// back-to-back shape of pipelined collectives on a serving system, plan N's
+// broadcast egress overlapping plan N+1's inbound reduce). While the root's
+// egress runs, all 511 senders are backed up into ~1000 occupied-but-
+// immovable registers; the worklist mode re-resolves every one of them
+// every cycle, the subscription engine parks them all and touches only the
+// 3-register outbound stream. Subscription must be >= 5x worklist here
+// while the latency-bound chain cells above stay flat. Parity across all
+// three modes on exactly this shape is pinned by
+// tests/test_fabric_worklist_parity.cpp (BusyRootIncast).
+static void BM_FabricIncastBusyRoot(benchmark::State& state,
+                                    wse::SteppingMode mode) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u32 b = static_cast<u32>(state.range(1));
+  const u32 busy_sends = static_cast<u32>(state.range(2));
+  const wse::Schedule s = bench::make_busy_root_star(p, b, busy_sends);
+  const auto inputs = bench::busy_root_star_inputs(s, b, busy_sends);
+  wse::FabricOptions opt;
+  opt.stepping = mode;
+  i64 cycles = 1;
+  for (auto _ : state) {
+    const auto r = wse::run_fabric(s, inputs, opt);
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+static void BM_FabricWorklistBusyRootStar(benchmark::State& state) {
+  BM_FabricIncastBusyRoot(state, wse::SteppingMode::Worklist);
+}
+static void BM_FabricSubscriptionBusyRootStar(benchmark::State& state) {
+  BM_FabricIncastBusyRoot(state, wse::SteppingMode::Subscription);
+}
+BENCHMARK(BM_FabricWorklistBusyRootStar)
+    ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSubscriptionBusyRootStar)
+    ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
+
+// Dense 2D phase at 512 PEs: every row runs a Star incast concurrently, then
+// the column does — the per-cycle stalled-register population is ~the whole
+// grid during the row phase.
+static void BM_Fabric2DStar(benchmark::State& state, wse::SteppingMode mode) {
+  const u32 b = static_cast<u32>(state.range(0));
+  BM_FabricSteppingCell(
+      state, mode,
+      collectives::make_reduce_2d_xy(ReduceAlgo::Star, {32, 16}, b));
+}
+static void BM_FabricWorklist2DStar(benchmark::State& state) {
+  BM_Fabric2DStar(state, wse::SteppingMode::Worklist);
+}
+static void BM_FabricSubscription2DStar(benchmark::State& state) {
+  BM_Fabric2DStar(state, wse::SteppingMode::Subscription);
+}
+BENCHMARK(BM_FabricWorklist2DStar)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSubscription2DStar)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 static void BM_FlowSimChain(benchmark::State& state) {
   const u32 p = static_cast<u32>(state.range(0));
@@ -114,9 +271,13 @@ BENCHMARK(BM_FlowSimChain)->Arg(64)->Arg(256)->Arg(512);
 
 static void BM_FlowSimWaferScaleSnake(benchmark::State& state) {
   const wse::Schedule s = collectives::make_reduce_2d_snake({512, 512}, 64);
+  unsigned long long run_allocs = 0;
   for (auto _ : state) {
+    const unsigned long long before = alloc_count();
     benchmark::DoNotOptimize(flowsim::run_flow(s).cycles);
+    run_allocs = alloc_count() - before;
   }
+  state.counters["allocs"] = static_cast<double>(run_allocs);
   state.SetLabel("262,144 PEs");
 }
 BENCHMARK(BM_FlowSimWaferScaleSnake)->Unit(benchmark::kMillisecond);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace wsr {
@@ -23,7 +24,9 @@ struct LazyFifo {
   bool empty() const { return head == buf.size(); }
   std::size_t size() const { return buf.size() - head; }
   const T& front() const { return buf[head]; }
+  T& front() { return buf[head]; }
   void push(const T& v) { buf.push_back(v); }
+  void push(T&& v) { buf.push_back(std::move(v)); }
   void pop() {
     if (++head == buf.size()) {
       buf.clear();

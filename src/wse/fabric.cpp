@@ -7,7 +7,15 @@ namespace wsr::wse {
 
 namespace {
 constexpr u32 kMaxColorId = 32;
-}
+
+// sub_state_ values: where a register currently lives in the subscription
+// engine. Every occupied register is tracked by exactly one of: the pending
+// set (kPending), a waiter list (kParked), or this cycle's resolution
+// (untracked exactly while it is being moved).
+constexpr u8 kSubNone = 0;
+constexpr u8 kSubPending = 1;
+constexpr u8 kSubParked = 2;
+}  // namespace
 
 FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
     : grid_(schedule.grid), opt_(options), sched_(&schedule) {
@@ -16,9 +24,17 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
              "schedule arrays do not match grid");
   pes_.resize(n);
   std::size_t reg_base = 0;
+  std::size_t color_base = 0;
   for (u32 pe = 0; pe < n; ++pe) {
     PEState& p = pes_[pe];
     p.color_index.assign(kMaxColorId, -1);
+    // Pre-count the PE's distinct colors so the per-color vectors are
+    // allocated exactly once instead of growing per emplace; serving-path
+    // plan validation constructs these by the thousands (allocation
+    // counters: bench/micro_machinery.cpp).
+    const u32 pe_colors = schedule.pe_colors_used(pe);
+    p.colors.reserve(pe_colors);
+    p.down.reserve(pe_colors);
     auto intern = [&](Color c) {
       WSR_ASSERT(c < kMaxColorId, "color id too large");
       if (p.color_index[c] < 0) {
@@ -46,21 +62,47 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
     p.reg_set.assign(std::size_t{kNumDirs} * p.num_colors, 0);
     p.reg_base = reg_base;
     reg_base += std::size_t{kNumDirs} * p.num_colors;
+    p.color_base = color_base;
+    color_base += p.num_colors;
     p.ops.resize(schedule.programs[pe].ops.size());
     p.mem.assign(std::max<u32>(schedule.vec_len, 1), 0.0f);
     p.done = schedule.programs[pe].ops.empty();
     if (p.done) ++done_count_;
   }
   total_regs_ = reg_base;
-  move_state_.assign(total_regs_, MoveState::Unknown);
-  move_epoch_.assign(total_regs_, -1);
+  total_colors_ = color_base;
+  move_.assign(total_regs_, MoveSlot{});
   reg_claim_epoch_.assign(total_regs_, -1);
   link_claim_epoch_.assign(n * kNumDirs, -1);
   ramp_claim_epoch_.assign(n, -1);
+  neighbor_pe_.assign(n * kNumDirs, kNoNeighbor);
+  for (u32 pe = 0; pe < n; ++pe) {
+    const Coord here = grid_.coord(pe);
+    for (u8 d = 0; d < kNumDirs; ++d) {
+      const Dir dd = static_cast<Dir>(d);
+      if (dd != Dir::Ramp && grid_.has_neighbor(here, dd)) {
+        neighbor_pe_[std::size_t{pe} * kNumDirs + d] =
+            grid_.pe_id(grid_.neighbor(here, dd));
+      }
+    }
+  }
   in_proc_list_.assign(n, 0);
   in_up_list_.assign(n, 0);
   in_router_list_.assign(n, 0);
   in_queue_list_.assign(n, 0);
+  if (opt_.stepping == SteppingMode::Subscription) {
+    reg_waiter_head_.assign(total_regs_, -1);
+    color_waiter_head_.assign(total_colors_, -1);
+    waiter_next_.assign(total_regs_, -1);
+    sub_state_.assign(total_regs_, kSubNone);
+    up_parked_.assign(n, 0);
+    reg_pe_.resize(total_regs_);
+    for (u32 pe = 0; pe < n; ++pe) {
+      const PEState& p = pes_[pe];
+      const std::size_t num_regs = std::size_t{kNumDirs} * p.num_colors;
+      for (std::size_t r = 0; r < num_regs; ++r) reg_pe_[p.reg_base + r] = pe;
+    }
+  }
 }
 
 void FabricSim::set_memory(u32 pe, std::vector<float> data) {
@@ -68,13 +110,13 @@ void FabricSim::set_memory(u32 pe, std::vector<float> data) {
   pes_[pe].mem = std::move(data);
 }
 
-// --- worklist bookkeeping ----------------------------------------------------
-// None of these touch simulation state: they only decide which PEs the
-// worklist mode steps. Reference mode steps everything, so they are no-ops
-// there (guarded by the callers or the mode check below).
+// --- worklist / subscription bookkeeping -------------------------------------
+// None of these touch simulation state: they only decide which PEs (and, in
+// subscription mode, which router registers) get stepped. FullScan steps
+// everything, so they are no-ops there.
 
 void FabricSim::wake_processor(u32 pe) {
-  if (opt_.reference_stepping) return;
+  if (opt_.stepping == SteppingMode::FullScan) return;
   if (!in_proc_list_[pe]) {
     in_proc_list_[pe] = 1;
     proc_list_.push_back(pe);
@@ -82,7 +124,7 @@ void FabricSim::wake_processor(u32 pe) {
 }
 
 void FabricSim::note_up_pending(u32 pe) {
-  if (opt_.reference_stepping) return;
+  if (opt_.stepping == SteppingMode::FullScan) return;
   if (!in_up_list_[pe]) {
     in_up_list_[pe] = 1;
     up_list_.push_back(pe);
@@ -90,10 +132,64 @@ void FabricSim::note_up_pending(u32 pe) {
 }
 
 void FabricSim::note_queue_pending(u32 pe) {
-  if (opt_.reference_stepping) return;
+  if (opt_.stepping == SteppingMode::FullScan) return;
   if (!in_queue_list_[pe]) {
     in_queue_list_[pe] = 1;
     queue_list_.push_back(pe);
+  }
+}
+
+void FabricSim::sub_pend(std::size_t key) {
+  if (sub_state_[key] == kSubNone) {
+    sub_state_[key] = kSubPending;
+    pending_.push_back(static_cast<u32>(key));
+  }
+}
+
+void FabricSim::sub_wake_list(i32& head, std::vector<u32>& out) {
+  for (i32 k = head; k != -1;) {
+    const i32 next = waiter_next_[k];
+    if (sub_state_[k] == kSubParked) {
+      sub_state_[k] = kSubPending;
+      --parked_count_;
+      out.push_back(static_cast<u32>(k));
+    }
+    k = next;
+  }
+  head = -1;
+}
+
+void FabricSim::sub_wake_color(PEState& p, u32 ci) {
+  if (opt_.stepping != SteppingMode::Subscription) return;
+  sub_wake_list(color_waiter_head_[p.color_base + ci], pending_);
+}
+
+void FabricSim::sub_park(std::size_t key) {
+  switch (static_cast<StallCause>(move_[key].cause_kind)) {
+    case StallCause::Transient:
+      // Same-cycle arbitration loss: the claimed resource frees at the cycle
+      // boundary, so the register re-attempts next cycle. Losses only occur
+      // in cycles where the contended resource actually carried traffic, so
+      // the retry rides on real progress.
+      sub_state_[key] = kSubPending;
+      pending_.push_back(static_cast<u32>(key));
+      break;
+    case StallCause::Register: {
+      i32& head = reg_waiter_head_[move_[key].cause_payload];
+      waiter_next_[key] = head;
+      head = static_cast<i32>(key);
+      sub_state_[key] = kSubParked;
+      ++parked_count_;
+      break;
+    }
+    case StallCause::ColorEvent: {
+      i32& head = color_waiter_head_[move_[key].cause_payload];
+      waiter_next_[key] = head;
+      head = static_cast<i32>(key);
+      sub_state_[key] = kSubParked;
+      ++parked_count_;
+      break;
+    }
   }
 }
 
@@ -103,17 +199,40 @@ void FabricSim::set_register(PEState& p, std::size_t ridx, u32 pe,
   p.reg_set[ridx] = 1;
   ++p.occupied_regs;
   if (p.use_occ_mask) p.occ_mask |= u64{1} << ridx;
-  if (!opt_.reference_stepping && !in_router_list_[pe]) {
-    in_router_list_[pe] = 1;
-    router_list_.push_back(pe);
+  switch (opt_.stepping) {
+    case SteppingMode::FullScan:
+      break;
+    case SteppingMode::Worklist:
+      if (!in_router_list_[pe]) {
+        in_router_list_[pe] = 1;
+        router_list_.push_back(pe);
+      }
+      break;
+    case SteppingMode::Subscription:
+      // A fresh arrival must be attempted at the next router phase.
+      sub_pend(p.reg_base + ridx);
+      break;
   }
 }
 
-void FabricSim::clear_register(PEState& p, std::size_t ridx, u32 /*pe*/) {
+void FabricSim::clear_register(PEState& p, std::size_t ridx, u32 pe) {
   p.reg_set[ridx] = 0;
   WSR_ASSERT(p.occupied_regs > 0, "register occupancy underflow");
   --p.occupied_regs;
   if (p.use_occ_mask) p.occ_mask &= ~(u64{1} << ridx);
+  if (opt_.stepping == SteppingMode::Subscription) {
+    // Waiters of an attempted register are pulled into the same cycle's
+    // attempt closure, so this list is normally already empty; draining it
+    // here is a safety net that costs one branch.
+    sub_wake_list(reg_waiter_head_[p.reg_base + ridx], pending_);
+    // Ramp registers (the last direction block) may have the PE's up-ramp
+    // parked behind them.
+    if (ridx >= std::size_t{static_cast<u32>(Dir::Ramp)} * p.num_colors &&
+        up_parked_[pe]) {
+      up_parked_[pe] = 0;
+      note_up_pending(pe);
+    }
+  }
 }
 
 // --- per-PE step bodies ------------------------------------------------------
@@ -181,6 +300,7 @@ bool FabricSim::step_processor(u32 pe) {
         }
         const float v = q.front().w.value;
         q.pop();
+        sub_wake_color(p, static_cast<u32>(ci));  // ingress slot freed
         u32 idx = op.dst_offset;
         idx += op.mode == RecvMode::AddModulo ? st.progress % op.modulo
                                               : st.progress;
@@ -209,6 +329,7 @@ bool FabricSim::step_processor(u32 pe) {
         if (p.up.size() >= up_cap) break;
         const float v = q.front().w.value;
         q.pop();
+        sub_wake_color(p, static_cast<u32>(ci));  // ingress slot freed
         const u32 idx = op.src_offset + st.progress;
         WSR_ASSERT(idx < p.mem.size(), "fused op reads past PE memory");
         // +1 cycle of latency for the combine, per the model's
@@ -231,7 +352,7 @@ bool FabricSim::step_processor(u32 pe) {
     p.done = true;
     ++done_count_;
   }
-  if (!opt_.reference_stepping) {
+  if (opt_.stepping != SteppingMode::FullScan) {
     if (changed && !p.done) {
       wake_processor(pe);  // streaming continues next cycle
     } else if (!changed && min_future != INT64_MAX) {
@@ -258,6 +379,12 @@ bool FabricSim::step_up_ramp(u32 pe) {
       p.up.pop();
       wake_processor(pe);  // egress capacity freed
       changed = true;
+    } else if (opt_.stepping == SteppingMode::Subscription) {
+      // The previous wavelet of this color is still parked in the ramp
+      // register: wait for its clear_register to re-arm us instead of
+      // re-stepping every cycle.
+      up_parked_[pe] = 1;
+      return changed;
     }
   }
   if (!p.up.empty()) note_up_pending(pe);
@@ -267,27 +394,44 @@ bool FabricSim::step_up_ramp(u32 pe) {
 bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
   PEState& p = pes_[pe];
   const std::size_t key = reg_key(p, dir, ci);
-  if (move_epoch_[key] == cycle_) {
-    switch (move_state_[key]) {
+  MoveSlot& slot = move_[key];
+  if (slot.epoch == cycle_) {
+    switch (slot.state) {
       case MoveState::Yes: return true;
       case MoveState::No: return false;
       case MoveState::InProgress: return false;  // cycle: conservative stall
       case MoveState::Unknown: break;
     }
   }
-  move_epoch_[key] = cycle_;
-  move_state_[key] = MoveState::InProgress;
+  slot.epoch = cycle_;
+  slot.state = MoveState::InProgress;
+  // Stall-cause channel for the subscription engine: whenever this function
+  // decides No it also records *why* (the first failing condition, in
+  // direction order). That condition persisting implies the register stays
+  // No, so parking on it until it changes is sound; transient same-cycle
+  // claim losses retry next cycle instead.
+  const auto blocked_transient = [&] {
+    slot.cause_kind = static_cast<u8>(StallCause::Transient);
+  };
+  const auto blocked_on_register = [&](std::size_t victim) {
+    slot.cause_kind = static_cast<u8>(StallCause::Register);
+    slot.cause_payload = static_cast<u32>(victim);
+  };
+  const auto blocked_on_color = [&] {
+    slot.cause_kind = static_cast<u8>(StallCause::ColorEvent);
+    slot.cause_payload = static_cast<u32>(color_key(p, ci));
+  };
 
   WSR_ASSERT(p.reg_set[std::size_t{dir} * p.num_colors + ci],
              "resolve on empty register");
   ColorRules& cr = p.colors[ci];
   if (cr.active >= cr.rules.size() ||
       cr.rules[cr.active].accept != static_cast<Dir>(dir)) {
-    move_state_[key] = MoveState::No;
+    blocked_on_color();  // wait for this color's rule chain to advance
+    slot.state = MoveState::No;
     return false;
   }
   const RouteRule& rule = cr.rules[cr.active];
-  const Coord here = grid_.coord(pe);
 
   // Tentatively claim destinations and output links; roll back on failure.
   // A rule forwards into at most the 4 mesh directions, so fixed-size claim
@@ -303,26 +447,34 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
     if (dd == Dir::Ramp) {
       auto& q = p.down[ci];
       const u32 cap = opt_.ramp_latency + opt_.color_queue_capacity;
-      if (q.size() >= cap || ramp_claim_epoch_[pe] == cycle_) {
+      if (q.size() >= cap) {
+        blocked_on_color();  // wait for the processor to pop this queue
+        ok = false;
+        break;
+      }
+      if (ramp_claim_epoch_[pe] == cycle_) {
+        blocked_transient();  // another color won this cycle's ramp delivery
         ok = false;
         break;
       }
       ramp_claim_epoch_[pe] = cycle_;
       claimed_ramp = true;
     } else {
-      WSR_ASSERT(grid_.has_neighbor(here, dd), "forward off grid");
       // Physical link: one wavelet per direction per cycle across colors.
       const std::size_t lkey = std::size_t{pe} * kNumDirs + d;
       if (link_claim_epoch_[lkey] == cycle_) {
+        blocked_transient();  // another color won this cycle's link slot
         ok = false;
         break;
       }
-      const u32 npe = grid_.pe_id(grid_.neighbor(here, dd));
+      const u32 npe = neighbor_pe_[lkey];
+      WSR_ASSERT(npe != kNoNeighbor, "forward off grid");
       PEState& np = pes_[npe];
       const i8 nci = np.color_index[rule.color];
       if (nci < 0) {
         // Traffic heading into a PE with no rules for its color: schedule
         // bug; stall it so the deadlock detector reports context.
+        blocked_transient();
         ok = false;
         break;
       }
@@ -331,10 +483,12 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
       const bool occupied =
           np.reg_set[std::size_t{nreg} * np.num_colors + static_cast<u32>(nci)];
       if (occupied && !resolve_move(npe, nreg, static_cast<u32>(nci))) {
+        blocked_on_register(nkey);  // wait for the stalled register to clear
         ok = false;
         break;
       }
       if (reg_claim_epoch_[nkey] == cycle_) {
+        blocked_transient();
         ok = false;
         break;
       }
@@ -350,11 +504,56 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
     for (u32 k = 0; k < num_claimed_links; ++k)
       link_claim_epoch_[claimed_links[k]] = -1;
     if (claimed_ramp) ramp_claim_epoch_[pe] = -1;
-    move_state_[key] = MoveState::No;
+    slot.state = MoveState::No;
     return false;
   }
-  move_state_[key] = MoveState::Yes;
+  slot.state = MoveState::Yes;
   return true;
+}
+
+bool FabricSim::gather_move(PEState& p, u32 pe, std::size_t ridx) {
+  const std::size_t key = p.reg_base + ridx;
+  const MoveSlot& slot = move_[key];
+  if (slot.epoch != cycle_ || slot.state != MoveState::Yes) return false;
+  const u32 ci = static_cast<u32>(ridx) % p.num_colors;
+  ColorRules& cr = p.colors[ci];
+  const RouteRule& rule = cr.rules[cr.active];
+  moves_.push_back({{p.reg_value[ridx], rule.color}, pe, rule.forward});
+  clear_register(p, ridx, pe);
+  WSR_ASSERT(cr.remaining > 0, "rule accounting underflow");
+  if (--cr.remaining == 0) {
+    ++cr.active;
+    cr.remaining =
+        cr.active < cr.rules.size() ? cr.rules[cr.active].count : 0;
+    sub_wake_color(p, ci);  // registers stalled on the retired rule
+  }
+  return true;
+}
+
+void FabricSim::execute_moves() {
+  for (const Move& m : moves_) {
+    for (u8 d = 0; d < kNumDirs; ++d) {
+      const Dir dd = static_cast<Dir>(d);
+      if (!mask_has(m.forward, dd)) continue;
+      if (dd == Dir::Ramp) {
+        PEState& p = pes_[m.pe];
+        const i8 ci = p.color_index[m.w.color];
+        p.down[static_cast<u32>(ci)].push({m.w, cycle_ + opt_.ramp_latency});
+        wake_processor(m.pe);
+        note_queue_pending(m.pe);
+      } else {
+        const u32 npe = neighbor_pe_[std::size_t{m.pe} * kNumDirs + d];
+        PEState& np = pes_[npe];
+        const i8 nci = np.color_index[m.w.color];
+        const std::size_t idx = std::size_t{static_cast<u32>(opposite(dd))} *
+                                    np.num_colors +
+                                static_cast<u32>(nci);
+        WSR_ASSERT(!np.reg_set[idx], "register collision");
+        set_register(np, idx, npe, m.w.value);
+        ++hops_;
+      }
+    }
+  }
 }
 
 bool FabricSim::router_step(const std::vector<u32>& pes) {
@@ -368,7 +567,7 @@ bool FabricSim::router_step(const std::vector<u32>& pes) {
     if (p.use_occ_mask) {
       for (u64 m = p.occ_mask; m != 0; m &= m - 1) {
         const u32 ridx = static_cast<u32>(std::countr_zero(m));
-        if (move_epoch_[p.reg_base + ridx] != cycle_) {
+        if (move_[p.reg_base + ridx].epoch != cycle_) {
           resolve_move(pe, ridx / p.num_colors, ridx % p.num_colors);
         }
       }
@@ -376,7 +575,7 @@ bool FabricSim::router_step(const std::vector<u32>& pes) {
       for (u32 d = 0; d < kNumDirs; ++d) {
         for (u32 ci = 0; ci < p.num_colors; ++ci) {
           if (p.reg_set[std::size_t{d} * p.num_colors + ci] &&
-              move_epoch_[reg_key(p, d, ci)] != cycle_) {
+              move_[reg_key(p, d, ci)].epoch != cycle_) {
             resolve_move(pe, d, ci);
           }
         }
@@ -387,68 +586,87 @@ bool FabricSim::router_step(const std::vector<u32>& pes) {
   // Gather all moves, clear sources and account rules, then place copies.
   moves_.clear();
   bool changed = false;
-  const auto gather = [&](PEState& p, u32 pe, std::size_t ridx) {
-    const std::size_t key = p.reg_base + ridx;
-    if (move_epoch_[key] != cycle_ || move_state_[key] != MoveState::Yes)
-      return;
-    const u32 ci = static_cast<u32>(ridx) % p.num_colors;
-    ColorRules& cr = p.colors[ci];
-    const RouteRule& rule = cr.rules[cr.active];
-    moves_.push_back({{p.reg_value[ridx], rule.color}, pe, rule.forward});
-    clear_register(p, ridx, pe);
-    WSR_ASSERT(cr.remaining > 0, "rule accounting underflow");
-    if (--cr.remaining == 0) {
-      ++cr.active;
-      cr.remaining =
-          cr.active < cr.rules.size() ? cr.rules[cr.active].count : 0;
-    }
-    changed = true;
-  };
   for (u32 pe : pes) {
     PEState& p = pes_[pe];
     if (p.occupied_regs == 0) continue;
     if (p.use_occ_mask) {
       // Snapshot: gather clears bits as it consumes registers.
       for (u64 m = p.occ_mask; m != 0; m &= m - 1) {
-        gather(p, pe, static_cast<u32>(std::countr_zero(m)));
+        changed |= gather_move(p, pe, static_cast<u32>(std::countr_zero(m)));
       }
     } else {
       const std::size_t num_regs = std::size_t{kNumDirs} * p.num_colors;
       for (std::size_t ridx = 0; ridx < num_regs; ++ridx) {
-        if (p.reg_set[ridx]) gather(p, pe, ridx);
+        if (p.reg_set[ridx]) changed |= gather_move(p, pe, ridx);
       }
     }
   }
-  for (const Move& m : moves_) {
-    const Coord here = grid_.coord(m.pe);
-    for (u8 d = 0; d < kNumDirs; ++d) {
-      const Dir dd = static_cast<Dir>(d);
-      if (!mask_has(m.forward, dd)) continue;
-      if (dd == Dir::Ramp) {
-        PEState& p = pes_[m.pe];
-        const i8 ci = p.color_index[m.w.color];
-        p.down[static_cast<u32>(ci)].push({m.w, cycle_ + opt_.ramp_latency});
-        wake_processor(m.pe);
-        note_queue_pending(m.pe);
-      } else {
-        const u32 npe = grid_.pe_id(grid_.neighbor(here, dd));
-        PEState& np = pes_[npe];
-        const i8 nci = np.color_index[m.w.color];
-        const std::size_t idx = std::size_t{static_cast<u32>(opposite(dd))} *
-                                    np.num_colors +
-                                static_cast<u32>(nci);
-        WSR_ASSERT(!np.reg_set[idx], "register collision");
-        set_register(np, idx, npe, m.w.value);
-        ++hops_;
-      }
+  execute_moves();
+  return changed;
+}
+
+bool FabricSim::router_step_subscription() {
+  // Consume the pending set and close over the register-clear waiter edges:
+  // if a register being attempted moves this cycle, everything parked behind
+  // it may move in the same cycle (stalled chains slide as a unit in one
+  // cycle — the movement-resolution recursion depends on it), so the whole
+  // woken cascade joins the attempt set up front. Registers that stay
+  // blocked simply re-park.
+  attempt_.clear();
+  attempt_.swap(pending_);
+  if (parked_count_ != 0) {  // pure streaming has no waiters to pull
+    for (std::size_t i = 0; i < attempt_.size(); ++i) {
+      sub_wake_list(reg_waiter_head_[attempt_[i]], attempt_);
     }
   }
+  if (attempt_.empty()) return false;
+
+  // Claim arbitration is order-sensitive: ascending global register key is
+  // exactly the ascending-(pe, dir, color) scan order of the other modes.
+  // Steady streaming pends registers nearly in order, so the sort usually
+  // degenerates to the is_sorted check.
+  if (!std::is_sorted(attempt_.begin(), attempt_.end())) {
+    std::sort(attempt_.begin(), attempt_.end());
+  }
+  for (u32 key : attempt_) {
+    const u32 pe = reg_pe_[key];
+    PEState& p = pes_[pe];
+    const std::size_t ridx = key - p.reg_base;
+    WSR_ASSERT(p.reg_set[ridx], "woken register is empty");
+    if (move_[key].epoch != cycle_) {
+      resolve_move(pe, static_cast<u32>(ridx / p.num_colors),
+                   static_cast<u32>(ridx % p.num_colors));
+    }
+  }
+  // Park the still-blocked registers on their recorded stall cause; movers
+  // leave tracking here (gather clears their registers below). Parking must
+  // complete before any gather: gathering retires rule quota, and the
+  // rule-advance wake it fires has to see every register parked on that
+  // color this cycle.
+  for (u32 key : attempt_) {
+    if (move_[key].state == MoveState::Yes) {
+      sub_state_[key] = kSubNone;
+    } else {
+      sub_park(key);
+    }
+  }
+  // Gather ascending (same order as the scan modes), then place copies.
+  moves_.clear();
+  bool changed = false;
+  for (u32 key : attempt_) {
+    if (move_[key].state == MoveState::Yes) {
+      const u32 pe = reg_pe_[key];
+      PEState& p = pes_[pe];
+      changed |= gather_move(p, pe, key - p.reg_base);
+    }
+  }
+  execute_moves();
   return changed;
 }
 
 i64 FabricSim::scan_next_ready() {
   i64 next_ready = INT64_MAX;
-  if (opt_.reference_stepping) {
+  if (opt_.stepping == SteppingMode::FullScan) {
     for (const PEState& p : pes_) {
       for (const auto& q : p.down) {
         if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
@@ -457,8 +675,8 @@ i64 FabricSim::scan_next_ready() {
     }
     return next_ready;
   }
-  // Worklist mode: only PEs with in-flight ramp traffic can own a timed
-  // event; compact the conservative membership list as queues drain.
+  // Worklist / subscription: only PEs with in-flight ramp traffic can own a
+  // timed event; compact the conservative membership list as queues drain.
   std::size_t keep = 0;
   for (std::size_t i = 0; i < queue_list_.size(); ++i) {
     const u32 pe = queue_list_[i];
@@ -483,9 +701,9 @@ i64 FabricSim::scan_next_ready() {
 
 FabricResult FabricSim::run() {
   const u32 n = static_cast<u32>(pes_.size());
-  const bool reference = opt_.reference_stepping;
+  const SteppingMode mode = opt_.stepping;
   std::vector<u32> all_pes;
-  if (reference) {
+  if (mode == SteppingMode::FullScan) {
     all_pes.resize(n);
     for (u32 pe = 0; pe < n; ++pe) all_pes[pe] = pe;
   } else {
@@ -498,7 +716,7 @@ FabricResult FabricSim::run() {
   i64 idle_cycles = 0;
   for (cycle_ = 0; cycle_ < opt_.max_cycles; ++cycle_) {
     bool changed = false;
-    if (reference) {
+    if (mode == SteppingMode::FullScan) {
       for (u32 pe = 0; pe < n; ++pe) changed |= step_processor(pe);
       for (u32 pe = 0; pe < n; ++pe) changed |= step_up_ramp(pe);
       changed |= router_step(all_pes);
@@ -523,17 +741,21 @@ FabricResult FabricSim::run() {
       for (u32 pe : scratch_) in_up_list_[pe] = 0;
       for (u32 pe : scratch_) changed |= step_up_ramp(pe);
 
-      // Routers: snapshot must be sorted (claim arbitration is
-      // order-sensitive); re-add PEs whose registers stay occupied.
-      router_scratch_.clear();
-      router_scratch_.swap(router_list_);
-      for (u32 pe : router_scratch_) in_router_list_[pe] = 0;
-      std::sort(router_scratch_.begin(), router_scratch_.end());
-      changed |= router_step(router_scratch_);
-      for (u32 pe : router_scratch_) {
-        if (pes_[pe].occupied_regs != 0 && !in_router_list_[pe]) {
-          in_router_list_[pe] = 1;
-          router_list_.push_back(pe);
+      if (mode == SteppingMode::Subscription) {
+        changed |= router_step_subscription();
+      } else {
+        // Routers: snapshot must be sorted (claim arbitration is
+        // order-sensitive); re-add PEs whose registers stay occupied.
+        router_scratch_.clear();
+        router_scratch_.swap(router_list_);
+        for (u32 pe : router_scratch_) in_router_list_[pe] = 0;
+        std::sort(router_scratch_.begin(), router_scratch_.end());
+        changed |= router_step(router_scratch_);
+        for (u32 pe : router_scratch_) {
+          if (pes_[pe].occupied_regs != 0 && !in_router_list_[pe]) {
+            in_router_list_[pe] = 1;
+            router_list_.push_back(pe);
+          }
         }
       }
     }

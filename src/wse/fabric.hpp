@@ -27,12 +27,18 @@
 // the model's cost terms (wavelet hops = energy, per-PE ramp traffic =
 // contention) alongside the cycle count.
 //
-// Stepping modes (DESIGN.md §"Active-set FabricSim"): by default each cycle
-// only steps PEs on event-driven worklists (pending ops, occupied router
-// registers, in-flight ramp traffic); `reference_stepping` retains the
-// original scan-every-PE-every-cycle mode. Both modes execute the same
-// per-PE step bodies in the same order, so results are bit-identical —
-// pinned by tests/test_fabric_worklist_parity.cpp.
+// Stepping modes (DESIGN.md §"Active-set FabricSim" and §"Stall-subscription
+// router engine"): three selectable modes execute the same per-PE step
+// bodies in the same order, so results are bit-identical — pinned by
+// tests/test_fabric_worklist_parity.cpp.
+//   * FullScan    — scan every PE every cycle (the original reference mode).
+//   * Worklist    — event-driven PE worklists; every occupied router
+//                   register is still re-resolved every cycle.
+//   * Subscription (default) — failed movement resolutions additionally park
+//                   the register on the precise resource they blocked on
+//                   (stalled downstream register, full ingress queue,
+//                   inactive routing rule); a state change of that resource
+//                   wakes exactly its subscribers.
 #pragma once
 
 #include <optional>
@@ -45,13 +51,22 @@
 
 namespace wsr::wse {
 
+/// How FabricSim decides which PEs / router registers to step each cycle.
+/// All modes are bit-identical in every observable output; they differ only
+/// in how much work a cycle costs (see DESIGN.md §3).
+enum class SteppingMode : u8 {
+  FullScan,      ///< scan every PE every cycle (reference).
+  Worklist,      ///< active-set worklists; occupied registers re-resolved
+                 ///< every cycle (PR 2 behaviour).
+  Subscription,  ///< stall-cause subscriptions: blocked registers wait on
+                 ///< the resource they stalled on (default).
+};
+
 struct FabricOptions {
   u32 ramp_latency = 2;         ///< T_R.
   i64 max_cycles = 500'000'000; ///< hard abort threshold.
   u32 color_queue_capacity = 2; ///< per-color processor ingress queue depth.
-  /// Step every PE every cycle (the pre-worklist behaviour). Kept for parity
-  /// testing; cycle counts and memories are identical in both modes.
-  bool reference_stepping = false;
+  SteppingMode stepping = SteppingMode::Subscription;
 };
 
 struct FabricResult {
@@ -118,7 +133,8 @@ class FabricSim {
     std::vector<float> mem;
     i64 ramp_traffic = 0;
     bool done = false;
-    std::size_t reg_base = 0;   // offset into the global per-register arrays
+    std::size_t reg_base = 0;    // offset into the global per-register arrays
+    std::size_t color_base = 0;  // offset into the global per-color arrays
     u32 occupied_regs = 0;      // #set router registers (router worklist key)
     /// Bitmask over register indices (dir * num_colors + ci) when they fit
     /// in 64 bits (they do for every generated schedule: <= 12 colors per
@@ -128,10 +144,11 @@ class FabricSim {
     bool use_occ_mask = true;
   };
 
-  // -- per-PE cycle-step bodies (identical in both stepping modes) --
+  // -- per-PE cycle-step bodies (identical in all stepping modes) --
   bool step_processor(u32 pe);   // PE ops consume/emit; returns "changed".
   bool step_up_ramp(u32 pe);     // up FIFO head -> ramp register.
-  bool router_step(const std::vector<u32>& pes);  // resolution + execution.
+  bool router_step(const std::vector<u32>& pes);  // full-scan / worklist.
+  bool router_step_subscription();                // woken-register cascade.
 
   // movement resolution (memoized per cycle via epoch tags)
   enum class MoveState : u8 { Unknown, InProgress, Yes, No };
@@ -140,14 +157,48 @@ class FabricSim {
   std::size_t reg_key(const PEState& p, u32 dir, u32 ci) const {
     return p.reg_base + std::size_t{dir} * p.num_colors + ci;
   }
+  std::size_t color_key(const PEState& p, u32 ci) const {
+    return p.color_base + ci;
+  }
 
-  // -- worklist bookkeeping (no-ops for simulation state; see DESIGN.md) --
+  // -- worklist / subscription bookkeeping (no-ops for simulation state) --
   void set_register(PEState& p, std::size_t ridx, u32 pe, float value);
   void clear_register(PEState& p, std::size_t ridx, u32 pe);
   void wake_processor(u32 pe);
   void note_up_pending(u32 pe);
   void note_queue_pending(u32 pe);
   i64 scan_next_ready();
+
+  // -- stall-subscription engine (Subscription mode only; see DESIGN.md) --
+  /// Why a register's movement resolution said No this cycle.
+  enum class StallCause : u8 {
+    Transient,   ///< lost a same-cycle claim (link / ramp / destination);
+                 ///< the resource frees at the cycle boundary — retry next
+                 ///< cycle.
+    Register,    ///< blocked on an occupied-and-stalled downstream register
+                 ///< (payload: its global key) — wake when it clears or is
+                 ///< re-attempted.
+    ColorEvent,  ///< blocked on this color's rule state or full ingress
+                 ///< queue (payload: global color key) — wake on rule
+                 ///< advance or queue pop.
+  };
+  /// Schedules a register for attempt at the next router phase (dedup'd).
+  void sub_pend(std::size_t key);
+  /// Drains waiter list `head` into `out` (the pending set, or the current
+  /// attempt closure), skipping stale entries and keeping parked_count_.
+  void sub_wake_list(i32& head, std::vector<u32>& out);
+  /// Fires the (pe, ci) color event: rule advanced or ingress queue popped.
+  void sub_wake_color(PEState& p, u32 ci);
+  /// Parks `key` on the stall cause recorded by resolve_move this cycle.
+  void sub_park(std::size_t key);
+
+  /// Appends the register's pending move to `moves_`, clears the register
+  /// and retires rule quota. Shared by both router-step flavours; `ridx` is
+  /// the PE-local register index.
+  bool gather_move(PEState& p, u32 pe, std::size_t ridx);
+  /// Executes the gathered `moves_`: place copies into neighbour registers
+  /// and ingress queues.
+  void execute_moves();
 
   GridShape grid_;
   FabricOptions opt_;
@@ -157,13 +208,28 @@ class FabricSim {
   i64 hops_ = 0;
   u64 done_count_ = 0;
 
-  // Per-cycle movement state, epoch-tagged so nothing is cleared per cycle.
-  std::vector<MoveState> move_state_;  // [global register key]
-  std::vector<i64> move_epoch_;
+  /// Per-register movement-resolution state, epoch-tagged so nothing is
+  /// cleared per cycle. One 16-byte slot per register keeps the resolution
+  /// verdict, its memoization epoch and the recorded stall cause on a single
+  /// cache line — the resolution path is memory-bound, and splitting these
+  /// over parallel arrays measurably slows every stepping mode.
+  struct MoveSlot {
+    i64 epoch = -1;
+    MoveState state = MoveState::Unknown;
+    u8 cause_kind = 0;       // StallCause, valid when state == No
+    u16 pad = 0;
+    u32 cause_payload = 0;   // register key or color key, per cause_kind
+  };
+  std::vector<MoveSlot> move_;         // [global register key]
   std::vector<i64> reg_claim_epoch_;   // [global register key]
   std::vector<i64> link_claim_epoch_;  // [pe * 5 + dir]: output link used
   std::vector<i64> ramp_claim_epoch_;  // [pe]: ramp-down delivery used
+  /// Flat neighbour table: [pe * 5 + dir] -> neighbouring PE id, or
+  /// kNoNeighbor off-grid (replaces per-resolution coord division).
+  static constexpr u32 kNoNeighbor = UINT32_MAX;
+  std::vector<u32> neighbor_pe_;
   std::size_t total_regs_ = 0;
+  std::size_t total_colors_ = 0;
 
   // Active sets. Membership flags guard against duplicates; the router list
   // is sorted ascending before use because inter-PE claim arbitration is
@@ -173,6 +239,20 @@ class FabricSim {
   std::vector<u32> proc_list_, up_list_, router_list_, queue_list_;
   std::vector<u32> scratch_;          // reused per-cycle snapshot buffer
   std::vector<u32> router_scratch_;
+
+  // Stall-subscription state (all flat, allocated once; intrusive waiter
+  // lists thread through waiter_next_ so steady state allocates nothing).
+  std::vector<i32> reg_waiter_head_;    // [reg key] -> waiting reg key | -1
+  std::vector<i32> color_waiter_head_;  // [color key] -> waiting reg key | -1
+  std::vector<i32> waiter_next_;        // [reg key] -> next waiter | -1
+  std::vector<u8> sub_state_;           // [reg key]: None/Pending/Parked
+  std::vector<u8> up_parked_;           // [pe]: up-ramp waiting on its
+                                        //   occupied ramp register
+  std::size_t parked_count_ = 0;        // #registers in waiter lists; lets
+                                        //   streaming skip the closure scan
+  std::vector<u32> pending_;   // registers to attempt at next router phase
+  std::vector<u32> attempt_;   // this cycle's woken closure (sorted)
+  std::vector<u32> reg_pe_;    // [reg key] -> owning pe
 
   /// Timed wake-ups: (ready cycle, pe) min-heap for processors blocked on a
   /// queue head that is still in flight down the ramp.

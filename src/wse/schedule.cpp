@@ -70,6 +70,21 @@ u32 Schedule::colors_used() const {
   return static_cast<u32>(colors.size());
 }
 
+u32 Schedule::pe_colors_used(u32 pe) const {
+  // Color ids fit a u64 bitmask (the simulators assert < 32); the `& 63`
+  // keeps an out-of-range id from shifting out of bounds here — the
+  // simulators' own range checks still reject it with context.
+  u64 mask = 0;
+  for (const RouteRule& r : rules[pe]) mask |= u64{1} << (r.color & 63);
+  for (const Op& op : programs[pe].ops) {
+    if (op.kind != OpKind::Send) mask |= u64{1} << (op.in_color & 63);
+    if (op.kind != OpKind::Recv) mask |= u64{1} << (op.out_color & 63);
+  }
+  u32 count = 0;
+  for (; mask != 0; mask &= mask - 1) ++count;
+  return count;
+}
+
 namespace {
 const char* kind_name(OpKind k) {
   switch (k) {

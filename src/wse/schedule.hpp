@@ -110,6 +110,11 @@ struct Schedule {
   /// must stay well below the 24 available).
   u32 colors_used() const;
 
+  /// Number of distinct colors PE `pe` touches (its rules plus the colors
+  /// its ops consume/emit). Both simulators use this to reserve their
+  /// per-color state exactly once at construction.
+  u32 pe_colors_used(u32 pe) const;
+
   /// Human-readable dump (the moral equivalent of the generated CSL):
   /// per-PE programs and router rule chains.
   std::string dump(u32 max_pes = 32) const;

@@ -1,14 +1,15 @@
-// Active-set FabricSim parity: the event-driven worklist stepping mode must
-// be *bit-identical* to the retained reference (scan every PE every cycle)
-// mode — same cycle counts, same per-op completion cycles, same memories,
-// same energy/contention counters — across every schedule pattern the
-// library generates. Any divergence means a missed wake-up or a changed
-// arbitration order; this suite is the contract that lets every other test
-// and bench run in worklist mode.
+// FabricSim stepping-mode parity: the event-driven worklist mode and the
+// stall-subscription mode must both be *bit-identical* to the retained
+// full-scan reference (scan every PE every cycle) — same cycle counts, same
+// per-op completion cycles, same memories, same energy/contention counters —
+// across every schedule pattern the library generates. Any divergence means
+// a missed wake-up or a changed arbitration order; this suite is the
+// contract that lets every other test and bench run in subscription mode.
 #include <gtest/gtest.h>
 
 #include "collectives/collectives.hpp"
 #include "collectives/midroot.hpp"
+#include "harness.hpp"
 #include "runtime/verify.hpp"
 #include "sim_test_utils.hpp"
 #include "wse/fabric.hpp"
@@ -18,20 +19,35 @@ namespace {
 
 const MachineParams kMp{};
 
+const char* mode_name(wse::SteppingMode m) {
+  switch (m) {
+    case wse::SteppingMode::FullScan: return "full-scan";
+    case wse::SteppingMode::Worklist: return "worklist";
+    case wse::SteppingMode::Subscription: return "subscription";
+  }
+  return "?";
+}
+
 void expect_bit_identical(const wse::Schedule& s) {
   const auto inputs = wse::make_inputs(s, runtime::canonical_input);
-  wse::FabricOptions worklist;
   wse::FabricOptions reference;
-  reference.reference_stepping = true;
+  reference.stepping = wse::SteppingMode::FullScan;
+  const wse::FabricResult base = wse::run_fabric(s, inputs, reference);
 
-  const wse::FabricResult a = wse::run_fabric(s, inputs, worklist);
-  const wse::FabricResult b = wse::run_fabric(s, inputs, reference);
-
-  EXPECT_EQ(a.cycles, b.cycles) << s.name;
-  EXPECT_EQ(a.wavelet_hops, b.wavelet_hops) << s.name;
-  EXPECT_EQ(a.max_pe_ramp_wavelets, b.max_pe_ramp_wavelets) << s.name;
-  ASSERT_EQ(a.op_done_cycle, b.op_done_cycle) << s.name;
-  ASSERT_EQ(a.memory, b.memory) << s.name;
+  for (wse::SteppingMode mode :
+       {wse::SteppingMode::Worklist, wse::SteppingMode::Subscription}) {
+    wse::FabricOptions opt;
+    opt.stepping = mode;
+    const wse::FabricResult r = wse::run_fabric(s, inputs, opt);
+    EXPECT_EQ(r.cycles, base.cycles) << s.name << " / " << mode_name(mode);
+    EXPECT_EQ(r.wavelet_hops, base.wavelet_hops)
+        << s.name << " / " << mode_name(mode);
+    EXPECT_EQ(r.max_pe_ramp_wavelets, base.max_pe_ramp_wavelets)
+        << s.name << " / " << mode_name(mode);
+    ASSERT_EQ(r.op_done_cycle, base.op_done_cycle)
+        << s.name << " / " << mode_name(mode);
+    ASSERT_EQ(r.memory, base.memory) << s.name << " / " << mode_name(mode);
+  }
 }
 
 TEST(WorklistParity, Broadcast1D) {
@@ -98,20 +114,71 @@ TEST(WorklistParity, XYRing2D) {
   }
 }
 
+// The contention-bound shape the subscription engine exists for: a deep
+// incast where most occupied registers are parked on a routing rule that
+// has not activated yet. Parity here exercises rule-advance wakes, queue-pop
+// wakes and multi-hundred-register cascade closures in one schedule.
+TEST(WorklistParity, DeepIncastStar) {
+  for (u32 p : {128u, 256u}) {
+    for (u32 b : {4u, 32u}) {
+      expect_bit_identical(collectives::make_reduce_1d(ReduceAlgo::Star, p, b));
+    }
+  }
+}
+
+// The micro_machinery acceptance cell (bench::make_busy_root_star — the
+// same builder the bench runs): a Star incast whose root is still streaming
+// a previous result out, so the entire incast line sits parked behind a
+// full ingress queue until the root's egress op completes — the wake must
+// then unwind the whole parked cascade with cycle-exact timing.
+TEST(WorklistParity, BusyRootIncast) {
+  for (u32 p : {16u, 64u, 128u}) {
+    for (u32 busy_sends : {8u, 64u}) {
+      const u32 b = 4;
+      const wse::Schedule s = bench::make_busy_root_star(p, b, busy_sends);
+      const auto inputs = bench::busy_root_star_inputs(s, b, busy_sends);
+      wse::FabricOptions reference;
+      reference.stepping = wse::SteppingMode::FullScan;
+      const auto base = wse::run_fabric(s, inputs, reference);
+      for (wse::SteppingMode mode :
+           {wse::SteppingMode::Worklist, wse::SteppingMode::Subscription}) {
+        wse::FabricOptions opt;
+        opt.stepping = mode;
+        const auto r = wse::run_fabric(s, inputs, opt);
+        EXPECT_EQ(r.cycles, base.cycles)
+            << s.name << " P=" << p << " / " << mode_name(mode);
+        ASSERT_EQ(r.op_done_cycle, base.op_done_cycle)
+            << s.name << " P=" << p << " / " << mode_name(mode);
+        ASSERT_EQ(r.memory, base.memory)
+            << s.name << " P=" << p << " / " << mode_name(mode);
+      }
+    }
+  }
+}
+
 TEST(WorklistParity, NonDefaultRampLatency) {
   // The fast-forward and wake-up machinery depends on T_R; sweep it.
   for (u32 tr : {1u, 3u, 7u}) {
     const wse::Schedule s =
         collectives::make_reduce_1d(ReduceAlgo::TwoPhase, 32, 64);
     const auto inputs = wse::make_inputs(s, runtime::canonical_input);
-    wse::FabricOptions worklist, reference;
-    worklist.ramp_latency = reference.ramp_latency = tr;
-    reference.reference_stepping = true;
-    const auto a = wse::run_fabric(s, inputs, worklist);
-    const auto b = wse::run_fabric(s, inputs, reference);
-    EXPECT_EQ(a.cycles, b.cycles) << "T_R=" << tr;
-    ASSERT_EQ(a.op_done_cycle, b.op_done_cycle) << "T_R=" << tr;
-    ASSERT_EQ(a.memory, b.memory) << "T_R=" << tr;
+    wse::FabricOptions reference;
+    reference.ramp_latency = tr;
+    reference.stepping = wse::SteppingMode::FullScan;
+    const auto base = wse::run_fabric(s, inputs, reference);
+    for (wse::SteppingMode mode :
+         {wse::SteppingMode::Worklist, wse::SteppingMode::Subscription}) {
+      wse::FabricOptions opt;
+      opt.ramp_latency = tr;
+      opt.stepping = mode;
+      const auto r = wse::run_fabric(s, inputs, opt);
+      EXPECT_EQ(r.cycles, base.cycles)
+          << "T_R=" << tr << " / " << mode_name(mode);
+      ASSERT_EQ(r.op_done_cycle, base.op_done_cycle)
+          << "T_R=" << tr << " / " << mode_name(mode);
+      ASSERT_EQ(r.memory, base.memory)
+          << "T_R=" << tr << " / " << mode_name(mode);
+    }
   }
 }
 

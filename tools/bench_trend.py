@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare bench --json reports across PRs and fail on wall-time regressions.
+
+CI runs the heaviest figure sweep with ``--json`` each PR and archives the
+report as ``BENCH_PR<k>.json``. This script compares the current report(s)
+against the previous PR's artifact and exits non-zero when any figure
+binary's wall time regressed by more than ``--max-ratio`` (default 1.3x).
+
+Simulated cycle counts are also diffed: the simulators are deterministic,
+so measured values should only change when simulator semantics change; a
+drift is reported as a warning (it is a correctness question for review,
+not a perf gate).
+
+Usage:
+  bench_trend.py CURRENT.json [CURRENT2.json ...] --baseline PREV.json [...]
+                 [--max-ratio 1.3]
+
+Reports are matched by their top-level "bench" name. Current reports with
+no baseline counterpart pass with a note (first run / new figure).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_reports(paths):
+    reports = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        name = data.get("bench", path)
+        reports[name] = (path, data)
+    return reports
+
+
+def diff_measured(name, cur, base):
+    """Warn when a figure's measured (simulated) values drifted."""
+    warnings = []
+    base_figs = {f["title"]: f for f in base.get("figures", [])}
+    for fig in cur.get("figures", []):
+        bfig = base_figs.get(fig["title"])
+        if bfig is None:
+            continue
+        base_series = {s["label"]: s for s in bfig.get("series", [])}
+        for series in fig.get("series", []):
+            bs = base_series.get(series["label"])
+            if bs is None:
+                continue
+            if series.get("measured") != bs.get("measured"):
+                warnings.append(
+                    f"  [{name}] figure '{fig['title']}' series "
+                    f"'{series['label']}': measured cycles drifted from the "
+                    "baseline (simulator semantics changed?)"
+                )
+    return warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", nargs="+", help="current --json report(s)")
+    ap.add_argument("--baseline", nargs="*", default=[],
+                    help="previous PR's report(s); empty = first run, pass")
+    ap.add_argument("--max-ratio", type=float, default=1.3,
+                    help="fail when wall_seconds regresses beyond this "
+                         "factor (default: 1.3)")
+    args = ap.parse_args()
+
+    current = load_reports(args.current)
+    baseline = load_reports(args.baseline)
+
+    failures = []
+    warnings = []
+    for name, (path, cur) in sorted(current.items()):
+        if name not in baseline:
+            print(f"[bench-trend] {name}: no baseline ({path}); "
+                  "recording as the new reference")
+            continue
+        _, base = baseline[name]
+        # wall_seconds means different things under different configs: full
+        # wall clock vs minimum sweep time (--repeat), and --jobs changes
+        # the parallelism. Comparing across configs would gate on noise.
+        for knob in ("jobs", "repeat"):
+            if cur.get(knob) != base.get(knob):
+                print(f"[bench-trend] {name}: {knob} changed "
+                      f"({base.get(knob)} -> {cur.get(knob)}); skipping the "
+                      "wall-time comparison and resetting the baseline")
+                break
+        else:
+            knob = None
+        if knob is not None:
+            continue
+        cur_wall = float(cur.get("wall_seconds", 0.0))
+        base_wall = float(base.get("wall_seconds", 0.0))
+        if base_wall <= 0.0:
+            print(f"[bench-trend] {name}: baseline has no wall time; skipped")
+            continue
+        ratio = cur_wall / base_wall
+        verdict = "OK" if ratio <= args.max_ratio else "REGRESSED"
+        print(f"[bench-trend] {name}: {base_wall:.2f}s -> {cur_wall:.2f}s "
+              f"({ratio:.2f}x, limit {args.max_ratio:.2f}x) {verdict}")
+        if ratio > args.max_ratio:
+            failures.append(
+                f"  [{name}] wall time regressed {ratio:.2f}x "
+                f"({base_wall:.2f}s -> {cur_wall:.2f}s)"
+            )
+        warnings.extend(diff_measured(name, cur, base))
+
+    for w in warnings:
+        print(f"[bench-trend] WARNING:\n{w}")
+    if failures:
+        print("[bench-trend] FAIL: wall-time regression beyond the limit:")
+        for f in failures:
+            print(f)
+        return 1
+    print("[bench-trend] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@
 
 #include "flowsim/flowsim.hpp"
 #include "registry/algorithm_registry.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/verify.hpp"
 #include "wse/export.hpp"
@@ -77,7 +78,7 @@ int list_algorithms(bool json) {
 std::string resolve_algorithm(registry::Collective c, registry::Dims dims,
                               const std::string& s) {
   const auto& reg = registry::AlgorithmRegistry::instance();
-  for (const std::string candidate :
+  for (const std::string& candidate :
        {s, "X-Y " + s, s + "+Bcast", "X-Y " + s + "+Bcast"}) {
     if (reg.find(c, dims, candidate) != nullptr) return candidate;
   }
@@ -170,8 +171,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Plan through the serving-path cache (get_or_plan) so --json can report
+  // the same hit/miss/eviction counters a long-lived server would expose;
+  // a one-shot CLI run records exactly one miss.
   const runtime::Planner planner(std::max(grid.width, grid.height), mp);
-  const runtime::Plan plan = planner.plan(request);
+  runtime::PlanCache cache;
+  const std::shared_ptr<const runtime::Plan> plan_ptr =
+      cache.get_or_plan(planner, request);
+  const runtime::Plan& plan = *plan_ptr;
 
   if (json) {
     // Registry-introspected plan JSON: selection metadata + the schedule.
@@ -193,6 +200,11 @@ int main(int argc, char** argv) {
                   desc->model_generated ? "true" : "false");
     }
     const CostTerms& t = plan.prediction.terms;
+    std::printf("\"plan_cache\":{\"hits\":%llu,\"misses\":%llu,"
+                "\"evictions\":%llu},",
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(cache.evictions()));
     std::printf("\"predicted_cycles\":%lld,\"predicted_us\":%.3f,"
                 "\"terms\":{\"energy\":%lld,\"distance\":%lld,\"depth\":%lld,"
                 "\"contention\":%lld,\"links\":%lld},"
