@@ -1,0 +1,62 @@
+// A minimal JSON reader for the serving layer.
+//
+// wsrd's request protocol is newline-delimited JSON objects (docs/serving.md),
+// and the container ships no JSON library, so this is a small dependency-free
+// recursive-descent parser: objects, arrays, strings (with escapes), numbers,
+// booleans and null. It parses into an owned `Value` tree; it does not aim to
+// be fast or incremental — requests are a few hundred bytes.
+//
+// Emission stays where it always was: responses are assembled as strings by
+// runtime/plan_json.cpp (and wse/export.cpp for schedules); this header is
+// parse-only.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wsr::json {
+
+/// One parsed JSON value. Object members keep their source order (the
+/// serving protocol never relies on it, but error messages read better).
+struct Value {
+  enum class Type : u8 { Null, Bool, Number, String, Object, Array };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_object() const { return type == Type::Object; }
+  bool is_string() const { return type == Type::String; }
+  bool is_number() const { return type == Type::Number; }
+
+  /// Object member lookup; nullptr when absent or not an object. The first
+  /// member wins if a key repeats.
+  const Value* get(std::string_view key) const;
+
+  /// The member as a string; `fallback` when absent. Non-string members do
+  /// not coerce (callers validate types explicitly).
+  std::string get_string(std::string_view key,
+                         const std::string& fallback = "") const;
+
+  /// The member as a non-negative integer; nullopt when absent, not a
+  /// number, negative, fractional, or too large for u64.
+  std::optional<u64> get_uint(std::string_view key) const;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed; trailing garbage is an error). On failure returns
+/// nullopt and, when `error` is non-null, a one-line description with the
+/// byte offset. Nesting is capped (64 levels) so hostile input cannot
+/// overflow the stack.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace wsr::json

@@ -84,6 +84,15 @@ using LaneReduceBuilder = std::function<collectives::Deps(
 /// One registered algorithm. `name` is the stable identity within a
 /// (collective, dims) family and doubles as the label shown in figures,
 /// plans and the CLI (e.g. "Tree+Bcast", "X-Y TwoPhase", "Snake").
+///
+/// The name is a *serialization contract*: persisted plans and wire
+/// requests reference algorithms by (collective, dims, name) only — never
+/// by registration index or function identity — so renaming an algorithm
+/// invalidates its cached plans (by design, a clean miss) while reordering
+/// or adding registrations never can. Hooks must be pure functions of
+/// their arguments: descriptors are shared across threads without
+/// synchronization, and selection determinism (same inputs -> same chosen
+/// algorithm -> same schedule, on every process) rests on it.
 struct AlgorithmDescriptor {
   std::string name;
   Collective collective = Collective::Reduce;
@@ -146,16 +155,28 @@ struct AlgorithmDescriptor {
 /// queries are read-only and thread-safe afterwards. Within a family,
 /// descriptors are kept sorted by name, which fixes both enumeration order
 /// and the deterministic tie-break of model-driven selection.
+///
+/// Thread-safety contract: instance() is safe from any thread (C++ static
+/// initialization), and all query methods are const and lock-free over
+/// immutable state. register_algorithm is the one mutator — call it during
+/// startup (static registrars, main before serving), not concurrently
+/// with queries; descriptor addresses are stable forever after
+/// registration, so cached `const AlgorithmDescriptor*` never dangle.
 class AlgorithmRegistry {
  public:
   static AlgorithmRegistry& instance();
 
   /// Registers a descriptor. The (collective, dims, name) triple must be
-  /// unique; cost/build/applicable must be set.
+  /// unique; cost/build/applicable must be set (asserted). Registration
+  /// order is irrelevant to behaviour: families re-sort by name, so two
+  /// binaries registering the same algorithms in any order select and
+  /// enumerate identically.
   void register_algorithm(AlgorithmDescriptor desc);
 
-  /// Descriptors of one family, sorted by name. With
-  /// `selectable_only`, restricted to auto-selectable entries.
+  /// Descriptors of one family, sorted by name — the selection candidate
+  /// order (the planner's strict-min scan makes ties break to the first,
+  /// i.e. lexicographically smallest, name). With `selectable_only`,
+  /// restricted to auto-selectable entries.
   std::vector<const AlgorithmDescriptor*> query(Collective c, Dims d,
                                                 bool selectable_only = false) const;
 

@@ -1,0 +1,529 @@
+#include "runtime/persistent_plan_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "registry/algorithm_registry.hpp"
+
+namespace wsr::runtime {
+
+namespace {
+
+constexpr char kStoreFile[] = "plans.wsrpc";
+constexpr char kHeaderMagic[8] = {'W', 'S', 'R', 'P', 'L', 'A', 'N', 'C'};
+constexpr u32 kEndianTag = 0x01020304;
+constexpr u32 kRecordMagic = 0x43525057;  // "WPRC" little-endian
+constexpr u64 kMaxPayload = u64{1} << 30;
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 4;
+constexpr std::size_t kFrameSize = 4 + 8 + 8;
+
+u64 fnv1a(const char* data, std::size_t n) {
+  u64 h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- little-endian buffer writer/reader --------------------------------------
+// Integers are written byte-by-byte (host endianness never leaks into the
+// file); the header's endian tag exists so a hypothetical big-endian build
+// rejects rather than misreads stores written before this convention.
+
+struct Writer {
+  std::string out;
+
+  void u8v(u8 v) { out.push_back(static_cast<char>(v)); }
+  void u32v(u32 v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void u64v(u64 v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void i64v(i64 v) { u64v(static_cast<u64>(v)); }
+  void f64v(double v) {
+    u64 bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64v(bits);
+  }
+  void str(const std::string& s) {
+    u32v(static_cast<u32>(s.size()));
+    out.append(s);
+  }
+};
+
+struct Reader {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (!ok || size - pos < n) ok = false;
+    return ok;
+  }
+  u8 u8v() {
+    if (!need(1)) return 0;
+    return static_cast<u8>(data[pos++]);
+  }
+  u32 u32v() {
+    if (!need(4)) return 0;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= u32{static_cast<unsigned char>(data[pos + i])} << (8 * i);
+    pos += 4;
+    return v;
+  }
+  u64 u64v() {
+    if (!need(8)) return 0;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= u64{static_cast<unsigned char>(data[pos + i])} << (8 * i);
+    pos += 8;
+    return v;
+  }
+  i64 i64v() { return static_cast<i64>(u64v()); }
+  double f64v() {
+    const u64 bits = u64v();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const u32 n = u32v();
+    if (!need(n)) return "";
+    std::string s(data + pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+// --- (PlanKey, Plan) payload -------------------------------------------------
+
+void write_machine(Writer& w, const MachineParams& mp) {
+  w.u32v(mp.ramp_latency);
+  w.f64v(mp.clock_mhz);
+  w.u32v(mp.sram_bytes);
+  w.u32v(mp.num_colors);
+}
+
+MachineParams read_machine(Reader& r) {
+  MachineParams mp;
+  mp.ramp_latency = r.u32v();
+  mp.clock_mhz = r.f64v();
+  mp.sram_bytes = r.u32v();
+  mp.num_colors = r.u32v();
+  return mp;
+}
+
+void write_schedule(Writer& w, const wse::Schedule& s) {
+  w.u32v(s.grid.width);
+  w.u32v(s.grid.height);
+  w.u32v(s.vec_len);
+  w.str(s.name);
+  w.u32v(static_cast<u32>(s.result_pes.size()));
+  for (u32 pe : s.result_pes) w.u32v(pe);
+  w.u32v(static_cast<u32>(s.programs.size()));
+  for (const wse::PEProgram& prog : s.programs) {
+    w.u32v(static_cast<u32>(prog.ops.size()));
+    for (const wse::Op& op : prog.ops) {
+      w.u8v(static_cast<u8>(op.kind));
+      w.u8v(op.in_color);
+      w.u8v(op.out_color);
+      w.u32v(op.len);
+      w.u8v(static_cast<u8>(op.mode));
+      w.u32v(op.modulo);
+      w.u32v(op.src_offset);
+      w.u32v(op.dst_offset);
+      w.u32v(static_cast<u32>(op.deps.size()));
+      for (u32 d : op.deps) w.u32v(d);
+    }
+  }
+  w.u32v(static_cast<u32>(s.rules.size()));
+  for (const std::vector<wse::RouteRule>& pe_rules : s.rules) {
+    w.u32v(static_cast<u32>(pe_rules.size()));
+    for (const wse::RouteRule& rule : pe_rules) {
+      w.u8v(rule.color);
+      w.u8v(static_cast<u8>(rule.accept));
+      w.u8v(rule.forward);
+      w.u32v(rule.count);
+    }
+  }
+}
+
+bool read_schedule(Reader& r, wse::Schedule* out) {
+  const u32 width = r.u32v();
+  const u32 height = r.u32v();
+  const u32 vec_len = r.u32v();
+  std::string name = r.str();
+  if (!r.ok || width == 0 || height == 0) return false;
+  wse::Schedule s({width, height}, vec_len, std::move(name));
+  const u32 num_results = r.u32v();
+  if (!r.need(num_results * 4ull)) return false;
+  s.result_pes.resize(num_results);
+  for (u32 i = 0; i < num_results; ++i) s.result_pes[i] = r.u32v();
+  const u32 num_programs = r.u32v();
+  if (num_programs != s.grid.num_pes()) return false;
+  for (u32 pe = 0; pe < num_programs; ++pe) {
+    const u32 num_ops = r.u32v();
+    if (!r.need(num_ops)) return false;  // >= 1 byte per op
+    s.programs[pe].ops.resize(num_ops);
+    for (u32 i = 0; i < num_ops; ++i) {
+      wse::Op& op = s.programs[pe].ops[i];
+      op.kind = static_cast<wse::OpKind>(r.u8v());
+      op.in_color = r.u8v();
+      op.out_color = r.u8v();
+      op.len = r.u32v();
+      op.mode = static_cast<wse::RecvMode>(r.u8v());
+      op.modulo = r.u32v();
+      op.src_offset = r.u32v();
+      op.dst_offset = r.u32v();
+      const u32 num_deps = r.u32v();
+      if (!r.need(num_deps * 4ull)) return false;
+      op.deps.resize(num_deps);
+      for (u32 d = 0; d < num_deps; ++d) op.deps[d] = r.u32v();
+    }
+  }
+  const u32 num_rule_lists = r.u32v();
+  if (num_rule_lists != s.grid.num_pes()) return false;
+  for (u32 pe = 0; pe < num_rule_lists; ++pe) {
+    const u32 num_rules = r.u32v();
+    if (!r.need(num_rules)) return false;
+    s.rules[pe].resize(num_rules);
+    for (u32 i = 0; i < num_rules; ++i) {
+      wse::RouteRule& rule = s.rules[pe][i];
+      rule.color = r.u8v();
+      rule.accept = static_cast<Dir>(r.u8v());
+      rule.forward = r.u8v();
+      rule.count = r.u32v();
+    }
+  }
+  if (!r.ok) return false;
+  *out = std::move(s);
+  return true;
+}
+
+void write_payload(Writer& w, const PlanKey& key, const Plan& plan) {
+  w.u8v(static_cast<u8>(key.collective));
+  w.u32v(key.grid.width);
+  w.u32v(key.grid.height);
+  w.u32v(key.vec_len);
+  write_machine(w, key.machine);
+  w.str(key.algorithm);
+
+  w.str(plan.algorithm);
+  w.i64v(plan.prediction.terms.energy);
+  w.i64v(plan.prediction.terms.distance);
+  w.i64v(plan.prediction.terms.depth);
+  w.i64v(plan.prediction.terms.contention);
+  w.i64v(plan.prediction.terms.links);
+  w.i64v(plan.prediction.cycles);
+  write_schedule(w, plan.schedule);
+}
+
+bool read_payload(Reader& r, PlanKey* key, Plan* plan) {
+  key->collective = static_cast<registry::Collective>(r.u8v());
+  key->grid.width = r.u32v();
+  key->grid.height = r.u32v();
+  key->vec_len = r.u32v();
+  key->machine = read_machine(r);
+  key->algorithm = r.str();
+
+  plan->algorithm = r.str();
+  plan->prediction.terms.energy = r.i64v();
+  plan->prediction.terms.distance = r.i64v();
+  plan->prediction.terms.depth = r.i64v();
+  plan->prediction.terms.contention = r.i64v();
+  plan->prediction.terms.links = r.i64v();
+  plan->prediction.cycles = r.i64v();
+  if (!r.ok) return false;
+  if (!read_schedule(r, &plan->schedule)) return false;
+  return r.pos == r.size;  // payload must be fully consumed
+}
+
+/// Round-trip contract: a stored plan is only valid if the algorithm it
+/// names still resolves in the registry — a renamed/removed algorithm
+/// invalidates exactly its own records. For a forced request that name is
+/// the key's; for a model-driven record (empty key algorithm) it is the
+/// plan's chosen algorithm, which for every auto-selectable descriptor
+/// equals the registered name (only non-selectable extensions override
+/// display_label, and those can only be reached by forced keys, whose
+/// plan label is deliberately not checked).
+bool algorithm_resolves(const PlanKey& key, const Plan& plan) {
+  const std::string& name =
+      key.algorithm.empty() ? plan.algorithm : key.algorithm;
+  return registry::AlgorithmRegistry::instance().find(
+             key.collective, registry::dims_for(key.grid), name) != nullptr;
+}
+
+std::string header_bytes() {
+  Writer w;
+  w.out.append(kHeaderMagic, sizeof kHeaderMagic);
+  w.u32v(kEndianTag);
+  w.u32v(PersistentPlanCache::kSchemaVersion);
+  return w.out;
+}
+
+/// Writes all of `data` to `fd` (retrying short writes); false on error.
+bool write_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_plan_record(const PlanKey& key, const Plan& plan) {
+  Writer payload;
+  write_payload(payload, key, plan);
+  Writer rec;
+  rec.u32v(kRecordMagic);
+  rec.u64v(payload.out.size());
+  rec.u64v(fnv1a(payload.out.data(), payload.out.size()));
+  rec.out.append(payload.out);
+  return rec.out;
+}
+
+PersistentPlanCache::PersistentPlanCache(std::string dir)
+    : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0777);  // EEXIST is fine; open failures surface below
+  load();
+}
+
+std::string PersistentPlanCache::store_path() const {
+  return dir_ + "/" + kStoreFile;
+}
+
+void PersistentPlanCache::load() {
+  const auto start = std::chrono::steady_clock::now();
+  std::string bytes;
+  {
+    std::ifstream in(store_path(), std::ios::binary);
+    if (in) {
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+  }
+  stats_.file_bytes = bytes.size();
+
+  if (bytes.empty()) {
+    // No store yet: the first append creates it.
+    stats_.load_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    return;
+  }
+
+  Reader r{bytes.data(), bytes.size()};
+  const std::string expected_header = header_bytes();
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), expected_header.data(), kHeaderSize) != 0) {
+    // Foreign magic, other endianness, or another schema version: ignore
+    // everything (clean miss) and rewrite under the current schema on the
+    // next append.
+    stats_.load_errors += 1;
+    rewrite_on_next_append_ = true;
+    stats_.load_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    return;
+  }
+  r.pos = kHeaderSize;
+
+  while (r.pos < r.size) {
+    // Frame: a damaged frame (bad magic / truncated length) ends the scan
+    // — appends are whole-record atomic under flock, so damage past a valid
+    // prefix means a torn tail, not interior corruption.
+    if (r.size - r.pos < kFrameSize) {
+      stats_.load_errors += 1;
+      break;
+    }
+    const u32 magic = r.u32v();
+    const u64 payload_size = r.u64v();
+    const u64 checksum = r.u64v();
+    if (magic != kRecordMagic || payload_size > kMaxPayload ||
+        payload_size > r.size - r.pos) {
+      stats_.load_errors += 1;
+      break;
+    }
+    const char* payload = bytes.data() + r.pos;
+    r.pos += payload_size;
+
+    // Payload: an intact frame whose checksum or decode fails is skipped
+    // individually (bit rot in one record must not drop its successors).
+    if (fnv1a(payload, payload_size) != checksum) {
+      stats_.load_errors += 1;
+      continue;
+    }
+    PlanKey key;
+    auto plan = std::make_shared<Plan>();
+    Reader pr{payload, static_cast<std::size_t>(payload_size)};
+    if (!read_payload(pr, &key, plan.get()) ||
+        !algorithm_resolves(key, *plan)) {
+      stats_.load_errors += 1;
+      continue;
+    }
+    // First record wins on duplicate keys (racing writers), matching the
+    // in-memory cache's first-writer-wins insert.
+    if (index_.emplace(std::move(key),
+                       std::shared_ptr<const Plan>(std::move(plan)))
+            .second) {
+      stats_.loaded += 1;
+    }
+  }
+  stats_.load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+std::shared_ptr<const Plan> PersistentPlanCache::find(
+    const PlanKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+/// Opens the store file and takes its exclusive flock, retrying when a
+/// concurrent recovery rename swapped the path to a new inode between our
+/// open and lock (the classic lockfile dance: the lock must be on the
+/// inode the path currently names, or a writer could append to a file
+/// that is already unlinked and lose its record). Returns -1 on failure.
+int open_store_locked(const std::string& path, int open_flags) {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const int fd = ::open(path.c_str(), open_flags, 0666);
+    if (fd < 0) return -1;
+    if (::flock(fd, LOCK_EX) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    struct stat fd_st{}, path_st{};
+    if (::fstat(fd, &fd_st) == 0 && ::stat(path.c_str(), &path_st) == 0 &&
+        fd_st.st_ino == path_st.st_ino && fd_st.st_dev == path_st.st_dev) {
+      return fd;  // locked the inode the path names; flock released on close
+    }
+    ::close(fd);  // raced a rename: retry against the new file
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool PersistentPlanCache::append_record(const std::string& record) {
+  const int fd =
+      open_store_locked(store_path(), O_WRONLY | O_CREAT | O_APPEND);
+  if (fd < 0) return false;
+  // Create the header exactly once: the first writer to hold the lock on
+  // an empty file writes it; later writers see a non-zero size.
+  struct stat st{};
+  bool ok = ::fstat(fd, &st) == 0;
+  if (ok && st.st_size == 0) ok = write_all(fd, header_bytes());
+  if (ok) ok = write_all(fd, record);
+  ::close(fd);
+  return ok;
+}
+
+bool PersistentPlanCache::recover_store(const std::string& record) {
+  // Header recovery. Holding the store flock across the whole operation
+  // serializes recoveries against each other and against appenders on the
+  // same inode; the re-validation below handles the lost race: if another
+  // process already recovered (the locked file now carries a valid
+  // current-schema header), we must *append* — rewriting from our index
+  // would drop every record the winner and later appenders wrote.
+  const int fd = open_store_locked(store_path(), O_RDWR | O_CREAT);
+  if (fd < 0) return false;
+
+  const std::string expected_header = header_bytes();
+  char on_disk[kHeaderSize];
+  const bool header_valid =
+      ::pread(fd, on_disk, kHeaderSize, 0) ==
+          static_cast<ssize_t>(kHeaderSize) &&
+      std::memcmp(on_disk, expected_header.data(), kHeaderSize) == 0;
+  if (header_valid) {
+    bool ok = ::lseek(fd, 0, SEEK_END) >= 0 && write_all(fd, record);
+    ::close(fd);
+    return ok;
+  }
+
+  // Still damaged: serialize the whole index (which already contains the
+  // new entry) into a temp file and atomically rename it over the store.
+  // Readers only ever observe the old or the complete new file.
+  const std::string tmp = store_path() + ".tmp." + std::to_string(::getpid());
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (tmp_fd < 0) {
+    ::close(fd);
+    return false;
+  }
+  bool ok = write_all(tmp_fd, expected_header);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, plan] : index_) {
+      if (!ok) break;
+      ok = write_all(tmp_fd, serialize_plan_record(key, *plan));
+    }
+  }
+  ::close(tmp_fd);
+  if (ok) ok = std::rename(tmp.c_str(), store_path().c_str()) == 0;
+  if (!ok) ::unlink(tmp.c_str());
+  ::close(fd);  // releases the flock on the replaced inode
+  return ok;
+}
+
+void PersistentPlanCache::append(const PlanKey& key,
+                                 std::shared_ptr<const Plan> plan) {
+  std::shared_ptr<const Plan> winner;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = index_.emplace(key, std::move(plan));
+    if (!inserted) return;  // first writer wins; its record is already durable
+    winner = it->second;
+  }
+  // Serialize and write outside mu_ so concurrent find() calls never wait
+  // on file I/O; io_mu_ orders this process's writes.
+  const std::string record = serialize_plan_record(key, *winner);
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  bool ok;
+  if (rewrite_on_next_append_) {
+    ok = recover_store(record);
+    if (ok) rewrite_on_next_append_ = false;
+  } else {
+    ok = append_record(record);
+  }
+  if (ok) appended_ += 1;
+  // A failed write keeps the plan in this process's index (serving stays
+  // correct); the record is simply not durable.
+}
+
+std::size_t PersistentPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+PersistentPlanCache::Stats PersistentPlanCache::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  out.appended = appended_;
+  return out;
+}
+
+}  // namespace wsr::runtime

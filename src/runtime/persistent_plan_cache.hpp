@@ -1,0 +1,112 @@
+// PersistentPlanCache: a checksummed, versioned on-disk plan store — the
+// disk tier under the sharded in-memory PlanCache.
+//
+// Planning is the expensive step of the serving path (a cold plan evaluates
+// every candidate's cost model and compiles + validates the winning
+// Schedule; the first Auto-Gen plan fills a ~1 s DP table), while a plan is
+// a small immutable artifact that replays for free. This store makes plans
+// survive process restarts and lets independent processes (wsr_plan
+// one-shots, wsrd daemons) share one warm cache directory: load-on-start,
+// append-on-miss, and every record independently checksummed so no torn or
+// corrupted byte can ever surface as a wrong plan — corruption degrades to
+// a clean miss and a re-plan.
+//
+// On-disk format (docs/serving.md documents it for external tooling):
+//
+//   <dir>/plans.wsrpc
+//   header : magic "WSRPLANC" (8 bytes) | u32 endian tag 0x01020304
+//          | u32 schema version (kSchemaVersion)
+//   record : u32 record magic | u64 payload size | u64 FNV-1a checksum
+//          | payload
+//   payload: serialized (PlanKey, Plan) — length-prefixed strings,
+//            fixed-width little-endian integers, f64 as bit pattern.
+//
+// Recovery rules (tests/test_persistent_cache.cpp pins each one):
+//   * header magic/endian/version mismatch -> the whole file is ignored
+//     (clean miss for everything) and the next append atomically rewrites
+//     it under the current schema via temp file + rename;
+//   * a record whose frame is damaged (bad magic / truncated) ends the
+//     scan — the valid prefix is kept, the tail is dropped;
+//   * a record whose frame is intact but whose checksum or payload decode
+//     fails is skipped individually;
+//   * a record naming an algorithm the registry no longer knows is skipped
+//     (plans round-trip algorithm descriptors by stable name, so a renamed
+//     or removed algorithm invalidates exactly its own records).
+//
+// Concurrency: one process serializes appends behind a mutex; across
+// processes every append takes an exclusive flock on the store file, so
+// concurrent writers interleave whole records. Duplicate keys (two racing
+// processes planning the same shape) are benign: the first record wins on
+// load, exactly the in-memory cache's first-writer-wins rule.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/plan_cache.hpp"
+
+namespace wsr::runtime {
+
+/// Serializes one (key, plan) record — frame + checksummed payload — ready
+/// to be appended to a store file. Exposed for tests and tooling.
+std::string serialize_plan_record(const PlanKey& key, const Plan& plan);
+
+class PersistentPlanCache {
+ public:
+  /// Bump when the record payload layout changes; older stores then load
+  /// as empty and are rewritten on the next append.
+  static constexpr u32 kSchemaVersion = 1;
+
+  struct Stats {
+    u64 loaded = 0;       ///< records restored at construction
+    u64 load_errors = 0;  ///< records dropped (checksum/decode/unknown algo)
+    u64 appended = 0;     ///< records written by this process
+    double load_seconds = 0;
+    u64 file_bytes = 0;  ///< store size at load time
+  };
+
+  /// Opens (creating if needed) the store directory and loads every valid
+  /// record into the in-memory index. Never throws on a damaged store —
+  /// damage is counted in stats().load_errors and degrades to misses.
+  explicit PersistentPlanCache(std::string dir);
+
+  /// The cached plan for `key`, or nullptr. Thread-safe; does not touch
+  /// the disk (the index is loaded once at construction).
+  std::shared_ptr<const Plan> find(const PlanKey& key) const;
+
+  /// Adds the plan to the index and appends its record to the store file
+  /// (flock-serialized; creation and header-recovery rewrites go through a
+  /// temp file + atomic rename). First writer wins on a duplicate key.
+  void append(const PlanKey& key, std::shared_ptr<const Plan> plan);
+
+  std::size_t size() const;
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+  std::string store_path() const;
+
+ private:
+  void load();
+  bool append_record(const std::string& record);
+  bool recover_store(const std::string& record);
+
+  std::string dir_;
+
+  /// `mu_` guards the in-memory index (lookups stay lock-cheap); `io_mu_`
+  /// serializes this process's file writes and guards the write-side
+  /// bookkeeping below. Ordering: io_mu_ may take mu_ (for the recovery
+  /// snapshot), never the reverse.
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash> index_;
+  Stats stats_;  ///< load_* fields written only by load(); see stats()
+
+  mutable std::mutex io_mu_;
+  u64 appended_ = 0;
+  /// Set when load() found a header from another schema (or no valid
+  /// header): the next append rewrites the whole store atomically instead
+  /// of appending after unparseable bytes.
+  bool rewrite_on_next_append_ = false;
+};
+
+}  // namespace wsr::runtime

@@ -2,7 +2,18 @@
 
 #include <cstring>
 
+#include "runtime/persistent_plan_cache.hpp"
+
 namespace wsr::runtime {
+
+const char* name(PlanSource s) {
+  switch (s) {
+    case PlanSource::MemoryHit: return "memory";
+    case PlanSource::DiskHit: return "disk";
+    case PlanSource::Planned: return "planned";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -96,14 +107,33 @@ std::shared_ptr<const Plan> PlanCache::insert(
 }
 
 std::shared_ptr<const Plan> PlanCache::get_or_plan(const Planner& planner,
-                                                   const PlanRequest& req) {
+                                                   const PlanRequest& req,
+                                                   PlanSource* source) {
   const PlanKey key = key_for(planner, req);
   if (std::shared_ptr<const Plan> cached = find(key)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (source != nullptr) *source = PlanSource::MemoryHit;
     return cached;
   }
+  if (disk_ != nullptr) {
+    if (std::shared_ptr<const Plan> restored = disk_->find(key)) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (source != nullptr) *source = PlanSource::DiskHit;
+      return insert(key, std::move(restored));  // promote into the memory tier
+    }
+  }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  return insert(key, std::make_shared<const Plan>(planner.plan(req)));
+  std::shared_ptr<const Plan> planned =
+      std::make_shared<const Plan>(planner.plan(req));
+  std::shared_ptr<const Plan> winner = insert(key, planned);
+  // Only the race winner persists its plan; losers' redundant plans are
+  // dropped, so the store never holds two records for one key from one
+  // process (cross-process duplicates are resolved first-wins on load).
+  if (disk_ != nullptr && winner.get() == planned.get()) {
+    disk_->append(key, winner);
+  }
+  if (source != nullptr) *source = PlanSource::Planned;
+  return winner;
 }
 
 std::size_t PlanCache::size() const {
@@ -124,6 +154,7 @@ void PlanCache::clear() {
   evictions_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  disk_hits_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace wsr::runtime

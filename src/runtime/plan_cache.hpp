@@ -21,6 +21,14 @@
 // least-recently-used entry once the shard is full. Evicted plans stay
 // alive for holders of the shared_ptr — eviction only drops the cache's
 // reference.
+//
+// Tiering: an optional PersistentPlanCache (runtime/persistent_plan_cache.hpp)
+// sits under the memory tier. With a disk store attached, get_or_plan
+// resolves memory -> disk -> plan: a disk hit is promoted into the memory
+// tier, a planned miss is appended to the store, and the caller can observe
+// which tier answered via the PlanSource out-parameter (the daemon reports
+// it as per-request provenance). Disk-tier durability is best-effort — a
+// failed disk write never fails a request.
 #pragma once
 
 #include <atomic>
@@ -32,6 +40,17 @@
 #include "runtime/planner.hpp"
 
 namespace wsr::runtime {
+
+class PersistentPlanCache;
+
+/// Which tier answered a get_or_plan call (serving provenance).
+enum class PlanSource : u8 {
+  MemoryHit,  ///< resolved in the sharded in-memory tier
+  DiskHit,    ///< restored from the persistent store (now promoted to memory)
+  Planned,    ///< planned from scratch (a true miss of every tier)
+};
+
+const char* name(PlanSource s);
 
 /// Stable hash of the machine parameterization (used for shard/bucket
 /// placement; key equality compares the full struct, so hash collisions
@@ -55,6 +74,10 @@ struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const;
 };
 
+/// Thread-safety: every method is safe to call concurrently (per-shard
+/// mutexes; counters are relaxed atomics, so cross-counter reads are
+/// individually exact but not a consistent snapshot). attach_disk_store
+/// is the one exception — wire the tiers before serving starts.
 class PlanCache {
  public:
   /// `max_entries` == 0 means unbounded; otherwise the bound is rounded up
@@ -66,8 +89,15 @@ class PlanCache {
   /// The cache key of a request as planned by `planner`.
   static PlanKey key_for(const Planner& planner, const PlanRequest& req);
 
-  /// nullptr on miss. Does not update hit/miss counters (those describe the
-  /// get_or_plan serving path).
+  /// Layers a persistent store (not owned; must outlive this cache) under
+  /// the memory tier. Misses then fall through to the store and planned
+  /// results are appended to it. Attach before serving begins — the pointer
+  /// itself is not synchronized.
+  void attach_disk_store(PersistentPlanCache* store) { disk_ = store; }
+  PersistentPlanCache* disk_store() const { return disk_; }
+
+  /// nullptr on miss. Memory tier only; refreshes LRU recency but does not
+  /// update hit/miss counters (those describe the get_or_plan serving path).
   std::shared_ptr<const Plan> find(const PlanKey& key) const;
 
   /// Inserts if absent; returns the cached entry (first writer wins, so
@@ -75,15 +105,23 @@ class PlanCache {
   std::shared_ptr<const Plan> insert(const PlanKey& key,
                                      std::shared_ptr<const Plan> plan);
 
-  /// The serving path: returns the cached plan or plans-and-caches. Safe to
-  /// call from many threads; a racing miss may plan redundantly, but all
-  /// callers receive the single first-inserted plan.
+  /// The serving path: memory hit, else disk hit (promoted to memory), else
+  /// plan-and-cache (appending to the disk store when one is attached).
+  /// Safe to call from many threads; a racing miss may plan redundantly,
+  /// but all callers receive the single first-inserted plan. When `source`
+  /// is non-null it receives the answering tier; under races the reported
+  /// tier reflects this caller's path, not the winning inserter's.
   std::shared_ptr<const Plan> get_or_plan(const Planner& planner,
-                                          const PlanRequest& req);
+                                          const PlanRequest& req,
+                                          PlanSource* source = nullptr);
 
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
   u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  /// Misses of the memory tier answered by the disk store. Disk hits are
+  /// counted separately from hits()/misses(): hits() is memory-tier only
+  /// and misses() counts requests that were actually planned.
+  u64 disk_hits() const { return disk_hits_.load(std::memory_order_relaxed); }
   std::size_t max_entries() const { return max_entries_; }
   std::size_t size() const;
   void clear();
@@ -114,9 +152,11 @@ class PlanCache {
   std::size_t max_entries_;
   std::size_t shard_capacity_;  ///< 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
+  PersistentPlanCache* disk_ = nullptr;  ///< optional disk tier (not owned)
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> evictions_{0};
+  std::atomic<u64> disk_hits_{0};
 };
 
 }  // namespace wsr::runtime

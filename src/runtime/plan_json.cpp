@@ -1,0 +1,118 @@
+#include "runtime/plan_json.hpp"
+
+#include <cstdio>
+
+#include "registry/algorithm_registry.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/persistent_plan_cache.hpp"
+#include "wse/export.hpp"
+
+namespace wsr::runtime {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string plan_response_json(const PlanRequest& req, const Plan& plan,
+                               const MachineParams& mp,
+                               const std::string& extra_fields) {
+  const u64 bytes = u64{req.vec_len} * 4;
+  const registry::AlgorithmDescriptor* desc =
+      registry::AlgorithmRegistry::instance().find(
+          req.collective, registry::dims_for(req.grid),
+          req.algorithm.empty() ? plan.algorithm : req.algorithm);
+
+  std::string out = "{\"collective\":\"";
+  out += registry::name(req.collective);
+  out += "\",\"grid\":{\"width\":" + std::to_string(req.grid.width) +
+         ",\"height\":" + std::to_string(req.grid.height) + "}";
+  out += ",\"vec_len\":" + std::to_string(req.vec_len);
+  out += ",\"bytes_per_pe\":" + std::to_string(bytes);
+  out += ",\"algorithm\":\"" + plan.algorithm + "\",";
+  if (desc != nullptr) {
+    out += "\"color_budget\":" + std::to_string(desc->color_budget);
+    out += ",\"auto_selectable\":";
+    out += desc->auto_selectable ? "true" : "false";
+    out += ",\"model_generated\":";
+    out += desc->model_generated ? "true" : "false";
+    out += ",";
+  }
+  out += extra_fields;
+  const CostTerms& t = plan.prediction.terms;
+  out += "\"predicted_cycles\":" + std::to_string(plan.prediction.cycles);
+  out += ",\"predicted_us\":" + fmt("%.3f", mp.cycles_to_us(plan.prediction.cycles));
+  out += ",\"terms\":{\"energy\":" + std::to_string(t.energy) +
+         ",\"distance\":" + std::to_string(t.distance) +
+         ",\"depth\":" + std::to_string(t.depth) +
+         ",\"contention\":" + std::to_string(t.contention) +
+         ",\"links\":" + std::to_string(t.links) + "}";
+  out += ",\"schedule\":" + wse::to_json(plan.schedule) + "}";
+  return out;
+}
+
+std::string plan_cache_counters_json(const PlanCache& cache) {
+  std::string out = "\"plan_cache\":{\"hits\":" + std::to_string(cache.hits()) +
+                    ",\"misses\":" + std::to_string(cache.misses()) +
+                    ",\"evictions\":" + std::to_string(cache.evictions());
+  if (const PersistentPlanCache* disk = cache.disk_store()) {
+    out += ",\"disk_hits\":" + std::to_string(cache.disk_hits());
+    out += ",\"disk_entries\":" + std::to_string(disk->size());
+  }
+  out += "},";
+  return out;
+}
+
+std::optional<GridShape> parse_grid(const std::string& text) {
+  const auto parse_extent = [](const std::string& s) -> std::optional<u32> {
+    if (s.empty()) return std::nullopt;
+    u64 v = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') return std::nullopt;
+      v = v * 10 + static_cast<u64>(c - '0');
+      if (v > 0xffffffffull) return std::nullopt;
+    }
+    return static_cast<u32>(v);
+  };
+  GridShape grid;
+  const auto x = text.find('x');
+  if (x == std::string::npos) {
+    const auto w = parse_extent(text);
+    if (!w.has_value()) return std::nullopt;
+    grid = {*w, 1};
+  } else {
+    const auto w = parse_extent(text.substr(0, x));
+    const auto h = parse_extent(text.substr(x + 1));
+    if (!w.has_value() || !h.has_value()) return std::nullopt;
+    grid = {*w, *h};
+  }
+  if (grid.width == 0 || grid.height == 0) return std::nullopt;
+  return grid;
+}
+
+std::string resolve_algorithm_name(registry::Collective c, registry::Dims dims,
+                                   const std::string& name) {
+  const auto& reg = registry::AlgorithmRegistry::instance();
+  for (const std::string& candidate :
+       {name, "X-Y " + name, name + "+Bcast", "X-Y " + name + "+Bcast"}) {
+    if (reg.find(c, dims, candidate) != nullptr) return candidate;
+  }
+  return "";
+}
+
+bool any_applicable_algorithm(registry::Collective c, GridShape grid,
+                              u32 vec_len) {
+  const auto candidates = registry::AlgorithmRegistry::instance().query(
+      c, registry::dims_for(grid), /*selectable_only=*/true);
+  for (const registry::AlgorithmDescriptor* d : candidates) {
+    if (d->applicable(grid, vec_len)) return true;
+  }
+  return false;
+}
+
+}  // namespace wsr::runtime

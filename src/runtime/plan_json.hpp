@@ -1,0 +1,59 @@
+// The serving-layer response format, shared by `wsr_plan --json` and the
+// wsrd daemon so the two front ends emit byte-identical plan objects (the
+// CI smoke test diffs them; docs/serving.md documents the schema).
+//
+// Also home to the request-side helpers both front ends share: grid parsing
+// ("512" / "64x64") and registry algorithm-name resolution with the CLI's
+// short forms ("Chain" -> "Chain+Bcast" / "X-Y Chain" depending on family).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "runtime/planner.hpp"
+
+namespace wsr::runtime {
+
+/// Serializes the full plan response:
+///
+///   {"collective":..., "grid":{...}, "vec_len":..., "bytes_per_pe":...,
+///    "algorithm":..., [descriptor metadata,] <extra_fields>
+///    "predicted_cycles":..., "predicted_us":..., "terms":{...},
+///    "schedule":{...}}
+///
+/// Descriptor metadata (color_budget / auto_selectable / model_generated)
+/// is present when the chosen algorithm resolves in the registry.
+/// `extra_fields` is spliced verbatim at the marked position — each field
+/// must carry its own trailing comma (e.g. "\"cache_tier\":\"disk\",").
+/// Deterministic: the same (request, plan, machine) always yields the same
+/// bytes, which is what makes warm-restart responses diffable against the
+/// cold run.
+std::string plan_response_json(const PlanRequest& req, const Plan& plan,
+                               const MachineParams& mp,
+                               const std::string& extra_fields = "");
+
+/// One JSON field "plan_cache":{"hits":..,"misses":..,"evictions":..[,disk]}
+/// with a trailing comma, ready for `extra_fields`. Disk-tier counters
+/// (`disk_hits`, `disk_entries`) appear only when a store is attached.
+std::string plan_cache_counters_json(const PlanCache& cache);
+
+/// Parses "512" (a 1D row) or "64x64"; nullopt when malformed or either
+/// extent is zero.
+std::optional<GridShape> parse_grid(const std::string& text);
+
+/// Resolves a user-supplied algorithm name against the registry, accepting
+/// the short forms of the underlying 1D pattern names ("Chain" resolves to
+/// "Chain+Bcast" for an AllReduce and "X-Y Chain" on a 2D grid). Empty
+/// when nothing matches.
+std::string resolve_algorithm_name(registry::Collective c, registry::Dims dims,
+                                   const std::string& name);
+
+/// Whether model-driven selection has at least one applicable candidate
+/// for this request. Planner::plan *asserts* (aborts) when selection comes
+/// up empty — e.g. a 1xH column grid is dims-wise 2D but no 2D algorithm
+/// builds on width 1 — so serving front ends must gate on this before
+/// planning and answer a clean error instead.
+bool any_applicable_algorithm(registry::Collective c, GridShape grid,
+                              u32 vec_len);
+
+}  // namespace wsr::runtime

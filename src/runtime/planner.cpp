@@ -93,16 +93,21 @@ Plan Planner::plan(const PlanRequest& req) const {
 }
 
 std::vector<std::shared_ptr<const Plan>> Planner::plan_many(
-    std::span<const PlanRequest> requests, PlanCache* cache,
-    u32 num_threads) const {
+    std::span<const PlanRequest> requests, PlanCache* cache, u32 num_threads,
+    std::vector<PlanSource>* sources) const {
   std::vector<std::shared_ptr<const Plan>> out(requests.size());
+  if (sources != nullptr) {
+    sources->assign(requests.size(), PlanSource::Planned);
+  }
   if (requests.empty()) return out;
 
   // Slot-per-index writes keep the result deterministic at any thread count
   // (the shared pool contract, common/parallel.hpp).
   parallel_for_index(requests.size(), num_threads, [&](std::size_t i) {
     out[i] = cache != nullptr
-                 ? cache->get_or_plan(*this, requests[i])
+                 ? cache->get_or_plan(
+                       *this, requests[i],
+                       sources != nullptr ? &(*sources)[i] : nullptr)
                  : std::make_shared<const Plan>(plan(requests[i]));
   });
   return out;

@@ -32,6 +32,13 @@ namespace wsr::runtime {
 using Collective = registry::Collective;
 using registry::name;
 
+/// A finished plan: the compiled schedule, the model prediction it was
+/// selected on, and the chosen algorithm's display label. Plans are
+/// immutable once built — every consumer (caches, the daemon, callers of
+/// plan_many) shares them as shared_ptr<const Plan> without copying, and
+/// the persistent store serializes them bit-stably (the label rides
+/// along; the *identity* that round-trips the registry is the request's
+/// algorithm name, see persistent_plan_cache.hpp).
 struct Plan {
   wse::Schedule schedule;
   Prediction prediction;
@@ -39,6 +46,8 @@ struct Plan {
 };
 
 /// One planning request, the unit of plan() / plan_many() / PlanCache.
+/// Equality is field-wise and is what cache keying builds on (plus the
+/// planner's MachineParams, which live outside the request).
 struct PlanRequest {
   Collective collective = Collective::Reduce;
   GridShape grid;
@@ -51,11 +60,29 @@ struct PlanRequest {
 };
 
 class PlanCache;
+enum class PlanSource : u8;
 
+/// The planner: model-driven algorithm selection + schedule compilation
+/// for one machine parameterization.
+///
+/// Thread-safety: a const Planner is safe to share across threads —
+/// plan()/predict_* are logically const, and the two lazy singletons
+/// (Auto-Gen model, lower bound) are built once behind an internal mutex.
+/// plan_many relies on exactly this.
+///
+/// Determinism: planning is a pure function of (max_pes-independent
+/// request, MachineParams). Selection evaluates name-sorted candidates
+/// with a strict < scan, so ties always break to the lexicographically
+/// smallest registration name; schedule builders are deterministic. Two
+/// planners with equal MachineParams therefore produce byte-identical
+/// plans for the same request — the invariant that makes plans cacheable
+/// across processes (PlanCache keys carry MachineParams but not max_pes)
+/// and lets the wsrd daemon diff bit-exact against the wsr_plan CLI.
 class Planner {
  public:
   /// `max_pes` bounds the Auto-Gen DP table (use the largest row/column
-  /// length you will plan for). Tables build lazily on first Auto-Gen use.
+  /// length you will plan for; >= 2 asserted). Tables build lazily on
+  /// first Auto-Gen use — constructing planners is cheap.
   explicit Planner(u32 max_pes, MachineParams mp = {});
 
   const MachineParams& machine() const { return mp_; }
@@ -72,6 +99,13 @@ class Planner {
   /// Plans one request: explicit algorithm lookup when `req.algorithm` is
   /// set, model-driven selection over the registry's applicable candidates
   /// otherwise (fewest predicted cycles, ties broken by registration name).
+  ///
+  /// Contract: `req.algorithm`, when set, must be an exact registry name
+  /// for the request's (collective, dims) family *and* applicable to
+  /// (grid, vec_len) — both are asserted, so front ends validate first
+  /// (wsr_plan and wsrd resolve/validate via runtime/plan_json.hpp). The
+  /// returned Plan is self-contained and immutable-by-convention: safe to
+  /// share, cache, and serialize (runtime/persistent_plan_cache.hpp).
   Plan plan(const PlanRequest& req) const;
 
   /// Plans a batch of independent requests in parallel with std::thread
@@ -79,9 +113,16 @@ class Planner {
   /// PlanCache::get_or_plan, so repeated shapes are planned once and shared.
   /// `num_threads` = 0 uses the hardware concurrency (capped by the batch
   /// size). The planner is safe to share across the workers.
+  ///
+  /// `sources`, when non-null, is resized to the batch and slot i receives
+  /// the cache tier that answered request i (PlanSource::Planned for every
+  /// request when no cache is given) — the daemon's per-request provenance.
+  /// Results are deterministic at any thread count (each worker writes only
+  /// its own slots), except that racing identical requests may legitimately
+  /// observe different tiers.
   std::vector<std::shared_ptr<const Plan>> plan_many(
       std::span<const PlanRequest> requests, PlanCache* cache = nullptr,
-      u32 num_threads = 0) const;
+      u32 num_threads = 0, std::vector<PlanSource>* sources = nullptr) const;
 
   // --- predictions (cycles), compatibility wrappers ------------------------
   Prediction predict_reduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len) const;

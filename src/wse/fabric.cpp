@@ -2,8 +2,28 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <cstring>
 
 namespace wsr::wse {
+
+SteppingMode default_stepping_mode() {
+  // Read once: the toggle is for whole-process A/B runs, and a mid-run
+  // setenv must not make two FabricOptions{} disagree.
+  static const SteppingMode mode = [] {
+    const char* env = std::getenv("WSR_FABRIC_STEPPING");
+    if (env == nullptr || *env == '\0') return SteppingMode::Subscription;
+    if (std::strcmp(env, "fullscan") == 0) return SteppingMode::FullScan;
+    if (std::strcmp(env, "worklist") == 0) return SteppingMode::Worklist;
+    if (std::strcmp(env, "subscription") == 0) return SteppingMode::Subscription;
+    std::fprintf(stderr,
+                 "WSR_FABRIC_STEPPING='%s' is not fullscan|worklist|"
+                 "subscription; using subscription\n",
+                 env);
+    return SteppingMode::Subscription;
+  }();
+  return mode;
+}
 
 namespace {
 constexpr u32 kMaxColorId = 32;

@@ -62,11 +62,19 @@ enum class SteppingMode : u8 {
                  ///< the resource they stalled on (default).
 };
 
+/// The process-wide default stepping mode: Subscription, overridable once
+/// per process via the WSR_FABRIC_STEPPING environment variable
+/// ("fullscan" | "worklist" | "subscription", read on first use). Because
+/// the modes are bit-identical, the toggle changes wall time only — it
+/// exists so any bench/test/CLI run can A/B the engines without a rebuild
+/// (docs/cli.md). Call sites that pin a mode explicitly are unaffected.
+SteppingMode default_stepping_mode();
+
 struct FabricOptions {
   u32 ramp_latency = 2;         ///< T_R.
   i64 max_cycles = 500'000'000; ///< hard abort threshold.
   u32 color_queue_capacity = 2; ///< per-color processor ingress queue depth.
-  SteppingMode stepping = SteppingMode::Subscription;
+  SteppingMode stepping = default_stepping_mode();
 };
 
 struct FabricResult {

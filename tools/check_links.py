@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job (stdlib only).
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link and image (``[text](target)``) in the
+given files:
+
+* relative targets must exist on disk (resolved against the file's
+  directory; a ``#fragment`` suffix is stripped first);
+* ``#fragment`` self-links must match a heading anchor in the same file
+  (GitHub anchor rules: lowercase, punctuation dropped, spaces to dashes);
+* absolute ``http(s)://`` / ``mailto:`` targets are *not* fetched (CI must
+  not depend on the network) — they are only checked for obvious
+  malformations like embedded whitespace.
+
+Exits 1 listing every broken link, 0 when all files are clean.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images; deliberately simple (no reference-style links in
+# this repo). LINK_RE matches well-formed targets; SPACED_LINK_RE catches
+# targets with embedded whitespace and no quoted title — malformed on
+# GitHub — which are reported as errors rather than silently skipped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+(?:\s+\"[^\"]*\")?)\)")
+SPACED_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\"]*\s[^)\"]*)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_anchor(heading):
+    """GitHub's heading -> anchor id transform (close enough for ASCII)."""
+    anchor = heading.strip().lower()
+    # Strip code/emphasis markers but keep underscores: they are word
+    # characters to GitHub's slugger (`wsr_plan` -> wsr_plan).
+    anchor = re.sub(r"[`*]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def strip_code(text):
+    """Removes fenced and inline code spans so example links are ignored."""
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path):
+    errors = []
+    raw = path.read_text(encoding="utf-8")
+    anchors = {github_anchor(m.group(1))
+               for m in (HEADING_RE.match(line) for line in raw.splitlines())
+               if m}
+    stripped = strip_code(raw)
+    for match in SPACED_LINK_RE.finditer(stripped):
+        errors.append(f"{path}: whitespace in link target ({match.group(1)})")
+    for match in LINK_RE.finditer(stripped):
+        target = match.group(1).split(' "')[0].strip()
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: missing file {target}")
+        elif fragment and resolved.suffix == ".md":
+            linked = resolved.read_text(encoding="utf-8")
+            linked_anchors = {
+                github_anchor(m.group(1))
+                for m in (HEADING_RE.match(line)
+                          for line in linked.splitlines()) if m}
+            if fragment not in linked_anchors:
+                errors.append(f"{path}: broken anchor {target}")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for name in sys.argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(sys.argv) - 1} files, all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

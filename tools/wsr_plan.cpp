@@ -1,7 +1,7 @@
 // wsr_plan: command-line front end to the planner.
 //
 //   wsr_plan <collective> <grid> <bytes> [--algo=NAME] [--simulate]
-//            [--json] [--dump] [--tr=N]
+//            [--json] [--dump] [--tr=N] [--cache-dir=DIR]
 //   wsr_plan --list-algorithms [--json]
 //
 //   collective: reduce | allreduce | broadcast
@@ -12,21 +12,29 @@
 // forms are accepted where unambiguous ("Chain" resolves to "Chain+Bcast"
 // for an AllReduce and to "X-Y Chain" on a 2D grid).
 //
+// --cache-dir=DIR serves through the same persistent plan store the wsrd
+// daemon uses (docs/serving.md): a shape this directory has seen before —
+// from any process — is answered from disk instead of planned.
+//
 // Examples:
 //   wsr_plan reduce 512 1024                # model-selected 1D reduce
 //   wsr_plan allreduce 64x64 4096 --simulate
 //   wsr_plan reduce 512 64 --algo=TwoPhase --dump
 //   wsr_plan allreduce 64 4096 --algo=MidRoot
 //   wsr_plan reduce 16 256 --algo=AutoGen --json > plan.json
+//   wsr_plan reduce 128 4096 --cache-dir=/var/tmp/wsr-plans
 //   wsr_plan --list-algorithms --json
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "flowsim/flowsim.hpp"
 #include "registry/algorithm_registry.hpp"
+#include "runtime/persistent_plan_cache.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/plan_json.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/verify.hpp"
 #include "wse/export.hpp"
@@ -39,9 +47,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: wsr_plan <reduce|allreduce|broadcast> <P|WxH> <bytes>\n"
                "                [--algo=NAME] [--simulate] [--json] [--dump]\n"
-               "                [--tr=N]\n"
+               "                [--tr=N] [--cache-dir=DIR]\n"
                "       wsr_plan --list-algorithms [--json]\n"
-               "NAME is a registry algorithm name (see --list-algorithms).\n");
+               "NAME is a registry algorithm name (see --list-algorithms).\n"
+               "DIR is a persistent plan store shared with wsrd "
+               "(docs/serving.md).\n");
   return 2;
 }
 
@@ -73,18 +83,6 @@ int list_algorithms(bool json) {
   return 0;
 }
 
-/// Resolves a user-supplied algorithm name against the registry, accepting
-/// the short forms of the underlying 1D pattern names.
-std::string resolve_algorithm(registry::Collective c, registry::Dims dims,
-                              const std::string& s) {
-  const auto& reg = registry::AlgorithmRegistry::instance();
-  for (const std::string& candidate :
-       {s, "X-Y " + s, s + "+Bcast", "X-Y " + s + "+Bcast"}) {
-    if (reg.find(c, dims, candidate) != nullptr) return candidate;
-  }
-  return "";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,7 +100,7 @@ int main(int argc, char** argv) {
   }
   const u32 vec_len = static_cast<u32>(bytes / 4);
 
-  std::string algo;
+  std::string algo, cache_dir;
   bool simulate = false, json = false, dump = false;
   MachineParams mp;
   for (int i = 4; i < argc; ++i) {
@@ -118,19 +116,20 @@ int main(int argc, char** argv) {
       dump = true;
     } else if (a.rfind("--tr=", 0) == 0) {
       mp.ramp_latency = static_cast<u32>(std::strtoul(a.c_str() + 5, nullptr, 10));
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = a.substr(12);
+      if (cache_dir.empty()) return usage();
     } else {
       return usage();
     }
   }
 
-  GridShape grid;
-  const auto x = grid_arg.find('x');
-  if (x == std::string::npos) {
-    grid = {static_cast<u32>(std::strtoul(grid_arg.c_str(), nullptr, 10)), 1};
-  } else {
-    grid = {static_cast<u32>(std::strtoul(grid_arg.substr(0, x).c_str(), nullptr, 10)),
-            static_cast<u32>(std::strtoul(grid_arg.substr(x + 1).c_str(), nullptr, 10))};
+  const auto parsed_grid = runtime::parse_grid(grid_arg);
+  if (!parsed_grid.has_value()) {
+    std::fprintf(stderr, "grid must be P or WxH\n");
+    return 2;
   }
+  const GridShape grid = *parsed_grid;
   if (grid.num_pes() < 2) {
     std::fprintf(stderr, "need at least 2 PEs\n");
     return 2;
@@ -149,8 +148,8 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (!algo.empty()) {
-    request.algorithm = resolve_algorithm(request.collective,
-                                          registry::dims_for(grid), algo);
+    request.algorithm = runtime::resolve_algorithm_name(
+        request.collective, registry::dims_for(grid), algo);
     if (request.algorithm.empty()) {
       std::fprintf(stderr,
                    "unknown algorithm '%s' for this collective/grid; see "
@@ -169,60 +168,57 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(bytes));
       return 2;
     }
+  } else if (!runtime::any_applicable_algorithm(request.collective, grid,
+                                                vec_len)) {
+    // e.g. a 1xH column grid: dims-wise 2D, but no 2D algorithm builds on
+    // width 1. The planner asserts on empty selection; fail cleanly here.
+    std::fprintf(stderr,
+                 "no applicable algorithm for %s on %ux%u PEs with %llu "
+                 "bytes/PE\n",
+                 collective_arg.c_str(), grid.width, grid.height,
+                 static_cast<unsigned long long>(bytes));
+    return 2;
   }
 
   // Plan through the serving-path cache (get_or_plan) so --json can report
-  // the same hit/miss/eviction counters a long-lived server would expose;
-  // a one-shot CLI run records exactly one miss.
+  // the same hit/miss/eviction counters a long-lived server would expose; a
+  // one-shot CLI run records exactly one miss — unless --cache-dir attaches
+  // the persistent store, in which case a shape this directory has seen
+  // before (from any process) is a disk hit instead of a plan.
   const runtime::Planner planner(std::max(grid.width, grid.height), mp);
   runtime::PlanCache cache;
+  std::unique_ptr<runtime::PersistentPlanCache> disk;
+  if (!cache_dir.empty()) {
+    disk = std::make_unique<runtime::PersistentPlanCache>(cache_dir);
+    cache.attach_disk_store(disk.get());
+  }
+  runtime::PlanSource tier = runtime::PlanSource::Planned;
   const std::shared_ptr<const runtime::Plan> plan_ptr =
-      cache.get_or_plan(planner, request);
+      cache.get_or_plan(planner, request, &tier);
   const runtime::Plan& plan = *plan_ptr;
 
   if (json) {
-    // Registry-introspected plan JSON: selection metadata + the schedule.
-    const registry::AlgorithmDescriptor* desc =
-        registry::AlgorithmRegistry::instance().find(
-            request.collective, registry::dims_for(grid),
-            request.algorithm.empty() ? plan.algorithm : request.algorithm);
-    std::printf("{\"collective\":\"%s\","
-                "\"grid\":{\"width\":%u,\"height\":%u},"
-                "\"vec_len\":%u,\"bytes_per_pe\":%llu,"
-                "\"algorithm\":\"%s\",",
-                registry::name(request.collective), grid.width, grid.height,
-                vec_len, static_cast<unsigned long long>(bytes),
-                plan.algorithm.c_str());
-    if (desc != nullptr) {
-      std::printf("\"color_budget\":%u,\"auto_selectable\":%s,"
-                  "\"model_generated\":%s,",
-                  desc->color_budget, desc->auto_selectable ? "true" : "false",
-                  desc->model_generated ? "true" : "false");
+    // Registry-introspected plan JSON (runtime/plan_json.cpp, the exact
+    // object wsrd serves): selection metadata, serving counters, model
+    // terms, and the schedule.
+    std::string extras;
+    if (disk != nullptr) {
+      extras += std::string("\"cache_tier\":\"") + runtime::name(tier) + "\",";
     }
-    const CostTerms& t = plan.prediction.terms;
-    std::printf("\"plan_cache\":{\"hits\":%llu,\"misses\":%llu,"
-                "\"evictions\":%llu},",
-                static_cast<unsigned long long>(cache.hits()),
-                static_cast<unsigned long long>(cache.misses()),
-                static_cast<unsigned long long>(cache.evictions()));
-    std::printf("\"predicted_cycles\":%lld,\"predicted_us\":%.3f,"
-                "\"terms\":{\"energy\":%lld,\"distance\":%lld,\"depth\":%lld,"
-                "\"contention\":%lld,\"links\":%lld},"
-                "\"schedule\":%s}\n",
-                static_cast<long long>(plan.prediction.cycles),
-                mp.cycles_to_us(plan.prediction.cycles),
-                static_cast<long long>(t.energy),
-                static_cast<long long>(t.distance),
-                static_cast<long long>(t.depth),
-                static_cast<long long>(t.contention),
-                static_cast<long long>(t.links),
-                wse::to_json(plan.schedule).c_str());
+    extras += runtime::plan_cache_counters_json(cache);
+    std::printf("%s\n",
+                runtime::plan_response_json(request, plan, mp, extras).c_str());
     return 0;
   }
   std::fprintf(stderr, "collective : %s on %ux%u PEs, %llu bytes/PE\n",
                collective_arg.c_str(), grid.width, grid.height,
                static_cast<unsigned long long>(bytes));
   std::fprintf(stderr, "algorithm  : %s\n", plan.algorithm.c_str());
+  if (disk != nullptr) {
+    std::fprintf(stderr, "cache tier : %s (%s: %zu plans)\n",
+                 runtime::name(tier), disk->store_path().c_str(),
+                 disk->size());
+  }
   std::fprintf(stderr, "predicted  : %lld cycles (%.3f us at %.0f MHz)\n",
                static_cast<long long>(plan.prediction.cycles),
                mp.cycles_to_us(plan.prediction.cycles), mp.clock_mhz);

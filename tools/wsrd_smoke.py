@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Serving-layer smoke test: wsrd pipe mode vs wsr_plan --json.
+
+Usage: wsrd_smoke.py <path-to-wsrd> <path-to-wsr_plan>
+
+What it checks (the PR's acceptance criteria, also run as the `wsrd_smoke`
+ctest and by the CI docs job):
+
+1. Three requests piped through `wsrd --pipe` answer with plan objects that
+   are identical to `wsr_plan --json` for the same requests, once the
+   serving-only fields (id, cache_tier, plan_cache counters) are stripped.
+2. A cold run against an empty --cache-dir plans everything ("planned"),
+   and a *restarted* daemon on the same directory answers every request
+   from the disk tier ("disk") with bit-identical plan JSON.
+3. The stats verb reports the disk store's load and the expected hit
+   counters, and request errors answer {"error": ...} without killing the
+   daemon.
+
+Stdlib only (no pip installs); exits non-zero with a diagnostic on the
+first violation.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REQUESTS = [
+    {"collective": "reduce", "grid": "64", "bytes": 1024, "id": 1},
+    {"collective": "allreduce", "grid": "8x8", "bytes": 512, "id": 2},
+    {"collective": "reduce", "grid": "32", "bytes": 256,
+     "algorithm": "TwoPhase", "id": 3},
+]
+
+# Fields the daemon adds on top of the wsr_plan --json object, and the
+# counter object whose values legitimately differ between front ends.
+SERVING_ONLY = ("id", "cache_tier", "plan_cache")
+
+
+def fail(message, *context):
+    print(f"FAIL: {message}", file=sys.stderr)
+    for item in context:
+        print(f"  {item}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_daemon(wsrd, lines, cache_dir=None):
+    """Pipes `lines` (JSON objects) through wsrd --pipe; returns parsed
+    response objects in order."""
+    argv = [wsrd, "--pipe"]
+    if cache_dir:
+        argv.append(f"--cache-dir={cache_dir}")
+    payload = "".join(json.dumps(line) + "\n" for line in lines)
+    proc = subprocess.run(argv, input=payload, capture_output=True,
+                          text=True, timeout=300)
+    if proc.returncode != 0:
+        fail(f"wsrd exited with {proc.returncode}", proc.stderr)
+    responses = [json.loads(line) for line in proc.stdout.splitlines() if line]
+    if len(responses) != len(lines):
+        fail(f"expected {len(lines)} responses, got {len(responses)}",
+             proc.stdout)
+    return responses
+
+
+def run_cli(wsr_plan, request):
+    argv = [wsr_plan, request["collective"], request["grid"],
+            str(request["bytes"]), "--json"]
+    if "algorithm" in request:
+        argv.append(f"--algo={request['algorithm']}")
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail(f"wsr_plan exited with {proc.returncode}", proc.stderr)
+    return json.loads(proc.stdout)
+
+
+def stripped(response):
+    return {k: v for k, v in response.items() if k not in SERVING_ONLY}
+
+
+def canonical(response):
+    return json.dumps(stripped(response), sort_keys=True)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    wsrd, wsr_plan = sys.argv[1], sys.argv[2]
+    cache_dir = tempfile.mkdtemp(prefix="wsrd_smoke_")
+    try:
+        # --- 1. wsrd pipe mode vs wsr_plan --json --------------------------
+        daemon = run_daemon(wsrd, REQUESTS)
+        for req, resp in zip(REQUESTS, daemon):
+            if resp.get("id") != req["id"]:
+                fail("response id mismatch", req, resp)
+            if resp.get("cache_tier") != "planned":
+                fail("fresh daemon must plan every request", resp.get("cache_tier"))
+            cli = run_cli(wsr_plan, req)
+            if canonical(resp) != canonical(cli):
+                fail("wsrd response differs from wsr_plan --json",
+                     f"request: {req}",
+                     f"wsrd:     {canonical(resp)[:400]}",
+                     f"wsr_plan: {canonical(cli)[:400]}")
+        print(f"ok: {len(REQUESTS)} wsrd pipe responses match wsr_plan --json")
+
+        # --- 2. warm restart serves disk-hits bit-identically --------------
+        stats_verb = {"verb": "stats"}
+        cold = run_daemon(wsrd, REQUESTS + [stats_verb], cache_dir)
+        for resp in cold[:-1]:
+            if resp.get("cache_tier") != "planned":
+                fail("cold cache-dir run must plan", resp.get("cache_tier"))
+        cold_stats = cold[-1]["stats"]
+        if cold_stats["planned"] != len(REQUESTS) or cold_stats["disk"]["appended"] != len(REQUESTS):
+            fail("cold stats should report every request planned+appended",
+                 cold_stats)
+
+        warm = run_daemon(wsrd, REQUESTS + [stats_verb], cache_dir)
+        for req, (cold_resp, warm_resp) in zip(REQUESTS, zip(cold, warm)):
+            if warm_resp.get("cache_tier") != "disk":
+                fail("restarted daemon must answer from the disk tier",
+                     req, warm_resp.get("cache_tier"))
+            if canonical(warm_resp) != canonical(cold_resp):
+                fail("disk-served plan JSON is not bit-identical to the cold run",
+                     f"request: {req}")
+        warm_stats = warm[-1]["stats"]
+        if warm_stats["planned"] != 0 or warm_stats["disk_hits"] != len(REQUESTS):
+            fail("warm stats should report zero plans and all disk hits",
+                 warm_stats)
+        if warm_stats["disk"]["loaded"] != len(REQUESTS):
+            fail("restart should load every appended record", warm_stats)
+        print(f"ok: warm restart served {len(REQUESTS)} disk-hits bit-identically")
+
+        # --- 3. wsr_plan --cache-dir shares the daemon's store -------------
+        proc = subprocess.run(
+            [wsr_plan, "reduce", "64", "1024", "--json",
+             f"--cache-dir={cache_dir}"],
+            capture_output=True, text=True, timeout=300)
+        cli = json.loads(proc.stdout)
+        if cli.get("cache_tier") != "disk":
+            fail("wsr_plan --cache-dir must see the daemon's plans",
+                 cli.get("cache_tier"))
+        if canonical(cli) != canonical(warm[0]):
+            fail("wsr_plan --cache-dir plan differs from the daemon's")
+        print("ok: wsr_plan --cache-dir shares the daemon's disk store")
+
+        # --- 4. errors are answered, not fatal -----------------------------
+        mixed = [{"collective": "nope", "grid": "4", "bytes": 4, "id": "bad"},
+                 REQUESTS[0]]
+        responses = run_daemon(wsrd, mixed)
+        if "error" not in responses[0] or responses[0].get("id") != "bad":
+            fail("invalid request must answer an error with the echoed id",
+                 responses[0])
+        if "error" in responses[1]:
+            fail("a bad request must not poison the next one", responses[1])
+        print("ok: request errors answer in-band and the stream continues")
+        return 0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
