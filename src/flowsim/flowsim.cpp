@@ -1,22 +1,21 @@
 #include "flowsim/flowsim.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "common/grid.hpp"
 #include "common/lazy_fifo.hpp"
+#include "wse/layout.hpp"
 
 namespace wsr::flowsim {
 
 using wse::Color;
+using wse::FabricLayout;
 using wse::Op;
 using wse::OpKind;
 using wse::RouteRule;
 using wse::Schedule;
 
 namespace {
-
-constexpr u32 kMaxColorId = 32;
 
 struct Segment {
   i64 head = 0;  ///< cycle the first wavelet is available at its location.
@@ -38,25 +37,34 @@ using SegmentFifo = LazyFifo<Segment>;
 // waits for the next pass (the scan would only reach it on the next
 // iteration). Channel-claim order — ops claim the PE's in/out channel in
 // processing order — is therefore identical, and so are all timings.
+//
+// Storage (DESIGN.md §3 "Structure-of-arrays fabric layout"): all per-lane
+// state — rule chains, rule availability, parked and ingress segment FIFOs,
+// consumer lists — lives in flat arrays indexed by the FabricLayout's color
+// keys, and per-op state by its op keys. The layout also owns the compact-
+// color interning and the neighbour table, so this engine keeps no index
+// algebra of its own. Register tables are skipped: FlowSim has no register
+// state, and a wafer-scale run constructs layouts for 262,144 PEs.
 class Engine {
  public:
-  Engine(const Schedule& s, FlowOptions opt) : s_(s), opt_(opt) {
-    const u64 n = s.grid.num_pes();
-    pes_.resize(n);
-    color_index_.assign(n * kMaxColorId, -1);
-    op_base_.resize(n + 1);
-    std::size_t total_ops = 0, total_deps = 0;
+  Engine(const Schedule& s, FlowOptions opt)
+      : s_(s),
+        opt_(opt),
+        layout_(s, FabricLayout::Options{.strict = true,
+                                         .register_tables = false}) {
+    const u32 n = layout_.num_pes();
+    const std::size_t total_ops = layout_.total_ops();
+    const std::size_t total_colors = layout_.total_colors();
+
+    // Reverse-dependency adjacency in two flat arrays (counting sort).
+    std::size_t total_deps = 0;
     for (u32 pe = 0; pe < n; ++pe) {
-      op_base_[pe] = total_ops;
-      total_ops += s.programs[pe].ops.size();
       for (const Op& op : s.programs[pe].ops) total_deps += op.deps.size();
     }
-    op_base_[n] = total_ops;
-    // Reverse-dependency adjacency in two flat arrays (counting sort).
     rdep_off_.assign(total_ops + 1, 0);
     for (u32 pe = 0; pe < n; ++pe) {
       for (const Op& op : s.programs[pe].ops) {
-        for (u32 d : op.deps) ++rdep_off_[op_base_[pe] + d + 1];
+        for (u32 d : op.deps) ++rdep_off_[layout_.op_key(pe, d) + 1];
       }
     }
     for (std::size_t i = 1; i <= total_ops; ++i) rdep_off_[i] += rdep_off_[i - 1];
@@ -67,58 +75,66 @@ class Engine {
         const auto& ops = s.programs[pe].ops;
         for (u32 oi = 0; oi < ops.size(); ++oi) {
           for (u32 d : ops[oi].deps) {
-            rdep_lst_[fill[op_base_[pe] + d]++] = oi;
+            rdep_lst_[fill[layout_.op_key(pe, d)]++] = oi;
           }
         }
       }
     }
 
-    for (u32 pe = 0; pe < n; ++pe) {
-      PE& p = pes_[pe];
-      i8* color_index = &color_index_[std::size_t{pe} * kMaxColorId];
-      // Pre-count the PE's distinct colors so the per-color vectors are
-      // allocated exactly once: incremental emplace_back growth here was
-      // ~40% of the ~13 heap allocations per PE, and a wafer run
-      // constructs 262,144 PEs (see the allocation counters in
-      // bench/micro_machinery.cpp).
-      const u32 pe_colors = s.pe_colors_used(pe);
-      p.ports.reserve(pe_colors);
-      p.ingress.reserve(pe_colors);
-      auto intern = [&](Color c) {
-        WSR_ASSERT(c < kMaxColorId, "color id too large");
-        if (color_index[c] < 0) {
-          color_index[c] = static_cast<i8>(p.ports.size());
-          p.ports.emplace_back();
-          p.ingress.emplace_back();
-        }
-        return static_cast<u32>(color_index[c]);
-      };
-      for (const RouteRule& r : s.rules[pe]) {
-        const u32 ci = intern(r.color);
-        p.ports[ci].rules.push_back(r);
-      }
-      const auto& ops = s.programs[pe].ops;
-      for (u32 oi = 0; oi < ops.size(); ++oi) {
-        const Op& op = ops[oi];
-        if (op.kind != OpKind::Send) {
-          const u32 ci = intern(op.in_color);
-          p.ports[ci].consumer_ops.push_back(oi);
-        }
-        if (op.kind != OpKind::Recv) intern(op.out_color);
-      }
-      for (Port& port : p.ports) {
-        port.remaining = port.rules.empty() ? 0 : port.rules[0].count;
-      }
-      p.ops.assign(ops.size(), OpState{});
+    // Per-lane state, flat over color keys. The consumer lists (program-
+    // ordered ops consuming each color) are a second counting sort; the
+    // open-consumer arena reuses the same offsets — an op enters the open
+    // set at most once (when it is first scheduled), so the consumer count
+    // is a capacity bound.
+    rule_active_.assign(total_colors, 0);
+    rule_remaining_.resize(total_colors);
+    for (std::size_t ck = 0; ck < total_colors; ++ck) {
+      const auto rules = layout_.rules(ck);
+      rule_remaining_[ck] = rules.empty() ? 0 : rules[0].count;
     }
+    rule_avail_.assign(total_colors, 0);
+    parked_.resize(total_colors * wsr::kNumDirs);
+    ingress_.resize(total_colors);
+
+    consumer_off_.assign(total_colors + 1, 0);
+    for (u32 pe = 0; pe < n; ++pe) {
+      for (const Op& op : s.programs[pe].ops) {
+        if (op.kind == OpKind::Send) continue;
+        const i8 ci = layout_.compact_color(pe, op.in_color);
+        ++consumer_off_[layout_.color_key(pe, static_cast<u32>(ci)) + 1];
+      }
+    }
+    for (std::size_t c = 1; c <= total_colors; ++c) {
+      consumer_off_[c] += consumer_off_[c - 1];
+    }
+    consumer_lst_.resize(consumer_off_[total_colors]);
+    open_lst_.resize(consumer_off_[total_colors]);
+    {
+      std::vector<u32> fill(consumer_off_.begin(), consumer_off_.end() - 1);
+      for (u32 pe = 0; pe < n; ++pe) {
+        const auto& ops = s.programs[pe].ops;
+        for (u32 oi = 0; oi < ops.size(); ++oi) {
+          if (ops[oi].kind == OpKind::Send) continue;
+          const i8 ci = layout_.compact_color(pe, ops[oi].in_color);
+          consumer_lst_[fill[layout_.color_key(pe, static_cast<u32>(ci))]++] =
+              oi;
+        }
+      }
+    }
+    consumer_cursor_.assign(total_colors, 0);
+    open_len_.assign(total_colors, 0);
+
+    ops_.assign(total_ops, OpState{});
+    chan_in_free_.assign(n, 0);
+    chan_out_free_.assign(n, 0);
   }
 
   FlowResult run() {
-    const u64 n = s_.grid.num_pes();
+    const u32 n = layout_.num_pes();
     // Initial pass: every op is a candidate (empty-dep ops schedule here).
     for (u32 pe = 0; pe < n; ++pe) {
-      PE& p = pes_[pe];
-      for (u32 oi = 0; oi < p.ops.size(); ++oi) queue_op(p, oi);
+      const std::size_t num_ops = layout_.num_ops(pe);
+      for (u32 oi = 0; oi < num_ops; ++oi) queue_op(pe, oi);
       sweep(pe);
     }
     drain_worklists();
@@ -126,9 +142,10 @@ class Engine {
     FlowResult res;
     res.op_done_cycle.resize(n);
     for (u32 pe = 0; pe < n; ++pe) {
-      res.op_done_cycle[pe].resize(pes_[pe].ops.size());
-      for (u32 oi = 0; oi < pes_[pe].ops.size(); ++oi) {
-        const OpState& st = pes_[pe].ops[oi];
+      const std::size_t num_ops = layout_.num_ops(pe);
+      res.op_done_cycle[pe].resize(num_ops);
+      for (u32 oi = 0; oi < num_ops; ++oi) {
+        const OpState& st = ops_[layout_.op_key(pe, oi)];
         if (!st.done) {
           std::fprintf(stderr,
                        "FlowSim: schedule '%s' op %u at PE %u never completed "
@@ -145,25 +162,6 @@ class Engine {
   }
 
  private:
-  struct Port {  // one (router, color) rule chain
-    std::vector<RouteRule> rules;
-    u32 active = 0;
-    u32 remaining = 0;
-    i64 avail = 0;  ///< cycle from which the active rule can pass a head
-    SegmentFifo parked[kNumDirs];
-    /// Program-ordered ops consuming this color; `consumer_cursor` points at
-    /// the first not-yet-done one (the delivery-seeded candidate).
-    std::vector<u32> consumer_ops;
-    u32 consumer_cursor = 0;
-    /// Consumers currently scheduled but not done (done entries are dropped
-    /// lazily). A delivery must wake every one of them, not just the cursor
-    /// op: an earlier consumer can be dep-blocked while a later independent
-    /// one is mid-stream. Kept separate from consumer_ops so ring-style
-    /// programs (hundreds of consumers on one color, at most one open) stay
-    /// O(1) per delivery.
-    std::vector<u32> open_consumers;
-  };
-
   struct OpState {
     bool scheduled = false;  ///< start time fixed (deps + channel known)
     bool done = false;
@@ -172,14 +170,6 @@ class Engine {
     i64 cursor = 0;  ///< last consumption / emission cycle so far
     u32 consumed = 0;
     i64 done_time = -1;
-  };
-
-  struct PE {
-    std::vector<Port> ports;
-    std::vector<SegmentFifo> ingress;  // per compact color
-    std::vector<OpState> ops;
-    i64 chan_in_free = 0;
-    i64 chan_out_free = 0;
   };
 
   // Worklist entries.
@@ -192,13 +182,8 @@ class Engine {
     u32 ci;  ///< compact color that received ingress segments
   };
 
-  i8 compact_color(u32 pe, Color color) const {
-    return color_index_[std::size_t{pe} * kMaxColorId + color];
-  }
-
   void deliver_to_router(u32 pe, Color color, Dir dir, Segment seg) {
-    PE& p = pes_[pe];
-    const i8 ci = compact_color(pe, color);
+    const i8 ci = layout_.compact_color(pe, color);
     if (ci < 0) {
       std::fprintf(stderr,
                    "FlowSim: wavelets of color %u reached PE %u which has no "
@@ -206,53 +191,54 @@ class Engine {
                    static_cast<u32>(color), pe, s_.name.c_str());
       WSR_ASSERT(false, "stray traffic");
     }
-    p.ports[static_cast<u32>(ci)].parked[static_cast<u32>(dir)].push(seg);
+    const std::size_t ck = layout_.color_key(pe, static_cast<u32>(ci));
+    parked_[ck * wsr::kNumDirs + static_cast<u32>(dir)].push(seg);
     router_work_.push_back({pe, static_cast<u32>(ci)});
   }
 
   void drain_router(u32 pe, u32 ci) {
-    PE& p = pes_[pe];
-    Port& port = p.ports[ci];
-    const Coord here = s_.grid.coord(pe);
-    while (port.active < port.rules.size()) {
-      const RouteRule& rule = port.rules[port.active];
-      auto& queue = port.parked[static_cast<u32>(rule.accept)];
+    const std::size_t ck = layout_.color_key(pe, ci);
+    const auto rules = layout_.rules(ck);
+    while (rule_active_[ck] < rules.size()) {
+      const RouteRule& rule = rules[rule_active_[ck]];
+      auto& queue = parked_[ck * wsr::kNumDirs + static_cast<u32>(rule.accept)];
       if (queue.empty()) return;
       Segment seg = queue.front();
       queue.pop();
-      WSR_ASSERT(seg.len <= port.remaining,
+      WSR_ASSERT(seg.len <= rule_remaining_[ck],
                  "segment crosses a routing-rule boundary");
-      const i64 h = std::max(seg.head, port.avail);
+      const i64 h = std::max(seg.head, rule_avail_[ck]);
       for (u8 d = 0; d < kNumDirs; ++d) {
         const Dir dd = static_cast<Dir>(d);
         if (!mask_has(rule.forward, dd)) continue;
         if (dd == Dir::Ramp) {
           const Segment delivered{h + opt_.ramp_latency, seg.len};
-          p.ingress[ci].push(delivered);
+          ingress_[ck].push(delivered);
           pe_work_.push_back({pe, ci});
         } else {
-          const u32 npe = s_.grid.pe_id(s_.grid.neighbor(here, dd));
+          const u32 npe = layout_.neighbor(pe, d);
+          WSR_ASSERT(npe != FabricLayout::kNoNeighbor, "forward off grid");
           deliver_to_router(npe, rule.color, opposite(dd), {h + 1, seg.len});
         }
       }
-      port.avail = h + seg.len;
-      port.remaining -= seg.len;
-      if (port.remaining == 0) {
-        ++port.active;
-        port.remaining =
-            port.active < port.rules.size() ? port.rules[port.active].count : 0;
+      rule_avail_[ck] = h + seg.len;
+      rule_remaining_[ck] -= seg.len;
+      if (rule_remaining_[ck] == 0) {
+        const u32 next = ++rule_active_[ck];
+        rule_remaining_[ck] = next < rules.size() ? rules[next].count : 0;
       }
     }
     // All rules retired; leftover parked segments are a schedule bug.
-    for (const auto& q : port.parked) {
-      WSR_ASSERT(q.empty(), "traffic after the last routing rule retired");
+    for (u8 d = 0; d < kNumDirs; ++d) {
+      WSR_ASSERT(parked_[ck * wsr::kNumDirs + d].empty(),
+                 "traffic after the last routing rule retired");
     }
   }
 
   // --- event-driven PE progress ---------------------------------------------
 
-  void queue_op(PE& p, u32 oi) {
-    OpState& st = p.ops[oi];
+  void queue_op(u32 pe, u32 oi) {
+    OpState& st = ops_[layout_.op_key(pe, oi)];
     if (st.queued || st.done) return;
     st.queued = true;
     // Two-heap discipline (see the class comment): indices above the op
@@ -272,73 +258,74 @@ class Engine {
   /// is dep-blocked while a later independent one is ready; extra
   /// candidates are no-ops in run_op.
   void queue_consumer(u32 pe, u32 ci) {
-    PE& p = pes_[pe];
-    Port& port = p.ports[ci];
-    while (port.consumer_cursor < port.consumer_ops.size() &&
-           p.ops[port.consumer_ops[port.consumer_cursor]].done) {
-      ++port.consumer_cursor;
-    }
-    if (port.consumer_cursor < port.consumer_ops.size()) {
-      queue_op(p, port.consumer_ops[port.consumer_cursor]);
-    }
+    const std::size_t ck = layout_.color_key(pe, ci);
+    const OpState* ops = ops_.data() + layout_.op_base(pe);
+    u32& cursor = consumer_cursor_[ck];
+    const u32 end = static_cast<u32>(consumer_off_[ck + 1] - consumer_off_[ck]);
+    const u32* consumers = consumer_lst_.data() + consumer_off_[ck];
+    while (cursor < end && ops[consumers[cursor]].done) ++cursor;
+    if (cursor < end) queue_op(pe, consumers[cursor]);
     // Wake every in-flight consumer, dropping finished ones as we go.
-    std::size_t keep = 0;
-    for (std::size_t k = 0; k < port.open_consumers.size(); ++k) {
-      const u32 oi = port.open_consumers[k];
-      if (p.ops[oi].done) continue;
-      port.open_consumers[keep++] = oi;
-      queue_op(p, oi);
+    u32* open = open_lst_.data() + consumer_off_[ck];
+    u32 keep = 0;
+    for (u32 k = 0; k < open_len_[ck]; ++k) {
+      const u32 oi = open[k];
+      if (ops[oi].done) continue;
+      open[keep++] = oi;
+      queue_op(pe, oi);
     }
-    port.open_consumers.resize(keep);
+    open_len_[ck] = keep;
   }
 
   void on_op_done(u32 pe, u32 oi) {
-    PE& p = pes_[pe];
     // Dep cascade: every dependent becomes a candidate (its body re-checks
     // readiness).
-    const std::size_t base = op_base_[pe];
-    for (u32 e = rdep_off_[base + oi]; e < rdep_off_[base + oi + 1]; ++e) {
-      queue_op(p, rdep_lst_[e]);
+    const std::size_t key = layout_.op_key(pe, oi);
+    for (u32 e = rdep_off_[key]; e < rdep_off_[key + 1]; ++e) {
+      queue_op(pe, rdep_lst_[e]);
     }
     // A later op consuming the same color continues on the leftover queue.
     const Op& op = s_.programs[pe].ops[oi];
     if (op.kind != OpKind::Send) {
-      const u32 ci = static_cast<u32>(compact_color(pe, op.in_color));
-      if (!p.ingress[ci].empty()) queue_consumer(pe, ci);
+      const i8 ci = layout_.compact_color(pe, op.in_color);
+      if (!ingress_[layout_.color_key(pe, static_cast<u32>(ci))].empty()) {
+        queue_consumer(pe, static_cast<u32>(ci));
+      }
     }
   }
 
   /// The per-op step: schedule when deps allow, then emit / consume. This is
-  /// the original sweep body verbatim; only the surrounding iteration
-  /// changed.
+  /// the original sweep body verbatim; only the surrounding iteration and
+  /// the state addressing (flat op/color keys) changed.
   void run_op(u32 pe, u32 oi) {
-    PE& p = pes_[pe];
-    OpState& st = p.ops[oi];
+    OpState* ops = ops_.data() + layout_.op_base(pe);
+    OpState& st = ops[oi];
     if (st.done) return;
     const Op& op = s_.programs[pe].ops[oi];
     if (!st.scheduled) {
       i64 dep_time = -1;
       for (u32 d : op.deps) {
-        if (!p.ops[d].done) return;  // not ready yet
-        dep_time = std::max(dep_time, p.ops[d].done_time);
+        if (!ops[d].done) return;  // not ready yet
+        dep_time = std::max(dep_time, ops[d].done_time);
       }
       // Same-cycle chaining: FabricSim scans ops in program order within a
       // cycle, so an op whose dependency completed earlier in the same cycle
       // can already issue (deps always point at lower op indices).
       i64 start = dep_time;
-      if (op.kind != OpKind::Send) start = std::max(start, p.chan_in_free);
-      if (op.kind != OpKind::Recv) start = std::max(start, p.chan_out_free);
+      if (op.kind != OpKind::Send) start = std::max(start, chan_in_free_[pe]);
+      if (op.kind != OpKind::Recv) start = std::max(start, chan_out_free_[pe]);
       st.scheduled = true;
       st.start = start;
       st.cursor = start - 1;
       // Claim the channels immediately so later ops queue behind; the claim
       // end is extended as the op progresses and finalized on completion.
       if (op.kind != OpKind::Send) {
-        // Now an in-flight consumer: deliveries must wake it (see
-        // Port::open_consumers). If it completes below, queue_consumer
-        // drops it lazily.
-        p.ports[static_cast<u32>(compact_color(pe, op.in_color))]
-            .open_consumers.push_back(oi);
+        // Now an in-flight consumer: deliveries must wake it (see the
+        // open-consumer arena). If it completes below, queue_consumer drops
+        // it lazily.
+        const i8 ci = layout_.compact_color(pe, op.in_color);
+        const std::size_t ck = layout_.color_key(pe, static_cast<u32>(ci));
+        open_lst_[consumer_off_[ck] + open_len_[ck]++] = oi;
       }
     }
     if (op.kind == OpKind::Send) {
@@ -347,14 +334,14 @@ class Engine {
       deliver_to_router(pe, op.out_color, Dir::Ramp, seg);
       st.done = true;
       st.done_time = st.start + op.len - 1;
-      p.chan_out_free = st.done_time + 1;
+      chan_out_free_[pe] = st.done_time + 1;
       on_op_done(pe, oi);
       return;
     }
     // Recv / RecvReduceSend: consume available ingress segments.
-    const i8 ci = compact_color(pe, op.in_color);
+    const i8 ci = layout_.compact_color(pe, op.in_color);
     WSR_ASSERT(ci >= 0, "recv on unknown color");
-    auto& queue = p.ingress[static_cast<u32>(ci)];
+    auto& queue = ingress_[layout_.color_key(pe, static_cast<u32>(ci))];
     while (!queue.empty() && st.consumed < op.len) {
       const Segment seg = queue.front();
       WSR_ASSERT(st.consumed + seg.len <= op.len,
@@ -373,9 +360,9 @@ class Engine {
     if (st.consumed == op.len) {
       st.done = true;
       st.done_time = st.cursor;
-      p.chan_in_free = st.done_time + 1;
+      chan_in_free_[pe] = st.done_time + 1;
       if (op.kind == OpKind::RecvReduceSend) {
-        p.chan_out_free = st.done_time + 1;
+        chan_out_free_[pe] = st.done_time + 1;
       }
       on_op_done(pe, oi);
     }
@@ -383,7 +370,7 @@ class Engine {
 
   /// Runs queued candidates of `pe` to fixpoint (ascending within a pass).
   void sweep(u32 pe) {
-    PE& p = pes_[pe];
+    OpState* ops = ops_.data() + layout_.op_base(pe);
     sweeping_ = true;
     while (!cur_.empty() || !next_.empty()) {
       if (cur_.empty()) cur_.swap(next_);
@@ -392,7 +379,7 @@ class Engine {
         const u32 oi = cur_.back();
         cur_.pop_back();
         sweep_pos_ = oi;
-        p.ops[oi].queued = false;
+        ops[oi].queued = false;
         run_op(pe, oi);
       }
       sweep_pos_ = UINT32_MAX;  // next pass starts fresh
@@ -419,10 +406,33 @@ class Engine {
 
   const Schedule& s_;
   FlowOptions opt_;
-  std::vector<PE> pes_;
-  std::vector<i8> color_index_;  // [pe * kMaxColorId + color], flat
-  std::vector<std::size_t> op_base_;  // per-PE offset into the flat op space
-  std::vector<u32> rdep_off_, rdep_lst_;  // reverse deps over flat op ids
+  FabricLayout layout_;
+
+  std::vector<u32> rdep_off_, rdep_lst_;  // reverse deps over flat op keys
+
+  // [color key] per-lane state (one flat array per field).
+  std::vector<u32> rule_active_;
+  std::vector<u32> rule_remaining_;
+  std::vector<i64> rule_avail_;  ///< cycle the active rule can pass a head
+  std::vector<SegmentFifo> parked_;   // [ck * kNumDirs + accept dir]
+  std::vector<SegmentFifo> ingress_;  // [ck]
+  /// Program-ordered ops consuming each color (counting-sorted arena);
+  /// consumer_cursor_ points at the first not-yet-done one.
+  std::vector<std::size_t> consumer_off_;  // [total_colors + 1]
+  std::vector<u32> consumer_lst_;
+  std::vector<u32> consumer_cursor_;
+  /// Consumers currently scheduled but not done (done entries are dropped
+  /// lazily). A delivery must wake every one of them, not just the cursor
+  /// op: an earlier consumer can be dep-blocked while a later independent
+  /// one is mid-stream. Shares consumer_off_'s extents — an op enters at
+  /// most once (on scheduling), so the consumer count bounds the arena.
+  std::vector<u32> open_lst_;
+  std::vector<u32> open_len_;
+
+  // [op key] / [pe]
+  std::vector<OpState> ops_;
+  std::vector<i64> chan_in_free_, chan_out_free_;
+
   std::vector<RouterWork> router_work_;
   std::vector<PeWork> pe_work_;
   // Candidate heaps for the PE sweep in flight (reused across calls; both

@@ -106,6 +106,37 @@ struct Reader {
   }
 };
 
+/// Walks the framed records of a store image starting after the header,
+/// calling fn(record_start, payload, payload_size, checksum_ok) for each
+/// intact frame. A damaged frame (bad magic, impossible or truncated
+/// length) ends the walk — appends are whole-record atomic under flock,
+/// so damage past a valid prefix is a torn tail, not interior corruption.
+/// Returns false exactly when the walk ended on such a torn tail. The one
+/// frame-format walk shared by load() and compact_store(): compaction
+/// keeping exactly what a fresh load would keep is a structural property,
+/// not two loops kept in sync by hand.
+template <typename Fn>
+bool scan_records(const char* data, std::size_t size, Fn&& fn) {
+  std::size_t pos = kHeaderSize;
+  while (pos < size) {
+    if (size - pos < kFrameSize) return false;
+    const std::size_t frame_start = pos;
+    Reader r{data, size, pos};
+    const u32 magic = r.u32v();
+    const u64 payload_size = r.u64v();
+    const u64 checksum = r.u64v();
+    if (magic != kRecordMagic || payload_size > kMaxPayload ||
+        payload_size > size - r.pos) {
+      return false;
+    }
+    const char* payload = data + r.pos;
+    pos = r.pos + payload_size;
+    fn(frame_start, payload, static_cast<std::size_t>(payload_size),
+       fnv1a(payload, payload_size) == checksum);
+  }
+  return true;
+}
+
 // --- (PlanKey, Plan) payload -------------------------------------------------
 
 void write_machine(Writer& w, const MachineParams& mp) {
@@ -300,7 +331,10 @@ std::string serialize_plan_record(const PlanKey& key, const Plan& plan) {
 }
 
 PersistentPlanCache::PersistentPlanCache(std::string dir)
-    : dir_(std::move(dir)) {
+    : PersistentPlanCache(std::move(dir), Options{}) {}
+
+PersistentPlanCache::PersistentPlanCache(std::string dir, Options opt)
+    : dir_(std::move(dir)), opt_(opt) {
   ::mkdir(dir_.c_str(), 0777);  // EEXIST is fine; open failures surface below
   load();
 }
@@ -329,7 +363,6 @@ void PersistentPlanCache::load() {
     return;
   }
 
-  Reader r{bytes.data(), bytes.size()};
   const std::string expected_header = header_bytes();
   if (bytes.size() < kHeaderSize ||
       std::memcmp(bytes.data(), expected_header.data(), kHeaderSize) != 0) {
@@ -343,47 +376,65 @@ void PersistentPlanCache::load() {
                               .count();
     return;
   }
-  r.pos = kHeaderSize;
+  // Live bytes: header + every record that made it into the index. The
+  // remainder of the file is dead weight — duplicates, bit rot, records of
+  // algorithms the registry no longer knows — and once it exceeds half the
+  // file the store is compacted below.
+  u64 live_bytes = kHeaderSize;
+  // Unresolvable records are kept by compaction (first copy per key), so
+  // only their first occurrence is live — duplicates of them must count as
+  // dead or a store bloated by racing writers of a foreign algorithm could
+  // never trigger the rewrite below.
+  std::unordered_map<PlanKey, bool, PlanKeyHash> foreign_seen;
 
-  while (r.pos < r.size) {
-    // Frame: a damaged frame (bad magic / truncated length) ends the scan
-    // — appends are whole-record atomic under flock, so damage past a valid
-    // prefix means a torn tail, not interior corruption.
-    if (r.size - r.pos < kFrameSize) {
-      stats_.load_errors += 1;
-      break;
-    }
-    const u32 magic = r.u32v();
-    const u64 payload_size = r.u64v();
-    const u64 checksum = r.u64v();
-    if (magic != kRecordMagic || payload_size > kMaxPayload ||
-        payload_size > r.size - r.pos) {
-      stats_.load_errors += 1;
-      break;
-    }
-    const char* payload = bytes.data() + r.pos;
-    r.pos += payload_size;
+  const bool complete = scan_records(
+      bytes.data(), bytes.size(),
+      [&](std::size_t, const char* payload, std::size_t payload_size,
+          bool checksum_ok) {
+        // An intact frame whose checksum or decode fails is skipped
+        // individually (bit rot in one record must not drop its
+        // successors).
+        if (!checksum_ok) {
+          stats_.load_errors += 1;
+          return;
+        }
+        PlanKey key;
+        auto plan = std::make_shared<Plan>();
+        Reader pr{payload, payload_size};
+        if (!read_payload(pr, &key, plan.get())) {
+          stats_.load_errors += 1;
+          return;
+        }
+        if (!algorithm_resolves(key, *plan)) {
+          // A per-process miss, not corruption: compaction keeps these
+          // (another process's registry may resolve them), so their first
+          // copy counts as live bytes — otherwise a store full of foreign
+          // algorithms would re-trigger a compaction scan on every load
+          // without ever shrinking.
+          stats_.load_errors += 1;
+          if (foreign_seen.emplace(std::move(key), true).second) {
+            live_bytes += kFrameSize + payload_size;
+          }
+          return;
+        }
+        // First record wins on duplicate keys (racing writers), matching
+        // the in-memory cache's first-writer-wins insert.
+        if (index_.emplace(std::move(key),
+                           std::shared_ptr<const Plan>(std::move(plan)))
+                .second) {
+          stats_.loaded += 1;
+          live_bytes += kFrameSize + payload_size;
+        }
+      });
+  if (!complete) stats_.load_errors += 1;  // torn tail
 
-    // Payload: an intact frame whose checksum or decode fails is skipped
-    // individually (bit rot in one record must not drop its successors).
-    if (fnv1a(payload, payload_size) != checksum) {
-      stats_.load_errors += 1;
-      continue;
-    }
-    PlanKey key;
-    auto plan = std::make_shared<Plan>();
-    Reader pr{payload, static_cast<std::size_t>(payload_size)};
-    if (!read_payload(pr, &key, plan.get()) ||
-        !algorithm_resolves(key, *plan)) {
-      stats_.load_errors += 1;
-      continue;
-    }
-    // First record wins on duplicate keys (racing writers), matching the
-    // in-memory cache's first-writer-wins insert.
-    if (index_.emplace(std::move(key),
-                       std::shared_ptr<const Plan>(std::move(plan)))
-            .second) {
-      stats_.loaded += 1;
+  // Load-time compaction: rewrite when dead/duplicate bytes exceed half the
+  // file (the store is append-only; this is the only path that shrinks it).
+  if (!rewrite_on_next_append_ && stats_.file_bytes > live_bytes &&
+      (stats_.file_bytes - live_bytes) * 2 > stats_.file_bytes) {
+    std::lock_guard<std::mutex> io_lock(io_mu_);
+    if (const auto compacted = compact_store()) {
+      stats_.file_bytes = *compacted;
     }
   }
   stats_.load_seconds =
@@ -395,7 +446,12 @@ std::shared_ptr<const Plan> PersistentPlanCache::find(
     const PlanKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
-  return it == index_.end() ? nullptr : it->second;
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
 }
 
 namespace {
@@ -485,6 +541,94 @@ bool PersistentPlanCache::recover_store(const std::string& record) {
   return ok;
 }
 
+std::optional<u64> PersistentPlanCache::compact_store() {
+  // Parse the file fresh *under the store flock* rather than serializing
+  // this process's index: concurrent writers may have appended records we
+  // never loaded, and a compaction must not drop them. Keeping the raw
+  // record bytes of the first valid occurrence per key reproduces exactly
+  // what a fresh load would keep, bit-identically.
+  const int fd = open_store_locked(store_path(), O_RDWR | O_CREAT);
+  if (fd < 0) return std::nullopt;
+
+  std::string bytes;
+  {
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    bytes.resize(static_cast<std::size_t>(st.st_size));
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t got = ::pread(fd, bytes.data() + off, bytes.size() - off,
+                                  static_cast<off_t>(off));
+      if (got <= 0) {
+        ::close(fd);
+        return std::nullopt;
+      }
+      off += static_cast<std::size_t>(got);
+    }
+  }
+
+  const std::string expected_header = header_bytes();
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), expected_header.data(), kHeaderSize) != 0) {
+    // Foreign magic or another schema version (e.g. a newer binary
+    // rewrote the shared store since we loaded it): not ours to rewrite —
+    // compacting from here would destroy every record the other schema's
+    // processes rely on. Bail; the caller treats this as "no room".
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string image = header_bytes();
+  {
+    std::unordered_map<PlanKey, bool, PlanKeyHash> seen;
+    scan_records(
+        bytes.data(), bytes.size(),
+        [&](std::size_t frame_start, const char* payload,
+            std::size_t payload_size, bool checksum_ok) {
+          if (!checksum_ok) return;
+          PlanKey key;
+          Plan plan;
+          Reader pr{payload, payload_size};
+          if (!read_payload(pr, &key, &plan)) {
+            return;  // undecodable bit rot: what compaction removes
+          }
+          // Records naming algorithms *this* registry cannot resolve are
+          // kept: they are a per-process miss, not corruption — another
+          // process sharing the store (one that registered the algorithm)
+          // may still serve them. Only duplicates, undecodable records
+          // and the torn tail are dead for every possible reader.
+          if (seen.emplace(std::move(key), true).second) {
+            image.append(bytes, frame_start, kFrameSize + payload_size);
+          }
+        });
+  }
+
+  if (image.size() >= bytes.size()) {
+    // Nothing to reclaim: skip the byte-identical rewrite (an over-bound
+    // append against a store full of live records would otherwise pay a
+    // full-file read + write + rename on every request).
+    ::close(fd);
+    return bytes.size();
+  }
+
+  const std::string tmp = store_path() + ".tmp." + std::to_string(::getpid());
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (tmp_fd < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  bool ok = write_all(tmp_fd, image);
+  ::close(tmp_fd);
+  if (ok) ok = std::rename(tmp.c_str(), store_path().c_str()) == 0;
+  if (!ok) ::unlink(tmp.c_str());
+  ::close(fd);  // releases the flock on the replaced inode
+  if (!ok) return std::nullopt;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return image.size();
+}
+
 void PersistentPlanCache::append(const PlanKey& key,
                                  std::shared_ptr<const Plan> plan) {
   std::shared_ptr<const Plan> winner;
@@ -503,9 +647,37 @@ void PersistentPlanCache::append(const PlanKey& key,
     ok = recover_store(record);
     if (ok) rewrite_on_next_append_ = false;
   } else {
+    if (opt_.max_bytes != 0) {
+      // Size bound: compact before an append that would cross it; if the
+      // live set still leaves no room, serve the plan from memory only.
+      // A compaction that reclaimed nothing is remembered (the live-set
+      // size), so a store full of live records skips straight to the
+      // append-skip instead of re-scanning the whole file per request;
+      // any growth past that size means new (possibly dead) bytes and
+      // re-arms the compaction.
+      struct stat st{};
+      const u64 cur_size =
+          ::stat(store_path().c_str(), &st) == 0 ? u64(st.st_size) : 0;
+      if (cur_size + record.size() > opt_.max_bytes) {
+        bool have_room = false;
+        if (compact_futile_below_ == 0 || cur_size > compact_futile_below_) {
+          const auto compacted = compact_store();
+          if (compacted.has_value() &&
+              *compacted + record.size() <= opt_.max_bytes) {
+            have_room = true;
+          } else if (compacted.has_value()) {
+            compact_futile_below_ = *compacted;
+          }
+        }
+        if (!have_room) {
+          appends_skipped_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
     ok = append_record(record);
   }
-  if (ok) appended_ += 1;
+  if (ok) appended_.fetch_add(1, std::memory_order_relaxed);
   // A failed write keeps the plan in this process's index (serving stays
   // correct); the record is simply not durable.
 }
@@ -521,8 +693,11 @@ PersistentPlanCache::Stats PersistentPlanCache::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     out = stats_;
   }
-  std::lock_guard<std::mutex> io_lock(io_mu_);
-  out.appended = appended_;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.appended = appended_.load(std::memory_order_relaxed);
+  out.compactions = compactions_.load(std::memory_order_relaxed);
+  out.appends_skipped = appends_skipped_.load(std::memory_order_relaxed);
   return out;
 }
 

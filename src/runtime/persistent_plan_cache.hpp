@@ -40,8 +40,10 @@
 // load, exactly the in-memory cache's first-writer-wins rule.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -59,18 +61,44 @@ class PersistentPlanCache {
   /// as empty and are rewritten on the next append.
   static constexpr u32 kSchemaVersion = 1;
 
+  struct Options {
+    /// Store-file size bound in bytes (0 = unbounded). An append that would
+    /// grow the file beyond the bound first compacts the store; if the live
+    /// record set still does not leave room, the record is *skipped* — it
+    /// stays served from this process's memory index, it is just not
+    /// durable (counted in stats().appends_skipped). The bound governs this
+    /// process's appends; concurrent writers can transiently overshoot by
+    /// one record each.
+    u64 max_bytes = 0;
+  };
+
   struct Stats {
     u64 loaded = 0;       ///< records restored at construction
     u64 load_errors = 0;  ///< records dropped (checksum/decode/unknown algo)
     u64 appended = 0;     ///< records written by this process
+    u64 hits = 0;         ///< find() calls answered from the index
+    u64 misses = 0;       ///< find() calls that came up empty
+    u64 compactions = 0;  ///< store rewrites (load-time or bound-triggered)
+    u64 appends_skipped = 0;  ///< records dropped by the max_bytes bound
     double load_seconds = 0;
-    u64 file_bytes = 0;  ///< store size at load time
+    u64 file_bytes = 0;  ///< store size at load time (post-compaction)
   };
 
   /// Opens (creating if needed) the store directory and loads every valid
   /// record into the in-memory index. Never throws on a damaged store —
   /// damage is counted in stats().load_errors and degrades to misses.
+  ///
+  /// Compaction: the store file is append-only, so dead bytes accumulate —
+  /// duplicate keys from racing writers, records invalidated by renamed or
+  /// removed algorithms, bit-rotted payloads. When the dead bytes exceed
+  /// half the file at load, the store is rewritten in place (the same
+  /// temp-file + atomic-rename path header recovery uses, under the store
+  /// flock) keeping the first decodable record per key. Records naming
+  /// algorithms *this* registry cannot resolve are preserved: they are a
+  /// per-process miss, not corruption — a process sharing the store may
+  /// still serve them.
   explicit PersistentPlanCache(std::string dir);
+  PersistentPlanCache(std::string dir, Options opt);
 
   /// The cached plan for `key`, or nullptr. Thread-safe; does not touch
   /// the disk (the index is loaded once at construction).
@@ -90,19 +118,42 @@ class PersistentPlanCache {
   void load();
   bool append_record(const std::string& record);
   bool recover_store(const std::string& record);
+  /// Rewrites the store to its live record set (first valid record per
+  /// key, parsed fresh under the store flock so concurrent appends are
+  /// kept) via temp file + atomic rename. Returns the resulting file
+  /// size — unchanged, without rewriting, when no bytes can be reclaimed
+  /// — or nullopt on I/O failure or a foreign/mismatched header (another
+  /// schema's store is never ours to rewrite). Caller holds io_mu_.
+  std::optional<u64> compact_store();
 
   std::string dir_;
+  Options opt_;
 
   /// `mu_` guards the in-memory index (lookups stay lock-cheap); `io_mu_`
-  /// serializes this process's file writes and guards the write-side
-  /// bookkeeping below. Ordering: io_mu_ may take mu_ (for the recovery
-  /// snapshot), never the reverse.
+  /// serializes this process's file writes. Ordering: io_mu_ may take mu_
+  /// (for the recovery snapshot), never the reverse.
   mutable std::mutex mu_;
   std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash> index_;
   Stats stats_;  ///< load_* fields written only by load(); see stats()
 
+  /// Serving counters (find() is const and lock-cheap; these are the
+  /// persistent-tier hit/miss numbers wsr_plan --json and wsrd report).
+  mutable std::atomic<u64> hits_{0};
+  mutable std::atomic<u64> misses_{0};
+
+  /// `io_mu_` serializes writers; the write-side counters are atomics
+  /// (stored under io_mu_, loaded relaxed) so stats() never waits behind a
+  /// compaction or a cross-process flock — wsrd renders these counters
+  /// into every response.
   mutable std::mutex io_mu_;
-  u64 appended_ = 0;
+  std::atomic<u64> appended_{0};
+  std::atomic<u64> compactions_{0};  ///< rewrites that actually shrank it
+  std::atomic<u64> appends_skipped_{0};
+  /// Live-set size of the last compaction that left no room under
+  /// max_bytes: while the store is no larger than this, another
+  /// compaction cannot help, so over-bound appends skip straight to
+  /// appends_skipped_ instead of re-scanning the file. 0 = not set.
+  u64 compact_futile_below_ = 0;
   /// Set when load() found a header from another schema (or no valid
   /// header): the next append rewrites the whole store atomically instead
   /// of appending after unparseable bytes.

@@ -61,7 +61,15 @@ std::string plan_cache_counters_json(const PlanCache& cache) {
                     ",\"misses\":" + std::to_string(cache.misses()) +
                     ",\"evictions\":" + std::to_string(cache.evictions());
   if (const PersistentPlanCache* disk = cache.disk_store()) {
-    out += ",\"disk_hits\":" + std::to_string(cache.disk_hits());
+    // Persistent-tier counters, all from the store's own stats so the
+    // tier is self-consistent (hits + misses = store lookups even when
+    // something other than this PlanCache probes it) — --cache-dir
+    // behaviour is observable end to end alongside the in-memory numbers
+    // (docs/serving.md).
+    const PersistentPlanCache::Stats stats = disk->stats();
+    out += ",\"disk_hits\":" + std::to_string(stats.hits);
+    out += ",\"disk_misses\":" + std::to_string(stats.misses);
+    out += ",\"disk_appends\":" + std::to_string(stats.appended);
     out += ",\"disk_entries\":" + std::to_string(disk->size());
   }
   out += "},";

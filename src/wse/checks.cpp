@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "wse/layout.hpp"
+
 namespace wsr::wse {
 
 namespace {
@@ -59,8 +61,15 @@ std::vector<std::string> validate(const Schedule& s) {
     problems.push_back("schedule uses more than 24 colors");
   }
 
+  // The shared index-algebra module, geometry-only: the neighbour table is
+  // what the checks below consume — the same table both simulators route
+  // with, so a boundary the validator accepts is a boundary the simulators
+  // will accept. Interning is skipped (validate() never reads the key
+  // spaces, and must not assert on schedules the simulators would reject).
+  const FabricLayout layout(
+      s, FabricLayout::Options{.strict = false, .interning = false});
+
   for (u32 pe = 0; pe < n; ++pe) {
-    const Coord c = s.grid.coord(pe);
     // --- routing rules ---
     std::map<Color, u64> ramp_in_total;   // rules accepting from the ramp
     std::map<Color, u64> ramp_out_total;  // rules forwarding to the ramp
@@ -69,12 +78,13 @@ std::vector<std::string> validate(const Schedule& s) {
       if (r.forward == 0) problem(pe, "rule with empty forward set");
       if (mask_has(r.forward, r.accept) && r.accept != Dir::Ramp)
         problem(pe, "rule forwards back into its accept direction");
-      if (r.accept != Dir::Ramp && !s.grid.has_neighbor(c, r.accept))
+      if (r.accept != Dir::Ramp &&
+          layout.neighbor(pe, r.accept) == FabricLayout::kNoNeighbor)
         problem(pe, "rule accepts from beyond the grid boundary");
       for (u8 d = 0; d < kNumDirs; ++d) {
         const Dir dir = static_cast<Dir>(d);
         if (dir != Dir::Ramp && mask_has(r.forward, dir) &&
-            !s.grid.has_neighbor(c, dir))
+            layout.neighbor(pe, dir) == FabricLayout::kNoNeighbor)
           problem(pe, "rule forwards beyond the grid boundary");
       }
       if (r.accept == Dir::Ramp) ramp_in_total[r.color] += r.count;
@@ -129,11 +139,10 @@ std::vector<std::string> validate(const Schedule& s) {
   // equal the wavelets the receiver's rules accept from it. This catches
   // count bugs on pass-through routers, which the per-PE ramp checks cannot.
   for (u32 pe = 0; pe < n; ++pe) {
-    const Coord c = s.grid.coord(pe);
     for (u8 d = 0; d < kNumDirs; ++d) {
       const Dir dir = static_cast<Dir>(d);
-      if (dir == Dir::Ramp || !s.grid.has_neighbor(c, dir)) continue;
-      const u32 npe = s.grid.pe_id(s.grid.neighbor(c, dir));
+      const u32 npe = layout.neighbor(pe, d);
+      if (dir == Dir::Ramp || npe == FabricLayout::kNoNeighbor) continue;
       std::map<Color, i64> net;  // sent minus accepted, per color
       for (const RouteRule& r : s.rules[pe]) {
         if (mask_has(r.forward, dir)) net[r.color] += r.count;

@@ -7,29 +7,11 @@ namespace wsr::wse {
 
 namespace {
 
-const char* kind_str(OpKind k) {
-  switch (k) {
-    case OpKind::Send: return "send";
-    case OpKind::Recv: return "recv";
-    case OpKind::RecvReduceSend: return "recv_reduce_send";
-  }
-  return "?";
-}
-
-const char* mode_str(RecvMode m) {
-  switch (m) {
-    case RecvMode::Store: return "store";
-    case RecvMode::Add: return "add";
-    case RecvMode::AddModulo: return "add_modulo";
-  }
-  return "?";
-}
-
 void append_op(std::ostringstream& os, const Op& op) {
-  os << "{\"kind\":\"" << kind_str(op.kind) << "\",\"len\":" << op.len;
+  os << "{\"kind\":\"" << op_kind_name(op.kind) << "\",\"len\":" << op.len;
   if (op.kind != OpKind::Send) {
     os << ",\"in_color\":" << static_cast<u32>(op.in_color) << ",\"mode\":\""
-       << mode_str(op.mode) << "\",\"dst_offset\":" << op.dst_offset;
+       << recv_mode_name(op.mode) << "\",\"dst_offset\":" << op.dst_offset;
     if (op.mode == RecvMode::AddModulo) os << ",\"modulo\":" << op.modulo;
   }
   if (op.kind != OpKind::Recv) {
@@ -94,7 +76,7 @@ std::string format_timeline(const Schedule& s, const FabricResult& result,
     });
     for (u32 i : order) {
       const Op& op = s.programs[pe].ops[i];
-      os << "  " << kind_str(op.kind) << "#" << i << "@"
+      os << "  " << op_kind_name(op.kind) << "#" << i << "@"
          << result.op_done_cycle[pe][i];
     }
     os << "\n";

@@ -3,31 +3,38 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
-#include <cstring>
 
 namespace wsr::wse {
+
+std::optional<SteppingMode> parse_stepping_mode(std::string_view text) {
+  if (text == "fullscan") return SteppingMode::FullScan;
+  if (text == "worklist") return SteppingMode::Worklist;
+  if (text == "subscription") return SteppingMode::Subscription;
+  return std::nullopt;
+}
+
+SteppingMode stepping_mode_from_env_value(const char* env) {
+  if (env == nullptr || *env == '\0') return SteppingMode::Subscription;
+  const auto parsed = parse_stepping_mode(env);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "WSR_FABRIC_STEPPING='%s' is not a valid stepping mode; "
+                 "valid values: fullscan, worklist, subscription\n",
+                 env);
+    std::exit(2);
+  }
+  return *parsed;
+}
 
 SteppingMode default_stepping_mode() {
   // Read once: the toggle is for whole-process A/B runs, and a mid-run
   // setenv must not make two FabricOptions{} disagree.
-  static const SteppingMode mode = [] {
-    const char* env = std::getenv("WSR_FABRIC_STEPPING");
-    if (env == nullptr || *env == '\0') return SteppingMode::Subscription;
-    if (std::strcmp(env, "fullscan") == 0) return SteppingMode::FullScan;
-    if (std::strcmp(env, "worklist") == 0) return SteppingMode::Worklist;
-    if (std::strcmp(env, "subscription") == 0) return SteppingMode::Subscription;
-    std::fprintf(stderr,
-                 "WSR_FABRIC_STEPPING='%s' is not fullscan|worklist|"
-                 "subscription; using subscription\n",
-                 env);
-    return SteppingMode::Subscription;
-  }();
+  static const SteppingMode mode =
+      stepping_mode_from_env_value(std::getenv("WSR_FABRIC_STEPPING"));
   return mode;
 }
 
 namespace {
-constexpr u32 kMaxColorId = 32;
-
 // sub_state_ values: where a register currently lives in the subscription
 // engine. Every occupied register is tracked by exactly one of: the pending
 // set (kPending), a waiter list (kParked), or this cycle's resolution
@@ -38,96 +45,64 @@ constexpr u8 kSubParked = 2;
 }  // namespace
 
 FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
-    : grid_(schedule.grid), opt_(options), sched_(&schedule) {
-  const u64 n = grid_.num_pes();
-  WSR_ASSERT(schedule.programs.size() == n && schedule.rules.size() == n,
-             "schedule arrays do not match grid");
-  pes_.resize(n);
-  std::size_t reg_base = 0;
-  std::size_t color_base = 0;
-  for (u32 pe = 0; pe < n; ++pe) {
-    PEState& p = pes_[pe];
-    p.color_index.assign(kMaxColorId, -1);
-    // Pre-count the PE's distinct colors so the per-color vectors are
-    // allocated exactly once instead of growing per emplace; serving-path
-    // plan validation constructs these by the thousands (allocation
-    // counters: bench/micro_machinery.cpp).
-    const u32 pe_colors = schedule.pe_colors_used(pe);
-    p.colors.reserve(pe_colors);
-    p.down.reserve(pe_colors);
-    auto intern = [&](Color c) {
-      WSR_ASSERT(c < kMaxColorId, "color id too large");
-      if (p.color_index[c] < 0) {
-        p.color_index[c] = static_cast<i8>(p.colors.size());
-        p.colors.emplace_back();
-        p.down.emplace_back();
-      }
-      return static_cast<u32>(p.color_index[c]);
-    };
-    for (const RouteRule& r : schedule.rules[pe]) {
-      const u32 ci = intern(r.color);
-      p.colors[ci].rules.push_back(r);
+    : layout_(schedule), opt_(options), sched_(&schedule) {
+  const u32 n = layout_.num_pes();
+  const std::size_t total_regs = layout_.total_regs();
+  const std::size_t total_colors = layout_.total_colors();
+
+  // Structure-of-arrays state: every per-register / per-color / per-op field
+  // is one flat allocation sized by the layout's extents — the constructor
+  // performs a fixed number of allocations regardless of the PE count
+  // (allocation counters: bench/micro_machinery.cpp).
+  reg_value_.assign(total_regs, 0.0f);
+  reg_set_.assign(total_regs, 0);
+  rule_active_.assign(total_colors, 0);
+  active_rule_.resize(total_colors);
+  for (std::size_t ck = 0; ck < total_colors; ++ck) {
+    const auto rules = layout_.rules(ck);
+    if (!rules.empty()) {
+      active_rule_[ck] = {rules[0].color, static_cast<u8>(rules[0].accept),
+                          rules[0].forward, 0, rules[0].count};
     }
-    for (const Op& op : schedule.programs[pe].ops) {
-      if (op.kind != OpKind::Send) intern(op.in_color);
-      if (op.kind != OpKind::Recv) intern(op.out_color);
-    }
-    for (ColorRules& cr : p.colors) {
-      cr.active = 0;
-      cr.remaining = cr.rules.empty() ? 0 : cr.rules[0].count;
-    }
-    p.num_colors = static_cast<u32>(p.colors.size());
-    p.use_occ_mask = std::size_t{kNumDirs} * p.num_colors <= 64;
-    p.reg_value.assign(std::size_t{kNumDirs} * p.num_colors, 0.0f);
-    p.reg_set.assign(std::size_t{kNumDirs} * p.num_colors, 0);
-    p.reg_base = reg_base;
-    reg_base += std::size_t{kNumDirs} * p.num_colors;
-    p.color_base = color_base;
-    color_base += p.num_colors;
-    p.ops.resize(schedule.programs[pe].ops.size());
-    p.mem.assign(std::max<u32>(schedule.vec_len, 1), 0.0f);
-    p.done = schedule.programs[pe].ops.empty();
-    if (p.done) ++done_count_;
   }
-  total_regs_ = reg_base;
-  total_colors_ = color_base;
-  move_.assign(total_regs_, MoveSlot{});
-  reg_claim_epoch_.assign(total_regs_, -1);
-  link_claim_epoch_.assign(n * kNumDirs, -1);
+  down_.resize(total_colors);
+  ops_.resize(layout_.total_ops());
+
+  up_.resize(n);
+  mem_.resize(n);
+  ramp_traffic_.assign(n, 0);
+  done_.assign(n, 0);
+  first_incomplete_.assign(n, 0);
+  occupied_regs_.assign(n, 0);
+  occ_mask_.assign(n, 0);
+  use_occ_mask_.resize(n);
+  for (u32 pe = 0; pe < n; ++pe) {
+    use_occ_mask_[pe] = layout_.num_regs(pe) <= 64;
+    mem_[pe].assign(std::max<u32>(schedule.vec_len, 1), 0.0f);
+    done_[pe] = schedule.programs[pe].ops.empty();
+    if (done_[pe]) ++done_count_;
+  }
+
+  move_.assign(total_regs, MoveSlot{});
+  reg_claim_epoch_.assign(total_regs, -1);
+  link_claim_epoch_.assign(layout_.total_links(), -1);
   ramp_claim_epoch_.assign(n, -1);
-  neighbor_pe_.assign(n * kNumDirs, kNoNeighbor);
-  for (u32 pe = 0; pe < n; ++pe) {
-    const Coord here = grid_.coord(pe);
-    for (u8 d = 0; d < kNumDirs; ++d) {
-      const Dir dd = static_cast<Dir>(d);
-      if (dd != Dir::Ramp && grid_.has_neighbor(here, dd)) {
-        neighbor_pe_[std::size_t{pe} * kNumDirs + d] =
-            grid_.pe_id(grid_.neighbor(here, dd));
-      }
-    }
-  }
   in_proc_list_.assign(n, 0);
   in_up_list_.assign(n, 0);
   in_router_list_.assign(n, 0);
   in_queue_list_.assign(n, 0);
   if (opt_.stepping == SteppingMode::Subscription) {
-    reg_waiter_head_.assign(total_regs_, -1);
-    color_waiter_head_.assign(total_colors_, -1);
-    waiter_next_.assign(total_regs_, -1);
-    sub_state_.assign(total_regs_, kSubNone);
+    reg_waiter_head_.assign(total_regs, -1);
+    color_waiter_head_.assign(total_colors, -1);
+    waiter_next_.assign(total_regs, -1);
+    sub_state_.assign(total_regs, kSubNone);
     up_parked_.assign(n, 0);
-    reg_pe_.resize(total_regs_);
-    for (u32 pe = 0; pe < n; ++pe) {
-      const PEState& p = pes_[pe];
-      const std::size_t num_regs = std::size_t{kNumDirs} * p.num_colors;
-      for (std::size_t r = 0; r < num_regs; ++r) reg_pe_[p.reg_base + r] = pe;
-    }
   }
 }
 
 void FabricSim::set_memory(u32 pe, std::vector<float> data) {
-  WSR_ASSERT(pe < pes_.size(), "pe out of range");
-  pes_[pe].mem = std::move(data);
+  WSR_ASSERT(pe < layout_.num_pes(), "pe out of range");
+  mem_[pe] = std::move(data);
 }
 
 // --- worklist / subscription bookkeeping -------------------------------------
@@ -179,9 +154,10 @@ void FabricSim::sub_wake_list(i32& head, std::vector<u32>& out) {
   head = -1;
 }
 
-void FabricSim::sub_wake_color(PEState& p, u32 ci) {
+void FabricSim::sub_wake_color(u32 pe, u32 ci) {
   if (opt_.stepping != SteppingMode::Subscription) return;
-  sub_wake_list(color_waiter_head_[p.color_base + ci], pending_);
+  i32& head = color_waiter_head_[layout_.color_key(pe, ci)];
+  if (head != -1) sub_wake_list(head, pending_);
 }
 
 void FabricSim::sub_park(std::size_t key) {
@@ -213,12 +189,12 @@ void FabricSim::sub_park(std::size_t key) {
   }
 }
 
-void FabricSim::set_register(PEState& p, std::size_t ridx, u32 pe,
-                             float value) {
-  p.reg_value[ridx] = value;
-  p.reg_set[ridx] = 1;
-  ++p.occupied_regs;
-  if (p.use_occ_mask) p.occ_mask |= u64{1} << ridx;
+void FabricSim::set_register(u32 pe, std::size_t ridx, float value) {
+  const std::size_t key = layout_.reg_base(pe) + ridx;
+  reg_value_[key] = value;
+  reg_set_[key] = 1;
+  ++occupied_regs_[pe];
+  if (use_occ_mask_[pe]) occ_mask_[pe] |= u64{1} << ridx;
   switch (opt_.stepping) {
     case SteppingMode::FullScan:
       break;
@@ -230,24 +206,27 @@ void FabricSim::set_register(PEState& p, std::size_t ridx, u32 pe,
       break;
     case SteppingMode::Subscription:
       // A fresh arrival must be attempted at the next router phase.
-      sub_pend(p.reg_base + ridx);
+      sub_pend(key);
       break;
   }
 }
 
-void FabricSim::clear_register(PEState& p, std::size_t ridx, u32 pe) {
-  p.reg_set[ridx] = 0;
-  WSR_ASSERT(p.occupied_regs > 0, "register occupancy underflow");
-  --p.occupied_regs;
-  if (p.use_occ_mask) p.occ_mask &= ~(u64{1} << ridx);
+void FabricSim::clear_register(u32 pe, std::size_t ridx) {
+  const std::size_t key = layout_.reg_base(pe) + ridx;
+  reg_set_[key] = 0;
+  WSR_ASSERT(occupied_regs_[pe] > 0, "register occupancy underflow");
+  --occupied_regs_[pe];
+  if (use_occ_mask_[pe]) occ_mask_[pe] &= ~(u64{1} << ridx);
   if (opt_.stepping == SteppingMode::Subscription) {
     // Waiters of an attempted register are pulled into the same cycle's
     // attempt closure, so this list is normally already empty; draining it
     // here is a safety net that costs one branch.
-    sub_wake_list(reg_waiter_head_[p.reg_base + ridx], pending_);
+    i32& head = reg_waiter_head_[key];
+    if (head != -1) sub_wake_list(head, pending_);
     // Ramp registers (the last direction block) may have the PE's up-ramp
     // parked behind them.
-    if (ridx >= std::size_t{static_cast<u32>(Dir::Ramp)} * p.num_colors &&
+    if (ridx >= std::size_t{static_cast<u32>(Dir::Ramp)} *
+                    layout_.num_colors(pe) &&
         up_parked_[pe]) {
       up_parked_[pe] = 0;
       note_up_pending(pe);
@@ -258,29 +237,32 @@ void FabricSim::clear_register(PEState& p, std::size_t ridx, u32 pe) {
 // --- per-PE step bodies ------------------------------------------------------
 
 bool FabricSim::step_processor(u32 pe) {
-  PEState& p = pes_[pe];
-  if (p.done) return false;
+  if (done_[pe]) return false;
   const u32 up_cap = opt_.ramp_latency + 2;
   const PEProgram& prog = sched_->programs[pe];
+  OpState* ops = ops_.data() + layout_.op_base(pe);
+  WaveletFifo& up = up_[pe];
+  std::vector<float>& mem = mem_[pe];
   bool ingress_claimed = false, egress_claimed = false;
   bool changed = false;
   i64 min_future = INT64_MAX;  // earliest in-flight queue head we stalled on
   // Skip the retired prefix (deps point backwards, so ops finish roughly
   // front-to-back; the 1D Ring emits ~2P ops per PE and would otherwise
   // make this scan quadratic).
-  while (p.first_incomplete < prog.ops.size() &&
-         p.ops[p.first_incomplete].complete) {
-    ++p.first_incomplete;
+  u32& first_incomplete = first_incomplete_[pe];
+  while (first_incomplete < prog.ops.size() &&
+         ops[first_incomplete].complete) {
+    ++first_incomplete;
   }
-  bool all_done = p.first_incomplete == prog.ops.size();
-  for (u32 oi = p.first_incomplete; oi < prog.ops.size(); ++oi) {
-    OpState& st = p.ops[oi];
+  bool all_done = first_incomplete == prog.ops.size();
+  for (u32 oi = first_incomplete; oi < prog.ops.size(); ++oi) {
+    OpState& st = ops[oi];
     if (st.complete) continue;
     all_done = false;
     const Op& op = prog.ops[oi];
     bool runnable = true;
     for (u32 d : op.deps) {
-      if (!p.ops[d].complete) {
+      if (!ops[d].complete) {
         runnable = false;
         break;
       }
@@ -296,13 +278,13 @@ bool FabricSim::step_processor(u32 pe) {
 
     switch (op.kind) {
       case OpKind::Send: {
-        if (p.up.size() >= up_cap) break;
+        if (up.size() >= up_cap) break;
         const u32 idx = op.src_offset + st.progress;
-        WSR_ASSERT(idx < p.mem.size(), "send reads past PE memory");
-        p.up.push({{p.mem[idx], op.out_color}, cycle_ + opt_.ramp_latency});
+        WSR_ASSERT(idx < mem.size(), "send reads past PE memory");
+        up.push({{mem[idx], op.out_color}, cycle_ + opt_.ramp_latency});
         note_up_pending(pe);
         note_queue_pending(pe);
-        p.ramp_traffic++;
+        ramp_traffic_[pe]++;
         changed = true;
         if (++st.progress == op.len) {
           st.complete = true;
@@ -311,26 +293,26 @@ bool FabricSim::step_processor(u32 pe) {
         break;
       }
       case OpKind::Recv: {
-        const i8 ci = p.color_index[op.in_color];
+        const i8 ci = layout_.compact_color(pe, op.in_color);
         WSR_ASSERT(ci >= 0, "recv on unknown color");
-        auto& q = p.down[static_cast<u32>(ci)];
+        auto& q = down_[layout_.color_key(pe, static_cast<u32>(ci))];
         if (q.empty() || q.front().ready > cycle_) {
           if (!q.empty()) min_future = std::min(min_future, q.front().ready);
           break;
         }
         const float v = q.front().w.value;
         q.pop();
-        sub_wake_color(p, static_cast<u32>(ci));  // ingress slot freed
+        sub_wake_color(pe, static_cast<u32>(ci));  // ingress slot freed
         u32 idx = op.dst_offset;
         idx += op.mode == RecvMode::AddModulo ? st.progress % op.modulo
                                               : st.progress;
-        WSR_ASSERT(idx < p.mem.size(), "recv writes past PE memory");
+        WSR_ASSERT(idx < mem.size(), "recv writes past PE memory");
         if (op.mode == RecvMode::Store) {
-          p.mem[idx] = v;
+          mem[idx] = v;
         } else {
-          p.mem[idx] += v;
+          mem[idx] += v;
         }
-        p.ramp_traffic++;
+        ramp_traffic_[pe]++;
         changed = true;
         if (++st.progress == op.len) {
           st.complete = true;
@@ -339,26 +321,26 @@ bool FabricSim::step_processor(u32 pe) {
         break;
       }
       case OpKind::RecvReduceSend: {
-        const i8 ci = p.color_index[op.in_color];
+        const i8 ci = layout_.compact_color(pe, op.in_color);
         WSR_ASSERT(ci >= 0, "recv_reduce_send on unknown color");
-        auto& q = p.down[static_cast<u32>(ci)];
+        auto& q = down_[layout_.color_key(pe, static_cast<u32>(ci))];
         if (q.empty() || q.front().ready > cycle_) {
           if (!q.empty()) min_future = std::min(min_future, q.front().ready);
           break;
         }
-        if (p.up.size() >= up_cap) break;
+        if (up.size() >= up_cap) break;
         const float v = q.front().w.value;
         q.pop();
-        sub_wake_color(p, static_cast<u32>(ci));  // ingress slot freed
+        sub_wake_color(pe, static_cast<u32>(ci));  // ingress slot freed
         const u32 idx = op.src_offset + st.progress;
-        WSR_ASSERT(idx < p.mem.size(), "fused op reads past PE memory");
+        WSR_ASSERT(idx < mem.size(), "fused op reads past PE memory");
         // +1 cycle of latency for the combine, per the model's
         // (2*T_R + 1) depth charge.
-        p.up.push({{v + p.mem[idx], op.out_color},
-                   cycle_ + opt_.ramp_latency + 1});
+        up.push({{v + mem[idx], op.out_color},
+                 cycle_ + opt_.ramp_latency + 1});
         note_up_pending(pe);
         note_queue_pending(pe);
-        p.ramp_traffic += 2;
+        ramp_traffic_[pe] += 2;
         changed = true;
         if (++st.progress == op.len) {
           st.complete = true;
@@ -369,11 +351,11 @@ bool FabricSim::step_processor(u32 pe) {
     }
   }
   if (all_done) {
-    p.done = true;
+    done_[pe] = 1;
     ++done_count_;
   }
   if (opt_.stepping != SteppingMode::FullScan) {
-    if (changed && !p.done) {
+    if (changed && !done_[pe]) {
       wake_processor(pe);  // streaming continues next cycle
     } else if (!changed && min_future != INT64_MAX) {
       wake_heap_.emplace_back(min_future, pe);
@@ -385,18 +367,19 @@ bool FabricSim::step_processor(u32 pe) {
 }
 
 bool FabricSim::step_up_ramp(u32 pe) {
-  PEState& p = pes_[pe];
+  WaveletFifo& up = up_[pe];
   bool changed = false;
-  if (!p.up.empty() && p.up.front().ready <= cycle_) {
-    const Wavelet& w = p.up.front().w;
-    const i8 ci = p.color_index[w.color];
+  if (!up.empty() && up.front().ready <= cycle_) {
+    const Wavelet& w = up.front().w;
+    const i8 ci = layout_.compact_color(pe, w.color);
     WSR_ASSERT(ci >= 0, "up-ramp wavelet on unknown color");
-    const std::size_t idx = std::size_t{static_cast<u32>(Dir::Ramp)} *
-                                p.num_colors +
-                            static_cast<u32>(ci);
-    if (!p.reg_set[idx]) {  // else: previous wavelet of this color in place
-      set_register(p, idx, pe, w.value);
-      p.up.pop();
+    const std::size_t ridx = std::size_t{static_cast<u32>(Dir::Ramp)} *
+                                 layout_.num_colors(pe) +
+                             static_cast<u32>(ci);
+    if (!reg_set_[layout_.reg_base(pe) + ridx]) {
+      // else: previous wavelet of this color in place
+      set_register(pe, ridx, w.value);
+      up.pop();
       wake_processor(pe);  // egress capacity freed
       changed = true;
     } else if (opt_.stepping == SteppingMode::Subscription) {
@@ -407,13 +390,11 @@ bool FabricSim::step_up_ramp(u32 pe) {
       return changed;
     }
   }
-  if (!p.up.empty()) note_up_pending(pe);
+  if (!up.empty()) note_up_pending(pe);
   return changed;
 }
 
-bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
-  PEState& p = pes_[pe];
-  const std::size_t key = reg_key(p, dir, ci);
+bool FabricSim::resolve_move(u32 pe, u32 dir, std::size_t key) {
   MoveSlot& slot = move_[key];
   if (slot.epoch == cycle_) {
     switch (slot.state) {
@@ -437,21 +418,19 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
     slot.cause_kind = static_cast<u8>(StallCause::Register);
     slot.cause_payload = static_cast<u32>(victim);
   };
+  const std::size_t ck = layout_.reg_color_key(key);
   const auto blocked_on_color = [&] {
     slot.cause_kind = static_cast<u8>(StallCause::ColorEvent);
-    slot.cause_payload = static_cast<u32>(color_key(p, ci));
+    slot.cause_payload = static_cast<u32>(ck);
   };
 
-  WSR_ASSERT(p.reg_set[std::size_t{dir} * p.num_colors + ci],
-             "resolve on empty register");
-  ColorRules& cr = p.colors[ci];
-  if (cr.active >= cr.rules.size() ||
-      cr.rules[cr.active].accept != static_cast<Dir>(dir)) {
+  WSR_ASSERT(reg_set_[key], "resolve on empty register");
+  const ActiveRule rule = active_rule_[ck];
+  if (rule.accept != dir) {  // kNoActiveRule compares unequal to any dir
     blocked_on_color();  // wait for this color's rule chain to advance
     slot.state = MoveState::No;
     return false;
   }
-  const RouteRule& rule = cr.rules[cr.active];
 
   // Tentatively claim destinations and output links; roll back on failure.
   // A rule forwards into at most the 4 mesh directions, so fixed-size claim
@@ -465,7 +444,7 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
     const Dir dd = static_cast<Dir>(d);
     if (!mask_has(rule.forward, dd)) continue;
     if (dd == Dir::Ramp) {
-      auto& q = p.down[ci];
+      auto& q = down_[ck];
       const u32 cap = opt_.ramp_latency + opt_.color_queue_capacity;
       if (q.size() >= cap) {
         blocked_on_color();  // wait for the processor to pop this queue
@@ -481,16 +460,15 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
       claimed_ramp = true;
     } else {
       // Physical link: one wavelet per direction per cycle across colors.
-      const std::size_t lkey = std::size_t{pe} * kNumDirs + d;
+      const std::size_t lkey = layout_.link_key(pe, d);
       if (link_claim_epoch_[lkey] == cycle_) {
         blocked_transient();  // another color won this cycle's link slot
         ok = false;
         break;
       }
-      const u32 npe = neighbor_pe_[lkey];
-      WSR_ASSERT(npe != kNoNeighbor, "forward off grid");
-      PEState& np = pes_[npe];
-      const i8 nci = np.color_index[rule.color];
+      const u32 npe = layout_.neighbor(pe, d);
+      WSR_ASSERT(npe != FabricLayout::kNoNeighbor, "forward off grid");
+      const i8 nci = layout_.compact_color(npe, rule.color);
       if (nci < 0) {
         // Traffic heading into a PE with no rules for its color: schedule
         // bug; stall it so the deadlock detector reports context.
@@ -499,10 +477,10 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
         break;
       }
       const u32 nreg = static_cast<u32>(opposite(dd));
-      const std::size_t nkey = reg_key(np, nreg, static_cast<u32>(nci));
-      const bool occupied =
-          np.reg_set[std::size_t{nreg} * np.num_colors + static_cast<u32>(nci)];
-      if (occupied && !resolve_move(npe, nreg, static_cast<u32>(nci))) {
+      const std::size_t nkey =
+          layout_.reg_key(npe, nreg, static_cast<u32>(nci));
+      if (reg_set_[nkey] &&
+          !resolve_move(npe, nreg, nkey)) {
         blocked_on_register(nkey);  // wait for the stalled register to clear
         ok = false;
         break;
@@ -531,21 +509,26 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, u32 ci) {
   return true;
 }
 
-bool FabricSim::gather_move(PEState& p, u32 pe, std::size_t ridx) {
-  const std::size_t key = p.reg_base + ridx;
+bool FabricSim::gather_move(u32 pe, std::size_t ridx) {
+  const std::size_t key = layout_.reg_base(pe) + ridx;
   const MoveSlot& slot = move_[key];
   if (slot.epoch != cycle_ || slot.state != MoveState::Yes) return false;
-  const u32 ci = static_cast<u32>(ridx) % p.num_colors;
-  ColorRules& cr = p.colors[ci];
-  const RouteRule& rule = cr.rules[cr.active];
-  moves_.push_back({{p.reg_value[ridx], rule.color}, pe, rule.forward});
-  clear_register(p, ridx, pe);
-  WSR_ASSERT(cr.remaining > 0, "rule accounting underflow");
-  if (--cr.remaining == 0) {
-    ++cr.active;
-    cr.remaining =
-        cr.active < cr.rules.size() ? cr.rules[cr.active].count : 0;
-    sub_wake_color(p, ci);  // registers stalled on the retired rule
+  const std::size_t ck = layout_.reg_color_key(key);
+  ActiveRule& ar = active_rule_[ck];
+  moves_.push_back({{reg_value_[key], ar.color}, pe, ar.forward});
+  clear_register(pe, ridx);
+  WSR_ASSERT(ar.remaining > 0, "rule accounting underflow");
+  if (--ar.remaining == 0) {
+    // Retire: refresh the denormalized slot from the layout's rule arena.
+    const auto rules = layout_.rules(ck);
+    const u32 next = ++rule_active_[ck];
+    if (next < rules.size()) {
+      ar = {rules[next].color, static_cast<u8>(rules[next].accept),
+            rules[next].forward, 0, rules[next].count};
+    } else {
+      ar.accept = kNoActiveRule;
+    }
+    sub_wake_color(pe, layout_.reg_ci(key));  // parked on the retired rule
   }
   return true;
 }
@@ -556,20 +539,20 @@ void FabricSim::execute_moves() {
       const Dir dd = static_cast<Dir>(d);
       if (!mask_has(m.forward, dd)) continue;
       if (dd == Dir::Ramp) {
-        PEState& p = pes_[m.pe];
-        const i8 ci = p.color_index[m.w.color];
-        p.down[static_cast<u32>(ci)].push({m.w, cycle_ + opt_.ramp_latency});
+        const i8 ci = layout_.compact_color(m.pe, m.w.color);
+        down_[layout_.color_key(m.pe, static_cast<u32>(ci))].push(
+            {m.w, cycle_ + opt_.ramp_latency});
         wake_processor(m.pe);
         note_queue_pending(m.pe);
       } else {
-        const u32 npe = neighbor_pe_[std::size_t{m.pe} * kNumDirs + d];
-        PEState& np = pes_[npe];
-        const i8 nci = np.color_index[m.w.color];
-        const std::size_t idx = std::size_t{static_cast<u32>(opposite(dd))} *
-                                    np.num_colors +
-                                static_cast<u32>(nci);
-        WSR_ASSERT(!np.reg_set[idx], "register collision");
-        set_register(np, idx, npe, m.w.value);
+        const u32 npe = layout_.neighbor(m.pe, d);
+        const i8 nci = layout_.compact_color(npe, m.w.color);
+        const std::size_t ridx = std::size_t{static_cast<u32>(opposite(dd))} *
+                                     layout_.num_colors(npe) +
+                                 static_cast<u32>(nci);
+        WSR_ASSERT(!reg_set_[layout_.reg_base(npe) + ridx],
+                   "register collision");
+        set_register(npe, ridx, m.w.value);
         ++hops_;
       }
     }
@@ -582,21 +565,22 @@ bool FabricSim::router_step(const std::vector<u32>& pes) {
   // register index within a PE (== the (dir, color) scan order; the
   // occupancy-bitmask iteration preserves it).
   for (u32 pe : pes) {
-    PEState& p = pes_[pe];
-    if (p.occupied_regs == 0) continue;
-    if (p.use_occ_mask) {
-      for (u64 m = p.occ_mask; m != 0; m &= m - 1) {
-        const u32 ridx = static_cast<u32>(std::countr_zero(m));
-        if (move_[p.reg_base + ridx].epoch != cycle_) {
-          resolve_move(pe, ridx / p.num_colors, ridx % p.num_colors);
+    if (occupied_regs_[pe] == 0) continue;
+    const u32 num_colors = layout_.num_colors(pe);
+    const std::size_t base = layout_.reg_base(pe);
+    if (use_occ_mask_[pe]) {
+      for (u64 m = occ_mask_[pe]; m != 0; m &= m - 1) {
+        const std::size_t key = base + static_cast<u32>(std::countr_zero(m));
+        if (move_[key].epoch != cycle_) {
+          resolve_move(pe, layout_.reg_dir(key), key);
         }
       }
     } else {
       for (u32 d = 0; d < kNumDirs; ++d) {
-        for (u32 ci = 0; ci < p.num_colors; ++ci) {
-          if (p.reg_set[std::size_t{d} * p.num_colors + ci] &&
-              move_[reg_key(p, d, ci)].epoch != cycle_) {
-            resolve_move(pe, d, ci);
+        for (u32 ci = 0; ci < num_colors; ++ci) {
+          const std::size_t ridx = std::size_t{d} * num_colors + ci;
+          if (reg_set_[base + ridx] && move_[base + ridx].epoch != cycle_) {
+            resolve_move(pe, d, base + ridx);
           }
         }
       }
@@ -607,17 +591,17 @@ bool FabricSim::router_step(const std::vector<u32>& pes) {
   moves_.clear();
   bool changed = false;
   for (u32 pe : pes) {
-    PEState& p = pes_[pe];
-    if (p.occupied_regs == 0) continue;
-    if (p.use_occ_mask) {
+    if (occupied_regs_[pe] == 0) continue;
+    if (use_occ_mask_[pe]) {
       // Snapshot: gather clears bits as it consumes registers.
-      for (u64 m = p.occ_mask; m != 0; m &= m - 1) {
-        changed |= gather_move(p, pe, static_cast<u32>(std::countr_zero(m)));
+      for (u64 m = occ_mask_[pe]; m != 0; m &= m - 1) {
+        changed |= gather_move(pe, static_cast<u32>(std::countr_zero(m)));
       }
     } else {
-      const std::size_t num_regs = std::size_t{kNumDirs} * p.num_colors;
+      const std::size_t num_regs = layout_.num_regs(pe);
+      const std::size_t base = layout_.reg_base(pe);
       for (std::size_t ridx = 0; ridx < num_regs; ++ridx) {
-        if (p.reg_set[ridx]) changed |= gather_move(p, pe, ridx);
+        if (reg_set_[base + ridx]) changed |= gather_move(pe, ridx);
       }
     }
   }
@@ -636,7 +620,8 @@ bool FabricSim::router_step_subscription() {
   attempt_.swap(pending_);
   if (parked_count_ != 0) {  // pure streaming has no waiters to pull
     for (std::size_t i = 0; i < attempt_.size(); ++i) {
-      sub_wake_list(reg_waiter_head_[attempt_[i]], attempt_);
+      i32& head = reg_waiter_head_[attempt_[i]];
+      if (head != -1) sub_wake_list(head, attempt_);
     }
   }
   if (attempt_.empty()) return false;
@@ -649,13 +634,9 @@ bool FabricSim::router_step_subscription() {
     std::sort(attempt_.begin(), attempt_.end());
   }
   for (u32 key : attempt_) {
-    const u32 pe = reg_pe_[key];
-    PEState& p = pes_[pe];
-    const std::size_t ridx = key - p.reg_base;
-    WSR_ASSERT(p.reg_set[ridx], "woken register is empty");
+    WSR_ASSERT(reg_set_[key], "woken register is empty");
     if (move_[key].epoch != cycle_) {
-      resolve_move(pe, static_cast<u32>(ridx / p.num_colors),
-                   static_cast<u32>(ridx % p.num_colors));
+      resolve_move(layout_.pe_of_reg(key), layout_.reg_dir(key), key);
     }
   }
   // Park the still-blocked registers on their recorded stall cause; movers
@@ -675,9 +656,8 @@ bool FabricSim::router_step_subscription() {
   bool changed = false;
   for (u32 key : attempt_) {
     if (move_[key].state == MoveState::Yes) {
-      const u32 pe = reg_pe_[key];
-      PEState& p = pes_[pe];
-      changed |= gather_move(p, pe, key - p.reg_base);
+      const u32 pe = layout_.pe_of_reg(key);
+      changed |= gather_move(pe, key - layout_.reg_base(pe));
     }
   }
   execute_moves();
@@ -687,11 +667,11 @@ bool FabricSim::router_step_subscription() {
 i64 FabricSim::scan_next_ready() {
   i64 next_ready = INT64_MAX;
   if (opt_.stepping == SteppingMode::FullScan) {
-    for (const PEState& p : pes_) {
-      for (const auto& q : p.down) {
-        if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
-      }
-      if (!p.up.empty()) next_ready = std::min(next_ready, p.up.front().ready);
+    for (const WaveletFifo& q : down_) {
+      if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
+    }
+    for (const WaveletFifo& q : up_) {
+      if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
     }
     return next_ready;
   }
@@ -700,13 +680,15 @@ i64 FabricSim::scan_next_ready() {
   std::size_t keep = 0;
   for (std::size_t i = 0; i < queue_list_.size(); ++i) {
     const u32 pe = queue_list_[i];
-    const PEState& p = pes_[pe];
-    bool any = !p.up.empty();
-    if (!p.up.empty()) next_ready = std::min(next_ready, p.up.front().ready);
-    for (const auto& q : p.down) {
-      if (!q.empty()) {
+    bool any = !up_[pe].empty();
+    if (!up_[pe].empty()) {
+      next_ready = std::min(next_ready, up_[pe].front().ready);
+    }
+    const std::size_t ck_end = layout_.color_base(pe) + layout_.num_colors(pe);
+    for (std::size_t ck = layout_.color_base(pe); ck < ck_end; ++ck) {
+      if (!down_[ck].empty()) {
         any = true;
-        next_ready = std::min(next_ready, q.front().ready);
+        next_ready = std::min(next_ready, down_[ck].front().ready);
       }
     }
     if (any) {
@@ -720,7 +702,7 @@ i64 FabricSim::scan_next_ready() {
 }
 
 FabricResult FabricSim::run() {
-  const u32 n = static_cast<u32>(pes_.size());
+  const u32 n = layout_.num_pes();
   const SteppingMode mode = opt_.stepping;
   std::vector<u32> all_pes;
   if (mode == SteppingMode::FullScan) {
@@ -729,7 +711,7 @@ FabricResult FabricSim::run() {
   } else {
     // Everything with a program is initially runnable.
     for (u32 pe = 0; pe < n; ++pe) {
-      if (!pes_[pe].done) wake_processor(pe);
+      if (!done_[pe]) wake_processor(pe);
     }
   }
 
@@ -772,7 +754,7 @@ FabricResult FabricSim::run() {
         std::sort(router_scratch_.begin(), router_scratch_.end());
         changed |= router_step(router_scratch_);
         for (u32 pe : router_scratch_) {
-          if (pes_[pe].occupied_regs != 0 && !in_router_list_[pe]) {
+          if (occupied_regs_[pe] != 0 && !in_router_list_[pe]) {
             in_router_list_[pe] = 1;
             router_list_.push_back(pe);
           }
@@ -799,13 +781,13 @@ FabricResult FabricSim::run() {
                    "FabricSim deadlock in schedule '%s' at cycle %lld\n",
                    sched_->name.c_str(), static_cast<long long>(cycle_));
       for (u32 pe = 0; pe < n; ++pe) {
-        const PEState& p = pes_[pe];
-        for (u32 oi = 0; oi < p.ops.size(); ++oi) {
-          if (!p.ops[oi].complete) {
-            const Coord c = grid_.coord(pe);
+        const std::size_t num_ops = layout_.num_ops(pe);
+        for (u32 oi = 0; oi < num_ops; ++oi) {
+          const OpState& st = ops_[layout_.op_key(pe, oi)];
+          if (!st.complete) {
+            const Coord c = layout_.grid().coord(pe);
             std::fprintf(stderr, "  PE(%u,%u) op%u progress=%u/%u\n", c.x, c.y,
-                         oi, p.ops[oi].progress,
-                         sched_->programs[pe].ops[oi].len);
+                         oi, st.progress, sched_->programs[pe].ops[oi].len);
           }
         }
       }
@@ -819,13 +801,14 @@ FabricResult FabricSim::run() {
   res.memory.resize(n);
   res.op_done_cycle.resize(n);
   for (u32 pe = 0; pe < n; ++pe) {
-    res.memory[pe] = pes_[pe].mem;
+    res.memory[pe] = mem_[pe];
     res.max_pe_ramp_wavelets =
-        std::max(res.max_pe_ramp_wavelets, pes_[pe].ramp_traffic);
-    res.op_done_cycle[pe].resize(pes_[pe].ops.size());
-    for (u32 oi = 0; oi < pes_[pe].ops.size(); ++oi) {
-      res.op_done_cycle[pe][oi] = pes_[pe].ops[oi].done_cycle;
-      res.cycles = std::max(res.cycles, pes_[pe].ops[oi].done_cycle + 1);
+        std::max(res.max_pe_ramp_wavelets, ramp_traffic_[pe]);
+    const std::size_t num_ops = layout_.num_ops(pe);
+    res.op_done_cycle[pe].resize(num_ops);
+    for (u32 oi = 0; oi < num_ops; ++oi) {
+      res.op_done_cycle[pe][oi] = ops_[layout_.op_key(pe, oi)].done_cycle;
+      res.cycles = std::max(res.cycles, res.op_done_cycle[pe][oi] + 1);
     }
   }
   return res;

@@ -27,6 +27,15 @@
 // the model's cost terms (wavelet hops = energy, per-PE ramp traffic =
 // contention) alongside the cycle count.
 //
+// Storage (DESIGN.md §3 "Structure-of-arrays fabric layout"): all simulator
+// state lives in globally flat arrays — one array per field — indexed by the
+// register/color/op keys a shared FabricLayout (wse/layout.hpp) precomputes,
+// with per-PE spans carved out by its offset tables. The moving-chain
+// resolve path walks neighbouring PEs' registers and rule state; with the
+// previous array-of-PEState layout every hop was a pointer chase through
+// that PE's own heap-allocated vectors, and the resolve path was
+// memory-latency-bound rather than compute-bound.
+//
 // Stepping modes (DESIGN.md §"Active-set FabricSim" and §"Stall-subscription
 // router engine"): three selectable modes execute the same per-PE step
 // bodies in the same order, so results are bit-identical — pinned by
@@ -42,11 +51,13 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/grid.hpp"
 #include "common/lazy_fifo.hpp"
 #include "common/types.hpp"
+#include "wse/layout.hpp"
 #include "wse/schedule.hpp"
 
 namespace wsr::wse {
@@ -62,12 +73,25 @@ enum class SteppingMode : u8 {
                  ///< the resource they stalled on (default).
 };
 
+/// Parses a WSR_FABRIC_STEPPING value ("fullscan" | "worklist" |
+/// "subscription"); nullopt for anything else.
+std::optional<SteppingMode> parse_stepping_mode(std::string_view text);
+
+/// Resolves a WSR_FABRIC_STEPPING environment value: the default mode when
+/// unset/empty, the parsed mode when valid, and a hard process exit (code
+/// 2, message listing the valid modes) otherwise — a typo'd A/B run must
+/// not silently measure the default. default_stepping_mode() memoizes one
+/// call per process; exposed separately so the rejection path is testable.
+SteppingMode stepping_mode_from_env_value(const char* env);
+
 /// The process-wide default stepping mode: Subscription, overridable once
-/// per process via the WSR_FABRIC_STEPPING environment variable
-/// ("fullscan" | "worklist" | "subscription", read on first use). Because
-/// the modes are bit-identical, the toggle changes wall time only — it
-/// exists so any bench/test/CLI run can A/B the engines without a rebuild
-/// (docs/cli.md). Call sites that pin a mode explicitly are unaffected.
+/// per process via the WSR_FABRIC_STEPPING environment variable (read on
+/// first use). An unrecognized value is a hard configuration error: the
+/// process exits with a message listing the valid modes, because a typo'd
+/// A/B run silently falling back to the default would invalidate exactly
+/// the comparison the variable exists for (docs/cli.md). Because the modes
+/// are bit-identical, the toggle changes wall time only. Call sites that
+/// pin a mode explicitly are unaffected.
 SteppingMode default_stepping_mode();
 
 struct FabricOptions {
@@ -107,12 +131,6 @@ class FabricSim {
     Color color = 0;
   };
 
-  struct ColorRules {
-    std::vector<RouteRule> rules;
-    u32 active = 0;
-    u32 remaining = 0;  // of rules[active]
-  };
-
   struct TimedWavelet {
     Wavelet w;
     i64 ready = 0;
@@ -126,32 +144,6 @@ class FabricSim {
     i64 done_cycle = -1;
   };
 
-  struct PEState {
-    std::vector<ColorRules> colors;  // index by compact color id
-    std::vector<i8> color_index;     // color -> compact index or -1
-    u32 num_colors = 0;
-    // Router input registers: one per (direction, compact color).
-    // Index: dir * num_colors + ci. `reg_set` marks occupancy.
-    std::vector<float> reg_value;
-    std::vector<u8> reg_set;
-    std::vector<WaveletFifo> down;  // per compact color FIFO
-    WaveletFifo up;                 // up-ramp pipeline FIFO
-    std::vector<OpState> ops;
-    u32 first_incomplete = 0;  ///< every op below this index is complete
-    std::vector<float> mem;
-    i64 ramp_traffic = 0;
-    bool done = false;
-    std::size_t reg_base = 0;    // offset into the global per-register arrays
-    std::size_t color_base = 0;  // offset into the global per-color arrays
-    u32 occupied_regs = 0;      // #set router registers (router worklist key)
-    /// Bitmask over register indices (dir * num_colors + ci) when they fit
-    /// in 64 bits (they do for every generated schedule: <= 12 colors per
-    /// PE); iterating set bits ascending is exactly the (dir, color) scan
-    /// order, so arbitration is unchanged. 0-wide fallback scans all.
-    u64 occ_mask = 0;
-    bool use_occ_mask = true;
-  };
-
   // -- per-PE cycle-step bodies (identical in all stepping modes) --
   bool step_processor(u32 pe);   // PE ops consume/emit; returns "changed".
   bool step_up_ramp(u32 pe);     // up FIFO head -> ramp register.
@@ -160,18 +152,13 @@ class FabricSim {
 
   // movement resolution (memoized per cycle via epoch tags)
   enum class MoveState : u8 { Unknown, InProgress, Yes, No };
-  bool resolve_move(u32 pe, u32 dir, u32 ci);
-
-  std::size_t reg_key(const PEState& p, u32 dir, u32 ci) const {
-    return p.reg_base + std::size_t{dir} * p.num_colors + ci;
-  }
-  std::size_t color_key(const PEState& p, u32 ci) const {
-    return p.color_base + ci;
-  }
+  bool resolve_move(u32 pe, u32 dir, std::size_t key);
 
   // -- worklist / subscription bookkeeping (no-ops for simulation state) --
-  void set_register(PEState& p, std::size_t ridx, u32 pe, float value);
-  void clear_register(PEState& p, std::size_t ridx, u32 pe);
+  // `ridx` is always the PE-local register index (dir * num_colors + ci);
+  // the global key is layout_.reg_base(pe) + ridx.
+  void set_register(u32 pe, std::size_t ridx, float value);
+  void clear_register(u32 pe, std::size_t ridx);
   void wake_processor(u32 pe);
   void note_up_pending(u32 pe);
   void note_queue_pending(u32 pe);
@@ -196,25 +183,73 @@ class FabricSim {
   /// attempt closure), skipping stale entries and keeping parked_count_.
   void sub_wake_list(i32& head, std::vector<u32>& out);
   /// Fires the (pe, ci) color event: rule advanced or ingress queue popped.
-  void sub_wake_color(PEState& p, u32 ci);
+  void sub_wake_color(u32 pe, u32 ci);
   /// Parks `key` on the stall cause recorded by resolve_move this cycle.
   void sub_park(std::size_t key);
 
   /// Appends the register's pending move to `moves_`, clears the register
   /// and retires rule quota. Shared by both router-step flavours; `ridx` is
   /// the PE-local register index.
-  bool gather_move(PEState& p, u32 pe, std::size_t ridx);
+  bool gather_move(u32 pe, std::size_t ridx);
   /// Executes the gathered `moves_`: place copies into neighbour registers
   /// and ingress queues.
   void execute_moves();
 
-  GridShape grid_;
+  /// The wafer's index algebra: every array below indexed by a register,
+  /// color, link or op key is laid out by this module.
+  FabricLayout layout_;
   FabricOptions opt_;
   const Schedule* sched_;
-  std::vector<PEState> pes_;
   i64 cycle_ = 0;
   i64 hops_ = 0;
   u64 done_count_ = 0;
+
+  // --- structure-of-arrays simulator state -----------------------------------
+  // One flat array per field; per-PE spans are carved out by the layout's
+  // offset tables, so a resolve closure walking a stalled chain touches
+  // adjacent memory instead of pointer-chasing through per-PE objects.
+
+  // [global register key]
+  std::vector<float> reg_value_;
+  std::vector<u8> reg_set_;
+
+  // [global color key]
+  /// The color's active routing rule, denormalized into one 8-byte slot so
+  /// the resolve/gather hot paths make a single load instead of walking
+  /// rule_active_ -> layout_.rules(ck) -> RouteRule. Refreshed from the
+  /// layout's rule arena only when a rule retires. accept == kNoActiveRule
+  /// encodes an exhausted (or empty) chain — it compares unequal to every
+  /// direction, which is exactly the stall the scan would produce.
+  struct ActiveRule {
+    Color color = 0;
+    u8 accept = kNoActiveRule;
+    DirMask forward = 0;
+    u8 pad = 0;
+    u32 remaining = 0;
+  };
+  static constexpr u8 kNoActiveRule = 0xff;
+  std::vector<ActiveRule> active_rule_;
+  std::vector<u32> rule_active_;     ///< index into layout_.rules(ck); only
+                                     ///< touched when a rule retires
+  std::vector<WaveletFifo> down_;    ///< processor ingress queue headers
+
+  // [global op key]
+  std::vector<OpState> ops_;
+
+  // [pe]
+  std::vector<WaveletFifo> up_;        ///< up-ramp pipeline FIFO headers
+  std::vector<std::vector<float>> mem_;  ///< PE memories (caller-sized)
+  std::vector<i64> ramp_traffic_;
+  std::vector<u8> done_;
+  std::vector<u32> first_incomplete_;  ///< ops below this index are complete
+  std::vector<u32> occupied_regs_;     ///< #set registers (router list key)
+  /// Bitmask over PE-local register indices (dir * num_colors + ci) when
+  /// they fit in 64 bits (they do for every generated schedule: <= 12
+  /// colors per PE); iterating set bits ascending is exactly the
+  /// (dir, color) scan order, so arbitration is unchanged. The 0-wide
+  /// fallback scans all registers of the PE.
+  std::vector<u64> occ_mask_;
+  std::vector<u8> use_occ_mask_;
 
   /// Per-register movement-resolution state, epoch-tagged so nothing is
   /// cleared per cycle. One 16-byte slot per register keeps the resolution
@@ -230,14 +265,8 @@ class FabricSim {
   };
   std::vector<MoveSlot> move_;         // [global register key]
   std::vector<i64> reg_claim_epoch_;   // [global register key]
-  std::vector<i64> link_claim_epoch_;  // [pe * 5 + dir]: output link used
+  std::vector<i64> link_claim_epoch_;  // [link key]: output link used
   std::vector<i64> ramp_claim_epoch_;  // [pe]: ramp-down delivery used
-  /// Flat neighbour table: [pe * 5 + dir] -> neighbouring PE id, or
-  /// kNoNeighbor off-grid (replaces per-resolution coord division).
-  static constexpr u32 kNoNeighbor = UINT32_MAX;
-  std::vector<u32> neighbor_pe_;
-  std::size_t total_regs_ = 0;
-  std::size_t total_colors_ = 0;
 
   // Active sets. Membership flags guard against duplicates; the router list
   // is sorted ascending before use because inter-PE claim arbitration is
@@ -260,7 +289,6 @@ class FabricSim {
                                         //   streaming skip the closure scan
   std::vector<u32> pending_;   // registers to attempt at next router phase
   std::vector<u32> attempt_;   // this cycle's woken closure (sorted)
-  std::vector<u32> reg_pe_;    // [reg key] -> owning pe
 
   /// Timed wake-ups: (ready cycle, pe) min-heap for processors blocked on a
   /// queue head that is still in flight down the ramp.

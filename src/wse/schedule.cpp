@@ -70,23 +70,7 @@ u32 Schedule::colors_used() const {
   return static_cast<u32>(colors.size());
 }
 
-u32 Schedule::pe_colors_used(u32 pe) const {
-  // Color ids fit a u64 bitmask (the simulators assert < 32); the `& 63`
-  // keeps an out-of-range id from shifting out of bounds here — the
-  // simulators' own range checks still reject it with context.
-  u64 mask = 0;
-  for (const RouteRule& r : rules[pe]) mask |= u64{1} << (r.color & 63);
-  for (const Op& op : programs[pe].ops) {
-    if (op.kind != OpKind::Send) mask |= u64{1} << (op.in_color & 63);
-    if (op.kind != OpKind::Recv) mask |= u64{1} << (op.out_color & 63);
-  }
-  u32 count = 0;
-  for (; mask != 0; mask &= mask - 1) ++count;
-  return count;
-}
-
-namespace {
-const char* kind_name(OpKind k) {
+const char* op_kind_name(OpKind k) {
   switch (k) {
     case OpKind::Send: return "send";
     case OpKind::Recv: return "recv";
@@ -94,15 +78,15 @@ const char* kind_name(OpKind k) {
   }
   return "?";
 }
-const char* mode_name(RecvMode m) {
+
+const char* recv_mode_name(RecvMode m) {
   switch (m) {
     case RecvMode::Store: return "store";
     case RecvMode::Add: return "add";
-    case RecvMode::AddModulo: return "add_mod";
+    case RecvMode::AddModulo: return "add_modulo";
   }
   return "?";
 }
-}  // namespace
 
 std::string Schedule::dump(u32 max_pes) const {
   std::ostringstream os;
@@ -114,9 +98,10 @@ std::string Schedule::dump(u32 max_pes) const {
     os << "PE(" << c.x << "," << c.y << "):\n";
     for (u32 i = 0; i < programs[pe].ops.size(); ++i) {
       const Op& op = programs[pe].ops[i];
-      os << "  op" << i << ": " << kind_name(op.kind) << " len=" << op.len;
+      os << "  op" << i << ": " << op_kind_name(op.kind) << " len=" << op.len;
       if (op.kind != OpKind::Send) {
-        os << " in=c" << static_cast<u32>(op.in_color) << "/" << mode_name(op.mode);
+        os << " in=c" << static_cast<u32>(op.in_color) << "/"
+           << recv_mode_name(op.mode);
       }
       if (op.kind != OpKind::Recv) os << " out=c" << static_cast<u32>(op.out_color);
       if (!op.deps.empty()) {

@@ -54,6 +54,11 @@ enum class RecvMode : u8 {
               ///< vectors arrive back to back on one color).
 };
 
+/// Stable display names shared by dump() and the JSON export
+/// ("send" / "recv" / "recv_reduce_send"; "store" / "add" / "add_modulo").
+const char* op_kind_name(OpKind k);
+const char* recv_mode_name(RecvMode m);
+
 /// One processor operation. `deps` are indices of ops in the same PE program
 /// that must have completed before this op may start. Ops without
 /// dependencies may run concurrently; the processor has one ingress and one
@@ -107,13 +112,10 @@ struct Schedule {
   void add_rule(u32 x, u32 y, RouteRule r) { rules[grid.pe_id(x, y)].push_back(r); }
 
   /// Number of distinct colors referenced anywhere (paper: implementations
-  /// must stay well below the 24 available).
+  /// must stay well below the 24 available). Per-PE color interning lives
+  /// in FabricLayout (wse/layout.hpp), the index-algebra module both
+  /// simulators share.
   u32 colors_used() const;
-
-  /// Number of distinct colors PE `pe` touches (its rules plus the colors
-  /// its ops consume/emit). Both simulators use this to reserve their
-  /// per-color state exactly once at construction.
-  u32 pe_colors_used(u32 pe) const;
 
   /// Human-readable dump (the moral equivalent of the generated CSL):
   /// per-PE programs and router rule chains.

@@ -123,5 +123,29 @@ TEST(Fabric, ContentionMeasuredAtRoot) {
   EXPECT_EQ(r.max_ramp_wavelets, i64{b} * (p - 1));
 }
 
+TEST(SteppingMode, ParsesTheThreeValidModes) {
+  EXPECT_EQ(parse_stepping_mode("fullscan"), SteppingMode::FullScan);
+  EXPECT_EQ(parse_stepping_mode("worklist"), SteppingMode::Worklist);
+  EXPECT_EQ(parse_stepping_mode("subscription"), SteppingMode::Subscription);
+  EXPECT_EQ(parse_stepping_mode("Subscription"), std::nullopt);
+  EXPECT_EQ(parse_stepping_mode("sub"), std::nullopt);
+  EXPECT_EQ(parse_stepping_mode(""), std::nullopt);
+}
+
+TEST(SteppingMode, EnvResolutionDefaultsAndAccepts) {
+  EXPECT_EQ(stepping_mode_from_env_value(nullptr),
+            SteppingMode::Subscription);
+  EXPECT_EQ(stepping_mode_from_env_value(""), SteppingMode::Subscription);
+  EXPECT_EQ(stepping_mode_from_env_value("worklist"), SteppingMode::Worklist);
+}
+
+TEST(SteppingMode, UnknownEnvValueIsAHardError) {
+  // A typo'd WSR_FABRIC_STEPPING must not silently measure the default
+  // mode; the process exits listing the valid values (docs/cli.md).
+  EXPECT_EXIT(stepping_mode_from_env_value("worklust"),
+              ::testing::ExitedWithCode(2),
+              "not a valid stepping mode.*fullscan, worklist, subscription");
+}
+
 }  // namespace
 }  // namespace wsr::wse

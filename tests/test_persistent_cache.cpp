@@ -335,5 +335,192 @@ TEST(PersistentPlanCache, EmptyAndMissingStoresLoadCleanly) {
   EXPECT_EQ(empty.stats().load_errors, 0u);
 }
 
+TEST(PersistentPlanCache, LoadCompactsWhenDeadBytesExceedHalfTheFile) {
+  TempDir dir;
+  const Planner planner(16);
+  serve_all(planner, dir.str());  // seed: one record per request
+
+  const fs::path store = fs::path(dir.str()) / "plans.wsrpc";
+  const std::string clean = read_file(store);
+  const auto spans = record_spans(clean);
+  ASSERT_FALSE(spans.empty());
+
+  // Simulate racing writers: re-append whole copies of every record until
+  // duplicates (dead bytes on load — first record wins) exceed half the
+  // file. Duplicated records are valid, so this is pure dead weight.
+  std::string bloated = clean;
+  while (bloated.size() < 2 * clean.size() + 1) {
+    for (const auto& [start, end] : spans) {
+      bloated.append(clean, start, end - start);
+    }
+  }
+  write_file(store, bloated);
+
+  PersistentPlanCache compacting(dir.str());
+  const auto stats = compacting.stats();
+  EXPECT_EQ(stats.loaded, spans.size());
+  EXPECT_EQ(stats.compactions, 1u);
+  // The rewrite went through the temp-file + atomic-rename path and kept
+  // exactly the live set: the file is back to its clean size and a fresh
+  // load sees no dead bytes (and therefore does not compact again).
+  EXPECT_EQ(read_file(store), clean);
+  PersistentPlanCache reopened(dir.str());
+  EXPECT_EQ(reopened.stats().loaded, spans.size());
+  EXPECT_EQ(reopened.stats().compactions, 0u);
+}
+
+TEST(PersistentPlanCache, MaxBytesBoundCompactsThenSkipsAppends) {
+  TempDir dir;
+  const Planner planner(16);
+  const PlanRequest req_a = reduce_req(8, 16);
+  const PlanRequest req_b = reduce_req(16, 64);
+
+  // Measure the store size with just req_a's record on disk.
+  {
+    PersistentPlanCache seed(dir.str());
+    seed.append(PlanCache::key_for(planner, req_a),
+                std::make_shared<const Plan>(planner.plan(req_a)));
+  }
+  const fs::path store = fs::path(dir.str()) / "plans.wsrpc";
+  const u64 bound = read_file(store).size();
+
+  fs::remove(store);
+  PersistentPlanCache bounded(dir.str(),
+                              PersistentPlanCache::Options{.max_bytes = bound});
+  bounded.append(PlanCache::key_for(planner, req_a),
+                 std::make_shared<const Plan>(planner.plan(req_a)));
+  EXPECT_EQ(bounded.stats().appended, 1u);
+
+  // The second record would cross the bound; compaction finds no dead
+  // bytes to reclaim (so no rewrite happens, and compactions stays 0) and
+  // the append is skipped — served from memory, just not durable.
+  bounded.append(PlanCache::key_for(planner, req_b),
+                 std::make_shared<const Plan>(planner.plan(req_b)));
+  // A third over-bound append hits the futility memo (the live set is
+  // known to leave no room) and skips without re-scanning the store.
+  const PlanRequest req_c = reduce_req(8, 32);
+  bounded.append(PlanCache::key_for(planner, req_c),
+                 std::make_shared<const Plan>(planner.plan(req_c)));
+  const auto stats = bounded.stats();
+  EXPECT_EQ(stats.appended, 1u);
+  EXPECT_EQ(stats.appends_skipped, 2u);
+  EXPECT_EQ(stats.compactions, 0u);  // nothing was reclaimed, no rewrite
+  EXPECT_LE(read_file(store).size(), bound);
+  // This process still serves req_b (memory index)...
+  EXPECT_NE(bounded.find(PlanCache::key_for(planner, req_b)), nullptr);
+  // ...but a restart only sees the durable record.
+  PersistentPlanCache reopened(dir.str());
+  EXPECT_NE(reopened.find(PlanCache::key_for(planner, req_a)), nullptr);
+  EXPECT_EQ(reopened.find(PlanCache::key_for(planner, req_b)), nullptr);
+}
+
+TEST(PersistentPlanCache, BoundedAppendReclaimsDeadBytesBeforeSkipping) {
+  TempDir dir;
+  const Planner planner(16);
+  const PlanRequest req_a = reduce_req(8, 16);
+  const PlanRequest req_b = reduce_req(16, 64);
+  const auto key_a = PlanCache::key_for(planner, req_a);
+  const auto key_b = PlanCache::key_for(planner, req_b);
+  const auto plan_a = std::make_shared<const Plan>(planner.plan(req_a));
+  const auto plan_b = std::make_shared<const Plan>(planner.plan(req_b));
+
+  // Size a bound that fits both records exactly (header + a + b).
+  {
+    PersistentPlanCache seed(dir.str());
+    seed.append(key_a, plan_a);
+    seed.append(key_b, plan_b);
+  }
+  const fs::path store = fs::path(dir.str()) / "plans.wsrpc";
+  const std::string clean = read_file(store);
+  const u64 bound = clean.size();
+
+  // Leave exactly one duplicate of record a on disk: not enough dead
+  // weight to trigger the load-time compaction (<= half the file), but
+  // enough that appending record b crosses the bound — the bounded append
+  // must compact the duplicate away and then have room, not skip.
+  const auto spans = record_spans(clean);
+  ASSERT_EQ(spans.size(), 2u);
+  std::string bloated = clean.substr(0, spans[0].second);  // header + a
+  bloated.append(clean, spans[0].first, spans[0].second - spans[0].first);
+  write_file(store, bloated);
+  ASSERT_GT(bloated.size() + (spans[1].second - spans[1].first), bound);
+
+  PersistentPlanCache bounded(dir.str(),
+                              PersistentPlanCache::Options{.max_bytes = bound});
+  ASSERT_EQ(bounded.stats().compactions, 0u);  // load left the store alone
+  bounded.append(key_b, plan_b);
+  const auto stats = bounded.stats();
+  EXPECT_EQ(stats.appended, 1u);
+  EXPECT_EQ(stats.appends_skipped, 0u);
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_LE(read_file(store).size(), bound);
+  PersistentPlanCache reopened(dir.str());
+  EXPECT_NE(reopened.find(key_a), nullptr);
+  EXPECT_NE(reopened.find(key_b), nullptr);
+}
+
+TEST(PersistentPlanCache, CompactionPreservesRecordsOfUnknownAlgorithms) {
+  TempDir dir;
+  const Planner planner(16);
+  const PlanRequest real = reduce_req(16, 64);
+  const Plan plan = planner.plan(real);
+  {
+    PersistentPlanCache store(dir.str());
+    // A record this process's registry cannot resolve — a *per-process*
+    // miss: another process sharing the store (one that registers the
+    // algorithm) could still serve it, so compaction must not delete it.
+    PlanKey ghost = PlanCache::key_for(planner, real);
+    ghost.algorithm = "Retired-Algorithm";
+    store.append(ghost, std::make_shared<const Plan>(plan));
+    store.append(PlanCache::key_for(planner, real),
+                 std::make_shared<const Plan>(plan));
+  }
+  const fs::path store = fs::path(dir.str()) / "plans.wsrpc";
+  const std::string clean = read_file(store);
+  const auto spans = record_spans(clean);
+  ASSERT_EQ(spans.size(), 2u);
+
+  // Bloat with duplicates of the *resolvable* record until dead bytes
+  // exceed half the file, forcing a load-time compaction.
+  std::string bloated = clean;
+  while (bloated.size() < 2 * clean.size() + 1) {
+    bloated.append(clean, spans[1].first, spans[1].second - spans[1].first);
+  }
+  write_file(store, bloated);
+
+  PersistentPlanCache compacting(dir.str());
+  EXPECT_EQ(compacting.stats().compactions, 1u);
+  // The compacted store is exactly the original two records — the
+  // unresolvable one included — so the file is byte-identical to clean.
+  EXPECT_EQ(read_file(store), clean);
+
+  // Duplicates of the *unresolvable* record are dead bytes too (compaction
+  // keeps only the first copy per key), so they must also trigger the
+  // load-time rewrite — only the first copy counts as live.
+  std::string ghost_bloated = clean;
+  while (ghost_bloated.size() < 2 * clean.size() + 1) {
+    ghost_bloated.append(clean, spans[0].first,
+                         spans[0].second - spans[0].first);
+  }
+  write_file(store, ghost_bloated);
+  PersistentPlanCache compacting_ghosts(dir.str());
+  EXPECT_EQ(compacting_ghosts.stats().compactions, 1u);
+  EXPECT_EQ(read_file(store), clean);
+}
+
+TEST(PersistentPlanCache, FindCountsHitsAndMisses) {
+  TempDir dir;
+  const Planner planner(16);
+  PersistentPlanCache disk(dir.str());
+  const auto key = PlanCache::key_for(planner, reduce_req(8, 16));
+  EXPECT_EQ(disk.find(key), nullptr);
+  disk.append(key, std::make_shared<const Plan>(planner.plan(reduce_req(8, 16))));
+  EXPECT_NE(disk.find(key), nullptr);
+  EXPECT_NE(disk.find(key), nullptr);
+  const auto stats = disk.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
 }  // namespace
 }  // namespace wsr::runtime

@@ -165,7 +165,11 @@ struct Server {
       out += ",\"entries\":" + std::to_string(disk->size());
       out += ",\"loaded\":" + std::to_string(s.loaded);
       out += ",\"load_errors\":" + std::to_string(s.load_errors);
+      out += ",\"hits\":" + std::to_string(s.hits);
+      out += ",\"misses\":" + std::to_string(s.misses);
       out += ",\"appended\":" + std::to_string(s.appended);
+      out += ",\"compactions\":" + std::to_string(s.compactions);
+      out += ",\"appends_skipped\":" + std::to_string(s.appends_skipped);
       char buf[32];
       std::snprintf(buf, sizeof buf, "%.6f", s.load_seconds);
       out += ",\"load_seconds\":";
