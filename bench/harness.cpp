@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <cstdint>
 #include <cstring>
+#include <malloc.h>
 
 #include "common/parallel.hpp"
+#include "wse/fabric.hpp"
 
 namespace wsr::bench {
 
@@ -270,7 +272,19 @@ Bench::Bench(int argc, char** argv, std::string name)
     : name_(std::move(name)),
       options_(BenchOptions::parse(argc, argv)),
       runner_(options_.jobs, options_.repeat),
-      start_ns_(now_ns()) {}
+      start_ns_(now_ns()) {
+#ifdef __GLIBC__
+  // Wafer-scale cells allocate and free the same multi-hundred-MB simulator
+  // state once per sweep point. glibc serves those blocks with mmap and
+  // returns them on free, so every cell re-faults every page — at 512x512
+  // that is over a second of pure kernel time per figure. Keeping the
+  // blocks in the arena (no mmap, no trim) makes the reuse free; bench
+  // processes are short-lived, so peak RSS staying at the high-water mark
+  // is the right trade.
+  mallopt(M_MMAP_MAX, 0);
+  mallopt(M_TRIM_THRESHOLD, -1);
+#endif
+}
 
 void Bench::figure(const std::string& title, const std::string& axis_name,
                    const std::vector<std::string>& axis_labels,
@@ -432,6 +446,9 @@ int Bench::finish() {
 
   std::string out = "{\"bench\":" + json_str(name_) +
                     ",\"jobs\":" + std::to_string(options_.jobs) +
+                    ",\"fabric_stepping\":" +
+                    json_str(std::string(
+                        wse::stepping_mode_name(wse::default_stepping_mode()))) +
                     ",\"repeat\":" + std::to_string(options_.repeat) +
                     ",\"wall_seconds\":" + json_num(wall_s) +
                     ",\"figures\":[" + figures_json_ + "]" +

@@ -104,7 +104,7 @@ static void BM_FabricSimChain(benchmark::State& state) {
 }
 BENCHMARK(BM_FabricSimChain)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
-// The three stepping modes on the same schedules (results are bit-identical;
+// The stepping modes on the same schedules (results are bit-identical;
 // tests/test_fabric_worklist_parity.cpp pins that). Arg pair: (PEs, vec_len).
 // Small B is latency-bound — most PEs idle most cycles — which is where the
 // worklist wins an order of magnitude over the full scan. Runs additionally
@@ -113,10 +113,11 @@ BENCHMARK(BM_FabricSimChain)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 // only), and this counter is how a regression shows up.
 static void BM_FabricSteppingCell(benchmark::State& state,
                                   wse::SteppingMode mode,
-                                  const wse::Schedule& s) {
+                                  const wse::Schedule& s, u32 threads = 0) {
   const auto inputs = wse::make_inputs(s, runtime::canonical_input);
   wse::FabricOptions opt;
   opt.stepping = mode;
+  opt.threads = threads;
   i64 cycles = 1;
   unsigned long long run_allocs = 0;
   for (auto _ : state) {
@@ -163,6 +164,12 @@ static void BM_FabricSubscriptionTree(benchmark::State& state) {
 static void BM_FabricReferenceTree(benchmark::State& state) {
   BM_FabricSimStepping(state, wse::SteppingMode::FullScan, ReduceAlgo::Tree);
 }
+static void BM_FabricVectorizedChain(benchmark::State& state) {
+  BM_FabricSimStepping(state, wse::SteppingMode::Vectorized, ReduceAlgo::Chain);
+}
+static void BM_FabricVectorizedTree(benchmark::State& state) {
+  BM_FabricSimStepping(state, wse::SteppingMode::Vectorized, ReduceAlgo::Tree);
+}
 BENCHMARK(BM_FabricWorklistChain)
     ->Args({512, 1})->Args({512, 64})->Args({512, 256})
     ->Unit(benchmark::kMillisecond);
@@ -177,6 +184,11 @@ BENCHMARK(BM_FabricWorklistTree)
 BENCHMARK(BM_FabricSubscriptionTree)
     ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricReferenceTree)
+    ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricVectorizedChain)
+    ->Args({512, 1})->Args({512, 64})->Args({512, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricVectorizedTree)
     ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
 
 // Contention-bound cells: a 512-PE Star is a deep incast whose occupied
@@ -196,9 +208,14 @@ static void BM_FabricWorklistStar(benchmark::State& state) {
 static void BM_FabricSubscriptionStar(benchmark::State& state) {
   BM_FabricIncastStar(state, wse::SteppingMode::Subscription);
 }
+static void BM_FabricVectorizedStar(benchmark::State& state) {
+  BM_FabricIncastStar(state, wse::SteppingMode::Vectorized);
+}
 BENCHMARK(BM_FabricWorklistStar)
     ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricSubscriptionStar)
+    ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricVectorizedStar)
     ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
 
 // The ISSUE 3 acceptance cell: a 512-PE Star incast whose root is still
@@ -235,9 +252,14 @@ static void BM_FabricWorklistBusyRootStar(benchmark::State& state) {
 static void BM_FabricSubscriptionBusyRootStar(benchmark::State& state) {
   BM_FabricIncastBusyRoot(state, wse::SteppingMode::Subscription);
 }
+static void BM_FabricVectorizedBusyRootStar(benchmark::State& state) {
+  BM_FabricIncastBusyRoot(state, wse::SteppingMode::Vectorized);
+}
 BENCHMARK(BM_FabricWorklistBusyRootStar)
     ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricSubscriptionBusyRootStar)
+    ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricVectorizedBusyRootStar)
     ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
 
 // Dense 2D phase at 512 PEs: every row runs a Star incast concurrently, then
@@ -255,10 +277,32 @@ static void BM_FabricWorklist2DStar(benchmark::State& state) {
 static void BM_FabricSubscription2DStar(benchmark::State& state) {
   BM_Fabric2DStar(state, wse::SteppingMode::Subscription);
 }
+static void BM_FabricVectorized2DStar(benchmark::State& state) {
+  BM_Fabric2DStar(state, wse::SteppingMode::Vectorized);
+}
 BENCHMARK(BM_FabricWorklist2DStar)
     ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricSubscription2DStar)
     ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricVectorized2DStar)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Partitioned cells: the multi-threaded tile engine on the dense 2D shape
+// (the only family with real spatial parallelism), at explicit thread
+// counts so the cell is comparable across hosts. The allocs_per_kcycle
+// counter covers worker-thread allocations too (the operator-new override
+// is process-wide): per-tile worklists and boundary outboxes must reach an
+// allocation-free steady state exactly like the single-threaded engines.
+static void BM_FabricPartitioned2DStar(benchmark::State& state) {
+  const u32 b = static_cast<u32>(state.range(0));
+  const u32 threads = static_cast<u32>(state.range(1));
+  BM_FabricSteppingCell(
+      state, wse::SteppingMode::Partitioned,
+      collectives::make_reduce_2d_xy(ReduceAlgo::Star, {32, 16}, b), threads);
+}
+BENCHMARK(BM_FabricPartitioned2DStar)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})
+    ->Unit(benchmark::kMillisecond);
 
 static void BM_FlowSimChain(benchmark::State& state) {
   const u32 p = static_cast<u32>(state.range(0));

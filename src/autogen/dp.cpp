@@ -80,6 +80,12 @@ void AutoGenModel::fill_tables() {
     return {cap_energy_.data() + st * row, cap_fin[st]};
   };
 
+  // Scratch: rrev[k] = rrow.e[P - k], rebuilt per state, so the split scan
+  // reads E(p-i, d-1, c) as rrev[(P-p) + i] — a forward-strided stream the
+  // vectorizer accepts (the natural re[p-i] walks backwards and GCC refuses
+  // to vectorize the mixed-direction min-reduction).
+  std::vector<i32> rrev(row);
+
   // One state: E(p, d, c) = min_i E(i, d, c-1) + E(p-i, d-1, c) + i over the
   // feasible split range only. Candidate order is ascending i (i = 1, the
   // interior, i = p-1), preserving the original first-strict-min tie-break,
@@ -87,6 +93,9 @@ void AutoGenModel::fill_tables() {
   auto fill_state = [&](u32 c, u32 d, i32* erow, u16* srow) -> u32 {
     const RowRef lrow = row_of(c - 1, d);   // E(i, d, c-1)
     const RowRef rrow = row_of(c, d - 1);   // E(j, d-1, c)
+    if (rrow.e != nullptr) {
+      for (u32 k = 0; k <= P; ++k) rrev[k] = rrow.e[P - k];
+    }
     u32 fin = 1;
     for (u32 p = 2; p <= P; ++p) {
       i32 best = kInfEnergy;
@@ -103,19 +112,28 @@ void AutoGenModel::fill_tables() {
         }
       }
       // Interior splits: both sides >= 2 PEs, both within their frontiers.
+      // The scan is a branchless min-reduction the compiler can vectorize:
+      // an infeasible side contributes kInfEnergy (= INT32_MAX / 4, so the
+      // sum cannot overflow or beat a real candidate), and the first index
+      // attaining the minimum — found in a second, early-exiting pass — is
+      // exactly the first-strict-min the branchy scan picked.
       if (lrow.e != nullptr && rrow.e != nullptr) {
-        const u32 lo = p > rrow.fin ? p - rrow.fin : 2;
-        const u32 hi = std::min(lrow.fin, p - 2);
+        const i32 lo =
+            static_cast<i32>(std::max<u32>(p > rrow.fin ? p - rrow.fin : 2, 2));
+        const i32 hi = static_cast<i32>(std::min(lrow.fin, p - 2));
         const i32* le = lrow.e;
-        const i32* re = rrow.e;
-        for (u32 i = std::max<u32>(lo, 2); i <= hi; ++i) {
-          const i32 a = le[i];
-          const i32 b = re[p - i];
-          if (a >= kInfEnergy || b >= kInfEnergy) continue;
-          const i32 cand = a + b + static_cast<i32>(i);
-          if (cand < best) {
-            best = cand;
-            best_i = static_cast<u16>(i);
+        const i32* rv = rrev.data() + (P - p);  // rv[i] == rrow.e[p - i]
+        i32 m = kInfEnergy;
+        for (i32 i = lo; i <= hi; ++i) {
+          m = std::min(m, le[i] + rv[i] + i);
+        }
+        if (m < best) {
+          for (i32 i = lo; i <= hi; ++i) {
+            if (le[i] + rv[i] + i == m) {
+              best = m;
+              best_i = static_cast<u16>(i);
+              break;
+            }
           }
         }
       }

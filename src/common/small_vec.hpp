@@ -1,0 +1,140 @@
+// SmallVec: a vector with N inline slots for trivially copyable elements.
+// Sized for fields that are almost always tiny but occasionally are not —
+// op dependency lists average about one entry, yet a wafer-scale schedule
+// holds millions of ops, so std::vector's unconditional heap buffer was one
+// malloc/free pair per op at build and teardown. Elements live in the
+// object until the N+1-th push, then move to a heap buffer for good (until
+// clear()/destruction).
+//
+// Deliberately minimal: exactly the surface the schedule structs use —
+// push_back, resize, size/empty, iteration, indexing — plus the equality
+// tests want. Grow-only semantics like std::vector (capacity never shrinks).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wsr {
+
+template <typename T, u32 N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "inline storage requires trivially copyable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> il) {
+    for (const T& v : il) push_back(v);
+  }
+  SmallVec(const SmallVec& o) { append(o.begin(), o.end()); }
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      append(o.begin(), o.end());
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~SmallVec() { release(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  /// Value-initializes any new elements, like std::vector::resize.
+  void resize(std::size_t n) {
+    if (n > cap_) grow(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+    size_ = static_cast<u32>(n);
+  }
+
+  void clear() { size_ = 0; }
+
+  template <typename It>
+  void append(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (u32 i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const SmallVec& a, const std::vector<T>& b) {
+    if (a.size_ != b.size()) return false;
+    for (u32 i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool on_heap() const { return data_ != inline_; }
+
+  void grow(std::size_t want) {
+    std::size_t cap = cap_;
+    while (cap < want) cap *= 2;
+    T* heap = new T[cap];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    release();
+    data_ = heap;
+    cap_ = static_cast<u32>(cap);
+  }
+
+  void release() {
+    if (on_heap()) delete[] data_;
+  }
+
+  /// Takes o's buffer (heap) or contents (inline); leaves o empty.
+  void steal(SmallVec& o) noexcept {
+    if (o.on_heap()) {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      o.data_ = o.inline_;
+      o.cap_ = N;
+    } else {
+      data_ = inline_;
+      cap_ = N;
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  T* data_ = inline_;
+  u32 size_ = 0;
+  u32 cap_ = N;
+  T inline_[N];
+};
+
+}  // namespace wsr

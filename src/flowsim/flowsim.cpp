@@ -1,6 +1,7 @@
 #include "flowsim/flowsim.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/grid.hpp"
 #include "common/lazy_fifo.hpp"
@@ -22,7 +23,10 @@ struct Segment {
   u32 len = 0;
 };
 
-using SegmentFifo = LazyFifo<Segment>;
+// Two inline slots cover the steady state of every streaming pattern the
+// builders emit (one segment parked per hop, one ingress segment per
+// delivery); deeper queues (incast roots) spill to the heap.
+using SegmentFifo = SmallFifo<Segment, 2>;
 
 // The engine advances PE programs *event-driven*: instead of re-sweeping
 // every op of a program on each delivery (quadratic for the 1D Ring, whose
@@ -57,18 +61,19 @@ class Engine {
     const std::size_t total_colors = layout_.total_colors();
 
     // Reverse-dependency adjacency in two flat arrays (counting sort).
-    std::size_t total_deps = 0;
-    for (u32 pe = 0; pe < n; ++pe) {
-      for (const Op& op : s.programs[pe].ops) total_deps += op.deps.size();
-    }
     rdep_off_.assign(total_ops + 1, 0);
+    dep_pending_.assign(total_ops, 0);
+    dep_ready_.assign(total_ops, -1);
     for (u32 pe = 0; pe < n; ++pe) {
-      for (const Op& op : s.programs[pe].ops) {
-        for (u32 d : op.deps) ++rdep_off_[layout_.op_key(pe, d) + 1];
+      const auto& ops = s.programs[pe].ops;
+      for (u32 oi = 0; oi < ops.size(); ++oi) {
+        dep_pending_[layout_.op_key(pe, oi)] =
+            static_cast<u32>(ops[oi].deps.size());
+        for (u32 d : ops[oi].deps) ++rdep_off_[layout_.op_key(pe, d) + 1];
       }
     }
     for (std::size_t i = 1; i <= total_ops; ++i) rdep_off_[i] += rdep_off_[i - 1];
-    rdep_lst_.resize(total_deps);
+    rdep_lst_.resize(rdep_off_[total_ops]);
     {
       std::vector<u32> fill(rdep_off_.begin(), rdep_off_.end() - 1);
       for (u32 pe = 0; pe < n; ++pe) {
@@ -88,12 +93,25 @@ class Engine {
     // is a capacity bound.
     rule_active_.assign(total_colors, 0);
     rule_remaining_.resize(total_colors);
+    // Parked queues exist only for (ck, accept dir) pairs some rule names:
+    // wavelets arriving anywhere else could never be drained, so a dense
+    // [ck][dir] FIFO table is ~5x mostly-dead objects (at wafer scale, a
+    // nine-figure allocation per engine). parked_slot_ maps the pair to a
+    // compact queue index; kNoSlot arrivals are the stray-traffic bug the
+    // old layout only caught once the lane's rules retired.
+    parked_slot_.assign(total_colors * wsr::kNumDirs, kNoSlot);
+    u32 slots = 0;
     for (std::size_t ck = 0; ck < total_colors; ++ck) {
       const auto rules = layout_.rules(ck);
       rule_remaining_[ck] = rules.empty() ? 0 : rules[0].count;
+      for (const RouteRule& r : rules) {
+        u32& slot =
+            parked_slot_[ck * wsr::kNumDirs + static_cast<u32>(r.accept)];
+        if (slot == kNoSlot) slot = slots++;
+      }
     }
     rule_avail_.assign(total_colors, 0);
-    parked_.resize(total_colors * wsr::kNumDirs);
+    parked_.resize(slots);
     ingress_.resize(total_colors);
 
     consumer_off_.assign(total_colors + 1, 0);
@@ -131,21 +149,29 @@ class Engine {
 
   FlowResult run() {
     const u32 n = layout_.num_pes();
-    // Initial pass: every op is a candidate (empty-dep ops schedule here).
+    // Initial pass: only dep-free ops can make progress — queue just those.
+    // Dep-blocked ops are queued by the on_op_done cascade exactly when their
+    // last dependency completes (dep_pending_), which is the first moment the
+    // original all-ops seeding could have advanced them; every earlier wakeup
+    // was a no-op, so skipping it leaves the claim order untouched.
     for (u32 pe = 0; pe < n; ++pe) {
       const std::size_t num_ops = layout_.num_ops(pe);
-      for (u32 oi = 0; oi < num_ops; ++oi) queue_op(pe, oi);
+      const u32* pending = dep_pending_.data() + layout_.op_base(pe);
+      for (u32 oi = 0; oi < num_ops; ++oi) {
+        if (pending[oi] == 0) queue_op(pe, oi);
+      }
       sweep(pe);
     }
     drain_worklists();
 
     FlowResult res;
-    res.op_done_cycle.resize(n);
+    if (opt_.record_op_times) res.op_done_cycle.resize(n);
     for (u32 pe = 0; pe < n; ++pe) {
       const std::size_t num_ops = layout_.num_ops(pe);
-      res.op_done_cycle[pe].resize(num_ops);
+      const OpState* ops = ops_.data() + layout_.op_base(pe);
+      if (opt_.record_op_times) res.op_done_cycle[pe].resize(num_ops);
       for (u32 oi = 0; oi < num_ops; ++oi) {
-        const OpState& st = ops_[layout_.op_key(pe, oi)];
+        const OpState& st = ops[oi];
         if (!st.done) {
           std::fprintf(stderr,
                        "FlowSim: schedule '%s' op %u at PE %u never completed "
@@ -154,7 +180,7 @@ class Engine {
                        s_.programs[pe].ops[oi].len);
           WSR_ASSERT(false, "flow-level deadlock / unmatched traffic");
         }
-        res.op_done_cycle[pe][oi] = st.done_time;
+        if (opt_.record_op_times) res.op_done_cycle[pe][oi] = st.done_time;
         res.cycles = std::max(res.cycles, st.done_time + 1);
       }
     }
@@ -192,7 +218,16 @@ class Engine {
       WSR_ASSERT(false, "stray traffic");
     }
     const std::size_t ck = layout_.color_key(pe, static_cast<u32>(ci));
-    parked_[ck * wsr::kNumDirs + static_cast<u32>(dir)].push(seg);
+    const u32 slot = parked_slot_[ck * wsr::kNumDirs + static_cast<u32>(dir)];
+    if (slot == kNoSlot) {
+      std::fprintf(stderr,
+                   "FlowSim: wavelets of color %u reached PE %u from %s, but "
+                   "no rule accepts from there (schedule '%s')\n",
+                   static_cast<u32>(color), pe, dir_name(dir),
+                   s_.name.c_str());
+      WSR_ASSERT(false, "stray traffic");
+    }
+    parked_[slot].push(seg);
     router_work_.push_back({pe, static_cast<u32>(ci)});
   }
 
@@ -201,7 +236,9 @@ class Engine {
     const auto rules = layout_.rules(ck);
     while (rule_active_[ck] < rules.size()) {
       const RouteRule& rule = rules[rule_active_[ck]];
-      auto& queue = parked_[ck * wsr::kNumDirs + static_cast<u32>(rule.accept)];
+      // The slot exists: every rule's accept dir was seeded at construction.
+      auto& queue = parked_[parked_slot_[ck * wsr::kNumDirs +
+                                         static_cast<u32>(rule.accept)]];
       if (queue.empty()) return;
       Segment seg = queue.front();
       queue.pop();
@@ -230,7 +267,8 @@ class Engine {
     }
     // All rules retired; leftover parked segments are a schedule bug.
     for (u8 d = 0; d < kNumDirs; ++d) {
-      WSR_ASSERT(parked_[ck * wsr::kNumDirs + d].empty(),
+      const u32 slot = parked_slot_[ck * wsr::kNumDirs + d];
+      WSR_ASSERT(slot == kNoSlot || parked_[slot].empty(),
                  "traffic after the last routing rule retired");
     }
   }
@@ -278,11 +316,19 @@ class Engine {
   }
 
   void on_op_done(u32 pe, u32 oi) {
-    // Dep cascade: every dependent becomes a candidate (its body re-checks
-    // readiness).
+    // Dep cascade: a dependent becomes a candidate when its *last* dependency
+    // lands (dep_pending_ hits zero). Deps point at lower op indices, so this
+    // wake always lands in the current-pass heap — the same slot the original
+    // queue-on-every-dep scheme used for the final (only effective) wake; the
+    // earlier wakes it skips all bounced off the readiness check.
     const std::size_t key = layout_.op_key(pe, oi);
+    const std::size_t base = layout_.op_base(pe);
+    const i64 done_time = ops_[key].done_time;
     for (u32 e = rdep_off_[key]; e < rdep_off_[key + 1]; ++e) {
-      queue_op(pe, rdep_lst_[e]);
+      const u32 dep_oi = rdep_lst_[e];
+      i64& ready = dep_ready_[base + dep_oi];
+      ready = std::max(ready, done_time);
+      if (--dep_pending_[base + dep_oi] == 0) queue_op(pe, dep_oi);
     }
     // A later op consuming the same color continues on the leftover queue.
     const Op& op = s_.programs[pe].ops[oi];
@@ -303,15 +349,14 @@ class Engine {
     if (st.done) return;
     const Op& op = s_.programs[pe].ops[oi];
     if (!st.scheduled) {
-      i64 dep_time = -1;
-      for (u32 d : op.deps) {
-        if (!ops[d].done) return;  // not ready yet
-        dep_time = std::max(dep_time, ops[d].done_time);
-      }
+      const std::size_t key = layout_.op_base(pe) + oi;
+      if (dep_pending_[key] != 0) return;  // not ready yet
       // Same-cycle chaining: FabricSim scans ops in program order within a
       // cycle, so an op whose dependency completed earlier in the same cycle
       // can already issue (deps always point at lower op indices).
-      i64 start = dep_time;
+      // dep_ready_ is max(done_time) over the deps, maintained by the
+      // on_op_done cascade (-1 when dep-free).
+      i64 start = dep_ready_[key];
       if (op.kind != OpKind::Send) start = std::max(start, chan_in_free_[pe]);
       if (op.kind != OpKind::Recv) start = std::max(start, chan_out_free_[pe]);
       st.scheduled = true;
@@ -409,12 +454,16 @@ class Engine {
   FabricLayout layout_;
 
   std::vector<u32> rdep_off_, rdep_lst_;  // reverse deps over flat op keys
+  std::vector<u32> dep_pending_;  ///< [op key] deps not yet done
+  std::vector<i64> dep_ready_;    ///< [op key] max done_time over done deps
 
   // [color key] per-lane state (one flat array per field).
   std::vector<u32> rule_active_;
   std::vector<u32> rule_remaining_;
   std::vector<i64> rule_avail_;  ///< cycle the active rule can pass a head
-  std::vector<SegmentFifo> parked_;   // [ck * kNumDirs + accept dir]
+  static constexpr u32 kNoSlot = UINT32_MAX;
+  std::vector<u32> parked_slot_;      // [ck * kNumDirs + dir] -> parked_ index
+  std::vector<SegmentFifo> parked_;   // compact, one per seeded (ck, accept)
   std::vector<SegmentFifo> ingress_;  // [ck]
   /// Program-ordered ops consuming each color (counting-sorted arena);
   /// consumer_cursor_ points at the first not-yet-done one.

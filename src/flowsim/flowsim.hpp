@@ -34,12 +34,18 @@ namespace wsr::flowsim {
 
 struct FlowOptions {
   u32 ramp_latency = 2;  ///< T_R, must match the FabricSim options.
+  /// Fill FlowResult::op_done_cycle. Off by default: the nested vectors are
+  /// one allocation per PE, which at wafer scale (262,144 PEs per run)
+  /// costs more than the simulation of a light schedule — and the usual
+  /// consumer only wants `cycles`. Completion is verified either way.
+  bool record_op_times = false;
 };
 
 struct FlowResult {
   i64 cycles = 0;
-  /// Per-op completion cycles, [pe][op]; -1 means the op never completed
-  /// (which run() treats as a fatal schedule error).
+  /// Per-op completion cycles, [pe][op]; only filled when
+  /// FlowOptions::record_op_times is set. -1 means the op never completed
+  /// (which run() treats as a fatal schedule error regardless).
   std::vector<std::vector<i64>> op_done_cycle;
 };
 

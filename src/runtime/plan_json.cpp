@@ -6,6 +6,7 @@
 #include "runtime/plan_cache.hpp"
 #include "runtime/persistent_plan_cache.hpp"
 #include "wse/export.hpp"
+#include "wse/fabric.hpp"
 
 namespace wsr::runtime {
 
@@ -44,6 +45,12 @@ std::string plan_response_json(const PlanRequest& req, const Plan& plan,
     out += ",";
   }
   out += extra_fields;
+  // The stepping mode any in-process fabric verification would run under
+  // (WSR_FABRIC_STEPPING) — recorded so a served measurement is attributable
+  // to its engine.
+  out += "\"fabric_stepping\":\"";
+  out += wse::stepping_mode_name(wse::default_stepping_mode());
+  out += "\",";
   const CostTerms& t = plan.prediction.terms;
   out += "\"predicted_cycles\":" + std::to_string(plan.prediction.cycles);
   out += ",\"predicted_us\":" + fmt("%.3f", mp.cycles_to_us(plan.prediction.cycles));

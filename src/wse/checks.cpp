@@ -1,6 +1,7 @@
 #include "wse/checks.hpp"
 
-#include <map>
+#include <algorithm>
+#include <array>
 #include <sstream>
 
 #include "wse/layout.hpp"
@@ -9,15 +10,23 @@ namespace wsr::wse {
 
 namespace {
 
-/// Kahn's algorithm over the op dependency edges of one PE program.
+/// Acyclicity of the op dependency edges of one PE program. Every builder
+/// emits deps pointing at already-added (lower-index) ops, which is acyclic
+/// by construction — that common case is decided by a scan with no
+/// allocation (a wafer-scale validate runs this for 262,144 programs).
+/// Kahn's algorithm below is the fallback for hand-written schedules with
+/// forward dep edges, which may still be legal DAGs.
 bool deps_acyclic(const PEProgram& prog) {
   const u32 n = static_cast<u32>(prog.ops.size());
-  std::vector<u32> indeg(n, 0);
-  for (const Op& op : prog.ops) {
-    for (u32 d : op.deps) {
+  bool monotone = true;
+  for (u32 i = 0; i < n; ++i) {
+    for (u32 d : prog.ops[i].deps) {
       if (d >= n) return false;
+      monotone &= d < i;
     }
   }
+  if (monotone) return true;
+  std::vector<u32> indeg(n, 0);
   std::vector<std::vector<u32>> out(n);
   for (u32 i = 0; i < n; ++i) {
     for (u32 d : prog.ops[i].deps) {
@@ -69,10 +78,28 @@ std::vector<std::string> validate(const Schedule& s) {
   const FabricLayout layout(
       s, FabricLayout::Options{.strict = false, .interning = false});
 
+  // Per-color tallies as Color-indexed arrays with a touched list (reset
+  // between PEs) — per-PE std::map nodes were the validator's hottest
+  // allocation at wafer scale.
+  std::array<u64, 256> ramp_in_total{}, ramp_out_total{};
+  std::array<u64, 256> sent{}, received{};
+  std::array<bool, 256> sent_any{}, received_any{};
+  std::array<bool, 256> color_touched{};
+  std::vector<Color> touched;
+  const auto touch = [&](Color c) {
+    if (!color_touched[c]) {
+      color_touched[c] = true;
+      touched.push_back(c);
+    }
+  };
   for (u32 pe = 0; pe < n; ++pe) {
+    for (Color c : touched) {
+      ramp_in_total[c] = ramp_out_total[c] = sent[c] = received[c] = 0;
+      sent_any[c] = received_any[c] = false;
+      color_touched[c] = false;
+    }
+    touched.clear();
     // --- routing rules ---
-    std::map<Color, u64> ramp_in_total;   // rules accepting from the ramp
-    std::map<Color, u64> ramp_out_total;  // rules forwarding to the ramp
     for (const RouteRule& r : s.rules[pe]) {
       if (r.count == 0) problem(pe, "rule with count == 0");
       if (r.forward == 0) problem(pe, "rule with empty forward set");
@@ -87,49 +114,58 @@ std::vector<std::string> validate(const Schedule& s) {
             layout.neighbor(pe, dir) == FabricLayout::kNoNeighbor)
           problem(pe, "rule forwards beyond the grid boundary");
       }
-      if (r.accept == Dir::Ramp) ramp_in_total[r.color] += r.count;
-      if (mask_has(r.forward, Dir::Ramp)) ramp_out_total[r.color] += r.count;
+      if (r.accept == Dir::Ramp) {
+        ramp_in_total[r.color] += r.count;
+        touch(r.color);
+      }
+      if (mask_has(r.forward, Dir::Ramp)) {
+        ramp_out_total[r.color] += r.count;
+        touch(r.color);
+      }
     }
 
     // --- PE program ---
     const PEProgram& prog = s.programs[pe];
     if (!deps_acyclic(prog)) problem(pe, "op dependency cycle or bad index");
-    std::map<Color, u64> sent, received;
     for (const Op& op : prog.ops) {
       if (op.len == 0) problem(pe, "op with len == 0");
       if (op.kind == OpKind::Recv && op.mode == RecvMode::AddModulo &&
           op.modulo == 0)
         problem(pe, "AddModulo recv with modulo == 0");
-      if (op.kind != OpKind::Recv) sent[op.out_color] += op.len;
-      if (op.kind != OpKind::Send) received[op.in_color] += op.len;
+      if (op.kind != OpKind::Recv) {
+        sent[op.out_color] += op.len;
+        sent_any[op.out_color] = true;
+        touch(op.out_color);
+      }
+      if (op.kind != OpKind::Send) {
+        received[op.in_color] += op.len;
+        received_any[op.in_color] = true;
+        touch(op.in_color);
+      }
     }
 
     // The router must accept from the ramp exactly what the program sends,
-    // and deliver to the ramp exactly what the program receives.
-    for (const auto& [color, cnt] : sent) {
-      if (ramp_in_total[color] != cnt) {
+    // and deliver to the ramp exactly what the program receives. Ascending
+    // color order matches the std::map-based tallies this replaces.
+    std::sort(touched.begin(), touched.end());
+    for (Color color : touched) {
+      if (sent_any[color] && ramp_in_total[color] != sent[color]) {
         std::ostringstream os;
-        os << "color " << static_cast<u32>(color) << ": program sends " << cnt
-           << " wavelets but rules accept " << ramp_in_total[color]
-           << " from the ramp";
+        os << "color " << static_cast<u32>(color) << ": program sends "
+           << sent[color] << " wavelets but rules accept "
+           << ramp_in_total[color] << " from the ramp";
         problem(pe, os.str());
       }
-    }
-    for (const auto& [color, cnt] : received) {
-      if (ramp_out_total[color] != cnt) {
+      if (received_any[color] && ramp_out_total[color] != received[color]) {
         std::ostringstream os;
         os << "color " << static_cast<u32>(color) << ": program receives "
-           << cnt << " wavelets but rules forward " << ramp_out_total[color]
-           << " to the ramp";
+           << received[color] << " wavelets but rules forward "
+           << ramp_out_total[color] << " to the ramp";
         problem(pe, os.str());
       }
-    }
-    for (const auto& [color, cnt] : ramp_in_total) {
-      if (cnt > 0 && sent.find(color) == sent.end())
+      if (ramp_in_total[color] > 0 && !sent_any[color])
         problem(pe, "rules accept from the ramp on a color the program never sends");
-    }
-    for (const auto& [color, cnt] : ramp_out_total) {
-      if (cnt > 0 && received.find(color) == received.end())
+      if (ramp_out_total[color] > 0 && !received_any[color])
         problem(pe, "rules forward to the ramp on a color the program never receives");
     }
   }
@@ -138,19 +174,32 @@ std::vector<std::string> validate(const Schedule& s) {
   // color, the wavelets forwarded into the link by the sender's rules must
   // equal the wavelets the receiver's rules accept from it. This catches
   // count bugs on pass-through routers, which the per-PE ramp checks cannot.
+  std::array<i64, 256> net{};  // sent minus accepted, per color
   for (u32 pe = 0; pe < n; ++pe) {
     for (u8 d = 0; d < kNumDirs; ++d) {
       const Dir dir = static_cast<Dir>(d);
       const u32 npe = layout.neighbor(pe, d);
       if (dir == Dir::Ramp || npe == FabricLayout::kNoNeighbor) continue;
-      std::map<Color, i64> net;  // sent minus accepted, per color
+      for (Color c : touched) {
+        net[c] = 0;
+        color_touched[c] = false;
+      }
+      touched.clear();
       for (const RouteRule& r : s.rules[pe]) {
-        if (mask_has(r.forward, dir)) net[r.color] += r.count;
+        if (mask_has(r.forward, dir)) {
+          net[r.color] += r.count;
+          touch(r.color);
+        }
       }
       for (const RouteRule& r : s.rules[npe]) {
-        if (r.accept == opposite(dir)) net[r.color] -= r.count;
+        if (r.accept == opposite(dir)) {
+          net[r.color] -= r.count;
+          touch(r.color);
+        }
       }
-      for (const auto& [color, delta] : net) {
+      std::sort(touched.begin(), touched.end());
+      for (Color color : touched) {
+        const i64 delta = net[color];
         if (delta != 0) {
           std::ostringstream os;
           os << "link towards " << dir_name(dir) << ", color "

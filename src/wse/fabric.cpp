@@ -10,16 +10,33 @@ std::optional<SteppingMode> parse_stepping_mode(std::string_view text) {
   if (text == "fullscan") return SteppingMode::FullScan;
   if (text == "worklist") return SteppingMode::Worklist;
   if (text == "subscription") return SteppingMode::Subscription;
+  if (text == "vectorized") return SteppingMode::Vectorized;
+  if (text == "partitioned") return SteppingMode::Partitioned;
   return std::nullopt;
 }
 
+std::string_view stepping_mode_name(SteppingMode mode) {
+  switch (mode) {
+    case SteppingMode::FullScan: return "fullscan";
+    case SteppingMode::Worklist: return "worklist";
+    case SteppingMode::Subscription: return "subscription";
+    case SteppingMode::Vectorized: return "vectorized";
+    case SteppingMode::Partitioned: return "partitioned";
+  }
+  return "unknown";
+}
+
 SteppingMode stepping_mode_from_env_value(const char* env) {
-  if (env == nullptr || *env == '\0') return SteppingMode::Subscription;
+  // Vectorized is the default as of PR 6: it produces bit-identical traces
+  // to the other modes (tests/test_fabric_worklist_parity.cpp) and wins
+  // 1.5-2.4x on the contention micros (bench/abl_stepping_modes.cpp).
+  if (env == nullptr || *env == '\0') return SteppingMode::Vectorized;
   const auto parsed = parse_stepping_mode(env);
   if (!parsed.has_value()) {
     std::fprintf(stderr,
                  "WSR_FABRIC_STEPPING='%s' is not a valid stepping mode; "
-                 "valid values: fullscan, worklist, subscription\n",
+                 "valid values: fullscan, worklist, subscription, "
+                 "vectorized, partitioned\n",
                  env);
     std::exit(2);
   }
@@ -32,6 +49,35 @@ SteppingMode default_stepping_mode() {
   static const SteppingMode mode =
       stepping_mode_from_env_value(std::getenv("WSR_FABRIC_STEPPING"));
   return mode;
+}
+
+namespace {
+// Strict u32 parse for the partitioned-mode knobs: like the stepping
+// toggle, a malformed value must fail the run, not silently measure the
+// default configuration.
+u32 u32_env_or_die(const char* name, const char* env) {
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v > UINT32_MAX) {
+    std::fprintf(stderr, "%s='%s' is not a valid count (expected a "
+                 "non-negative integer; 0 means auto)\n", name, env);
+    std::exit(2);
+  }
+  return static_cast<u32>(v);
+}
+}  // namespace
+
+u32 default_fabric_threads() {
+  static const u32 threads =
+      u32_env_or_die("WSR_FABRIC_THREADS", std::getenv("WSR_FABRIC_THREADS"));
+  return threads;
+}
+
+u32 default_fabric_tile() {
+  static const u32 span =
+      u32_env_or_die("WSR_FABRIC_TILE", std::getenv("WSR_FABRIC_TILE"));
+  return span;
 }
 
 namespace {
@@ -80,7 +126,7 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
     use_occ_mask_[pe] = layout_.num_regs(pe) <= 64;
     mem_[pe].assign(std::max<u32>(schedule.vec_len, 1), 0.0f);
     done_[pe] = schedule.programs[pe].ops.empty();
-    if (done_[pe]) ++done_count_;
+    if (done_[pe]) done_count_.fetch_add(1, std::memory_order_relaxed);
   }
 
   move_.assign(total_regs, MoveSlot{});
@@ -91,12 +137,43 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
   in_up_list_.assign(n, 0);
   in_router_list_.assign(n, 0);
   in_queue_list_.assign(n, 0);
-  if (opt_.stepping == SteppingMode::Subscription) {
+  subscribed_ = opt_.stepping == SteppingMode::Subscription ||
+                opt_.stepping == SteppingMode::Vectorized;
+  if (subscribed_) {
     reg_waiter_head_.assign(total_regs, -1);
     color_waiter_head_.assign(total_colors, -1);
     waiter_next_.assign(total_regs, -1);
     sub_state_.assign(total_regs, kSubNone);
     up_parked_.assign(n, 0);
+  }
+
+  // Fast-path rule descriptors: kept fresh in every mode (retirement is off
+  // the hot path) so the sweep engines can rely on them unconditionally.
+  rule_fast_.resize(total_colors);
+  for (u32 pe = 0; pe < n; ++pe) {
+    const u32 nc = layout_.num_colors(pe);
+    for (u32 ci = 0; ci < nc; ++ci) refresh_rule_fast(pe, layout_.color_key(pe, ci));
+  }
+
+  if (opt_.stepping == SteppingMode::Partitioned) {
+    verdict_.assign(total_regs, 0);
+    const u32 threads = opt_.threads == 0 ? hardware_jobs() : opt_.threads;
+    u32 span = opt_.tile_span;
+    if (span == 0) {
+      // Auto grain: ~4 tiles per worker balances dynamic scheduling against
+      // boundary handoff volume; one worker degenerates to a single tile.
+      const u32 extent =
+          layout_.grid().height > 1 ? layout_.grid().height : layout_.grid().width;
+      span = threads <= 1 ? extent : std::max<u32>(1, extent / (threads * 4));
+    }
+    auto part = layout_.make_tiles(span);
+    tile_of_ = std::move(part.tile_of);
+    tiles_.resize(part.tiles.size());
+    for (std::size_t ti = 0; ti < tiles_.size(); ++ti) {
+      tiles_[ti].pe_lo = part.tiles[ti].pe_lo;
+      tiles_[ti].pe_hi = part.tiles[ti].pe_hi;
+    }
+    pool_ = std::make_unique<ThreadPool>(threads);
   }
 }
 
@@ -110,11 +187,19 @@ void FabricSim::set_memory(u32 pe, std::vector<float> data) {
 // subscription mode, which router registers) get stepped. FullScan steps
 // everything, so they are no-ops there.
 
+// In partitioned mode each list lives in the PE's tile; every caller runs
+// on the owning tile's thread (placements into foreign tiles go through the
+// handoff outbox and are applied by the destination tile), so tile lists
+// are single-writer and the flags arrays are touched only by their owner.
+
 void FabricSim::wake_processor(u32 pe) {
   if (opt_.stepping == SteppingMode::FullScan) return;
   if (!in_proc_list_[pe]) {
     in_proc_list_[pe] = 1;
-    proc_list_.push_back(pe);
+    auto& list = opt_.stepping == SteppingMode::Partitioned
+                     ? tiles_[tile_of_[pe]].proc_list
+                     : proc_list_;
+    list.push_back(pe);
   }
 }
 
@@ -122,7 +207,10 @@ void FabricSim::note_up_pending(u32 pe) {
   if (opt_.stepping == SteppingMode::FullScan) return;
   if (!in_up_list_[pe]) {
     in_up_list_[pe] = 1;
-    up_list_.push_back(pe);
+    auto& list = opt_.stepping == SteppingMode::Partitioned
+                     ? tiles_[tile_of_[pe]].up_list
+                     : up_list_;
+    list.push_back(pe);
   }
 }
 
@@ -130,8 +218,19 @@ void FabricSim::note_queue_pending(u32 pe) {
   if (opt_.stepping == SteppingMode::FullScan) return;
   if (!in_queue_list_[pe]) {
     in_queue_list_[pe] = 1;
-    queue_list_.push_back(pe);
+    auto& list = opt_.stepping == SteppingMode::Partitioned
+                     ? tiles_[tile_of_[pe]].queue_list
+                     : queue_list_;
+    list.push_back(pe);
   }
+}
+
+void FabricSim::push_wake(i64 when, u32 pe) {
+  auto& heap = opt_.stepping == SteppingMode::Partitioned
+                   ? tiles_[tile_of_[pe]].wake_heap
+                   : wake_heap_;
+  heap.emplace_back(when, pe);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
 }
 
 void FabricSim::sub_pend(std::size_t key) {
@@ -155,7 +254,7 @@ void FabricSim::sub_wake_list(i32& head, std::vector<u32>& out) {
 }
 
 void FabricSim::sub_wake_color(u32 pe, u32 ci) {
-  if (opt_.stepping != SteppingMode::Subscription) return;
+  if (!subscribed_) return;
   i32& head = color_waiter_head_[layout_.color_key(pe, ci)];
   if (head != -1) sub_wake_list(head, pending_);
 }
@@ -193,8 +292,13 @@ void FabricSim::set_register(u32 pe, std::size_t ridx, float value) {
   const std::size_t key = layout_.reg_base(pe) + ridx;
   reg_value_[key] = value;
   reg_set_[key] = 1;
-  ++occupied_regs_[pe];
-  if (use_occ_mask_[pe]) occ_mask_[pe] |= u64{1} << ridx;
+  if (!subscribed_) {
+    // Per-PE occupancy counts/masks feed the scan-style candidate
+    // enumeration (fullscan, worklist, partitioned tiles); the subscription
+    // engines track occupied registers by key and never read them.
+    ++occupied_regs_[pe];
+    if (use_occ_mask_[pe]) occ_mask_[pe] |= u64{1} << ridx;
+  }
   switch (opt_.stepping) {
     case SteppingMode::FullScan:
       break;
@@ -205,8 +309,15 @@ void FabricSim::set_register(u32 pe, std::size_t ridx, float value) {
       }
       break;
     case SteppingMode::Subscription:
+    case SteppingMode::Vectorized:
       // A fresh arrival must be attempted at the next router phase.
       sub_pend(key);
+      break;
+    case SteppingMode::Partitioned:
+      if (!in_router_list_[pe]) {
+        in_router_list_[pe] = 1;
+        tiles_[tile_of_[pe]].router_list.push_back(pe);
+      }
       break;
   }
 }
@@ -214,19 +325,20 @@ void FabricSim::set_register(u32 pe, std::size_t ridx, float value) {
 void FabricSim::clear_register(u32 pe, std::size_t ridx) {
   const std::size_t key = layout_.reg_base(pe) + ridx;
   reg_set_[key] = 0;
-  WSR_ASSERT(occupied_regs_[pe] > 0, "register occupancy underflow");
-  --occupied_regs_[pe];
-  if (use_occ_mask_[pe]) occ_mask_[pe] &= ~(u64{1} << ridx);
-  if (opt_.stepping == SteppingMode::Subscription) {
+  if (!subscribed_) {
+    WSR_ASSERT(occupied_regs_[pe] > 0, "register occupancy underflow");
+    --occupied_regs_[pe];
+    if (use_occ_mask_[pe]) occ_mask_[pe] &= ~(u64{1} << ridx);
+  }
+  if (subscribed_) {
     // Waiters of an attempted register are pulled into the same cycle's
     // attempt closure, so this list is normally already empty; draining it
     // here is a safety net that costs one branch.
     i32& head = reg_waiter_head_[key];
     if (head != -1) sub_wake_list(head, pending_);
-    // Ramp registers (the last direction block) may have the PE's up-ramp
-    // parked behind them.
-    if (ridx >= std::size_t{static_cast<u32>(Dir::Ramp)} *
-                    layout_.num_colors(pe) &&
+    // Ramp registers may have the PE's up-ramp parked behind them (the
+    // inverse direction table is cheaper than the block-range arithmetic).
+    if (layout_.reg_dir(key) == static_cast<u32>(Dir::Ramp) &&
         up_parked_[pe]) {
       up_parked_[pe] = 0;
       note_up_pending(pe);
@@ -352,15 +464,13 @@ bool FabricSim::step_processor(u32 pe) {
   }
   if (all_done) {
     done_[pe] = 1;
-    ++done_count_;
+    done_count_.fetch_add(1, std::memory_order_relaxed);
   }
   if (opt_.stepping != SteppingMode::FullScan) {
     if (changed && !done_[pe]) {
       wake_processor(pe);  // streaming continues next cycle
     } else if (!changed && min_future != INT64_MAX) {
-      wake_heap_.emplace_back(min_future, pe);
-      std::push_heap(wake_heap_.begin(), wake_heap_.end(),
-                     std::greater<>());
+      push_wake(min_future, pe);
     }
   }
   return changed;
@@ -382,7 +492,7 @@ bool FabricSim::step_up_ramp(u32 pe) {
       up.pop();
       wake_processor(pe);  // egress capacity freed
       changed = true;
-    } else if (opt_.stepping == SteppingMode::Subscription) {
+    } else if (subscribed_) {
       // The previous wavelet of this color is still parked in the ramp
       // register: wait for its clear_register to re-arm us instead of
       // re-stepping every cycle.
@@ -528,6 +638,7 @@ bool FabricSim::gather_move(u32 pe, std::size_t ridx) {
     } else {
       ar.accept = kNoActiveRule;
     }
+    refresh_rule_fast(pe, ck);
     sub_wake_color(pe, layout_.reg_ci(key));  // parked on the retired rule
   }
   return true;
@@ -664,6 +775,450 @@ bool FabricSim::router_step_subscription() {
   return changed;
 }
 
+// --- vectorized / partitioned sweep machinery --------------------------------
+// Shared correctness argument (DESIGN.md §"Vectorized and tile-partitioned
+// stepping"): a *structural* No — rule accept mismatch, full ingress queue,
+// or a single-forward destination that is occupied and itself structurally
+// No — depends only on state that is stable for the whole router phase, and
+// resolve_move returns No for such a register under any claim state without
+// retaining a claim. Skipping those registers therefore leaves the claim
+// arbitration sequence of the surviving resolutions byte-for-byte identical
+// to the serial scan.
+
+void FabricSim::refresh_rule_fast(u32 pe, std::size_t ck) {
+  RuleFast f;
+  const ActiveRule& ar = active_rule_[ck];
+  if (ar.accept != kNoActiveRule && std::has_single_bit(ar.forward) &&
+      !mask_has(ar.forward, Dir::Ramp)) {
+    const u32 d = static_cast<u32>(std::countr_zero(ar.forward));
+    const u32 npe = layout_.neighbor(pe, d);
+    if (npe != FabricLayout::kNoNeighbor) {
+      const i8 nci = layout_.compact_color(npe, ar.color);
+      if (nci >= 0) {
+        const u32 nreg = static_cast<u32>(opposite(static_cast<Dir>(d)));
+        f.dest = static_cast<u32>(
+            layout_.reg_key(npe, nreg, static_cast<u32>(nci)));
+        f.link = static_cast<u32>(layout_.link_key(pe, d));
+      }
+    }
+  }
+  rule_fast_[ck] = f;
+}
+
+u8 FabricSim::sweep_verdict(u32 key, u32* dest, TileState* tile) {
+  *dest = UINT32_MAX;
+  const u32 dir = layout_.reg_dir(key);
+  const std::size_t ck = layout_.reg_color_key(key);
+  const ActiveRule rule = active_rule_[ck];
+  if (rule.accept != dir) return 2;  // rule chain must advance first
+  if (mask_has(rule.forward, Dir::Ramp) &&
+      down_[ck].size() >= opt_.ramp_latency + opt_.color_queue_capacity) {
+    return 2;  // ingress queue full: only the processor can drain it
+  }
+  const RuleFast fast = rule_fast_[ck];
+  if (fast.dest != kNoFastRule) {
+    if (!reg_set_[fast.dest]) return 1;
+    const u32 dpe = layout_.pe_of_reg(fast.dest);
+    if (dpe < tile->pe_lo || dpe >= tile->pe_hi) {
+      // Occupied destination in a foreign tile: its verdict is being
+      // computed concurrently, so no deterministic read exists. Keep the
+      // register a survivor and raise the crossing flag (the resolution
+      // phase then runs serially this cycle).
+      tile->crossing = 1;
+      return 1;
+    }
+    *dest = fast.dest;
+    return 3;
+  }
+  {
+    // Multicast / ramp-forward rules skip chain propagation (they are a
+    // small minority), but the partitioned mode still has to know whether
+    // their resolution could recurse into a foreign tile.
+    const u32 pe = layout_.pe_of_reg(key);
+    for (u32 d = 0; d + 1 < kNumDirs; ++d) {  // mesh directions only
+      if (!mask_has(rule.forward, static_cast<Dir>(d))) continue;
+      const u32 npe = layout_.neighbor(pe, d);
+      if (npe == FabricLayout::kNoNeighbor ||
+          (npe >= tile->pe_lo && npe < tile->pe_hi)) {
+        continue;
+      }
+      const i8 nci = layout_.compact_color(npe, rule.color);
+      if (nci < 0) continue;
+      const u32 nreg = static_cast<u32>(opposite(static_cast<Dir>(d)));
+      if (reg_set_[layout_.reg_key(npe, nreg, static_cast<u32>(nci))]) {
+        tile->crossing = 1;
+        break;
+      }
+    }
+  }
+  return 1;
+}
+
+void FabricSim::propagate_no(const std::vector<u32>& cands,
+                             std::vector<u32>& dests) {
+  // Stalled chains are monotone in register key along each mesh axis, so a
+  // descending pass settles ascending-key chains in one sweep and vice
+  // versa; two rounds cover the 2D mixes that matter. Anything still
+  // undecided stays a survivor — resolve_move re-derives any verdict the
+  // sweep leaves open, so the cap is a performance bound, not a
+  // correctness one.
+  for (u32 pass = 0; pass < 4; ++pass) {
+    bool flipped = false;
+    if (pass % 2 == 0) {
+      for (std::size_t i = cands.size(); i-- > 0;) {
+        if (verdict_[cands[i]] == 3 && verdict_[dests[i]] == 2) {
+          verdict_[cands[i]] = 2;
+          flipped = true;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (verdict_[cands[i]] == 3 && verdict_[dests[i]] == 2) {
+          verdict_[cands[i]] = 2;
+          flipped = true;
+        }
+      }
+    }
+    if (!flipped) break;
+  }
+}
+
+bool FabricSim::resolve_candidate(u32 key) {
+  MoveSlot& slot = move_[key];
+  if (slot.epoch == cycle_) {  // settled by an earlier chain recursion
+    return slot.state == MoveState::Yes;
+  }
+  const std::size_t ck = layout_.reg_color_key(key);
+  const RuleFast fast = rule_fast_[ck];
+  if (fast.dest == kNoFastRule) {  // multicast / ramp / exhausted rule
+    return resolve_move(layout_.pe_of_reg(key), layout_.reg_dir(key), key);
+  }
+  // Inline fast path for the dominant case, an active single-mesh-forward
+  // rule: the exact check sequence, claim writes and cause records of
+  // resolve_move, minus the per-direction loop, the neighbour lookup and
+  // the color re-interning (all precomputed into the RuleFast slot).
+  const auto blocked = [&](StallCause cause, u32 payload) {
+    slot.epoch = cycle_;
+    slot.state = MoveState::No;
+    slot.cause_kind = static_cast<u8>(cause);
+    slot.cause_payload = payload;
+    return false;
+  };
+  if (active_rule_[ck].accept != layout_.reg_dir(key)) {
+    return blocked(StallCause::ColorEvent, static_cast<u32>(ck));
+  }
+  if (link_claim_epoch_[fast.link] == cycle_) {
+    return blocked(StallCause::Transient, 0);  // lost this cycle's link slot
+  }
+  if (reg_set_[fast.dest]) {
+    const MoveSlot& d = move_[fast.dest];
+    if (d.epoch != cycle_ || d.state == MoveState::Unknown) {
+      // Unresolved occupied destination: the chain recursion must resolve
+      // it depth-first, in this key's arbitration position.
+      return resolve_move(layout_.pe_of_reg(key), layout_.reg_dir(key), key);
+    }
+    if (d.state != MoveState::Yes) {  // No, or InProgress (a chain cycle)
+      return blocked(StallCause::Register, fast.dest);
+    }
+    // Yes: the destination vacates this cycle; fall through to claim it.
+  }
+  if (reg_claim_epoch_[fast.dest] == cycle_) {
+    return blocked(StallCause::Transient, 0);  // another color claimed it
+  }
+  reg_claim_epoch_[fast.dest] = cycle_;
+  link_claim_epoch_[fast.link] = cycle_;
+  slot.epoch = cycle_;
+  slot.state = MoveState::Yes;
+  return true;
+}
+
+void FabricSim::gather_capture(u32 key, std::vector<PendingPlace>& places) {
+  const std::size_t ck = layout_.reg_color_key(key);
+  ActiveRule& ar = active_rule_[ck];
+  const RuleFast fast = rule_fast_[ck];  // pre-retirement rule snapshot
+  // PendingPlace::pe is only read on the general placement path, so the
+  // owner lookup is skipped whenever the fast descriptor will place.
+  places.push_back({fast.dest == kNoFastRule ? layout_.pe_of_reg(key) : 0,
+                    reg_value_[key], ar.color, ar.forward, fast});
+  if (subscribed_) {
+    // Key-based clear: the PE-indexed occupancy upkeep is gated off under
+    // the subscription engines, so only the occupancy bit, the waiter
+    // drain and the up-ramp unpark remain — none need (pe, ridx).
+    reg_set_[key] = 0;
+    i32& head = reg_waiter_head_[key];
+    if (head != -1) sub_wake_list(head, pending_);
+    if (layout_.reg_dir(key) == static_cast<u32>(Dir::Ramp)) {
+      const u32 pe = layout_.pe_of_reg(key);
+      if (up_parked_[pe]) {
+        up_parked_[pe] = 0;
+        note_up_pending(pe);
+      }
+    }
+  } else {
+    const u32 pe = layout_.pe_of_reg(key);
+    clear_register(pe, key - layout_.reg_base(pe));
+  }
+  WSR_ASSERT(ar.remaining > 0, "rule accounting underflow");
+  if (--ar.remaining == 0) {
+    const u32 pe = layout_.pe_of_reg(key);
+    const auto rules = layout_.rules(ck);
+    const u32 next = ++rule_active_[ck];
+    if (next < rules.size()) {
+      ar = {rules[next].color, static_cast<u8>(rules[next].accept),
+            rules[next].forward, 0, rules[next].count};
+    } else {
+      ar.accept = kNoActiveRule;
+    }
+    refresh_rule_fast(pe, ck);
+    sub_wake_color(pe, layout_.reg_ci(key));  // parked on the retired rule
+  }
+}
+
+void FabricSim::place_move(const PendingPlace& p, TileState* tile) {
+  if (p.fast.dest != kNoFastRule) {
+    if (tile != nullptr) {
+      const u32 npe = layout_.pe_of_reg(p.fast.dest);
+      ++tile->local_hops;
+      if (npe < tile->pe_lo || npe >= tile->pe_hi) {
+        tile->outbox.push_back({p.fast.dest, p.value});
+        return;
+      }
+      WSR_ASSERT(!reg_set_[p.fast.dest], "register collision");
+      set_register(npe, p.fast.dest - layout_.reg_base(npe), p.value);
+      return;
+    }
+    // Vectorized: write the destination by key — set_register's PE-indexed
+    // bookkeeping is all gated off under the subscription engines, so only
+    // the value, the occupancy bit and the pend remain.
+    ++hops_;
+    WSR_ASSERT(!reg_set_[p.fast.dest], "register collision");
+    reg_value_[p.fast.dest] = p.value;
+    reg_set_[p.fast.dest] = 1;
+    sub_pend(p.fast.dest);
+    return;
+  }
+  for (u8 d = 0; d < kNumDirs; ++d) {
+    const Dir dd = static_cast<Dir>(d);
+    if (!mask_has(p.forward, dd)) continue;
+    if (dd == Dir::Ramp) {
+      const i8 ci = layout_.compact_color(p.pe, p.color);
+      down_[layout_.color_key(p.pe, static_cast<u32>(ci))].push(
+          {{p.value, p.color}, cycle_ + opt_.ramp_latency});
+      wake_processor(p.pe);
+      note_queue_pending(p.pe);
+    } else {
+      const u32 npe = layout_.neighbor(p.pe, d);
+      const i8 nci = layout_.compact_color(npe, p.color);
+      const std::size_t ridx = std::size_t{static_cast<u32>(opposite(dd))} *
+                                   layout_.num_colors(npe) +
+                               static_cast<u32>(nci);
+      const std::size_t nkey = layout_.reg_base(npe) + ridx;
+      if (tile != nullptr) {
+        ++tile->local_hops;
+        if (npe < tile->pe_lo || npe >= tile->pe_hi) {
+          tile->outbox.push_back({static_cast<u32>(nkey), p.value});
+          continue;
+        }
+      } else {
+        ++hops_;
+      }
+      WSR_ASSERT(!reg_set_[nkey], "register collision");
+      set_register(npe, ridx, p.value);
+    }
+  }
+}
+
+bool FabricSim::router_step_vectorized() {
+  // Same candidate tracking as the subscription engine (pending set plus
+  // the woken-waiter closure), but the per-register recursive resolve loop
+  // is replaced by flat sweep passes with claims applied ascending.
+  attempt_.clear();
+  attempt_.swap(pending_);
+  if (parked_count_ != 0) {
+    for (std::size_t i = 0; i < attempt_.size(); ++i) {
+      i32& head = reg_waiter_head_[attempt_[i]];
+      if (head != -1) sub_wake_list(head, attempt_);
+    }
+  }
+  if (attempt_.empty()) return false;
+  if (!std::is_sorted(attempt_.begin(), attempt_.end())) {
+    std::sort(attempt_.begin(), attempt_.end());
+  }
+
+  // Single ascending resolve pass: every candidate settles fully at its
+  // arbitration position (inline fast path or the recursive fallback), so
+  // the claim sequence is byte-for-byte the serial scan's. A register a
+  // chain recursion already settled contributes its memoized verdict.
+  // (Parking soundness guarantees any register that can move this cycle is
+  // in the closure, so Yes ⊆ attempt_ and survivors_ is complete.)
+  // Each candidate also parks (or leaves tracking) right at its position:
+  // parking only appends to waiter lists, which nothing reads until the
+  // gather phase clears registers, so in-loop parking is behaviourally
+  // identical to the subscription engine's separate park pass — and all
+  // parks still land before the first gather, as rule-advance wakes
+  // require.
+  survivors_.clear();
+  for (u32 key : attempt_) {
+    WSR_ASSERT(reg_set_[key], "woken register is empty");
+    if (resolve_candidate(key)) {
+      sub_state_[key] = kSubNone;
+      survivors_.push_back(key);
+    } else {
+      sub_park(key);
+    }
+  }
+
+  // Gather (clear every source, retire quota) then place: a chained
+  // forward's destination is another mover's source, so all clears must
+  // land before any placement.
+  places_.clear();
+  for (u32 key : survivors_) gather_capture(key, places_);
+  for (const PendingPlace& p : places_) place_move(p, nullptr);
+  return !places_.empty();
+}
+
+// --- partitioned per-tile phases ---------------------------------------------
+
+void FabricSim::tile_pe_phase(u32 ti) {
+  TileState& t = tiles_[ti];
+  bool changed = false;
+  while (!t.wake_heap.empty() && t.wake_heap.front().first <= cycle_) {
+    std::pop_heap(t.wake_heap.begin(), t.wake_heap.end(), std::greater<>());
+    wake_processor(t.wake_heap.back().second);
+    t.wake_heap.pop_back();
+  }
+  t.scratch.clear();
+  t.scratch.swap(t.proc_list);
+  for (u32 pe : t.scratch) in_proc_list_[pe] = 0;
+  for (u32 pe : t.scratch) changed |= step_processor(pe);
+  t.scratch.clear();
+  t.scratch.swap(t.up_list);
+  for (u32 pe : t.scratch) in_up_list_[pe] = 0;
+  for (u32 pe : t.scratch) changed |= step_up_ramp(pe);
+  t.changed = changed ? 1 : 0;
+}
+
+void FabricSim::tile_sweep_phase(u32 ti) {
+  TileState& t = tiles_[ti];
+  t.router_scratch.clear();
+  t.router_scratch.swap(t.router_list);
+  for (u32 pe : t.router_scratch) in_router_list_[pe] = 0;
+  std::sort(t.router_scratch.begin(), t.router_scratch.end());
+  t.cand.clear();
+  t.cand_dest.clear();
+  t.survivors.clear();
+  t.crossing = 0;
+  for (u32 pe : t.router_scratch) {
+    if (occupied_regs_[pe] == 0) continue;
+    const std::size_t base = layout_.reg_base(pe);
+    if (use_occ_mask_[pe]) {
+      for (u64 m = occ_mask_[pe]; m != 0; m &= m - 1) {
+        t.cand.push_back(
+            static_cast<u32>(base + static_cast<u32>(std::countr_zero(m))));
+      }
+    } else {
+      const std::size_t num_regs = layout_.num_regs(pe);
+      for (std::size_t ridx = 0; ridx < num_regs; ++ridx) {
+        if (reg_set_[base + ridx]) {
+          t.cand.push_back(static_cast<u32>(base + ridx));
+        }
+      }
+    }
+  }
+  for (u32 key : t.cand) {
+    u32 dest;
+    verdict_[key] = sweep_verdict(key, &dest, &t);
+    t.cand_dest.push_back(dest);
+  }
+  propagate_no(t.cand, t.cand_dest);
+  for (u32 key : t.cand) {
+    if (verdict_[key] != 2) t.survivors.push_back(key);
+  }
+}
+
+void FabricSim::tile_resolve(u32 ti) {
+  for (u32 key : tiles_[ti].survivors) resolve_candidate(key);
+}
+
+void FabricSim::tile_gather(u32 ti) {
+  TileState& t = tiles_[ti];
+  t.outbox.clear();
+  t.places.clear();
+  for (u32 key : t.cand) verdict_[key] = 0;
+  // Capture + clear every Yes source in the tile before placing any of the
+  // tile's moves (chained forwards target other movers' sources). Foreign
+  // sources are cleared by their own tile this same phase; placements into
+  // them ride the outbox and land after the barrier.
+  for (u32 key : t.survivors) {
+    const MoveSlot& slot = move_[key];
+    if (slot.epoch == cycle_ && slot.state == MoveState::Yes) {
+      gather_capture(key, t.places);
+      t.changed = 1;
+    }
+  }
+  for (const PendingPlace& p : t.places) place_move(p, &t);
+}
+
+void FabricSim::tile_inbox(u32 ti) {
+  TileState& t = tiles_[ti];
+  // Deterministic merge: every tile scans the outboxes in ascending tile
+  // order and applies only the placements destined for itself. The entries
+  // target disjoint registers (their claims were unique at resolution), so
+  // tiles apply disjoint writes in a fixed order.
+  for (const TileState& s : tiles_) {
+    for (const TileState::Outbound& o : s.outbox) {
+      const u32 npe = layout_.pe_of_reg(o.key);
+      if (npe < t.pe_lo || npe >= t.pe_hi) continue;
+      WSR_ASSERT(!reg_set_[o.key], "register collision");
+      set_register(npe, o.key - layout_.reg_base(npe), o.value);
+    }
+  }
+  // Worklist semantics: PEs whose registers stay occupied re-enter the
+  // tile's router list (set_register already listed fresh arrivals).
+  for (u32 pe : t.router_scratch) {
+    if (occupied_regs_[pe] != 0 && !in_router_list_[pe]) {
+      in_router_list_[pe] = 1;
+      t.router_list.push_back(pe);
+    }
+  }
+}
+
+bool FabricSim::partitioned_cycle() {
+  const std::size_t nt = tiles_.size();
+  auto pe_phase = [this](std::size_t ti) {
+    tile_pe_phase(static_cast<u32>(ti));
+  };
+  pool_->run(nt, pe_phase);
+  auto sweep = [this](std::size_t ti) {
+    tile_sweep_phase(static_cast<u32>(ti));
+  };
+  pool_->run(nt, sweep);
+  bool crossing = false;
+  for (const TileState& t : tiles_) crossing |= t.crossing != 0;
+  if (crossing) {
+    // A stalled chain reaches across a tile edge: per-tile resolution could
+    // recurse into a foreign tile mid-flight. Resolve this cycle serially
+    // in global ascending order — per-tile ascending survivor lists
+    // concatenated in tile order are exactly that.
+    for (TileState& t : tiles_) {
+      for (u32 key : t.survivors) resolve_candidate(key);
+    }
+  } else {
+    auto resolve = [this](std::size_t ti) { tile_resolve(static_cast<u32>(ti)); };
+    pool_->run(nt, resolve);
+  }
+  auto gather = [this](std::size_t ti) { tile_gather(static_cast<u32>(ti)); };
+  pool_->run(nt, gather);
+  auto inbox = [this](std::size_t ti) { tile_inbox(static_cast<u32>(ti)); };
+  pool_->run(nt, inbox);
+  bool changed = false;
+  for (TileState& t : tiles_) {
+    changed |= t.changed != 0;
+    t.changed = 0;
+  }
+  return changed;
+}
+
 i64 FabricSim::scan_next_ready() {
   i64 next_ready = INT64_MAX;
   if (opt_.stepping == SteppingMode::FullScan) {
@@ -675,29 +1230,39 @@ i64 FabricSim::scan_next_ready() {
     }
     return next_ready;
   }
-  // Worklist / subscription: only PEs with in-flight ramp traffic can own a
-  // timed event; compact the conservative membership list as queues drain.
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < queue_list_.size(); ++i) {
-    const u32 pe = queue_list_[i];
-    bool any = !up_[pe].empty();
-    if (!up_[pe].empty()) {
-      next_ready = std::min(next_ready, up_[pe].front().ready);
-    }
-    const std::size_t ck_end = layout_.color_base(pe) + layout_.num_colors(pe);
-    for (std::size_t ck = layout_.color_base(pe); ck < ck_end; ++ck) {
-      if (!down_[ck].empty()) {
-        any = true;
-        next_ready = std::min(next_ready, down_[ck].front().ready);
+  // Worklist / subscription / tiles: only PEs with in-flight ramp traffic
+  // can own a timed event; compact the conservative membership list as
+  // queues drain. This only runs on idle cycles, so the partitioned mode
+  // walks its tile lists serially.
+  const auto scan_list = [&](std::vector<u32>& list) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const u32 pe = list[i];
+      bool any = !up_[pe].empty();
+      if (!up_[pe].empty()) {
+        next_ready = std::min(next_ready, up_[pe].front().ready);
+      }
+      const std::size_t ck_end =
+          layout_.color_base(pe) + layout_.num_colors(pe);
+      for (std::size_t ck = layout_.color_base(pe); ck < ck_end; ++ck) {
+        if (!down_[ck].empty()) {
+          any = true;
+          next_ready = std::min(next_ready, down_[ck].front().ready);
+        }
+      }
+      if (any) {
+        list[keep++] = pe;
+      } else {
+        in_queue_list_[pe] = 0;
       }
     }
-    if (any) {
-      queue_list_[keep++] = pe;
-    } else {
-      in_queue_list_[pe] = 0;
-    }
+    list.resize(keep);
+  };
+  if (opt_.stepping == SteppingMode::Partitioned) {
+    for (TileState& t : tiles_) scan_list(t.queue_list);
+  } else {
+    scan_list(queue_list_);
   }
-  queue_list_.resize(keep);
   return next_ready;
 }
 
@@ -722,6 +1287,8 @@ FabricResult FabricSim::run() {
       for (u32 pe = 0; pe < n; ++pe) changed |= step_processor(pe);
       for (u32 pe = 0; pe < n; ++pe) changed |= step_up_ramp(pe);
       changed |= router_step(all_pes);
+    } else if (mode == SteppingMode::Partitioned) {
+      changed = partitioned_cycle();
     } else {
       // Timed wake-ups whose cycle has arrived re-enter the processor list.
       while (!wake_heap_.empty() && wake_heap_.front().first <= cycle_) {
@@ -745,6 +1312,8 @@ FabricResult FabricSim::run() {
 
       if (mode == SteppingMode::Subscription) {
         changed |= router_step_subscription();
+      } else if (mode == SteppingMode::Vectorized) {
+        changed |= router_step_vectorized();
       } else {
         // Routers: snapshot must be sorted (claim arbitration is
         // order-sensitive); re-add PEs whose registers stay occupied.
@@ -762,7 +1331,7 @@ FabricResult FabricSim::run() {
       }
     }
 
-    if (done_count_ == n) break;
+    if (done_count_.load(std::memory_order_relaxed) == n) break;
 
     if (changed) {
       idle_cycles = 0;
@@ -798,6 +1367,7 @@ FabricResult FabricSim::run() {
 
   FabricResult res;
   res.wavelet_hops = hops_;
+  for (const TileState& t : tiles_) res.wavelet_hops += t.local_hops;
   res.memory.resize(n);
   res.op_done_cycle.resize(n);
   for (u32 pe = 0; pe < n; ++pe) {

@@ -48,14 +48,30 @@
 //                   (stalled downstream register, full ingress queue,
 //                   inactive routing rule); a state change of that resource
 //                   wakes exactly its subscribers.
+//   * Vectorized   — subscription's candidate tracking, but the per-register
+//                   recursive resolve/park loop is replaced by branchless
+//                   sweep passes over the flat verdict/active-rule arrays:
+//                   a lane-wide structural-No verdict pass, bounded No
+//                   propagation along stalled chains, then claims and wakes
+//                   applied in ascending-key order (DESIGN.md §"Vectorized
+//                   and tile-partitioned stepping").
+//   * Partitioned  — multi-threaded: the wafer is split into contiguous
+//                   spatial tiles (layout_.make_tiles), each stepped by the
+//                   persistent pool in common/parallel.hpp with per-tile
+//                   worklists; boundary-link traffic crosses tiles through
+//                   per-tile handoff outboxes merged in deterministic tile
+//                   order, so any thread count is bit-identical.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "common/grid.hpp"
 #include "common/lazy_fifo.hpp"
+#include "common/parallel.hpp"
 #include "common/types.hpp"
 #include "wse/layout.hpp"
 #include "wse/schedule.hpp"
@@ -71,11 +87,20 @@ enum class SteppingMode : u8 {
                  ///< every cycle (PR 2 behaviour).
   Subscription,  ///< stall-cause subscriptions: blocked registers wait on
                  ///< the resource they stalled on (default).
+  Vectorized,    ///< subscription tracking + branchless sweep passes over
+                 ///< the flat verdict arrays; claims applied ascending.
+  Partitioned,   ///< spatial tiles stepped by a thread pool; boundary
+                 ///< traffic merged through deterministic handoff queues.
 };
 
 /// Parses a WSR_FABRIC_STEPPING value ("fullscan" | "worklist" |
-/// "subscription"); nullopt for anything else.
+/// "subscription" | "vectorized" | "partitioned"); nullopt otherwise.
 std::optional<SteppingMode> parse_stepping_mode(std::string_view text);
+
+/// The canonical lowercase name of a stepping mode (the same spelling
+/// parse_stepping_mode accepts); used by `wsr_plan --json`, the bench
+/// report headers and the parity tests.
+std::string_view stepping_mode_name(SteppingMode mode);
 
 /// Resolves a WSR_FABRIC_STEPPING environment value: the default mode when
 /// unset/empty, the parsed mode when valid, and a hard process exit (code
@@ -94,11 +119,26 @@ SteppingMode stepping_mode_from_env_value(const char* env);
 /// pin a mode explicitly are unaffected.
 SteppingMode default_stepping_mode();
 
+/// Process-wide default worker count for the partitioned mode: 0 (meaning
+/// hardware_jobs()), overridable once per process via WSR_FABRIC_THREADS.
+/// Like the stepping toggle, a malformed value is a hard configuration
+/// error (exit 2) rather than a silent fallback.
+u32 default_fabric_threads();
+
+/// Process-wide default tile span for the partitioned mode: 0 (meaning
+/// auto-size from the thread count), overridable once per process via
+/// WSR_FABRIC_TILE — rows per tile on 2D grids, PEs per tile on 1D rows.
+/// Tiling never changes results (any partition is bit-identical), only the
+/// parallel grain. Malformed values exit 2.
+u32 default_fabric_tile();
+
 struct FabricOptions {
   u32 ramp_latency = 2;         ///< T_R.
   i64 max_cycles = 500'000'000; ///< hard abort threshold.
   u32 color_queue_capacity = 2; ///< per-color processor ingress queue depth.
   SteppingMode stepping = default_stepping_mode();
+  u32 threads = default_fabric_threads();    ///< Partitioned only; 0 = auto.
+  u32 tile_span = default_fabric_tile();     ///< Partitioned only; 0 = auto.
 };
 
 struct FabricResult {
@@ -149,6 +189,8 @@ class FabricSim {
   bool step_up_ramp(u32 pe);     // up FIFO head -> ramp register.
   bool router_step(const std::vector<u32>& pes);  // full-scan / worklist.
   bool router_step_subscription();                // woken-register cascade.
+  bool router_step_vectorized();                  // batched sweep passes.
+  bool partitioned_cycle();                       // one whole tiled cycle.
 
   // movement resolution (memoized per cycle via epoch tags)
   enum class MoveState : u8 { Unknown, InProgress, Yes, No };
@@ -195,6 +237,98 @@ class FabricSim {
   /// and ingress queues.
   void execute_moves();
 
+  // -- vectorized / partitioned sweep machinery (see DESIGN.md) --
+
+  /// Fast-path descriptor of a color's *active* rule: when it forwards into
+  /// exactly one valid mesh direction, the precomputed destination register
+  /// and output link keys let the sweep and the survivor fast path skip the
+  /// per-direction loop, the neighbour lookup and the color re-interning.
+  /// dest == kNoFastRule means "take the general path".
+  struct RuleFast {
+    u32 dest = UINT32_MAX;
+    u32 link = 0;
+  };
+  static constexpr u32 kNoFastRule = UINT32_MAX;
+
+  /// A gathered move awaiting placement. The gather pass must clear *every*
+  /// Yes source before any placement lands (a chained forward's destination
+  /// is another mover's source), so each gather scope captures into one of
+  /// these and places in a second pass.
+  struct PendingPlace {
+    u32 pe;
+    float value;
+    Color color;
+    DirMask forward;
+    RuleFast fast;  ///< pre-retirement snapshot, matches `forward`
+  };
+
+  /// Per-tile mutable stepping state for the partitioned mode: the active
+  /// sets and router scratch of the global engine, one copy per tile, plus
+  /// the boundary handoff outbox. All buffers are reused across cycles, so
+  /// tiled steady state stays allocation-free like the other modes.
+  struct TileState {
+    u32 pe_lo = 0, pe_hi = 0;
+    std::vector<u32> proc_list, up_list, queue_list;
+    std::vector<u32> router_list, scratch, router_scratch;
+    std::vector<u32> cand;         ///< this cycle's occupied regs, ascending
+    std::vector<u32> cand_dest;    ///< [cand idx] chain dest key | sentinel
+    std::vector<u32> survivors;    ///< cand keys the sweep could not reject
+    /// Boundary handoff: placements whose destination register lives in
+    /// another tile, applied by the *destination* tile after the gather
+    /// barrier, scanning source tiles in ascending order (the merge is
+    /// deterministic because a cycle's placements target disjoint keys).
+    struct Outbound {
+      u32 key;
+      float value;
+    };
+    std::vector<Outbound> outbox;
+    std::vector<PendingPlace> places;  ///< tile-local gather capture buffer
+    std::vector<std::pair<i64, u32>> wake_heap;
+    i64 local_hops = 0;
+    i64 next_ready = 0;
+    u8 changed = 0;
+    u8 crossing = 0;  ///< a candidate forwards into an occupied foreign reg
+  };
+
+  /// Refreshes rule_fast_[ck]: the single-mesh-forward fast-path descriptor
+  /// of the color's active rule (invalid for multicast / ramp / exhausted).
+  void refresh_rule_fast(u32 pe, std::size_t ck);
+  /// The branchless verdict core of the partitioned sweep: classifies one
+  /// occupied register as structurally-No (verdict 2), chain-dependent (3,
+  /// dest in *dest) or a survivor (1). `tile` bounds in-tile chain
+  /// propagation; occupied destinations outside it raise tile->crossing.
+  u8 sweep_verdict(u32 key, u32* dest, TileState* tile);
+  /// Runs the capped descending/ascending No-propagation passes over a
+  /// candidate list (verdicts in verdict_, chain dests in `dests`).
+  void propagate_no(const std::vector<u32>& cands, std::vector<u32>& dests);
+  /// Resolves one candidate at its arbitration position: memoized verdict
+  /// if a chain recursion already settled it, an inline single-forward fast
+  /// path (the exact resolve_move trace, minus the per-direction loop and
+  /// layout lookups), the full resolve_move otherwise. Returns Yes/No.
+  bool resolve_candidate(u32 key);
+  /// Gathers one Yes register: captures value + rule snapshot into
+  /// `places`, clears the source and retires rule quota. The caller places
+  /// the whole batch afterwards — sources must all be vacated before chain
+  /// destinations are written.
+  void gather_capture(u32 key, std::vector<PendingPlace>& places);
+  /// Places one captured move's copies: into neighbour registers directly,
+  /// via the tile outbox for foreign destinations, or onto the down ramp.
+  void place_move(const PendingPlace& p, TileState* tile);
+
+  /// Pushes a timed processor wake-up onto the owning heap (the global one,
+  /// or the PE's tile heap in partitioned mode).
+  void push_wake(i64 when, u32 pe);
+
+  // -- partitioned per-tile phase bodies (run under pool_ barriers) --
+  // Two phases before resolution: up-ramps mutate register occupancy, and
+  // the sweep reads *neighbouring* tiles' occupancy, so they must be
+  // barrier-separated to stay race-free and deterministic.
+  void tile_pe_phase(u32 ti);     // timed wakes + processors + up-ramps
+  void tile_sweep_phase(u32 ti);  // candidate enumeration + verdict sweep
+  void tile_resolve(u32 ti);      // survivors, ascending (no crossing only)
+  void tile_gather(u32 ti);       // fused gather/place + outbox fill
+  void tile_inbox(u32 ti);        // apply foreign placements; relist PEs
+
   /// The wafer's index algebra: every array below indexed by a register,
   /// color, link or op key is laid out by this module.
   FabricLayout layout_;
@@ -202,7 +336,11 @@ class FabricSim {
   const Schedule* sched_;
   i64 cycle_ = 0;
   i64 hops_ = 0;
-  u64 done_count_ = 0;
+  /// Relaxed atomic: tile processor phases retire PEs concurrently; the sum
+  /// is order-independent. Serial modes pay one uncontended RMW per PE
+  /// retirement, which never shows in a profile.
+  std::atomic<u64> done_count_{0};
+  bool subscribed_ = false;  ///< Subscription-style tracking (also Vectorized)
 
   // --- structure-of-arrays simulator state -----------------------------------
   // One flat array per field; per-PE spans are carved out by the layout's
@@ -301,6 +439,25 @@ class FabricSim {
     DirMask forward;
   };
   std::vector<Move> moves_;
+
+  // --- vectorized / partitioned state ---------------------------------------
+
+  std::vector<RuleFast> rule_fast_;  ///< [color key] active-rule fast path
+
+  /// [reg key] sweep verdict of the current cycle: 0 none, 1 survivor,
+  /// 2 structurally No, 3 chain-dependent. Entries are reset to 0 for every
+  /// candidate before the router step returns, so no epoch tag is needed.
+  std::vector<u8> verdict_;
+  std::vector<u32> survivors_;   ///< vectorized Yes keys, ascending
+  std::vector<PendingPlace> places_;  ///< vectorized gather capture buffer
+
+  // Partitioned mode: fixed spatial tiles (geometry from the layout), their
+  // mutable stepping state, and the persistent worker pool. The serial
+  // crossing fallback concatenates per-tile survivor lists here (per-tile
+  // ascending lists in tile order == globally ascending).
+  std::vector<u32> tile_of_;     ///< [pe] -> tile index
+  std::vector<TileState> tiles_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Convenience: build default input data where PE p's element j is

@@ -1,6 +1,6 @@
 #include "wse/schedule.hpp"
 
-#include <set>
+#include <array>
 #include <sstream>
 
 namespace wsr::wse {
@@ -36,7 +36,7 @@ Op Op::recv_reduce_send(Color in, Color out, u32 len, u32 src_offset) {
 }
 
 Op& Op::after(std::initializer_list<u32> dep_ids) {
-  deps.insert(deps.end(), dep_ids.begin(), dep_ids.end());
+  deps.append(dep_ids.begin(), dep_ids.end());
   return *this;
 }
 
@@ -57,17 +57,21 @@ Schedule::Schedule(GridShape g, u32 b, std::string n)
 }
 
 u32 Schedule::colors_used() const {
-  std::set<Color> colors;
+  // Color is u8: a bitmap beats a std::set, whose per-element tree search
+  // dominated wafer-scale validation (tens of millions of inserts).
+  std::array<bool, 256> seen{};
   for (const auto& rs : rules) {
-    for (const auto& r : rs) colors.insert(r.color);
+    for (const auto& r : rs) seen[r.color] = true;
   }
   for (const auto& prog : programs) {
     for (const auto& op : prog.ops) {
-      if (op.kind != OpKind::Send) colors.insert(op.in_color);
-      if (op.kind != OpKind::Recv) colors.insert(op.out_color);
+      if (op.kind != OpKind::Send) seen[op.in_color] = true;
+      if (op.kind != OpKind::Recv) seen[op.out_color] = true;
     }
   }
-  return static_cast<u32>(colors.size());
+  u32 count = 0;
+  for (bool b : seen) count += b;
+  return count;
 }
 
 const char* op_kind_name(OpKind k) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/grid.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 
 namespace wsr::wse {
@@ -72,7 +73,10 @@ struct Op {
   u32 modulo = 0;      // AddModulo only
   u32 src_offset = 0;  // Send / RecvReduceSend: local read base
   u32 dst_offset = 0;  // Recv: local write base
-  std::vector<u32> deps;
+  // Inline-storage vector: dep lists average ~1 entry, and a wafer-scale
+  // schedule holds millions of ops — a heap buffer per op dominated
+  // schedule construction/teardown (common/small_vec.hpp).
+  SmallVec<u32, 2> deps;
 
   static Op send(Color color, u32 len, u32 src_offset = 0);
   static Op recv(Color color, u32 len, RecvMode mode, u32 dst_offset = 0,

@@ -123,10 +123,12 @@ TEST(Fabric, ContentionMeasuredAtRoot) {
   EXPECT_EQ(r.max_ramp_wavelets, i64{b} * (p - 1));
 }
 
-TEST(SteppingMode, ParsesTheThreeValidModes) {
+TEST(SteppingMode, ParsesTheFiveValidModes) {
   EXPECT_EQ(parse_stepping_mode("fullscan"), SteppingMode::FullScan);
   EXPECT_EQ(parse_stepping_mode("worklist"), SteppingMode::Worklist);
   EXPECT_EQ(parse_stepping_mode("subscription"), SteppingMode::Subscription);
+  EXPECT_EQ(parse_stepping_mode("vectorized"), SteppingMode::Vectorized);
+  EXPECT_EQ(parse_stepping_mode("partitioned"), SteppingMode::Partitioned);
   EXPECT_EQ(parse_stepping_mode("Subscription"), std::nullopt);
   EXPECT_EQ(parse_stepping_mode("sub"), std::nullopt);
   EXPECT_EQ(parse_stepping_mode(""), std::nullopt);
@@ -134,8 +136,8 @@ TEST(SteppingMode, ParsesTheThreeValidModes) {
 
 TEST(SteppingMode, EnvResolutionDefaultsAndAccepts) {
   EXPECT_EQ(stepping_mode_from_env_value(nullptr),
-            SteppingMode::Subscription);
-  EXPECT_EQ(stepping_mode_from_env_value(""), SteppingMode::Subscription);
+            SteppingMode::Vectorized);
+  EXPECT_EQ(stepping_mode_from_env_value(""), SteppingMode::Vectorized);
   EXPECT_EQ(stepping_mode_from_env_value("worklist"), SteppingMode::Worklist);
 }
 

@@ -1,11 +1,18 @@
-// FabricSim stepping-mode parity: the event-driven worklist mode and the
-// stall-subscription mode must both be *bit-identical* to the retained
-// full-scan reference (scan every PE every cycle) — same cycle counts, same
-// per-op completion cycles, same memories, same energy/contention counters —
-// across every schedule pattern the library generates. Any divergence means
-// a missed wake-up or a changed arbitration order; this suite is the
-// contract that lets every other test and bench run in subscription mode.
+// FabricSim stepping-mode parity: every stepping mode (worklist,
+// subscription, vectorized, partitioned) must be *bit-identical* to the
+// retained full-scan reference (scan every PE every cycle) — same cycle
+// counts, same per-op completion cycles, same memories, same
+// energy/contention counters — across every schedule pattern the library
+// generates. Any divergence means a missed wake-up or a changed arbitration
+// order; this suite is the contract that lets every other test and bench
+// run in any mode. The partitioned mode additionally runs at 1, 2 and "all"
+// threads with a deliberately tiny tile span, so every suite pattern
+// crosses tile boundaries and exercises the handoff merge and the serial
+// crossing fallback.
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 #include "collectives/collectives.hpp"
 #include "collectives/midroot.hpp"
@@ -19,13 +26,32 @@ namespace {
 
 const MachineParams kMp{};
 
-const char* mode_name(wse::SteppingMode m) {
-  switch (m) {
-    case wse::SteppingMode::FullScan: return "full-scan";
-    case wse::SteppingMode::Worklist: return "worklist";
-    case wse::SteppingMode::Subscription: return "subscription";
-  }
-  return "?";
+struct ModeConfig {
+  wse::SteppingMode stepping;
+  u32 threads = 0;
+  u32 tile_span = 0;
+  std::string label;
+};
+
+std::vector<ModeConfig> parity_configs() {
+  std::vector<ModeConfig> configs{
+      {wse::SteppingMode::Worklist, 0, 0, "worklist"},
+      {wse::SteppingMode::Subscription, 0, 0, "subscription"},
+      {wse::SteppingMode::Vectorized, 0, 0, "vectorized"},
+      // tile_span 2: two rows (or PEs) per tile, so even small grids get
+      // many tiles and boundary traffic regardless of the thread count.
+      {wse::SteppingMode::Partitioned, 1, 2, "partitioned/t1"},
+      {wse::SteppingMode::Partitioned, 2, 2, "partitioned/t2"},
+      {wse::SteppingMode::Partitioned, 0, 2, "partitioned/tmax"},
+      {wse::SteppingMode::Partitioned, 2, 0, "partitioned/autotile"},
+  };
+  return configs;
+}
+
+void apply(const ModeConfig& c, wse::FabricOptions& opt) {
+  opt.stepping = c.stepping;
+  opt.threads = c.threads;
+  opt.tile_span = c.tile_span;
 }
 
 void expect_bit_identical(const wse::Schedule& s) {
@@ -34,19 +60,18 @@ void expect_bit_identical(const wse::Schedule& s) {
   reference.stepping = wse::SteppingMode::FullScan;
   const wse::FabricResult base = wse::run_fabric(s, inputs, reference);
 
-  for (wse::SteppingMode mode :
-       {wse::SteppingMode::Worklist, wse::SteppingMode::Subscription}) {
+  for (const ModeConfig& c : parity_configs()) {
     wse::FabricOptions opt;
-    opt.stepping = mode;
+    apply(c, opt);
     const wse::FabricResult r = wse::run_fabric(s, inputs, opt);
-    EXPECT_EQ(r.cycles, base.cycles) << s.name << " / " << mode_name(mode);
+    EXPECT_EQ(r.cycles, base.cycles) << s.name << " / " << c.label;
     EXPECT_EQ(r.wavelet_hops, base.wavelet_hops)
-        << s.name << " / " << mode_name(mode);
+        << s.name << " / " << c.label;
     EXPECT_EQ(r.max_pe_ramp_wavelets, base.max_pe_ramp_wavelets)
-        << s.name << " / " << mode_name(mode);
+        << s.name << " / " << c.label;
     ASSERT_EQ(r.op_done_cycle, base.op_done_cycle)
-        << s.name << " / " << mode_name(mode);
-    ASSERT_EQ(r.memory, base.memory) << s.name << " / " << mode_name(mode);
+        << s.name << " / " << c.label;
+    ASSERT_EQ(r.memory, base.memory) << s.name << " / " << c.label;
   }
 }
 
@@ -140,17 +165,16 @@ TEST(WorklistParity, BusyRootIncast) {
       wse::FabricOptions reference;
       reference.stepping = wse::SteppingMode::FullScan;
       const auto base = wse::run_fabric(s, inputs, reference);
-      for (wse::SteppingMode mode :
-           {wse::SteppingMode::Worklist, wse::SteppingMode::Subscription}) {
+      for (const ModeConfig& c : parity_configs()) {
         wse::FabricOptions opt;
-        opt.stepping = mode;
+        apply(c, opt);
         const auto r = wse::run_fabric(s, inputs, opt);
         EXPECT_EQ(r.cycles, base.cycles)
-            << s.name << " P=" << p << " / " << mode_name(mode);
+            << s.name << " P=" << p << " / " << c.label;
         ASSERT_EQ(r.op_done_cycle, base.op_done_cycle)
-            << s.name << " P=" << p << " / " << mode_name(mode);
+            << s.name << " P=" << p << " / " << c.label;
         ASSERT_EQ(r.memory, base.memory)
-            << s.name << " P=" << p << " / " << mode_name(mode);
+            << s.name << " P=" << p << " / " << c.label;
       }
     }
   }
@@ -166,18 +190,15 @@ TEST(WorklistParity, NonDefaultRampLatency) {
     reference.ramp_latency = tr;
     reference.stepping = wse::SteppingMode::FullScan;
     const auto base = wse::run_fabric(s, inputs, reference);
-    for (wse::SteppingMode mode :
-         {wse::SteppingMode::Worklist, wse::SteppingMode::Subscription}) {
+    for (const ModeConfig& c : parity_configs()) {
       wse::FabricOptions opt;
       opt.ramp_latency = tr;
-      opt.stepping = mode;
+      apply(c, opt);
       const auto r = wse::run_fabric(s, inputs, opt);
-      EXPECT_EQ(r.cycles, base.cycles)
-          << "T_R=" << tr << " / " << mode_name(mode);
+      EXPECT_EQ(r.cycles, base.cycles) << "T_R=" << tr << " / " << c.label;
       ASSERT_EQ(r.op_done_cycle, base.op_done_cycle)
-          << "T_R=" << tr << " / " << mode_name(mode);
-      ASSERT_EQ(r.memory, base.memory)
-          << "T_R=" << tr << " / " << mode_name(mode);
+          << "T_R=" << tr << " / " << c.label;
+      ASSERT_EQ(r.memory, base.memory) << "T_R=" << tr << " / " << c.label;
     }
   }
 }
