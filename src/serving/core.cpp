@@ -1,0 +1,146 @@
+#include "serving/core.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "runtime/plan_json.hpp"
+
+namespace wsr::serving {
+
+Core::Core(std::size_t max_entries, const std::string& cache_dir, u32 jobs)
+    : cache_(16, max_entries), jobs_(jobs) {
+  if (!cache_dir.empty()) {
+    disk_ = std::make_unique<runtime::PersistentPlanCache>(cache_dir);
+    cache_.attach_disk_store(disk_.get());
+  }
+}
+
+const runtime::Planner& Core::planner_for(const MachineParams& mp,
+                                          u32 max_dim) {
+  const PlannerKey key{mp, std::max<u32>(max_dim, 2)};
+  std::lock_guard<std::mutex> lock(planners_mu_);
+  auto& slot = planners_[key];
+  if (!slot) slot = std::make_unique<runtime::Planner>(key.max_dim, mp);
+  return *slot;
+}
+
+std::string Core::serve_batch(std::vector<Request>& batch) {
+  // Group the batch's plannable lines by their planner.
+  std::map<const runtime::Planner*, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].is_plan()) {
+      const u32 max_dim =
+          std::max(batch[i].req.grid.width, batch[i].req.grid.height);
+      groups[&planner_for(batch[i].mp, max_dim)].push_back(i);
+    }
+  }
+
+  std::vector<std::shared_ptr<const runtime::Plan>> plans(batch.size());
+  std::vector<runtime::PlanSource> tiers(batch.size(),
+                                         runtime::PlanSource::Planned);
+  for (const auto& [planner, indices] : groups) {
+    std::vector<runtime::PlanRequest> requests;
+    requests.reserve(indices.size());
+    for (std::size_t i : indices) requests.push_back(batch[i].req);
+    std::vector<runtime::PlanSource> sources;
+    const auto group_plans =
+        planner->plan_many(requests, &cache_, jobs_, &sources);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      plans[indices[k]] = group_plans[k];
+      tiers[indices[k]] = sources[k];
+    }
+  }
+
+  std::string out;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& line = batch[i];
+    requests_.fetch_add(1);
+    const std::string id_field =
+        line.id_json.empty() ? "" : "\"id\":" + line.id_json + ",";
+    if (!line.error.empty()) {
+      request_errors_.fetch_add(1);
+      out += "{" + id_field + "\"error\":\"" + json_escape(line.error) + "\"}\n";
+    } else if (line.stats) {
+      out += stats_json() + "\n";
+    } else {
+      std::string extras = id_field;
+      extras += "\"cache_tier\":\"";
+      extras += runtime::name(tiers[i]);
+      extras += "\",";
+      extras += runtime::plan_cache_counters_json(cache_);
+      out += runtime::plan_response_json(line.req, *plans[i], line.mp, extras);
+      out += "\n";
+    }
+    metrics_.responses.fetch_add(1);
+    const i64 dt = now_us() - line.t_enqueue_us;
+    metrics_.latency.record(dt > 0 ? static_cast<u64>(dt) : 0);
+  }
+  batch.clear();
+  return out;
+}
+
+std::string Core::stats_json() {
+  std::string out = "{\"stats\":{";
+  out += "\"requests\":" + std::to_string(requests_.load());
+  out += ",\"request_errors\":" + std::to_string(request_errors_.load());
+  out += ",\"memory_hits\":" + std::to_string(cache_.hits());
+  out += ",\"disk_hits\":" + std::to_string(cache_.disk_hits());
+  out += ",\"planned\":" + std::to_string(cache_.misses());
+  out += ",\"evictions\":" + std::to_string(cache_.evictions());
+  out += ",\"memory_entries\":" + std::to_string(cache_.size());
+  out += ",\"memory_max_entries\":" + std::to_string(cache_.max_entries());
+
+  // The robustness section: connection lifecycle, shedding, eviction, and
+  // the service-latency percentiles the load harness cross-checks.
+  const Metrics& m = metrics_;
+  const double uptime_s =
+      static_cast<double>(now_us() - m.start_us) / 1e6;
+  const u64 responses = m.responses.load();
+  char buf[64];
+  out += ",\"serving\":{";
+  out += "\"open_conns\":" + std::to_string(m.open_conns.load());
+  out += ",\"accepted\":" + std::to_string(m.accepted.load());
+  out += ",\"shed_conns\":" + std::to_string(m.shed_conns.load());
+  out += ",\"shed_requests\":" + std::to_string(m.shed_requests.load());
+  out += ",\"too_large\":" + std::to_string(m.too_large.load());
+  out += ",\"evicted_idle\":" + std::to_string(m.evicted_idle.load());
+  out += ",\"evicted_timeout\":" + std::to_string(m.evicted_timeout.load());
+  out += ",\"evicted_slow_reader\":" + std::to_string(m.evicted_slow.load());
+  out += ",\"accept_retries\":" + std::to_string(m.accept_retries.load());
+  out += ",\"inflight\":" + std::to_string(m.inflight.load());
+  out += ",\"responses\":" + std::to_string(responses);
+  std::snprintf(buf, sizeof buf, "%.3f", uptime_s);
+  out += ",\"uptime_s\":";
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%.1f",
+                uptime_s > 0 ? static_cast<double>(responses) / uptime_s : 0.0);
+  out += ",\"throughput_rps\":";
+  out += buf;
+  out += ",\"latency_us\":{\"count\":" + std::to_string(m.latency.count());
+  out += ",\"p50\":" + std::to_string(m.latency.percentile(0.50));
+  out += ",\"p90\":" + std::to_string(m.latency.percentile(0.90));
+  out += ",\"p99\":" + std::to_string(m.latency.percentile(0.99));
+  out += ",\"max\":" + std::to_string(m.latency.max_us());
+  out += "}}";
+
+  if (disk_) {
+    const auto s = disk_->stats();
+    out += ",\"disk\":{\"dir\":\"" + json_escape(disk_->dir()) + "\"";
+    out += ",\"entries\":" + std::to_string(disk_->size());
+    out += ",\"loaded\":" + std::to_string(s.loaded);
+    out += ",\"load_errors\":" + std::to_string(s.load_errors);
+    out += ",\"hits\":" + std::to_string(s.hits);
+    out += ",\"misses\":" + std::to_string(s.misses);
+    out += ",\"appended\":" + std::to_string(s.appended);
+    out += ",\"compactions\":" + std::to_string(s.compactions);
+    out += ",\"appends_skipped\":" + std::to_string(s.appends_skipped);
+    std::snprintf(buf, sizeof buf, "%.6f", s.load_seconds);
+    out += ",\"load_seconds\":";
+    out += buf;
+    out += ",\"file_bytes\":" + std::to_string(s.file_bytes) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace wsr::serving

@@ -1,0 +1,99 @@
+// The transport-independent half of wsrd: shared caches, per-machine
+// planners, serving metrics, and batch planning.
+//
+// Core::serve_batch turns a vector of parsed Requests into response bytes —
+// it never touches a socket, so the same code serves the blocking --pipe
+// stream and the epoll daemon (which completes the returned bytes
+// asynchronously on writability). Thread-safety: one Core is shared by
+// every connection and dispatcher thread; serve_batch may run concurrently
+// (PlanCache is sharded, the planner table is mutex-guarded, all counters
+// are atomic).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/persistent_plan_cache.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/planner.hpp"
+#include "serving/histogram.hpp"
+#include "serving/request.hpp"
+
+namespace wsr::serving {
+
+/// Robustness counters for the stats verb's "serving" section. Every value
+/// is monotone except open_conns (a gauge) — all updated lock-free from the
+/// event loop and dispatcher threads.
+struct Metrics {
+  std::atomic<u64> accepted{0};        ///< connections accepted
+  std::atomic<u64> open_conns{0};      ///< currently open connections
+  std::atomic<u64> shed_conns{0};      ///< closed at accept: over --max-conns
+  std::atomic<u64> shed_requests{0};   ///< answered "overloaded" in-band
+  std::atomic<u64> too_large{0};       ///< lines over --max-line-bytes
+  std::atomic<u64> evicted_idle{0};    ///< idle-timeout closes
+  std::atomic<u64> evicted_timeout{0}; ///< request-deadline closes (slow-loris)
+  std::atomic<u64> evicted_slow{0};    ///< write-stall closes (slow readers)
+  std::atomic<u64> accept_retries{0};  ///< transient accept(2) errors survived
+  std::atomic<u64> responses{0};       ///< response lines emitted
+  std::atomic<u64> inflight{0};        ///< requests dispatched, not yet served
+  LatencyHistogram latency;            ///< service latency per response line
+  i64 start_us = now_us();
+};
+
+/// Planner table key: the full machine parameterization (never the hash —
+/// the cache-layer invariant that a hash collision can never cross-serve
+/// machines holds here too) plus the planner's DP bound.
+struct PlannerKey {
+  MachineParams mp;
+  u32 max_dim = 2;
+
+  bool operator<(const PlannerKey& o) const {
+    return std::tie(mp.ramp_latency, mp.clock_mhz, mp.sram_bytes,
+                    mp.num_colors, max_dim) <
+           std::tie(o.mp.ramp_latency, o.mp.clock_mhz, o.mp.sram_bytes,
+                    o.mp.num_colors, o.max_dim);
+  }
+};
+
+/// Shared serving state: one memory cache, one optional disk store, and one
+/// Planner per (machine, max-dimension) — the same construction wsr_plan
+/// uses per invocation, so plans (and therefore cache keys and responses)
+/// are identical between the daemon and the one-shot CLI.
+class Core {
+ public:
+  Core(std::size_t max_entries, const std::string& cache_dir, u32 jobs);
+
+  /// Plans one batch of parsed requests and returns the response bytes in
+  /// input order (one '\n'-terminated JSON object per line). The batch's
+  /// plannable lines are grouped per planner (requests may override the
+  /// machine via "tr") and each group goes through Planner::plan_many on
+  /// `jobs` workers. Lines carrying a preset error (parse failures, shed
+  /// "overloaded" markers) are answered without planning. Consumes `batch`.
+  std::string serve_batch(std::vector<Request>& batch);
+
+  /// The stats verb's payload (no trailing newline).
+  std::string stats_json();
+
+  Metrics& metrics() { return metrics_; }
+  const runtime::PersistentPlanCache* disk() const { return disk_.get(); }
+
+ private:
+  const runtime::Planner& planner_for(const MachineParams& mp, u32 max_dim);
+
+  runtime::PlanCache cache_;
+  std::unique_ptr<runtime::PersistentPlanCache> disk_;
+  u32 jobs_ = 0;
+
+  std::mutex planners_mu_;
+  std::map<PlannerKey, std::unique_ptr<runtime::Planner>> planners_;
+
+  std::atomic<u64> requests_{0};
+  std::atomic<u64> request_errors_{0};
+  Metrics metrics_;
+};
+
+}  // namespace wsr::serving

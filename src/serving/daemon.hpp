@@ -1,0 +1,149 @@
+// The multiplexed wsrd serving loop: one epoll thread owns every listener
+// and connection; a small dispatcher pool runs Core::serve_batch off-loop
+// and posts finished response bytes back for asynchronous write-out.
+//
+// Robustness policy (docs/serving.md "Operations & limits"):
+//   - connection cap: accepts over --max-conns answer {"error":"overloaded"}
+//     and close immediately (shed, not queued);
+//   - in-flight high-water: when dispatched+pending requests exceed
+//     --max-inflight, new plan lines are answered {"error":"overloaded"}
+//     in-band without planning — clients back off and retry;
+//   - bounded buffers: a line over --max-line-bytes answers
+//     {"error":"too_large"} and closes; per-connection pipelining past
+//     max_pipeline parsed lines pauses reading (TCP backpressure) instead
+//     of buffering without bound;
+//   - deadlines: idle connections, slow-loris writers (a partial line older
+//     than --request-timeout-ms), and stalled readers (a write buffer
+//     undrained past --write-timeout-ms) are evicted;
+//   - graceful drain: SIGTERM/SIGINT stop accepting, finish dispatched and
+//     queued batches, flush, then exit 0 — bounded by --drain-timeout-ms,
+//     and a second signal forces immediate exit.
+//
+// Ordering contract: per connection, responses are emitted strictly in
+// request order (one batch in flight per connection; queued lines dispatch
+// only after the previous batch's bytes are appended to the write buffer).
+#pragma once
+
+#include <condition_variable>
+#include <csignal>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/core.hpp"
+#include "serving/event_loop.hpp"
+#include "serving/listener.hpp"
+
+namespace wsr::serving {
+
+struct Limits {
+  u64 max_conns = 1024;
+  u64 max_inflight = 4096;            ///< parsed lines queued or dispatched
+  std::size_t max_line_bytes = 1 << 20;
+  std::size_t max_pipeline = 256;     ///< parsed-undispatched lines per conn
+  std::size_t max_write_buffer = 64u << 20;
+  i64 idle_timeout_ms = 60'000;
+  i64 request_timeout_ms = 10'000;
+  i64 write_timeout_ms = 30'000;
+  i64 drain_timeout_ms = 5'000;
+  u32 dispatchers = 0;                ///< serve_batch worker threads; 0 = auto
+};
+
+class Daemon {
+ public:
+  /// `drain_flag` is the signal handler's sig_atomic counter: 1+ requests a
+  /// graceful drain, 2+ forces immediate shutdown. The handler must also
+  /// write 8 bytes to `loop().wake_fd()`.
+  Daemon(Core& core, Limits limits, volatile std::sig_atomic_t* drain_flag);
+  ~Daemon();
+
+  EventLoop& loop() { return loop_; }
+
+  /// Takes ownership of a listening socket (from make_unix_listener /
+  /// make_tcp_listener). `unlink_path` non-empty = a Unix socket file to
+  /// remove on shutdown.
+  void add_listener(int fd, bool tcp, std::string label,
+                    std::string unlink_path = "");
+
+  /// Serves until drained; returns the process exit code (0 on any
+  /// signal-initiated shutdown, graceful or forced).
+  int run();
+
+ private:
+  struct Connection {
+    u64 id = 0;       ///< daemon key (never reused)
+    u64 loop_id = 0;  ///< EventLoop source id
+    int fd = -1;
+    bool reading = true;           ///< EPOLLIN armed
+    bool writing = false;          ///< EPOLLOUT armed
+    bool paused_pipeline = false;  ///< reading stopped: pending full
+    bool eof_seen = false;         ///< peer half-closed; flush then close
+    bool close_after_flush = false;
+    bool inflight = false;         ///< a batch is dispatched for this conn
+    std::string rbuf;              ///< partial line
+    std::vector<Request> pending;  ///< parsed, not yet dispatched
+    std::string wbuf;
+    std::size_t woff = 0;
+    i64 idle_deadline_us = 0;
+    i64 request_deadline_us = 0;   ///< 0 = no partial line pending
+    i64 write_deadline_us = 0;     ///< 0 = write buffer empty
+  };
+
+  struct ListenerState {
+    Listener listener;
+    u64 loop_id = 0;
+    std::string unlink_path;
+    i64 resume_us = 0;  ///< 0 = armed; else re-arm EPOLLIN at this time
+  };
+
+  void on_accept_ready(std::size_t idx);
+  void on_conn_event(u64 conn_id, u32 events);
+  bool on_readable(Connection& c);   // false = connection destroyed
+  bool on_writable(Connection& c);   // false = connection destroyed
+  void take_lines(Connection& c);
+  void enqueue_line(Connection& c, std::string text);
+  void mark_too_large(Connection& c);
+  void maybe_dispatch(Connection& c);
+  void complete_batch(u64 conn_id, std::string out);
+  bool flush(Connection& c);         // false = connection destroyed
+  void set_interest(Connection& c);
+  void destroy(Connection& c);
+  void maybe_finish(Connection& c);  // close when fully drained
+  void tick();
+  void begin_drain();
+  void force_stop();
+  void update_read_deadlines(Connection& c);
+
+  Core& core_;
+  Limits limits_;
+  volatile std::sig_atomic_t* drain_flag_;
+  EventLoop loop_;
+
+  std::vector<ListenerState> listeners_;
+  std::unordered_map<u64, std::unique_ptr<Connection>> conns_;
+  u64 next_conn_id_ = 1;
+  u64 pending_requests_ = 0;  ///< parsed-undispatched lines, all conns
+  bool draining_ = false;
+  bool forced_ = false;
+  i64 drain_deadline_us_ = 0;
+
+  // Dispatcher pool: FIFO of (conn id, batch); per-connection order is
+  // guaranteed by the one-batch-in-flight rule, so any worker may serve
+  // any batch.
+  struct Work {
+    u64 conn_id;
+    std::vector<Request> batch;
+  };
+  std::deque<Work> work_;
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::thread> workers_;
+  bool work_stop_ = false;
+  void worker_loop();
+};
+
+}  // namespace wsr::serving

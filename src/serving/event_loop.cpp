@@ -1,0 +1,136 @@
+#include "serving/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "serving/histogram.hpp"
+
+namespace wsr::serving {
+
+struct EventLoop::PostQueue {
+  std::mutex mu;
+  std::vector<std::function<void()>> fns;
+};
+
+EventLoop::EventLoop() : posted_(std::make_unique<PostQueue>()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    std::perror("wsrd: epoll_create1/eventfd");
+    std::abort();  // no readiness loop without these two fds
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // id 0 = the wake eventfd
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    std::perror("wsrd: epoll_ctl(wake)");
+    std::abort();
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+u64 EventLoop::add(int fd, u32 events, Callback cb) {
+  const u64 id = next_id_++;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::perror("wsrd: epoll_ctl(add)");
+    return 0;
+  }
+  sources_[id] = Source{fd, std::move(cb)};
+  return id;
+}
+
+void EventLoop::set_events(u64 id, u32 events) {
+  auto it = sources_.find(id);
+  if (it == sources_.end()) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, it->second.fd, &ev);
+}
+
+void EventLoop::remove(u64 id) {
+  auto it = sources_.find(id);
+  if (it == sources_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  sources_.erase(it);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_->mu);
+    posted_->fns.push_back(std::move(fn));
+  }
+  const u64 one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; nothing to do.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard<std::mutex> lock(posted_->mu);
+    fns.swap(posted_->fns);
+  }
+  for (auto& fn : fns) fn();
+}
+
+void EventLoop::set_tick(i64 interval_ms, std::function<void()> fn) {
+  tick_interval_ms_ = interval_ms > 0 ? interval_ms : 100;
+  tick_ = std::move(fn);
+  next_tick_us_ = now_us() + tick_interval_ms_ * 1000;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  epoll_event events[256];
+  while (!stopped_) {
+    i64 timeout_ms = tick_ ? (next_tick_us_ - now_us()) / 1000 + 1 : 1000;
+    if (timeout_ms < 0) timeout_ms = 0;
+    if (timeout_ms > 1000) timeout_ms = 1000;
+    const int n = ::epoll_wait(epoll_fd_, events, 256,
+                               static_cast<int>(timeout_ms));
+    if (n < 0 && errno != EINTR) {
+      std::perror("wsrd: epoll_wait");
+      break;
+    }
+    bool woken = false;
+    for (int i = 0; i < n && !stopped_; ++i) {
+      const u64 id = events[i].data.u64;
+      if (id == 0) {
+        u64 drained = 0;
+        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        woken = true;
+        continue;
+      }
+      // A callback earlier in this batch may have removed this source (and
+      // its fd number may already belong to a brand-new one): deliver only
+      // to ids that are still registered.
+      auto it = sources_.find(id);
+      if (it == sources_.end()) continue;
+      it->second.cb(events[i].events);
+    }
+    if (stopped_) break;
+    if (woken && on_wake_) on_wake_();
+    drain_posted();
+    if (tick_ && now_us() >= next_tick_us_) {
+      next_tick_us_ = now_us() + tick_interval_ms_ * 1000;
+      tick_();
+    }
+  }
+}
+
+}  // namespace wsr::serving

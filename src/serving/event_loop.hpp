@@ -1,0 +1,88 @@
+// A minimal epoll readiness loop, in the style of dovecot's ioloop: one
+// thread multiplexes every listener and connection, with an eventfd as the
+// single signal-safe wake channel.
+//
+// Why an eventfd instead of the old close-the-listener-from-the-signal-
+// handler dance: write(2) on an eventfd is async-signal-safe, never racy
+// against fd reuse, and doubles as the cross-thread completion doorbell —
+// dispatcher threads post() finished batches through the same wakeup.
+//
+// Registration is by opaque id, not fd: ids are never reused, so an event
+// already harvested by epoll_wait for a source that a callback closed (and
+// whose fd number the kernel may hand right back to a new connection) is
+// dropped instead of misdelivered.
+//
+// Single-threaded contract: add/set_events/remove/run are loop-thread only;
+// post() and wake_fd() are safe from any thread or signal handler.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wsr::serving {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void(u32 epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); returns the source
+  /// id. The fd stays owned by the caller (remove() does not close it).
+  u64 add(int fd, u32 events, Callback cb);
+  void set_events(u64 id, u32 events);
+  void remove(u64 id);
+
+  /// Enqueues `fn` to run on the loop thread after the current poll cycle.
+  /// Thread-safe; wakes the loop.
+  void post(std::function<void()> fn);
+
+  /// The eventfd a signal handler may write(2) an 8-byte value to in order
+  /// to wake the loop (the handler must not call any other method).
+  int wake_fd() const { return wake_fd_; }
+
+  /// `on_wake` runs on the loop thread after every wakeup — the hook where
+  /// the daemon checks its sig_atomic flags.
+  void set_on_wake(std::function<void()> fn) { on_wake_ = std::move(fn); }
+
+  /// Periodic housekeeping: `fn` runs at least every `interval_ms` (and
+  /// possibly more often). Deadline sweeps live here — with a coarse tick,
+  /// timeouts need no per-connection timer bookkeeping.
+  void set_tick(i64 interval_ms, std::function<void()> fn);
+
+  /// Runs until stop(). Dispatches readiness callbacks, then posted
+  /// functions, then the tick when due.
+  void run();
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Source {
+    int fd = -1;
+    Callback cb;
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  u64 next_id_ = 1;
+  std::unordered_map<u64, Source> sources_;
+  bool stopped_ = false;
+
+  std::function<void()> on_wake_;
+  std::function<void()> tick_;
+  i64 tick_interval_ms_ = 100;
+  i64 next_tick_us_ = 0;
+
+  // post() queue: mutex-guarded swap, drained once per cycle.
+  void drain_posted();
+  struct PostQueue;
+  std::unique_ptr<PostQueue> posted_;
+};
+
+}  // namespace wsr::serving

@@ -1,0 +1,113 @@
+// Lock-free log-bucketed latency histogram for the serving layer.
+//
+// Both ends of the wire report the same percentiles from the same machinery:
+// wsrd's stats verb (service latency: line parsed -> response bytes ready)
+// and tools/wsrd_load.cpp (true client round-trip time). Values are recorded
+// in microseconds into power-of-two octaves with 8 sub-buckets each, so the
+// relative quantization error is bounded by ~6% at any magnitude while the
+// whole table stays a few KB of atomics — record() is one relaxed
+// fetch_add, safe from any thread, and never allocates.
+//
+// Percentiles are approximate by construction (each bucket answers with its
+// midpoint); tests/test_serving.cpp pins the bucketing round-trip and the
+// quantization bound.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace wsr::serving {
+
+/// Monotonic microseconds since an arbitrary epoch — the serving layer's
+/// one clock (deadlines, latency stamps, throughput windows).
+inline i64 now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class LatencyHistogram {
+ public:
+  static constexpr u32 kSubBits = 3;  ///< 8 sub-buckets per octave
+  static constexpr u32 kSub = 1u << kSubBits;
+  static constexpr u32 kLinear = 2 * kSub;  ///< exact below 16us
+  static constexpr u32 kBuckets =
+      kLinear + ((64 - kSubBits - 1) << kSubBits);  // covers the full u64 range
+
+  /// Bucket index for a microsecond value: exact below kLinear, then
+  /// (octave, top-3-mantissa-bits) above it. Monotone in `us`.
+  static u32 bucket_of(u64 us) {
+    if (us < kLinear) return static_cast<u32>(us);
+    const u32 msb = 63u - static_cast<u32>(std::countl_zero(us));
+    const u32 sub = static_cast<u32>(us >> (msb - kSubBits)) & (kSub - 1);
+    return kLinear + ((msb - kSubBits - 1) << kSubBits) + sub;
+  }
+
+  /// Inclusive lower bound of bucket `b` (the inverse of bucket_of).
+  static u64 bucket_floor(u32 b) {
+    if (b < kLinear) return b;
+    const u32 octave = (b - kLinear) >> kSubBits;
+    const u32 sub = (b - kLinear) & (kSub - 1);
+    const u32 msb = octave + kSubBits + 1;
+    return (u64{1} << msb) + (u64{sub} << (msb - kSubBits));
+  }
+
+  /// Half-open upper bound of bucket `b`.
+  static u64 bucket_ceil(u32 b) {
+    if (b + 1 >= kBuckets) return ~u64{0};
+    return bucket_floor(b + 1);
+  }
+
+  void record(u64 us) {
+    buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+    u64 seen = max_us_.load(std::memory_order_relaxed);
+    while (us > seen &&
+           !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  u64 count() const {
+    u64 n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  u64 max_us() const { return max_us_.load(std::memory_order_relaxed); }
+
+  /// The `p`-quantile (p in [0,1]) as a bucket-midpoint microsecond value;
+  /// 0 when nothing was recorded. Concurrent record()s make the answer a
+  /// snapshot, not an inconsistency.
+  u64 percentile(double p) const {
+    u64 counts[kBuckets];
+    u64 total = 0;
+    for (u32 b = 0; b < kBuckets; ++b) {
+      counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    if (total == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 1) p = 1;
+    u64 target = static_cast<u64>(p * static_cast<double>(total));
+    if (target >= total) target = total - 1;
+    u64 seen = 0;
+    for (u32 b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > target) {
+        const u64 lo = bucket_floor(b);
+        const u64 hi = bucket_ceil(b);
+        return lo + (hi - lo) / 2;
+      }
+    }
+    return max_us();
+  }
+
+ private:
+  std::array<std::atomic<u64>, kBuckets> buckets_{};
+  std::atomic<u64> max_us_{0};
+};
+
+}  // namespace wsr::serving

@@ -1,0 +1,159 @@
+#include "serving/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace wsr::serving {
+
+namespace {
+
+bool set_nonblock_cloexec(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL);
+  if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) return false;
+  const int fdfl = ::fcntl(fd, F_GETFD);
+  return fdfl >= 0 && ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC) == 0;
+}
+
+}  // namespace
+
+int make_unix_listener(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    std::perror("wsrd: socket(unix)");
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "wsrd: socket path too long: %s\n", path.c_str());
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());  // replace a stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 256) != 0) {
+    std::perror("wsrd: bind/listen(unix)");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int make_tcp_listener(const std::string& spec, u16* bound_port) {
+  std::string host = "127.0.0.1";
+  std::string port_text = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+    if (host.empty()) host = "127.0.0.1";
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port > 65535) {
+    std::fprintf(stderr, "wsrd: bad --tcp spec \"%s\" (want PORT or "
+                 "HOST:PORT)\n", spec.c_str());
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<u16>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "wsrd: bad --tcp host \"%s\" (numeric IPv4 only)\n",
+                 host.c_str());
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    std::perror("wsrd: socket(tcp)");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 256) != 0) {
+    std::perror("wsrd: bind/listen(tcp)");
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    *bound_port = ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                                &len) == 0
+                      ? ntohs(bound.sin_port)
+                      : static_cast<u16>(port);
+  }
+  return fd;
+}
+
+Listener::After Listener::accept_ready(
+    u32 max_accepts, const std::function<void(int)>& on_conn,
+    const std::function<void()>& on_retriable) {
+  for (u32 i = 0; i < max_accepts; ++i) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      backoff_ms_ = 0;
+      if (!set_nonblock_cloexec(conn)) {
+        ::close(conn);
+        continue;
+      }
+      if (tcp_) {
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      }
+      on_conn(conn);
+      continue;
+    }
+    switch (errno) {
+      case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+      case EWOULDBLOCK:
+#endif
+        return After::KeepGoing;  // drained
+      case EINTR:
+      case ECONNABORTED:
+      case EPROTO:
+        // The connection died between SYN and accept, or a signal landed:
+        // retriable right now, never loop-breaking.
+        on_retriable();
+        continue;
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+      default:
+        // Resource pressure (fd table or kernel memory exhausted) — or an
+        // errno this code never anticipated. Either way the daemon must
+        // outlive it: stop accepting for a capped-exponential breather and
+        // let existing connections drain fds back to us.
+        on_retriable();
+        backoff_ms_ = backoff_ms_ == 0
+                          ? 10
+                          : (backoff_ms_ * 2 > 1000 ? 1000 : backoff_ms_ * 2);
+        if (errno != EMFILE && errno != ENFILE && errno != ENOBUFS &&
+            errno != ENOMEM) {
+          std::fprintf(stderr, "wsrd: accept(%s): %s (backing off %lld ms)\n",
+                       label_.c_str(), std::strerror(errno),
+                       static_cast<long long>(backoff_ms_));
+        }
+        return After::Backoff;
+    }
+  }
+  return After::KeepGoing;
+}
+
+}  // namespace wsr::serving

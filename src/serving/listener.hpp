@@ -1,0 +1,67 @@
+// Listening sockets for the serving loop: Unix stream sockets and a TCP
+// transport, both non-blocking, with the accept(2) error taxonomy the old
+// thread-per-connection wsrd got wrong.
+//
+// The accept contract (the fix for the seed daemon's fragility): EINTR and
+// ECONNABORTED are retried immediately, EMFILE/ENFILE/ENOBUFS/ENOMEM put
+// the listener to sleep under capped exponential backoff (accepting again
+// once fds drain) — no transient condition ever breaks the accept loop or
+// exits the daemon. Remaining errors are logged and also backed off, on the
+// principle that a serving daemon's listener never self-destructs.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace wsr::serving {
+
+/// Creates a bound+listening non-blocking Unix stream socket at `path`
+/// (replacing a stale socket file). Returns -1 with a perror on failure.
+int make_unix_listener(const std::string& path);
+
+/// Creates a bound+listening non-blocking TCP socket. `spec` is "PORT" or
+/// "HOST:PORT" (numeric IPv4; empty host = 127.0.0.1 — the TCP transport
+/// carries no authentication, so loopback is the default). Port 0 binds an
+/// ephemeral port. On success fills `*bound_port` with the actual port.
+/// Returns -1 with a diagnostic on failure.
+int make_tcp_listener(const std::string& spec, u16* bound_port);
+
+/// One listening socket plus its backoff state. accept_ready() drains every
+/// pending connection at one readiness event and classifies errors; the
+/// owner (the daemon) wires pause/resume to the event loop.
+class Listener {
+ public:
+  /// What accept_ready decided the loop should do next.
+  enum class After : u8 {
+    KeepGoing,  ///< drained; keep EPOLLIN armed
+    Backoff,    ///< fd/memory pressure: disarm EPOLLIN for backoff_ms()
+  };
+
+  Listener(int fd, bool tcp, std::string label)
+      : fd_(fd), tcp_(tcp), label_(std::move(label)) {}
+
+  int fd() const { return fd_; }
+  bool tcp() const { return tcp_; }
+  const std::string& label() const { return label_; }
+
+  /// Accepts until EAGAIN (or `max_accepts`, for fairness with connection
+  /// I/O). Every accepted fd is handed to `on_conn` already non-blocking
+  /// and CLOEXEC (and TCP_NODELAY for TCP). `on_retriable` fires once per
+  /// transient error survived (metrics).
+  After accept_ready(u32 max_accepts, const std::function<void(int)>& on_conn,
+                     const std::function<void()>& on_retriable);
+
+  /// Current backoff, doubling 10ms -> 1s on consecutive pressure events;
+  /// reset by any successful accept.
+  i64 backoff_ms() const { return backoff_ms_; }
+
+ private:
+  int fd_;
+  bool tcp_;
+  std::string label_;
+  i64 backoff_ms_ = 0;
+};
+
+}  // namespace wsr::serving

@@ -1,0 +1,100 @@
+#include "serving/pipe.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <vector>
+
+namespace wsr::serving {
+
+namespace {
+
+bool write_all_fd(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void serve_pipe(Core& core, int in_fd, int out_fd, std::size_t max_line_bytes,
+                volatile std::sig_atomic_t* stop) {
+  std::string buffer;
+  std::vector<Request> batch;
+  bool discarding = false;  // inside an oversized line, skipping to its '\n'
+  char chunk[1 << 16];
+
+  const auto serve = [&]() {
+    std::string out = core.serve_batch(batch);
+    return write_all_fd(out_fd, out);
+  };
+
+  // One rule for every line, including the unterminated tail at EOF:
+  // strip a trailing CR, skip whitespace-only lines, flush the batch
+  // before a stats verb so its snapshot orders after prior requests.
+  // Returns false when the output side failed (drop the connection).
+  const auto take_line = [&](std::string text) {
+    if (!text.empty() && text.back() == '\r') text.pop_back();
+    if (text.find_first_not_of(" \t") == std::string::npos) return true;
+    Request line = parse_request(text);
+    if (line.stats && !batch.empty()) {
+      if (!serve()) return false;
+    }
+    batch.push_back(std::move(line));
+    return true;
+  };
+
+  const auto take_too_large = [&] {
+    core.metrics().too_large.fetch_add(1);
+    Request line;
+    line.t_enqueue_us = now_us();
+    line.error = "too_large";
+    batch.push_back(std::move(line));
+  };
+
+  while (stop == nullptr || !*stop) {
+    const ssize_t n = ::read(in_fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      if (discarding) {
+        discarding = false;  // the oversized line's newline finally arrived
+      } else if (nl - start > max_line_bytes) {
+        take_too_large();
+      } else if (!take_line(buffer.substr(start, nl - start))) {
+        return;
+      }
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (discarding) {
+      buffer.clear();
+    } else if (buffer.size() > max_line_bytes) {
+      take_too_large();
+      discarding = true;
+      buffer.clear();
+    }
+
+    if (!batch.empty() && !serve()) return;
+  }
+  // Trailing request without a newline: still serve it.
+  if (!buffer.empty() && !discarding && !take_line(std::move(buffer))) return;
+  if (!batch.empty()) serve();
+}
+
+}  // namespace wsr::serving

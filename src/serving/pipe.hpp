@@ -1,0 +1,27 @@
+// The blocking --pipe front end: stdin -> stdout over the same Core the
+// epoll daemon serves through, so tests and CI exercise the identical
+// parse/plan/serialize path without sockets.
+#pragma once
+
+#include <csignal>
+#include <cstddef>
+
+#include "serving/core.hpp"
+
+namespace wsr::serving {
+
+/// Reads newline-delimited requests from `in_fd` until EOF. Everything one
+/// read(2) delivers is parsed and served as one batch (a piped request file
+/// becomes a handful of large batches; an interactive client gets per-line
+/// responses), except that a "stats" line flushes the batch before it so
+/// its counters reflect the requests that preceded it.
+///
+/// A line longer than `max_line_bytes` answers {"error":"too_large"} and is
+/// discarded through its terminating newline; unlike the socket transport
+/// (which closes — its peer is an untrusted network client), the pipe
+/// stream continues, because stdin has no way to reconnect. `stop`, when
+/// non-null, aborts the loop between reads (signal flag).
+void serve_pipe(Core& core, int in_fd, int out_fd, std::size_t max_line_bytes,
+                volatile std::sig_atomic_t* stop);
+
+}  // namespace wsr::serving

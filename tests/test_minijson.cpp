@@ -102,17 +102,49 @@ TEST(MiniJson, RejectsMalformedInput) {
   parse_err("\"ctrl\x01char\"");
 }
 
+std::string nested_arrays(int n) {
+  std::string s(static_cast<std::size_t>(n), '[');
+  s += "1";
+  s.append(static_cast<std::size_t>(n), ']');
+  return s;
+}
+
+std::string nested_objects(int n) {
+  std::string s;
+  for (int i = 0; i < n; ++i) s += "{\"a\":";
+  s += "1";
+  s.append(static_cast<std::size_t>(n), '}');
+  return s;
+}
+
 TEST(MiniJson, DepthLimitStopsHostileNesting) {
   std::string deep;
   for (int i = 0; i < 2000; ++i) deep += "[";
   const std::string error = parse_err(deep);
   EXPECT_NE(error.find("nesting"), std::string::npos);
-  // 64 levels is fine (the protocol uses 2).
-  std::string ok;
-  for (int i = 0; i < 60; ++i) ok += "[";
-  ok += "1";
-  for (int i = 0; i < 60; ++i) ok += "]";
-  parse_ok(ok);
+  // A socket peer can also nest hostile objects, and truncation must not
+  // matter: the parser rejects on depth before it ever misses the ']'s.
+  EXPECT_NE(parse_err(nested_objects(2000)).find("nesting"),
+            std::string::npos);
+  std::string unterminated(2000, '[');
+  EXPECT_NE(parse_err(unterminated).find("nesting"), std::string::npos);
+}
+
+TEST(MiniJson, DepthLimitBoundaryIsExact) {
+  // kMaxDepth = 64: the innermost value parses at depth == array count, so
+  // 64 wrappers are legal and the 65th is not. Deeply-nested-but-legal
+  // input must round-trip — a limit that bites early would break real
+  // (if eccentric) clients.
+  parse_ok(nested_arrays(64));
+  EXPECT_NE(parse_err(nested_arrays(65)).find("nesting"), std::string::npos);
+  parse_ok(nested_objects(64));
+  EXPECT_NE(parse_err(nested_objects(65)).find("nesting"), std::string::npos);
+  // Mixed nesting counts every level the same way.
+  std::string mixed;
+  for (int i = 0; i < 32; ++i) mixed += "[{\"a\":";
+  mixed += "null";
+  for (int i = 0; i < 32; ++i) mixed += "}]";
+  parse_ok(mixed);
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Tests of the serving layer's building blocks: the lock-free latency
+// histogram's bucketing math, the wire-protocol request parser, and the
+// epoll event loop's wake/post/tick machinery. The end-to-end daemon
+// behavior (timeouts, shedding, drain) is covered by tools/wsrd_chaos.py.
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "serving/event_loop.hpp"
+#include "serving/histogram.hpp"
+#include "serving/request.hpp"
+
+namespace wsr::serving {
+namespace {
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogram, ExactBelowLinearRange) {
+  for (u64 us = 0; us < LatencyHistogram::kLinear; ++us) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(us), us);
+    EXPECT_EQ(LatencyHistogram::bucket_floor(static_cast<u32>(us)), us);
+  }
+}
+
+TEST(LatencyHistogram, BucketOfIsMonotoneAndFloorInverts) {
+  u32 prev = 0;
+  for (u64 us = 0; us < (1u << 22); us += 13) {
+    const u32 b = LatencyHistogram::bucket_of(us);
+    EXPECT_GE(b, prev) << "us=" << us;
+    prev = b > prev ? b : prev;
+    EXPECT_LE(LatencyHistogram::bucket_floor(b), us);
+    EXPECT_GT(LatencyHistogram::bucket_ceil(b), us);
+  }
+  // Every bucket's floor maps back to that bucket, across the whole range.
+  for (u32 b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_floor(b)),
+              b);
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_of(~u64{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, QuantizationErrorIsBounded) {
+  // 8 sub-buckets per octave: a bucket spans at most 1/8 of its floor, so
+  // the midpoint answer is within ~6.25% of any value in the bucket.
+  for (u64 us = LatencyHistogram::kLinear; us < (1u << 24); us = us * 9 / 8 + 1) {
+    const u32 b = LatencyHistogram::bucket_of(us);
+    const u64 lo = LatencyHistogram::bucket_floor(b);
+    const u64 hi = LatencyHistogram::bucket_ceil(b);
+    EXPECT_LE(hi - lo, lo / (LatencyHistogram::kSub - 1))
+        << "bucket " << b << " too wide at us=" << us;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAndMax) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  // 100 values: 1..100 us (exact buckets up to 15, coarse above).
+  for (u64 v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max_us(), 100u);
+  const u64 p50 = h.percentile(0.50);
+  EXPECT_GE(p50, 40u);
+  EXPECT_LE(p50, 60u);
+  const u64 p99 = h.percentile(0.99);
+  EXPECT_GE(p99, 90u);
+  EXPECT_LE(p99, 110u);
+  EXPECT_GE(h.percentile(1.0), p99);
+  EXPECT_LE(h.percentile(0.0), h.percentile(0.5));
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPer = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPer; ++i)
+        h.record(static_cast<u64>(t * 1000 + i % 997));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<u64>(kThreads) * kPer);
+}
+
+// --- parse_request ----------------------------------------------------------
+
+TEST(ParseRequest, AcceptsAWellFormedPlanLine) {
+  const Request r = parse_request(
+      R"({"id":"abc","collective":"reduce","grid":"8x4","bytes":512})");
+  EXPECT_TRUE(r.is_plan());
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.id_json, "\"abc\"");
+  EXPECT_EQ(r.req.grid.width, 8u);
+  EXPECT_EQ(r.req.grid.height, 4u);
+  EXPECT_EQ(r.req.vec_len, 128u);  // bytes / 4
+  EXPECT_GT(r.t_enqueue_us, 0);
+}
+
+TEST(ParseRequest, EchoesNumericIds) {
+  const Request r = parse_request(
+      R"({"id":7,"collective":"reduce","grid":"32","bytes":256})");
+  EXPECT_EQ(r.id_json, "7");
+  const Request bad = parse_request(
+      R"({"id":[1],"collective":"reduce","grid":"32","bytes":256})");
+  EXPECT_NE(bad.error, "");
+}
+
+TEST(ParseRequest, StatsVerb) {
+  const Request r = parse_request(R"({"verb":"stats","id":"s"})");
+  EXPECT_TRUE(r.stats);
+  EXPECT_FALSE(r.is_plan());
+  EXPECT_EQ(r.id_json, "\"s\"");
+  const Request bad = parse_request(R"({"verb":"frobnicate"})");
+  EXPECT_NE(bad.error.find("unknown verb"), std::string::npos);
+}
+
+TEST(ParseRequest, RejectsMalformedLinesInBand) {
+  EXPECT_NE(parse_request("not json at all").error, "");
+  EXPECT_NE(parse_request("[1,2,3]").error, "");  // not an object
+  EXPECT_NE(parse_request(R"({"collective":"sort","grid":"4","bytes":4})")
+                .error, "");
+  EXPECT_NE(parse_request(R"({"collective":"reduce","bytes":4})").error, "");
+  EXPECT_NE(parse_request(R"({"collective":"reduce","grid":"0","bytes":4})")
+                .error, "");
+  // bytes and vec_len are mutually exclusive, and bytes must be 4-aligned.
+  EXPECT_NE(
+      parse_request(
+          R"({"collective":"reduce","grid":"32","bytes":8,"vec_len":2})")
+          .error, "");
+  EXPECT_NE(parse_request(R"({"collective":"reduce","grid":"32"})").error, "");
+  EXPECT_NE(parse_request(R"({"collective":"reduce","grid":"32","bytes":6})")
+                .error, "");
+  EXPECT_NE(
+      parse_request(
+          R"({"collective":"reduce","grid":"32","bytes":4,"algorithm":"X"})")
+          .error, "");
+}
+
+TEST(ParseRequest, ErrorResponseShape) {
+  EXPECT_EQ(error_response("overloaded"), "{\"error\":\"overloaded\"}\n");
+  EXPECT_EQ(error_response("too_large", "\"id9\""),
+            "{\"id\":\"id9\",\"error\":\"too_large\"}\n");
+}
+
+TEST(ParseRequest, JsonEscapeControlAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+// --- EventLoop --------------------------------------------------------------
+
+TEST(EventLoop, DispatchesReadinessPostAndTick) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  int reads = 0;
+  const u64 id = loop.add(fds[0], EPOLLIN, [&](u32) {
+    char buf[8];
+    ASSERT_GT(::read(fds[0], buf, sizeof buf), 0);
+    if (++reads == 2) loop.stop();
+  });
+  EXPECT_GT(id, 0u);
+
+  bool posted = false;
+  loop.post([&] { posted = true; });
+
+  int ticks = 0;
+  loop.set_tick(1, [&] { ++ticks; });
+
+  // Readiness arrives from another thread mid-run; post() must wake the
+  // loop even with no fd activity.
+  std::thread writer([&] {
+    ::usleep(20'000);
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    ::usleep(20'000);
+    ASSERT_EQ(::write(fds[1], "y", 1), 1);
+  });
+  loop.run();
+  writer.join();
+
+  EXPECT_EQ(reads, 2);
+  EXPECT_TRUE(posted);
+  EXPECT_GT(ticks, 0);
+
+  loop.remove(id);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, RemovedSourceStopsDelivering) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<int> fired{0};
+  const u64 id = loop.add(fds[0], EPOLLIN, [&](u32) { ++fired; });
+  loop.remove(id);
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  // With the only source removed, the loop must idle until stopped.
+  loop.post([&] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(fired.load(), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace wsr::serving

@@ -1,549 +1,180 @@
 // wsrd: the long-lived plan-serving daemon.
 //
-//   wsrd --pipe          [options]     serve stdin -> stdout (testing / CI)
-//   wsrd --socket=PATH   [options]     serve a Unix stream socket
+//   wsrd --pipe                      serve stdin -> stdout (testing / CI)
+//   wsrd --socket=PATH [--tcp=SPEC]  serve a Unix stream socket (and/or TCP)
+//   wsrd --tcp=[HOST:]PORT           serve TCP (loopback by default; port 0
+//                                    binds an ephemeral port, printed on
+//                                    stderr)
 //
-// options:
+// serving options (docs/cli.md has the full table):
 //   --cache-dir=DIR      persistent plan store shared with `wsr_plan
 //                        --cache-dir` and other daemons (disk tier)
 //   --max-entries=N      bound the in-memory plan cache (LRU; 0 = unbounded)
 //   --jobs=N             plan_many worker threads per batch (0 = hardware)
 //
+// robustness options (docs/serving.md "Operations & limits"):
+//   --max-conns=N            connection cap; over it, accepts answer
+//                            {"error":"overloaded"} and close (default 1024)
+//   --max-inflight=N         queued+dispatched request high-water mark;
+//                            past it plan lines answer "overloaded" (4096)
+//   --max-line-bytes=N       request frame bound; over it, "too_large" (1MiB)
+//   --idle-timeout-ms=N      evict silent connections (60000)
+//   --request-timeout-ms=N   a partial line must complete in this window
+//                            (anti slow-loris; 10000)
+//   --write-timeout-ms=N     a non-empty write buffer must drain in this
+//                            window (slow-reader eviction; 30000)
+//   --drain-timeout-ms=N     SIGTERM drain budget before force-close (5000)
+//
 // Protocol (docs/serving.md): one JSON object per line in, one JSON object
-// per line out, in request order.
-//
-//   {"collective":"reduce","grid":"64x64","bytes":4096}
-//   {"collective":"allreduce","grid":{"width":16,"height":1},
-//    "vec_len":1024,"algorithm":"Chain","tr":2,"id":7}
-//   {"verb":"stats"}
-//
-// Plan responses are the `wsr_plan --json` object plus serving fields: the
-// echoed "id" (when given), "cache_tier" ("memory" | "disk" | "planned" —
-// which tier answered), and the live "plan_cache" counters. Requests that
-// arrive together are planned as one batch through Planner::plan_many on
-// the common/parallel.hpp pool; responses always come back in input order.
-//
-// The daemon never aborts on a bad request: protocol and validation errors
-// answer {"error":...} on the same line slot and the connection lives on.
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
+// per line out, in request order. The daemon never aborts on a bad request:
+// protocol and validation errors answer {"error":...} on the same line slot.
+// SIGTERM/SIGINT drain gracefully (stop accepting, finish in-flight work,
+// flush, exit 0); a second signal forces immediate shutdown.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include "common/minijson.hpp"
-#include "registry/algorithm_registry.hpp"
-#include "runtime/persistent_plan_cache.hpp"
-#include "runtime/plan_cache.hpp"
-#include "runtime/plan_json.hpp"
-#include "runtime/planner.hpp"
+#include "serving/core.hpp"
+#include "serving/daemon.hpp"
+#include "serving/listener.hpp"
+#include "serving/pipe.hpp"
 
 namespace {
 
 using namespace wsr;
 
 volatile std::sig_atomic_t g_stop = 0;
-int g_listen_fd = -1;
+int g_wake_fd = -1;
 
 void handle_signal(int) {
-  g_stop = 1;
-  if (g_listen_fd >= 0) ::close(g_listen_fd);
+  g_stop = g_stop < 2 ? g_stop + 1 : 2;
+  if (g_wake_fd >= 0) {
+    const u64 one = 1;
+    // write(2) is async-signal-safe; the eventfd wake is the only thing a
+    // handler may do to the loop.
+    [[maybe_unused]] const ssize_t n = ::write(g_wake_fd, &one, sizeof one);
+  }
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: wsrd --pipe        [--cache-dir=DIR] [--max-entries=N] "
-               "[--jobs=N]\n"
-               "       wsrd --socket=PATH [--cache-dir=DIR] [--max-entries=N] "
-               "[--jobs=N]\n"
-               "Serves newline-delimited JSON plan requests (docs/serving.md)."
-               "\n");
+  std::fprintf(
+      stderr,
+      "usage: wsrd --pipe                [options]\n"
+      "       wsrd --socket=PATH        [--tcp=[HOST:]PORT] [options]\n"
+      "       wsrd --tcp=[HOST:]PORT    [options]\n"
+      "options: --cache-dir=DIR --max-entries=N --jobs=N\n"
+      "         --max-conns=N --max-inflight=N --max-line-bytes=N\n"
+      "         --idle-timeout-ms=N --request-timeout-ms=N\n"
+      "         --write-timeout-ms=N --drain-timeout-ms=N\n"
+      "Serves newline-delimited JSON plan requests (docs/serving.md).\n");
   return 2;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-/// Planner table key: the full machine parameterization (never the hash —
-/// the cache-layer invariant that a hash collision can never cross-serve
-/// machines holds here too) plus the planner's DP bound.
-struct PlannerKey {
-  MachineParams mp;
-  u32 max_dim = 2;
-
-  bool operator<(const PlannerKey& o) const {
-    return std::tie(mp.ramp_latency, mp.clock_mhz, mp.sram_bytes,
-                    mp.num_colors, max_dim) <
-           std::tie(o.mp.ramp_latency, o.mp.clock_mhz, o.mp.sram_bytes,
-                    o.mp.num_colors, o.max_dim);
-  }
-};
-
-/// Shared serving state: one memory cache, one optional disk store, and one
-/// Planner per (machine, max-dimension) — the same construction wsr_plan
-/// uses per invocation, so plans (and therefore cache keys and responses)
-/// are identical between the daemon and the one-shot CLI.
-struct Server {
-  runtime::PlanCache cache;
-  std::unique_ptr<runtime::PersistentPlanCache> disk;
-  u32 jobs = 0;
-
-  std::mutex planners_mu;
-  std::map<PlannerKey, std::unique_ptr<runtime::Planner>> planners;
-
-  std::atomic<u64> requests{0};
-  std::atomic<u64> request_errors{0};
-
-  // Open socket connections: shutdown must outwait them — their threads
-  // serve through this object (see run_socket).
-  std::mutex conns_mu;
-  std::condition_variable conns_cv;
-  u64 open_conns = 0;
-
-  explicit Server(std::size_t max_entries, const std::string& cache_dir,
-                  u32 jobs_arg)
-      : cache(16, max_entries), jobs(jobs_arg) {
-    if (!cache_dir.empty()) {
-      disk = std::make_unique<runtime::PersistentPlanCache>(cache_dir);
-      cache.attach_disk_store(disk.get());
-    }
-  }
-
-  const runtime::Planner& planner_for(const MachineParams& mp, u32 max_dim) {
-    const PlannerKey key{mp, std::max<u32>(max_dim, 2)};
-    std::lock_guard<std::mutex> lock(planners_mu);
-    auto& slot = planners[key];
-    if (!slot) slot = std::make_unique<runtime::Planner>(key.max_dim, mp);
-    return *slot;
-  }
-
-  std::string stats_json() {
-    std::string out = "{\"stats\":{";
-    out += "\"requests\":" + std::to_string(requests.load());
-    out += ",\"request_errors\":" + std::to_string(request_errors.load());
-    out += ",\"memory_hits\":" + std::to_string(cache.hits());
-    out += ",\"disk_hits\":" + std::to_string(cache.disk_hits());
-    out += ",\"planned\":" + std::to_string(cache.misses());
-    out += ",\"evictions\":" + std::to_string(cache.evictions());
-    out += ",\"memory_entries\":" + std::to_string(cache.size());
-    out += ",\"memory_max_entries\":" + std::to_string(cache.max_entries());
-    if (disk) {
-      const auto s = disk->stats();
-      out += ",\"disk\":{\"dir\":\"" + json_escape(disk->dir()) + "\"";
-      out += ",\"entries\":" + std::to_string(disk->size());
-      out += ",\"loaded\":" + std::to_string(s.loaded);
-      out += ",\"load_errors\":" + std::to_string(s.load_errors);
-      out += ",\"hits\":" + std::to_string(s.hits);
-      out += ",\"misses\":" + std::to_string(s.misses);
-      out += ",\"appended\":" + std::to_string(s.appended);
-      out += ",\"compactions\":" + std::to_string(s.compactions);
-      out += ",\"appends_skipped\":" + std::to_string(s.appends_skipped);
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.6f", s.load_seconds);
-      out += ",\"load_seconds\":";
-      out += buf;
-      out += ",\"file_bytes\":" + std::to_string(s.file_bytes) + "}";
-    }
-    out += "}}";
-    return out;
-  }
-};
-
-/// One parsed input line: exactly one of `error`, `stats`, or a plan job.
-struct Line {
-  std::string id_json;  ///< echoed "id" value, already serialized ("" = none)
-  std::string error;
-  bool stats = false;
-  runtime::PlanRequest req;
-  MachineParams mp;
-};
-
-Line parse_line(const std::string& text) {
-  Line line;
-  std::string parse_error;
-  const auto parsed = json::parse(text, &parse_error);
-  if (!parsed.has_value()) {
-    line.error = "invalid JSON: ";
-    line.error += parse_error;
-    return line;
-  }
-  const json::Value& v = *parsed;
-  if (!v.is_object()) {
-    line.error = "request must be a JSON object";
-    return line;
-  }
-
-  // Echo "id" (number or string) so clients can correlate pipelined
-  // responses; other types are a request error.
-  if (const json::Value* id = v.get("id")) {
-    if (id->is_string()) {
-      line.id_json.push_back('"');
-      line.id_json += json_escape(id->string);
-      line.id_json.push_back('"');
-    } else if (id->is_number()) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.17g", id->number);
-      line.id_json = buf;
-    } else {
-      line.error = "\"id\" must be a number or a string";
-      return line;
-    }
-  }
-
-  const std::string verb = v.get_string("verb", "plan");
-  if (verb == "stats") {
-    line.stats = true;
-    return line;
-  }
-  if (verb != "plan") {
-    line.error = "unknown verb \"" + json_escape(verb) +
-                 "\" (expected \"plan\" or \"stats\")";
-    return line;
-  }
-
-  const std::string collective = v.get_string("collective");
-  if (collective == "reduce") {
-    line.req.collective = runtime::Collective::Reduce;
-  } else if (collective == "allreduce") {
-    line.req.collective = runtime::Collective::AllReduce;
-  } else if (collective == "broadcast") {
-    line.req.collective = runtime::Collective::Broadcast;
-  } else {
-    line.error = "\"collective\" must be reduce | allreduce | broadcast";
-    return line;
-  }
-
-  const json::Value* grid = v.get("grid");
-  if (grid == nullptr) {
-    line.error = "missing \"grid\"";
-    return line;
-  }
-  if (grid->is_string()) {
-    const auto parsed_grid = runtime::parse_grid(grid->string);
-    if (!parsed_grid.has_value()) {
-      line.error = "\"grid\" must be \"P\" or \"WxH\"";
-      return line;
-    }
-    line.req.grid = *parsed_grid;
-  } else if (grid->is_object()) {
-    const auto w = grid->get_uint("width");
-    const auto h = grid->get_uint("height");
-    if (!w.has_value() || !h.has_value() || *w == 0 || *h == 0 ||
-        *w > 0xffffffffull || *h > 0xffffffffull) {
-      line.error = "\"grid\" object needs positive \"width\" and \"height\"";
-      return line;
-    }
-    line.req.grid = {static_cast<u32>(*w), static_cast<u32>(*h)};
-  } else {
-    line.error = "\"grid\" must be a string or an object";
-    return line;
-  }
-  if (line.req.grid.num_pes() < 2) {
-    line.error = "need at least 2 PEs";
-    return line;
-  }
-
-  const auto bytes = v.get_uint("bytes");
-  const auto vec_len = v.get_uint("vec_len");
-  if (bytes.has_value() == vec_len.has_value()) {
-    line.error = "give exactly one of \"bytes\" (multiple of 4) or \"vec_len\"";
-    return line;
-  }
-  if (bytes.has_value()) {
-    if (*bytes == 0 || *bytes % 4 != 0 || *bytes / 4 > 0xffffffffull) {
-      line.error = "\"bytes\" must be a positive multiple of 4";
-      return line;
-    }
-    line.req.vec_len = static_cast<u32>(*bytes / 4);
-  } else {
-    if (*vec_len == 0 || *vec_len > 0xffffffffull) {
-      line.error = "\"vec_len\" must be a positive wavelet count";
-      return line;
-    }
-    line.req.vec_len = static_cast<u32>(*vec_len);
-  }
-
-  if (const json::Value* tr = v.get("tr")) {
-    if (!tr->is_number() || tr->number < 0 || tr->number > 1024) {
-      line.error = "\"tr\" must be a small non-negative ramp latency";
-      return line;
-    }
-    line.mp.ramp_latency = static_cast<u32>(tr->number);
-  }
-
-  const std::string algo = v.get_string("algorithm");
-  if (!algo.empty()) {
-    const registry::Dims dims = registry::dims_for(line.req.grid);
-    line.req.algorithm =
-        runtime::resolve_algorithm_name(line.req.collective, dims, algo);
-    if (line.req.algorithm.empty()) {
-      line.error = "unknown algorithm \"" + json_escape(algo) +
-                   "\" for this collective/grid";
-      return line;
-    }
-    const registry::AlgorithmDescriptor* desc =
-        registry::AlgorithmRegistry::instance().find(
-            line.req.collective, dims, line.req.algorithm);
-    if (!desc->applicable(line.req.grid, line.req.vec_len)) {
-      line.error = "algorithm \"" + json_escape(line.req.algorithm) +
-                   "\" is not applicable to this (grid, vec_len)";
-      return line;
-    }
-  } else if (!runtime::any_applicable_algorithm(
-                 line.req.collective, line.req.grid, line.req.vec_len)) {
-    // e.g. a 1xH column grid: dims-wise 2D, but nothing builds on width 1.
-    // Planner::plan would abort on this; answer an error instead.
-    line.error = "no applicable algorithm for this collective/grid/bytes";
-    return line;
-  }
-  return line;
-}
-
-bool write_all_fd(int fd, const std::string& data) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
+bool parse_u64_flag(const std::string& arg, const char* prefix, u64* out) {
+  const std::size_t len = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtoull(arg.c_str() + len, &end, 10);
+  if (end == arg.c_str() + len || *end != '\0') {
+    std::fprintf(stderr, "wsrd: bad value in %s\n", arg.c_str());
+    std::exit(2);
   }
   return true;
-}
-
-/// Plans one batch of already-validated requests and emits responses in
-/// input order. The batch is grouped per planner (requests may override the
-/// machine via "tr") and each group goes through plan_many.
-bool serve_batch(Server& server, std::vector<Line>& batch, int out_fd) {
-  // Group the batch's plannable lines by their planner.
-  std::map<const runtime::Planner*, std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].error.empty() && !batch[i].stats) {
-      const u32 max_dim =
-          std::max(batch[i].req.grid.width, batch[i].req.grid.height);
-      groups[&server.planner_for(batch[i].mp, max_dim)].push_back(i);
-    }
-  }
-
-  std::vector<std::shared_ptr<const runtime::Plan>> plans(batch.size());
-  std::vector<runtime::PlanSource> tiers(batch.size(),
-                                         runtime::PlanSource::Planned);
-  for (const auto& [planner, indices] : groups) {
-    std::vector<runtime::PlanRequest> requests;
-    requests.reserve(indices.size());
-    for (std::size_t i : indices) requests.push_back(batch[i].req);
-    std::vector<runtime::PlanSource> sources;
-    const auto group_plans =
-        planner->plan_many(requests, &server.cache, server.jobs, &sources);
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      plans[indices[k]] = group_plans[k];
-      tiers[indices[k]] = sources[k];
-    }
-  }
-
-  std::string out;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Line& line = batch[i];
-    server.requests.fetch_add(1);
-    const std::string id_field =
-        line.id_json.empty() ? "" : "\"id\":" + line.id_json + ",";
-    if (!line.error.empty()) {
-      server.request_errors.fetch_add(1);
-      out += "{" + id_field + "\"error\":\"" + json_escape(line.error) + "\"}\n";
-    } else if (line.stats) {
-      out += server.stats_json() + "\n";
-    } else {
-      std::string extras = id_field;
-      extras += "\"cache_tier\":\"";
-      extras += runtime::name(tiers[i]);
-      extras += "\",";
-      extras += runtime::plan_cache_counters_json(server.cache);
-      out += runtime::plan_response_json(line.req, *plans[i], line.mp, extras);
-      out += "\n";
-    }
-  }
-  batch.clear();
-  return write_all_fd(out_fd, out);
-}
-
-/// Reads newline-delimited requests from `in_fd` until EOF. Everything one
-/// read(2) delivers is parsed and served as one batch (a piped request file
-/// becomes a handful of large batches; an interactive client gets per-line
-/// responses), except that a "stats" line flushes the batch before it so
-/// its counters reflect the requests that preceded it.
-void serve_stream(Server& server, int in_fd, int out_fd) {
-  std::string buffer;
-  std::vector<Line> batch;
-  char chunk[1 << 16];
-
-  // One rule for every line, including the unterminated tail at EOF:
-  // strip a trailing CR, skip whitespace-only lines, flush the batch
-  // before a stats verb so its snapshot orders after prior requests.
-  // Returns false when the output side failed (drop the connection).
-  const auto take_line = [&](std::string text) {
-    if (!text.empty() && text.back() == '\r') text.pop_back();
-    if (text.find_first_not_of(" \t") == std::string::npos) return true;
-    Line line = parse_line(text);
-    if (line.stats && !batch.empty()) {
-      std::vector<Line> pending;
-      pending.swap(batch);
-      if (!serve_batch(server, pending, out_fd)) return false;
-    }
-    batch.push_back(std::move(line));
-    return true;
-  };
-
-  while (!g_stop) {
-    const ssize_t n = ::read(in_fd, chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;  // EOF
-    buffer.append(chunk, static_cast<std::size_t>(n));
-
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      if (!take_line(buffer.substr(start, nl - start))) return;
-      start = nl + 1;
-    }
-    buffer.erase(0, start);
-
-    if (!batch.empty() && !serve_batch(server, batch, out_fd)) return;
-  }
-  // Trailing request without a newline: still serve it.
-  if (!buffer.empty() && !take_line(std::move(buffer))) return;
-  if (!batch.empty()) serve_batch(server, batch, out_fd);
-}
-
-int run_socket(Server& server, const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("wsrd: socket");
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof addr.sun_path) {
-    std::fprintf(stderr, "wsrd: socket path too long\n");
-    return 1;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  ::unlink(path.c_str());  // replace a stale socket from a previous run
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 64) != 0) {
-    std::perror("wsrd: bind/listen");
-    ::close(fd);
-    return 1;
-  }
-  g_listen_fd = fd;
-  std::fprintf(stderr, "wsrd: serving on %s\n", path.c_str());
-
-  while (!g_stop) {
-    const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen fd closed by the signal handler
-    }
-    {
-      std::lock_guard<std::mutex> lock(server.conns_mu);
-      ++server.open_conns;
-    }
-    std::thread([&server, conn] {
-      serve_stream(server, conn, conn);
-      ::close(conn);
-      std::lock_guard<std::mutex> lock(server.conns_mu);
-      --server.open_conns;
-      server.conns_cv.notify_all();
-    }).detach();
-  }
-  // The Server (caches, planners, disk store) lives on the caller's stack:
-  // wait out in-flight connection threads before it is destroyed.
-  {
-    std::unique_lock<std::mutex> lock(server.conns_mu);
-    server.conns_cv.wait(lock, [&server] { return server.open_conns == 0; });
-  }
-  ::unlink(path.c_str());
-  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool pipe_mode = false;
-  std::string socket_path, cache_dir;
+  std::string socket_path, tcp_spec, cache_dir;
   std::size_t max_entries = 0;
   u32 jobs = 0;
+  serving::Limits limits;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    u64 v = 0;
     if (a == "--pipe") {
       pipe_mode = true;
     } else if (a.rfind("--socket=", 0) == 0) {
       socket_path = a.substr(9);
+    } else if (a.rfind("--tcp=", 0) == 0) {
+      tcp_spec = a.substr(6);
     } else if (a.rfind("--cache-dir=", 0) == 0) {
       cache_dir = a.substr(12);
-    } else if (a.rfind("--max-entries=", 0) == 0) {
-      max_entries = std::strtoull(a.c_str() + 14, nullptr, 10);
-    } else if (a.rfind("--jobs=", 0) == 0) {
-      jobs = static_cast<u32>(std::strtoul(a.c_str() + 7, nullptr, 10));
+    } else if (parse_u64_flag(a, "--max-entries=", &v)) {
+      max_entries = v;
+    } else if (parse_u64_flag(a, "--jobs=", &v)) {
+      jobs = static_cast<u32>(v);
+    } else if (parse_u64_flag(a, "--max-conns=", &v)) {
+      limits.max_conns = v > 0 ? v : 1;
+    } else if (parse_u64_flag(a, "--max-inflight=", &v)) {
+      limits.max_inflight = v > 0 ? v : 1;
+    } else if (parse_u64_flag(a, "--max-line-bytes=", &v)) {
+      limits.max_line_bytes = v > 0 ? v : 1;
+    } else if (parse_u64_flag(a, "--idle-timeout-ms=", &v)) {
+      limits.idle_timeout_ms = static_cast<i64>(v > 0 ? v : 1);
+    } else if (parse_u64_flag(a, "--request-timeout-ms=", &v)) {
+      limits.request_timeout_ms = static_cast<i64>(v > 0 ? v : 1);
+    } else if (parse_u64_flag(a, "--write-timeout-ms=", &v)) {
+      limits.write_timeout_ms = static_cast<i64>(v > 0 ? v : 1);
+    } else if (parse_u64_flag(a, "--drain-timeout-ms=", &v)) {
+      limits.drain_timeout_ms = static_cast<i64>(v > 0 ? v : 1);
+    } else if (parse_u64_flag(a, "--dispatchers=", &v)) {
+      limits.dispatchers = static_cast<u32>(v);
     } else {
       return usage();
     }
   }
-  if (pipe_mode == !socket_path.empty()) return usage();
+  const bool socket_mode = !socket_path.empty() || !tcp_spec.empty();
+  if (pipe_mode == socket_mode) return usage();
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGPIPE, SIG_IGN);  // a dropped connection is not fatal
 
-  Server server(max_entries, cache_dir, jobs);
-  if (server.disk) {
-    const auto s = server.disk->stats();
+  serving::Core core(max_entries, cache_dir, jobs);
+  if (core.disk() != nullptr) {
+    const auto s = core.disk()->stats();
     std::fprintf(stderr,
                  "wsrd: disk store %s: %llu plans loaded (%llu dropped) in "
                  "%.3f s\n",
-                 server.disk->store_path().c_str(),
+                 core.disk()->store_path().c_str(),
                  static_cast<unsigned long long>(s.loaded),
                  static_cast<unsigned long long>(s.load_errors),
                  s.load_seconds);
   }
+
   if (pipe_mode) {
-    serve_stream(server, STDIN_FILENO, STDOUT_FILENO);
+    serving::serve_pipe(core, STDIN_FILENO, STDOUT_FILENO,
+                        limits.max_line_bytes, &g_stop);
     return 0;
   }
-  return run_socket(server, socket_path);
+
+  serving::Daemon daemon(core, limits, &g_stop);
+  if (!socket_path.empty()) {
+    const int fd = serving::make_unix_listener(socket_path);
+    if (fd < 0) return 1;
+    daemon.add_listener(fd, /*tcp=*/false, socket_path, socket_path);
+    std::fprintf(stderr, "wsrd: serving on unix %s\n", socket_path.c_str());
+  }
+  if (!tcp_spec.empty()) {
+    u16 port = 0;
+    const int fd = serving::make_tcp_listener(tcp_spec, &port);
+    if (fd < 0) return 1;
+    const std::size_t colon = tcp_spec.rfind(':');
+    const std::string host =
+        colon == std::string::npos || colon == 0 ? "127.0.0.1"
+                                                 : tcp_spec.substr(0, colon);
+    daemon.add_listener(fd, /*tcp=*/true, "tcp");
+    std::fprintf(stderr, "wsrd: serving on tcp %s:%u\n", host.c_str(),
+                 static_cast<unsigned>(port));
+  }
+  g_wake_fd = daemon.loop().wake_fd();
+  const int rc = daemon.run();
+  std::fprintf(stderr, "wsrd: shut down cleanly\n");
+  return rc;
 }

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Fault-injection harness: wsrd under wsrd_load chaos.
+
+Usage: wsrd_chaos.py <path-to-wsrd> <path-to-wsrd_load>
+
+One daemon with deliberately small limits serves BOTH transports (a Unix
+socket and TCP on an ephemeral port). Then, as the `wsrd_chaos` ctest and
+the CI serving-chaos job (which repeats it under ASan+UBSan):
+
+1. A steady well-formed load runs over TCP *concurrently* with chaos over
+   the Unix socket — slow-loris drips, torn-frame churn, binary garbage,
+   oversized lines. The steady pass must finish violation-free while every
+   fault lands.
+2. Stalled readers must be evicted by the write deadline; a connection
+   flood past --max-conns must be shed with in-band "overloaded".
+3. An idle connection must be evicted by the idle deadline.
+4. The stats verb must account for all of it: per-class eviction counters,
+   shed connections, too_large rejections, and the latency histogram.
+5. SIGTERM must drain gracefully: exit code 0 within the drain budget and
+   the socket file unlinked.
+
+Stdlib only (no pip installs); exits non-zero with a diagnostic on the
+first violation.
+"""
+
+import json
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+MAX_CONNS = 48
+MAX_LINE_BYTES = 65536
+REQUEST_TIMEOUT_MS = 600
+WRITE_TIMEOUT_MS = 800
+IDLE_TIMEOUT_MS = 1500
+DRAIN_TIMEOUT_MS = 8000
+
+STEADY_REQUESTS = 20000
+SLOWLORIS_CONNS = 24
+STALLED_CONNS = 8
+OVERSIZED_CONNS = 4
+
+
+def flood_conns():
+    """As many as the fd limit allows, up to 1200 — the flood should dwarf
+    the server's --max-conns by an order of magnitude."""
+    try:
+        import resource
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < hard:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+            soft = hard
+        return min(1200, max(64, soft - 64))
+    except (ImportError, ValueError, OSError):
+        return 128
+
+
+def fail(message, *context):
+    print(f"FAIL: {message}", file=sys.stderr)
+    for item in context:
+        print(f"  {item}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_daemon(wsrd, sock_path):
+    proc = subprocess.Popen(
+        [wsrd, f"--socket={sock_path}", "--tcp=127.0.0.1:0",
+         f"--max-conns={MAX_CONNS}",
+         f"--max-line-bytes={MAX_LINE_BYTES}",
+         f"--request-timeout-ms={REQUEST_TIMEOUT_MS}",
+         f"--write-timeout-ms={WRITE_TIMEOUT_MS}",
+         f"--idle-timeout-ms={IDLE_TIMEOUT_MS}",
+         f"--drain-timeout-ms={DRAIN_TIMEOUT_MS}"],
+        stderr=subprocess.PIPE, text=True)
+
+    stderr_lines = []
+    port_box = {}
+    ready = threading.Event()
+
+    def drain_stderr():
+        for line in proc.stderr:
+            stderr_lines.append(line.rstrip("\n"))
+            match = re.search(r"serving on tcp .*:(\d+)", line)
+            if match:
+                port_box["port"] = int(match.group(1))
+            if "port" in port_box and any("serving on unix" in l
+                                          for l in stderr_lines):
+                ready.set()
+        ready.set()  # EOF: unblock the waiter either way
+
+    threading.Thread(target=drain_stderr, daemon=True).start()
+    if not ready.wait(timeout=60) or "port" not in port_box:
+        proc.kill()
+        fail("daemon did not announce both endpoints", *stderr_lines)
+    return proc, port_box["port"], stderr_lines
+
+
+def load(wsrd_load, target, mode, *extra, timeout=600):
+    argv = [wsrd_load, target, f"--mode={mode}", *extra]
+    proc = subprocess.run(argv, capture_output=True, text=True,
+                          timeout=timeout)
+    if proc.returncode != 0:
+        fail(f"wsrd_load --mode={mode} exited with {proc.returncode}",
+             " ".join(argv), proc.stdout, proc.stderr)
+    return proc.stdout
+
+
+def query_stats(sock_path):
+    conn = socket.socket(socket.AF_UNIX)
+    conn.settimeout(60)
+    conn.connect(sock_path)
+    conn.sendall(b'{"verb":"stats"}\n')
+    data = b""
+    while b"\n" not in data:
+        chunk = conn.recv(65536)
+        if not chunk:
+            fail("daemon closed the stats connection", data)
+        data += chunk
+    conn.close()
+    return json.loads(data.split(b"\n")[0])["stats"]
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    wsrd, wsrd_load = sys.argv[1], sys.argv[2]
+    tmp = tempfile.mkdtemp(prefix="wsrd_chaos_")
+    sock_path = os.path.join(tmp, "wsrd.sock")
+    steady_json = os.path.join(tmp, "steady.json")
+
+    proc, port, stderr_lines = start_daemon(wsrd, sock_path)
+    unix = f"--socket={sock_path}"
+    tcp = f"--tcp=127.0.0.1:{port}"
+    try:
+        # --- 1. steady load over TCP while chaos hits the Unix socket ------
+        steady = subprocess.Popen(
+            [wsrd_load, tcp, "--mode=steady", "--conns=24",
+             f"--requests={STEADY_REQUESTS}", "--pipeline=16",
+             "--duration-ms=480000", f"--json={steady_json}"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+        load(wsrd_load, unix, "slowloris", f"--conns={SLOWLORIS_CONNS}",
+             "--duration-ms=120000")
+        load(wsrd_load, unix, "torn", "--requests=300")
+        load(wsrd_load, unix, "garbage", "--conns=16")
+        load(wsrd_load, unix, "oversized", f"--conns={OVERSIZED_CONNS}",
+             f"--line-bytes={MAX_LINE_BYTES}")
+
+        out, err = steady.communicate(timeout=600)
+        if steady.returncode != 0:
+            fail(f"steady load exited with {steady.returncode}", out, err)
+        with open(steady_json) as f:
+            report = json.load(f)
+        if report["requests_ok"] != STEADY_REQUESTS or report["violations"]:
+            fail("steady load under chaos lost or reordered responses",
+                 report)
+        print(f"ok: {STEADY_REQUESTS} steady responses in order over TCP "
+              "while slowloris/torn/garbage/oversized chaos ran "
+              f"(p99 {report['rtt_us']['p99']} us)")
+
+        # --- 2. stalled readers evicted; connection flood shed -------------
+        load(wsrd_load, unix, "stalled", f"--conns={STALLED_CONNS}",
+             "--requests=2000", "--duration-ms=120000")
+        flood = flood_conns()
+        load(wsrd_load, unix, "flood", f"--conns={flood}", "--expect-shed")
+        print(f"ok: stalled readers evicted, {flood}-connection flood shed "
+              "in-band")
+
+        # --- 3. idle connections evicted -----------------------------------
+        idle = socket.socket(socket.AF_UNIX)
+        idle.settimeout(IDLE_TIMEOUT_MS / 1000 * 20 + 30)
+        idle.connect(sock_path)
+        try:
+            if idle.recv(4096) != b"":
+                fail("idle connection got data instead of eviction")
+        except socket.timeout:
+            fail("idle connection was not evicted within the idle deadline")
+        finally:
+            idle.close()
+        print("ok: idle connection evicted")
+
+        # --- 4. stats account for everything -------------------------------
+        serving = query_stats(sock_path)["serving"]
+        checks = [
+            ("accepted", serving["accepted"] > 0),
+            ("responses", serving["responses"] >= STEADY_REQUESTS),
+            ("evicted_timeout", serving["evicted_timeout"] >= SLOWLORIS_CONNS),
+            # The stalled pass guarantees every conn was server-evicted (the
+            # load tool checks that); the split between the slow-reader and
+            # request-deadline classes is timing-dependent, so only the
+            # class itself is pinned here.
+            ("evicted_slow_reader", serving["evicted_slow_reader"] >= 1),
+            ("evicted_idle", serving["evicted_idle"] >= 1),
+            ("too_large", serving["too_large"] >= OVERSIZED_CONNS),
+            ("shed_conns", serving["shed_conns"] >= 1),
+            ("latency count", serving["latency_us"]["count"] > 0),
+        ]
+        for name, good in checks:
+            if not good:
+                fail(f"stats counter check failed: {name}", serving)
+        print("ok: stats account for evictions, shedding, and rejections")
+
+        # --- 5. graceful drain on SIGTERM ----------------------------------
+        t0 = time.monotonic()
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=DRAIN_TIMEOUT_MS / 1000 + 60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("daemon did not exit within the drain budget", *stderr_lines)
+        elapsed = time.monotonic() - t0
+        if rc != 0:
+            fail(f"daemon exited with {rc} after SIGTERM", *stderr_lines)
+        if os.path.exists(sock_path):
+            fail("daemon left its socket file behind")
+        print(f"ok: SIGTERM drained and exited 0 in {elapsed:.2f} s")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,720 @@
+// wsrd_load: load generator and fault injector for wsrd (docs/serving.md).
+//
+//   wsrd_load --socket=PATH --mode=steady --conns=200 --requests=100000
+//   wsrd_load --tcp=127.0.0.1:7077 --mode=slowloris --conns=64
+//
+// Modes:
+//   steady     pipelined well-formed requests across --conns connections;
+//              validates per-connection response order and reports RTT
+//              percentiles + throughput
+//   slowloris  drip a request one byte at a time and never finish the line;
+//              expects the server's request deadline to evict every conn
+//   stalled    pipeline requests and never read the responses; expects the
+//              slow-reader (write-deadline) eviction to close every conn
+//   torn       connect, send half a request, disconnect — repeated churn;
+//              then verifies a well-formed request still succeeds
+//   garbage    binary junk on the wire; expects an in-band error, then a
+//              well-formed request on the SAME connection must succeed
+//   oversized  a line past --line-bytes; expects {"error":"too_large"}
+//              and/or a server-side close, then a fresh conn must succeed
+//   flood      hold open --conns connections at once (set it above the
+//              server's --max-conns); expects in-band "overloaded" shedding
+//
+// Exit codes: 0 expectations met; 1 protocol violation or expectation
+// failed; 2 setup or deadline failure. --json=PATH writes a
+// bench_trend.py-compatible report ("bench", "wall_seconds", "jobs",
+// "repeat" plus mode-specific counters).
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serving/event_loop.hpp"
+#include "serving/histogram.hpp"
+
+namespace {
+
+using namespace wsr;
+using serving::now_us;
+
+struct Options {
+  std::string socket_path;
+  std::string tcp_spec;
+  std::string mode = "steady";
+  std::string collective = "reduce";
+  std::string grid = "32";
+  u64 bytes = 256;
+  u64 conns = 64;
+  u64 requests = 10'000;  ///< total (steady/torn/garbage/oversized), per conn (stalled)
+  u64 pipeline = 32;
+  i64 duration_ms = 60'000;
+  std::size_t line_bytes = 2u << 20;
+  i64 drip_interval_ms = 20;
+  bool expect_shed = false;
+  std::string json_path;
+  std::string bench_name;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wsrd_load (--socket=PATH | --tcp=HOST:PORT) [options]\n"
+      "options: --mode=steady|slowloris|stalled|torn|garbage|oversized|flood\n"
+      "         --conns=N --requests=N --pipeline=N --duration-ms=N\n"
+      "         --line-bytes=N --drip-interval-ms=N --expect-shed\n"
+      "         --collective=C --grid=G --bytes=N\n"
+      "         --json=PATH --bench-name=NAME\n");
+  return 2;
+}
+
+bool parse_u64_flag(const std::string& arg, const char* prefix, u64* out) {
+  const std::size_t len = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtoull(arg.c_str() + len, &end, 10);
+  if (end == arg.c_str() + len || *end != '\0') {
+    std::fprintf(stderr, "wsrd_load: bad value in %s\n", arg.c_str());
+    std::exit(2);
+  }
+  return true;
+}
+
+/// Blocking connect to the target; returns -1 on failure. Retries a few
+/// times with a short sleep so a connect burst that overruns the server's
+/// listen backlog is not mistaken for an outage.
+int connect_target(const Options& o) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    int fd = -1;
+    if (!o.socket_path.empty()) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd < 0) return -1;
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, o.socket_path.c_str(),
+                   sizeof addr.sun_path - 1);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+        return fd;
+    } else {
+      const std::size_t colon = o.tcp_spec.rfind(':');
+      const std::string host =
+          colon == std::string::npos ? "127.0.0.1" : o.tcp_spec.substr(0, colon);
+      const std::string port_s =
+          colon == std::string::npos ? o.tcp_spec : o.tcp_spec.substr(colon + 1);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<u16>(std::strtoul(port_s.c_str(), nullptr, 10)));
+      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+      fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd < 0) return -1;
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return fd;
+      }
+    }
+    const int err = errno;
+    ::close(fd);
+    if (err != EAGAIN && err != ECONNREFUSED && err != ECONNRESET &&
+        err != EINTR)
+      return -1;
+    ::usleep(2000);
+  }
+  return -1;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of one '\n'-terminated line with a timeout; empty string
+/// on EOF, timeout, or error.
+std::string recv_line(int fd, i64 timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string line;
+  char ch = 0;
+  while (true) {
+    const ssize_t n = ::recv(fd, &ch, 1, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return "";
+    }
+    if (ch == '\n') return line;
+    line.push_back(ch);
+    if (line.size() > (8u << 20)) return "";
+  }
+}
+
+std::string request_line(u64 cid, u64 seq, const Options& o) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"id\":\"c%llu-%llu\",\"collective\":\"%s\",\"grid\":\"%s\","
+                "\"bytes\":%llu}\n",
+                static_cast<unsigned long long>(cid),
+                static_cast<unsigned long long>(seq), o.collective.c_str(),
+                o.grid.c_str(), static_cast<unsigned long long>(o.bytes));
+  return buf;
+}
+
+/// Sends one well-formed request on a fresh connection and checks a
+/// non-error response comes back — the "server is still alive" probe every
+/// fault mode ends with. "overloaded" is the server telling clients to back
+/// off and retry (docs/serving.md), so the probe does exactly that: right
+/// after a churn burst the server may not have reaped the dead connections
+/// against its --max-conns yet.
+bool verify_service_alive(const Options& o) {
+  const std::string req = request_line(0, 0, o);
+  std::string line;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = connect_target(o);
+    if (fd < 0) {
+      std::fprintf(stderr, "wsrd_load: verify connect failed\n");
+      return false;
+    }
+    const bool sent = send_all(fd, req.data(), req.size());
+    line = sent ? recv_line(fd, 10'000) : "";
+    ::close(fd);
+    if (!line.empty() && line.find("\"error\"") == std::string::npos)
+      return true;
+    const bool retryable =
+        line.empty() || line.find("\"overloaded\"") != std::string::npos;
+    if (!retryable) break;
+    ::usleep(100'000);
+  }
+  std::fprintf(stderr, "wsrd_load: verify got: %.200s\n", line.c_str());
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop harness: steady / slowloris / stalled.
+// ---------------------------------------------------------------------------
+
+class LoopHarness {
+ public:
+  explicit LoopHarness(const Options& o) : o_(o) {}
+
+  u64 ok = 0;            ///< well-formed responses, matched in order
+  u64 shed = 0;          ///< in-band "overloaded" responses
+  u64 shed_conns = 0;    ///< connections shed at accept
+  u64 violations = 0;    ///< out-of-order / malformed / unexpected close
+  u64 evicted = 0;       ///< server-initiated closes (slowloris/stalled)
+  u64 inband_timeout = 0;
+  serving::LatencyHistogram rtt;
+  double wall_seconds = 0;
+
+  /// 0 ok, 1 expectation failed, 2 setup/deadline failure.
+  int run() {
+    const bool steady = o_.mode == "steady";
+    const bool slowloris = o_.mode == "slowloris";
+    const i64 t0 = now_us();
+    deadline_us_ = t0 + o_.duration_ms * 1000;
+
+    for (u64 i = 0; i < o_.conns; ++i) {
+      const int fd = connect_target(o_);
+      if (fd < 0 || !set_nonblocking(fd)) {
+        std::fprintf(stderr, "wsrd_load: connect %llu failed: %s\n",
+                     static_cast<unsigned long long>(i), std::strerror(errno));
+        if (fd >= 0) ::close(fd);
+        return 2;
+      }
+      auto c = std::make_unique<Conn>();
+      c->cid = next_cid_++;
+      c->fd = fd;
+      if (steady) {
+        c->quota = o_.requests / o_.conns + (i < o_.requests % o_.conns);
+        fill(*c);
+      } else if (slowloris) {
+        // Everything but the terminating newline: the line never completes,
+        // so only the server's request deadline can end this connection.
+        c->drip = request_line(c->cid, 0, o_);
+        c->drip.pop_back();
+      } else {  // stalled: pipeline the full quota, never read
+        for (u64 s = 0; s < o_.requests; ++s)
+          c->wbuf += request_line(c->cid, s, o_);
+      }
+      const u64 cid = c->cid;
+      const u32 events = steady || slowloris
+                             ? u32{EPOLLIN} | (c->wbuf.empty() ? 0u : u32{EPOLLOUT})
+                             : u32{EPOLLRDHUP} | (c->wbuf.empty() ? 0u : u32{EPOLLOUT});
+      c->loop_id = loop_.add(fd, events,
+                             [this, cid](u32 ev) { on_event(cid, ev); });
+      conns_.emplace(cid, std::move(c));
+    }
+
+    loop_.set_tick(slowloris ? o_.drip_interval_ms : 10, [this] { tick(); });
+    loop_.run();
+    wall_seconds = static_cast<double>(now_us() - t0) / 1e6;
+
+    if (deadline_hit_) {
+      std::fprintf(stderr,
+                   "wsrd_load: deadline after %lld ms with %zu conns open\n",
+                   static_cast<long long>(o_.duration_ms), conns_.size());
+      return 2;
+    }
+    if (o_.mode == "steady") return violations == 0 ? 0 : 1;
+    // slowloris / stalled: every connection must have been evicted.
+    return evicted == o_.conns ? 0 : 1;
+  }
+
+ private:
+  struct Pending {
+    u64 seq;
+    i64 t_send_us;
+  };
+  struct Conn {
+    u64 cid = 0;
+    u64 loop_id = 0;
+    int fd = -1;
+    std::string rbuf, wbuf;
+    std::size_t woff = 0;
+    std::deque<Pending> outstanding;
+    u64 quota = 0;     ///< steady: total requests this conn sends
+    u64 next_seq = 0;
+    std::string drip;  ///< slowloris payload
+    std::size_t drip_off = 0;
+    bool writing = false;
+  };
+
+  void fill(Conn& c) {
+    while (c.next_seq < c.quota && c.outstanding.size() < o_.pipeline) {
+      c.wbuf += request_line(c.cid, c.next_seq, o_);
+      c.outstanding.push_back({c.next_seq, now_us()});
+      ++c.next_seq;
+    }
+  }
+
+  void set_interest(Conn& c) {
+    const bool want_write = c.woff < c.wbuf.size();
+    if (want_write == c.writing) return;
+    c.writing = want_write;
+    const u32 base = o_.mode == "stalled" ? u32{EPOLLRDHUP} : u32{EPOLLIN};
+    loop_.set_events(c.loop_id, base | (want_write ? u32{EPOLLOUT} : 0u));
+  }
+
+  /// false = connection destroyed.
+  bool flush(Conn& c) {
+    while (c.woff < c.wbuf.size()) {
+      const ssize_t n = ::send(c.fd, c.wbuf.data() + c.woff,
+                               c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        on_closed_by_server(c);
+        return false;
+      }
+      c.woff += static_cast<std::size_t>(n);
+    }
+    if (c.woff == c.wbuf.size()) {
+      c.wbuf.clear();
+      c.woff = 0;
+    } else if (c.woff > (1u << 20)) {
+      c.wbuf.erase(0, c.woff);
+      c.woff = 0;
+    }
+    set_interest(c);
+    return true;
+  }
+
+  void on_closed_by_server(Conn& c) {
+    if (o_.mode == "steady") {
+      // A close with work outstanding is only legitimate as accept-shed
+      // (handled in handle_line); anything else is a protocol violation.
+      if (!c.outstanding.empty() || c.next_seq < c.quota) ++violations;
+    } else {
+      ++evicted;
+    }
+    destroy(c);
+  }
+
+  void destroy(Conn& c) {
+    loop_.remove(c.loop_id);
+    ::close(c.fd);
+    conns_.erase(c.cid);
+    if (conns_.empty()) loop_.stop();
+  }
+
+  /// false = connection destroyed.
+  bool handle_line(Conn& c, const std::string& line) {
+    if (o_.mode == "slowloris") {
+      if (line.find("\"timeout\"") != std::string::npos) ++inband_timeout;
+      return true;
+    }
+    // steady
+    if (line.find("\"error\"") != std::string::npos) {
+      if (line.find("\"overloaded\"") != std::string::npos) {
+        if (line.find("\"id\":\"\"") != std::string::npos) {
+          // Shed at accept: the server never took this connection.
+          ++shed_conns;
+          destroy(c);
+          return false;
+        }
+        ++shed;
+      } else {
+        std::fprintf(stderr, "wsrd_load: unexpected error: %.200s\n",
+                     line.c_str());
+        ++violations;
+      }
+      if (!c.outstanding.empty()) c.outstanding.pop_front();
+      return true;
+    }
+    if (c.outstanding.empty()) {
+      ++violations;
+      return true;
+    }
+    const Pending front = c.outstanding.front();
+    c.outstanding.pop_front();
+    char expect[64];
+    std::snprintf(expect, sizeof expect, "\"id\":\"c%llu-%llu\"",
+                  static_cast<unsigned long long>(c.cid),
+                  static_cast<unsigned long long>(front.seq));
+    if (line.find(expect) == std::string::npos) {
+      std::fprintf(stderr, "wsrd_load: order violation: wanted %s got %.200s\n",
+                   expect, line.c_str());
+      ++violations;
+      return true;
+    }
+    rtt.record(static_cast<u64>(now_us() - front.t_send_us));
+    ++ok;
+    return true;
+  }
+
+  void on_event(u64 cid, u32 events) {
+    const auto it = conns_.find(cid);
+    if (it == conns_.end()) return;
+    Conn& c = *it->second;
+
+    if (events & EPOLLIN) {
+      char chunk[1 << 16];
+      const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR)) {
+        on_closed_by_server(c);
+        return;
+      }
+      if (n > 0) {
+        c.rbuf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl = c.rbuf.find('\n', start);
+             nl != std::string::npos; nl = c.rbuf.find('\n', start)) {
+          if (!handle_line(c, c.rbuf.substr(start, nl - start))) return;
+          start = nl + 1;
+        }
+        c.rbuf.erase(0, start);
+        if (o_.mode == "steady") {
+          fill(c);
+          if (!flush(c)) return;
+          if (c.next_seq == c.quota && c.outstanding.empty()) {
+            destroy(c);
+            return;
+          }
+        }
+      }
+    }
+    if (events & EPOLLOUT) {
+      if (!flush(c)) return;
+    }
+    if (events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) {
+      on_closed_by_server(c);
+      return;
+    }
+  }
+
+  void tick() {
+    if (now_us() >= deadline_us_) {
+      deadline_hit_ = true;
+      loop_.stop();
+      return;
+    }
+    if (o_.mode != "slowloris") return;
+    std::vector<u64> doomed;
+    for (auto& [cid, c] : conns_) {
+      if (c->drip_off >= c->drip.size()) continue;
+      const ssize_t n =
+          ::send(c->fd, c->drip.data() + c->drip_off, 1, MSG_NOSIGNAL);
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+        doomed.push_back(cid);
+      else if (n > 0)
+        ++c->drip_off;
+    }
+    for (const u64 cid : doomed) {
+      const auto it = conns_.find(cid);
+      if (it != conns_.end()) on_closed_by_server(*it->second);
+    }
+  }
+
+  const Options& o_;
+  serving::EventLoop loop_;
+  std::unordered_map<u64, std::unique_ptr<Conn>> conns_;
+  u64 next_cid_ = 1;
+  i64 deadline_us_ = 0;
+  bool deadline_hit_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Blocking churn modes: torn / garbage / oversized / flood.
+// ---------------------------------------------------------------------------
+
+int run_torn(const Options& o, u64* churned) {
+  const std::string full = request_line(7, 7, o);
+  const std::string half = full.substr(0, full.size() / 2);
+  for (u64 i = 0; i < o.requests; ++i) {
+    const int fd = connect_target(o);
+    if (fd < 0) return 2;
+    send_all(fd, half.data(), half.size());
+    ::close(fd);
+    ++*churned;
+  }
+  return verify_service_alive(o) ? 0 : 1;
+}
+
+int run_garbage(const Options& o, u64* errors_seen) {
+  const std::string junk = std::string("\x00\x01\xfe\xff{{[[not json", 16) + "\n";
+  const std::string good = request_line(9, 9, o);
+  for (u64 i = 0; i < o.conns; ++i) {
+    const int fd = connect_target(o);
+    if (fd < 0) return 2;
+    bool ok = send_all(fd, junk.data(), junk.size());
+    std::string line = ok ? recv_line(fd, 10'000) : "";
+    if (line.find("\"error\"") == std::string::npos) {
+      std::fprintf(stderr, "wsrd_load: garbage got no error: %.200s\n",
+                   line.c_str());
+      ::close(fd);
+      return 1;
+    }
+    ++*errors_seen;
+    // The same connection must still serve a well-formed request.
+    ok = send_all(fd, good.data(), good.size());
+    line = ok ? recv_line(fd, 10'000) : "";
+    ::close(fd);
+    if (line.empty() || line.find("\"error\"") != std::string::npos) {
+      std::fprintf(stderr, "wsrd_load: post-garbage request failed: %.200s\n",
+                   line.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int run_oversized(const Options& o, u64* rejected) {
+  std::string big(o.line_bytes + 1, 'x');
+  big += '\n';
+  for (u64 i = 0; i < o.conns; ++i) {
+    const int fd = connect_target(o);
+    if (fd < 0) return 2;
+    // The send may fail mid-line: the server answers "too_large" and closes
+    // as soon as the partial line exceeds the limit. Either the in-band
+    // error or the close counts as a rejection; what matters is that the
+    // server survives and still answers afterwards.
+    send_all(fd, big.data(), big.size());
+    const std::string line = recv_line(fd, 10'000);
+    ::close(fd);
+    const bool in_band = line.find("\"too_large\"") != std::string::npos;
+    const bool closed = line.empty();
+    if (!in_band && !closed) {
+      std::fprintf(stderr, "wsrd_load: oversized got: %.200s\n", line.c_str());
+      return 1;
+    }
+    ++*rejected;
+  }
+  return verify_service_alive(o) ? 0 : 1;
+}
+
+int run_flood(const Options& o, u64* held, u64* shed_out) {
+  std::vector<int> fds;
+  fds.reserve(o.conns);
+  for (u64 i = 0; i < o.conns; ++i) {
+    const int fd = connect_target(o);
+    if (fd < 0) break;  // kernel backlog exhausted still proves the cap
+    fds.push_back(fd);
+  }
+  ::usleep(300'000);  // let the server shed whatever it will shed
+  for (const int fd : fds) {
+    set_nonblocking(fd);
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0 &&
+        std::string(chunk, static_cast<std::size_t>(n)).find("\"overloaded\"") !=
+            std::string::npos)
+      ++*shed_out;
+    else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      ++*held;
+    ::close(fd);
+  }
+  if (o.expect_shed && *shed_out == 0) {
+    std::fprintf(stderr, "wsrd_load: flood expected shedding, saw none\n");
+    return 1;
+  }
+  return verify_service_alive(o) ? 0 : 1;
+}
+
+void write_json(const Options& o, const char* mode, double wall_seconds,
+                const LoopHarness* h, u64 extra_count) {
+  if (o.json_path.empty()) return;
+  std::FILE* f = std::fopen(o.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "wsrd_load: cannot write %s\n", o.json_path.c_str());
+    return;
+  }
+  const std::string name =
+      o.bench_name.empty() ? std::string("wsrd_load_") + mode : o.bench_name;
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"mode\": \"%s\", \"jobs\": %llu, "
+               "\"repeat\": 1, \"wall_seconds\": %.6f",
+               name.c_str(), mode, static_cast<unsigned long long>(o.conns),
+               wall_seconds);
+  if (h != nullptr) {
+    std::fprintf(
+        f,
+        ", \"requests_ok\": %llu, \"shed\": %llu, \"violations\": %llu, "
+        "\"evicted\": %llu, \"throughput_rps\": %.1f, \"rtt_us\": "
+        "{\"count\": %llu, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+        "\"max\": %llu}",
+        static_cast<unsigned long long>(h->ok),
+        static_cast<unsigned long long>(h->shed),
+        static_cast<unsigned long long>(h->violations),
+        static_cast<unsigned long long>(h->evicted),
+        wall_seconds > 0 ? static_cast<double>(h->ok) / wall_seconds : 0.0,
+        static_cast<unsigned long long>(h->rtt.count()),
+        static_cast<unsigned long long>(h->rtt.percentile(0.50)),
+        static_cast<unsigned long long>(h->rtt.percentile(0.90)),
+        static_cast<unsigned long long>(h->rtt.percentile(0.99)),
+        static_cast<unsigned long long>(h->rtt.max_us()));
+  } else {
+    std::fprintf(f, ", \"count\": %llu",
+                 static_cast<unsigned long long>(extra_count));
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    u64 v = 0;
+    if (a.rfind("--socket=", 0) == 0) {
+      o.socket_path = a.substr(9);
+    } else if (a.rfind("--tcp=", 0) == 0) {
+      o.tcp_spec = a.substr(6);
+    } else if (a.rfind("--mode=", 0) == 0) {
+      o.mode = a.substr(7);
+    } else if (a.rfind("--collective=", 0) == 0) {
+      o.collective = a.substr(13);
+    } else if (a.rfind("--grid=", 0) == 0) {
+      o.grid = a.substr(7);
+    } else if (a.rfind("--json=", 0) == 0) {
+      o.json_path = a.substr(7);
+    } else if (a.rfind("--bench-name=", 0) == 0) {
+      o.bench_name = a.substr(13);
+    } else if (a == "--expect-shed") {
+      o.expect_shed = true;
+    } else if (parse_u64_flag(a, "--bytes=", &v)) {
+      o.bytes = v;
+    } else if (parse_u64_flag(a, "--conns=", &v)) {
+      o.conns = v > 0 ? v : 1;
+    } else if (parse_u64_flag(a, "--requests=", &v)) {
+      o.requests = v;
+    } else if (parse_u64_flag(a, "--pipeline=", &v)) {
+      o.pipeline = v > 0 ? v : 1;
+    } else if (parse_u64_flag(a, "--duration-ms=", &v)) {
+      o.duration_ms = static_cast<i64>(v > 0 ? v : 1);
+    } else if (parse_u64_flag(a, "--line-bytes=", &v)) {
+      o.line_bytes = v;
+    } else if (parse_u64_flag(a, "--drip-interval-ms=", &v)) {
+      o.drip_interval_ms = static_cast<i64>(v > 0 ? v : 1);
+    } else {
+      return usage();
+    }
+  }
+  if (o.socket_path.empty() == o.tcp_spec.empty()) return usage();
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const i64 t0 = now_us();
+  int rc = 2;
+  u64 count = 0;
+
+  if (o.mode == "steady" || o.mode == "slowloris" || o.mode == "stalled") {
+    LoopHarness h(o);
+    rc = h.run();
+    std::printf(
+        "wsrd_load[%s]: %llu ok, %llu shed, %llu violations, %llu evicted "
+        "in %.2f s (%.0f rps)\n",
+        o.mode.c_str(), static_cast<unsigned long long>(h.ok),
+        static_cast<unsigned long long>(h.shed + h.shed_conns),
+        static_cast<unsigned long long>(h.violations),
+        static_cast<unsigned long long>(h.evicted), h.wall_seconds,
+        h.wall_seconds > 0 ? static_cast<double>(h.ok) / h.wall_seconds : 0.0);
+    if (h.rtt.count() > 0) {
+      std::printf("  rtt p50 %llu us  p90 %llu us  p99 %llu us  max %llu us\n",
+                  static_cast<unsigned long long>(h.rtt.percentile(0.50)),
+                  static_cast<unsigned long long>(h.rtt.percentile(0.90)),
+                  static_cast<unsigned long long>(h.rtt.percentile(0.99)),
+                  static_cast<unsigned long long>(h.rtt.max_us()));
+    }
+    write_json(o, o.mode.c_str(), h.wall_seconds, &h, 0);
+    return rc;
+  }
+
+  if (o.mode == "torn") {
+    rc = run_torn(o, &count);
+  } else if (o.mode == "garbage") {
+    rc = run_garbage(o, &count);
+  } else if (o.mode == "oversized") {
+    rc = run_oversized(o, &count);
+  } else if (o.mode == "flood") {
+    u64 held = 0;
+    rc = run_flood(o, &held, &count);
+    std::printf("wsrd_load[flood]: %llu held, %llu shed\n",
+                static_cast<unsigned long long>(held),
+                static_cast<unsigned long long>(count));
+    write_json(o, "flood", static_cast<double>(now_us() - t0) / 1e6, nullptr,
+               count);
+    return rc;
+  } else {
+    return usage();
+  }
+
+  const double wall = static_cast<double>(now_us() - t0) / 1e6;
+  std::printf("wsrd_load[%s]: %llu %s in %.2f s -> %s\n", o.mode.c_str(),
+              static_cast<unsigned long long>(count),
+              o.mode == "torn" ? "torn connects"
+              : o.mode == "garbage" ? "in-band errors"
+                                    : "rejections",
+              wall, rc == 0 ? "server healthy" : "FAILED");
+  write_json(o, o.mode.c_str(), wall, nullptr, count);
+  return rc;
+}

@@ -154,6 +154,41 @@ def main():
         if "error" in responses[1]:
             fail("a bad request must not poison the next one", responses[1])
         print("ok: request errors answer in-band and the stream continues")
+
+        # --- 5. adversarial input: the daemon degrades, never dies ---------
+        # Empty lines are skipped, binary garbage and an oversized line
+        # answer in-band errors, a well-formed request AFTER the abuse still
+        # plans, and a half-written request cut off by EOF is answered
+        # rather than hung on. (The socket transports get the same treatment
+        # plus eviction policies — tools/wsrd_chaos.py covers those.)
+        good = json.dumps(REQUESTS[0])
+        payload = (b"\n"
+                   b"   \t\n"
+                   b"\x00\x01\xfe\xffnot json\n"
+                   + b"x" * 5000 + b"\n"
+                   + good.encode() + b"\n"
+                   + b'{"collective":"reduce","grid":"32"')  # torn, no EOL
+        proc = subprocess.run([wsrd, "--pipe", "--max-line-bytes=4096"],
+                              input=payload, capture_output=True, timeout=300)
+        if proc.returncode != 0:
+            fail(f"wsrd exited with {proc.returncode} on adversarial input",
+                 proc.stderr.decode(errors="replace"))
+        lines = [json.loads(l) for l in proc.stdout.splitlines() if l]
+        if len(lines) != 4:
+            fail(f"expected 4 responses to adversarial input, got {len(lines)}",
+                 proc.stdout[:800])
+        garbage_resp, oversized_resp, good_resp, torn_resp = lines
+        if "error" not in garbage_resp:
+            fail("binary garbage must answer an in-band error", garbage_resp)
+        if oversized_resp.get("error") != "too_large":
+            fail("an oversized line must answer too_large", oversized_resp)
+        if "error" in good_resp or good_resp.get("id") != REQUESTS[0]["id"]:
+            fail("a request after garbage+oversized must still plan",
+                 good_resp)
+        if "error" not in torn_resp:
+            fail("a torn request at EOF must answer an error", torn_resp)
+        print("ok: empty/garbage/oversized/torn input answered in-band, "
+              "daemon stayed up")
         return 0
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
