@@ -5,311 +5,35 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
-#include "registry/algorithm_registry.hpp"
+#include "store/record.hpp"
 
 namespace wsr::runtime {
+
+static_assert(PersistentPlanCache::kSchemaVersion == store::kSchemaVersion,
+              "the disk tier and the shared record codec must agree");
 
 namespace {
 
 constexpr char kStoreFile[] = "plans.wsrpc";
-constexpr char kHeaderMagic[8] = {'W', 'S', 'R', 'P', 'L', 'A', 'N', 'C'};
-constexpr u32 kEndianTag = 0x01020304;
-constexpr u32 kRecordMagic = 0x43525057;  // "WPRC" little-endian
-constexpr u64 kMaxPayload = u64{1} << 30;
 
-constexpr std::size_t kHeaderSize = 8 + 4 + 4;
-constexpr std::size_t kFrameSize = 4 + 8 + 8;
+using store::kFrameSize;
+using store::kHeaderSize;
 
-u64 fnv1a(const char* data, std::size_t n) {
-  u64 h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-// --- little-endian buffer writer/reader --------------------------------------
-// Integers are written byte-by-byte (host endianness never leaks into the
-// file); the header's endian tag exists so a hypothetical big-endian build
-// rejects rather than misreads stores written before this convention.
-
-struct Writer {
-  std::string out;
-
-  void u8v(u8 v) { out.push_back(static_cast<char>(v)); }
-  void u32v(u32 v) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-  void u64v(u64 v) {
-    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-  void i64v(i64 v) { u64v(static_cast<u64>(v)); }
-  void f64v(double v) {
-    u64 bits = 0;
-    static_assert(sizeof bits == sizeof v);
-    std::memcpy(&bits, &v, sizeof bits);
-    u64v(bits);
-  }
-  void str(const std::string& s) {
-    u32v(static_cast<u32>(s.size()));
-    out.append(s);
-  }
-};
-
-struct Reader {
-  const char* data;
-  std::size_t size;
-  std::size_t pos = 0;
-  bool ok = true;
-
-  bool need(std::size_t n) {
-    if (!ok || size - pos < n) ok = false;
-    return ok;
-  }
-  u8 u8v() {
-    if (!need(1)) return 0;
-    return static_cast<u8>(data[pos++]);
-  }
-  u32 u32v() {
-    if (!need(4)) return 0;
-    u32 v = 0;
-    for (int i = 0; i < 4; ++i) v |= u32{static_cast<unsigned char>(data[pos + i])} << (8 * i);
-    pos += 4;
-    return v;
-  }
-  u64 u64v() {
-    if (!need(8)) return 0;
-    u64 v = 0;
-    for (int i = 0; i < 8; ++i) v |= u64{static_cast<unsigned char>(data[pos + i])} << (8 * i);
-    pos += 8;
-    return v;
-  }
-  i64 i64v() { return static_cast<i64>(u64v()); }
-  double f64v() {
-    const u64 bits = u64v();
-    double v = 0;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
-  }
-  std::string str() {
-    const u32 n = u32v();
-    if (!need(n)) return "";
-    std::string s(data + pos, n);
-    pos += n;
-    return s;
-  }
-};
-
-/// Walks the framed records of a store image starting after the header,
-/// calling fn(record_start, payload, payload_size, checksum_ok) for each
-/// intact frame. A damaged frame (bad magic, impossible or truncated
-/// length) ends the walk — appends are whole-record atomic under flock,
-/// so damage past a valid prefix is a torn tail, not interior corruption.
-/// Returns false exactly when the walk ended on such a torn tail. The one
-/// frame-format walk shared by load() and compact_store(): compaction
-/// keeping exactly what a fresh load would keep is a structural property,
-/// not two loops kept in sync by hand.
-template <typename Fn>
-bool scan_records(const char* data, std::size_t size, Fn&& fn) {
-  std::size_t pos = kHeaderSize;
-  while (pos < size) {
-    if (size - pos < kFrameSize) return false;
-    const std::size_t frame_start = pos;
-    Reader r{data, size, pos};
-    const u32 magic = r.u32v();
-    const u64 payload_size = r.u64v();
-    const u64 checksum = r.u64v();
-    if (magic != kRecordMagic || payload_size > kMaxPayload ||
-        payload_size > size - r.pos) {
-      return false;
-    }
-    const char* payload = data + r.pos;
-    pos = r.pos + payload_size;
-    fn(frame_start, payload, static_cast<std::size_t>(payload_size),
-       fnv1a(payload, payload_size) == checksum);
-  }
-  return true;
-}
-
-// --- (PlanKey, Plan) payload -------------------------------------------------
-
-void write_machine(Writer& w, const MachineParams& mp) {
-  w.u32v(mp.ramp_latency);
-  w.f64v(mp.clock_mhz);
-  w.u32v(mp.sram_bytes);
-  w.u32v(mp.num_colors);
-}
-
-MachineParams read_machine(Reader& r) {
-  MachineParams mp;
-  mp.ramp_latency = r.u32v();
-  mp.clock_mhz = r.f64v();
-  mp.sram_bytes = r.u32v();
-  mp.num_colors = r.u32v();
-  return mp;
-}
-
-void write_schedule(Writer& w, const wse::Schedule& s) {
-  w.u32v(s.grid.width);
-  w.u32v(s.grid.height);
-  w.u32v(s.vec_len);
-  w.str(s.name);
-  w.u32v(static_cast<u32>(s.result_pes.size()));
-  for (u32 pe : s.result_pes) w.u32v(pe);
-  w.u32v(static_cast<u32>(s.programs.size()));
-  for (const wse::PEProgram& prog : s.programs) {
-    w.u32v(static_cast<u32>(prog.ops.size()));
-    for (const wse::Op& op : prog.ops) {
-      w.u8v(static_cast<u8>(op.kind));
-      w.u8v(op.in_color);
-      w.u8v(op.out_color);
-      w.u32v(op.len);
-      w.u8v(static_cast<u8>(op.mode));
-      w.u32v(op.modulo);
-      w.u32v(op.src_offset);
-      w.u32v(op.dst_offset);
-      w.u32v(static_cast<u32>(op.deps.size()));
-      for (u32 d : op.deps) w.u32v(d);
-    }
-  }
-  w.u32v(static_cast<u32>(s.rules.size()));
-  for (const std::vector<wse::RouteRule>& pe_rules : s.rules) {
-    w.u32v(static_cast<u32>(pe_rules.size()));
-    for (const wse::RouteRule& rule : pe_rules) {
-      w.u8v(rule.color);
-      w.u8v(static_cast<u8>(rule.accept));
-      w.u8v(rule.forward);
-      w.u32v(rule.count);
-    }
-  }
-}
-
-bool read_schedule(Reader& r, wse::Schedule* out) {
-  const u32 width = r.u32v();
-  const u32 height = r.u32v();
-  const u32 vec_len = r.u32v();
-  std::string name = r.str();
-  if (!r.ok || width == 0 || height == 0) return false;
-  wse::Schedule s({width, height}, vec_len, std::move(name));
-  const u32 num_results = r.u32v();
-  if (!r.need(num_results * 4ull)) return false;
-  s.result_pes.resize(num_results);
-  for (u32 i = 0; i < num_results; ++i) s.result_pes[i] = r.u32v();
-  const u32 num_programs = r.u32v();
-  if (num_programs != s.grid.num_pes()) return false;
-  for (u32 pe = 0; pe < num_programs; ++pe) {
-    const u32 num_ops = r.u32v();
-    if (!r.need(num_ops)) return false;  // >= 1 byte per op
-    s.programs[pe].ops.resize(num_ops);
-    for (u32 i = 0; i < num_ops; ++i) {
-      wse::Op& op = s.programs[pe].ops[i];
-      op.kind = static_cast<wse::OpKind>(r.u8v());
-      op.in_color = r.u8v();
-      op.out_color = r.u8v();
-      op.len = r.u32v();
-      op.mode = static_cast<wse::RecvMode>(r.u8v());
-      op.modulo = r.u32v();
-      op.src_offset = r.u32v();
-      op.dst_offset = r.u32v();
-      const u32 num_deps = r.u32v();
-      if (!r.need(num_deps * 4ull)) return false;
-      op.deps.resize(num_deps);
-      for (u32 d = 0; d < num_deps; ++d) op.deps[d] = r.u32v();
-    }
-  }
-  const u32 num_rule_lists = r.u32v();
-  if (num_rule_lists != s.grid.num_pes()) return false;
-  for (u32 pe = 0; pe < num_rule_lists; ++pe) {
-    const u32 num_rules = r.u32v();
-    if (!r.need(num_rules)) return false;
-    s.rules[pe].resize(num_rules);
-    for (u32 i = 0; i < num_rules; ++i) {
-      wse::RouteRule& rule = s.rules[pe][i];
-      rule.color = r.u8v();
-      rule.accept = static_cast<Dir>(r.u8v());
-      rule.forward = r.u8v();
-      rule.count = r.u32v();
-    }
-  }
-  if (!r.ok) return false;
-  *out = std::move(s);
-  return true;
-}
-
-void write_payload(Writer& w, const PlanKey& key, const Plan& plan) {
-  w.u8v(static_cast<u8>(key.collective));
-  w.u32v(key.grid.width);
-  w.u32v(key.grid.height);
-  w.u32v(key.vec_len);
-  write_machine(w, key.machine);
-  w.str(key.algorithm);
-
-  w.str(plan.algorithm);
-  w.i64v(plan.prediction.terms.energy);
-  w.i64v(plan.prediction.terms.distance);
-  w.i64v(plan.prediction.terms.depth);
-  w.i64v(plan.prediction.terms.contention);
-  w.i64v(plan.prediction.terms.links);
-  w.i64v(plan.prediction.cycles);
-  write_schedule(w, plan.schedule);
-}
-
-bool read_payload(Reader& r, PlanKey* key, Plan* plan) {
-  key->collective = static_cast<registry::Collective>(r.u8v());
-  key->grid.width = r.u32v();
-  key->grid.height = r.u32v();
-  key->vec_len = r.u32v();
-  key->machine = read_machine(r);
-  key->algorithm = r.str();
-
-  plan->algorithm = r.str();
-  plan->prediction.terms.energy = r.i64v();
-  plan->prediction.terms.distance = r.i64v();
-  plan->prediction.terms.depth = r.i64v();
-  plan->prediction.terms.contention = r.i64v();
-  plan->prediction.terms.links = r.i64v();
-  plan->prediction.cycles = r.i64v();
-  if (!r.ok) return false;
-  if (!read_schedule(r, &plan->schedule)) return false;
-  return r.pos == r.size;  // payload must be fully consumed
-}
-
-/// Round-trip contract: a stored plan is only valid if the algorithm it
-/// names still resolves in the registry — a renamed/removed algorithm
-/// invalidates exactly its own records. For a forced request that name is
-/// the key's; for a model-driven record (empty key algorithm) it is the
-/// plan's chosen algorithm, which for every auto-selectable descriptor
-/// equals the registered name (only non-selectable extensions override
-/// display_label, and those can only be reached by forced keys, whose
-/// plan label is deliberately not checked).
-bool algorithm_resolves(const PlanKey& key, const Plan& plan) {
-  const std::string& name =
-      key.algorithm.empty() ? plan.algorithm : key.algorithm;
-  return registry::AlgorithmRegistry::instance().find(
-             key.collective, registry::dims_for(key.grid), name) != nullptr;
-}
-
-std::string header_bytes() {
-  Writer w;
-  w.out.append(kHeaderMagic, sizeof kHeaderMagic);
-  w.u32v(kEndianTag);
-  w.u32v(PersistentPlanCache::kSchemaVersion);
-  return w.out;
-}
-
-/// Writes all of `data` to `fd` (retrying short writes); false on error.
-bool write_all(int fd, const std::string& data) {
+/// Writes all of `data` to `fd` (retrying short writes); false on error
+/// with the failing errno in *err_out.
+bool write_all(int fd, const std::string& data, int* err_out) {
   std::size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      *err_out = errno;
       return false;
     }
     written += static_cast<std::size_t>(n);
@@ -317,17 +41,22 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
+bool write_all(int fd, const std::string& data) {
+  int err = 0;
+  return write_all(fd, data, &err);
+}
+
+/// A write failure the store cannot recover from by retrying the next
+/// append: the filesystem is full, broken, or read-only. These flip the
+/// store into memory-only operation.
+bool is_fatal_store_errno(int err) {
+  return err == ENOSPC || err == EDQUOT || err == EIO || err == EROFS;
+}
+
 }  // namespace
 
 std::string serialize_plan_record(const PlanKey& key, const Plan& plan) {
-  Writer payload;
-  write_payload(payload, key, plan);
-  Writer rec;
-  rec.u32v(kRecordMagic);
-  rec.u64v(payload.out.size());
-  rec.u64v(fnv1a(payload.out.data(), payload.out.size()));
-  rec.out.append(payload.out);
-  return rec.out;
+  return store::serialize_plan_record(key, plan);
 }
 
 PersistentPlanCache::PersistentPlanCache(std::string dir)
@@ -363,7 +92,7 @@ void PersistentPlanCache::load() {
     return;
   }
 
-  const std::string expected_header = header_bytes();
+  const std::string expected_header = store::header_bytes();
   if (bytes.size() < kHeaderSize ||
       std::memcmp(bytes.data(), expected_header.data(), kHeaderSize) != 0) {
     // Foreign magic, other endianness, or another schema version: ignore
@@ -387,7 +116,7 @@ void PersistentPlanCache::load() {
   // never trigger the rewrite below.
   std::unordered_map<PlanKey, bool, PlanKeyHash> foreign_seen;
 
-  const bool complete = scan_records(
+  const bool complete = store::scan_records(
       bytes.data(), bytes.size(),
       [&](std::size_t, const char* payload, std::size_t payload_size,
           bool checksum_ok) {
@@ -400,12 +129,12 @@ void PersistentPlanCache::load() {
         }
         PlanKey key;
         auto plan = std::make_shared<Plan>();
-        Reader pr{payload, payload_size};
-        if (!read_payload(pr, &key, plan.get())) {
+        store::Reader pr{payload, payload_size};
+        if (!store::read_payload(pr, &key, plan.get())) {
           stats_.load_errors += 1;
           return;
         }
-        if (!algorithm_resolves(key, *plan)) {
+        if (!store::record_algorithm_resolves(key, *plan)) {
           // A per-process miss, not corruption: compaction keeps these
           // (another process's registry may resolve them), so their first
           // copy counts as live bytes — otherwise a store full of foreign
@@ -419,11 +148,12 @@ void PersistentPlanCache::load() {
         }
         // First record wins on duplicate keys (racing writers), matching
         // the in-memory cache's first-writer-wins insert.
-        if (index_.emplace(std::move(key),
-                           std::shared_ptr<const Plan>(std::move(plan)))
-                .second) {
+        const auto [it, inserted] = index_.emplace(
+            std::move(key), std::shared_ptr<const Plan>(std::move(plan)));
+        if (inserted) {
           stats_.loaded += 1;
           live_bytes += kFrameSize + payload_size;
+          load_order_.push_back(it->first);
         }
       });
   if (!complete) stats_.load_errors += 1;  // torn tail
@@ -481,16 +211,35 @@ int open_store_locked(const std::string& path, int open_flags) {
 
 }  // namespace
 
-bool PersistentPlanCache::append_record(const std::string& record) {
+bool PersistentPlanCache::append_record(const std::string& record,
+                                        int* err_out) {
+  *err_out = 0;
+  if (inject_errno_times_ > 0) {  // caller holds io_mu_
+    --inject_errno_times_;
+    *err_out = inject_errno_;
+    return false;
+  }
   const int fd =
       open_store_locked(store_path(), O_WRONLY | O_CREAT | O_APPEND);
-  if (fd < 0) return false;
+  if (fd < 0) {
+    *err_out = errno;
+    return false;
+  }
   // Create the header exactly once: the first writer to hold the lock on
   // an empty file writes it; later writers see a non-zero size.
   struct stat st{};
   bool ok = ::fstat(fd, &st) == 0;
-  if (ok && st.st_size == 0) ok = write_all(fd, header_bytes());
-  if (ok) ok = write_all(fd, record);
+  if (!ok) *err_out = errno;
+  const off_t pre_size = st.st_size;
+  if (ok && pre_size == 0) ok = write_all(fd, store::header_bytes(), err_out);
+  if (ok) ok = write_all(fd, record, err_out);
+  if (!ok) {
+    // Roll back any torn tail while we still hold the flock: a half-record
+    // at EOF would otherwise cost every later reader its scan tail (the
+    // torn-tail rule drops everything after the damage) and pin load_errors
+    // forever. After the truncate the file is exactly as before this call.
+    ::ftruncate(fd, pre_size);
+  }
   ::close(fd);
   return ok;
 }
@@ -505,7 +254,7 @@ bool PersistentPlanCache::recover_store(const std::string& record) {
   const int fd = open_store_locked(store_path(), O_RDWR | O_CREAT);
   if (fd < 0) return false;
 
-  const std::string expected_header = header_bytes();
+  const std::string expected_header = store::header_bytes();
   char on_disk[kHeaderSize];
   const bool header_valid =
       ::pread(fd, on_disk, kHeaderSize, 0) ==
@@ -531,7 +280,7 @@ bool PersistentPlanCache::recover_store(const std::string& record) {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [key, plan] : index_) {
       if (!ok) break;
-      ok = write_all(tmp_fd, serialize_plan_record(key, *plan));
+      ok = write_all(tmp_fd, store::serialize_plan_record(key, *plan));
     }
   }
   ::close(tmp_fd);
@@ -570,7 +319,7 @@ std::optional<u64> PersistentPlanCache::compact_store() {
     }
   }
 
-  const std::string expected_header = header_bytes();
+  const std::string expected_header = store::header_bytes();
   if (bytes.size() < kHeaderSize ||
       std::memcmp(bytes.data(), expected_header.data(), kHeaderSize) != 0) {
     // Foreign magic or another schema version (e.g. a newer binary
@@ -580,18 +329,18 @@ std::optional<u64> PersistentPlanCache::compact_store() {
     ::close(fd);
     return std::nullopt;
   }
-  std::string image = header_bytes();
+  std::string image = store::header_bytes();
   {
     std::unordered_map<PlanKey, bool, PlanKeyHash> seen;
-    scan_records(
+    store::scan_records(
         bytes.data(), bytes.size(),
         [&](std::size_t frame_start, const char* payload,
             std::size_t payload_size, bool checksum_ok) {
           if (!checksum_ok) return;
           PlanKey key;
           Plan plan;
-          Reader pr{payload, payload_size};
-          if (!read_payload(pr, &key, &plan)) {
+          store::Reader pr{payload, payload_size};
+          if (!store::read_payload(pr, &key, &plan)) {
             return;  // undecodable bit rot: what compaction removes
           }
           // Records naming algorithms *this* registry cannot resolve are
@@ -629,20 +378,30 @@ std::optional<u64> PersistentPlanCache::compact_store() {
   return image.size();
 }
 
-void PersistentPlanCache::append(const PlanKey& key,
+bool PersistentPlanCache::append(const PlanKey& key,
                                  std::shared_ptr<const Plan> plan) {
   std::shared_ptr<const Plan> winner;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto [it, inserted] = index_.emplace(key, std::move(plan));
-    if (!inserted) return;  // first writer wins; its record is already durable
+    if (!inserted) return true;  // first writer wins; its record is durable
     winner = it->second;
+  }
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // Memory-only mode after a fatal I/O errno: the plan serves from the
+    // index, the skipped durability is counted, the disk is never touched
+    // again (a full or broken filesystem will not heal mid-process, and
+    // hammering it would turn every planned miss into a blocking flock +
+    // failing write).
+    store_degraded_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
   // Serialize and write outside mu_ so concurrent find() calls never wait
   // on file I/O; io_mu_ orders this process's writes.
-  const std::string record = serialize_plan_record(key, *winner);
+  const std::string record = store::serialize_plan_record(key, *winner);
   std::lock_guard<std::mutex> io_lock(io_mu_);
   bool ok;
+  int err = 0;
   if (rewrite_on_next_append_) {
     ok = recover_store(record);
     if (ok) rewrite_on_next_append_ = false;
@@ -671,15 +430,29 @@ void PersistentPlanCache::append(const PlanKey& key,
         }
         if (!have_room) {
           appends_skipped_.fetch_add(1, std::memory_order_relaxed);
-          return;
+          return false;
         }
       }
     }
-    ok = append_record(record);
+    ok = append_record(record, &err);
   }
-  if (ok) appended_.fetch_add(1, std::memory_order_relaxed);
+  if (ok) {
+    appended_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (is_fatal_store_errno(err)) {
+    degraded_.store(true, std::memory_order_relaxed);
+    store_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
   // A failed write keeps the plan in this process's index (serving stays
   // correct); the record is simply not durable.
+  return false;
+}
+
+void PersistentPlanCache::inject_append_errno_for_tests(int err, u32 times) {
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  inject_errno_ = err;
+  inject_errno_times_ = times;
 }
 
 std::size_t PersistentPlanCache::size() const {
@@ -698,6 +471,8 @@ PersistentPlanCache::Stats PersistentPlanCache::stats() const {
   out.appended = appended_.load(std::memory_order_relaxed);
   out.compactions = compactions_.load(std::memory_order_relaxed);
   out.appends_skipped = appends_skipped_.load(std::memory_order_relaxed);
+  out.store_degraded = store_degraded_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
   return out;
 }
 

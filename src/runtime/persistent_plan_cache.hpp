@@ -1,5 +1,6 @@
 // PersistentPlanCache: a checksummed, versioned on-disk plan store — the
-// disk tier under the sharded in-memory PlanCache.
+// disk tier under the sharded in-memory PlanCache, and the backend behind
+// the store::FileStore driver (src/store/file_store.hpp).
 //
 // Planning is the expensive step of the serving path (a cold plan evaluates
 // every candidate's cost model and compiles + validates the winning
@@ -11,7 +12,9 @@
 // corrupted byte can ever surface as a wrong plan — corruption degrades to
 // a clean miss and a re-plan.
 //
-// On-disk format (docs/serving.md documents it for external tooling):
+// The record codec (header/frame layout, payload serialization, checksums)
+// lives in store/record.hpp — it is shared with the peer cache tier, whose
+// wire payloads are these exact record bytes. File layout:
 //
 //   <dir>/plans.wsrpc
 //   header : magic "WSRPLANC" (8 bytes) | u32 endian tag 0x01020304
@@ -33,6 +36,14 @@
 //     (plans round-trip algorithm descriptors by stable name, so a renamed
 //     or removed algorithm invalidates exactly its own records).
 //
+// Write failures (tests/test_plan_store.cpp pins the degradation): a fatal
+// append errno — ENOSPC, EDQUOT, EIO, EROFS — first truncates the store
+// back to its pre-append size (a torn half-record must not poison later
+// appends), then flips this process into memory-only operation: every
+// subsequent append is served from the index and counted in
+// stats().store_degraded, never silently dropped and never a crash.
+// Transient failures (e.g. a lost flock race) stay per-record best-effort.
+//
 // Concurrency: one process serializes appends behind a mutex; across
 // processes every append takes an exclusive flock on the store file, so
 // concurrent writers interleave whole records. Duplicate keys (two racing
@@ -46,19 +57,22 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "runtime/plan_cache.hpp"
 
 namespace wsr::runtime {
 
 /// Serializes one (key, plan) record — frame + checksummed payload — ready
-/// to be appended to a store file. Exposed for tests and tooling.
+/// to be appended to a store file. Exposed for tests and tooling; forwards
+/// to store::serialize_plan_record (the shared codec).
 std::string serialize_plan_record(const PlanKey& key, const Plan& plan);
 
 class PersistentPlanCache {
  public:
   /// Bump when the record payload layout changes; older stores then load
-  /// as empty and are rewritten on the next append.
+  /// as empty and are rewritten on the next append. Mirrors
+  /// store::kSchemaVersion (static_assert'd in the .cpp).
   static constexpr u32 kSchemaVersion = 1;
 
   struct Options {
@@ -80,6 +94,10 @@ class PersistentPlanCache {
     u64 misses = 0;       ///< find() calls that came up empty
     u64 compactions = 0;  ///< store rewrites (load-time or bound-triggered)
     u64 appends_skipped = 0;  ///< records dropped by the max_bytes bound
+    /// Appends served memory-only because a fatal I/O errno (ENOSPC, EIO,
+    /// ...) degraded the store; includes the append that hit the errno.
+    u64 store_degraded = 0;
+    bool degraded = false;  ///< memory-only mode is permanently engaged
     double load_seconds = 0;
     u64 file_bytes = 0;  ///< store size at load time (post-compaction)
   };
@@ -107,16 +125,35 @@ class PersistentPlanCache {
   /// Adds the plan to the index and appends its record to the store file
   /// (flock-serialized; creation and header-recovery rewrites go through a
   /// temp file + atomic rename). First writer wins on a duplicate key.
-  void append(const PlanKey& key, std::shared_ptr<const Plan> plan);
+  /// Returns true when the record is durable on disk (or the key was
+  /// already present); false when the write was skipped (max_bytes),
+  /// failed, or the store is degraded — the plan is still served from the
+  /// index either way.
+  bool append(const PlanKey& key, std::shared_ptr<const Plan> plan);
 
   std::size_t size() const;
   Stats stats() const;
   const std::string& dir() const { return dir_; }
   std::string store_path() const;
 
+  /// Keys restored by load(), in file order (first record per key). Built
+  /// once at construction and immutable after — safe to read unlocked.
+  /// FileStore seeds its hot-shape ranking from this order.
+  const std::vector<PlanKey>& loaded_keys() const { return load_order_; }
+
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+
+  /// Test hook: the next `times` physical appends fail as-if with `err`
+  /// (before touching the file), so tests can pin the ENOSPC/EIO
+  /// degradation path without filling a filesystem.
+  void inject_append_errno_for_tests(int err, u32 times);
+
  private:
   void load();
-  bool append_record(const std::string& record);
+  /// Appends `record` under the store flock. On failure the file is
+  /// truncated back to its pre-append size (no torn tail) and *err_out
+  /// carries the classifying errno (0 if unknown).
+  bool append_record(const std::string& record, int* err_out);
   bool recover_store(const std::string& record);
   /// Rewrites the store to its live record set (first valid record per
   /// key, parsed fresh under the store flock so concurrent appends are
@@ -135,6 +172,7 @@ class PersistentPlanCache {
   mutable std::mutex mu_;
   std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash> index_;
   Stats stats_;  ///< load_* fields written only by load(); see stats()
+  std::vector<PlanKey> load_order_;  ///< written only by load()
 
   /// Serving counters (find() is const and lock-cheap; these are the
   /// persistent-tier hit/miss numbers wsr_plan --json and wsrd report).
@@ -149,6 +187,11 @@ class PersistentPlanCache {
   std::atomic<u64> appended_{0};
   std::atomic<u64> compactions_{0};  ///< rewrites that actually shrank it
   std::atomic<u64> appends_skipped_{0};
+  std::atomic<u64> store_degraded_{0};
+  std::atomic<bool> degraded_{false};
+  /// Test fault injection (guarded by io_mu_).
+  int inject_errno_ = 0;
+  u32 inject_errno_times_ = 0;
   /// Live-set size of the last compaction that left no room under
   /// max_bytes: while the store is no larger than this, another
   /// compaction cannot help, so over-bound appends skip straight to

@@ -1,8 +1,11 @@
 #include "runtime/plan_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "runtime/persistent_plan_cache.hpp"
+#include "store/file_store.hpp"
+#include "store/plan_store.hpp"
 
 namespace wsr::runtime {
 
@@ -10,6 +13,7 @@ const char* name(PlanSource s) {
   switch (s) {
     case PlanSource::MemoryHit: return "memory";
     case PlanSource::DiskHit: return "disk";
+    case PlanSource::PeerHit: return "peer";
     case PlanSource::Planned: return "planned";
   }
   return "?";
@@ -64,9 +68,30 @@ PlanCache::PlanCache(u32 num_shards, std::size_t max_entries)
                                        num_shards_)),
       shards_(std::make_unique<Shard[]>(num_shards_)) {}
 
+PlanCache::~PlanCache() = default;
+
 PlanKey PlanCache::key_for(const Planner& planner, const PlanRequest& req) {
   return {req.collective, req.grid, req.vec_len, planner.machine(),
           req.algorithm};
+}
+
+void PlanCache::attach_disk_store(PersistentPlanCache* disk) {
+  if (owned_file_tier_) {
+    tiers_.erase(std::remove(tiers_.begin(), tiers_.end(),
+                             owned_file_tier_.get()),
+                 tiers_.end());
+    owned_file_tier_.reset();
+  }
+  disk_ = disk;
+  if (disk == nullptr) return;
+  owned_file_tier_ = std::make_unique<store::FileStore>(*disk);
+  // The local disk tier always resolves (and receives write-backs) before
+  // any network tier.
+  tiers_.insert(tiers_.begin(), owned_file_tier_.get());
+}
+
+void PlanCache::attach_tier(store::PlanStore* tier) {
+  tiers_.push_back(tier);
 }
 
 PlanCache::Shard& PlanCache::shard_for(const PlanKey& key) const {
@@ -110,17 +135,31 @@ std::shared_ptr<const Plan> PlanCache::get_or_plan(const Planner& planner,
                                                    const PlanRequest& req,
                                                    PlanSource* source) {
   const PlanKey key = key_for(planner, req);
+  // Hot-shape demand is counted per request, whichever tier answers —
+  // prefetch ranking must reflect what is asked for, not what misses.
+  for (store::PlanStore* tier : tiers_) tier->note_use(key);
   if (std::shared_ptr<const Plan> cached = find(key)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     if (source != nullptr) *source = PlanSource::MemoryHit;
     return cached;
   }
-  if (disk_ != nullptr) {
-    if (std::shared_ptr<const Plan> restored = disk_->find(key)) {
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    store::GetResult got = tiers_[i]->get(key);
+    // Strict fall-through: Error and Timeout are the tier's problem, not
+    // this request's — anything that is not a Hit walks on to the next
+    // tier and ultimately a fresh plan.
+    if (got.status != store::StoreStatus::Hit) continue;
+    const PlanSource tag = tiers_[i]->source_tag();
+    if (tag == PlanSource::PeerHit) {
+      peer_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
       disk_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (source != nullptr) *source = PlanSource::DiskHit;
-      return insert(key, std::move(restored));  // promote into the memory tier
     }
+    // Write back to the tiers that missed before this one (best-effort),
+    // so e.g. a peer hit lands in the local disk store too.
+    for (std::size_t j = 0; j < i; ++j) tiers_[j]->put(key, got.plan);
+    if (source != nullptr) *source = tag;
+    return insert(key, std::move(got.plan));  // promote into the memory tier
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<const Plan> planned =
@@ -129,8 +168,8 @@ std::shared_ptr<const Plan> PlanCache::get_or_plan(const Planner& planner,
   // Only the race winner persists its plan; losers' redundant plans are
   // dropped, so the store never holds two records for one key from one
   // process (cross-process duplicates are resolved first-wins on load).
-  if (disk_ != nullptr && winner.get() == planned.get()) {
-    disk_->append(key, winner);
+  if (winner.get() == planned.get()) {
+    for (store::PlanStore* tier : tiers_) tier->put(key, winner);
   }
   if (source != nullptr) *source = PlanSource::Planned;
   return winner;
@@ -155,6 +194,7 @@ void PlanCache::clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   disk_hits_.store(0, std::memory_order_relaxed);
+  peer_hits_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace wsr::runtime

@@ -22,13 +22,19 @@
 // alive for holders of the shared_ptr — eviction only drops the cache's
 // reference.
 //
-// Tiering: an optional PersistentPlanCache (runtime/persistent_plan_cache.hpp)
-// sits under the memory tier. With a disk store attached, get_or_plan
-// resolves memory -> disk -> plan: a disk hit is promoted into the memory
-// tier, a planned miss is appended to the store, and the caller can observe
-// which tier answered via the PlanSource out-parameter (the daemon reports
-// it as per-request provenance). Disk-tier durability is best-effort — a
-// failed disk write never fails a request.
+// Tiering: under the memory tier sits an ordered chain of pluggable
+// store::PlanStore backends (src/store/plan_store.hpp) — in production
+// wiring a local FileStore (over PersistentPlanCache) and optionally a
+// fault-wrapped PeerStore. get_or_plan walks memory -> tiers in order ->
+// plan: the first tier Hit wins, is promoted into the memory tier, and is
+// written back to every earlier tier; a planned miss is put to every tier.
+// The caller observes which tier answered via the PlanSource out-parameter
+// (the daemon reports it as per-request provenance). Tier durability is
+// best-effort and tier *failures* are invisible: a tier reporting
+// Error/Timeout is treated exactly like a miss (strict fall-through), so a
+// dead peer degrades to disk and ultimately a fresh plan.
+// attach_disk_store remains as the one-tier convenience the CLI and tests
+// use; it wraps the disk store in an owned FileStore tier.
 #pragma once
 
 #include <atomic>
@@ -36,10 +42,16 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "runtime/planner.hpp"
 
-namespace wsr::runtime {
+namespace wsr {
+namespace store {
+class PlanStore;
+}  // namespace store
+
+namespace runtime {
 
 class PersistentPlanCache;
 
@@ -47,6 +59,7 @@ class PersistentPlanCache;
 enum class PlanSource : u8 {
   MemoryHit,  ///< resolved in the sharded in-memory tier
   DiskHit,    ///< restored from the persistent store (now promoted to memory)
+  PeerHit,    ///< fetched from a peer daemon's cache (now promoted to memory)
   Planned,    ///< planned from scratch (a true miss of every tier)
 };
 
@@ -85,16 +98,27 @@ class PlanCache {
   /// max(1, ceil(max_entries / num_shards)) plans, so the cache holds at
   /// most num_shards * that (e.g. (16, 24) -> 2 per shard, 32 total).
   explicit PlanCache(u32 num_shards = 16, std::size_t max_entries = 0);
+  ~PlanCache();
 
   /// The cache key of a request as planned by `planner`.
   static PlanKey key_for(const Planner& planner, const PlanRequest& req);
 
   /// Layers a persistent store (not owned; must outlive this cache) under
-  /// the memory tier. Misses then fall through to the store and planned
-  /// results are appended to it. Attach before serving begins — the pointer
-  /// itself is not synchronized.
-  void attach_disk_store(PersistentPlanCache* store) { disk_ = store; }
+  /// the memory tier, wrapped in an owned FileStore tier at the front of
+  /// the chain (replacing any previous attach_disk_store tier). Misses
+  /// then fall through to the store and planned results are appended to
+  /// it. Attach before serving begins — the chain is not synchronized.
+  void attach_disk_store(PersistentPlanCache* disk);
   PersistentPlanCache* disk_store() const { return disk_; }
+  /// The owned FileStore tier created by attach_disk_store (nullptr until
+  /// then). The daemon resolves peering lookups and boot prefetch against
+  /// it directly, never through the network tiers.
+  store::PlanStore* file_tier() const { return owned_file_tier_.get(); }
+
+  /// Appends a backend tier (not owned; must outlive this cache) to the
+  /// chain — e.g. a fault-wrapped PeerStore after the disk tier. Attach
+  /// before serving begins.
+  void attach_tier(store::PlanStore* tier);
 
   /// nullptr on miss. Memory tier only; refreshes LRU recency but does not
   /// update hit/miss counters (those describe the get_or_plan serving path).
@@ -118,10 +142,13 @@ class PlanCache {
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
   u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
-  /// Misses of the memory tier answered by the disk store. Disk hits are
-  /// counted separately from hits()/misses(): hits() is memory-tier only
-  /// and misses() counts requests that were actually planned.
+  /// Misses of the memory tier answered by a DiskHit-tagged tier. Tier
+  /// hits are counted separately from hits()/misses(): hits() is
+  /// memory-tier only and misses() counts requests that were actually
+  /// planned.
   u64 disk_hits() const { return disk_hits_.load(std::memory_order_relaxed); }
+  /// Misses of the memory tier answered by a PeerHit-tagged tier.
+  u64 peer_hits() const { return peer_hits_.load(std::memory_order_relaxed); }
   std::size_t max_entries() const { return max_entries_; }
   std::size_t size() const;
   void clear();
@@ -152,11 +179,17 @@ class PlanCache {
   std::size_t max_entries_;
   std::size_t shard_capacity_;  ///< 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
-  PersistentPlanCache* disk_ = nullptr;  ///< optional disk tier (not owned)
+  PersistentPlanCache* disk_ = nullptr;  ///< attach_disk_store's backing
+  /// Ordered backend chain walked on memory misses. The attach_disk_store
+  /// tier (owned) always sits first; attach_tier appends.
+  std::vector<store::PlanStore*> tiers_;
+  std::unique_ptr<store::PlanStore> owned_file_tier_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> evictions_{0};
   std::atomic<u64> disk_hits_{0};
+  std::atomic<u64> peer_hits_{0};
 };
 
-}  // namespace wsr::runtime
+}  // namespace runtime
+}  // namespace wsr

@@ -4,14 +4,39 @@
 #include <cstdio>
 
 #include "runtime/plan_json.hpp"
+#include "store/record.hpp"
 
 namespace wsr::serving {
 
-Core::Core(std::size_t max_entries, const std::string& cache_dir, u32 jobs)
-    : cache_(16, max_entries), jobs_(jobs) {
-  if (!cache_dir.empty()) {
-    disk_ = std::make_unique<runtime::PersistentPlanCache>(cache_dir);
+Core::Core(const Options& opts)
+    : cache_(16, opts.max_entries),
+      jobs_(opts.jobs),
+      serve_cache_(opts.serve_cache) {
+  if (!opts.cache_dir.empty()) {
+    disk_ = std::make_unique<runtime::PersistentPlanCache>(opts.cache_dir);
     cache_.attach_disk_store(disk_.get());
+  }
+  if (!opts.peer.empty()) {
+    store::PeerStore::Options po;
+    po.target = opts.peer;
+    po.timeout_ms = opts.peer_timeout_ms;
+    peer_raw_ = std::make_unique<store::PeerStore>(po);
+    store::FaultTolerantStore::Policy policy;
+    policy.retries = opts.peer_retries;
+    peer_ = std::make_unique<store::FaultTolerantStore>(*peer_raw_, policy);
+    cache_.attach_tier(peer_.get());
+  }
+  if (opts.prefetch > 0 && cache_.file_tier() != nullptr) {
+    // Warm-up: promote the historically hottest shapes (persisted use
+    // counters, then store-file order) into the memory tier before the
+    // first request lands. Local tiers only — booting must not depend on
+    // a peer.
+    for (const store::HotShape& hot : cache_.file_tier()->scan(opts.prefetch)) {
+      store::GetResult got = cache_.file_tier()->get(hot.key);
+      if (got.status != store::StoreStatus::Hit) continue;
+      cache_.insert(hot.key, std::move(got.plan));
+      ++prefetched_;
+    }
   }
 }
 
@@ -62,6 +87,8 @@ std::string Core::serve_batch(std::vector<Request>& batch) {
       out += "{" + id_field + "\"error\":\"" + json_escape(line.error) + "\"}\n";
     } else if (line.stats) {
       out += stats_json() + "\n";
+    } else if (line.is_cache()) {
+      out += serve_cache_op(line, id_field);
     } else {
       std::string extras = id_field;
       extras += "\"cache_tier\":\"";
@@ -79,12 +106,99 @@ std::string Core::serve_batch(std::vector<Request>& batch) {
   return out;
 }
 
+std::string Core::serve_cache_op(const Request& line,
+                                 const std::string& id_field) {
+  if (!serve_cache_) {
+    request_errors_.fetch_add(1);
+    return "{" + id_field + "\"error\":\"cache_disabled\"}\n";
+  }
+  if (line.cache_get) {
+    cache_gets_.fetch_add(1);
+    // A schema the daemon does not speak is a clean miss, not an error:
+    // mixed-version fleets degrade to local planning.
+    if (line.cache_schema != store::kSchemaVersion) {
+      return "{" + id_field + "\"hit\":false}\n";
+    }
+    const auto raw = store::base64_decode(line.cache_payload);
+    std::optional<runtime::PlanKey> key;
+    if (raw.has_value()) key = store::parse_plan_key(*raw);
+    if (!key.has_value()) {
+      request_errors_.fetch_add(1);
+      return "{" + id_field + "\"error\":\"bad_cache_key\"}\n";
+    }
+    // Resolve against the local memory and file tiers only — never this
+    // daemon's own peer, so lookups cannot cascade around a fleet.
+    std::shared_ptr<const runtime::Plan> plan = cache_.find(*key);
+    if (plan == nullptr && cache_.file_tier() != nullptr) {
+      store::GetResult got = cache_.file_tier()->get(*key);
+      if (got.status == store::StoreStatus::Hit) plan = std::move(got.plan);
+    }
+    if (plan == nullptr) return "{" + id_field + "\"hit\":false}\n";
+    cache_get_hits_.fetch_add(1);
+    std::string out = "{" + id_field + "\"hit\":true,\"schema\":" +
+                      std::to_string(store::kSchemaVersion) + ",\"record\":\"";
+    out += store::base64_encode(store::serialize_plan_record(*key, *plan));
+    out += "\"}\n";
+    return out;
+  }
+  cache_puts_.fetch_add(1);
+  if (line.cache_schema != store::kSchemaVersion) {
+    return "{" + id_field + "\"ok\":false}\n";
+  }
+  const auto raw = store::base64_decode(line.cache_payload);
+  runtime::PlanKey key;
+  runtime::Plan plan;
+  if (!raw.has_value() || !store::parse_plan_record(*raw, &key, &plan)) {
+    request_errors_.fetch_add(1);
+    return "{" + id_field + "\"error\":\"bad_cache_record\"}\n";
+  }
+  if (!store::record_algorithm_resolves(key, plan)) {
+    // Decodes fine but names an algorithm this build does not have: accept
+    // nothing we could never serve.
+    return "{" + id_field + "\"ok\":false}\n";
+  }
+  auto shared = std::make_shared<const runtime::Plan>(std::move(plan));
+  std::shared_ptr<const runtime::Plan> winner = cache_.insert(key, shared);
+  if (winner.get() == shared.get() && cache_.file_tier() != nullptr) {
+    cache_.file_tier()->put(key, winner);
+  }
+  return "{" + id_field + "\"ok\":true}\n";
+}
+
+namespace {
+
+/// One tier's entry in the stats verb's "store" ledger array.
+std::string ledger_json(const char* kind, const store::StoreLedger& l) {
+  std::string out = "{\"kind\":\"";
+  out += kind;
+  out += "\"";
+  out += ",\"gets\":" + std::to_string(l.gets);
+  out += ",\"hits\":" + std::to_string(l.hits);
+  out += ",\"misses\":" + std::to_string(l.misses);
+  out += ",\"errors\":" + std::to_string(l.errors);
+  out += ",\"timeouts\":" + std::to_string(l.timeouts);
+  out += ",\"puts\":" + std::to_string(l.puts);
+  out += ",\"put_errors\":" + std::to_string(l.put_errors);
+  out += ",\"retries\":" + std::to_string(l.retries);
+  out += ",\"breaker_trips\":" + std::to_string(l.breaker_trips);
+  out += ",\"breaker_fastfails\":" + std::to_string(l.breaker_fastfails);
+  out += ",\"hot_tracked\":" + std::to_string(l.hot_tracked);
+  if (!l.breaker_state.empty()) {
+    out += ",\"breaker_state\":\"" + l.breaker_state + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 std::string Core::stats_json() {
   std::string out = "{\"stats\":{";
   out += "\"requests\":" + std::to_string(requests_.load());
   out += ",\"request_errors\":" + std::to_string(request_errors_.load());
   out += ",\"memory_hits\":" + std::to_string(cache_.hits());
   out += ",\"disk_hits\":" + std::to_string(cache_.disk_hits());
+  out += ",\"peer_hits\":" + std::to_string(cache_.peer_hits());
   out += ",\"planned\":" + std::to_string(cache_.misses());
   out += ",\"evictions\":" + std::to_string(cache_.evictions());
   out += ",\"memory_entries\":" + std::to_string(cache_.size());
@@ -139,6 +253,25 @@ std::string Core::stats_json() {
     out += buf;
     out += ",\"file_bytes\":" + std::to_string(s.file_bytes) + "}";
   }
+
+  // The tier-chain section: peering counters and one ledger per backend.
+  out += ",\"store\":{";
+  out += std::string("\"serve_cache\":") + (serve_cache_ ? "true" : "false");
+  out += ",\"prefetched\":" + std::to_string(prefetched_);
+  out += ",\"cache_gets\":" + std::to_string(cache_gets_.load());
+  out += ",\"cache_get_hits\":" + std::to_string(cache_get_hits_.load());
+  out += ",\"cache_puts\":" + std::to_string(cache_puts_.load());
+  out += ",\"tiers\":[";
+  bool first = true;
+  if (store::PlanStore* file = cache_.file_tier()) {
+    out += ledger_json(file->kind(), file->stats());
+    first = false;
+  }
+  if (peer_) {
+    if (!first) out += ",";
+    out += ledger_json(peer_->kind(), peer_->stats());
+  }
+  out += "]}";
   out += "}}";
   return out;
 }

@@ -22,6 +22,8 @@
 #include "runtime/planner.hpp"
 #include "serving/histogram.hpp"
 #include "serving/request.hpp"
+#include "store/fault_tolerant_store.hpp"
+#include "store/peer_store.hpp"
 
 namespace wsr::serving {
 
@@ -59,13 +61,34 @@ struct PlannerKey {
   }
 };
 
-/// Shared serving state: one memory cache, one optional disk store, and one
-/// Planner per (machine, max-dimension) — the same construction wsr_plan
-/// uses per invocation, so plans (and therefore cache keys and responses)
-/// are identical between the daemon and the one-shot CLI.
+/// Shared serving state: one memory cache, one optional disk store, an
+/// optional fault-wrapped peer tier, and one Planner per (machine,
+/// max-dimension) — the same construction wsr_plan uses per invocation, so
+/// plans (and therefore cache keys and responses) are identical between the
+/// daemon and the one-shot CLI.
 class Core {
  public:
-  Core(std::size_t max_entries, const std::string& cache_dir, u32 jobs);
+  struct Options {
+    std::size_t max_entries = 0;
+    std::string cache_dir;  ///< "" = no persistent tier
+    u32 jobs = 0;
+    /// Peer daemon to consult on local misses: "unix:PATH", "/abs/path",
+    /// "host:port" or a bare port ("" = no peer tier). The peer is wrapped
+    /// in a FaultTolerantStore, so every peer failure mode degrades
+    /// silently to the local tiers and a fresh plan.
+    std::string peer;
+    u32 peer_timeout_ms = 250;  ///< per-op deadline on the peer socket
+    u32 peer_retries = 1;       ///< extra attempts per op (with backoff)
+    /// Answer cache_get / cache_put from other daemons (off = those verbs
+    /// error "cache_disabled"). Peering lookups resolve against the memory
+    /// and file tiers only — never cascaded to this daemon's own peer.
+    bool serve_cache = false;
+    std::size_t prefetch = 0;  ///< warm the top-K hottest shapes on boot
+  };
+
+  explicit Core(const Options& opts);
+  Core(std::size_t max_entries, const std::string& cache_dir, u32 jobs)
+      : Core(Options{max_entries, cache_dir, jobs, {}, 250, 1, false, 0}) {}
 
   /// Plans one batch of parsed requests and returns the response bytes in
   /// input order (one '\n'-terminated JSON object per line). The batch's
@@ -80,19 +103,33 @@ class Core {
 
   Metrics& metrics() { return metrics_; }
   const runtime::PersistentPlanCache* disk() const { return disk_.get(); }
+  /// The peer tier's breaker state, for tests and the stats verb (nullptr
+  /// when no peer is configured).
+  const store::FaultTolerantStore* peer_tier() const { return peer_.get(); }
+  std::size_t prefetched() const { return prefetched_; }
 
  private:
   const runtime::Planner& planner_for(const MachineParams& mp, u32 max_dim);
+  /// Answers one cache_get / cache_put line (including the serve_cache
+  /// gate); returns the full response line with trailing newline.
+  std::string serve_cache_op(const Request& line, const std::string& id_field);
 
   runtime::PlanCache cache_;
   std::unique_ptr<runtime::PersistentPlanCache> disk_;
+  std::unique_ptr<store::PeerStore> peer_raw_;
+  std::unique_ptr<store::FaultTolerantStore> peer_;
   u32 jobs_ = 0;
+  bool serve_cache_ = false;
+  std::size_t prefetched_ = 0;  ///< shapes warmed at boot (immutable after)
 
   std::mutex planners_mu_;
   std::map<PlannerKey, std::unique_ptr<runtime::Planner>> planners_;
 
   std::atomic<u64> requests_{0};
   std::atomic<u64> request_errors_{0};
+  std::atomic<u64> cache_gets_{0};      ///< cache_get lines served
+  std::atomic<u64> cache_get_hits_{0};  ///< ... answered with a record
+  std::atomic<u64> cache_puts_{0};      ///< cache_put lines served
   Metrics metrics_;
 };
 

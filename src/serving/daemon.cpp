@@ -219,10 +219,10 @@ void Daemon::enqueue_line(Connection& c, std::string text) {
   if (!text.empty() && text.back() == '\r') text.pop_back();
   if (text.find_first_not_of(" \t") == std::string::npos) return;
   Request line = parse_request(text);
-  // Load shedding: past the in-flight high-water mark, plan lines are
-  // answered in-band without planning. Stats and error lines still flow —
-  // an operator querying an overloaded daemon is the point of stats.
-  if (line.is_plan() &&
+  // Load shedding: past the in-flight high-water mark, plan and peering
+  // lines are answered in-band without work. Stats and error lines still
+  // flow — an operator querying an overloaded daemon is the point of stats.
+  if ((line.is_plan() || line.is_cache()) &&
       core_.metrics().inflight.load() + pending_requests_ >=
           limits_.max_inflight) {
     core_.metrics().shed_requests.fetch_add(1);

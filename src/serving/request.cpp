@@ -78,9 +78,30 @@ Request parse_request(const std::string& text) {
     line.stats = true;
     return line;
   }
+  if (verb == "cache_get" || verb == "cache_put") {
+    // Peering verbs (docs/serving.md): the payload stays opaque base64 here;
+    // Core decodes and answers (or rejects the verb when --serve-cache is
+    // off). "schema" other than the daemon's own is answered as a miss, so
+    // mixed-version fleets degrade instead of erroring.
+    const char* field = verb == "cache_get" ? "key" : "record";
+    const json::Value* payload = v.get(field);
+    if (payload == nullptr || !payload->is_string()) {
+      line.error = std::string("\"") + field + "\" must be a base64 string";
+      return line;
+    }
+    line.cache_payload = payload->string;
+    if (const auto schema = v.get_uint("schema")) line.cache_schema = *schema;
+    if (verb == "cache_get") {
+      line.cache_get = true;
+    } else {
+      line.cache_put = true;
+    }
+    return line;
+  }
   if (verb != "plan") {
     line.error = "unknown verb \"" + json_escape(verb) +
-                 "\" (expected \"plan\" or \"stats\")";
+                 "\" (expected \"plan\", \"stats\", \"cache_get\" or "
+                 "\"cache_put\")";
     return line;
   }
 

@@ -13,18 +13,24 @@
 
 namespace wsr::serving {
 
-/// One parsed input line: exactly one of `error`, `stats`, or a plan job.
-/// `t_enqueue_us` stamps when the line was parsed; Core::serve_batch records
-/// the service latency (parse -> response bytes ready) against it.
+/// One parsed input line: exactly one of `error`, `stats`, a cache-peering
+/// op, or a plan job. `t_enqueue_us` stamps when the line was parsed;
+/// Core::serve_batch records the service latency (parse -> response bytes
+/// ready) against it.
 struct Request {
   std::string id_json;  ///< echoed "id" value, already serialized ("" = none)
   std::string error;    ///< non-empty = answer {"error":...} for this slot
   bool stats = false;
+  bool cache_get = false;  ///< peering lookup; payload = base64 PlanKey
+  bool cache_put = false;  ///< peering insert; payload = base64 record
+  std::string cache_payload;  ///< raw base64 field (decoded by Core)
+  u64 cache_schema = 0;       ///< "schema" field; 0 = not given
   runtime::PlanRequest req;
   MachineParams mp;
   i64 t_enqueue_us = 0;
 
-  bool is_plan() const { return error.empty() && !stats; }
+  bool is_cache() const { return cache_get || cache_put; }
+  bool is_plan() const { return error.empty() && !stats && !is_cache(); }
 };
 
 /// JSON string-body escaping for error messages and echoed fields.

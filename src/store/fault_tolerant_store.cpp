@@ -1,0 +1,166 @@
+#include "store/fault_tolerant_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace wsr::store {
+
+const char* name(FaultTolerantStore::Breaker b) {
+  switch (b) {
+    case FaultTolerantStore::Breaker::Closed: return "closed";
+    case FaultTolerantStore::Breaker::Open: return "open";
+    case FaultTolerantStore::Breaker::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+namespace {
+
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultTolerantStore::FaultTolerantStore(PlanStore& inner, Policy policy)
+    : inner_(inner), policy_(std::move(policy)),
+      jitter_state_(policy_.jitter_seed) {
+  if (!policy_.clock_ms) {
+    policy_.clock_ms = [] {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+  if (!policy_.sleep_ms) {
+    policy_.sleep_ms = [](i64 ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+}
+
+bool FaultTolerantStore::admit(bool* is_probe) {
+  *is_probe = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == Breaker::Open) {
+    if (policy_.clock_ms() < reopen_at_ms_) {
+      fastfails_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    state_ = Breaker::HalfOpen;
+    probe_inflight_ = false;
+  }
+  if (state_ == Breaker::HalfOpen) {
+    if (probe_inflight_) {
+      // One probe at a time: concurrent ops keep fastfailing until the
+      // probe's verdict is in.
+      fastfails_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    probe_inflight_ = true;
+    *is_probe = true;
+  }
+  return true;
+}
+
+void FaultTolerantStore::open_breaker_locked(i64 now) {
+  state_ = Breaker::Open;
+  reopen_at_ms_ = now + policy_.breaker_cooldown_ms;
+  consecutive_failures_ = 0;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultTolerantStore::on_result(bool success, bool is_probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (is_probe) probe_inflight_ = false;
+  if (success) {
+    consecutive_failures_ = 0;
+    state_ = Breaker::Closed;
+    return;
+  }
+  if (is_probe || state_ == Breaker::HalfOpen) {
+    // The probe failed: straight back to Open for another cooldown.
+    open_breaker_locked(policy_.clock_ms());
+    return;
+  }
+  if (state_ == Breaker::Closed &&
+      ++consecutive_failures_ >= policy_.breaker_threshold) {
+    open_breaker_locked(policy_.clock_ms());
+  }
+}
+
+i64 FaultTolerantStore::backoff_with_jitter_ms(u32 attempt) {
+  const u64 shift = std::min<u32>(attempt, 16);
+  const u64 base =
+      std::min<u64>(u64{policy_.backoff_base_ms} << shift,
+                    policy_.backoff_max_ms);
+  u64 jitter = 0;
+  if (base > 1) {
+    // Deterministic jitter over [0, base/2): a per-wrapper sequence seeded
+    // by policy (reproducible runs, yet no retry storms in lockstep across
+    // a fleet of daemons with different seeds).
+    std::lock_guard<std::mutex> lock(mu_);
+    jitter_state_ = splitmix64(jitter_state_);
+    jitter = jitter_state_ % (base / 2);
+  }
+  return static_cast<i64>(base + jitter);
+}
+
+GetResult FaultTolerantStore::get(const PlanKey& key) {
+  bool is_probe = false;
+  if (!admit(&is_probe)) return {StoreStatus::Miss, nullptr};
+  GetResult r;
+  const u32 attempts = is_probe ? 1 : policy_.retries + 1;
+  for (u32 a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      policy_.sleep_ms(backoff_with_jitter_ms(a - 1));
+    }
+    r = inner_.get(key);
+    if (r.status == StoreStatus::Hit || r.status == StoreStatus::Miss) {
+      on_result(true, is_probe);
+      return r;
+    }
+  }
+  on_result(false, is_probe);
+  return {r.status, nullptr};
+}
+
+bool FaultTolerantStore::put(const PlanKey& key,
+                             std::shared_ptr<const Plan> plan) {
+  bool is_probe = false;
+  if (!admit(&is_probe)) return false;
+  const u32 attempts = is_probe ? 1 : policy_.retries + 1;
+  for (u32 a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      policy_.sleep_ms(backoff_with_jitter_ms(a - 1));
+    }
+    if (inner_.put(key, plan)) {
+      on_result(true, is_probe);
+      return true;
+    }
+  }
+  on_result(false, is_probe);
+  return false;
+}
+
+StoreLedger FaultTolerantStore::stats() const {
+  StoreLedger ledger = inner_.stats();
+  ledger.retries = retries_.load(std::memory_order_relaxed);
+  ledger.breaker_trips = trips_.load(std::memory_order_relaxed);
+  ledger.breaker_fastfails = fastfails_.load(std::memory_order_relaxed);
+  ledger.breaker_state = name(breaker_state());
+  return ledger;
+}
+
+FaultTolerantStore::Breaker FaultTolerantStore::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace wsr::store

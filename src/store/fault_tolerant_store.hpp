@@ -1,0 +1,106 @@
+// FaultTolerantStore: the explicit failure policy around an unreliable
+// PlanStore backend (in production wiring, always around PeerStore).
+//
+// Policy, in the order it is applied to every op (docs/serving.md has the
+// operator-facing table):
+//
+//   circuit breaker   consecutive-failure counter; `breaker_threshold`
+//                     failed ops open the breaker, which then answers every
+//                     op as an instant clean miss (counted as a fastfail)
+//                     for `breaker_cooldown_ms`. After the cooldown one
+//                     probe op goes through (half-open); success closes the
+//                     breaker, failure re-opens it for another cooldown.
+//   bounded retries   a failed op (Error/Timeout from the backend) is
+//                     retried up to `retries` more times with exponential
+//                     backoff from `backoff_base_ms` capped at
+//                     `backoff_max_ms`, plus deterministic jitter (seeded;
+//                     no global RNG). Probes never retry — a half-open
+//                     breaker risks exactly one op.
+//   strict fall-through  the caller still sees a StoreStatus, never an
+//                     exception: Hit, Miss, or the last failure class. The
+//                     tier chain treats everything that is not a Hit as a
+//                     miss, so every failure mode of the wrapped backend
+//                     degrades to the next tier and ultimately a fresh
+//                     plan — silently, surfaced only in the stats ledger.
+//
+// A Miss from the backend is a *success* for breaker purposes: the peer
+// answered, it just does not have the key. Only Error/Timeout count toward
+// opening the breaker.
+//
+// The clock and sleep are injectable so tests drive every breaker
+// transition without wall-time (tests/test_plan_store.cpp pins
+// closed -> open -> half-open -> closed and half-open -> open).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "store/plan_store.hpp"
+
+namespace wsr::store {
+
+class FaultTolerantStore : public PlanStore {
+ public:
+  struct Policy {
+    u32 retries = 1;               ///< extra attempts per failed op
+    u32 backoff_base_ms = 10;      ///< first retry delay
+    u32 backoff_max_ms = 200;      ///< exponential cap
+    u32 breaker_threshold = 4;     ///< consecutive op failures to open
+    u32 breaker_cooldown_ms = 1000;
+    u64 jitter_seed = 0x9e3779b97f4a7c15ull;
+    /// Test hooks; default to steady_clock milliseconds / thread sleep.
+    std::function<i64()> clock_ms;
+    std::function<void(i64)> sleep_ms;
+  };
+
+  enum class Breaker : u8 { Closed, Open, HalfOpen };
+
+  /// `inner` is not owned and must outlive this wrapper.
+  FaultTolerantStore(PlanStore& inner, Policy policy);
+
+  /// Transparent to ledgers and provenance: a hit through the wrapper is a
+  /// hit of the wrapped driver.
+  const char* kind() const override { return inner_.kind(); }
+  runtime::PlanSource source_tag() const override {
+    return inner_.source_tag();
+  }
+  GetResult get(const PlanKey& key) override;
+  bool put(const PlanKey& key, std::shared_ptr<const Plan> plan) override;
+  void note_use(const PlanKey& key) override { inner_.note_use(key); }
+  std::vector<HotShape> scan(std::size_t max) override {
+    return inner_.scan(max);
+  }
+  /// The inner driver's ledger with the policy-layer fields (retries,
+  /// breaker_*) filled in. Fastfailed ops never reach the inner driver, so
+  /// they are NOT in gets/puts — breaker_fastfails counts them.
+  StoreLedger stats() const override;
+
+  Breaker breaker_state() const;
+
+ private:
+  /// Admission control. False = fastfail (answer a clean miss). When
+  /// admitted, *is_probe says whether this op is the half-open probe.
+  bool admit(bool* is_probe);
+  void on_result(bool success, bool is_probe);
+  void open_breaker_locked(i64 now);
+  i64 backoff_with_jitter_ms(u32 attempt);
+
+  PlanStore& inner_;
+  Policy policy_;
+
+  mutable std::mutex mu_;
+  Breaker state_ = Breaker::Closed;
+  u32 consecutive_failures_ = 0;
+  i64 reopen_at_ms_ = 0;        ///< Open: when to go half-open
+  bool probe_inflight_ = false;  ///< HalfOpen: the one probe is out
+  u64 jitter_state_;
+
+  std::atomic<u64> retries_{0};
+  std::atomic<u64> trips_{0};
+  std::atomic<u64> fastfails_{0};
+};
+
+const char* name(FaultTolerantStore::Breaker b);
+
+}  // namespace wsr::store

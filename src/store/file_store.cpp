@@ -1,0 +1,94 @@
+#include "store/file_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "store/record.hpp"
+
+namespace wsr::store {
+
+namespace {
+constexpr char kHotFile[] = "hot.wsrh";
+}  // namespace
+
+FileStore::FileStore(runtime::PersistentPlanCache& backing)
+    : backing_(backing), hot_path_(backing.dir() + "/" + kHotFile) {
+  load_hot();
+  // Shapes in the store but not (yet) in the sidecar rank after every
+  // counted shape, in file order.
+  for (const PlanKey& key : backing_.loaded_keys()) hot_.seed(key);
+}
+
+FileStore::~FileStore() { flush_hot(); }
+
+GetResult FileStore::get(const PlanKey& key) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  if (std::shared_ptr<const Plan> plan = backing_.find(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return {StoreStatus::Hit, std::move(plan)};
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return {StoreStatus::Miss, nullptr};
+}
+
+bool FileStore::put(const PlanKey& key, std::shared_ptr<const Plan> plan) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  if (backing_.append(key, std::move(plan))) return true;
+  put_errors_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+StoreLedger FileStore::stats() const {
+  StoreLedger ledger;
+  ledger.gets = gets_.load(std::memory_order_relaxed);
+  ledger.hits = hits_.load(std::memory_order_relaxed);
+  ledger.misses = misses_.load(std::memory_order_relaxed);
+  ledger.puts = puts_.load(std::memory_order_relaxed);
+  ledger.put_errors = put_errors_.load(std::memory_order_relaxed);
+  ledger.hot_tracked = hot_.tracked();
+  return ledger;
+}
+
+void FileStore::load_hot() {
+  std::ifstream in(hot_path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    u64 uses = 0;
+    std::string key_b64;
+    if (!(fields >> uses >> key_b64)) continue;  // garbled line: advisory data
+    const std::optional<std::string> key_bytes = base64_decode(key_b64);
+    if (!key_bytes) continue;
+    const std::optional<PlanKey> key = parse_plan_key(*key_bytes);
+    if (!key) continue;
+    hot_.seed(*key, uses);
+  }
+}
+
+bool FileStore::flush_hot() {
+  const std::string& path = hot_path_;
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    for (const HotShape& shape : hot_.top(0)) {
+      out << shape.uses << ' ' << base64_encode(serialize_plan_key(shape.key))
+          << '\n';
+    }
+    if (!out.flush()) {
+      ::unlink(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wsr::store

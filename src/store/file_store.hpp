@@ -1,0 +1,65 @@
+// FileStore: the PlanStore driver over the flock'd on-disk store.
+//
+// A thin adapter — PersistentPlanCache keeps its own API (wsr_plan and the
+// tests use it directly) and owns every durability concern; FileStore maps
+// it onto the tier-chain interface and adds the one thing the chain needs
+// that the file format does not carry: hot-shape tracking. Use counters
+// persist across restarts in a human-greppable sidecar next to the store:
+//
+//   <dir>/hot.wsrh       one line per shape: "<uses> <base64(key)>\n"
+//
+// The sidecar is advisory (it only orders warm-up prefetch), so its
+// failure modes are all benign: a missing/garbled file or undecodable line
+// is skipped, and it is rewritten whole via temp file + rename on flush.
+#pragma once
+
+#include <atomic>
+
+#include "runtime/persistent_plan_cache.hpp"
+#include "store/plan_store.hpp"
+
+namespace wsr::store {
+
+class FileStore : public PlanStore {
+ public:
+  /// `backing` is not owned and must outlive this driver. Seeds the hot
+  /// ranking from the sidecar, then from the store's load order (so a
+  /// fresh boot with no counters still prefetches in a deterministic
+  /// order: file order, the order plans were first planned).
+  explicit FileStore(runtime::PersistentPlanCache& backing);
+  ~FileStore() override;
+
+  const char* kind() const override { return "file"; }
+  runtime::PlanSource source_tag() const override {
+    return runtime::PlanSource::DiskHit;
+  }
+
+  /// Local index lookup: Hit or Miss, never Error/Timeout (the index is in
+  /// memory; disk damage already degraded to misses at load).
+  GetResult get(const PlanKey& key) override;
+
+  bool put(const PlanKey& key, std::shared_ptr<const Plan> plan) override;
+  void note_use(const PlanKey& key) override { hot_.note(key); }
+  std::vector<HotShape> scan(std::size_t max) override { return hot_.top(max); }
+  StoreLedger stats() const override;
+
+  /// Rewrites the hot sidecar now (also done on destruction). Best-effort:
+  /// returns false on I/O failure, which costs only warm-up ordering.
+  bool flush_hot();
+
+  runtime::PersistentPlanCache& backing() { return backing_; }
+
+ private:
+  void load_hot();
+
+  runtime::PersistentPlanCache& backing_;
+  /// Snapshotted at construction: the destructor's flush must not touch
+  /// backing_ (a PlanCache-owned FileStore may be destroyed after the
+  /// PersistentPlanCache it wraps).
+  const std::string hot_path_;
+  HotTracker hot_;
+  std::atomic<u64> gets_{0}, hits_{0}, misses_{0};
+  std::atomic<u64> puts_{0}, put_errors_{0};
+};
+
+}  // namespace wsr::store

@@ -1,0 +1,93 @@
+#include "store/flaky_store.hpp"
+
+namespace wsr::store {
+
+namespace {
+
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FlakyStore::FlakyStore(PlanStore& inner, u64 seed)
+    : inner_(inner), rng_state_(seed) {}
+
+bool FlakyStore::roll(u32 rate_per_256) {
+  if (rate_per_256 == 0) return false;
+  rng_state_ = splitmix64(rng_state_);
+  return rng_state_ % 256 < rate_per_256;
+}
+
+GetResult FlakyStore::get(const PlanKey& key) {
+  StoreStatus inject = StoreStatus::Hit;  // Hit = no injection
+  bool tear = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fail_gets_ > 0) {
+      --fail_gets_;
+      inject = fail_gets_status_;
+    } else if (roll(failure_rate_)) {
+      inject = failure_rate_status_;
+    } else {
+      tear = roll(torn_rate_);
+    }
+    if (inject != StoreStatus::Hit) ++injected_;
+  }
+  if (inject != StoreStatus::Hit) return {inject, nullptr};
+  GetResult r = inner_.get(key);
+  if (tear && r.status == StoreStatus::Hit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++injected_;
+    return {StoreStatus::Error, nullptr};
+  }
+  return r;
+}
+
+bool FlakyStore::put(const PlanKey& key, std::shared_ptr<const Plan> plan) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fail_puts_ > 0) {
+      --fail_puts_;
+      ++injected_;
+      return false;
+    }
+    if (roll(failure_rate_)) {
+      ++injected_;
+      return false;
+    }
+  }
+  return inner_.put(key, std::move(plan));
+}
+
+void FlakyStore::fail_next_gets(u32 n, StoreStatus status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_gets_ = n;
+  fail_gets_status_ = status;
+}
+
+void FlakyStore::fail_next_puts(u32 n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_puts_ = n;
+}
+
+void FlakyStore::set_failure_rate(u32 rate_per_256, StoreStatus status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failure_rate_ = rate_per_256;
+  failure_rate_status_ = status;
+}
+
+void FlakyStore::set_torn_rate(u32 rate_per_256) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_rate_ = rate_per_256;
+}
+
+u64 FlakyStore::injected_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+}  // namespace wsr::store

@@ -1,0 +1,71 @@
+// FlakyStore: deterministic fault injection around any PlanStore, for
+// tests. Three fault shapes, mirroring what a real peer does under chaos:
+//
+//   fail-N        the next N ops report a chosen failure class before
+//                 touching the backend (connect refused / deadline blown)
+//   seeded rate   every op fails with probability rate/256, decided by a
+//                 seeded splitmix64 stream — reproducible for a given seed,
+//                 independent of thread timing or wall clock
+//   torn payload  the backend is consulted, but a would-be Hit comes back
+//                 as Error — modeling a reply whose record failed the
+//                 checksum/decode (the plan exists, the bytes were torn)
+//
+// tests/test_plan_store.cpp drives FaultTolerantStore through every breaker
+// transition with fail_next_* and validates strict fall-through under the
+// seeded rate.
+#pragma once
+
+#include <mutex>
+
+#include "store/plan_store.hpp"
+
+namespace wsr::store {
+
+class FlakyStore : public PlanStore {
+ public:
+  /// `inner` is not owned and must outlive this wrapper.
+  explicit FlakyStore(PlanStore& inner, u64 seed = 0);
+
+  const char* kind() const override { return "flaky"; }
+  runtime::PlanSource source_tag() const override {
+    return inner_.source_tag();
+  }
+  GetResult get(const PlanKey& key) override;
+  bool put(const PlanKey& key, std::shared_ptr<const Plan> plan) override;
+  void note_use(const PlanKey& key) override { inner_.note_use(key); }
+  std::vector<HotShape> scan(std::size_t max) override {
+    return inner_.scan(max);
+  }
+  StoreLedger stats() const override { return inner_.stats(); }
+
+  /// The next `n` gets fail with `status` (Error or Timeout) without
+  /// reaching the backend.
+  void fail_next_gets(u32 n, StoreStatus status = StoreStatus::Error);
+  /// The next `n` puts fail without reaching the backend.
+  void fail_next_puts(u32 n);
+  /// Every op additionally fails with probability `rate`/256 (0 = off),
+  /// drawn from the seeded stream.
+  void set_failure_rate(u32 rate_per_256, StoreStatus status);
+  /// Every would-be get Hit decays to Error with probability `rate`/256
+  /// (torn payload); fail_next_gets(n) + set_torn_rate(256) tears
+  /// deterministically.
+  void set_torn_rate(u32 rate_per_256);
+
+  u64 injected_failures() const;
+
+ private:
+  bool roll(u32 rate_per_256);  ///< caller holds mu_
+
+  PlanStore& inner_;
+  mutable std::mutex mu_;
+  u64 rng_state_;
+  u32 fail_gets_ = 0;
+  StoreStatus fail_gets_status_ = StoreStatus::Error;
+  u32 fail_puts_ = 0;
+  u32 failure_rate_ = 0;
+  StoreStatus failure_rate_status_ = StoreStatus::Error;
+  u32 torn_rate_ = 0;
+  u64 injected_ = 0;
+};
+
+}  // namespace wsr::store

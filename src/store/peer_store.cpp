@@ -1,0 +1,293 @@
+#include "store/peer_store.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "common/minijson.hpp"
+#include "store/record.hpp"
+
+namespace wsr::store {
+
+namespace {
+
+i64 now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// poll(2) for `events` until `deadline_ms`; false on timeout or error.
+bool wait_fd(int fd, short events, i64 deadline_ms) {
+  while (true) {
+    const i64 remaining = deadline_ms - now_ms();
+    if (remaining <= 0) return false;
+    pollfd p{fd, events, 0};
+    const int n = ::poll(&p, 1, static_cast<int>(remaining));
+    if (n > 0) return (p.revents & (events | POLLHUP | POLLERR)) != 0;
+    if (n == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+PeerStore::PeerStore(Options opt) : opt_(std::move(opt)) {}
+
+PeerStore::~PeerStore() { drop_connection(); }
+
+void PeerStore::drop_connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool PeerStore::ensure_connected(i64 deadline_ms) {
+  if (fd_ >= 0) return true;
+  int fd = -1;
+  std::string_view target = opt_.target;
+  if (target.rfind("unix:", 0) == 0) target.remove_prefix(5);
+  if (!target.empty() && target.front() == '/') {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, std::string(target).c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+  } else {
+    const std::size_t colon = target.rfind(':');
+    const std::string host =
+        colon == std::string_view::npos ? "127.0.0.1"
+                                        : std::string(target.substr(0, colon));
+    const std::string port_s =
+        colon == std::string_view::npos
+            ? std::string(target)
+            : std::string(target.substr(colon + 1));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<u16>(std::strtoul(port_s.c_str(), nullptr, 10)));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0) return false;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  // Non-blocking connect: writable within the deadline, then SO_ERROR must
+  // be clean (POLLOUT alone also fires on a refused connect).
+  if (!wait_fd(fd, POLLOUT, deadline_ms)) {
+    ::close(fd);
+    return false;
+  }
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+StoreStatus PeerStore::roundtrip(const std::string& line, std::string* reply) {
+  const i64 deadline_ms = now_ms() + opt_.timeout_ms;
+  if (!ensure_connected(deadline_ms)) {
+    return now_ms() >= deadline_ms ? StoreStatus::Timeout : StoreStatus::Error;
+  }
+  // A leftover byte from the previous exchange means the peer broke the
+  // one-line-per-request framing; nothing on this connection can be
+  // trusted to pair with our requests anymore.
+  if (!rbuf_.empty()) {
+    drop_connection();
+    if (!ensure_connected(deadline_ms)) {
+      return now_ms() >= deadline_ms ? StoreStatus::Timeout
+                                     : StoreStatus::Error;
+    }
+  }
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd_, POLLOUT, deadline_ms)) {
+        drop_connection();
+        return StoreStatus::Timeout;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    drop_connection();
+    return StoreStatus::Error;
+  }
+  while (true) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      if (nl > opt_.max_reply_bytes) {
+        // Even a terminated reply over the bound is refused: the limit is
+        // on what we are willing to parse, not just what we buffer.
+        drop_connection();
+        return StoreStatus::Error;
+      }
+      *reply = rbuf_.substr(0, nl);
+      rbuf_.erase(0, nl + 1);
+      return StoreStatus::Hit;
+    }
+    if (rbuf_.size() > opt_.max_reply_bytes) {
+      // An unbounded "line" is a hostile or broken peer: stop buffering.
+      drop_connection();
+      return StoreStatus::Error;
+    }
+    if (!wait_fd(fd_, POLLIN, deadline_ms)) {
+      drop_connection();
+      return StoreStatus::Timeout;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      rbuf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    drop_connection();  // EOF mid-reply or a hard socket error
+    return StoreStatus::Error;
+  }
+}
+
+void PeerStore::count_failure(StoreStatus s) {
+  if (s == StoreStatus::Timeout) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string PeerStore::get_request_line(const PlanKey& key) {
+  return "{\"verb\":\"cache_get\",\"schema\":" +
+         std::to_string(kSchemaVersion) + ",\"key\":\"" +
+         base64_encode(serialize_plan_key(key)) + "\"}\n";
+}
+
+std::string PeerStore::put_request_line(const PlanKey& key, const Plan& plan) {
+  return "{\"verb\":\"cache_put\",\"schema\":" +
+         std::to_string(kSchemaVersion) + ",\"record\":\"" +
+         base64_encode(serialize_plan_record(key, plan)) + "\"}\n";
+}
+
+GetResult PeerStore::get(const PlanKey& key) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  std::string reply;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const StoreStatus transport = roundtrip(get_request_line(key), &reply);
+    if (transport != StoreStatus::Hit) {
+      count_failure(transport);
+      return {transport, nullptr};
+    }
+  }
+  const auto parsed = json::parse(reply);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    count_failure(StoreStatus::Error);
+    return {StoreStatus::Error, nullptr};
+  }
+  const json::Value* hit = parsed->get("hit");
+  if (hit == nullptr || hit->type != json::Value::Type::Bool) {
+    // Includes in-band {"error":...} replies — an overloaded or
+    // cache-disabled peer is a backend failure, not a miss.
+    count_failure(StoreStatus::Error);
+    return {StoreStatus::Error, nullptr};
+  }
+  if (!hit->boolean) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {StoreStatus::Miss, nullptr};
+  }
+  const std::optional<std::string> record_bytes =
+      base64_decode(parsed->get_string("record"));
+  if (!record_bytes) {
+    count_failure(StoreStatus::Error);
+    return {StoreStatus::Error, nullptr};
+  }
+  PlanKey got_key;
+  auto plan = std::make_shared<Plan>();
+  if (!parse_plan_record(*record_bytes, &got_key, plan.get()) ||
+      got_key != key) {
+    // Torn, bit-rotted, or mis-keyed record: a checksummed frame that does
+    // not decode to the requested key is never served.
+    count_failure(StoreStatus::Error);
+    return {StoreStatus::Error, nullptr};
+  }
+  if (!record_algorithm_resolves(got_key, *plan)) {
+    // A valid record naming an algorithm this registry lacks: a clean
+    // per-process miss, exactly like the disk tier's load rule.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {StoreStatus::Miss, nullptr};
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return {StoreStatus::Hit, std::shared_ptr<const Plan>(std::move(plan))};
+}
+
+bool PeerStore::put(const PlanKey& key, std::shared_ptr<const Plan> plan) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  std::string reply;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const StoreStatus transport =
+        roundtrip(put_request_line(key, *plan), &reply);
+    if (transport != StoreStatus::Hit) {
+      count_failure(transport);
+      put_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  const auto parsed = json::parse(reply);
+  const json::Value* ok =
+      parsed.has_value() && parsed->is_object() ? parsed->get("ok") : nullptr;
+  if (ok == nullptr || ok->type != json::Value::Type::Bool || !ok->boolean) {
+    count_failure(StoreStatus::Error);
+    put_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+StoreLedger PeerStore::stats() const {
+  StoreLedger ledger;
+  ledger.gets = gets_.load(std::memory_order_relaxed);
+  ledger.hits = hits_.load(std::memory_order_relaxed);
+  ledger.misses = misses_.load(std::memory_order_relaxed);
+  ledger.errors = errors_.load(std::memory_order_relaxed);
+  ledger.timeouts = timeouts_.load(std::memory_order_relaxed);
+  ledger.puts = puts_.load(std::memory_order_relaxed);
+  ledger.put_errors = put_errors_.load(std::memory_order_relaxed);
+  return ledger;
+}
+
+}  // namespace wsr::store

@@ -1,0 +1,89 @@
+// PeerStore: the PlanStore driver over another wsrd daemon.
+//
+// Speaks the cache peering verbs of the wsrd NDJSON protocol
+// (docs/serving.md "Cache peering"): one request line, one reply line, on a
+// persistent connection that reconnects lazily after any failure.
+//
+//   -> {"verb":"cache_get","schema":1,"key":"<base64(PlanKey)>"}
+//   <- {"hit":true,"schema":1,"record":"<base64(record)>"} | {"hit":false}
+//   -> {"verb":"cache_put","schema":1,"record":"<base64(record)>"}
+//   <- {"ok":true}
+//
+// The record field carries the exact framed, checksummed bytes a store-file
+// append would carry (store/record.hpp), so a reply is held to the same
+// standard as a disk read: decode bit-exactly, checksum, name the requested
+// key, and resolve in this process's registry — or be a clean miss.
+//
+// The peer is untrusted by construction. Every failure mode — refused
+// connect, blown deadline, EOF mid-reply, an oversized / garbage /
+// mis-keyed reply, an in-band {"error":...} — comes back as Error or
+// Timeout in the StoreStatus, never an exception and never a wrong plan.
+// This driver is deliberately policy-free: no retries, no breaker, no
+// backoff. Wrap it in FaultTolerantStore (always, in production wiring)
+// for those.
+//
+// Concurrency: one op at a time per driver (a mutex serializes the
+// connection). The wsrd tier chain consults the peer only on local misses,
+// so the serialized section is the rare path; a planned fleet would shard
+// keys over several PeerStores before it would need pipelining here.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "store/plan_store.hpp"
+
+namespace wsr::store {
+
+class PeerStore : public PlanStore {
+ public:
+  struct Options {
+    /// "unix:PATH", a bare absolute PATH, or "host:port" ("port" alone
+    /// means 127.0.0.1).
+    std::string target;
+    /// Per-op deadline covering connect + send + receive.
+    u32 timeout_ms = 250;
+    /// Reply lines over this answer as Error and drop the connection
+    /// (wafer-scale records are ~MB; 64 MiB is far past any honest reply).
+    std::size_t max_reply_bytes = 64u << 20;
+  };
+
+  explicit PeerStore(Options opt);
+  ~PeerStore() override;
+
+  const char* kind() const override { return "peer"; }
+  runtime::PlanSource source_tag() const override {
+    return runtime::PlanSource::PeerHit;
+  }
+  GetResult get(const PlanKey& key) override;
+  bool put(const PlanKey& key, std::shared_ptr<const Plan> plan) override;
+  /// The peer's index is not enumerable over the wire; prefetch warms from
+  /// the local tiers only.
+  std::vector<HotShape> scan(std::size_t) override { return {}; }
+  StoreLedger stats() const override;
+
+  /// The exact request lines (newline-terminated). Exposed so the wire
+  /// tests pin the framing bytes, not just behavior.
+  static std::string get_request_line(const PlanKey& key);
+  static std::string put_request_line(const PlanKey& key, const Plan& plan);
+
+ private:
+  /// Sends `line` and reads one reply line, all within one deadline.
+  /// Returns Hit when a complete line arrived (in *reply), else the
+  /// transport failure class. Caller holds conn_mu_.
+  StoreStatus roundtrip(const std::string& line, std::string* reply);
+  bool ensure_connected(i64 deadline_ms);
+  void drop_connection();
+  void count_failure(StoreStatus s);
+
+  Options opt_;
+  std::mutex conn_mu_;
+  int fd_ = -1;
+  std::string rbuf_;  ///< bytes past the last consumed reply line
+
+  std::atomic<u64> gets_{0}, hits_{0}, misses_{0};
+  std::atomic<u64> errors_{0}, timeouts_{0};
+  std::atomic<u64> puts_{0}, put_errors_{0};
+};
+
+}  // namespace wsr::store

@@ -12,6 +12,16 @@
 //   --max-entries=N      bound the in-memory plan cache (LRU; 0 = unbounded)
 //   --jobs=N             plan_many worker threads per batch (0 = hardware)
 //
+// cache peering options (docs/serving.md "Cache peering"):
+//   --peer=TARGET        consult another wsrd on local misses: "unix:PATH",
+//                        an absolute socket path, "host:port", or a port.
+//                        Every peer failure degrades silently to the local
+//                        tiers (deadline, retries, circuit breaker).
+//   --peer-timeout-ms=N  per-op deadline on the peer connection (250)
+//   --peer-retries=N     extra attempts per failed peer op (1)
+//   --serve-cache        answer cache_get/cache_put from other daemons
+//   --prefetch=N         warm the N historically hottest shapes at boot
+//
 // robustness options (docs/serving.md "Operations & limits"):
 //   --max-conns=N            connection cap; over it, accepts answer
 //                            {"error":"overloaded"} and close (default 1024)
@@ -67,6 +77,8 @@ int usage() {
       "       wsrd --socket=PATH        [--tcp=[HOST:]PORT] [options]\n"
       "       wsrd --tcp=[HOST:]PORT    [options]\n"
       "options: --cache-dir=DIR --max-entries=N --jobs=N\n"
+      "         --peer=TARGET --peer-timeout-ms=N --peer-retries=N\n"
+      "         --serve-cache --prefetch=N\n"
       "         --max-conns=N --max-inflight=N --max-line-bytes=N\n"
       "         --idle-timeout-ms=N --request-timeout-ms=N\n"
       "         --write-timeout-ms=N --drain-timeout-ms=N\n"
@@ -90,9 +102,8 @@ bool parse_u64_flag(const std::string& arg, const char* prefix, u64* out) {
 
 int main(int argc, char** argv) {
   bool pipe_mode = false;
-  std::string socket_path, tcp_spec, cache_dir;
-  std::size_t max_entries = 0;
-  u32 jobs = 0;
+  std::string socket_path, tcp_spec;
+  serving::Core::Options opts;
   serving::Limits limits;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -104,11 +115,21 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--tcp=", 0) == 0) {
       tcp_spec = a.substr(6);
     } else if (a.rfind("--cache-dir=", 0) == 0) {
-      cache_dir = a.substr(12);
+      opts.cache_dir = a.substr(12);
+    } else if (a.rfind("--peer=", 0) == 0) {
+      opts.peer = a.substr(7);
+    } else if (a == "--serve-cache") {
+      opts.serve_cache = true;
+    } else if (parse_u64_flag(a, "--peer-timeout-ms=", &v)) {
+      opts.peer_timeout_ms = static_cast<u32>(v > 0 ? v : 1);
+    } else if (parse_u64_flag(a, "--peer-retries=", &v)) {
+      opts.peer_retries = static_cast<u32>(v);
+    } else if (parse_u64_flag(a, "--prefetch=", &v)) {
+      opts.prefetch = v;
     } else if (parse_u64_flag(a, "--max-entries=", &v)) {
-      max_entries = v;
+      opts.max_entries = v;
     } else if (parse_u64_flag(a, "--jobs=", &v)) {
-      jobs = static_cast<u32>(v);
+      opts.jobs = static_cast<u32>(v);
     } else if (parse_u64_flag(a, "--max-conns=", &v)) {
       limits.max_conns = v > 0 ? v : 1;
     } else if (parse_u64_flag(a, "--max-inflight=", &v)) {
@@ -136,7 +157,7 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGPIPE, SIG_IGN);  // a dropped connection is not fatal
 
-  serving::Core core(max_entries, cache_dir, jobs);
+  serving::Core core(opts);
   if (core.disk() != nullptr) {
     const auto s = core.disk()->stats();
     std::fprintf(stderr,
@@ -146,6 +167,15 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.loaded),
                  static_cast<unsigned long long>(s.load_errors),
                  s.load_seconds);
+  }
+  if (opts.prefetch > 0) {
+    std::fprintf(stderr, "wsrd: prefetched %zu hot shapes\n",
+                 core.prefetched());
+  }
+  if (!opts.peer.empty()) {
+    std::fprintf(stderr, "wsrd: peer cache tier at %s (timeout %u ms, "
+                 "%u retries)\n",
+                 opts.peer.c_str(), opts.peer_timeout_ms, opts.peer_retries);
   }
 
   if (pipe_mode) {

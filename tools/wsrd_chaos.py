@@ -18,6 +18,11 @@ the CI serving-chaos job (which repeats it under ASan+UBSan):
    shed connections, too_large rejections, and the latency histogram.
 5. SIGTERM must drain gracefully: exit code 0 within the drain budget and
    the socket file unlinked.
+6. Cache peering must degrade, never propagate: daemon A peers with daemon
+   B, B is killed -9 mid-load, and A must keep answering every request
+   violation-free (fresh plans instead of peer hits), trip its circuit
+   breaker, then recover peer hits after B is revived and the cooldown
+   elapses.
 
 Stdlib only (no pip installs); exits non-zero with a diagnostic on the
 first violation.
@@ -127,6 +132,144 @@ def query_stats(sock_path):
     return json.loads(data.split(b"\n")[0])["stats"]
 
 
+def start_cache_daemon(wsrd, sock_path, *extra):
+    """A daemon serving only the Unix socket, with caller-chosen cache/peer
+    flags. Returns the Popen handle once 'serving on unix' is announced."""
+    proc = subprocess.Popen(
+        [wsrd, f"--socket={sock_path}", "--serve-cache", *extra],
+        stderr=subprocess.PIPE, text=True)
+    stderr_lines = []
+    ready = threading.Event()
+
+    def drain_stderr():
+        for line in proc.stderr:
+            stderr_lines.append(line.rstrip("\n"))
+            if "serving on unix" in line:
+                ready.set()
+        ready.set()  # EOF: unblock the waiter either way
+
+    threading.Thread(target=drain_stderr, daemon=True).start()
+    if not ready.wait(timeout=60) or proc.poll() is not None:
+        proc.kill()
+        fail("cache daemon did not start", *stderr_lines)
+    return proc
+
+
+def request_lines(sock_path, lines):
+    """Send NDJSON request lines on one connection; return parsed replies."""
+    conn = socket.socket(socket.AF_UNIX)
+    conn.settimeout(120)
+    conn.connect(sock_path)
+    conn.sendall("".join(l + "\n" for l in lines).encode())
+    data = b""
+    while data.count(b"\n") < len(lines):
+        chunk = conn.recv(1 << 20)
+        if not chunk:
+            fail("daemon closed mid-batch", data[:500])
+        data += chunk
+    conn.close()
+    return [json.loads(l) for l in data.decode().split("\n")[:len(lines)]]
+
+
+def plan_req(nbytes):
+    return f'{{"collective":"reduce","grid":"8","bytes":{nbytes}}}'
+
+
+def peer_tier_chaos(wsrd, wsrd_load, tmp):
+    """Phase 6: kill -9 the peer mid-load; A degrades, trips, recovers."""
+    sock_a = os.path.join(tmp, "peer_a.sock")
+    sock_b = os.path.join(tmp, "peer_b.sock")
+    dir_a = os.path.join(tmp, "store_a")
+    dir_b = os.path.join(tmp, "store_b")
+    os.makedirs(dir_a)
+    os.makedirs(dir_b)
+    b_args = (f"--cache-dir={dir_b}",)
+    a_args = (f"--cache-dir={dir_a}", f"--peer=unix:{sock_b}",
+              "--peer-timeout-ms=250", "--peer-retries=1")
+
+    proc_b = start_cache_daemon(wsrd, sock_b, *b_args)
+    proc_a = None
+    try:
+        # Warm B with shapes A has never planned.
+        for reply in request_lines(sock_b, [plan_req(4 * k)
+                                            for k in range(1, 9)]):
+            if "error" in reply:
+                fail("warming peer B failed", reply)
+
+        proc_a = start_cache_daemon(wsrd, sock_a, *a_args)
+        [reply] = request_lines(sock_a, [plan_req(4)])
+        if reply.get("cache_tier") != "peer":
+            fail("daemon A did not answer from the peer tier", reply)
+
+        # Steady load on A while B dies by SIGKILL mid-run: every response
+        # must still arrive, in order, with no client-visible error.
+        steady_json = os.path.join(tmp, "steady_peer.json")
+        steady = subprocess.Popen(
+            [wsrd_load, f"--socket={sock_a}", "--mode=steady", "--conns=8",
+             "--requests=4000", "--pipeline=8", "--duration-ms=480000",
+             f"--json={steady_json}"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        time.sleep(0.3)
+        proc_b.send_signal(signal.SIGKILL)  # no drain, no goodbye
+        proc_b.wait()
+        out, err = steady.communicate(timeout=600)
+        if steady.returncode != 0:
+            fail(f"steady load over a dying peer exited {steady.returncode}",
+                 out, err)
+        with open(steady_json) as f:
+            report = json.load(f)
+        if report["requests_ok"] != 4000 or report["violations"]:
+            fail("steady load over a dying peer lost responses", report)
+
+        # Fresh shapes now strike the dead peer on every miss; each request
+        # must still answer (planned, not peer) and the breaker must trip.
+        for reply in request_lines(sock_a, [plan_req(4096 + 4 * k)
+                                            for k in range(6)]):
+            if "error" in reply:
+                fail("request on A errored during the peer outage", reply)
+            if reply.get("cache_tier") == "peer":
+                fail("peer hit reported while the peer was dead", reply)
+        tiers = {t["kind"]: t for t in query_stats(sock_a)["store"]["tiers"]}
+        peer = tiers.get("peer")
+        if peer is None:
+            fail("stats carry no peer-tier ledger", tiers)
+        if peer["errors"] + peer["timeouts"] < 1:
+            fail("peer failures left no trace in the ledger", peer)
+        if peer["breaker_trips"] < 1:
+            fail("circuit breaker never tripped during the outage", peer)
+
+        # Revive B at the same path with the same store; warm it with a
+        # shape A has never seen. After the cooldown the half-open probe
+        # must reach it and close the breaker.
+        proc_b = start_cache_daemon(wsrd, sock_b, *b_args)
+        request_lines(sock_b, [plan_req(8192 + 4 * k) for k in range(8)])
+        time.sleep(1.5)  # > the 1000 ms breaker cooldown
+        recovered = None
+        for k in range(8):  # distinct shapes: each lands in A's memory once
+            [reply] = request_lines(sock_a, [plan_req(8192 + 4 * k)])
+            if "error" in reply:
+                fail("request on A errored after the peer revived", reply)
+            if reply.get("cache_tier") == "peer":
+                recovered = reply
+                break
+            time.sleep(0.5)
+        if recovered is None:
+            fail("peer hits never resumed after the peer revived",
+                 query_stats(sock_a)["store"])
+        peer = {t["kind"]: t
+                for t in query_stats(sock_a)["store"]["tiers"]}["peer"]
+        if peer.get("breaker_state") != "closed":
+            fail("breaker did not close after the successful probe", peer)
+        print("ok: peer killed -9 mid-load with zero client-visible errors; "
+              f"breaker tripped {peer['breaker_trips']}x, fastfailed "
+              f"{peer['breaker_fastfails']} calls, and closed again after "
+              "revival")
+    finally:
+        for p in (proc_a, proc_b):
+            if p is not None and p.poll() is None:
+                p.kill()
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
@@ -222,6 +365,9 @@ def main():
         if os.path.exists(sock_path):
             fail("daemon left its socket file behind")
         print(f"ok: SIGTERM drained and exited 0 in {elapsed:.2f} s")
+
+        # --- 6. peer cache tier: kill -9, degrade, trip, recover -----------
+        peer_tier_chaos(wsrd, wsrd_load, tmp)
         return 0
     finally:
         if proc.poll() is None:
