@@ -113,6 +113,12 @@ i64 fabric_cycles(const wse::Schedule& s, bool is_broadcast) {
   return r.cycles;
 }
 
+i64 fabric_cycles(const wse::Schedule& s, runtime::Semantic semantic) {
+  const runtime::VerifyResult r = runtime::verify_collective(s, semantic);
+  WSR_ASSERT(r.ok, "benchmark schedule produced wrong results");
+  return r.cycles;
+}
+
 i64 flow_cycles(const wse::Schedule& s) { return flowsim::run_flow(s).cycles; }
 
 const Series& series_by_label(const std::vector<Series>& series,
@@ -156,6 +162,15 @@ i64 measured_cycles(const wse::Schedule& s, i64 predicted,
   const i64 pe_cycles = predicted * static_cast<i64>(s.grid.num_pes());
   if (predicted <= fabric_budget_cycles && pe_cycles <= 200'000'000) {
     return fabric_cycles(s, is_broadcast);
+  }
+  return flow_cycles(s);
+}
+
+i64 measured_cycles(const wse::Schedule& s, i64 predicted,
+                    runtime::Semantic semantic, i64 fabric_budget_cycles) {
+  const i64 pe_cycles = predicted * static_cast<i64>(s.grid.num_pes());
+  if (predicted <= fabric_budget_cycles && pe_cycles <= 200'000'000) {
+    return fabric_cycles(s, semantic);
   }
   return flow_cycles(s);
 }

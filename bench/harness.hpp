@@ -64,6 +64,10 @@ std::optional<double> mean_err(const std::vector<Measurement>& points);
 /// broadcasts verify against the root's vector instead of the sum).
 i64 fabric_cycles(const wse::Schedule& s, bool is_broadcast = false);
 
+/// Semantic-aware variant for the non-reduction collectives (AllGather,
+/// ReduceScatter): verifies the collective's own contract.
+i64 fabric_cycles(const wse::Schedule& s, runtime::Semantic semantic);
+
 /// Runs the schedule on FlowSim.
 i64 flow_cycles(const wse::Schedule& s);
 
@@ -74,6 +78,12 @@ i64 flow_cycles(const wse::Schedule& s);
 i64 measured_cycles(const wse::Schedule& s, i64 predicted,
                     i64 fabric_budget_cycles = 300'000,
                     bool is_broadcast = false);
+
+/// Semantic-aware measured_cycles (verification follows the semantic when
+/// the point lands on FabricSim).
+i64 measured_cycles(const wse::Schedule& s, i64 predicted,
+                    runtime::Semantic semantic,
+                    i64 fabric_budget_cycles = 300'000);
 
 /// X-Y composition at wafer scale: rows are identical and synchronized, so
 /// T = T_row(N) + T_col(M) exactly (tests/test_flowsim.cpp validates this

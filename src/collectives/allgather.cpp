@@ -1,0 +1,159 @@
+// AllGather builders: every PE contributes a vec_len-word chunk and ends up
+// holding the rank-ordered concatenation of all P chunks (mem_words = P * B,
+// PE r's own chunk lives at [r*B, (r+1)*B) before and after the collective).
+//
+// The 1D construction is a bidirectional flood: each PE streams its chunk
+// both east and west on two colors while every router multicasts passing
+// traffic to its ramp and onward. Rule activation order is load-bearing:
+//
+//   * eastbound color (others-first): a router forwards the x upstream
+//     chunks before injecting its own, so every PE receives chunks in
+//     ascending rank order and a single contiguous Recv suffices;
+//   * westbound color (own-first): a router injects its own chunk before
+//     forwarding downstream traffic — the mirror discipline, again yielding
+//     ascending rank order on the receive side.
+//
+// Deadlock note (fabric.cpp step_processor): a runnable Recv claims the
+// ingress channel even while its queue is empty, so the eastbound Recv
+// monopolizes ingress until it completes. That is safe here because the
+// east flood never waits on west-side consumption — the two colors are
+// independent virtual channels and each drains unconditionally.
+//
+// The 2D construction composes two floods: a row flood gathers the row into
+// [y*W*B, (y+1)*W*B) on every PE of row y, then a column flood exchanges
+// those W*B-word row blocks vertically. Columns reuse the same two-color
+// discipline with "south" playing "east". Degenerate shapes (1xH, Wx1) fall
+// back to a single-phase flood on the populated axis.
+#include "collectives/builder.hpp"
+#include "collectives/collectives.hpp"
+#include "wse/checks.hpp"
+
+namespace wsr::collectives {
+
+namespace {
+
+constexpr Color kRowEast = 0;   // rank-ascending flood, low -> high x
+constexpr Color kRowWest = 1;   // rank-descending flood, high -> low x
+constexpr Color kColSouth = 2;  // row-block flood, low -> high y
+constexpr Color kColNorth = 3;  // row-block flood, high -> low y
+
+/// One bidirectional flood along a row (horizontal = true) or column of the
+/// grid. Each participant `i` in [0, n) contributes `block` words read from
+/// `src_off(i)`; everyone ends with the blocks of participants 0..n-1 stored
+/// contiguously from `dst_base`. `after` gates the sends (receives are
+/// ordered behind earlier program ops by the ingress-claim rule). Returns
+/// the final receive op id per PE.
+Deps build_flood_gather(Schedule& s, bool horizontal, u32 lane, u32 n,
+                        u32 block, Color c_fwd, Color c_bwd,
+                        const std::vector<u32>& src_off, u32 dst_base,
+                        const Deps& after) {
+  const GridShape g = s.grid;
+  const Dir fwd = horizontal ? Dir::East : Dir::South;
+  const Dir bwd = horizontal ? Dir::West : Dir::North;
+  Deps out = no_deps(s);
+  for (u32 i = 0; i < n; ++i) {
+    const u32 pe = horizontal ? g.pe_id(i, lane) : g.pe_id(lane, i);
+    auto& prog = s.program(pe);
+    const auto gate = [&](Op op) {
+      if (after[pe] >= 0) op.after(static_cast<u32>(after[pe]));
+      return op;
+    };
+
+    // Forward color (others-first): deliver the i upstream blocks to the
+    // ramp (and onward) before injecting our own.
+    if (i > 0) {
+      DirMask m = dir_bit(Dir::Ramp);
+      if (i + 1 < n) m |= dir_bit(fwd);
+      s.add_rule(pe, {c_fwd, bwd, m, i * block});
+    }
+    if (i + 1 < n) s.add_rule(pe, {c_fwd, Dir::Ramp, dir_bit(fwd), block});
+
+    // Backward color (own-first): inject our block, then forward the
+    // n-1-i downstream blocks.
+    if (i > 0) s.add_rule(pe, {c_bwd, Dir::Ramp, dir_bit(bwd), block});
+    if (i + 1 < n) {
+      DirMask m = dir_bit(Dir::Ramp);
+      if (i > 0) m |= dir_bit(bwd);
+      s.add_rule(pe, {c_bwd, fwd, m, (n - 1 - i) * block});
+    }
+
+    // Program order is load-bearing: the own-first (backward) send drains
+    // immediately, then the forward send streams behind the upstream
+    // traffic; the forward Recv claims ingress first, which is safe (see
+    // header note).
+    if (i > 0) prog.add(gate(Op::send(c_bwd, block, src_off[i])));
+    if (i + 1 < n) prog.add(gate(Op::send(c_fwd, block, src_off[i])));
+    u32 last = 0;
+    bool have = false;
+    if (i > 0) {
+      last = prog.add(
+          Op::recv(c_fwd, i * block, RecvMode::Store, dst_base));
+      have = true;
+    }
+    if (i + 1 < n) {
+      last = prog.add(Op::recv(c_bwd, (n - 1 - i) * block, RecvMode::Store,
+                               dst_base + (i + 1) * block));
+      have = true;
+    }
+    WSR_ASSERT(have, "flood gather lane of one");
+    out[pe] = static_cast<i32>(last);
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule make_allgather_1d(u32 num_pes, u32 vec_len) {
+  WSR_ASSERT(num_pes >= 2 && vec_len >= 1, "allgather needs P >= 2, B >= 1");
+  const GridShape grid{num_pes, 1};
+  Schedule s(grid, vec_len, "allgather-1d-flood");
+  s.mem_words = num_pes * vec_len;
+  std::vector<u32> src(num_pes);
+  for (u32 p = 0; p < num_pes; ++p) src[p] = p * vec_len;
+  build_flood_gather(s, /*horizontal=*/true, /*lane=*/0, num_pes, vec_len,
+                     kRowEast, kRowWest, src, /*dst_base=*/0, no_deps(s));
+  for (u32 pe = 0; pe < num_pes; ++pe) s.result_pes.push_back(pe);
+  wse::check_valid(s);
+  return s;
+}
+
+Schedule make_allgather_2d(GridShape grid, u32 vec_len) {
+  const u32 W = grid.width, H = grid.height, B = vec_len;
+  WSR_ASSERT(grid.num_pes() >= 2 && vec_len >= 1,
+             "allgather needs >= 2 PEs, B >= 1");
+  Schedule s(grid, vec_len, "allgather-2d-xy-flood");
+  s.mem_words = grid.num_pes() * B;
+
+  // Phase 1: flood each row so PE (x, y) holds its row's chunks at
+  // [y*W*B, (y+1)*W*B) — exactly where the final concatenation wants them.
+  Deps rows = no_deps(s);
+  if (W > 1) {
+    for (u32 y = 0; y < H; ++y) {
+      std::vector<u32> src(W);
+      for (u32 x = 0; x < W; ++x) src[x] = grid.pe_id(x, y) * B;
+      const Deps fin = build_flood_gather(s, /*horizontal=*/true, y, W, B,
+                                          kRowEast, kRowWest, src,
+                                          /*dst_base=*/y * W * B, no_deps(s));
+      for (u32 x = 0; x < W; ++x) {
+        const u32 pe = grid.pe_id(x, y);
+        rows[pe] = fin[pe];
+      }
+    }
+  }
+
+  // Phase 2: flood each column with W*B-word row blocks. The column send
+  // reads the row block phase 1 assembled, so it gates on the row phase.
+  if (H > 1) {
+    for (u32 x = 0; x < W; ++x) {
+      std::vector<u32> src(H);
+      for (u32 y = 0; y < H; ++y) src[y] = y * W * B;
+      build_flood_gather(s, /*horizontal=*/false, x, H, W * B, kColSouth,
+                         kColNorth, src, /*dst_base=*/0, rows);
+    }
+  }
+  for (u32 pe = 0; pe < grid.num_pes(); ++pe) s.result_pes.push_back(pe);
+  wse::check_valid(s);
+  return s;
+}
+
+}  // namespace wsr::collectives

@@ -1,0 +1,168 @@
+// Butterfly (recursive halving/doubling) collectives on a power-of-two 1D
+// row.
+//
+// Everything here is built from one primitive, an *exchange round*: PEs
+// pair up across distance d (p and p^d swap a block of `len` words), with
+// the lower half of each 2d-aligned group sending east and the upper half
+// sending west. On a mesh the pair traffic of one group overlaps on the
+// links between the partners, so each round uses two fresh colors (one per
+// direction) with counts sized to the aggregate pass-through traffic.
+//
+// Rule activation order per router (load-bearing, as in allgather.cpp):
+// the eastbound color is own-first on the lower half (a sender's own block
+// leads, then the idx blocks from PEs behind it) and the westbound color
+// mirrors it, so every receiver sees partner blocks in a deterministic
+// order; with one partner per PE per round a single Recv suffices.
+//
+//   * Butterfly AllReduce: k = log2(P) recursive-halving rounds (Recv+Add,
+//     distance P/2, P/4, ..., 1; block B/2, B/4, ...) leave PE p with the
+//     fully-reduced chunk p, then k recursive-doubling rounds (Recv+Store,
+//     mirrored) gather all chunks back. 4k colors total, so P <= 64 fits
+//     the 24-color budget exactly.
+//   * Halving ReduceScatter: just the first phase (2k colors).
+//
+// Both phases exchange disjoint memory regions per round; round r+1's ops
+// gate on round r's Recv at the same PE.
+#include "collectives/builder.hpp"
+#include "collectives/collectives.hpp"
+#include "common/math.hpp"
+#include "wse/checks.hpp"
+
+namespace wsr::collectives {
+
+namespace {
+
+/// Appends one exchange round across distance `d` (a power of two): PE p
+/// sends `len` words from send_off[p] to partner p^d and receives `len`
+/// words into recv_off[p] with `mode`. Uses colors `c_east` (lower half of
+/// each 2d group sends east) and `c_west`. Gates every op on `after`;
+/// returns the Recv op id per PE.
+Deps build_exchange_round(Schedule& s, u32 d, u32 len, Color c_east,
+                          Color c_west, RecvMode mode,
+                          const std::vector<u32>& send_off,
+                          const std::vector<u32>& recv_off, const Deps& after) {
+  const u32 P = s.grid.width;
+  Deps out = no_deps(s);
+  for (u32 p = 0; p < P; ++p) {
+    const u32 idx = p % (2 * d);
+    const bool lower = idx < d;  // sends east, receives west
+    const u32 t = lower ? idx : idx - d;
+    if (lower) {
+      // Eastbound sender: own block first, then forward the t blocks of
+      // the lower PEs behind us.
+      s.add_rule(p, {c_east, Dir::Ramp, dir_bit(Dir::East), len});
+      if (t > 0) {
+        s.add_rule(p, {c_east, Dir::West, dir_bit(Dir::East), len * t});
+        s.add_rule(p, {c_west, Dir::East, dir_bit(Dir::West), len * t});
+      }
+      s.add_rule(p, {c_west, Dir::East, dir_bit(Dir::Ramp), len});
+    } else {
+      // Upper half: mirror (westbound sender, eastbound receiver).
+      if (t < d - 1) {
+        s.add_rule(p, {c_east, Dir::West, dir_bit(Dir::East), len * (d - 1 - t)});
+      }
+      s.add_rule(p, {c_east, Dir::West, dir_bit(Dir::Ramp), len});
+      s.add_rule(p, {c_west, Dir::Ramp, dir_bit(Dir::West), len});
+      if (t < d - 1) {
+        s.add_rule(p, {c_west, Dir::East, dir_bit(Dir::West), len * (d - 1 - t)});
+      }
+    }
+    auto& prog = s.program(p);
+    Op send = Op::send(lower ? c_east : c_west, len, send_off[p]);
+    Op recv = Op::recv(lower ? c_west : c_east, len, mode, recv_off[p]);
+    if (after[p] >= 0) {
+      send.after(static_cast<u32>(after[p]));
+      recv.after(static_cast<u32>(after[p]));
+    }
+    prog.add(std::move(send));
+    out[p] = static_cast<i32>(prog.add(std::move(recv)));
+  }
+  return out;
+}
+
+void check_butterfly_shape(u32 num_pes, u32 vec_len, const char* what) {
+  WSR_ASSERT(num_pes >= 2 && is_pow2(num_pes), "butterfly needs P a power of 2");
+  WSR_ASSERT(num_pes <= 64, "butterfly color budget caps P at 64");
+  WSR_ASSERT(vec_len >= 1 && vec_len % num_pes == 0,
+             "butterfly needs vec_len % P == 0");
+  (void)what;
+}
+
+/// The recursive-halving phase shared by both entry points: k rounds of
+/// Recv+Add over halved blocks. On return `base[p]` is the start of PE p's
+/// surviving region (== p * (vec_len / P)) and `color` points past the 2k
+/// colors consumed. Returns the last round's Recv per PE.
+Deps build_halving_phase(Schedule& s, std::vector<u32>& base, Color& color) {
+  const u32 P = s.grid.width, B = s.vec_len, k = ilog2_ceil(P);
+  std::vector<u32> send_off(P), recv_off(P);
+  Deps prev = no_deps(s);
+  for (u32 i = 0; i < k; ++i) {
+    const u32 d = P >> (i + 1), len = B >> (i + 1);
+    for (u32 p = 0; p < P; ++p) {
+      const bool lower = p % (2 * d) < d;
+      // Lower half keeps [base, base+len) and donates the upper sub-block;
+      // upper half the reverse (and its region advances past the donation).
+      send_off[p] = lower ? base[p] + len : base[p];
+      recv_off[p] = lower ? base[p] : base[p] + len;
+    }
+    prev = build_exchange_round(s, d, len, color, color + 1, RecvMode::Add,
+                                send_off, recv_off, prev);
+    for (u32 p = 0; p < P; ++p) {
+      if (p % (2 * d) >= d) base[p] += len;
+    }
+    color += 2;
+  }
+  return prev;
+}
+
+}  // namespace
+
+Schedule make_reduce_scatter_1d_halving(u32 num_pes, u32 vec_len) {
+  check_butterfly_shape(num_pes, vec_len, "halving reduce-scatter");
+  Schedule s({num_pes, 1}, vec_len, "reduce-scatter-1d-halving");
+  std::vector<u32> base(num_pes, 0);
+  Color color = 0;
+  build_halving_phase(s, base, color);
+  for (u32 p = 0; p < num_pes; ++p) {
+    WSR_ASSERT(base[p] == p * (vec_len / num_pes), "halving region algebra");
+    s.result_pes.push_back(p);
+  }
+  wse::check_valid(s);
+  return s;
+}
+
+Schedule make_butterfly_allreduce_1d(u32 num_pes, u32 vec_len) {
+  check_butterfly_shape(num_pes, vec_len, "butterfly allreduce");
+  const u32 P = num_pes, B = vec_len, k = ilog2_ceil(P);
+  Schedule s({P, 1}, B, "allreduce-1d-butterfly");
+  std::vector<u32> base(P, 0);
+  Color color = 0;
+  Deps prev = build_halving_phase(s, base, color);
+
+  // Recursive doubling: undo the halving rounds in reverse order, swapping
+  // Add for Store — each round a PE sends its whole owned region and splices
+  // in the partner's adjacent one.
+  std::vector<u32> send_off(P), recv_off(P);
+  for (u32 i = k; i-- > 0;) {
+    const u32 d = P >> (i + 1), len = B >> (i + 1);
+    for (u32 p = 0; p < P; ++p) {
+      const bool lower = p % (2 * d) < d;
+      send_off[p] = base[p];
+      recv_off[p] = lower ? base[p] + len : base[p] - len;
+    }
+    prev = build_exchange_round(s, d, len, color, color + 1, RecvMode::Store,
+                                send_off, recv_off, prev);
+    for (u32 p = 0; p < P; ++p) {
+      if (p % (2 * d) >= d) base[p] -= len;
+    }
+    color += 2;
+  }
+  for (u32 p = 0; p < P; ++p) {
+    WSR_ASSERT(base[p] == 0, "doubling region algebra");
+    s.result_pes.push_back(p);
+  }
+  wse::check_valid(s);
+  return s;
+}
+
+}  // namespace wsr::collectives

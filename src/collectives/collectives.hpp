@@ -31,6 +31,30 @@ Schedule make_allreduce_1d(ReduceAlgo algo, u32 num_pes, u32 vec_len,
 
 Schedule make_ring_allreduce_1d(u32 num_pes, u32 vec_len, RingMapping mapping);
 
+/// Butterfly (recursive halving + doubling) AllReduce. Requires P a power of
+/// two <= 64 (4*log2(P) colors) and vec_len % P == 0.
+Schedule make_butterfly_allreduce_1d(u32 num_pes, u32 vec_len);
+
+// --- AllGather / ReduceScatter ---------------------------------------------
+// AllGather: PE r contributes vec_len words at [r*B, (r+1)*B) of its
+// mem_words = P*B memory and ends holding all P chunks in rank order.
+// ReduceScatter: every PE contributes a full vec_len vector; PE r ends with
+// chunk r (vec_len/P words at [r*c, (r+1)*c)) of the elementwise sum.
+
+/// Bidirectional flood AllGather on a row; any P >= 2.
+Schedule make_allgather_1d(u32 num_pes, u32 vec_len);
+
+/// X-Y flood AllGather (row flood, then column flood of row blocks); any
+/// grid with >= 2 PEs, including 1xH and Wx1.
+Schedule make_allgather_2d(GridShape grid, u32 vec_len);
+
+/// Two opposing Recv-Reduce-Send pipelines; any P >= 2, vec_len % P == 0.
+Schedule make_reduce_scatter_1d(u32 num_pes, u32 vec_len);
+
+/// Recursive-halving ReduceScatter (the butterfly's first phase); P a power
+/// of two <= 64, vec_len % P == 0.
+Schedule make_reduce_scatter_1d_halving(u32 num_pes, u32 vec_len);
+
 // --- 2D (root = PE (0,0), the top-left corner) ------------------------------
 
 Schedule make_broadcast_2d(GridShape grid, u32 vec_len);

@@ -1,0 +1,89 @@
+// Pipeline ReduceScatter on a 1D row: PE p ends with chunk p (vec_len / P
+// words at [p*c, (p+1)*c)) of the elementwise sum of all P input vectors.
+//
+// Two opposing reduction pipelines built from the fused Recv-Reduce-Send op:
+//
+//   * eastward: PE 0 streams chunks 1..P-1; every middle PE p consumes its
+//     own chunk (Recv+Add) and folds its local values into the passing
+//     stream for chunks p+1..P-1 (RRS), so PE p's eastbound output is the
+//     partial sum of PEs 0..p;
+//   * westward: the mirror image, carrying chunks 0..p-1 back down.
+//
+// Chunk p's final value is (partials from west) + own + (partials from
+// east): the eastward stream delivers sum(0..p-1) for chunk p into PE p's
+// Recv+Add, the westward stream delivers sum(p+1..P-1).
+//
+// Colors alternate per link parity (colE[p&1] on link p->p+1) because a
+// middle PE both terminates one hop's traffic and originates the next hop's
+// on the same physical direction — one color per hop-parity keeps each
+// router's per-color rule unambiguous with only 4 colors for any P.
+//
+// Deadlock note: FabricSim grants ingress to the first runnable op in
+// program order, so each middle PE completes its entire eastward intake
+// before touching the westward stream. The west pipeline simply backs up
+// behind that (bounded queues), which serializes the two directions per PE
+// — correct, just slower than ideal; predict_reduce_scatter_pipeline prices
+// the serialization.
+#include "collectives/builder.hpp"
+#include "collectives/collectives.hpp"
+#include "wse/checks.hpp"
+
+namespace wsr::collectives {
+
+namespace {
+
+constexpr Color kEast[2] = {0, 1};  // eastward stream, indexed by link parity
+constexpr Color kWest[2] = {2, 3};  // westward stream, indexed by link parity
+
+}  // namespace
+
+Schedule make_reduce_scatter_1d(u32 num_pes, u32 vec_len) {
+  const u32 P = num_pes;
+  WSR_ASSERT(P >= 2 && vec_len >= 1, "reduce-scatter needs P >= 2, B >= 1");
+  WSR_ASSERT(vec_len % P == 0, "reduce-scatter needs vec_len % P == 0");
+  const u32 c = vec_len / P;
+  const GridShape grid{P, 1};
+  Schedule s(grid, vec_len, "reduce-scatter-1d-pipeline");
+
+  for (u32 p = 0; p < P; ++p) {
+    auto& prog = s.program(p);
+    const Color in_e = kEast[(p + 1) & 1];   // link (p-1)->p, parity p-1
+    const Color out_e = kEast[p & 1];        // link p->(p+1)
+    const Color in_w = kWest[(p + 1) & 1];   // link (p+1)->p, parity p+1
+    const Color out_w = kWest[p & 1];        // link p->(p-1)
+
+    if (p == 0) {
+      prog.add(Op::send(out_e, (P - 1) * c, /*src_offset=*/c));
+      prog.add(Op::recv(in_w, c, RecvMode::Add, /*dst_offset=*/0));
+      s.add_rule(p, {out_e, Dir::Ramp, dir_bit(Dir::East), (P - 1) * c});
+      s.add_rule(p, {in_w, Dir::East, dir_bit(Dir::Ramp), c});
+    } else if (p == P - 1) {
+      prog.add(Op::recv(in_e, c, RecvMode::Add, (P - 1) * c));
+      prog.add(Op::send(out_w, (P - 1) * c, /*src_offset=*/0));
+      s.add_rule(p, {in_e, Dir::West, dir_bit(Dir::Ramp), c});
+      s.add_rule(p, {out_w, Dir::Ramp, dir_bit(Dir::West), (P - 1) * c});
+    } else {
+      // Eastward intake: own chunk first (the stream arrives in ascending
+      // chunk order), then fold-and-forward the rest.
+      const u32 recv_e = prog.add(Op::recv(in_e, c, RecvMode::Add, p * c));
+      prog.add(Op::recv_reduce_send(in_e, out_e, (P - 1 - p) * c,
+                                    /*src_offset=*/(p + 1) * c)
+                   .after(recv_e));
+      // Westward: fold-and-forward chunks 0..p-1, then consume own chunk.
+      // recv_w also gates on recv_e so the two Adds into [p*c, (p+1)*c)
+      // are ordered.
+      const u32 rrs_w = prog.add(
+          Op::recv_reduce_send(in_w, out_w, p * c, /*src_offset=*/0));
+      prog.add(Op::recv(in_w, c, RecvMode::Add, p * c).after({rrs_w, recv_e}));
+      s.add_rule(p, {in_e, Dir::West, dir_bit(Dir::Ramp), (P - p) * c});
+      s.add_rule(p, {out_e, Dir::Ramp, dir_bit(Dir::East), (P - 1 - p) * c});
+      s.add_rule(p, {in_w, Dir::East, dir_bit(Dir::Ramp), (p + 1) * c});
+      s.add_rule(p, {out_w, Dir::Ramp, dir_bit(Dir::West), p * c});
+    }
+    s.result_pes.push_back(p);
+  }
+  wse::check_valid(s);
+  return s;
+}
+
+}  // namespace wsr::collectives

@@ -65,6 +65,7 @@ struct SmallFifo {
   const T& front() const {
     return ring_count != 0 ? ring[ring_head] : spill.front();
   }
+  T& front() { return ring_count != 0 ? ring[ring_head] : spill.front(); }
   void push(const T& v) {
     if (ring_count < N && spill.empty()) {
       u32 tail = ring_head + ring_count;

@@ -1,0 +1,65 @@
+#include "common/link_override.hpp"
+
+namespace wsr {
+
+bool override_in_grid(const LinkOverride& o, const GridShape& grid) {
+  const Coord c{o.x, o.y};
+  return o.dir != Dir::Ramp && grid.contains(c) && grid.has_neighbor(c, o.dir);
+}
+
+namespace {
+
+std::optional<u32> parse_u32(std::string_view s) {
+  if (s.empty() || s.size() > 9) return std::nullopt;
+  u32 v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<u32>(c - '0');
+  }
+  return v;
+}
+
+std::optional<Dir> parse_dir(std::string_view s) {
+  if (s.size() != 1) return std::nullopt;
+  switch (s[0]) {
+    case 'E': case 'e': return Dir::East;
+    case 'W': case 'w': return Dir::West;
+    case 'N': case 'n': return Dir::North;
+    case 'S': case 's': return Dir::South;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<LinkOverride> parse_link_override(std::string_view spec) {
+  std::string_view fields[4];
+  std::size_t num_fields = 0;
+  while (!spec.empty()) {
+    if (num_fields == 4) return std::nullopt;
+    const std::size_t comma = spec.find(',');
+    fields[num_fields++] = spec.substr(0, comma);
+    if (comma == std::string_view::npos) break;
+    spec.remove_prefix(comma + 1);
+    if (spec.empty()) return std::nullopt;  // trailing comma
+  }
+  if (num_fields < 3) return std::nullopt;
+  const auto x = parse_u32(fields[0]);
+  const auto y = parse_u32(fields[1]);
+  const auto dir = parse_dir(fields[2]);
+  if (!x || !y || !dir) return std::nullopt;
+  u32 factor = 0;  // no fourth field: failed link
+  if (num_fields == 4) {
+    const auto f = parse_u32(fields[3]);
+    if (!f) return std::nullopt;
+    factor = *f;
+  }
+  return LinkOverride{*x, *y, *dir, factor};
+}
+
+std::string to_string(const LinkOverride& o) {
+  return std::to_string(o.x) + "," + std::to_string(o.y) + "," +
+         dir_name(o.dir) + "," + std::to_string(o.factor);
+}
+
+}  // namespace wsr

@@ -21,6 +21,12 @@ namespace {
 struct Segment {
   i64 head = 0;  ///< cycle the first wavelet is available at its location.
   u32 len = 0;
+  /// Pacing: wavelet i of the segment trails the head by i * rate cycles.
+  /// 1 on a pristine fabric; crossing a throttled link raises it to the
+  /// link's factor, and the stretch rides the segment downstream (a slow
+  /// hop gates everything behind it — the first-order image of the
+  /// cycle-level back-pressure).
+  u32 rate = 1;
 };
 
 // Two inline slots cover the steady state of every streaming pattern the
@@ -145,6 +151,19 @@ class Engine {
     ops_.assign(total_ops, OpState{});
     chan_in_free_.assign(n, 0);
     chan_out_free_.assign(n, 0);
+
+    // Degraded links (FlowOptions::link_overrides): a flat per-directed-link
+    // rate table, only materialized when an override names a link of this
+    // grid. Failed links assert at drain time if traffic reaches them.
+    for (const LinkOverride& o : opt_.link_overrides) {
+      if (!override_in_grid(o, s.grid)) continue;
+      if (!degraded_) {
+        degraded_ = true;
+        link_rate_.assign(std::size_t{n} * wsr::kNumDirs, 1);
+      }
+      link_rate_[std::size_t{s.grid.pe_id(o.x, o.y)} * wsr::kNumDirs +
+                 static_cast<u32>(o.dir)] = o.factor;
+    }
   }
 
   FlowResult run() {
@@ -245,20 +264,32 @@ class Engine {
       WSR_ASSERT(seg.len <= rule_remaining_[ck],
                  "segment crosses a routing-rule boundary");
       const i64 h = std::max(seg.head, rule_avail_[ck]);
+      // The router passes wavelets at the pace of its slowest outgoing
+      // branch (a stalled copy back-pressures the whole multicast), never
+      // faster than they arrive.
+      u32 pace = seg.rate;
       for (u8 d = 0; d < kNumDirs; ++d) {
         const Dir dd = static_cast<Dir>(d);
         if (!mask_has(rule.forward, dd)) continue;
         if (dd == Dir::Ramp) {
-          const Segment delivered{h + opt_.ramp_latency, seg.len};
+          const Segment delivered{h + opt_.ramp_latency, seg.len, seg.rate};
           ingress_[ck].push(delivered);
           pe_work_.push_back({pe, ci});
         } else {
           const u32 npe = layout_.neighbor(pe, d);
           WSR_ASSERT(npe != FabricLayout::kNoNeighbor, "forward off grid");
-          deliver_to_router(npe, rule.color, opposite(dd), {h + 1, seg.len});
+          u32 rate = seg.rate;
+          if (degraded_) {
+            const u32 f = link_rate_[std::size_t{pe} * wsr::kNumDirs + d];
+            WSR_ASSERT(f != 0, "traffic routed across a failed link");
+            rate = std::max(rate, f);
+          }
+          pace = std::max(pace, rate);
+          deliver_to_router(npe, rule.color, opposite(dd),
+                            {h + 1, seg.len, rate});
         }
       }
-      rule_avail_[ck] = h + seg.len;
+      rule_avail_[ck] = h + i64{seg.len} * pace;
       rule_remaining_[ck] -= seg.len;
       if (rule_remaining_[ck] == 0) {
         const u32 next = ++rule_active_[ck];
@@ -389,17 +420,26 @@ class Engine {
     auto& queue = ingress_[layout_.color_key(pe, static_cast<u32>(ci))];
     while (!queue.empty() && st.consumed < op.len) {
       const Segment seg = queue.front();
-      WSR_ASSERT(st.consumed + seg.len <= op.len,
-                 "segment crosses an op boundary");
-      queue.pop();
+      // A producer's contiguous run may span several consumer ops (e.g. a
+      // pipelined reduce-scatter peels one chunk per op off an upstream
+      // stream): consume up to the op boundary and leave the paced
+      // remainder queued for the next op on this color.
+      const u32 take = std::min(seg.len, op.len - st.consumed);
       const i64 first = std::max(st.cursor + 1, seg.head);
-      st.cursor = first + seg.len - 1;
-      st.consumed += seg.len;
+      // Wavelet i of a paced segment trails the head by i * rate cycles.
+      st.cursor = first + i64{take - 1} * seg.rate;
+      st.consumed += take;
+      if (take == seg.len) {
+        queue.pop();
+      } else {
+        queue.front().head = st.cursor + seg.rate;
+        queue.front().len = seg.len - take;
+      }
       if (op.kind == OpKind::RecvReduceSend) {
         // Each consumed wavelet re-emits one cycle later (combine) plus the
-        // up-ramp latency.
+        // up-ramp latency, at the pace it arrived.
         deliver_to_router(pe, op.out_color, Dir::Ramp,
-                          {first + 1 + opt_.ramp_latency, seg.len});
+                          {first + 1 + opt_.ramp_latency, take, seg.rate});
       }
     }
     if (st.consumed == op.len) {
@@ -481,6 +521,11 @@ class Engine {
   // [op key] / [pe]
   std::vector<OpState> ops_;
   std::vector<i64> chan_in_free_, chan_out_free_;
+
+  // Degraded links: [pe * kNumDirs + dir] -> pacing factor (1 = pristine,
+  // 0 = failed); empty unless an override names a link of this grid.
+  bool degraded_ = false;
+  std::vector<u32> link_rate_;
 
   std::vector<RouterWork> router_work_;
   std::vector<PeWork> pe_work_;

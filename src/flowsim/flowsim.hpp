@@ -27,6 +27,7 @@
 
 #include <vector>
 
+#include "common/link_override.hpp"
 #include "common/types.hpp"
 #include "wse/schedule.hpp"
 
@@ -39,6 +40,13 @@ struct FlowOptions {
   /// costs more than the simulation of a light schedule — and the usual
   /// consumer only wants `cycles`. Completion is verified either way.
   bool record_op_times = false;
+  /// Degraded hardware (common/link_override.hpp). A segment crossing a
+  /// throttled link is stretched to one wavelet per `factor` cycles — the
+  /// stretch rides the segment downstream (a slow hop gates everything
+  /// behind it, matching the cycle-level back-pressure to first order).
+  /// Routing across a *failed* link asserts, exactly like FabricSim.
+  /// Overrides naming links outside the schedule's grid are ignored.
+  std::vector<LinkOverride> link_overrides;
 };
 
 struct FlowResult {

@@ -192,21 +192,102 @@ Prediction predict_ring_allreduce(u32 num_pes, u32 vec_len,
   return Prediction(t, mp);
 }
 
+namespace {
+
+/// Per-phase convoy cost of the halving rounds: round i moves a block of
+/// ceil(B/2^(i+1)) words across d_i = max(1, P/2^(i+1)) links whose traffic
+/// convoys on the mesh (collectives/butterfly.cpp streams all of a group's
+/// pair traffic over the links between the partners). Also accumulates the
+/// phase's energy (every word crosses d_i links on 2*d_i group PEs).
+struct HalvingPhase {
+  i64 convoy = 0;  // sum of d_i * L_i — the serialized per-round link time
+  i64 energy = 0;
+  i64 ramp = 0;  // per-PE ramp words (send + receive) over the phase
+};
+
+HalvingPhase halving_phase_cost(i64 P, i64 B) {
+  HalvingPhase out;
+  const i64 rounds = ilog2_ceil(static_cast<u32>(P));
+  for (i64 i = 0; i < rounds; ++i) {
+    const i64 d = std::max<i64>(1, P >> (i + 1));
+    const i64 len = ceil_div(B, i64{1} << (i + 1));
+    out.convoy += d * len;
+    out.energy += P * d * len;
+    out.ramp += 2 * len;
+  }
+  return out;
+}
+
+}  // namespace
+
 Prediction predict_butterfly_allreduce(u32 num_pes, u32 vec_len,
                                        const MachineParams& mp) {
   WSR_ASSERT(num_pes >= 2 && vec_len >= 1, "butterfly needs P >= 2, B >= 1");
   const i64 P = num_pes, B = vec_len;
   const i64 rounds = ilog2_ceil(num_pes);
+  const HalvingPhase ph = halving_phase_cost(P, B);
   CostTerms t;
-  // Recursive halving (reduce-scatter) + doubling (allgather): round i
-  // exchanges ceil(B/2^i) wavelets with a partner 2^(i-1) hops away, so each
-  // round contributes ~P*B/2 energy in each phase.
   t.depth = 2 * rounds;
   t.distance = 2 * (P - 1);
-  t.energy = P * B * rounds;
-  t.contention = 2 * (B - ceil_div(B, P));
+  t.energy = 2 * ph.energy;
+  t.contention = 2 * ph.ramp;
   t.links = 2 * (P - 1);
-  return Prediction(t, mp);
+  // Doubling mirrors halving (same block sizes in reverse), so both phases
+  // share the convoy sum; each round pays one per-depth ramp round-trip.
+  const i64 cycles =
+      2 * ph.convoy + 2 * (P - 1) + 2 * rounds * mp.per_depth_cycles();
+  return Prediction(t, cycles);
+}
+
+Prediction predict_reduce_scatter_halving(u32 num_pes, u32 vec_len,
+                                          const MachineParams& mp) {
+  WSR_ASSERT(num_pes >= 2 && vec_len >= 1,
+             "reduce-scatter needs P >= 2, B >= 1");
+  const i64 P = num_pes, B = vec_len;
+  const i64 rounds = ilog2_ceil(num_pes);
+  const HalvingPhase ph = halving_phase_cost(P, B);
+  CostTerms t;
+  t.depth = rounds;
+  t.distance = P - 1;
+  t.energy = ph.energy;
+  t.contention = ph.ramp;
+  t.links = 2 * (P - 1);
+  return Prediction(t, ph.convoy + (P - 1) + rounds * mp.per_depth_cycles());
+}
+
+Prediction predict_reduce_scatter_pipeline(u32 num_pes, u32 vec_len,
+                                           const MachineParams& mp) {
+  WSR_ASSERT(num_pes >= 2 && vec_len >= 1,
+             "reduce-scatter needs P >= 2, B >= 1");
+  const i64 P = num_pes, B = vec_len;
+  const i64 chunk = ceil_div(vec_len, num_pes);
+  CostTerms t;
+  t.depth = 2 * (P - 1);
+  t.distance = P - 1;
+  t.energy = B * (P - 1);
+  t.contention = 2 * B;
+  t.links = 2 * (P - 1);
+  // A middle PE's single ingress serializes the eastward intake ((P-p)*c
+  // words) before the westward one ((p+1)*c): ~(P+1) chunks end to end.
+  // P = 2 has no middle PE and the two directions run concurrently.
+  const i64 serial = P >= 3 ? (P + 1) * chunk : 2 * chunk;
+  return Prediction(t, serial + (P - 1) * (2 * mp.ramp_latency + 2) + 1);
+}
+
+Prediction predict_allgather_1d(u32 num_pes, u32 vec_len,
+                                const MachineParams& mp) {
+  WSR_ASSERT(num_pes >= 2 && vec_len >= 1, "allgather needs P >= 2, B >= 1");
+  const i64 P = num_pes, B = vec_len;
+  CostTerms t;
+  t.depth = 1;
+  t.distance = P - 1;
+  // Both flood directions together move every chunk to every other PE.
+  t.energy = B * P * (P - 1);
+  t.contention = (P + 1) * B;
+  t.links = 2 * (P - 1);
+  // Ingress-bound: each PE consumes (P-1)*B foreign words one per cycle;
+  // the floods themselves overlap with the consumption.
+  return Prediction(t, (P - 1) * B + P + 2 * mp.ramp_latency + 2);
 }
 
 }  // namespace wsr

@@ -70,11 +70,28 @@ Prediction predict_reduce_then_broadcast(ReduceAlgo reduce_algo, u32 num_pes,
 /// simple and the distance-preserving ring mapping have this predicted cost.
 Prediction predict_ring_allreduce(u32 num_pes, u32 vec_len, const MachineParams& mp);
 
-/// Recursive halving + doubling butterfly (Section 2.1 / Fig. 11c,
-/// predicted-only in the paper). Round i exchanges B/2^i wavelets with a
-/// partner 2^(i-1) hops away; the mesh (not hypercube) embedding makes the
-/// energy term E = P*B*log2(P) dominate for large B.
+/// Recursive halving + doubling butterfly (Section 2.1 / Fig. 11c). On the
+/// mesh, round i's pair traffic convoys over d_i = P/2^(i+1) links, so each
+/// round costs ~d_i * L_i cycles — the reason the butterfly loses to the
+/// Ring at scale despite its log depth. Cycles are pinned to the buildable
+/// construction (collectives/butterfly.cpp) where it exists and stay a
+/// smooth closed form elsewhere (the figures sweep non-power-of-two P).
 Prediction predict_butterfly_allreduce(u32 num_pes, u32 vec_len,
                                        const MachineParams& mp);
+
+/// Recursive-halving ReduceScatter: the butterfly's first phase alone.
+Prediction predict_reduce_scatter_halving(u32 num_pes, u32 vec_len,
+                                          const MachineParams& mp);
+
+/// Pipeline ReduceScatter (collectives/reduce_scatter.cpp): two opposing
+/// Recv-Reduce-Send pipelines; the cycle estimate prices the per-PE
+/// east-then-west ingress serialization the fabric imposes.
+Prediction predict_reduce_scatter_pipeline(u32 num_pes, u32 vec_len,
+                                           const MachineParams& mp);
+
+/// Bidirectional flood AllGather (collectives/allgather.cpp): every PE's
+/// ingress consumes the other P-1 chunks at one wavelet per cycle.
+Prediction predict_allgather_1d(u32 num_pes, u32 vec_len,
+                                const MachineParams& mp);
 
 }  // namespace wsr

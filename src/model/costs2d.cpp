@@ -65,6 +65,27 @@ Prediction predict_reduce2d_then_broadcast(Reduce2DAlgo reduce_algo,
   return sequential(reduce, predict_broadcast_2d(grid, vec_len, mp));
 }
 
+Prediction predict_allgather_xy(GridShape grid, u32 vec_len,
+                                const MachineParams& mp) {
+  WSR_ASSERT(grid.num_pes() >= 2 && vec_len >= 1,
+             "allgather needs >= 2 PEs, B >= 1");
+  const i64 W = grid.width, H = grid.height, B = vec_len;
+  CostTerms t;
+  t.depth = (W > 1 ? 1 : 0) + (H > 1 ? 1 : 0);
+  t.distance = (W - 1) + (H - 1);
+  // Row phase moves each chunk to W-1 row peers on H rows; the column phase
+  // moves each W*B row block to H-1 column peers on W columns.
+  t.energy = H * B * W * (W - 1) + W * (W * B) * H * (H - 1);
+  t.contention = (W > 1 ? (W + 1) * B : 0) + (H > 1 ? (H + 1) * W * B : 0);
+  t.links = 2 * (W - 1) * H + 2 * (H - 1) * W;
+  // Each phase is ingress-bound like the 1D flood; the phases barrier on
+  // the row block being assembled.
+  i64 cycles = 0;
+  if (W > 1) cycles += (W - 1) * B + W + 2 * mp.ramp_latency + 2;
+  if (H > 1) cycles += (H - 1) * W * B + H + 2 * mp.ramp_latency + 2;
+  return Prediction(t, cycles);
+}
+
 i64 lower_bound_2d_reduce_cycles(GridShape grid, u32 vec_len,
                                  const MachineParams& mp) {
   const i64 M = grid.height, N = grid.width, B = vec_len;

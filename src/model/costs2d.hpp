@@ -44,4 +44,11 @@ Prediction predict_reduce2d_then_broadcast(Reduce2DAlgo reduce_algo,
 /// T* >= max(B, B/8 + M + N - 1) + 2*T_R + 1.
 i64 lower_bound_2d_reduce_cycles(GridShape grid, u32 vec_len, const MachineParams& mp);
 
+/// X-Y flood AllGather (collectives/allgather.cpp): a row flood of B-word
+/// chunks, then a column flood of W*B-word row blocks. Works on any grid
+/// with >= 2 PEs, including degenerate 1xH / Wx1 shapes (the empty axis
+/// contributes nothing).
+Prediction predict_allgather_xy(GridShape grid, u32 vec_len,
+                                const MachineParams& mp);
+
 }  // namespace wsr

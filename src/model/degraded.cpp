@@ -1,0 +1,37 @@
+#include "model/degraded.hpp"
+
+#include <algorithm>
+
+namespace wsr {
+
+bool grid_has_failed_link(const GridShape& grid, const MachineParams& mp) {
+  for (const LinkOverride& o : mp.link_overrides) {
+    if (o.failed() && override_in_grid(o, grid)) return true;
+  }
+  return false;
+}
+
+u32 worst_link_slowdown(const GridShape& grid, const MachineParams& mp) {
+  u32 worst = 1;
+  for (const LinkOverride& o : mp.link_overrides) {
+    if (!o.failed() && override_in_grid(o, grid)) {
+      worst = std::max(worst, o.factor);
+    }
+  }
+  return worst;
+}
+
+Prediction apply_link_overrides(Prediction p, const GridShape& grid,
+                                const MachineParams& mp) {
+  if (mp.link_overrides.empty()) return p;
+  if (grid_has_failed_link(grid, mp)) {
+    return Prediction(p.terms, kUnroutableCycles);
+  }
+  const u32 worst = worst_link_slowdown(grid, mp);
+  if (worst > 1) {
+    p = Prediction(p.terms, p.cycles * worst);
+  }
+  return p;
+}
+
+}  // namespace wsr

@@ -1,0 +1,49 @@
+// Pricing degraded fabrics: how MachineParams::link_overrides reach the
+// analytic model.
+//
+// The spatial model (model/cost.hpp) has no per-link resolution — its five
+// terms summarize an algorithm over a pristine mesh. Rather than rederive
+// every closed form per defect map, the planner applies a conservative
+// post-pass to each candidate's prediction:
+//
+//   * any *failed* link inside the grid makes the plan unroutable (none of
+//     the builders route around defects), priced at kUnroutableCycles so a
+//     forced plan surfaces the sentinel and the selector never picks it;
+//   * otherwise the cycle estimate scales by the worst throttle factor
+//     inside the grid — the pessimistic image of "the busiest link might be
+//     the slow one". Every 1D/2D builder streams its full traffic through
+//     contiguous spans of the grid, so on the shapes the selector compares
+//     the slow link is on the critical path more often than not, and a
+//     uniform scale preserves the *ranking* the selector needs even when
+//     the absolute estimate is loose (the conformance harness bounds it
+//     against the simulators).
+//
+// Cost terms are left untouched: they describe the algorithm's shape, which
+// degradation does not change.
+#pragma once
+
+#include "common/grid.hpp"
+#include "model/cost.hpp"
+#include "model/params.hpp"
+
+namespace wsr {
+
+/// Sentinel cycle count for "no route on this machine": large enough that
+/// no real plan ever beats it, small enough that downstream sums (e.g.
+/// sequential composition) cannot overflow i64.
+inline constexpr i64 kUnroutableCycles = i64{1} << 50;
+
+/// True when any override marks a link inside `grid` failed (factor == 0).
+bool grid_has_failed_link(const GridShape& grid, const MachineParams& mp);
+
+/// The largest throttle factor of any link inside `grid` (>= 1; failed
+/// links are not throttles and are ignored here — check
+/// grid_has_failed_link separately).
+u32 worst_link_slowdown(const GridShape& grid, const MachineParams& mp);
+
+/// The degraded-fabric pricing post-pass described above. Identity when no
+/// override names a link of `grid`.
+Prediction apply_link_overrides(Prediction p, const GridShape& grid,
+                                const MachineParams& mp);
+
+}  // namespace wsr

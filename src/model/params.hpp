@@ -8,6 +8,9 @@
 //   * 24 router colors.
 #pragma once
 
+#include <vector>
+
+#include "common/link_override.hpp"
 #include "common/types.hpp"
 
 namespace wsr {
@@ -27,6 +30,23 @@ struct MachineParams {
 
   /// Number of router colors available on the device.
   u32 num_colors = 24;
+
+  /// Degraded hardware: failed or throttled mesh links (common/
+  /// link_override.hpp). Part of the machine identity — it rides PlanKey,
+  /// is hashed into the plan-store key space, and both simulators honor
+  /// it. Overrides outside a given grid footprint are inert for that grid.
+  /// Order matters for equality/hashing; callers should keep a canonical
+  /// order if they want cache hits across differently-built lists.
+  std::vector<LinkOverride> link_overrides;
+
+  /// Overrides that actually name a link of `grid` (the rest are inert).
+  std::vector<LinkOverride> overrides_in_grid(const GridShape& grid) const {
+    std::vector<LinkOverride> out;
+    for (const LinkOverride& o : link_overrides) {
+      if (override_in_grid(o, grid)) out.push_back(o);
+    }
+    return out;
+  }
 
   /// Cost in cycles of one send+receive hop through a PE (down-ramp,
   /// combine/store, up-ramp). This is the per-depth-unit charge in Eq. (1).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "model/degraded.hpp"
 #include "registry/algorithm_registry.hpp"
 
 namespace wsr {
@@ -24,7 +25,8 @@ std::vector<Candidate> fixed_candidates(registry::Collective collective,
        registry::AlgorithmRegistry::instance().query(
            collective, registry::dims_for(grid), /*selectable_only=*/true)) {
     if (d->model_generated) continue;
-    out.push_back({d->name, d->cost(grid, vec_len, ctx)});
+    out.push_back({d->name, apply_link_overrides(d->cost(grid, vec_len, ctx),
+                                                 grid, mp)});
   }
   return out;
 }

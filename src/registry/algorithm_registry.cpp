@@ -12,6 +12,8 @@ const char* name(Collective c) {
     case Collective::Broadcast: return "Broadcast";
     case Collective::Reduce: return "Reduce";
     case Collective::AllReduce: return "AllReduce";
+    case Collective::AllGather: return "AllGather";
+    case Collective::ReduceScatter: return "ReduceScatter";
   }
   return "?";
 }

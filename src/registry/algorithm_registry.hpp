@@ -44,7 +44,8 @@ namespace wsr::registry {
 
 /// Which collective operation a descriptor implements. (Previously
 /// runtime::Collective; moved here so every layer can key on it.)
-enum class Collective : u8 { Broadcast, Reduce, AllReduce };
+/// Values are serialized in plan-store records — append only, never reorder.
+enum class Collective : u8 { Broadcast, Reduce, AllReduce, AllGather, ReduceScatter };
 
 const char* name(Collective c);
 

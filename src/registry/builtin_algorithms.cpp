@@ -1,7 +1,8 @@
 // Registers every built-in algorithm with the AlgorithmRegistry: the paper's
 // fixed 1D patterns (Star/Chain/Tree/TwoPhase), the DP-generated Auto-Gen,
 // Ring, the 2D X-Y compositions (including the mixed-axis extension), Snake,
-// the flooding broadcasts, and the MidRoot / X-Y Ring ablation extensions.
+// the flooding broadcasts, the AllGather / ReduceScatter families, and the
+// MidRoot / X-Y Ring / Butterfly ablation extensions.
 //
 // This file is the ONLY place that knows the full algorithm list. The
 // per-algorithm `if` below (fixed predict vs. DP model) is the registry's
@@ -12,6 +13,7 @@
 
 #include "collectives/collectives.hpp"
 #include "collectives/midroot.hpp"
+#include "common/math.hpp"
 #include "model/costs1d.hpp"
 #include "model/costs2d.hpp"
 #include "registry/algorithm_registry.hpp"
@@ -49,6 +51,14 @@ bool is_row_of(GridShape g, u32 min_pes) {
 }
 
 bool is_2d(GridShape g) { return g.width >= 2 && g.height >= 2; }
+
+/// Applicability of the butterfly constructions (collectives/butterfly.cpp):
+/// power-of-two rows up to 64 PEs (4*log2(P) colors fit the budget of 24)
+/// with an evenly dividing vector.
+bool butterfly_applicable(GridShape g, u32 b) {
+  return is_row_of(g, 2) && is_pow2(g.width) && g.width <= 64 &&
+         b % g.width == 0;
+}
 
 /// Worst-case distinct colors of each 1D reduce pattern (collectives.hpp's
 /// documented budget).
@@ -271,6 +281,77 @@ void register_1d(AlgorithmRegistry& reg) {
             return collectives::make_allreduce_1d_midroot(g.width, b);
           },
   });
+
+  // --- Butterfly AllReduce (extension, ablation-only like MidRoot: its mesh
+  // embedding never beats Ring/Auto-Gen, and keeping it out of model-driven
+  // selection keeps the paper's candidate set pinned) -----------------------
+  reg.register_algorithm({
+      .name = "Butterfly",
+      .collective = Collective::AllReduce,
+      .dims = Dims::OneD,
+      .color_budget = 24,
+      .auto_selectable = false,
+      .applicable = [](GridShape g, u32 b) { return butterfly_applicable(g, b); },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_butterfly_allreduce(g.width, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_butterfly_allreduce_1d(g.width, b);
+          },
+  });
+
+  // --- AllGather -----------------------------------------------------------
+  reg.register_algorithm({
+      .name = "Flood",
+      .collective = Collective::AllGather,
+      .dims = Dims::OneD,
+      .color_budget = 2,
+      .applicable = [](GridShape g, u32) { return is_row_of(g, 2); },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_allgather_1d(g.width, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_allgather_1d(g.width, b);
+          },
+  });
+
+  // --- ReduceScatter -------------------------------------------------------
+  reg.register_algorithm({
+      .name = "Pipeline",
+      .collective = Collective::ReduceScatter,
+      .dims = Dims::OneD,
+      .color_budget = 4,
+      .applicable =
+          [](GridShape g, u32 b) { return is_row_of(g, 2) && b % g.width == 0; },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_reduce_scatter_pipeline(g.width, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_reduce_scatter_1d(g.width, b);
+          },
+  });
+
+  reg.register_algorithm({
+      .name = "Halving",
+      .collective = Collective::ReduceScatter,
+      .dims = Dims::OneD,
+      .color_budget = 12,
+      .applicable = [](GridShape g, u32 b) { return butterfly_applicable(g, b); },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_reduce_scatter_halving(g.width, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_reduce_scatter_1d_halving(g.width, b);
+          },
+  });
 }
 
 void register_2d(AlgorithmRegistry& reg) {
@@ -419,6 +500,25 @@ void register_2d(AlgorithmRegistry& reg) {
       .build =
           [](GridShape g, u32 b, const PlanContext&) {
             return collectives::make_allreduce_2d_xy_ring(g, b);
+          },
+  });
+
+  // --- AllGather: row flood then column flood. Unlike the reductions this
+  // handles degenerate 1xH columns (the row phase vanishes), widening the
+  // 2D fabric axis to every irregular shape with >= 2 PEs. ------------------
+  reg.register_algorithm({
+      .name = "X-Y Flood",
+      .collective = Collective::AllGather,
+      .dims = Dims::TwoD,
+      .color_budget = 4,
+      .applicable = [](GridShape g, u32) { return g.num_pes() >= 2; },
+      .cost =
+          [](GridShape g, u32 b, const PlanContext& ctx) {
+            return predict_allgather_xy(g, b, ctx.mp);
+          },
+      .build =
+          [](GridShape g, u32 b, const PlanContext&) {
+            return collectives::make_allgather_2d(g, b);
           },
   });
 }

@@ -73,7 +73,7 @@ class PersistentPlanCache {
   /// Bump when the record payload layout changes; older stores then load
   /// as empty and are rewritten on the next append. Mirrors
   /// store::kSchemaVersion (static_assert'd in the .cpp).
-  static constexpr u32 kSchemaVersion = 1;
+  static constexpr u32 kSchemaVersion = 2;
 
   struct Options {
     /// Store-file size bound in bytes (0 = unbounded). An append that would

@@ -43,6 +43,10 @@ u64 machine_params_hash(const MachineParams& mp) {
   h = fnv_mix(h, clock_bits);
   h = fnv_mix(h, mp.sram_bytes);
   h = fnv_mix(h, mp.num_colors);
+  for (const LinkOverride& o : mp.link_overrides) {
+    h = fnv_mix(h, (u64{o.x} << 32) | o.y);
+    h = fnv_mix(h, (u64{static_cast<u8>(o.dir)} << 32) | o.factor);
+  }
   return h;
 }
 

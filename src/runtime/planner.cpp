@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "model/degraded.hpp"
 #include "runtime/plan_cache.hpp"
 
 namespace wsr::runtime {
@@ -30,14 +31,16 @@ struct Selected {
 
 /// The one selection policy: applicability-gated strict-min scan over
 /// name-sorted candidates, so ties break towards the lexicographically
-/// smallest registration name.
+/// smallest registration name. Predictions are priced for the machine's
+/// degraded links (model/degraded.hpp) — identity on pristine machines.
 Selected select_best(
     const std::vector<const registry::AlgorithmDescriptor*>& candidates,
     GridShape grid, u32 vec_len, const registry::PlanContext& ctx) {
   Selected best;
   for (const registry::AlgorithmDescriptor* d : candidates) {
     if (!d->applicable(grid, vec_len)) continue;
-    const Prediction p = d->cost(grid, vec_len, ctx);
+    const Prediction p =
+        apply_link_overrides(d->cost(grid, vec_len, ctx), grid, ctx.mp);
     if (best.desc == nullptr || p.cycles < best.pred.cycles) best = {d, p};
   }
   return best;
@@ -81,7 +84,8 @@ Plan Planner::plan(const PlanRequest& req) const {
                "unknown algorithm for this collective/dimensionality");
     WSR_ASSERT(chosen.desc->applicable(req.grid, req.vec_len),
                "algorithm not applicable to this (grid, vec_len)");
-    chosen.pred = chosen.desc->cost(req.grid, req.vec_len, ctx);
+    chosen.pred = apply_link_overrides(
+        chosen.desc->cost(req.grid, req.vec_len, ctx), req.grid, ctx.mp);
   } else {
     chosen = select_best(reg.query(req.collective, dims,
                                    /*selectable_only=*/true),

@@ -12,15 +12,49 @@ float canonical_input(u32 pe, u32 j) {
   return static_cast<float>(static_cast<i32>((pe * 7 + j * 13) % 41) - 20);
 }
 
-VerifyResult verify_on_fabric(const wse::Schedule& s, bool is_broadcast,
-                              wse::FabricOptions options) {
+Semantic semantic_for(registry::Collective c) {
+  switch (c) {
+    case registry::Collective::Broadcast: return Semantic::Broadcast;
+    case registry::Collective::Reduce: return Semantic::Sum;
+    case registry::Collective::AllReduce: return Semantic::Sum;
+    case registry::Collective::AllGather: return Semantic::AllGather;
+    case registry::Collective::ReduceScatter: return Semantic::ReduceScatter;
+  }
+  WSR_ASSERT(false, "unknown collective");
+  return Semantic::Sum;
+}
+
+VerifyResult verify_collective(const wse::Schedule& s, Semantic semantic,
+                               wse::FabricOptions options) {
   VerifyResult out;
-  const auto inputs = wse::make_inputs(s, canonical_input);
-  std::vector<float> expected;
-  if (is_broadcast) {
-    expected.assign(inputs[0].begin(), inputs[0].begin() + s.vec_len);
+  const u32 P = s.grid.num_pes(), B = s.vec_len;
+  // AllGather contributions live in place: rank r's B words occupy their
+  // final slot [r*B, (r+1)*B) of the gathered vector (the builders read
+  // their send from there). Every other semantic reads inputs at [0, B).
+  std::vector<std::vector<float>> inputs;
+  if (semantic == Semantic::AllGather) {
+    inputs.resize(P);
+    for (u32 pe = 0; pe < P; ++pe) {
+      inputs[pe].assign(static_cast<std::size_t>(s.memory_words()), 0.0f);
+      for (u32 j = 0; j < B; ++j) {
+        inputs[pe][u64{pe} * B + j] = canonical_input(pe, j);
+      }
+    }
   } else {
-    expected = wse::expected_sum(inputs, s.vec_len);
+    inputs = wse::make_inputs(s, canonical_input);
+  }
+  const std::vector<float> sum = wse::expected_sum(inputs, s.vec_len);
+
+  // The expected span per result PE. For AllGather the span covers the
+  // whole concatenation; for ReduceScatter only the PE's own chunk.
+  u32 chunk = 0;
+  if (semantic == Semantic::ReduceScatter) {
+    WSR_ASSERT(B % P == 0, "reduce-scatter verify needs vec_len % P == 0");
+    chunk = B / P;
+  }
+  if (semantic == Semantic::AllGather) {
+    WSR_ASSERT(s.memory_words() >= u64{P} * B,
+               "allgather schedules declare mem_words >= P * vec_len");
   }
 
   const wse::FabricResult res = wse::run_fabric(s, inputs, options);
@@ -28,13 +62,35 @@ VerifyResult verify_on_fabric(const wse::Schedule& s, bool is_broadcast,
   out.wavelet_hops = res.wavelet_hops;
   out.max_ramp_wavelets = res.max_pe_ramp_wavelets;
   for (u32 pe : s.result_pes) {
-    for (u32 j = 0; j < s.vec_len; ++j) {
-      if (res.memory[pe][j] != expected[j]) {
+    u32 begin = 0, count = B;
+    switch (semantic) {
+      case Semantic::Sum:
+      case Semantic::Broadcast:
+        break;
+      case Semantic::AllGather:
+        count = P * B;
+        break;
+      case Semantic::ReduceScatter:
+        begin = pe * chunk;
+        count = chunk;
+        break;
+    }
+    for (u32 i = 0; i < count; ++i) {
+      const u32 j = begin + i;
+      float expect = 0;
+      switch (semantic) {
+        case Semantic::Sum: expect = sum[j]; break;
+        case Semantic::Broadcast: expect = inputs[0][j]; break;
+        // Slot q of the gathered vector holds rank q's contribution.
+        case Semantic::AllGather: expect = canonical_input(j / B, j % B); break;
+        case Semantic::ReduceScatter: expect = sum[j]; break;
+      }
+      if (res.memory[pe][j] != expect) {
         std::ostringstream os;
         const Coord c = s.grid.coord(pe);
         os << "schedule '" << s.name << "': PE(" << c.x << "," << c.y
            << ") element " << j << " = " << res.memory[pe][j] << ", expected "
-           << expected[j];
+           << expect;
         out.error = os.str();
         return out;
       }
@@ -42,6 +98,12 @@ VerifyResult verify_on_fabric(const wse::Schedule& s, bool is_broadcast,
   }
   out.ok = true;
   return out;
+}
+
+VerifyResult verify_on_fabric(const wse::Schedule& s, bool is_broadcast,
+                              wse::FabricOptions options) {
+  return verify_collective(
+      s, is_broadcast ? Semantic::Broadcast : Semantic::Sum, options);
 }
 
 }  // namespace wsr::runtime

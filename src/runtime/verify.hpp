@@ -1,11 +1,12 @@
 // End-to-end verification helpers: run a schedule on the cycle-accurate
-// FabricSim with known inputs and check that every result PE holds the exact
-// elementwise sum (inputs are integer-valued so float summation is exact
+// FabricSim with known inputs and check the collective's semantic contract
+// at every result PE (inputs are integer-valued so float summation is exact
 // regardless of association order).
 #pragma once
 
 #include <string>
 
+#include "registry/algorithm_registry.hpp"
 #include "wse/fabric.hpp"
 #include "wse/schedule.hpp"
 
@@ -22,6 +23,23 @@ struct VerifyResult {
 /// Canonical deterministic test input: PE p's element j is a small exact
 /// integer derived from (p, j) so that sums stay below 2^24.
 float canonical_input(u32 pe, u32 j);
+
+/// What a result PE's memory must hold after the schedule runs:
+///   * Sum        — the elementwise sum of all inputs at [0, vec_len);
+///   * Broadcast  — PE 0's (the source's) vector at [0, vec_len);
+///   * AllGather  — every PE r's chunk at [r*B, (r+1)*B) for r in [0, P)
+///                  (schedules declare mem_words = P * B);
+///   * ReduceScatter — rank r keeps only chunk r of the sum, at
+///                  [r*c, (r+1)*c) with c = vec_len / P.
+enum class Semantic : u8 { Sum, Broadcast, AllGather, ReduceScatter };
+
+/// The semantic contract of each collective family.
+Semantic semantic_for(registry::Collective c);
+
+/// Runs the schedule on FabricSim with canonical inputs and checks the
+/// semantic's expectation at every result PE.
+VerifyResult verify_collective(const wse::Schedule& s, Semantic semantic,
+                               wse::FabricOptions options = {});
 
 /// For Broadcast schedules the expected "sum" is just the root's vector;
 /// `is_broadcast` switches the expectation accordingly (root = result_pes[0]

@@ -112,8 +112,14 @@ Request parse_request(const std::string& text) {
     line.req.collective = runtime::Collective::AllReduce;
   } else if (collective == "broadcast") {
     line.req.collective = runtime::Collective::Broadcast;
+  } else if (collective == "allgather") {
+    line.req.collective = runtime::Collective::AllGather;
+  } else if (collective == "reducescatter" || collective == "reduce-scatter") {
+    line.req.collective = runtime::Collective::ReduceScatter;
   } else {
-    line.error = "\"collective\" must be reduce | allreduce | broadcast";
+    line.error =
+        "\"collective\" must be reduce | allreduce | broadcast | allgather "
+        "| reducescatter";
     return line;
   }
 
@@ -173,6 +179,27 @@ Request parse_request(const std::string& text) {
       return line;
     }
     line.mp.ramp_latency = static_cast<u32>(tr->number);
+  }
+
+  // Degraded-fabric description: an array of "X,Y,DIR[,FACTOR]" link
+  // overrides (common/link_override.hpp), part of the machine key — the
+  // same shape on a different defect map is a different cached plan.
+  if (const json::Value* lo = v.get("link_overrides")) {
+    if (lo->type != json::Value::Type::Array) {
+      line.error = "\"link_overrides\" must be an array of \"X,Y,DIR[,FACTOR]\"";
+      return line;
+    }
+    for (const json::Value& item : lo->array) {
+      std::optional<LinkOverride> o;
+      if (item.is_string()) o = parse_link_override(item.string);
+      if (!o.has_value()) {
+        line.error =
+            "\"link_overrides\" entries must be \"X,Y,DIR\" (failed) or "
+            "\"X,Y,DIR,FACTOR\" with DIR one of E/W/N/S";
+        return line;
+      }
+      line.mp.link_overrides.push_back(*o);
+    }
   }
 
   const std::string algo = v.get_string("algorithm");

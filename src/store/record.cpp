@@ -52,6 +52,13 @@ void write_machine(Writer& w, const MachineParams& mp) {
   w.f64v(mp.clock_mhz);
   w.u32v(mp.sram_bytes);
   w.u32v(mp.num_colors);
+  w.u32v(static_cast<u32>(mp.link_overrides.size()));
+  for (const LinkOverride& o : mp.link_overrides) {
+    w.u32v(o.x);
+    w.u32v(o.y);
+    w.u8v(static_cast<u8>(o.dir));
+    w.u32v(o.factor);
+  }
 }
 
 MachineParams read_machine(Reader& r) {
@@ -60,6 +67,15 @@ MachineParams read_machine(Reader& r) {
   mp.clock_mhz = r.f64v();
   mp.sram_bytes = r.u32v();
   mp.num_colors = r.u32v();
+  const u32 num_overrides = r.u32v();
+  if (!r.need(num_overrides * 13ull)) return mp;  // 13 bytes per override
+  mp.link_overrides.resize(num_overrides);
+  for (LinkOverride& o : mp.link_overrides) {
+    o.x = r.u32v();
+    o.y = r.u32v();
+    o.dir = static_cast<Dir>(r.u8v());
+    o.factor = r.u32v();
+  }
   return mp;
 }
 
@@ -85,6 +101,7 @@ void write_schedule(Writer& w, const wse::Schedule& s) {
   w.u32v(s.grid.width);
   w.u32v(s.grid.height);
   w.u32v(s.vec_len);
+  w.u32v(s.mem_words);
   w.str(s.name);
   w.u32v(static_cast<u32>(s.result_pes.size()));
   for (u32 pe : s.result_pes) w.u32v(pe);
@@ -120,9 +137,11 @@ bool read_schedule(Reader& r, wse::Schedule* out) {
   const u32 width = r.u32v();
   const u32 height = r.u32v();
   const u32 vec_len = r.u32v();
+  const u32 mem_words = r.u32v();
   std::string name = r.str();
   if (!r.ok || width == 0 || height == 0) return false;
   wse::Schedule s({width, height}, vec_len, std::move(name));
+  s.mem_words = mem_words;
   const u32 num_results = r.u32v();
   if (!r.need(num_results * 4ull)) return false;
   s.result_pes.resize(num_results);

@@ -31,7 +31,8 @@ using runtime::PlanKey;
 /// Bump when the record payload layout changes; older stores then load as
 /// empty (and are rewritten on the next append), and peers on another
 /// schema answer cache_get with a clean miss.
-constexpr u32 kSchemaVersion = 1;
+/// v2: MachineParams grew link_overrides; Schedule grew mem_words.
+constexpr u32 kSchemaVersion = 2;
 
 constexpr u32 kRecordMagic = 0x43525057;  // "WPRC" little-endian
 constexpr u64 kMaxPayload = u64{1} << 30;

@@ -69,6 +69,10 @@ std::vector<std::string> validate(const Schedule& s) {
   if (s.colors_used() > 24) {
     problems.push_back("schedule uses more than 24 colors");
   }
+  if (s.mem_words != 0 && s.mem_words < s.vec_len) {
+    problems.push_back("mem_words smaller than vec_len");
+  }
+  const u64 mem = s.memory_words();
 
   // The shared index-algebra module, geometry-only: the neighbour table is
   // what the checks below consume — the same table both simulators route
@@ -132,6 +136,19 @@ std::vector<std::string> validate(const Schedule& s) {
       if (op.kind == OpKind::Recv && op.mode == RecvMode::AddModulo &&
           op.modulo == 0)
         problem(pe, "AddModulo recv with modulo == 0");
+      // Memory bounds: reads and writes must stay inside the schedule's
+      // declared footprint (mem_words, defaulting to vec_len) — the
+      // simulators size PE memory from it.
+      if (op.kind != OpKind::Recv &&
+          u64{op.src_offset} + op.len > mem)
+        problem(pe, "op reads past the schedule's memory footprint");
+      if (op.kind == OpKind::Recv) {
+        const u64 span = op.mode == RecvMode::AddModulo
+                             ? std::min<u64>(op.len, op.modulo)
+                             : u64{op.len};
+        if (u64{op.dst_offset} + span > mem)
+          problem(pe, "op writes past the schedule's memory footprint");
+      }
       if (op.kind != OpKind::Recv) {
         sent[op.out_color] += op.len;
         sent_any[op.out_color] = true;
@@ -212,6 +229,18 @@ std::vector<std::string> validate(const Schedule& s) {
     }
   }
   return problems;
+}
+
+bool schedule_crosses_failed_link(const Schedule& s,
+                                  const std::vector<LinkOverride>& overrides) {
+  for (const LinkOverride& o : overrides) {
+    if (!o.failed() || !override_in_grid(o, s.grid)) continue;
+    const u32 pe = s.grid.pe_id(o.x, o.y);
+    for (const RouteRule& r : s.rules[pe]) {
+      if (mask_has(r.forward, o.dir)) return true;
+    }
+  }
+  return false;
 }
 
 void check_valid(const Schedule& s) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/link_override.hpp"
 #include "wse/schedule.hpp"
 
 namespace wsr::wse {
@@ -28,5 +29,13 @@ std::vector<std::string> validate(const Schedule& s);
 
 /// Asserts that validate() found no problems (test/bench convenience).
 void check_valid(const Schedule& s);
+
+/// True when any routing rule of `s` forwards traffic across a link that an
+/// override marks failed (factor == 0). Such a schedule can never complete
+/// on that machine: FabricSim refuses to construct it, and the planner
+/// prices every algorithm on that fabric as unroutable. Overrides naming
+/// links outside the schedule's grid are ignored.
+bool schedule_crosses_failed_link(const Schedule& s,
+                                  const std::vector<LinkOverride>& overrides);
 
 }  // namespace wsr::wse

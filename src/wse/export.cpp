@@ -36,8 +36,9 @@ void append_rule(std::ostringstream& os, const RouteRule& r) {
 std::string to_json(const Schedule& s) {
   std::ostringstream os;
   os << "{\"name\":\"" << s.name << "\",\"grid\":{\"width\":" << s.grid.width
-     << ",\"height\":" << s.grid.height << "},\"vec_len\":" << s.vec_len
-     << ",\"result_pes\":[";
+     << ",\"height\":" << s.grid.height << "},\"vec_len\":" << s.vec_len;
+  if (s.mem_words != 0) os << ",\"mem_words\":" << s.mem_words;
+  os << ",\"result_pes\":[";
   for (std::size_t i = 0; i < s.result_pes.size(); ++i) {
     os << (i ? "," : "") << s.result_pes[i];
   }

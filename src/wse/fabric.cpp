@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdlib>
 
+#include "wse/checks.hpp"
+
 namespace wsr::wse {
 
 std::optional<SteppingMode> parse_stepping_mode(std::string_view text) {
@@ -96,6 +98,35 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
   const std::size_t total_regs = layout_.total_regs();
   const std::size_t total_colors = layout_.total_colors();
 
+  // Degraded links: only overrides naming links of this grid count; a
+  // machine description listing failures elsewhere on the wafer runs the
+  // pristine fast paths untouched.
+  for (const LinkOverride& o : opt_.link_overrides) {
+    degraded_ |= override_in_grid(o, schedule.grid);
+  }
+  if (degraded_) {
+    // The subscription/vectorized/partitioned engines' claim fast paths
+    // assume a link claimed this cycle is free the next; run the
+    // event-driven scalar engine instead (all modes are result-identical,
+    // so this changes wall time only).
+    if (opt_.stepping != SteppingMode::FullScan) {
+      opt_.stepping = SteppingMode::Worklist;
+    }
+    link_slow_.assign(layout_.total_links(), 1);
+    link_next_free_.assign(layout_.total_links(), 0);
+    for (const LinkOverride& o : opt_.link_overrides) {
+      if (!override_in_grid(o, schedule.grid)) continue;
+      const std::size_t lkey = layout_.link_key(
+          schedule.grid.pe_id(o.x, o.y), static_cast<u32>(o.dir));
+      link_slow_[lkey] = o.factor;
+      degraded_link_keys_.push_back(lkey);
+    }
+    // A schedule that forwards across a failed link can never complete:
+    // reject with context at construction instead of deadlocking mid-run.
+    WSR_ASSERT(!schedule_crosses_failed_link(schedule, opt_.link_overrides),
+               "schedule routes across a failed link");
+  }
+
   // Structure-of-arrays state: every per-register / per-color / per-op field
   // is one flat allocation sized by the layout's extents — the constructor
   // performs a fixed number of allocations regardless of the PE count
@@ -124,7 +155,7 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
   use_occ_mask_.resize(n);
   for (u32 pe = 0; pe < n; ++pe) {
     use_occ_mask_[pe] = layout_.num_regs(pe) <= 64;
-    mem_[pe].assign(std::max<u32>(schedule.vec_len, 1), 0.0f);
+    mem_[pe].assign(std::max<u32>(schedule.memory_words(), 1), 0.0f);
     done_[pe] = schedule.programs[pe].ops.empty();
     if (done_[pe]) done_count_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -180,6 +211,10 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
 void FabricSim::set_memory(u32 pe, std::vector<float> data) {
   WSR_ASSERT(pe < layout_.num_pes(), "pe out of range");
   mem_[pe] = std::move(data);
+  // Ops may address the schedule's whole declared footprint even when the
+  // caller only seeds the input region; zero-pad rather than index OOB.
+  const u32 words = std::max<u32>(sched_->memory_words(), 1);
+  if (mem_[pe].size() < words) mem_[pe].resize(words, 0.0f);
 }
 
 // --- worklist / subscription bookkeeping -------------------------------------
@@ -576,6 +611,11 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, std::size_t key) {
         ok = false;
         break;
       }
+      if (degraded_ && cycle_ < link_next_free_[lkey]) {
+        blocked_transient();  // throttled link still recovering
+        ok = false;
+        break;
+      }
       const u32 npe = layout_.neighbor(pe, d);
       WSR_ASSERT(npe != FabricLayout::kNoNeighbor, "forward off grid");
       const i8 nci = layout_.compact_color(npe, rule.color);
@@ -604,13 +644,18 @@ bool FabricSim::resolve_move(u32 pe, u32 dir, std::size_t key) {
       claimed_regs[num_claimed_regs++] = nkey;
       link_claim_epoch_[lkey] = cycle_;
       claimed_links[num_claimed_links++] = lkey;
+      if (degraded_) link_next_free_[lkey] = cycle_ + link_slow_[lkey];
     }
   }
   if (!ok) {
     for (u32 k = 0; k < num_claimed_regs; ++k)
       reg_claim_epoch_[claimed_regs[k]] = -1;
-    for (u32 k = 0; k < num_claimed_links; ++k)
+    for (u32 k = 0; k < num_claimed_links; ++k) {
       link_claim_epoch_[claimed_links[k]] = -1;
+      // Any pre-claim next-free was <= cycle_ (the claim passed the check),
+      // and every value <= cycle_ is equivalent for all later cycles.
+      if (degraded_) link_next_free_[claimed_links[k]] = 0;
+    }
     if (claimed_ramp) ramp_claim_epoch_[pe] = -1;
     slot.state = MoveState::No;
     return false;
@@ -1221,6 +1266,17 @@ bool FabricSim::partitioned_cycle() {
 
 i64 FabricSim::scan_next_ready() {
   i64 next_ready = INT64_MAX;
+  // A register stalled on a throttled link owns a timed event the queue
+  // scans below cannot see (the wavelet sits in a register, not a FIFO);
+  // without this the idle detector would misread a long recovery as a
+  // deadlock and the fast-forward would never reach the recovery cycle.
+  if (degraded_) {
+    for (const std::size_t lkey : degraded_link_keys_) {
+      if (link_next_free_[lkey] > cycle_) {
+        next_ready = std::min(next_ready, link_next_free_[lkey]);
+      }
+    }
+  }
   if (opt_.stepping == SteppingMode::FullScan) {
     for (const WaveletFifo& q : down_) {
       if (!q.empty()) next_ready = std::min(next_ready, q.front().ready);
@@ -1388,7 +1444,7 @@ std::vector<std::vector<float>> make_inputs(const Schedule& s,
                                             float (*value_of)(u32 pe, u32 j)) {
   std::vector<std::vector<float>> data(s.grid.num_pes());
   for (u32 pe = 0; pe < data.size(); ++pe) {
-    data[pe].resize(std::max<u32>(s.vec_len, 1));
+    data[pe].resize(std::max<u32>(s.memory_words(), 1));
     for (u32 j = 0; j < s.vec_len; ++j) data[pe][j] = value_of(pe, j);
   }
   return data;

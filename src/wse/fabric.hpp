@@ -71,6 +71,7 @@
 
 #include "common/grid.hpp"
 #include "common/lazy_fifo.hpp"
+#include "common/link_override.hpp"
 #include "common/parallel.hpp"
 #include "common/types.hpp"
 #include "wse/layout.hpp"
@@ -139,6 +140,13 @@ struct FabricOptions {
   SteppingMode stepping = default_stepping_mode();
   u32 threads = default_fabric_threads();    ///< Partitioned only; 0 = auto.
   u32 tile_span = default_fabric_tile();     ///< Partitioned only; 0 = auto.
+  /// Degraded hardware (common/link_override.hpp). A throttled link passes
+  /// one wavelet per `factor` cycles; constructing a FabricSim for a
+  /// schedule that routes across a *failed* link asserts. Degraded fabrics
+  /// force the Worklist stepping mode: the subscription/vectorized engines'
+  /// claim fast paths assume full-rate links. Overrides naming links
+  /// outside the schedule's grid are ignored.
+  std::vector<LinkOverride> link_overrides;
 };
 
 struct FabricResult {
@@ -405,6 +413,15 @@ class FabricSim {
   std::vector<i64> reg_claim_epoch_;   // [global register key]
   std::vector<i64> link_claim_epoch_;  // [link key]: output link used
   std::vector<i64> ramp_claim_epoch_;  // [pe]: ramp-down delivery used
+
+  // Degraded-link throttling (FabricOptions::link_overrides). Guarded by
+  // degraded_ so pristine fabrics never touch these arrays on the hot path.
+  bool degraded_ = false;
+  std::vector<u32> link_slow_;       ///< [link key] 1 = full rate, 0 = failed,
+                                     ///< k >= 2 = one wavelet per k cycles
+  std::vector<i64> link_next_free_;  ///< [link key] first claimable cycle
+  std::vector<std::size_t> degraded_link_keys_;  ///< overridden links (for
+                                                 ///< idle fast-forward scans)
 
   // Active sets. Membership flags guard against duplicates; the router list
   // is sorted ascending before use because inter-PE claim arbitration is

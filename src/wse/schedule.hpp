@@ -98,6 +98,11 @@ struct PEProgram {
 struct Schedule {
   GridShape grid;
   u32 vec_len = 0;  ///< B: per-PE input vector length in wavelets.
+  /// Per-PE memory footprint in words; 0 means vec_len. Collectives whose
+  /// output exceeds the input (AllGather holds every PE's contribution)
+  /// set this so the simulators size memory and the validator can bound
+  /// op offsets. Serialized with the schedule (store schema v2).
+  u32 mem_words = 0;
   std::string name;
 
   std::vector<PEProgram> programs;            ///< one per PE (flat id).
@@ -114,6 +119,10 @@ struct Schedule {
   PEProgram& program(u32 pe) { return programs[pe]; }
   void add_rule(u32 pe, RouteRule r) { rules[pe].push_back(r); }
   void add_rule(u32 x, u32 y, RouteRule r) { rules[grid.pe_id(x, y)].push_back(r); }
+
+  /// Words of PE memory the schedule operates on (mem_words, defaulting to
+  /// the input vector length when unset).
+  u32 memory_words() const { return mem_words != 0 ? mem_words : vec_len; }
 
   /// Number of distinct colors referenced anywhere (paper: implementations
   /// must stay well below the 24 available). Per-PE color interning lives

@@ -1,0 +1,186 @@
+// The differential conformance harness (shared by test_conformance.cpp and
+// the seed-deterministic fuzzer in test_conformance_fuzz.cpp).
+//
+// One "case" is (registered algorithm descriptor, grid shape, vec_len,
+// optional link overrides). Conformance means, for every case:
+//
+//   1. the built schedule passes the static validator (wse::validate),
+//      stays within the descriptor's color budget, and — run on FabricSim —
+//      produces the collective's *semantic* contract (Sum / Broadcast /
+//      AllGather / ReduceScatter), not merely "some" output;
+//   2. the three performance views agree: FlowSim within kSimBand of
+//      FabricSim, and (on clean fabrics) the analytic model within
+//      kModelBand of FabricSim;
+//   3. nothing beats physics: simulated cycles and predicted cycles are
+//      both >= the collective's bandwidth/distance lower bound, so a
+//      miscounted cost model can never make an algorithm look better than
+//      the hardware allows;
+//   4. degraded fabrics only slow things down: with a throttled link the
+//      measurement is >= the clean run and <= factor x clean (plus a small
+//      constant for latency terms that don't scale with the link rate).
+//
+// The harness is descriptor-driven on purpose: a newly registered algorithm
+// is swept automatically — there is no opt-in list to forget to extend.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "flowsim/flowsim.hpp"
+#include "registry/algorithm_registry.hpp"
+#include "runtime/verify.hpp"
+#include "sim_test_utils.hpp"
+#include "wse/checks.hpp"
+#include "wse/fabric.hpp"
+
+namespace wsr::conformance {
+
+/// FlowSim vs FabricSim: both simulate the same schedule, so the band is
+/// tight. FlowSim's one documented approximation (sender back-pressure on
+/// Send completion) shows up on convoy-heavy schedules; 2.5x bounds it with
+/// lots of margin while still catching a mis-simulated algorithm (which is
+/// typically off by O(P) or deadlocks outright).
+inline constexpr double kSimBand = 2.5;
+/// Analytic model vs FabricSim. The per-algorithm models in src/model/ are
+/// pinned to the buildable constructions and land within ~1.7x of the
+/// cycle-level simulator across the sweep; 2.5x is the conformance line an
+/// algorithm must not cross in either direction.
+inline constexpr double kModelBand = 2.5;
+/// Absolute slack added to every band: at tiny shapes (P=2, B<=8) fixed
+/// ramp/latency constants dominate and a pure ratio is meaningless.
+inline constexpr i64 kBandSlack = 32;
+
+/// All registered descriptors across every (collective, dims) family, in
+/// the registry's deterministic (name-sorted) order.
+inline std::vector<const registry::AlgorithmDescriptor*> all_descriptors() {
+  using registry::Collective;
+  using registry::Dims;
+  const registry::AlgorithmRegistry& reg =
+      registry::AlgorithmRegistry::instance();
+  std::vector<const registry::AlgorithmDescriptor*> out;
+  for (Collective c : {Collective::Broadcast, Collective::Reduce,
+                       Collective::AllReduce, Collective::AllGather,
+                       Collective::ReduceScatter}) {
+    for (Dims d : {Dims::OneD, Dims::TwoD}) {
+      for (const auto* desc : reg.query(c, d)) out.push_back(desc);
+    }
+  }
+  return out;
+}
+
+/// The bandwidth/distance lower bound no correct execution or honest
+/// prediction may beat (cycles at 1 wavelet/link/cycle):
+///   * Sum / Broadcast: the root (or every PE) moves B words through a
+///     single ramp, and the farthest contribution travels the grid
+///     diameter — max(B, diameter).
+///   * AllGather: every result PE ingests the other P-1 blocks through one
+///     ramp: (P-1) * B.
+///   * ReduceScatter: every PE's chunk sums P contributions, of which P-1
+///     arrive over links: B - B/P wavelets through one ingress.
+inline i64 lower_bound_cycles(runtime::Semantic semantic, GridShape g,
+                              u32 vec_len) {
+  const i64 P = g.num_pes();
+  const i64 B = vec_len;
+  const i64 diameter = (g.width - 1) + (g.height - 1);
+  switch (semantic) {
+    case runtime::Semantic::Sum:
+    case runtime::Semantic::Broadcast: return std::max(B, diameter);
+    case runtime::Semantic::AllGather: return (P - 1) * B;
+    case runtime::Semantic::ReduceScatter: return B - B / P;
+  }
+  return 0;
+}
+
+/// Both directions of `a` vs `b` within `band` (plus constant slack).
+inline void expect_within_band(i64 a, i64 b, double band,
+                               const std::string& what) {
+  EXPECT_LE(static_cast<double>(a),
+            band * static_cast<double>(b) + kBandSlack)
+      << what << ": " << a << " vs " << b;
+  EXPECT_LE(static_cast<double>(b),
+            band * static_cast<double>(a) + kBandSlack)
+      << what << ": " << a << " vs " << b;
+}
+
+struct CaseReport {
+  i64 fabric_cycles = 0;
+  i64 flow_cycles = 0;
+  i64 predicted = 0;
+  bool ran = false;  ///< false: skipped (e.g. routes across a failed link).
+};
+
+/// Runs one conformance case end to end. `overrides` may throttle links
+/// (factor >= 2); cases whose schedule crosses a *failed* link are reported
+/// as not-run (callers assert on the detection separately). The model band
+/// is only checked on clean fabrics: descriptor costs price the pristine
+/// machine, and the planner's degradation pricing is a separate post-pass.
+inline CaseReport run_case(const registry::AlgorithmDescriptor& d,
+                           GridShape g, u32 vec_len,
+                           const registry::PlanContext& ctx,
+                           const std::vector<LinkOverride>& overrides = {}) {
+  CaseReport rep;
+  SCOPED_TRACE(d.name + " on " + std::to_string(g.width) + "x" +
+               std::to_string(g.height) + " B=" + std::to_string(vec_len) +
+               (overrides.empty() ? "" : " (degraded)"));
+  EXPECT_TRUE(d.applicable(g, vec_len));
+  const wse::Schedule s = d.build(g, vec_len, ctx);
+  wse::check_valid(s);
+  EXPECT_LE(s.colors_used(), d.color_budget);
+  if (wse::schedule_crosses_failed_link(s, overrides)) return rep;
+
+  const runtime::Semantic semantic = runtime::semantic_for(d.collective);
+  wse::FabricOptions fo;
+  fo.link_overrides = overrides;
+  const runtime::VerifyResult r = testing::verify_ok(s, semantic, fo);
+  if (!r.ok) return rep;  // verify_ok already registered the failure
+  rep.fabric_cycles = r.cycles;
+
+  flowsim::FlowOptions flo;
+  flo.ramp_latency = fo.ramp_latency;
+  flo.link_overrides = overrides;
+  rep.flow_cycles = flowsim::run_flow(s, flo).cycles;
+  expect_within_band(rep.flow_cycles, rep.fabric_cycles, kSimBand,
+                     "FlowSim vs FabricSim");
+
+  rep.predicted = d.cost(g, vec_len, ctx).cycles;
+  EXPECT_GT(rep.predicted, 0);
+  if (overrides.empty()) {
+    expect_within_band(rep.predicted, rep.fabric_cycles, kModelBand,
+                       "model vs FabricSim");
+  }
+
+  const i64 lb = lower_bound_cycles(semantic, g, vec_len);
+  EXPECT_GE(rep.fabric_cycles, lb) << "simulation beats the lower bound";
+  EXPECT_GE(rep.predicted, lb) << "prediction beats the lower bound";
+  rep.ran = true;
+  return rep;
+}
+
+/// The shape sweep per dimensionality: primes, powers of two, degenerate
+/// 1xH columns and non-square rectangles — the irregular-fabric axis the
+/// harness exists to pin.
+inline std::vector<GridShape> shapes_for(registry::Dims dims) {
+  if (dims == registry::Dims::OneD) {
+    return {{2, 1}, {3, 1}, {5, 1}, {7, 1}, {8, 1}, {12, 1}, {16, 1}};
+  }
+  return {{2, 2}, {3, 2}, {2, 3}, {5, 3}, {4, 4}, {1, 4}, {1, 7}};
+}
+
+/// Candidate vector lengths for a shape: fixed sizes plus multiples of the
+/// PE count so divisibility-gated algorithms (Ring, Pipeline, Butterfly,
+/// X-Y compositions) are exercised on every shape. Callers filter through
+/// d.applicable().
+inline std::vector<u32> vec_lens_for(GridShape g) {
+  std::vector<u32> out = {8, 16, 48};
+  out.push_back(2 * g.num_pes());
+  out.push_back(3 * g.num_pes());
+  if (g.height > 1) out.push_back(2 * g.width * g.height);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace wsr::conformance

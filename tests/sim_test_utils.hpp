@@ -26,4 +26,15 @@ inline runtime::VerifyResult verify_ok(const wse::Schedule& s,
   return r;
 }
 
+/// Semantic-aware variant: asserts the collective's contract (Sum /
+/// Broadcast / AllGather / ReduceScatter) instead of assuming a reduction.
+inline runtime::VerifyResult verify_ok(const wse::Schedule& s,
+                                       runtime::Semantic semantic,
+                                       wse::FabricOptions options = {}) {
+  const runtime::VerifyResult r =
+      runtime::verify_collective(s, semantic, options);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r;
+}
+
 }  // namespace wsr::testing

@@ -156,5 +156,64 @@ TEST(Reduce2D, XYBeatsSnakeForLargeGrids) {
   EXPECT_LT(xy.cycles, snake.cycles);
 }
 
+// --- shape-assumption audit -------------------------------------------------
+// The X-Y compositions and their cost models require both axes >= 2 (a 1xH
+// column has no row phase): that constraint must be a hard, loud rejection,
+// not a silently wrong schedule. The builders that genuinely support any
+// >= 2-PE footprint (Broadcast flood, Snake, the AllGather X-Y flood) must
+// keep working on exactly those degenerate shapes.
+
+TEST(Shape2DDeath, XYBuildersRejectDegenerateColumnsAndRows) {
+  for (GridShape g : {GridShape{1, 4}, GridShape{4, 1}}) {
+    EXPECT_DEATH(collectives::make_reduce_2d_xy(ReduceAlgo::Chain, g, 8),
+                 "needs a 2D grid");
+    EXPECT_DEATH(collectives::make_reduce_2d_xy_mixed(ReduceAlgo::Chain,
+                                                      ReduceAlgo::Tree, g, 8),
+                 "needs a 2D grid");
+    EXPECT_DEATH(collectives::make_allreduce_2d_xy(ReduceAlgo::Chain, g, 8),
+                 "needs a 2D grid");
+    EXPECT_DEATH(collectives::make_allreduce_2d_xy_ring(g, 4),
+                 "needs a 2D grid");
+    EXPECT_DEATH(predict_xy_reduce(ReduceAlgo::Chain, ReduceAlgo::Chain, g, 8,
+                                   kMp),
+                 "needs a 2D grid");
+  }
+}
+
+TEST(Shape2D, NonXYBuildersAcceptDegenerateShapes) {
+  for (GridShape g : {GridShape{1, 4}, GridShape{4, 1}, GridShape{1, 7}}) {
+    testing::verify_ok(collectives::make_broadcast_2d(g, 8),
+                       /*is_broadcast=*/true);
+    testing::verify_ok(collectives::make_reduce_2d_snake(g, 8));
+    testing::verify_ok(collectives::make_allgather_2d(g, 5),
+                       runtime::Semantic::AllGather);
+  }
+}
+
+TEST(Shape2D, RectangularGridsAreNotSquareSpecialCases) {
+  // Transposed rectangles build and verify independently: a hidden
+  // width==height (or power-of-two) assumption in the X-Y compositions
+  // would corrupt one orientation of the pair.
+  const u32 b = 30;  // divisible by 2, 3, 5 — both ring axes on every shape
+  for (GridShape g : {GridShape{3, 2}, GridShape{2, 3}, GridShape{5, 3},
+                      GridShape{3, 5}}) {
+    testing::verify_ok(collectives::make_reduce_2d_xy(ReduceAlgo::Tree, g, b));
+    testing::verify_ok(collectives::make_allreduce_2d_xy_ring(g, b));
+    testing::verify_ok(collectives::make_allgather_2d(g, 4),
+                       runtime::Semantic::AllGather);
+  }
+  // The X-Y AllGather model's bandwidth term is transpose-invariant by
+  // construction — (W-1)B + (H-1)WB = (P-1)B, the total ingress volume —
+  // so the cycle totals of a rectangle and its transpose must agree, while
+  // the contention term must not (the column phase moves whole W*B row
+  // blocks). Both assertions fail if either axis is silently squared away.
+  const auto p32 = predict_allgather_xy({3, 2}, 4, kMp);
+  const auto p23 = predict_allgather_xy({2, 3}, 4, kMp);
+  EXPECT_EQ(p32.cycles, p23.cycles);
+  EXPECT_NE(p32.terms.contention, p23.terms.contention);
+  EXPECT_EQ(p32.terms.distance, p23.terms.distance);
+  EXPECT_EQ(p32.terms.links, p23.terms.links);
+}
+
 }  // namespace
 }  // namespace wsr

@@ -142,7 +142,7 @@ TEST(RecordCodec, WireFramingIsPinned) {
   const auto plan = plan_of(req);
 
   const std::string get_line = PeerStore::get_request_line(key);
-  const std::string get_prefix = "{\"verb\":\"cache_get\",\"schema\":1,\"key\":\"";
+  const std::string get_prefix = "{\"verb\":\"cache_get\",\"schema\":2,\"key\":\"";
   ASSERT_EQ(get_line.rfind(get_prefix, 0), 0u) << get_line;
   ASSERT_EQ(get_line.substr(get_line.size() - 3), "\"}\n");
   const auto key_bytes = base64_decode(
@@ -154,7 +154,7 @@ TEST(RecordCodec, WireFramingIsPinned) {
 
   const std::string put_line = PeerStore::put_request_line(key, *plan);
   const std::string put_prefix =
-      "{\"verb\":\"cache_put\",\"schema\":1,\"record\":\"";
+      "{\"verb\":\"cache_put\",\"schema\":2,\"record\":\"";
   ASSERT_EQ(put_line.rfind(put_prefix, 0), 0u) << put_line;
   const auto rec_bytes = base64_decode(
       put_line.substr(put_prefix.size(), put_line.size() - put_prefix.size() - 3));
@@ -485,7 +485,7 @@ TEST(PeerStore, HitMissAndPutAgainstScriptedPeer) {
     }
     if (line.find(record_b64.substr(0, 32)) != std::string::npos ||
         line.find("\"cache_get\"") != std::string::npos) {
-      return "{\"hit\":true,\"schema\":1,\"record\":\"" + record_b64 + "\"}\n";
+      return "{\"hit\":true,\"schema\":2,\"record\":\"" + record_b64 + "\"}\n";
     }
     return "{\"hit\":false}\n";
   });
@@ -559,7 +559,7 @@ TEST(PeerStore, UnresolvableAlgorithmIsAMiss) {
   const std::string record_b64 =
       base64_encode(wsr::store::serialize_plan_record(key, *plan_of(req)));
   MockPeer peer([&](const std::string&) -> std::optional<std::string> {
-    return "{\"hit\":true,\"schema\":1,\"record\":\"" + record_b64 + "\"}\n";
+    return "{\"hit\":true,\"schema\":2,\"record\":\"" + record_b64 + "\"}\n";
   });
   PeerStore store(peer_options(peer.path()));
   EXPECT_EQ(store.get(key).status, StoreStatus::Miss);
@@ -605,7 +605,7 @@ TEST(PeerStore, RefusedConnectIsAnErrorAndRecovers) {
   const std::string record_b64 =
       base64_encode(wsr::store::serialize_plan_record(key, *plan_of(req)));
   MockPeer revived([&](const std::string&) -> std::optional<std::string> {
-    return "{\"hit\":true,\"schema\":1,\"record\":\"" + record_b64 + "\"}\n";
+    return "{\"hit\":true,\"schema\":2,\"record\":\"" + record_b64 + "\"}\n";
   });
   PeerStore recovered(peer_options(revived.path()));
   // Point the original driver's target at nothing; use a fresh driver for
@@ -686,7 +686,7 @@ TEST(ServingCacheVerbs, PutGetRoundTripThroughCore) {
       strip_newline(PeerStore::put_request_line(key, *plan));
   EXPECT_EQ(serve_one(core, put_line), "{\"ok\":true}\n");
   const std::string reply = serve_one(core, get_line);
-  const std::string prefix = "{\"hit\":true,\"schema\":1,\"record\":\"";
+  const std::string prefix = "{\"hit\":true,\"schema\":2,\"record\":\"";
   ASSERT_EQ(reply.rfind(prefix, 0), 0u) << reply;
   const auto bytes = base64_decode(
       reply.substr(prefix.size(), reply.size() - prefix.size() - 3));
@@ -712,11 +712,11 @@ TEST(ServingCacheVerbs, RejectsAndGates) {
 
   // Malformed payloads are in-band errors, never crashes.
   EXPECT_EQ(serve_one(core,
-                      "{\"verb\":\"cache_get\",\"schema\":1,\"key\":\"@@\"}"),
+                      "{\"verb\":\"cache_get\",\"schema\":2,\"key\":\"@@\"}"),
             "{\"error\":\"bad_cache_key\"}\n");
   EXPECT_EQ(
       serve_one(core,
-                "{\"verb\":\"cache_put\",\"schema\":1,\"record\":\"AAAA\"}"),
+                "{\"verb\":\"cache_put\",\"schema\":2,\"record\":\"AAAA\"}"),
       "{\"error\":\"bad_cache_record\"}\n");
   EXPECT_EQ(serve_one(core, "{\"verb\":\"cache_get\"}"),
             "{\"error\":\"\\\"key\\\" must be a base64 string\"}\n");

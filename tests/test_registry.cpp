@@ -35,11 +35,19 @@ TEST(Registry, FamiliesAreCompleteAndNameSorted) {
             (std::vector<std::string>{"AutoGen", "Chain", "Star", "Tree",
                                       "TwoPhase"}));
   EXPECT_EQ(names(reg.query(Collective::AllReduce, Dims::OneD)),
-            (std::vector<std::string>{"AutoGen+Bcast", "Chain+Bcast", "MidRoot",
-                                      "Ring", "Star+Bcast", "Tree+Bcast",
+            (std::vector<std::string>{"AutoGen+Bcast", "Butterfly",
+                                      "Chain+Bcast", "MidRoot", "Ring",
+                                      "Star+Bcast", "Tree+Bcast",
                                       "TwoPhase+Bcast"}));
   EXPECT_EQ(names(reg.query(Collective::Broadcast, Dims::OneD)),
             (std::vector<std::string>{"Flood"}));
+  EXPECT_EQ(names(reg.query(Collective::AllGather, Dims::OneD)),
+            (std::vector<std::string>{"Flood"}));
+  EXPECT_EQ(names(reg.query(Collective::AllGather, Dims::TwoD)),
+            (std::vector<std::string>{"X-Y Flood"}));
+  EXPECT_EQ(names(reg.query(Collective::ReduceScatter, Dims::OneD)),
+            (std::vector<std::string>{"Halving", "Pipeline"}));
+  EXPECT_TRUE(reg.query(Collective::ReduceScatter, Dims::TwoD).empty());
   EXPECT_EQ(names(reg.query(Collective::Reduce, Dims::TwoD)),
             (std::vector<std::string>{"Snake", "X-Y AutoGen", "X-Y Chain",
                                       "X-Y Mixed", "X-Y Star", "X-Y Tree",
@@ -57,6 +65,7 @@ TEST(Registry, ExtensionsAreNotAutoSelectable) {
   const auto selectable =
       names(reg.query(Collective::AllReduce, Dims::OneD, true));
   EXPECT_EQ(std::count(selectable.begin(), selectable.end(), "MidRoot"), 0);
+  EXPECT_EQ(std::count(selectable.begin(), selectable.end(), "Butterfly"), 0);
   EXPECT_EQ(std::count(selectable.begin(), selectable.end(), "Ring"), 1);
   EXPECT_EQ(names(reg.query(Collective::Reduce, Dims::TwoD, true)),
             (std::vector<std::string>{"Snake", "X-Y AutoGen", "X-Y Chain",
@@ -89,8 +98,83 @@ TEST(Registry, EveryApplicableDescriptorBuildsACorrectSchedule) {
     ASSERT_TRUE(d->applicable(grid, vec_len)) << d->name;
     const wse::Schedule s = d->build(grid, vec_len, ctx);
     EXPECT_LE(s.colors_used(), d->color_budget) << d->name;
-    testing::verify_ok(s, /*is_broadcast=*/d->collective == Collective::Broadcast);
+    testing::verify_ok(s, runtime::semantic_for(d->collective));
   }
+}
+
+TEST(Registry, IrregularShapeApplicability) {
+  // The widened hardware axis: non-power-of-two rows and degenerate columns
+  // must be first-class for the families that support them, and the
+  // power-of-two constructions must cleanly refuse them.
+  const AlgorithmRegistry& reg = AlgorithmRegistry::instance();
+  const auto* flood = reg.find(Collective::AllGather, Dims::OneD, "Flood");
+  const auto* xy_flood = reg.find(Collective::AllGather, Dims::TwoD, "X-Y Flood");
+  const auto* pipeline = reg.find(Collective::ReduceScatter, Dims::OneD,
+                                  "Pipeline");
+  const auto* halving = reg.find(Collective::ReduceScatter, Dims::OneD,
+                                 "Halving");
+  const auto* butterfly = reg.find(Collective::AllReduce, Dims::OneD,
+                                   "Butterfly");
+  ASSERT_TRUE(flood && xy_flood && pipeline && halving && butterfly);
+
+  for (u32 p : {2u, 3u, 7u, 12u, 127u}) {
+    EXPECT_TRUE(flood->applicable({p, 1}, 5)) << p;
+    EXPECT_TRUE(pipeline->applicable({p, 1}, 2 * p)) << p;
+    EXPECT_FALSE(pipeline->applicable({p, 1}, 2 * p + 1)) << p;
+  }
+  // Degenerate 1xH columns and rectangular grids: only X-Y Flood serves them
+  // (the X-Y reductions need both axes >= 2).
+  EXPECT_TRUE(xy_flood->applicable({1, 4}, 5));
+  EXPECT_TRUE(xy_flood->applicable({5, 3}, 5));
+  EXPECT_FALSE(reg.at(Collective::AllReduce, Dims::TwoD, "X-Y Chain")
+                   .applicable({1, 4}, 5));
+
+  // The butterfly constructions: power-of-two rows up to 64, divisible B.
+  for (u32 p : {2u, 4u, 32u, 64u}) {
+    EXPECT_TRUE(halving->applicable({p, 1}, 2 * p)) << p;
+    EXPECT_TRUE(butterfly->applicable({p, 1}, 2 * p)) << p;
+  }
+  for (u32 p : {3u, 6u, 12u, 128u}) {
+    EXPECT_FALSE(halving->applicable({p, 1}, 2 * p)) << p;
+    EXPECT_FALSE(butterfly->applicable({p, 1}, 2 * p)) << p;
+  }
+  EXPECT_FALSE(butterfly->applicable({8, 1}, 12));  // 12 % 8 != 0
+}
+
+TEST(Registry, SelectionOnIrregularShapesIsDeterministic) {
+  // Planning twice on prime / rectangular shapes must pick the same
+  // algorithm with the same prediction (the name tie-break is total).
+  const runtime::Planner planner(16);
+  const runtime::PlanRequest reqs[] = {
+      {Collective::AllGather, {7, 1}, 21, ""},
+      {Collective::AllGather, {1, 5}, 8, ""},
+      {Collective::AllGather, {5, 3}, 8, ""},
+      {Collective::ReduceScatter, {6, 1}, 12, ""},
+      {Collective::ReduceScatter, {8, 1}, 16, ""},
+      {Collective::Reduce, {13, 1}, 64, ""},
+  };
+  for (const runtime::PlanRequest& req : reqs) {
+    const runtime::Plan a = planner.plan(req);
+    const runtime::Plan b = planner.plan(req);
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.prediction.cycles, b.prediction.cycles);
+    testing::verify_ok(a.schedule, runtime::semantic_for(req.collective));
+  }
+  // On a power-of-two row both ReduceScatter descriptors apply; the winner
+  // must be the cheaper prediction, not registration order.
+  const runtime::Plan rs = planner.plan({Collective::ReduceScatter, {8, 1},
+                                         16, ""});
+  const registry::PlanContext ctx = registry::make_context(8);
+  const i64 halving = AlgorithmRegistry::instance()
+                          .at(Collective::ReduceScatter, Dims::OneD, "Halving")
+                          .cost({8, 1}, 16, ctx)
+                          .cycles;
+  const i64 pipeline = AlgorithmRegistry::instance()
+                           .at(Collective::ReduceScatter, Dims::OneD,
+                               "Pipeline")
+                           .cost({8, 1}, 16, ctx)
+                           .cycles;
+  EXPECT_EQ(rs.prediction.cycles, std::min(halving, pipeline));
 }
 
 TEST(Registry, RingApplicabilityRequiresDivisibility) {

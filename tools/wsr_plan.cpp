@@ -2,9 +2,10 @@
 //
 //   wsr_plan <collective> <grid> <bytes> [--algo=NAME] [--simulate]
 //            [--json] [--dump] [--tr=N] [--cache-dir=DIR]
+//            [--failed-link=X,Y,DIR]... [--slow-link=X,Y,DIR,FACTOR]...
 //   wsr_plan --list-algorithms [--json]
 //
-//   collective: reduce | allreduce | broadcast
+//   collective: reduce | allreduce | broadcast | allgather | reducescatter
 //   grid:       P (a 1D row) or WxH (a 2D grid)
 //   bytes:      per-PE vector size in bytes (4 bytes per f32 wavelet)
 //
@@ -16,12 +17,21 @@
 // daemon uses (docs/serving.md): a shape this directory has seen before —
 // from any process — is answered from disk instead of planned.
 //
+// --failed-link / --slow-link describe the machine, not the request: each
+// names a directed link leaving PE (X,Y) towards DIR (E/W/N/S) that is
+// failed resp. throttled to one wavelet per FACTOR cycles. The model prices
+// the degradation (a failed link in the grid makes every plan unroutable),
+// --simulate runs the fabric with it, and distinct override sets are
+// distinct plan-cache keys.
+//
 // Examples:
 //   wsr_plan reduce 512 1024                # model-selected 1D reduce
 //   wsr_plan allreduce 64x64 4096 --simulate
 //   wsr_plan reduce 512 64 --algo=TwoPhase --dump
-//   wsr_plan allreduce 64 4096 --algo=MidRoot
+//   wsr_plan allgather 16 4096 --simulate
+//   wsr_plan reducescatter 8 4096 --algo=Halving
 //   wsr_plan reduce 16 256 --algo=AutoGen --json > plan.json
+//   wsr_plan reduce 8 1024 --slow-link=3,0,E,4 --simulate
 //   wsr_plan reduce 128 4096 --cache-dir=/var/tmp/wsr-plans
 //   wsr_plan --list-algorithms --json
 #include <algorithm>
@@ -30,6 +40,7 @@
 #include <memory>
 #include <string>
 
+#include "common/link_override.hpp"
 #include "flowsim/flowsim.hpp"
 #include "registry/algorithm_registry.hpp"
 #include "runtime/persistent_plan_cache.hpp"
@@ -37,6 +48,7 @@
 #include "runtime/plan_json.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/verify.hpp"
+#include "wse/checks.hpp"
 #include "wse/export.hpp"
 
 namespace {
@@ -44,14 +56,20 @@ namespace {
 using namespace wsr;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: wsr_plan <reduce|allreduce|broadcast> <P|WxH> <bytes>\n"
-               "                [--algo=NAME] [--simulate] [--json] [--dump]\n"
-               "                [--tr=N] [--cache-dir=DIR]\n"
-               "       wsr_plan --list-algorithms [--json]\n"
-               "NAME is a registry algorithm name (see --list-algorithms).\n"
-               "DIR is a persistent plan store shared with wsrd "
-               "(docs/serving.md).\n");
+  std::fprintf(
+      stderr,
+      "usage: wsr_plan "
+      "<reduce|allreduce|broadcast|allgather|reducescatter> <P|WxH> <bytes>\n"
+      "                [--algo=NAME] [--simulate] [--json] [--dump]\n"
+      "                [--tr=N] [--cache-dir=DIR]\n"
+      "                [--failed-link=X,Y,DIR]... "
+      "[--slow-link=X,Y,DIR,FACTOR]...\n"
+      "       wsr_plan --list-algorithms [--json]\n"
+      "NAME is a registry algorithm name (see --list-algorithms).\n"
+      "DIR is a persistent plan store shared with wsrd (docs/serving.md).\n"
+      "--failed-link/--slow-link mark the directed link leaving PE (X,Y)\n"
+      "towards E/W/N/S as failed resp. throttled to 1 wavelet per FACTOR\n"
+      "cycles (FACTOR >= 2); repeat per degraded link.\n");
   return 2;
 }
 
@@ -116,6 +134,18 @@ int main(int argc, char** argv) {
       dump = true;
     } else if (a.rfind("--tr=", 0) == 0) {
       mp.ramp_latency = static_cast<u32>(std::strtoul(a.c_str() + 5, nullptr, 10));
+    } else if (a.rfind("--failed-link=", 0) == 0 ||
+               a.rfind("--slow-link=", 0) == 0) {
+      const bool failed = a[2] == 'f';
+      const auto o = parse_link_override(a.substr(a.find('=') + 1));
+      if (!o.has_value() || o->failed() != failed) {
+        std::fprintf(stderr,
+                     failed ? "--failed-link wants X,Y,DIR (no factor)\n"
+                            : "--slow-link wants X,Y,DIR,FACTOR with "
+                              "FACTOR >= 2\n");
+        return 2;
+      }
+      mp.link_overrides.push_back(*o);
     } else if (a.rfind("--cache-dir=", 0) == 0) {
       cache_dir = a.substr(12);
       if (cache_dir.empty()) return usage();
@@ -144,6 +174,11 @@ int main(int argc, char** argv) {
     request.collective = runtime::Collective::AllReduce;
   } else if (collective_arg == "broadcast") {
     request.collective = runtime::Collective::Broadcast;
+  } else if (collective_arg == "allgather") {
+    request.collective = runtime::Collective::AllGather;
+  } else if (collective_arg == "reducescatter" ||
+             collective_arg == "reduce-scatter") {
+    request.collective = runtime::Collective::ReduceScatter;
   } else {
     return usage();
   }
@@ -230,9 +265,19 @@ int main(int argc, char** argv) {
   }
   if (dump) std::printf("%s", plan.schedule.dump().c_str());
   if (simulate) {
+    // Both simulators honor the machine's link overrides; a schedule that
+    // routes across a *failed* link cannot run at all.
+    if (wse::schedule_crosses_failed_link(plan.schedule, mp.link_overrides)) {
+      std::fprintf(stderr,
+                   "fabric sim : schedule routes across a failed link; "
+                   "nothing to simulate\n");
+      return 1;
+    }
     if (grid.num_pes() <= 4096 && plan.prediction.cycles <= 200000) {
-      const auto r = runtime::verify_on_fabric(
-          plan.schedule, request.collective == runtime::Collective::Broadcast);
+      wse::FabricOptions fo;
+      fo.link_overrides = mp.link_overrides;
+      const auto r = runtime::verify_collective(
+          plan.schedule, runtime::semantic_for(request.collective), fo);
       std::fprintf(stderr, "fabric sim : %lld cycles, results %s\n",
                    static_cast<long long>(r.cycles),
                    r.ok ? "verified" : "WRONG");
@@ -241,7 +286,9 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else {
-      const auto r = flowsim::run_flow(plan.schedule);
+      flowsim::FlowOptions fo;
+      fo.link_overrides = mp.link_overrides;
+      const auto r = flowsim::run_flow(plan.schedule, fo);
       std::fprintf(stderr, "flow sim   : %lld cycles (grid too large for "
                    "cycle-level simulation)\n",
                    static_cast<long long>(r.cycles));
