@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
 
   const std::vector<wse::SteppingMode> modes = {
       wse::SteppingMode::Worklist, wse::SteppingMode::Subscription,
-      wse::SteppingMode::Vectorized, wse::SteppingMode::Partitioned};
+      wse::SteppingMode::Vectorized, wse::SteppingMode::Partitioned,
+      wse::SteppingMode::Simd};
 
   // One series per mode; "measured" is the (mode-invariant) cycle count so
   // the standard figure doubles as a parity spot check, wall time is what
@@ -137,6 +138,14 @@ int main(int argc, char** argv) {
                        cells[ci].label + ")",
                    times[sub][ci].seconds / times[mi][ci].seconds);
     }
+  }
+  // PR 10 headline: the SIMD plane sweep against the per-register
+  // vectorized engine it repacks (acceptance gate: >= 1.3x geomean).
+  const u32 vec = 2, simd = 4;
+  for (u32 ci = 0; ci < cells.size(); ++ci) {
+    bench.metric("simd speedup vs vectorized (" + std::string(cells[ci].label) +
+                     ")",
+                 times[vec][ci].seconds / times[simd][ci].seconds);
   }
   return bench.finish();
 }

@@ -170,6 +170,18 @@ static void BM_FabricVectorizedChain(benchmark::State& state) {
 static void BM_FabricVectorizedTree(benchmark::State& state) {
   BM_FabricSimStepping(state, wse::SteppingMode::Vectorized, ReduceAlgo::Tree);
 }
+// PR 10 cells: the bitmask-plane engine on every shape the vectorized cells
+// cover. The latency-bound chain/tree cells guard against plane-walk
+// overhead regressing the sparse regime; the contention cells below are
+// where the 64-registers-per-word sweep must win. The planes themselves are
+// constructor-allocated; allocs_per_kcycle holds the hot loop to the same
+// amortized-vector-growth-only standard as every other engine.
+static void BM_FabricSimdChain(benchmark::State& state) {
+  BM_FabricSimStepping(state, wse::SteppingMode::Simd, ReduceAlgo::Chain);
+}
+static void BM_FabricSimdTree(benchmark::State& state) {
+  BM_FabricSimStepping(state, wse::SteppingMode::Simd, ReduceAlgo::Tree);
+}
 BENCHMARK(BM_FabricWorklistChain)
     ->Args({512, 1})->Args({512, 64})->Args({512, 256})
     ->Unit(benchmark::kMillisecond);
@@ -189,6 +201,11 @@ BENCHMARK(BM_FabricVectorizedChain)
     ->Args({512, 1})->Args({512, 64})->Args({512, 256})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricVectorizedTree)
+    ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSimdChain)
+    ->Args({512, 1})->Args({512, 64})->Args({512, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSimdTree)
     ->Args({512, 1})->Args({512, 64})->Unit(benchmark::kMillisecond);
 
 // Contention-bound cells: a 512-PE Star is a deep incast whose occupied
@@ -211,11 +228,16 @@ static void BM_FabricSubscriptionStar(benchmark::State& state) {
 static void BM_FabricVectorizedStar(benchmark::State& state) {
   BM_FabricIncastStar(state, wse::SteppingMode::Vectorized);
 }
+static void BM_FabricSimdStar(benchmark::State& state) {
+  BM_FabricIncastStar(state, wse::SteppingMode::Simd);
+}
 BENCHMARK(BM_FabricWorklistStar)
     ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricSubscriptionStar)
     ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricVectorizedStar)
+    ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSimdStar)
     ->Args({512, 64})->Args({512, 256})->Unit(benchmark::kMillisecond);
 
 // The ISSUE 3 acceptance cell: a 512-PE Star incast whose root is still
@@ -255,11 +277,16 @@ static void BM_FabricSubscriptionBusyRootStar(benchmark::State& state) {
 static void BM_FabricVectorizedBusyRootStar(benchmark::State& state) {
   BM_FabricIncastBusyRoot(state, wse::SteppingMode::Vectorized);
 }
+static void BM_FabricSimdBusyRootStar(benchmark::State& state) {
+  BM_FabricIncastBusyRoot(state, wse::SteppingMode::Simd);
+}
 BENCHMARK(BM_FabricWorklistBusyRootStar)
     ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricSubscriptionBusyRootStar)
     ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricVectorizedBusyRootStar)
+    ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSimdBusyRootStar)
     ->Args({512, 16, 2048})->Unit(benchmark::kMillisecond);
 
 // Dense 2D phase at 512 PEs: every row runs a Star incast concurrently, then
@@ -280,11 +307,16 @@ static void BM_FabricSubscription2DStar(benchmark::State& state) {
 static void BM_FabricVectorized2DStar(benchmark::State& state) {
   BM_Fabric2DStar(state, wse::SteppingMode::Vectorized);
 }
+static void BM_FabricSimd2DStar(benchmark::State& state) {
+  BM_Fabric2DStar(state, wse::SteppingMode::Simd);
+}
 BENCHMARK(BM_FabricWorklist2DStar)
     ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricSubscription2DStar)
     ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricVectorized2DStar)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricSimd2DStar)
     ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 // Partitioned cells: the multi-threaded tile engine on the dense 2D shape

@@ -1,6 +1,7 @@
 #include "flowsim/flowsim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 
 #include "common/grid.hpp"
@@ -253,43 +254,95 @@ class Engine {
   void drain_router(u32 pe, u32 ci) {
     const std::size_t ck = layout_.color_key(pe, ci);
     const auto rules = layout_.rules(ck);
+    // Per-rule forward expansion, hoisted out of the segment loop (the
+    // FabricSim PR 10 diet, applied flow-level): the mask scan, neighbour
+    // lookup, destination color interning, parked-slot resolution and
+    // degraded-link factor are all invariant while one rule is active, and
+    // a streaming rule passes `count` >> 1 segments. Expanding once per
+    // activation leaves only the segment arithmetic per segment. Queue
+    // contents are unchanged — each parked slot is fed by exactly one
+    // source lane, and pushes from one lane keep their order — so every
+    // downstream timing is identical to the per-segment expansion.
+    struct Fwd {
+      u32 slot;    ///< destination parked_ queue
+      u32 npe;     ///< destination PE (router worklist entry)
+      u32 nci;     ///< destination compact color (router worklist entry)
+      u32 factor;  ///< link pacing factor (1 on a pristine link)
+    };
+    std::array<Fwd, wsr::kNumDirs> fwd;
+    u32 nfwd = 0;
+    bool ramp = false;
+    u32 max_factor = 1;
+    u32 expanded_for = UINT32_MAX;  // rule index `fwd` currently describes
     while (rule_active_[ck] < rules.size()) {
-      const RouteRule& rule = rules[rule_active_[ck]];
+      const u32 ri = rule_active_[ck];
+      const RouteRule& rule = rules[ri];
       // The slot exists: every rule's accept dir was seeded at construction.
       auto& queue = parked_[parked_slot_[ck * wsr::kNumDirs +
                                          static_cast<u32>(rule.accept)]];
       if (queue.empty()) return;
+      if (expanded_for != ri) {
+        nfwd = 0;
+        ramp = false;
+        max_factor = 1;
+        for (u8 d = 0; d < kNumDirs; ++d) {
+          const Dir dd = static_cast<Dir>(d);
+          if (!mask_has(rule.forward, dd)) continue;
+          if (dd == Dir::Ramp) {
+            ramp = true;
+            continue;
+          }
+          const u32 npe = layout_.neighbor(pe, d);
+          WSR_ASSERT(npe != FabricLayout::kNoNeighbor, "forward off grid");
+          u32 f = 1;
+          if (degraded_) {
+            f = link_rate_[std::size_t{pe} * wsr::kNumDirs + d];
+            WSR_ASSERT(f != 0, "traffic routed across a failed link");
+          }
+          const i8 nci = layout_.compact_color(npe, rule.color);
+          if (nci < 0) {
+            std::fprintf(stderr,
+                         "FlowSim: wavelets of color %u reached PE %u which "
+                         "has no rules for it (schedule '%s')\n",
+                         static_cast<u32>(rule.color), npe, s_.name.c_str());
+            WSR_ASSERT(false, "stray traffic");
+          }
+          const std::size_t nck = layout_.color_key(npe, static_cast<u32>(nci));
+          const u32 slot = parked_slot_[nck * wsr::kNumDirs +
+                                        static_cast<u32>(opposite(dd))];
+          if (slot == kNoSlot) {
+            std::fprintf(stderr,
+                         "FlowSim: wavelets of color %u reached PE %u from "
+                         "%s, but no rule accepts from there (schedule "
+                         "'%s')\n",
+                         static_cast<u32>(rule.color), npe,
+                         dir_name(opposite(dd)), s_.name.c_str());
+            WSR_ASSERT(false, "stray traffic");
+          }
+          fwd[nfwd++] = {slot, npe, static_cast<u32>(nci), f};
+          max_factor = std::max(max_factor, f);
+        }
+        expanded_for = ri;
+      }
       Segment seg = queue.front();
       queue.pop();
       WSR_ASSERT(seg.len <= rule_remaining_[ck],
                  "segment crosses a routing-rule boundary");
       const i64 h = std::max(seg.head, rule_avail_[ck]);
+      if (ramp) {
+        ingress_[ck].push({h + opt_.ramp_latency, seg.len, seg.rate});
+        pe_work_.push_back({pe, ci});
+      }
+      for (u32 k = 0; k < nfwd; ++k) {
+        // Crossing a throttled link stretches the copy to the link's pace.
+        const u32 rate = std::max(seg.rate, fwd[k].factor);
+        parked_[fwd[k].slot].push({h + 1, seg.len, rate});
+        router_work_.push_back({fwd[k].npe, fwd[k].nci});
+      }
       // The router passes wavelets at the pace of its slowest outgoing
       // branch (a stalled copy back-pressures the whole multicast), never
       // faster than they arrive.
-      u32 pace = seg.rate;
-      for (u8 d = 0; d < kNumDirs; ++d) {
-        const Dir dd = static_cast<Dir>(d);
-        if (!mask_has(rule.forward, dd)) continue;
-        if (dd == Dir::Ramp) {
-          const Segment delivered{h + opt_.ramp_latency, seg.len, seg.rate};
-          ingress_[ck].push(delivered);
-          pe_work_.push_back({pe, ci});
-        } else {
-          const u32 npe = layout_.neighbor(pe, d);
-          WSR_ASSERT(npe != FabricLayout::kNoNeighbor, "forward off grid");
-          u32 rate = seg.rate;
-          if (degraded_) {
-            const u32 f = link_rate_[std::size_t{pe} * wsr::kNumDirs + d];
-            WSR_ASSERT(f != 0, "traffic routed across a failed link");
-            rate = std::max(rate, f);
-          }
-          pace = std::max(pace, rate);
-          deliver_to_router(npe, rule.color, opposite(dd),
-                            {h + 1, seg.len, rate});
-        }
-      }
-      rule_avail_[ck] = h + i64{seg.len} * pace;
+      rule_avail_[ck] = h + i64{seg.len} * std::max(seg.rate, max_factor);
       rule_remaining_[ck] -= seg.len;
       if (rule_remaining_[ck] == 0) {
         const u32 next = ++rule_active_[ck];

@@ -135,6 +135,16 @@ std::shared_ptr<const Plan> PlanCache::insert(
   return it->second.plan;
 }
 
+bool PlanCache::erase(const PlanKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  shard.lru.erase(it->second.lru_pos);
+  shard.map.erase(it);
+  return true;
+}
+
 std::shared_ptr<const Plan> PlanCache::get_or_plan(const Planner& planner,
                                                    const PlanRequest& req,
                                                    PlanSource* source) {

@@ -129,6 +129,13 @@ class PlanCache {
   std::shared_ptr<const Plan> insert(const PlanKey& key,
                                      std::shared_ptr<const Plan> plan);
 
+  /// Drops a key from the memory tier; true if it was present. Backend
+  /// tiers are untouched (the store API has no delete): a tier-restored
+  /// plan that fails serving-time validation is evicted here so it cannot
+  /// keep answering from memory; if the tier re-promotes the bad record it
+  /// re-fails validation rather than silently serving.
+  bool erase(const PlanKey& key);
+
   /// The serving path: memory hit, else disk hit (promoted to memory), else
   /// plan-and-cache (appending to the disk store when one is attached).
   /// Safe to call from many threads; a racing miss may plan redundantly,

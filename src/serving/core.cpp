@@ -5,8 +5,24 @@
 
 #include "runtime/plan_json.hpp"
 #include "store/record.hpp"
+#include "wse/checks.hpp"
 
 namespace wsr::serving {
+
+namespace {
+
+/// Flow-level validation of a plan restored from an untrusted tier (disk
+/// file, peer daemon): the schedule must pass the structural validator and
+/// must not route across a link the requesting machine reports failed. A
+/// freshly planned schedule is validated by the planner itself; records are
+/// re-checked at serve time because stores outlive builds and peers may be
+/// misconfigured or corrupt.
+bool plan_servable(const runtime::Plan& plan, const MachineParams& mp) {
+  return wse::validate(plan.schedule).empty() &&
+         !wse::schedule_crosses_failed_link(plan.schedule, mp.link_overrides);
+}
+
+}  // namespace
 
 Core::Core(const Options& opts)
     : cache_(16, opts.max_entries),
@@ -71,8 +87,19 @@ std::string Core::serve_batch(std::vector<Request>& batch) {
     const auto group_plans =
         planner->plan_many(requests, &cache_, jobs_, &sources);
     for (std::size_t k = 0; k < indices.size(); ++k) {
-      plans[indices[k]] = group_plans[k];
-      tiers[indices[k]] = sources[k];
+      const std::size_t i = indices[k];
+      plans[i] = group_plans[k];
+      tiers[i] = sources[k];
+      // Cache/peer-tier restores are re-validated before they serve; a bad
+      // record answers "invalid_plan" in-band and is evicted from memory so
+      // it cannot keep serving (see PlanCache::erase on re-promotion).
+      if ((tiers[i] == runtime::PlanSource::DiskHit ||
+           tiers[i] == runtime::PlanSource::PeerHit) &&
+          !plan_servable(*plans[i], batch[i].mp)) {
+        cache_.erase(runtime::PlanCache::key_for(*planner, batch[i].req));
+        invalid_plans_.fetch_add(1);
+        plans[i] = nullptr;
+      }
     }
   }
 
@@ -89,6 +116,10 @@ std::string Core::serve_batch(std::vector<Request>& batch) {
       out += stats_json() + "\n";
     } else if (line.is_cache()) {
       out += serve_cache_op(line, id_field);
+    } else if (plans[i] == nullptr) {
+      // A tier restore that failed serving-time validation (above).
+      request_errors_.fetch_add(1);
+      out += "{" + id_field + "\"error\":\"invalid_plan\"}\n";
     } else {
       std::string extras = id_field;
       extras += "\"cache_tier\":\"";
@@ -155,6 +186,13 @@ std::string Core::serve_cache_op(const Request& line,
   if (!store::record_algorithm_resolves(key, plan)) {
     // Decodes fine but names an algorithm this build does not have: accept
     // nothing we could never serve.
+    return "{" + id_field + "\"ok\":false}\n";
+  }
+  if (!plan_servable(plan, key.machine)) {
+    // A well-formed record carrying an unservable schedule (fails the
+    // structural validator, or routes across a link its own machine key
+    // reports failed): refuse at the door instead of poisoning the tiers.
+    invalid_plans_.fetch_add(1);
     return "{" + id_field + "\"ok\":false}\n";
   }
   auto shared = std::make_shared<const runtime::Plan>(std::move(plan));
@@ -261,6 +299,7 @@ std::string Core::stats_json() {
   out += ",\"cache_gets\":" + std::to_string(cache_gets_.load());
   out += ",\"cache_get_hits\":" + std::to_string(cache_get_hits_.load());
   out += ",\"cache_puts\":" + std::to_string(cache_puts_.load());
+  out += ",\"invalid_plans\":" + std::to_string(invalid_plans_.load());
   out += ",\"tiers\":[";
   bool first = true;
   if (store::PlanStore* file = cache_.file_tier()) {

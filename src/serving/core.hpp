@@ -130,6 +130,9 @@ class Core {
   std::atomic<u64> cache_gets_{0};      ///< cache_get lines served
   std::atomic<u64> cache_get_hits_{0};  ///< ... answered with a record
   std::atomic<u64> cache_puts_{0};      ///< cache_put lines served
+  /// Tier-restored or cache_put plans that failed serving-time validation
+  /// (wse::validate, or routing across a link the machine reports failed).
+  std::atomic<u64> invalid_plans_{0};
   Metrics metrics_;
 };
 

@@ -4,6 +4,10 @@
 #include <bit>
 #include <cstdlib>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "wse/checks.hpp"
 
 namespace wsr::wse {
@@ -14,6 +18,7 @@ std::optional<SteppingMode> parse_stepping_mode(std::string_view text) {
   if (text == "subscription") return SteppingMode::Subscription;
   if (text == "vectorized") return SteppingMode::Vectorized;
   if (text == "partitioned") return SteppingMode::Partitioned;
+  if (text == "simd") return SteppingMode::Simd;
   return std::nullopt;
 }
 
@@ -24,25 +29,82 @@ std::string_view stepping_mode_name(SteppingMode mode) {
     case SteppingMode::Subscription: return "subscription";
     case SteppingMode::Vectorized: return "vectorized";
     case SteppingMode::Partitioned: return "partitioned";
+    case SteppingMode::Simd: return "simd";
   }
   return "unknown";
 }
 
 SteppingMode stepping_mode_from_env_value(const char* env) {
-  // Vectorized is the default as of PR 6: it produces bit-identical traces
-  // to the other modes (tests/test_fabric_worklist_parity.cpp) and wins
-  // 1.5-2.4x on the contention micros (bench/abl_stepping_modes.cpp).
-  if (env == nullptr || *env == '\0') return SteppingMode::Vectorized;
+  // Simd is the default as of PR 10: it produces bit-identical traces to
+  // the other modes (tests/test_fabric_worklist_parity.cpp) and beats the
+  // PR 6 Vectorized engine on the contention micros
+  // (bench/abl_stepping_modes.cpp, BENCH_PR10.json).
+  if (env == nullptr || *env == '\0') return SteppingMode::Simd;
   const auto parsed = parse_stepping_mode(env);
   if (!parsed.has_value()) {
     std::fprintf(stderr,
                  "WSR_FABRIC_STEPPING='%s' is not a valid stepping mode; "
                  "valid values: fullscan, worklist, subscription, "
-                 "vectorized, partitioned\n",
+                 "vectorized, partitioned, simd\n",
                  env);
     std::exit(2);
   }
   return *parsed;
+}
+
+namespace {
+bool cpu_has_avx2() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+}  // namespace
+
+std::optional<SimdDispatch> parse_simd_dispatch(std::string_view text) {
+  if (text == "auto") return SimdDispatch::Auto;
+  if (text == "avx2") return SimdDispatch::Avx2;
+  if (text == "swar") return SimdDispatch::Swar;
+  if (text == "off") return SimdDispatch::Off;
+  return std::nullopt;
+}
+
+std::string_view simd_dispatch_name(SimdDispatch d) {
+  switch (d) {
+    case SimdDispatch::Auto: return "auto";
+    case SimdDispatch::Avx2: return "avx2";
+    case SimdDispatch::Swar: return "swar";
+    case SimdDispatch::Off: return "off";
+  }
+  return "unknown";
+}
+
+SimdDispatch simd_dispatch_from_env_value(const char* env) {
+  if (env == nullptr || *env == '\0') return SimdDispatch::Auto;
+  const auto parsed = parse_simd_dispatch(env);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "WSR_FABRIC_SIMD='%s' is not a valid dispatch choice; "
+                 "valid values: auto, avx2, swar, off\n",
+                 env);
+    std::exit(2);
+  }
+  if (*parsed == SimdDispatch::Avx2 && !cpu_has_avx2()) {
+    // A forced-kernel A/B run silently downgrading to the scalar walk would
+    // invalidate exactly the comparison the variable exists for.
+    std::fprintf(stderr,
+                 "WSR_FABRIC_SIMD=avx2 was forced but this CPU does not "
+                 "support AVX2; use auto, swar or off\n");
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+SimdDispatch default_simd_dispatch() {
+  static const SimdDispatch d =
+      simd_dispatch_from_env_value(std::getenv("WSR_FABRIC_SIMD"));
+  return d;
 }
 
 SteppingMode default_stepping_mode() {
@@ -97,6 +159,18 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
   const u32 n = layout_.num_pes();
   const std::size_t total_regs = layout_.total_regs();
   const std::size_t total_colors = layout_.total_colors();
+
+  // Simd dispatch (WSR_FABRIC_SIMD): "off" turns Simd requests into the
+  // scalar Vectorized engine; otherwise resolve the word-scan kernel once.
+  if (opt_.stepping == SteppingMode::Simd) {
+    const SimdDispatch d = default_simd_dispatch();
+    if (d == SimdDispatch::Off) {
+      opt_.stepping = SteppingMode::Vectorized;
+    } else {
+      use_avx2_ = d == SimdDispatch::Avx2 ||
+                  (d == SimdDispatch::Auto && cpu_has_avx2());
+    }
+  }
 
   // Degraded links: only overrides naming links of this grid count; a
   // machine description listing failures elsewhere on the wafer runs the
@@ -168,8 +242,9 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
   in_up_list_.assign(n, 0);
   in_router_list_.assign(n, 0);
   in_queue_list_.assign(n, 0);
+  simd_ = opt_.stepping == SteppingMode::Simd;
   subscribed_ = opt_.stepping == SteppingMode::Subscription ||
-                opt_.stepping == SteppingMode::Vectorized;
+                opt_.stepping == SteppingMode::Vectorized || simd_;
   if (subscribed_) {
     reg_waiter_head_.assign(total_regs, -1);
     color_waiter_head_.assign(total_colors, -1);
@@ -178,12 +253,28 @@ FabricSim::FabricSim(const Schedule& schedule, FabricOptions options)
     up_parked_.assign(n, 0);
   }
 
+  // Bitmask planes over the register key space: the Simd engine's candidate
+  // / claim-won planes, plus the structural-No plane the partitioned tiles
+  // share as a sweep pre-filter. Words past total_regs never get bits.
+  planes_ = simd_ || opt_.stepping == SteppingMode::Partitioned;
+  const std::size_t nwords = layout_.plane_words();
+  if (planes_) struct_ok_.assign(nwords, 0);
+  if (simd_) {
+    pend_plane_.words.assign(nwords, 0);
+    att_plane_.words.assign(nwords, 0);
+    word_scratch_.assign(nwords, 0);
+  }
+
   // Fast-path rule descriptors: kept fresh in every mode (retirement is off
   // the hot path) so the sweep engines can rely on them unconditionally.
   rule_fast_.resize(total_colors);
   for (u32 pe = 0; pe < n; ++pe) {
     const u32 nc = layout_.num_colors(pe);
-    for (u32 ci = 0; ci < nc; ++ci) refresh_rule_fast(pe, layout_.color_key(pe, ci));
+    for (u32 ci = 0; ci < nc; ++ci) {
+      const std::size_t ck = layout_.color_key(pe, ci);
+      refresh_rule_fast(pe, ck);
+      if (planes_) refresh_struct_ok(pe, ck);
+    }
   }
 
   if (opt_.stepping == SteppingMode::Partitioned) {
@@ -271,7 +362,11 @@ void FabricSim::push_wake(i64 when, u32 pe) {
 void FabricSim::sub_pend(std::size_t key) {
   if (sub_state_[key] == kSubNone) {
     sub_state_[key] = kSubPending;
-    pending_.push_back(static_cast<u32>(key));
+    if (simd_) {
+      pend_plane_.set(key);
+    } else {
+      pending_.push_back(static_cast<u32>(key));
+    }
   }
 }
 
@@ -288,10 +383,31 @@ void FabricSim::sub_wake_list(i32& head, std::vector<u32>& out) {
   head = -1;
 }
 
+void FabricSim::sub_wake_plane(i32& head) {
+  for (i32 k = head; k != -1;) {
+    const i32 next = waiter_next_[k];
+    if (sub_state_[k] == kSubParked) {
+      sub_state_[k] = kSubPending;
+      --parked_count_;
+      pend_plane_.set(static_cast<std::size_t>(k));
+    }
+    k = next;
+  }
+  head = -1;
+}
+
 void FabricSim::sub_wake_color(u32 pe, u32 ci) {
+  // Every caller just advanced this color's rule chain or popped its
+  // ingress queue — exactly the transitions the structural-No plane tracks.
+  if (planes_) refresh_struct_ok(pe, layout_.color_key(pe, ci));
   if (!subscribed_) return;
   i32& head = color_waiter_head_[layout_.color_key(pe, ci)];
-  if (head != -1) sub_wake_list(head, pending_);
+  if (head == -1) return;
+  if (simd_) {
+    sub_wake_plane(head);
+  } else {
+    sub_wake_list(head, pending_);
+  }
 }
 
 void FabricSim::sub_park(std::size_t key) {
@@ -302,7 +418,11 @@ void FabricSim::sub_park(std::size_t key) {
       // in cycles where the contended resource actually carried traffic, so
       // the retry rides on real progress.
       sub_state_[key] = kSubPending;
-      pending_.push_back(static_cast<u32>(key));
+      if (simd_) {
+        pend_plane_.set(key);
+      } else {
+        pending_.push_back(static_cast<u32>(key));
+      }
       break;
     case StallCause::Register: {
       i32& head = reg_waiter_head_[move_[key].cause_payload];
@@ -345,6 +465,7 @@ void FabricSim::set_register(u32 pe, std::size_t ridx, float value) {
       break;
     case SteppingMode::Subscription:
     case SteppingMode::Vectorized:
+    case SteppingMode::Simd:
       // A fresh arrival must be attempted at the next router phase.
       sub_pend(key);
       break;
@@ -370,7 +491,13 @@ void FabricSim::clear_register(u32 pe, std::size_t ridx) {
     // attempt closure, so this list is normally already empty; draining it
     // here is a safety net that costs one branch.
     i32& head = reg_waiter_head_[key];
-    if (head != -1) sub_wake_list(head, pending_);
+    if (head != -1) {
+      if (simd_) {
+        sub_wake_plane(head);
+      } else {
+        sub_wake_list(head, pending_);
+      }
+    }
     // Ramp registers may have the PE's up-ramp parked behind them (the
     // inverse direction table is cheaper than the block-range arithmetic).
     if (layout_.reg_dir(key) == static_cast<u32>(Dir::Ramp) &&
@@ -535,7 +662,19 @@ bool FabricSim::step_up_ramp(u32 pe) {
       return changed;
     }
   }
-  if (!up.empty()) note_up_pending(pe);
+  if (!up.empty()) {
+    if (simd_ && up.front().ready > cycle_) {
+      // Timed pacing: nothing can happen on this ramp before the front
+      // wavelet's ready cycle (fifo order keeps per-PE ready times
+      // nondecreasing), so park it on the heap instead of re-stepping it
+      // every cycle of the latency window — the dominant per-cycle cost on
+      // deep incasts, where hundreds of ramps stream concurrently.
+      ramp_heap_.emplace_back(up.front().ready, pe);
+      std::push_heap(ramp_heap_.begin(), ramp_heap_.end(), std::greater<>());
+    } else {
+      note_up_pending(pe);
+    }
+  }
   return changed;
 }
 
@@ -850,6 +989,47 @@ void FabricSim::refresh_rule_fast(u32 pe, std::size_t ck) {
   rule_fast_[ck] = f;
 }
 
+void FabricSim::refresh_struct_ok(u32 pe, std::size_t ck) {
+  // A cleared bit must imply: resolve_move on that register returns No with
+  // cause {ColorEvent, ck}, making zero claims and zero recursive calls.
+  // Two cases qualify:
+  //   (a) the color's active rule does not accept the register's direction
+  //       (or the chain is exhausted) — resolve_move rejects before its
+  //       direction loop;
+  //   (b) the rule forwards *only* to the ramp and the ingress queue is
+  //       full — the direction loop visits just Dir::Ramp and rejects.
+  // A multicast rule that forwards to the ramp *and* mesh directions with a
+  // full queue must stay a candidate: Dir::Ramp is last in the direction
+  // loop, so resolve_move claims and recurses through the mesh forwards
+  // first and can record a different stall cause.
+  const ActiveRule& ar = active_rule_[ck];
+  const u32 nc = layout_.num_colors(pe);
+  const u32 ci = static_cast<u32>(ck - layout_.color_base(pe));
+  const std::size_t base = layout_.reg_base(pe) + ci;
+  const bool ramp_blocked =
+      ar.forward == dir_bit(Dir::Ramp) &&
+      down_[ck].size() >= opt_.ramp_latency + opt_.color_queue_capacity;
+  const bool partitioned = opt_.stepping == SteppingMode::Partitioned;
+  for (u32 d = 0; d < kNumDirs; ++d) {
+    const std::size_t key = base + std::size_t{d} * nc;
+    const u64 bit = u64{1} << (key & 63);
+    const bool ok = ar.accept == d && !ramp_blocked;
+    if (partitioned) {
+      // Tiles own disjoint color keys but their registers can share a plane
+      // word; relaxed bit-disjoint RMWs keep the result deterministic.
+      std::atomic_ref<u64> w(struct_ok_[key >> 6]);
+      if (ok) {
+        w.fetch_or(bit, std::memory_order_relaxed);
+      } else {
+        w.fetch_and(~bit, std::memory_order_relaxed);
+      }
+    } else {
+      u64& w = struct_ok_[key >> 6];
+      w = ok ? (w | bit) : (w & ~bit);
+    }
+  }
+}
+
 u8 FabricSim::sweep_verdict(u32 key, u32* dest, TileState* tile) {
   *dest = UINT32_MAX;
   const u32 dir = layout_.reg_dir(key);
@@ -977,6 +1157,103 @@ bool FabricSim::resolve_candidate(u32 key) {
   return true;
 }
 
+bool FabricSim::resolve_chain(u32 key) {
+  // Iterative replay of the resolve_candidate -> resolve_move recursion for
+  // runs of active single-mesh-forward rules: each frame costs the inline
+  // fast-path checks only, where the recursive trace pays resolve_move's
+  // per-direction loop, neighbour lookup and color re-interning per chain
+  // link. Every slot/claim write below is the one the recursion makes for
+  // the same key, in the same order.
+  chain_stack_.clear();
+  u32 k = key;
+  bool result;
+  for (;;) {
+    MoveSlot& slot = move_[k];
+    if (slot.epoch == cycle_ && slot.state != MoveState::Unknown) {
+      // Memoized verdict; InProgress means the chain closed into its own
+      // tail, which the recursion treats as a conservative stall.
+      result = slot.state == MoveState::Yes;
+      break;
+    }
+    const std::size_t ck = layout_.reg_color_key(k);
+    const RuleFast fast = rule_fast_[ck];
+    const auto blocked = [&](StallCause cause, u32 payload) {
+      slot.epoch = cycle_;
+      slot.state = MoveState::No;
+      slot.cause_kind = static_cast<u8>(cause);
+      slot.cause_payload = payload;
+    };
+    if (fast.dest == kNoFastRule) {  // multicast / ramp / exhausted rule
+      result = resolve_move(layout_.pe_of_reg(k), layout_.reg_dir(k), k);
+      break;
+    }
+    if (active_rule_[ck].accept != layout_.reg_dir(k)) {
+      blocked(StallCause::ColorEvent, static_cast<u32>(ck));
+      result = false;
+      break;
+    }
+    if (link_claim_epoch_[fast.link] == cycle_) {
+      blocked(StallCause::Transient, 0);  // lost this cycle's link slot
+      result = false;
+      break;
+    }
+    if (reg_set_[fast.dest]) {
+      const MoveSlot& d = move_[fast.dest];
+      if (d.epoch != cycle_ || d.state == MoveState::Unknown) {
+        // Unresolved occupied destination: descend, in this key's
+        // arbitration position (InProgress first, exactly like the
+        // recursion, so chain cycles stall conservatively).
+        slot.epoch = cycle_;
+        slot.state = MoveState::InProgress;
+        chain_stack_.push_back(k);
+        k = fast.dest;
+        continue;
+      }
+      if (d.state != MoveState::Yes) {  // No, or InProgress (a chain cycle)
+        blocked(StallCause::Register, fast.dest);
+        result = false;
+        break;
+      }
+      // Yes: the destination vacates this cycle; fall through to claim it.
+    }
+    if (reg_claim_epoch_[fast.dest] == cycle_) {
+      blocked(StallCause::Transient, 0);  // another color claimed it
+      result = false;
+      break;
+    }
+    reg_claim_epoch_[fast.dest] = cycle_;
+    link_claim_epoch_[fast.link] = cycle_;
+    slot.epoch = cycle_;
+    slot.state = MoveState::Yes;
+    result = true;
+    break;
+  }
+  // Unwind: every stacked frame is InProgress and single-forward; its
+  // outcome is its destination's outcome plus the deferred claim checks.
+  while (!chain_stack_.empty()) {
+    const u32 kk = chain_stack_.back();
+    chain_stack_.pop_back();
+    MoveSlot& slot = move_[kk];
+    const RuleFast fast = rule_fast_[layout_.reg_color_key(kk)];
+    if (!result) {
+      slot.state = MoveState::No;
+      slot.cause_kind = static_cast<u8>(StallCause::Register);
+      slot.cause_payload = fast.dest;
+      continue;
+    }
+    if (reg_claim_epoch_[fast.dest] == cycle_) {
+      slot.state = MoveState::No;
+      slot.cause_kind = static_cast<u8>(StallCause::Transient);
+      result = false;
+      continue;
+    }
+    reg_claim_epoch_[fast.dest] = cycle_;
+    link_claim_epoch_[fast.link] = cycle_;
+    slot.state = MoveState::Yes;
+  }
+  return result;
+}
+
 void FabricSim::gather_capture(u32 key, std::vector<PendingPlace>& places) {
   const std::size_t ck = layout_.reg_color_key(key);
   ActiveRule& ar = active_rule_[ck];
@@ -991,7 +1268,13 @@ void FabricSim::gather_capture(u32 key, std::vector<PendingPlace>& places) {
     // drain and the up-ramp unpark remain — none need (pe, ridx).
     reg_set_[key] = 0;
     i32& head = reg_waiter_head_[key];
-    if (head != -1) sub_wake_list(head, pending_);
+    if (head != -1) {
+      if (simd_) {
+        sub_wake_plane(head);
+      } else {
+        sub_wake_list(head, pending_);
+      }
+    }
     if (layout_.reg_dir(key) == static_cast<u32>(Dir::Ramp)) {
       const u32 pe = layout_.pe_of_reg(key);
       if (up_parked_[pe]) {
@@ -1004,19 +1287,22 @@ void FabricSim::gather_capture(u32 key, std::vector<PendingPlace>& places) {
     clear_register(pe, key - layout_.reg_base(pe));
   }
   WSR_ASSERT(ar.remaining > 0, "rule accounting underflow");
-  if (--ar.remaining == 0) {
-    const u32 pe = layout_.pe_of_reg(key);
-    const auto rules = layout_.rules(ck);
-    const u32 next = ++rule_active_[ck];
-    if (next < rules.size()) {
-      ar = {rules[next].color, static_cast<u8>(rules[next].accept),
-            rules[next].forward, 0, rules[next].count};
-    } else {
-      ar.accept = kNoActiveRule;
-    }
-    refresh_rule_fast(pe, ck);
-    sub_wake_color(pe, layout_.reg_ci(key));  // parked on the retired rule
+  if (--ar.remaining == 0) retire_rule(key, ck);
+}
+
+void FabricSim::retire_rule(u32 key, std::size_t ck) {
+  const u32 pe = layout_.pe_of_reg(key);
+  const auto rules = layout_.rules(ck);
+  const u32 next = ++rule_active_[ck];
+  ActiveRule& ar = active_rule_[ck];
+  if (next < rules.size()) {
+    ar = {rules[next].color, static_cast<u8>(rules[next].accept),
+          rules[next].forward, 0, rules[next].count};
+  } else {
+    ar.accept = kNoActiveRule;
   }
+  refresh_rule_fast(pe, ck);
+  sub_wake_color(pe, layout_.reg_ci(key));  // parked on the retired rule
 }
 
 void FabricSim::place_move(const PendingPlace& p, TileState* tile) {
@@ -1047,8 +1333,11 @@ void FabricSim::place_move(const PendingPlace& p, TileState* tile) {
     if (!mask_has(p.forward, dd)) continue;
     if (dd == Dir::Ramp) {
       const i8 ci = layout_.compact_color(p.pe, p.color);
-      down_[layout_.color_key(p.pe, static_cast<u32>(ci))].push(
-          {{p.value, p.color}, cycle_ + opt_.ramp_latency});
+      const std::size_t ck = layout_.color_key(p.pe, static_cast<u32>(ci));
+      down_[ck].push({{p.value, p.color}, cycle_ + opt_.ramp_latency});
+      // The push may fill the ingress queue, flipping the color's registers
+      // to structurally No for the next sweep.
+      if (planes_) refresh_struct_ok(p.pe, ck);
       wake_processor(p.pe);
       note_queue_pending(p.pe);
     } else {
@@ -1122,6 +1411,198 @@ bool FabricSim::router_step_vectorized() {
   return !places_.empty();
 }
 
+namespace {
+// Word-scan kernels behind the WSR_FABRIC_SIMD runtime dispatch: collect the
+// indices of every word in [lo, hi] with any bit set, in ascending order,
+// into `out` (sized for the whole plane). One batched call per plane walk —
+// a per-word call into a target("avx2") function cannot inline and costs
+// more than the scan itself. Both kernels return identical results; the
+// choice is wall-time only.
+inline u32 collect_nonzero_words_swar(const u64* words, u32 lo, u32 hi,
+                                      u32* out) {
+  u32 n = 0;
+  for (u32 wi = lo; wi <= hi; ++wi) {
+    if (words[wi] != 0) out[n++] = wi;
+  }
+  return n;
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) u32 collect_nonzero_words_avx2(
+    const u64* words, u32 lo, u32 hi, u32* out) {
+  // Reject all-zero quads with one testz; only hit quads pay the per-word
+  // check.
+  u32 n = 0;
+  u32 wi = lo;
+  for (; wi + 3 <= hi; wi += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + wi));
+    if (_mm256_testz_si256(v, v)) continue;
+    for (u32 j = wi; j < wi + 4; ++j) {
+      if (words[j] != 0) out[n++] = j;
+    }
+  }
+  for (; wi <= hi; ++wi) {
+    if (words[wi] != 0) out[n++] = wi;
+  }
+  return n;
+}
+#endif
+}  // namespace
+
+// flatten: the per-candidate helpers (resolve_chain, sub_park,
+// sub_wake_plane) run tens of millions of times per mover-dense run; the
+// call overhead alone is ~10% of the walk. GCC does not inline them at -O2
+// without the nudge.
+__attribute__((flatten)) bool FabricSim::router_step_simd() {
+  // The vectorized engine's candidate tracking, repacked into bitmask
+  // planes: the pending/attempt swap is O(1), bit order is key order (so
+  // the ascending claim-arbitration walk needs no sort), and the
+  // structural-No pre-pass rejects 64 registers per AND-NOT. Every state
+  // mutation below is the one router_step_vectorized would make for the
+  // same key, in an order the serial scan cannot distinguish — parity is
+  // pinned by tests/test_fabric_worklist_parity.cpp.
+  std::swap(pend_plane_, att_plane_);
+  if (att_plane_.empty()) return false;
+  u64* att = att_plane_.words.data();
+  u32* wlist = word_scratch_.data();
+  const auto collect = [&](const u64* words, u32 lo, u32 hi) {
+#if defined(__x86_64__)
+    if (use_avx2_) return collect_nonzero_words_avx2(words, lo, hi, wlist);
+#endif
+    return collect_nonzero_words_swar(words, lo, hi, wlist);
+  };
+
+  // Close over the register-clear waiter edges (stalled chains slide as a
+  // unit in one cycle, so a mover's waiters must attempt this same cycle):
+  // drain the waiter lists of every attempted key, then transitively the
+  // lists of the woken keys themselves. Setting a bit is idempotent, so the
+  // drain order never matters.
+  if (parked_count_ != 0) {
+    wake_stack_.clear();
+    const u32 nseed = collect(att, att_plane_.lo, att_plane_.hi);
+    for (u32 i = 0; i < nseed; ++i) {
+      const u32 wi = wlist[i];
+      for (u64 m = att[wi]; m != 0; m &= m - 1) {
+        const u32 key = (wi << 6) + static_cast<u32>(std::countr_zero(m));
+        i32& head = reg_waiter_head_[key];
+        if (head != -1) sub_wake_list(head, wake_stack_);
+      }
+    }
+    for (std::size_t i = 0; i < wake_stack_.size(); ++i) {
+      const u32 key = wake_stack_[i];
+      att_plane_.set(key);
+      i32& head = reg_waiter_head_[key];
+      if (head != -1) sub_wake_list(head, wake_stack_);
+    }
+  }
+
+  // Ascending resolve walk. Per word: the structural-No mask settles its
+  // registers with plain stores (their serial resolution is {No, ColorEvent,
+  // ck} with zero claims and zero recursion — refresh_struct_ok), then the
+  // surviving candidates resolve at their arbitration position exactly like
+  // the vectorized scan. Settling a word's structural-Nos before its
+  // candidates is unobservable: they never claim, and a candidate whose
+  // chain destination is one of them reads the identical memoized verdict
+  // the serial recursion would have written.
+  const u64* ok_words = struct_ok_.data();
+  survivors_.clear();
+  // Re-collect: the closure may have dirtied words before (or after) the
+  // seed range. Nothing below writes att_plane_ (wakes land in pend_plane_),
+  // so the collected list stays exact through the walk.
+  const u32 nw = collect(att, att_plane_.lo, att_plane_.hi);
+  for (u32 i = 0; i < nw; ++i) {
+    const u32 wi = wlist[i];
+    const u64 w = att[wi];
+    att[wi] = 0;
+    const u64 ok = ok_words[wi];
+    const u32 base = wi << 6;
+    for (u64 no = w & ~ok; no != 0; no &= no - 1) {
+      const u32 key = base + static_cast<u32>(std::countr_zero(no));
+      WSR_ASSERT(reg_set_[key], "woken register is empty");
+      MoveSlot& slot = move_[key];
+      const u32 ck = static_cast<u32>(layout_.reg_color_key(key));
+      if (slot.epoch != cycle_) {  // else: settled by an earlier recursion
+        slot.epoch = cycle_;
+        slot.state = MoveState::No;
+        slot.cause_kind = static_cast<u8>(StallCause::ColorEvent);
+        slot.cause_payload = ck;
+      }
+      // Park directly on the color's waiter list (sub_park minus the
+      // re-dispatch on a cause this pass just proved is ColorEvent).
+      i32& chead = color_waiter_head_[ck];
+      waiter_next_[key] = chead;
+      chead = static_cast<i32>(key);
+      sub_state_[key] = kSubParked;
+      ++parked_count_;
+    }
+    for (u64 cand = w & ok; cand != 0; cand &= cand - 1) {
+      const u32 key = base + static_cast<u32>(std::countr_zero(cand));
+      WSR_ASSERT(reg_set_[key], "woken register is empty");
+      if (resolve_chain(key)) {
+        sub_state_[key] = kSubNone;
+        survivors_.push_back(key);  // walk order == ascending key order
+      } else {
+        sub_park(key);
+      }
+    }
+  }
+  att_plane_.reset();
+
+  // Gather every winner (clear sources, retire quota) before placing any
+  // copy — the clear-before-place contract chained forwards rely on.
+  // Inlined gather_capture, specialized: fast-descriptor movers (the
+  // streaming majority) record an 8-byte (dest, value) pair instead of a
+  // PendingPlace, and the waiter-list probe is skipped outright while
+  // nothing is parked (empty lists are an invariant of parked_count_ == 0).
+  if (survivors_.empty()) return false;
+  places_.clear();
+  fast_places_.clear();
+  for (const u32 key : survivors_) {
+    const std::size_t ck = layout_.reg_color_key(key);
+    ActiveRule& ar = active_rule_[ck];
+    const RuleFast fast = rule_fast_[ck];  // pre-retirement rule snapshot
+    if (fast.dest != kNoFastRule) {
+      fast_places_.emplace_back(fast.dest, reg_value_[key]);
+    } else {
+      places_.push_back(
+          {layout_.pe_of_reg(key), reg_value_[key], ar.color, ar.forward,
+           fast});
+    }
+    reg_set_[key] = 0;
+    if (parked_count_ != 0) {
+      i32& head = reg_waiter_head_[key];
+      if (head != -1) sub_wake_plane(head);
+    }
+    if (layout_.reg_dir(key) == static_cast<u32>(Dir::Ramp)) {
+      const u32 pe = layout_.pe_of_reg(key);
+      if (up_parked_[pe]) {
+        up_parked_[pe] = 0;
+        note_up_pending(pe);
+      }
+    }
+    WSR_ASSERT(ar.remaining > 0, "rule accounting underflow");
+    if (--ar.remaining == 0) retire_rule(key, ck);
+  }
+  // Place: every destination is claim-exclusive this cycle and pend sets
+  // are order-insensitive, so placing the fast batch before the general one
+  // is unobservable.
+  hops_ += static_cast<i64>(fast_places_.size());
+  for (const auto& [dest, value] : fast_places_) {
+    WSR_ASSERT(!reg_set_[dest], "register collision");
+    // A placeable destination is never pending or parked (both imply the
+    // register is occupied), so pend directly instead of via sub_pend's
+    // state dispatch.
+    WSR_ASSERT(sub_state_[dest] == kSubNone, "placed over a tracked register");
+    reg_value_[dest] = value;
+    reg_set_[dest] = 1;
+    sub_state_[dest] = kSubPending;
+    pend_plane_.set(dest);
+  }
+  for (const PendingPlace& p : places_) place_move(p, nullptr);
+  return true;
+}
+
 // --- partitioned per-tile phases ---------------------------------------------
 
 void FabricSim::tile_pe_phase(u32 ti) {
@@ -1171,7 +1652,17 @@ void FabricSim::tile_sweep_phase(u32 ti) {
     }
   }
   for (u32 key : t.cand) {
-    u32 dest;
+    u32 dest = UINT32_MAX;
+    // Shared structural-No plane as a pre-filter: a cleared bit already
+    // proves verdict 2, skipping the rule/queue loads of sweep_verdict.
+    // (The plane is narrower than the sweep's own checks, so passing bits
+    // still take the full verdict.) Reads race nothing: every plane write
+    // happens in the pe/gather phases, barrier-separated from this sweep.
+    if ((struct_ok_[key >> 6] >> (key & 63) & 1) == 0) {
+      verdict_[key] = 2;
+      t.cand_dest.push_back(dest);
+      continue;
+    }
     verdict_[key] = sweep_verdict(key, &dest, &t);
     t.cand_dest.push_back(dest);
   }
@@ -1352,6 +1843,12 @@ FabricResult FabricSim::run() {
         wake_processor(wake_heap_.back().second);
         wake_heap_.pop_back();
       }
+      // Paced up-ramps whose front wavelet is now ready (Simd mode).
+      while (!ramp_heap_.empty() && ramp_heap_.front().first <= cycle_) {
+        std::pop_heap(ramp_heap_.begin(), ramp_heap_.end(), std::greater<>());
+        note_up_pending(ramp_heap_.back().second);
+        ramp_heap_.pop_back();
+      }
 
       // Processors: visit order is irrelevant (each PE touches only its own
       // state); consume the list, step bodies re-add still-active PEs.
@@ -1370,6 +1867,8 @@ FabricResult FabricSim::run() {
         changed |= router_step_subscription();
       } else if (mode == SteppingMode::Vectorized) {
         changed |= router_step_vectorized();
+      } else if (mode == SteppingMode::Simd) {
+        changed |= router_step_simd();
       } else {
         // Routers: snapshot must be sorted (claim arbitration is
         // order-sensitive); re-add PEs whose registers stay occupied.

@@ -61,6 +61,13 @@
 //                   worklists; boundary-link traffic crosses tiles through
 //                   per-tile handoff outboxes merged in deterministic tile
 //                   order, so any thread count is bit-identical.
+//   * Simd         — vectorized's candidate tracking repacked into 64-bit
+//                   bitmask planes over the flat register key space
+//                   (candidate, structural-No, claim-won); the structural-No
+//                   pre-pass and the ascending resolve/gather walks evaluate
+//                   64 registers per AND/ANDN/ctz iteration, with an
+//                   optional AVX2 word-scan behind WSR_FABRIC_SIMD runtime
+//                   dispatch (DESIGN.md §"SIMD sweep").
 #pragma once
 
 #include <atomic>
@@ -92,10 +99,13 @@ enum class SteppingMode : u8 {
                  ///< the flat verdict arrays; claims applied ascending.
   Partitioned,   ///< spatial tiles stepped by a thread pool; boundary
                  ///< traffic merged through deterministic handoff queues.
+  Simd,          ///< vectorized tracking over 64-register bitmask planes;
+                 ///< SWAR word walks with optional AVX2 runtime dispatch.
 };
 
 /// Parses a WSR_FABRIC_STEPPING value ("fullscan" | "worklist" |
-/// "subscription" | "vectorized" | "partitioned"); nullopt otherwise.
+/// "subscription" | "vectorized" | "partitioned" | "simd"); nullopt
+/// otherwise.
 std::optional<SteppingMode> parse_stepping_mode(std::string_view text);
 
 /// The canonical lowercase name of a stepping mode (the same spelling
@@ -119,6 +129,35 @@ SteppingMode stepping_mode_from_env_value(const char* env);
 /// are bit-identical, the toggle changes wall time only. Call sites that
 /// pin a mode explicitly are unaffected.
 SteppingMode default_stepping_mode();
+
+/// How the Simd stepping mode scans its bitmask planes for nonzero words.
+/// The choice never changes results (the per-word bit processing is shared);
+/// it only selects the word-skipping kernel, so the toggle is a pure
+/// wall-time A/B knob like the stepping mode itself.
+enum class SimdDispatch : u8 {
+  Auto,  ///< AVX2 when the CPU supports it, SWAR otherwise (default).
+  Avx2,  ///< force the AVX2 kernel; exit 2 if the CPU lacks AVX2.
+  Swar,  ///< force the portable 64-bit scalar kernel.
+  Off,   ///< disable the Simd engine: Simd requests run Vectorized.
+};
+
+/// Parses a WSR_FABRIC_SIMD value ("auto" | "avx2" | "swar" | "off");
+/// nullopt otherwise.
+std::optional<SimdDispatch> parse_simd_dispatch(std::string_view text);
+
+/// The canonical lowercase name of a dispatch choice.
+std::string_view simd_dispatch_name(SimdDispatch d);
+
+/// Resolves a WSR_FABRIC_SIMD environment value: Auto when unset/empty, the
+/// parsed value when valid, and a hard process exit (code 2, listing the
+/// valid values) otherwise. Forcing avx2 on a CPU without AVX2 is the same
+/// hard configuration error — a forced-kernel A/B run silently falling back
+/// would invalidate the comparison. Exposed separately from
+/// default_simd_dispatch() so the rejection path is testable.
+SimdDispatch simd_dispatch_from_env_value(const char* env);
+
+/// The process-wide dispatch choice, read once from WSR_FABRIC_SIMD.
+SimdDispatch default_simd_dispatch();
 
 /// Process-wide default worker count for the partitioned mode: 0 (meaning
 /// hardware_jobs()), overridable once per process via WSR_FABRIC_THREADS.
@@ -198,6 +237,7 @@ class FabricSim {
   bool router_step(const std::vector<u32>& pes);  // full-scan / worklist.
   bool router_step_subscription();                // woken-register cascade.
   bool router_step_vectorized();                  // batched sweep passes.
+  bool router_step_simd();                        // bitmask-plane word walks.
   bool partitioned_cycle();                       // one whole tiled cycle.
 
   // movement resolution (memoized per cycle via epoch tags)
@@ -232,6 +272,10 @@ class FabricSim {
   /// Drains waiter list `head` into `out` (the pending set, or the current
   /// attempt closure), skipping stale entries and keeping parked_count_.
   void sub_wake_list(i32& head, std::vector<u32>& out);
+  /// Simd flavour of sub_wake_list: woken registers become set bits in the
+  /// pending plane instead of vector entries (bit order is key order, so the
+  /// next attempt scan needs no sort).
+  void sub_wake_plane(i32& head);
   /// Fires the (pe, ci) color event: rule advanced or ingress queue popped.
   void sub_wake_color(u32 pe, u32 ci);
   /// Parks `key` on the stall cause recorded by resolve_move this cycle.
@@ -301,6 +345,16 @@ class FabricSim {
   /// Refreshes rule_fast_[ck]: the single-mesh-forward fast-path descriptor
   /// of the color's active rule (invalid for multicast / ramp / exhausted).
   void refresh_rule_fast(u32 pe, std::size_t ck);
+  /// Recomputes the five struct_ok_ plane bits of color key `ck` (one per
+  /// direction register). A cleared bit marks a register whose resolution is
+  /// *structurally* No with no claims and no recursion — its color's rule
+  /// accepts a different direction (or is exhausted), or forwards only to a
+  /// full ingress queue — so the Simd sweep settles it with three stores
+  /// instead of a resolve call. Word updates are relaxed-atomic: under the
+  /// partitioned mode two tiles' color keys can share a plane word, and the
+  /// bits they own are disjoint, so fetch_or/fetch_and keep every schedule
+  /// deterministic.
+  void refresh_struct_ok(u32 pe, std::size_t ck);
   /// The branchless verdict core of the partitioned sweep: classifies one
   /// occupied register as structurally-No (verdict 2), chain-dependent (3,
   /// dest in *dest) or a survivor (1). `tile` bounds in-tile chain
@@ -314,6 +368,19 @@ class FabricSim {
   /// path (the exact resolve_move trace, minus the per-direction loop and
   /// layout lookups), the full resolve_move otherwise. Returns Yes/No.
   bool resolve_candidate(u32 key);
+  /// The Simd engine's resolve_candidate: the same memoized-verdict check
+  /// and single-forward fast path, but chains of fast rules resolve
+  /// iteratively over the precomputed rule_fast_ descriptors (frames on
+  /// chain_stack_) instead of recursing through resolve_move's per-direction
+  /// loop, neighbour lookup and color re-interning. Falls back to
+  /// resolve_move only at a multicast / ramp / exhausted-rule frame. Claim
+  /// writes, stall causes and verdict memoization are byte-identical to the
+  /// recursive trace.
+  bool resolve_chain(u32 key);
+  /// Advances a color's retired rule chain to its next entry (or exhausts
+  /// it), refreshes the fast descriptor and wakes rule-parked registers.
+  /// `key` is the capturing register (its PE/ci locate the color).
+  void retire_rule(u32 key, std::size_t ck);
   /// Gathers one Yes register: captures value + rule snapshot into
   /// `places`, clears the source and retires rule quota. The caller places
   /// the whole batch afterwards — sources must all be vacated before chain
@@ -448,6 +515,11 @@ class FabricSim {
   /// Timed wake-ups: (ready cycle, pe) min-heap for processors blocked on a
   /// queue head that is still in flight down the ramp.
   std::vector<std::pair<i64, u32>> wake_heap_;
+  /// Simd-mode up-ramp pacing: (ready cycle, pe) min-heap re-entering the
+  /// up-ramp list exactly when the fifo front's latency expires, instead of
+  /// re-stepping every in-flight ramp every cycle. Duplicate entries are
+  /// harmless (note_up_pending dedups); only the Simd engine pushes here.
+  std::vector<std::pair<i64, u32>> ramp_heap_;
 
   /// Scratch for router move execution (hoisted out of the per-cycle path).
   struct Move {
@@ -460,6 +532,44 @@ class FabricSim {
   // --- vectorized / partitioned state ---------------------------------------
 
   std::vector<RuleFast> rule_fast_;  ///< [color key] active-rule fast path
+
+  // --- Simd bitmask planes (DESIGN.md §"SIMD sweep") -------------------------
+  // One bit per global register key, 64 keys per word; bit order == key
+  // order == claim-arbitration order, so ascending word/ctz walks replay the
+  // serial scan exactly.
+
+  /// A register-key bitmask plane with a touched-word watermark so sparse
+  /// cycles scan only the dirty range. Words past total_regs stay zero.
+  struct BitPlane {
+    std::vector<u64> words;
+    u32 lo = UINT32_MAX, hi = 0;  ///< inclusive dirty word range
+    void set(std::size_t key) {
+      const u32 wi = static_cast<u32>(key >> 6);
+      words[wi] |= u64{1} << (key & 63);
+      if (wi < lo) lo = wi;
+      if (wi > hi) hi = wi;
+    }
+    bool empty() const { return lo == UINT32_MAX; }
+    void reset() { lo = UINT32_MAX; hi = 0; }
+  };
+
+  bool simd_ = false;      ///< stepping == Simd (after dispatch rewrite)
+  bool planes_ = false;    ///< struct_ok_ is maintained (Simd or Partitioned)
+  bool use_avx2_ = false;  ///< resolved WSR_FABRIC_SIMD word-scan kernel
+  BitPlane pend_plane_;    ///< registers to attempt at the next router phase
+  BitPlane att_plane_;     ///< this cycle's attempt closure (consumed)
+  /// [key word] bit SET iff the register is *not* structurally No (see
+  /// refresh_struct_ok); `attempt & ~struct_ok` is the word-parallel
+  /// structural-No pre-pass.
+  std::vector<u64> struct_ok_;
+  std::vector<u32> wake_stack_;    ///< closure scratch: drained waiter keys
+  std::vector<u32> word_scratch_;  ///< nonzero-word indices of one walk
+  std::vector<u32> chain_stack_;   ///< iterative chain-resolve frames
+  /// Fast-descriptor placements of the current cycle: (dest key, value).
+  /// The general PendingPlace record is only built for multicast / ramp /
+  /// exhausted rules; single-mesh-forward movers (the streaming hot path)
+  /// round-trip 8 bytes instead of 24.
+  std::vector<std::pair<u32, float>> fast_places_;
 
   /// [reg key] sweep verdict of the current cycle: 0 none, 1 survivor,
   /// 2 structurally No, 3 chain-dependent. Entries are reset to 0 for every

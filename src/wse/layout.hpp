@@ -101,6 +101,11 @@ class FabricLayout {
     return reg_base_[pe] + std::size_t{dir} * num_colors(pe) + ci;
   }
   std::size_t total_regs() const { return reg_base_[num_pes_]; }
+  /// 64-bit words needed by a register-key bitmask plane covering every
+  /// register — the Simd stepping mode's plane geometry. Register keys are
+  /// dense, so bit (key & 63) of word (key >> 6) is the register's lane and
+  /// ascending word/bit order is ascending key (claim-arbitration) order.
+  std::size_t plane_words() const { return (total_regs() + 63) / 64; }
 
   // Inverse register tables (Options::register_tables): O(1) key ->
   // coordinate lookups for the simulator hot path. Recovering (dir, ci)

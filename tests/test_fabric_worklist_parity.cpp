@@ -38,6 +38,7 @@ std::vector<ModeConfig> parity_configs() {
       {wse::SteppingMode::Worklist, 0, 0, "worklist"},
       {wse::SteppingMode::Subscription, 0, 0, "subscription"},
       {wse::SteppingMode::Vectorized, 0, 0, "vectorized"},
+      {wse::SteppingMode::Simd, 0, 0, "simd"},
       // tile_span 2: two rows (or PEs) per tile, so even small grids get
       // many tiles and boundary traffic regardless of the thread count.
       {wse::SteppingMode::Partitioned, 1, 2, "partitioned/t1"},

@@ -734,6 +734,70 @@ TEST(ServingCacheVerbs, RejectsAndGates) {
             "{\"error\":\"cache_disabled\"}\n");
 }
 
+TEST(ServingCacheVerbs, PutRefusesAnInvalidSchedule) {
+  TempDir dir;
+  serving::Core::Options opts;
+  opts.cache_dir = dir.str();
+  opts.serve_cache = true;
+  serving::Core core(opts);
+
+  // A structurally valid record carrying an unservable schedule: zero the
+  // first routing rule's count (validate: "every rule has count > 0").
+  const PlanRequest req = reduce_req(8, 16);
+  const PlanKey key = key_of(req);
+  Plan bad = *plan_of(req);
+  ASSERT_FALSE(bad.schedule.rules.empty());
+  bool corrupted = false;
+  for (auto& pe_rules : bad.schedule.rules) {
+    if (!pe_rules.empty()) {
+      pe_rules[0].count = 0;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_EQ(serve_one(core, strip_newline(PeerStore::put_request_line(
+                                key, bad))),
+            "{\"ok\":false}\n");
+  // The refusal is counted and the record never reaches any tier.
+  EXPECT_NE(serve_one(core, "{\"verb\":\"stats\"}")
+                .find("\"invalid_plans\":1"),
+            std::string::npos);
+  EXPECT_EQ(serve_one(core,
+                      strip_newline(PeerStore::get_request_line(key))),
+            "{\"hit\":false}\n");
+}
+
+TEST(ServingCacheVerbs, DiskRestoreIsRevalidatedBeforeServing) {
+  TempDir dir;
+  const PlanRequest req = reduce_req(8, 16);
+  {
+    // Seed the persistent tier with a poisoned record under the exact key
+    // a plan request resolves to: decodes fine, fails flow-level checks.
+    runtime::PersistentPlanCache disk(dir.str());
+    FileStore file(disk);
+    auto bad = std::make_shared<Plan>(*plan_of(req));
+    for (auto& pe_rules : bad->schedule.rules) {
+      if (!pe_rules.empty()) {
+        pe_rules[0].count = 0;
+        break;
+      }
+    }
+    file.put(key_of(req), bad);
+  }
+  serving::Core::Options opts;
+  opts.cache_dir = dir.str();
+  serving::Core core(opts);
+
+  // The disk hit is refused in-band instead of serving a broken plan.
+  const std::string plan_line =
+      "{\"collective\":\"reduce\",\"grid\":\"8\",\"bytes\":64}";
+  EXPECT_EQ(serve_one(core, plan_line), "{\"error\":\"invalid_plan\"}\n");
+  EXPECT_NE(serve_one(core, "{\"verb\":\"stats\"}")
+                .find("\"invalid_plans\":1"),
+            std::string::npos);
+}
+
 TEST(ServingCacheVerbs, PrefetchWarmsHottestShapes) {
   TempDir dir;
   const PlanRequest hot_req = reduce_req(8, 16);
